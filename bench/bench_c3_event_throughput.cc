@@ -1,0 +1,119 @@
+// Experiment C3 — end-to-end event throughput of the active mechanism
+// under a browsing workload: interface interactions generating
+// Get_Schema / Get_Class / Get_Value events with growing installed
+// rule sets, measured through the full dispatcher stack.
+
+#include <cstdio>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "core/active_interface_system.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+std::unique_ptr<agis::core::ActiveInterfaceSystem> MakeSystem(
+    size_t num_rules) {
+  auto sys = std::make_unique<agis::core::ActiveInterfaceSystem>("synthetic");
+  agis::workload::SyntheticSchemaConfig config;
+  config.num_classes = 8;
+  config.attrs_per_class = 6;
+  config.instances_per_class = 40;
+  (void)agis::workload::BuildSyntheticSchema(&sys->db(), config);
+  agis::workload::DirectiveSweepConfig sweep;
+  sweep.num_directives = num_rules;
+  sweep.num_classes = 8;
+  for (const auto& d : agis::workload::GenerateDirectives(sweep)) {
+    (void)sys->InstallDirective(d);
+  }
+  agis::UserContext ctx;
+  ctx.user = "user_0";
+  ctx.category = "category_0";
+  ctx.application = "app_0";
+  sys->dispatcher().set_context(ctx);
+  agis::builder::BuildOptions options;
+  options.map_width = 40;
+  options.map_height = 12;
+  sys->dispatcher().set_build_options(options);
+  return sys;
+}
+
+/// One "browse step": open a class window and one of its instances.
+void BrowseStep(agis::core::ActiveInterfaceSystem* sys, size_t step) {
+  const std::string cls = "class_" + std::to_string(step % 8);
+  auto window = sys->dispatcher().OpenClassWindow(cls);
+  benchmark::DoNotOptimize(window);
+  auto ids = sys->db().ScanExtent(cls);
+  if (ids.ok() && !ids.value().empty()) {
+    auto inst = sys->dispatcher().OpenInstanceWindow(
+        ids.value()[step % ids.value().size()]);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+
+void BM_BrowseThroughputVsRules(benchmark::State& state) {
+  auto sys = MakeSystem(static_cast<size_t>(state.range(0)));
+  size_t step = 0;
+  for (auto _ : state) {
+    BrowseStep(sys.get(), step++);
+  }
+  // Each browse step emits one Get_Class and one Get_Value event.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+  state.counters["installed_rules"] =
+      static_cast<double>(sys->engine().NumRules());
+}
+BENCHMARK(BM_BrowseThroughputVsRules)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000);
+
+// Raw event dispatch without window building: the engine-only ceiling.
+void BM_EngineEventDispatch(benchmark::State& state) {
+  auto sys = MakeSystem(static_cast<size_t>(state.range(0)));
+  agis::active::Event event;
+  event.name = agis::active::kEventGetClass;
+  event.context.user = "user_0";
+  event.context.category = "category_0";
+  event.context.application = "app_0";
+  event.params["class"] = "class_0";
+  for (auto _ : state) {
+    auto cust = sys->engine().GetCustomization(event);
+    benchmark::DoNotOptimize(cust);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["installed_rules"] =
+      static_cast<double>(sys->engine().NumRules());
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(0)->Arg(10)->Arg(100)->Arg(1000);
+
+// Write events flowing through the bridge into general rules.
+void BM_WriteEventThroughBridge(benchmark::State& state) {
+  auto sys = MakeSystem(0);
+  agis::Rng rng(5);
+  for (auto _ : state) {
+    auto id = sys->db().Insert(
+        "class_0",
+        {{"location",
+          agis::geodb::Value::MakeGeometry(agis::geom::Geometry::FromPoint(
+              {rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)}))}});
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteEventThroughBridge);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== C3: event throughput through the active mechanism ====\n"
+              "items_per_second counts database events. The claim holds if\n"
+              "throughput degrades only mildly from 0 to 1000 installed\n"
+              "rules (selection is indexed, window building dominates).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Experiment C8 (ablation) — display-scale cartographic
+// generalization. The paper names generalization among the open
+// problems of presentation customization; this bench quantifies what
+// the basic Douglas–Peucker display-scale simplification buys when the
+// presentation area renders dense polylines.
+
+#include <cstdio>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "builder/interface_builder.h"
+#include "geom/algorithms.h"
+#include "uilib/widget_props.h"
+
+namespace {
+
+/// A database of `count` dense rivers (~`vertices` points each).
+std::unique_ptr<agis::geodb::GeoDatabase> MakeDenseLineDb(size_t count,
+                                                          size_t vertices) {
+  auto db = std::make_unique<agis::geodb::GeoDatabase>("dense");
+  agis::geodb::ClassDef cls("River", "");
+  (void)cls.AddAttribute(agis::geodb::AttributeDef::Geometry("course"));
+  (void)db->RegisterClass(std::move(cls));
+  agis::Rng rng(19);
+  for (size_t i = 0; i < count; ++i) {
+    agis::geom::LineString line;
+    double x = 0;
+    double y = rng.UniformDouble(0, 1000);
+    const double step = 1000.0 / static_cast<double>(vertices);
+    for (size_t v = 0; v < vertices; ++v) {
+      line.points.push_back({x, y});
+      x += step;
+      y += rng.UniformDouble(-4, 4);  // High-frequency wiggle.
+    }
+    (void)db->Insert("River",
+                     {{"course", agis::geodb::Value::MakeGeometry(
+                                     agis::geom::Geometry::FromLineString(
+                                         line))}});
+  }
+  return db;
+}
+
+struct Rig {
+  std::unique_ptr<agis::geodb::GeoDatabase> db;
+  agis::uilib::InterfaceObjectLibrary library;
+  agis::carto::StyleRegistry styles;
+  std::unique_ptr<agis::builder::GenericInterfaceBuilder> builder;
+};
+
+std::unique_ptr<Rig> MakeRig(size_t lines, size_t vertices) {
+  auto rig = std::make_unique<Rig>();
+  rig->db = MakeDenseLineDb(lines, vertices);
+  (void)rig->library.RegisterKernelPrototypes();
+  (void)RegisterStandardGisPrototypes(&rig->library);
+  (void)rig->styles.RegisterStandardFormats();
+  rig->builder = std::make_unique<agis::builder::GenericInterfaceBuilder>(
+      rig->db.get(), &rig->library, &rig->styles);
+  return rig;
+}
+
+void RunBuild(Rig* rig, bool generalize, benchmark::State& state) {
+  agis::UserContext ctx;
+  agis::builder::BuildOptions options;
+  options.generalize = generalize;
+  options.query.use_buffer_pool = false;
+  size_t removed = 0;
+  for (auto _ : state) {
+    auto window =
+        rig->builder->BuildClassSetWindow("River", nullptr, ctx, options);
+    benchmark::DoNotOptimize(window);
+    if (window.ok()) {
+      removed = std::stoul(window.value()
+                               ->FindDescendant("presentation")
+                               ->GetProperty("generalized_points_removed"));
+    }
+  }
+  state.counters["points_removed"] = static_cast<double>(removed);
+}
+
+void BM_RenderDenseLines_Generalized(benchmark::State& state) {
+  auto rig = MakeRig(20, static_cast<size_t>(state.range(0)));
+  RunBuild(rig.get(), true, state);
+  state.counters["vertices_per_line"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RenderDenseLines_Generalized)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096);
+
+void BM_RenderDenseLines_Raw(benchmark::State& state) {
+  auto rig = MakeRig(20, static_cast<size_t>(state.range(0)));
+  RunBuild(rig.get(), false, state);
+  state.counters["vertices_per_line"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RenderDenseLines_Raw)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_SimplifyAlone(benchmark::State& state) {
+  agis::Rng rng(19);
+  agis::geom::LineString line;
+  double x = 0;
+  for (int64_t v = 0; v < state.range(0); ++v) {
+    line.points.push_back({x, rng.UniformDouble(-4, 4)});
+    x += 1.0;
+  }
+  for (auto _ : state) {
+    auto simplified = agis::geom::SimplifyLine(line, 5.0);
+    benchmark::DoNotOptimize(simplified);
+  }
+  state.counters["vertices"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SimplifyAlone)->RangeMultiplier(4)->Range(64, 16384);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== C8: display-scale generalization ablation ====\n"
+              "Rendering dense polylines with and without Douglas-Peucker\n"
+              "simplification to one raster cell. Generalized rendering\n"
+              "should flatten as vertex counts grow; raw rendering grows\n"
+              "linearly with vertices.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Experiment F2 — Figure 2, the kernel classes of interface objects.
+// Regenerates the kernel hierarchy and measures the costs the library
+// design relies on: atomic widget creation, recursive Panel
+// composition, deep-clone instantiation, and prototype lookup.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "uilib/interface_object.h"
+#include "uilib/library.h"
+
+namespace {
+
+using agis::uilib::InterfaceObject;
+using agis::uilib::InterfaceObjectLibrary;
+using agis::uilib::MakeWidget;
+using agis::uilib::WidgetKind;
+
+void PrintFigure2() {
+  std::printf("==== Figure 2: kernel classes of interface objects ====\n");
+  InterfaceObjectLibrary library;
+  (void)library.RegisterKernelPrototypes();
+  for (const std::string& name : library.Names()) {
+    const InterfaceObject* proto = library.Peek(name);
+    std::printf("  %-13s (%s) — %s\n", name.c_str(),
+                agis::uilib::WidgetKindName(proto->kind()),
+                library.DocOf(name).c_str());
+  }
+  std::printf("  composition: Window ◇— Panel (recursive) ◇— "
+              "{TextField, DrawingArea, List, Button, Menu ◇— MenuItem}\n\n");
+}
+
+/// A balanced panel tree: `depth` levels, `fanout` children each.
+std::unique_ptr<InterfaceObject> BuildPanelTree(int depth, int fanout) {
+  auto node = MakeWidget(WidgetKind::kPanel, "panel");
+  if (depth <= 1) return node;
+  for (int i = 0; i < fanout; ++i) {
+    if (depth == 2) {
+      node->AddChild(MakeWidget(WidgetKind::kButton, "leaf"));
+    } else {
+      node->AddChild(BuildPanelTree(depth - 1, fanout));
+    }
+  }
+  return node;
+}
+
+void BM_AtomicWidgetCreate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto widget = MakeWidget(WidgetKind::kButton, "b");
+    benchmark::DoNotOptimize(widget);
+  }
+}
+BENCHMARK(BM_AtomicWidgetCreate);
+
+void BM_PanelCompositionDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto tree = BuildPanelTree(depth, 2);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.counters["nodes"] = static_cast<double>(
+      BuildPanelTree(depth, 2)->SubtreeSize());
+}
+BENCHMARK(BM_PanelCompositionDepth)->DenseRange(2, 10, 2);
+
+void BM_CloneSubtree(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  const auto tree = BuildPanelTree(depth, 2);
+  for (auto _ : state) {
+    auto copy = tree->Clone();
+    benchmark::DoNotOptimize(copy);
+  }
+  state.counters["nodes"] = static_cast<double>(tree->SubtreeSize());
+}
+BENCHMARK(BM_CloneSubtree)->DenseRange(2, 10, 2);
+
+void BM_LibraryInstantiate(benchmark::State& state) {
+  InterfaceObjectLibrary library;
+  (void)library.RegisterKernelPrototypes();
+  (void)RegisterStandardGisPrototypes(&library);
+  for (auto _ : state) {
+    auto instance = library.Instantiate("map_selection_panel");
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_LibraryInstantiate);
+
+void BM_FindDescendant(benchmark::State& state) {
+  const auto tree = BuildPanelTree(static_cast<int>(state.range(0)), 2);
+  // Worst case: search for a missing name (full traversal).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->FindDescendant("missing"));
+  }
+  state.counters["nodes"] = static_cast<double>(tree->SubtreeSize());
+}
+BENCHMARK(BM_FindDescendant)->DenseRange(4, 12, 4);
+
+void BM_CallbackFire(benchmark::State& state) {
+  auto button = MakeWidget(WidgetKind::kButton, "b");
+  long hits = 0;
+  button->Bind(agis::uilib::kUiClick, "cb",
+               [&hits](InterfaceObject&, const agis::uilib::UiEvent&) {
+                 ++hits;
+               });
+  agis::uilib::UiEvent click;
+  click.name = agis::uilib::kUiClick;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(button->Fire(click));
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CallbackFire);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

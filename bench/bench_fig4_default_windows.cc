@@ -1,0 +1,141 @@
+// Experiment F4 — Figure 4, the default interface windows. Regenerates
+// the three default windows (Schema / Class set / Instance) for the
+// phone_net database, then measures generic window construction across
+// schema width and extent size.
+
+#include <cstdio>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "builder/interface_builder.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using agis::builder::BuildOptions;
+using agis::builder::GenericInterfaceBuilder;
+
+struct Rig {
+  std::unique_ptr<agis::geodb::GeoDatabase> db;
+  agis::uilib::InterfaceObjectLibrary library;
+  agis::carto::StyleRegistry styles;
+  std::unique_ptr<GenericInterfaceBuilder> builder;
+
+  explicit Rig(std::unique_ptr<agis::geodb::GeoDatabase> database)
+      : db(std::move(database)) {
+    (void)library.RegisterKernelPrototypes();
+    (void)RegisterStandardGisPrototypes(&library);
+    (void)styles.RegisterStandardFormats();
+    builder = std::make_unique<GenericInterfaceBuilder>(db.get(), &library,
+                                                        &styles);
+  }
+};
+
+Rig MakePhoneRig() {
+  auto db = std::make_unique<agis::geodb::GeoDatabase>("phone_net");
+  agis::workload::PhoneNetConfig config;
+  config.num_poles = 80;
+  (void)agis::workload::BuildPhoneNetwork(db.get(), config);
+  return Rig(std::move(db));
+}
+
+Rig MakeSyntheticRig(size_t classes, size_t attrs, size_t instances) {
+  auto db = std::make_unique<agis::geodb::GeoDatabase>("synthetic");
+  agis::workload::SyntheticSchemaConfig config;
+  config.num_classes = classes;
+  config.attrs_per_class = attrs;
+  config.instances_per_class = instances;
+  (void)agis::workload::BuildSyntheticSchema(db.get(), config);
+  return Rig(std::move(db));
+}
+
+void PrintFigure4() {
+  std::printf("==== Figure 4: default interface windows (phone_net) ====\n");
+  Rig rig = MakePhoneRig();
+  agis::UserContext ctx;
+  ctx.user = "generic_user";
+
+  auto schema = rig.builder->BuildSchemaWindow(nullptr, ctx);
+  std::printf("-- Schema window --\n%s",
+              schema.value()->ToTreeString().c_str());
+  auto cls = rig.builder->BuildClassSetWindow("Pole", nullptr, ctx);
+  std::printf("-- Class set window --\n%s",
+              cls.value()->ToTreeString().c_str());
+  const auto* area = cls.value()->FindDescendant("presentation");
+  std::printf("%s", area->GetProperty(agis::uilib::kPropContent).c_str());
+  const auto poles = rig.db->ScanExtent("Pole");
+  auto inst =
+      rig.builder->BuildInstanceWindow(poles.value().front(), nullptr, ctx);
+  std::printf("-- Instance window --\n%s\n",
+              inst.value()->ToTreeString().c_str());
+}
+
+void BM_SchemaWindowVsClasses(benchmark::State& state) {
+  Rig rig = MakeSyntheticRig(static_cast<size_t>(state.range(0)), 6, 1);
+  agis::UserContext ctx;
+  for (auto _ : state) {
+    auto window = rig.builder->BuildSchemaWindow(nullptr, ctx);
+    benchmark::DoNotOptimize(window);
+  }
+  state.counters["classes"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SchemaWindowVsClasses)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_ClassWindowVsExtent(benchmark::State& state) {
+  Rig rig = MakeSyntheticRig(1, 6, static_cast<size_t>(state.range(0)));
+  agis::UserContext ctx;
+  BuildOptions options;
+  options.query.use_buffer_pool = false;  // Measure the uncached path.
+  for (auto _ : state) {
+    auto window =
+        rig.builder->BuildClassSetWindow("class_0", nullptr, ctx, options);
+    benchmark::DoNotOptimize(window);
+  }
+  state.counters["instances"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ClassWindowVsExtent)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_InstanceWindowVsAttrs(benchmark::State& state) {
+  Rig rig = MakeSyntheticRig(1, static_cast<size_t>(state.range(0)), 4);
+  agis::UserContext ctx;
+  const auto ids = rig.db->ScanExtent("class_0");
+  for (auto _ : state) {
+    auto window = rig.builder->BuildInstanceWindow(ids.value().front(),
+                                                   nullptr, ctx);
+    benchmark::DoNotOptimize(window);
+  }
+  state.counters["attrs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_InstanceWindowVsAttrs)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_Fig4FullTriple(benchmark::State& state) {
+  Rig rig = MakePhoneRig();
+  agis::UserContext ctx;
+  const auto poles = rig.db->ScanExtent("Pole");
+  BuildOptions options;
+  options.query.use_buffer_pool = false;
+  for (auto _ : state) {
+    auto schema = rig.builder->BuildSchemaWindow(nullptr, ctx);
+    auto cls =
+        rig.builder->BuildClassSetWindow("Pole", nullptr, ctx, options);
+    auto inst = rig.builder->BuildInstanceWindow(poles.value().front(),
+                                                 nullptr, ctx);
+    benchmark::DoNotOptimize(schema);
+    benchmark::DoNotOptimize(cls);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_Fig4FullTriple);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Experiments F3 + F6 — Figure 3 (the customization grammar) and
+// Figure 6 (the pole-manager directive). Regenerates the directive,
+// its analysis, and the compiled rules (R1/R2/...), then measures the
+// parse → analyze → compile pipeline across directive sizes.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "base/strutil.h"
+#include "custlang/analyzer.h"
+#include "custlang/compiler.h"
+#include "custlang/parser.h"
+#include "workload/phone_net.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+void PrintFigure6() {
+  std::printf("==== Figure 3: customization-language constructs ====\n");
+  std::printf(
+      "  For [user] [category] [application]\n"
+      "  schema <name> display as default|hierarchy|user-defined|Null\n"
+      "  { class <name> display [control as <widget>]\n"
+      "      [presentation as <format>]\n"
+      "      [instances { display attribute <a> as <widget|Null>\n"
+      "                   [from <source>...] [using <callback>] }*] }+\n\n");
+
+  std::printf("==== Figure 6: the pole-manager directive ====\n%s\n",
+              agis::workload::Fig6DirectiveSource().c_str());
+
+  auto directive =
+      agis::custlang::ParseDirective(agis::workload::Fig6DirectiveSource());
+  std::printf("==== Compiled rules (Section 4's R1 and R2) ====\n%s\n",
+              agis::custlang::ExplainCompilation(directive.value()).c_str());
+}
+
+/// Synthesizes a directive with `classes` class clauses of `attrs`
+/// attribute clauses each against the synthetic schema.
+std::string SyntheticDirectiveSource(size_t classes, size_t attrs) {
+  std::string out = "For user sweep_user application sweep_app\n";
+  for (size_t c = 0; c < classes; ++c) {
+    out += agis::StrCat("class class_", c,
+                        " display\n  control as class_control\n"
+                        "  presentation as pointFormat\n");
+    if (attrs > 0) {
+      out += "  instances\n";
+      for (size_t a = 0; a < attrs; ++a) {
+        out += agis::StrCat("    display attribute attr_", a,
+                            " as text_field\n");
+      }
+    }
+  }
+  return out;
+}
+
+struct SemanticRig {
+  agis::geodb::GeoDatabase db{"synthetic"};
+  agis::uilib::InterfaceObjectLibrary library;
+  agis::carto::StyleRegistry styles;
+
+  SemanticRig(size_t classes, size_t attrs) {
+    agis::workload::SyntheticSchemaConfig config;
+    config.num_classes = classes;
+    config.attrs_per_class = attrs;
+    config.instances_per_class = 1;
+    (void)agis::workload::BuildSyntheticSchema(&db, config);
+    (void)library.RegisterKernelPrototypes();
+    (void)RegisterStandardGisPrototypes(&library);
+    (void)styles.RegisterStandardFormats();
+  }
+};
+
+void BM_ParseDirective(benchmark::State& state) {
+  const std::string source = SyntheticDirectiveSource(
+      static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto d = agis::custlang::ParseDirective(source);
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["classes"] = static_cast<double>(state.range(0));
+  state.counters["source_bytes"] = static_cast<double>(source.size());
+}
+BENCHMARK(BM_ParseDirective)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_AnalyzeDirective(benchmark::State& state) {
+  const size_t classes = static_cast<size_t>(state.range(0));
+  SemanticRig rig(classes, 4);
+  auto d = agis::custlang::ParseDirective(
+      SyntheticDirectiveSource(classes, 4));
+  for (auto _ : state) {
+    auto status = agis::custlang::AnalyzeDirective(
+        d.value(), rig.db.schema(), rig.library, rig.styles);
+    benchmark::DoNotOptimize(status);
+  }
+  state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_AnalyzeDirective)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_CompileDirective(benchmark::State& state) {
+  const size_t classes = static_cast<size_t>(state.range(0));
+  auto d = agis::custlang::ParseDirective(
+      SyntheticDirectiveSource(classes, 4));
+  for (auto _ : state) {
+    auto rules = agis::custlang::CompileDirective(d.value());
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["rules_out"] = static_cast<double>(
+      agis::custlang::CompileDirective(d.value()).size());
+}
+BENCHMARK(BM_CompileDirective)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_FullPipelineFig6(benchmark::State& state) {
+  agis::geodb::GeoDatabase db("phone_net");
+  (void)agis::workload::BuildPhoneNetwork(&db);
+  agis::uilib::InterfaceObjectLibrary library;
+  (void)library.RegisterKernelPrototypes();
+  (void)RegisterStandardGisPrototypes(&library);
+  agis::carto::StyleRegistry styles;
+  (void)styles.RegisterStandardFormats();
+  const std::string source = agis::workload::Fig6DirectiveSource();
+  for (auto _ : state) {
+    auto d = agis::custlang::ParseDirective(source);
+    auto status = agis::custlang::AnalyzeDirective(d.value(), db.schema(),
+                                                   library, styles);
+    auto rules = agis::custlang::CompileDirective(d.value());
+    benchmark::DoNotOptimize(rules);
+  }
+}
+BENCHMARK(BM_FullPipelineFig6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment F7 — Figure 7, the customized interface windows.
+// Regenerates the customized Class-set and Instance windows under the
+// <juliano, pole_manager> context and measures the full customized
+// interaction (event → rule selection → build) against the generic one.
+
+#include <cstdio>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "core/active_interface_system.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace {
+
+std::unique_ptr<agis::core::ActiveInterfaceSystem> MakeSystem(
+    bool install_directive) {
+  auto sys = std::make_unique<agis::core::ActiveInterfaceSystem>("phone_net");
+  agis::workload::PhoneNetConfig config;
+  config.num_poles = 80;
+  (void)agis::workload::BuildPhoneNetwork(&sys->db(), config);
+  if (install_directive) {
+    (void)sys->InstallCustomization(agis::workload::Fig6DirectiveSource());
+  }
+  agis::UserContext ctx;
+  ctx.user = "juliano";
+  ctx.application = "pole_manager";
+  sys->dispatcher().set_context(ctx);
+  return sys;
+}
+
+void PrintFigure7() {
+  std::printf("==== Figure 7: customized interface windows ====\n");
+  auto sys = MakeSystem(/*install_directive=*/true);
+  (void)sys->dispatcher().OpenSchemaWindow();
+  const auto* cls = sys->dispatcher().FindWindow("Class set: Pole");
+  std::printf("-- customized Class set window --\n%s",
+              cls->ToTreeString().c_str());
+  const auto* area = cls->FindDescendant("presentation");
+  std::printf("style=%s\n%s", area->GetProperty(agis::uilib::kPropStyle).c_str(),
+              area->GetProperty(agis::uilib::kPropContent).c_str());
+  const auto poles = sys->db().ScanExtent("Pole");
+  auto inst = sys->dispatcher().OpenInstanceWindow(poles.value().front());
+  std::printf("-- customized Instance window --\n%s\n",
+              inst.value()->ToTreeString().c_str());
+}
+
+void BM_CustomizedBrowseSession(benchmark::State& state) {
+  auto sys = MakeSystem(true);
+  const auto poles = sys->db().ScanExtent("Pole");
+  for (auto _ : state) {
+    auto schema = sys->dispatcher().OpenSchemaWindow();
+    auto inst = sys->dispatcher().OpenInstanceWindow(poles.value().front());
+    benchmark::DoNotOptimize(schema);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_CustomizedBrowseSession);
+
+void BM_GenericBrowseSession(benchmark::State& state) {
+  auto sys = MakeSystem(false);
+  const auto poles = sys->db().ScanExtent("Pole");
+  for (auto _ : state) {
+    auto schema = sys->dispatcher().OpenSchemaWindow();
+    auto cls = sys->dispatcher().OpenClassWindow("Pole");
+    auto inst = sys->dispatcher().OpenInstanceWindow(poles.value().front());
+    benchmark::DoNotOptimize(schema);
+    benchmark::DoNotOptimize(cls);
+    benchmark::DoNotOptimize(inst);
+  }
+}
+BENCHMARK(BM_GenericBrowseSession);
+
+void BM_CustomizedClassWindowOnly(benchmark::State& state) {
+  auto sys = MakeSystem(true);
+  for (auto _ : state) {
+    auto window = sys->dispatcher().OpenClassWindow("Pole");
+    benchmark::DoNotOptimize(window);
+  }
+}
+BENCHMARK(BM_CustomizedClassWindowOnly);
+
+void BM_CustomizedInstanceWindowOnly(benchmark::State& state) {
+  auto sys = MakeSystem(true);
+  const auto poles = sys->db().ScanExtent("Pole");
+  for (auto _ : state) {
+    auto window =
+        sys->dispatcher().OpenInstanceWindow(poles.value().front());
+    benchmark::DoNotOptimize(window);
+  }
+}
+BENCHMARK(BM_CustomizedInstanceWindowOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

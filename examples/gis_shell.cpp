@@ -1,0 +1,243 @@
+// An interactive (and pipeable) shell over the whole system: browse
+// windows, run analysis queries, install customization directives,
+// switch contexts, ask for explanations, and save/load the database.
+// Drives every Figure 1 component from a terminal.
+//
+//   $ ./gis_shell            # starts with the phone_net demo data
+//   agis> help
+//   agis> schema
+//   agis> open Pole
+//   agis> query select Pole where pole_type >= 2
+//   agis> context user=juliano application=pole_manager
+//   agis> install-fig6
+//   agis> open Pole
+//   agis> explain Class set: Pole
+//   agis> save /tmp/net.agisdb
+//
+// Reads commands from stdin, so scripted sessions work:
+//   printf 'schema\nopen Pole\nquit\n' | ./gis_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/strutil.h"
+#include "core/active_interface_system.h"
+#include "custlang/compiler.h"
+#include "custlang/parser.h"
+#include "geodb/persist.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace {
+
+using agis::core::ActiveInterfaceSystem;
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  schema                       open the Schema window\n"
+      "  open <Class>                 open a Class-set window\n"
+      "  instance <id>                open an Instance window\n"
+      "  query <select ...>           analysis query -> filtered window\n"
+      "  context k=v [k=v ...]        set user/category/application/extras\n"
+      "  install <directive...>       install a one-line customization\n"
+      "  install-fig6                 install the paper's Figure 6 directive\n"
+      "  rules                        list installed customization rules\n"
+      "  windows                      list open windows\n"
+      "  show <window name>           dump a window (tree + map)\n"
+      "  explain <window name>        why does this window look like this?\n"
+      "  log                          interaction log\n"
+      "  save <path> | load <path>    persist / restore the database\n"
+      "  stats                        engine + database statistics\n"
+      "  help | quit\n");
+}
+
+void ShowWindow(const agis::uilib::InterfaceObject* window) {
+  if (window == nullptr) {
+    std::printf("no such window\n");
+    return;
+  }
+  std::printf("%s", window->ToTreeString().c_str());
+  const auto* area = window->FindDescendant("presentation");
+  if (area != nullptr) {
+    std::printf("%s", area->GetProperty(agis::uilib::kPropContent).c_str());
+  }
+  const auto* hierarchy = window->FindDescendant("hierarchy");
+  if (hierarchy != nullptr) {
+    std::printf("%s",
+                hierarchy->GetProperty(agis::uilib::kPropValue).c_str());
+  }
+}
+
+agis::UserContext ParseContext(const std::vector<std::string>& pairs) {
+  agis::UserContext ctx;
+  for (const std::string& pair : pairs) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "user") {
+      ctx.user = value;
+    } else if (key == "category") {
+      ctx.category = value;
+    } else if (key == "application") {
+      ctx.application = value;
+    } else {
+      ctx.extras[key] = value;
+    }
+  }
+  return ctx;
+}
+
+}  // namespace
+
+int main() {
+  ActiveInterfaceSystem sys("phone_net");
+  if (!agis::workload::BuildPhoneNetwork(&sys.db()).ok()) return 1;
+  std::printf("ActiveGIS shell — phone_net demo loaded (%zu objects). "
+              "'help' lists commands.\n",
+              sys.db().NumObjects());
+
+  std::string line;
+  while (true) {
+    std::printf("agis> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed = agis::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream stream(trimmed);
+    std::string command;
+    stream >> command;
+    std::string rest;
+    std::getline(stream, rest);
+    rest = agis::Trim(rest);
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "schema") {
+      auto window = sys.dispatcher().OpenSchemaWindow();
+      if (!window.ok()) {
+        std::printf("error: %s\n", window.status().ToString().c_str());
+        continue;
+      }
+      ShowWindow(window.value());
+      for (const auto* w : sys.dispatcher().visible_windows()) {
+        if (w != window.value()) {
+          std::printf("(auto-opened: %s)\n", w->name().c_str());
+        }
+      }
+    } else if (command == "open") {
+      auto window = sys.dispatcher().OpenClassWindow(rest);
+      if (!window.ok()) {
+        std::printf("error: %s\n", window.status().ToString().c_str());
+        continue;
+      }
+      ShowWindow(window.value());
+    } else if (command == "instance") {
+      char* end = nullptr;
+      const unsigned long long id = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str()) {
+        std::printf("usage: instance <id>\n");
+        continue;
+      }
+      auto window = sys.dispatcher().OpenInstanceWindow(id);
+      if (!window.ok()) {
+        std::printf("error: %s\n", window.status().ToString().c_str());
+        continue;
+      }
+      ShowWindow(window.value());
+    } else if (command == "query") {
+      auto window = sys.dispatcher().OpenQueryWindow(rest);
+      if (!window.ok()) {
+        std::printf("error: %s\n", window.status().ToString().c_str());
+        continue;
+      }
+      ShowWindow(window.value());
+    } else if (command == "context") {
+      sys.dispatcher().set_context(
+          ParseContext(agis::SplitWhitespace(rest)));
+      std::printf("context = %s\n",
+                  sys.dispatcher().context().ToString().c_str());
+    } else if (command == "install") {
+      auto installed = sys.InstallCustomization(rest);
+      if (!installed.ok()) {
+        std::printf("error: %s\n", installed.status().ToString().c_str());
+        continue;
+      }
+      std::printf("installed %zu rule(s)\n", installed.value().size());
+    } else if (command == "install-fig6") {
+      auto installed =
+          sys.InstallCustomization(agis::workload::Fig6DirectiveSource());
+      if (!installed.ok()) {
+        std::printf("error: %s\n", installed.status().ToString().c_str());
+        continue;
+      }
+      auto parsed = agis::custlang::ParseDirective(
+          agis::workload::Fig6DirectiveSource());
+      std::printf("%s",
+                  agis::custlang::ExplainCompilation(parsed.value()).c_str());
+    } else if (command == "rules") {
+      std::printf("%zu rule(s) installed\n", sys.engine().NumRules());
+      for (const auto& [name, source] : sys.StoredDirectives()) {
+        std::printf("  directive %s\n", name.c_str());
+      }
+    } else if (command == "windows") {
+      for (const auto* window : sys.dispatcher().windows()) {
+        std::printf("  %s%s\n", window->name().c_str(),
+                    window->GetProperty(agis::uilib::kPropHidden) == "true"
+                        ? " (hidden)"
+                        : "");
+      }
+    } else if (command == "show") {
+      ShowWindow(sys.dispatcher().FindWindow(rest));
+    } else if (command == "explain") {
+      const auto* window = sys.dispatcher().FindWindow(rest);
+      if (window == nullptr) {
+        std::printf("no such window\n");
+        continue;
+      }
+      std::printf("%s\n", sys.dispatcher().ExplainWindow(*window).c_str());
+    } else if (command == "log") {
+      for (const std::string& entry : sys.dispatcher().interaction_log()) {
+        std::printf("  %s\n", entry.c_str());
+      }
+    } else if (command == "save") {
+      const agis::Status status =
+          agis::geodb::SaveDatabaseToFile(sys.db(), rest);
+      std::printf("%s\n", status.ToString().c_str());
+    } else if (command == "load") {
+      auto loaded = agis::geodb::LoadDatabaseFromFile(rest);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        continue;
+      }
+      std::printf("loaded %zu objects across %zu classes (inspect-only; "
+                  "the session keeps its own database)\n",
+                  loaded.value()->NumObjects(),
+                  loaded.value()->schema().NumClasses());
+    } else if (command == "stats") {
+      const auto& engine_stats = sys.engine().stats();
+      const auto& db_stats = sys.db().stats();
+      std::printf(
+          "events=%llu custom_fired=%llu conflicts=%llu | "
+          "get_class=%llu get_value=%llu inserts=%llu vetoed=%llu | "
+          "buffer hit_ratio=%.2f\n",
+          static_cast<unsigned long long>(engine_stats.events_processed),
+          static_cast<unsigned long long>(
+              engine_stats.customization_rules_fired),
+          static_cast<unsigned long long>(engine_stats.conflicts_resolved),
+          static_cast<unsigned long long>(db_stats.get_class_calls),
+          static_cast<unsigned long long>(db_stats.get_value_calls),
+          static_cast<unsigned long long>(db_stats.inserts),
+          static_cast<unsigned long long>(db_stats.vetoed_writes),
+          sys.db().buffer_pool().stats().HitRatio());
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

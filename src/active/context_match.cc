@@ -1,0 +1,52 @@
+#include "active/context_match.h"
+
+namespace agis::active {
+
+bool ContextPattern::Matches(const UserContext& ctx) const {
+  if (!user.empty() && user != ctx.user) return false;
+  if (!category.empty() && category != ctx.category) return false;
+  if (!application.empty() && application != ctx.application) return false;
+  for (const auto& [key, want] : extras) {
+    auto it = ctx.extras.find(key);
+    if (it == ctx.extras.end() || it->second != want) return false;
+  }
+  return true;
+}
+
+int ContextPattern::Specificity() const {
+  // Weights keep the lexicographic order user > category > application
+  // > extras for any realistic number of extras (< 8).
+  int score = 0;
+  if (!user.empty()) score += 64;
+  if (!category.empty()) score += 16;
+  if (!application.empty()) score += 8;
+  score += static_cast<int>(extras.size());
+  return score;
+}
+
+bool ContextPattern::IsStrictlyMoreGeneralThan(
+    const ContextPattern& other) const {
+  auto field_covers = [](const std::string& general,
+                         const std::string& specific) {
+    return general.empty() || general == specific;
+  };
+  if (!field_covers(user, other.user)) return false;
+  if (!field_covers(category, other.category)) return false;
+  if (!field_covers(application, other.application)) return false;
+  for (const auto& [key, want] : extras) {
+    auto it = other.extras.find(key);
+    if (it == other.extras.end() || it->second != want) return false;
+  }
+  return !(*this == other);
+}
+
+std::string ContextPattern::ToString() const {
+  UserContext as_ctx;
+  as_ctx.user = user;
+  as_ctx.category = category;
+  as_ctx.application = application;
+  as_ctx.extras = extras;
+  return as_ctx.ToString();
+}
+
+}  // namespace agis::active

@@ -1,0 +1,48 @@
+#ifndef AGIS_ACTIVE_CONTEXT_MATCH_H_
+#define AGIS_ACTIVE_CONTEXT_MATCH_H_
+
+#include <map>
+#include <string>
+
+#include "base/context.h"
+
+namespace agis::active {
+
+/// The Condition part of a customization rule: a pattern over the
+/// user's working environment. Empty fields are wildcards.
+///
+/// The paper restricts conditions to `<user class, application
+/// domain>` partitions plus "conceivable extensions" (scale, time);
+/// `extras` carries those extensions as exact-match key/value pairs.
+struct ContextPattern {
+  std::string user;
+  std::string category;
+  std::string application;
+  std::map<std::string, std::string> extras;
+
+  /// True when every bound field equals the context's value.
+  bool Matches(const UserContext& ctx) const;
+
+  /// Restrictiveness score implementing the paper's priority order:
+  /// "a rule for generic users, for a particular category of users,
+  /// and for a particular user within the category" are progressively
+  /// more specific. User binding dominates category, category
+  /// dominates application, each extra adds one step below
+  /// application. Higher = more specific.
+  int Specificity() const;
+
+  /// True when this pattern matches a strict superset of the contexts
+  /// `other` matches (used to detect shadowed rules).
+  bool IsStrictlyMoreGeneralThan(const ContextPattern& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const ContextPattern& a, const ContextPattern& b) {
+    return a.user == b.user && a.category == b.category &&
+           a.application == b.application && a.extras == b.extras;
+  }
+};
+
+}  // namespace agis::active
+
+#endif  // AGIS_ACTIVE_CONTEXT_MATCH_H_

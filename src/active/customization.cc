@@ -1,0 +1,59 @@
+#include "active/customization.h"
+
+#include "base/strutil.h"
+
+namespace agis::active {
+
+const char* SchemaDisplayModeName(SchemaDisplayMode mode) {
+  switch (mode) {
+    case SchemaDisplayMode::kDefault:
+      return "default";
+    case SchemaDisplayMode::kHierarchy:
+      return "hierarchy";
+    case SchemaDisplayMode::kUserDefined:
+      return "user-defined";
+    case SchemaDisplayMode::kNull:
+      return "Null";
+  }
+  return "?";
+}
+
+std::string AttributeCustomization::ToString() const {
+  std::string out = agis::StrCat("display attribute ", attribute, " as ",
+                                 hidden ? "Null" : widget);
+  if (!sources.empty()) {
+    out += agis::StrCat(" from ", agis::Join(sources, " "));
+  }
+  if (!callback.empty()) out += agis::StrCat(" using ", callback);
+  return out;
+}
+
+const AttributeCustomization* WindowCustomization::FindAttribute(
+    const std::string& attribute) const {
+  for (const AttributeCustomization& a : attributes) {
+    if (a.attribute == attribute) return &a;
+  }
+  return nullptr;
+}
+
+std::string WindowCustomization::ToString() const {
+  std::string out;
+  if (!target_class.empty()) {
+    out += agis::StrCat("class ", target_class, " ");
+  }
+  out += agis::StrCat("schema_mode=", SchemaDisplayModeName(schema_mode));
+  if (!auto_open_classes.empty()) {
+    out += agis::StrCat(" auto_open=[", agis::Join(auto_open_classes, ","),
+                        "]");
+  }
+  if (!control_widget.empty()) out += agis::StrCat(" control=", control_widget);
+  if (!presentation_format.empty()) {
+    out += agis::StrCat(" presentation=", presentation_format);
+  }
+  for (const AttributeCustomization& a : attributes) {
+    out += agis::StrCat("; ", a.ToString());
+  }
+  return out;
+}
+
+}  // namespace agis::active

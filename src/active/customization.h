@@ -1,0 +1,68 @@
+#ifndef AGIS_ACTIVE_CUSTOMIZATION_H_
+#define AGIS_ACTIVE_CUSTOMIZATION_H_
+
+#include <string>
+#include <vector>
+
+namespace agis::active {
+
+/// How a Schema window presents the class catalog (Figure 3's
+/// `schema ... display as default|hierarchy|user-defined|Null`).
+enum class SchemaDisplayMode { kDefault, kHierarchy, kUserDefined, kNull };
+
+const char* SchemaDisplayModeName(SchemaDisplayMode mode);
+
+/// Per-attribute customization inside an Instance window (Figure 3's
+/// `display attribute <name> as <widget> [from ...] [using ...]`).
+struct AttributeCustomization {
+  std::string attribute;
+  /// Interface-library prototype to render with; empty = default.
+  std::string widget;
+  /// `display attribute ... as Null`: the attribute panel is omitted.
+  bool hidden = false;
+  /// `from` clause: value sources composed into the widget — either
+  /// dotted tuple-field paths ("pole.material") or a method call
+  /// ("get_supplier_name(pole_supplier)").
+  std::vector<std::string> sources;
+  /// `using` clause: callback bound to the widget ("composed_text.notify()").
+  std::string callback;
+
+  std::string ToString() const;
+};
+
+/// The Action payload of one interface-customization rule: everything
+/// the generic interface builder needs to deviate from the default
+/// presentation of one window. This is deliberately *pure data* — the
+/// active mechanism stores and selects it, the builder interprets it,
+/// keeping the two sides independent (the paper's claim (3)).
+struct WindowCustomization {
+  /// Class this customization concerns ("" for Schema windows).
+  std::string target_class;
+
+  // ---- Schema-window directives ----
+  SchemaDisplayMode schema_mode = SchemaDisplayMode::kDefault;
+  /// Classes to open automatically when the Schema window is
+  /// suppressed (`display as Null` + class clauses; Section 4's R1
+  /// issues Get_Class(Pole) straight away).
+  std::vector<std::string> auto_open_classes;
+
+  // ---- Class-set-window directives ----
+  /// `control as <widget>`: library prototype for the control area.
+  std::string control_widget;
+  /// `presentation as <format>`: symbolization for the map area.
+  std::string presentation_format;
+
+  // ---- Instance-window directives ----
+  std::vector<AttributeCustomization> attributes;
+
+  /// Finds the customization for `attribute`; nullptr when the
+  /// attribute keeps its default presentation.
+  const AttributeCustomization* FindAttribute(
+      const std::string& attribute) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace agis::active
+
+#endif  // AGIS_ACTIVE_CUSTOMIZATION_H_

@@ -1,0 +1,36 @@
+#ifndef AGIS_ACTIVE_DB_BRIDGE_H_
+#define AGIS_ACTIVE_DB_BRIDGE_H_
+
+#include "active/engine.h"
+#include "geodb/events.h"
+
+namespace agis::active {
+
+/// Connects a GeoDatabase's event stream to a RuleEngine: before-write
+/// events run the general rule family synchronously (a failing rule
+/// vetoes the write); after events run it for side effects. This is
+/// the "DB Events -> Active Mechanism" arrow of Figure 1.
+///
+/// Register with `db.AddEventSink(&bridge)`; deregister before the
+/// engine dies.
+class DbEventBridge : public geodb::DbEventSink {
+ public:
+  explicit DbEventBridge(RuleEngine* engine) : engine_(engine) {}
+
+  agis::Status OnBeforeEvent(const geodb::DbEvent& event) override {
+    return engine_->FireGeneralRules(FromDbEvent(event));
+  }
+
+  void OnAfterEvent(const geodb::DbEvent& event) override {
+    // After-hooks must not veto; a failing general rule here is a rule
+    // bug, surfaced via the engine's status but not propagated.
+    (void)engine_->FireGeneralRules(FromDbEvent(event));
+  }
+
+ private:
+  RuleEngine* engine_;
+};
+
+}  // namespace agis::active
+
+#endif  // AGIS_ACTIVE_DB_BRIDGE_H_

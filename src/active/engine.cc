@@ -1,0 +1,200 @@
+#include "active/engine.h"
+
+#include <algorithm>
+
+#include "base/strutil.h"
+
+namespace agis::active {
+
+namespace {
+/// Bound on reentrant general-rule cascades; deep recursion means a
+/// rule set triggers itself, which the paper's customization family
+/// rules out by construction but general rules could.
+constexpr int kMaxCascadeDepth = 8;
+}  // namespace
+
+RuleEngine::RuleEngine(ConflictPolicy policy) : policy_(policy) {}
+
+agis::Result<RuleId> RuleEngine::AddRule(EcaRule rule) {
+  if (rule.event_name.empty()) {
+    return agis::Status::InvalidArgument("rule needs an event name");
+  }
+  if (rule.family == RuleFamily::kCustomization &&
+      !rule.customization_action) {
+    return agis::Status::InvalidArgument(
+        agis::StrCat("customization rule '", rule.name,
+                     "' has no customization action"));
+  }
+  if (rule.family == RuleFamily::kGeneral && !rule.general_action) {
+    return agis::Status::InvalidArgument(
+        agis::StrCat("general rule '", rule.name, "' has no action"));
+  }
+  const RuleId id = next_id_++;
+  by_event_[rule.event_name].push_back(id);
+  rules_.emplace(id, std::move(rule));
+  return id;
+}
+
+agis::Status RuleEngine::RemoveRule(RuleId id) {
+  auto it = rules_.find(id);
+  if (it == rules_.end()) {
+    return agis::Status::NotFound(agis::StrCat("rule ", id));
+  }
+  auto& ids = by_event_[it->second.event_name];
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  rules_.erase(it);
+  return agis::Status::OK();
+}
+
+size_t RuleEngine::RemoveRulesByProvenance(const std::string& provenance) {
+  std::vector<RuleId> victims;
+  for (const auto& [id, rule] : rules_) {
+    if (rule.provenance == provenance) victims.push_back(id);
+  }
+  for (RuleId id : victims) {
+    (void)RemoveRule(id);
+  }
+  return victims.size();
+}
+
+size_t RuleEngine::CountRulesByProvenance(
+    const std::string& provenance) const {
+  size_t count = 0;
+  for (const auto& [id, rule] : rules_) {
+    if (rule.provenance == provenance) ++count;
+  }
+  return count;
+}
+
+const EcaRule* RuleEngine::FindRule(RuleId id) const {
+  auto it = rules_.find(id);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+std::vector<const EcaRule*> RuleEngine::MatchingRules(
+    const Event& event) const {
+  std::vector<std::pair<RuleId, const EcaRule*>> hits;
+  auto idx = by_event_.find(event.name);
+  if (idx == by_event_.end()) return {};
+  for (RuleId id : idx->second) {
+    const EcaRule& rule = rules_.at(id);
+    if (rule.Triggers(event)) hits.emplace_back(id, &rule);
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const auto& a, const auto& b) {
+                     const int pa = a.second->EffectivePriority();
+                     const int pb = b.second->EffectivePriority();
+                     if (pa != pb) return pa > pb;
+                     return a.first > b.first;  // Later registration wins.
+                   });
+  std::vector<const EcaRule*> out;
+  out.reserve(hits.size());
+  for (const auto& [id, rule] : hits) out.push_back(rule);
+  return out;
+}
+
+const EcaRule* RuleEngine::SelectCustomizationRule(const Event& event) const {
+  for (const EcaRule* rule : MatchingRules(event)) {
+    if (rule->family == RuleFamily::kCustomization) return rule;
+  }
+  return nullptr;
+}
+
+agis::Result<std::optional<WindowCustomization>> RuleEngine::GetCustomization(
+    const Event& event) {
+  ++stats_.events_processed;
+  std::vector<const EcaRule*> matching;
+  for (const EcaRule* rule : MatchingRules(event)) {
+    if (rule->family == RuleFamily::kCustomization) matching.push_back(rule);
+  }
+  if (matching.empty()) return std::optional<WindowCustomization>();
+  if (matching.size() > 1) ++stats_.conflicts_resolved;
+
+  if (policy_ == ConflictPolicy::kMostSpecific) {
+    ++stats_.customization_rules_fired;
+    AGIS_ASSIGN_OR_RETURN(WindowCustomization cust,
+                          matching.front()->customization_action(event));
+    return std::optional<WindowCustomization>(std::move(cust));
+  }
+
+  // kExecuteAllMerge: apply from most general to most specific.
+  WindowCustomization merged;
+  for (auto it = matching.rbegin(); it != matching.rend(); ++it) {
+    ++stats_.customization_rules_fired;
+    AGIS_ASSIGN_OR_RETURN(WindowCustomization layer,
+                          (*it)->customization_action(event));
+    MergeCustomization(layer, &merged);
+  }
+  return std::optional<WindowCustomization>(std::move(merged));
+}
+
+agis::Status RuleEngine::FireGeneralRules(const Event& event) {
+  ++stats_.events_processed;
+  if (cascade_depth_ >= kMaxCascadeDepth) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("rule cascade exceeded depth ", kMaxCascadeDepth,
+                     " at event ", event.name));
+  }
+  ++cascade_depth_;
+  agis::Status status = agis::Status::OK();
+  for (const EcaRule* rule : MatchingRules(event)) {
+    if (rule->family != RuleFamily::kGeneral) continue;
+    ++stats_.general_rules_fired;
+    status = rule->general_action(event);
+    if (!status.ok()) break;
+  }
+  --cascade_depth_;
+  return status;
+}
+
+std::vector<std::pair<RuleId, RuleId>> RuleEngine::FindShadowedRules() const {
+  std::vector<std::pair<RuleId, RuleId>> out;
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->second.family != RuleFamily::kCustomization) continue;
+    for (auto jt = std::next(it); jt != rules_.end(); ++jt) {
+      if (jt->second.family != RuleFamily::kCustomization) continue;
+      const EcaRule& a = it->second;
+      const EcaRule& b = jt->second;
+      if (a.event_name == b.event_name && a.param_filters == b.param_filters &&
+          a.condition == b.condition &&
+          a.priority_boost == b.priority_boost) {
+        out.emplace_back(it->first, jt->first);
+      }
+    }
+  }
+  return out;
+}
+
+void RuleEngine::MergeCustomization(const WindowCustomization& overlay,
+                                    WindowCustomization* base) {
+  if (!overlay.target_class.empty()) base->target_class = overlay.target_class;
+  if (overlay.schema_mode != SchemaDisplayMode::kDefault) {
+    base->schema_mode = overlay.schema_mode;
+  }
+  for (const std::string& cls : overlay.auto_open_classes) {
+    if (std::find(base->auto_open_classes.begin(),
+                  base->auto_open_classes.end(),
+                  cls) == base->auto_open_classes.end()) {
+      base->auto_open_classes.push_back(cls);
+    }
+  }
+  if (!overlay.control_widget.empty()) {
+    base->control_widget = overlay.control_widget;
+  }
+  if (!overlay.presentation_format.empty()) {
+    base->presentation_format = overlay.presentation_format;
+  }
+  for (const AttributeCustomization& attr : overlay.attributes) {
+    bool replaced = false;
+    for (AttributeCustomization& existing : base->attributes) {
+      if (existing.attribute == attr.attribute) {
+        existing = attr;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) base->attributes.push_back(attr);
+  }
+}
+
+}  // namespace agis::active

@@ -1,0 +1,114 @@
+#ifndef AGIS_ACTIVE_ENGINE_H_
+#define AGIS_ACTIVE_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "active/rule.h"
+#include "base/status.h"
+
+namespace agis::active {
+
+/// How competing customization rules are resolved.
+enum class ConflictPolicy {
+  /// The paper's execution model: only the single most specific
+  /// matching rule runs (Section 3.3).
+  kMostSpecific,
+  /// Ablation for bench C2: run every matching rule in ascending
+  /// specificity, merging payloads (later, more specific ones
+  /// override).
+  kExecuteAllMerge,
+};
+
+/// Engine statistics.
+struct EngineStats {
+  uint64_t events_processed = 0;
+  uint64_t customization_rules_fired = 0;
+  uint64_t general_rules_fired = 0;
+  /// Events that matched more than one customization rule and needed
+  /// conflict resolution.
+  uint64_t conflicts_resolved = 0;
+};
+
+/// The active mechanism: rule registration, event-driven selection,
+/// and family-specific execution semantics.
+///
+/// Customization rules follow the paper's model — among all matching
+/// rules, the one with the most restrictive context wins; ties are
+/// broken by explicit priority boost, then by latest registration
+/// (later rules refine earlier ones). General rules (constraint
+/// maintenance, logging) all fire; the first failing action vetoes
+/// the triggering operation. A depth guard bounds rule cascades.
+class RuleEngine {
+ public:
+  explicit RuleEngine(ConflictPolicy policy = ConflictPolicy::kMostSpecific);
+
+  RuleEngine(const RuleEngine&) = delete;
+  RuleEngine& operator=(const RuleEngine&) = delete;
+
+  /// Registers a rule. Fails when the rule's action is missing or
+  /// does not match its family.
+  agis::Result<RuleId> AddRule(EcaRule rule);
+
+  agis::Status RemoveRule(RuleId id);
+
+  /// Removes every rule whose provenance equals `provenance`
+  /// (uninstalling a compiled customization directive). Returns the
+  /// number removed.
+  size_t RemoveRulesByProvenance(const std::string& provenance);
+
+  /// Number of installed rules carrying `provenance`.
+  size_t CountRulesByProvenance(const std::string& provenance) const;
+
+  size_t NumRules() const { return rules_.size(); }
+  const EcaRule* FindRule(RuleId id) const;
+
+  /// All rules triggered by `event`, highest effective priority first
+  /// (ties: later registration first).
+  std::vector<const EcaRule*> MatchingRules(const Event& event) const;
+
+  /// The customization rule that would win for `event`, or nullptr.
+  const EcaRule* SelectCustomizationRule(const Event& event) const;
+
+  /// Executes the customization family for `event` under the engine's
+  /// conflict policy. nullopt = no matching rule (caller uses the
+  /// generic default presentation).
+  agis::Result<std::optional<WindowCustomization>> GetCustomization(
+      const Event& event);
+
+  /// Executes every matching general rule; the first non-OK action
+  /// status is returned (used as a write veto). Reentrant firing is
+  /// depth-guarded.
+  agis::Status FireGeneralRules(const Event& event);
+
+  /// Pairs (shadowed, shadowing) of customization rules where the
+  /// first can never be selected: same event selector, identical
+  /// condition and boost, later registration wins ties. Diagnostic
+  /// for application designers.
+  std::vector<std::pair<RuleId, RuleId>> FindShadowedRules() const;
+
+  const EngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EngineStats(); }
+  ConflictPolicy policy() const { return policy_; }
+
+ private:
+  /// Merges `overlay` (more specific) over `base` for the
+  /// execute-all-merge ablation policy.
+  static void MergeCustomization(const WindowCustomization& overlay,
+                                 WindowCustomization* base);
+
+  ConflictPolicy policy_;
+  /// Rules keyed by id; map order == registration order.
+  std::map<RuleId, EcaRule> rules_;
+  /// Index: event name -> rule ids (ascending).
+  std::map<std::string, std::vector<RuleId>> by_event_;
+  RuleId next_id_ = 1;
+  int cascade_depth_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace agis::active
+
+#endif  // AGIS_ACTIVE_ENGINE_H_

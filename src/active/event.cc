@@ -1,0 +1,44 @@
+#include "active/event.h"
+
+#include "base/strutil.h"
+#include "geom/wkt.h"
+
+namespace agis::active {
+
+const std::string& Event::Param(const std::string& key) const {
+  static const std::string* kEmpty = new std::string();
+  auto it = params.find(key);
+  return it == params.end() ? *kEmpty : it->second;
+}
+
+std::string Event::ToString() const {
+  std::string out = agis::StrCat(name, " ", context.ToString());
+  for (const auto& [k, v] : params) {
+    out += agis::StrCat(" ", k, "=", v);
+  }
+  return out;
+}
+
+Event FromDbEvent(const geodb::DbEvent& db_event) {
+  Event e;
+  e.name = geodb::DbEventKindName(db_event.kind);
+  e.context = db_event.context;
+  if (!db_event.schema_name.empty()) e.params["schema"] = db_event.schema_name;
+  if (!db_event.class_name.empty()) e.params["class"] = db_event.class_name;
+  if (db_event.object_id != 0) {
+    e.params["object"] = agis::StrCat(db_event.object_id);
+  }
+  if (!db_event.attribute.empty()) e.params["attribute"] = db_event.attribute;
+  // Geometry payloads travel as WKT so constraint-rule actions can
+  // validate writes without reaching back into the (still unmodified)
+  // store for the incoming value.
+  if (db_event.new_value.kind() == geodb::ValueKind::kGeometry) {
+    e.params["new_wkt"] = geom::ToWkt(db_event.new_value.geometry_value());
+  }
+  if (db_event.old_value.kind() == geodb::ValueKind::kGeometry) {
+    e.params["old_wkt"] = geom::ToWkt(db_event.old_value.geometry_value());
+  }
+  return e;
+}
+
+}  // namespace agis::active

@@ -1,0 +1,44 @@
+#ifndef AGIS_ACTIVE_EVENT_H_
+#define AGIS_ACTIVE_EVENT_H_
+
+#include <map>
+#include <string>
+
+#include "base/context.h"
+#include "geodb/events.h"
+
+namespace agis::active {
+
+/// A signal the active mechanism reacts to. Events are *named*, not a
+/// closed enum: the paper's point is that interface customization only
+/// adds "a new type of rules and events" to a general active engine,
+/// so the engine stays agnostic of where events come from.
+///
+/// Conventions used by this system:
+///  - database events carry the `Get_Schema` / `Get_Class` /
+///    `Get_Value` / `Before_Update` / ... names of geodb::DbEventKind;
+///  - interface events use an "ui." prefix ("ui.click", "ui.select");
+///  - external events use an "ext." prefix.
+struct Event {
+  std::string name;
+  UserContext context;
+  /// Free-form parameters: "schema", "class", "object", "attribute"...
+  std::map<std::string, std::string> params;
+
+  /// Parameter accessor; empty string when absent.
+  const std::string& Param(const std::string& key) const;
+
+  std::string ToString() const;
+};
+
+/// Adapts a database event to the active mechanism's vocabulary.
+Event FromDbEvent(const geodb::DbEvent& db_event);
+
+/// Canonical event names for the exploratory primitives.
+inline constexpr const char* kEventGetSchema = "Get_Schema";
+inline constexpr const char* kEventGetClass = "Get_Class";
+inline constexpr const char* kEventGetValue = "Get_Value";
+
+}  // namespace agis::active
+
+#endif  // AGIS_ACTIVE_EVENT_H_

@@ -1,0 +1,28 @@
+#include "active/rule.h"
+
+#include "base/strutil.h"
+
+namespace agis::active {
+
+bool EcaRule::Triggers(const Event& event) const {
+  if (event_name != event.name) return false;
+  for (const auto& [key, want] : param_filters) {
+    if (event.Param(key) != want) return false;
+  }
+  return condition.Matches(event.context);
+}
+
+std::string EcaRule::ToString() const {
+  std::string out = agis::StrCat("rule ", name, ": On ", event_name);
+  for (const auto& [key, want] : param_filters) {
+    out += agis::StrCat("[", key, "=", want, "]");
+  }
+  out += agis::StrCat(" If ", condition.ToString(), " Then ");
+  out += family == RuleFamily::kCustomization ? "<customize>" : "<action>";
+  if (priority_boost != 0) {
+    out += agis::StrCat(" (boost ", priority_boost, ")");
+  }
+  return out;
+}
+
+}  // namespace agis::active

@@ -1,0 +1,77 @@
+#ifndef AGIS_ACTIVE_RULE_H_
+#define AGIS_ACTIVE_RULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "active/context_match.h"
+#include "active/customization.h"
+#include "active/event.h"
+#include "base/status.h"
+
+namespace agis::active {
+
+using RuleId = uint64_t;
+
+/// Which family a rule belongs to. The paper partitions the rule set
+/// into "rules for interface customization, and other rules"; the
+/// families have different conflict-resolution semantics (see
+/// RuleEngine).
+enum class RuleFamily {
+  /// On Event If <context> Then apply customization: exactly one —
+  /// the most specific matching — executes per event.
+  kCustomization,
+  /// Constraint-maintenance / general rules: all matching execute.
+  kGeneral,
+};
+
+/// One E-C-A rule.
+///
+///   On   `event_name`  (+ optional event parameter filters)
+///   If   `condition` matches the event's context
+///   Then run the family-specific action.
+struct EcaRule {
+  std::string name;
+  RuleFamily family = RuleFamily::kCustomization;
+
+  // ---- Event part ----
+  std::string event_name;
+  /// Additional exact-match filters on event params, e.g.
+  /// {"class", "Pole"} so a Get_Class rule fires only for Pole.
+  std::map<std::string, std::string> param_filters;
+
+  // ---- Condition part ----
+  ContextPattern condition;
+
+  /// Explicit priority added on top of context specificity; lets an
+  /// application designer pin a winner among equally specific rules.
+  int priority_boost = 0;
+
+  // ---- Action part ----
+  /// For kCustomization rules: produces the customization payload.
+  std::function<agis::Result<WindowCustomization>(const Event&)>
+      customization_action;
+  /// For kGeneral rules: arbitrary reaction; a non-OK status vetoes
+  /// the triggering operation when fired from a before-write hook.
+  std::function<agis::Status(const Event&)> general_action;
+
+  /// Provenance, e.g. the customization-language directive this rule
+  /// was compiled from.
+  std::string provenance;
+
+  /// True when the rule's event selector and condition accept `event`.
+  bool Triggers(const Event& event) const;
+
+  /// Total priority: boost first, then context specificity.
+  /// Deterministic tie-breaking uses registration ids (see engine).
+  int EffectivePriority() const {
+    return priority_boost * 1024 + condition.Specificity();
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace agis::active
+
+#endif  // AGIS_ACTIVE_RULE_H_

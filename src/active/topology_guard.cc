@@ -1,0 +1,191 @@
+#include "active/topology_guard.h"
+
+#include "base/logging.h"
+#include "base/strutil.h"
+#include "geom/predicates.h"
+#include "geom/wkt.h"
+
+namespace agis::active {
+
+std::string TopologyConstraint::ToString() const {
+  std::string out =
+      agis::StrCat(name, ": ", subject_class, " ",
+                   quantifier == Quantifier::kForAll ? "forall " : "exists ",
+                   geom::TopoRelationName(relation), " ", object_class);
+  if (min_distance > 0) {
+    out += agis::StrCat(" (min_distance ", agis::DoubleToString(min_distance),
+                        ")");
+  }
+  out += on_violation == OnViolation::kReject ? " [reject]" : " [warn]";
+  return out;
+}
+
+std::string TopologyViolation::ToString() const {
+  if (counterpart == 0) {
+    return agis::StrCat(constraint, ": object ", subject,
+                        " has no qualifying counterpart");
+  }
+  return agis::StrCat(constraint, ": object ", subject, " vs ", counterpart);
+}
+
+TopologyGuard::TopologyGuard(geodb::GeoDatabase* db, RuleEngine* engine)
+    : db_(db), engine_(engine) {}
+
+agis::Status TopologyGuard::CheckConstraint(
+    const TopologyConstraint& c, const geom::Geometry& subject_geometry,
+    geodb::ObjectId subject_id) const {
+  const std::string object_geom_attr =
+      db_->GeometryAttributeOf(c.object_class);
+  if (object_geom_attr.empty()) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("class '", c.object_class, "' has no geometry"));
+  }
+
+  // Narrow the counterpart scan when only nearby objects can decide
+  // the outcome (disjointness / clearance checks).
+  std::optional<geom::BoundingBox> window;
+  if (c.relation == geom::TopoRelation::kDisjoint &&
+      c.quantifier == TopologyConstraint::Quantifier::kForAll) {
+    window = subject_geometry.Bounds().Inflated(c.min_distance + 1.0);
+  }
+  auto candidates = db_->ScanExtent(c.object_class, window);
+  AGIS_RETURN_IF_ERROR(candidates.status());
+
+  bool exists_satisfied = false;
+  for (geodb::ObjectId other_id : candidates.value()) {
+    if (other_id == subject_id) continue;
+    const geodb::ObjectInstance* other = db_->FindObject(other_id);
+    if (other == nullptr) continue;
+    const geodb::Value& gv = other->Get(object_geom_attr);
+    if (gv.is_null()) continue;
+    const geom::Geometry& other_geom = gv.geometry_value();
+
+    bool ok = geom::Satisfies(subject_geometry, other_geom, c.relation);
+    if (ok && c.min_distance > 0 &&
+        c.relation == geom::TopoRelation::kDisjoint) {
+      ok = geom::Distance(subject_geometry, other_geom) >= c.min_distance;
+    }
+    if (c.quantifier == TopologyConstraint::Quantifier::kForAll) {
+      if (!ok) {
+        return agis::Status::ConstraintViolation(
+            agis::StrCat(c.name, ": violates against object ", other_id));
+      }
+    } else if (ok) {
+      exists_satisfied = true;
+      break;
+    }
+  }
+  if (c.quantifier == TopologyConstraint::Quantifier::kExists &&
+      !exists_satisfied) {
+    return agis::Status::ConstraintViolation(
+        agis::StrCat(c.name, ": no instance of ", c.object_class,
+                     " satisfies ", geom::TopoRelationName(c.relation)));
+  }
+  return agis::Status::OK();
+}
+
+agis::Result<std::vector<RuleId>> TopologyGuard::AddConstraint(
+    TopologyConstraint c) {
+  if (!db_->schema().HasClass(c.subject_class)) {
+    return agis::Status::NotFound(
+        agis::StrCat("subject class '", c.subject_class, "'"));
+  }
+  if (!db_->schema().HasClass(c.object_class)) {
+    return agis::Status::NotFound(
+        agis::StrCat("object class '", c.object_class, "'"));
+  }
+  const std::string subject_attr = db_->GeometryAttributeOf(c.subject_class);
+  if (subject_attr.empty()) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("class '", c.subject_class, "' has no geometry"));
+  }
+  if (db_->GeometryAttributeOf(c.object_class).empty()) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("class '", c.object_class, "' has no geometry"));
+  }
+
+  const TopologyConstraint constraint = c;
+  const std::string provenance = agis::StrCat("topology:", c.name);
+  std::vector<RuleId> ids;
+  for (const char* event_name : {"Before_Insert", "Before_Update"}) {
+    EcaRule rule;
+    rule.name = agis::StrCat(c.name, "@", event_name);
+    rule.family = RuleFamily::kGeneral;
+    rule.event_name = event_name;
+    rule.param_filters["class"] = c.subject_class;
+    rule.provenance = provenance;
+    rule.general_action = [this, constraint](const Event& event) {
+      const std::string& wkt = event.Param("new_wkt");
+      if (wkt.empty()) return agis::Status::OK();  // Non-geometry write.
+      auto parsed = geom::ParseWkt(wkt);
+      AGIS_RETURN_IF_ERROR(parsed.status());
+      geodb::ObjectId subject_id = 0;
+      const std::string& id_str = event.Param("object");
+      if (!id_str.empty()) subject_id = std::stoull(id_str);
+      const agis::Status check =
+          CheckConstraint(constraint, parsed.value(), subject_id);
+      if (check.ok()) return check;
+      ++violations_detected_;
+      if (constraint.on_violation ==
+          TopologyConstraint::OnViolation::kWarn) {
+        ++warnings_issued_;
+        AGIS_LOG(Warning) << "topology warning: " << check.message();
+        return agis::Status::OK();
+      }
+      return check;
+    };
+    auto added = engine_->AddRule(std::move(rule));
+    AGIS_RETURN_IF_ERROR(added.status());
+    ids.push_back(added.value());
+  }
+  constraints_.push_back(std::move(c));
+  return ids;
+}
+
+size_t TopologyGuard::RemoveConstraint(const std::string& name) {
+  const size_t removed =
+      engine_->RemoveRulesByProvenance(agis::StrCat("topology:", name));
+  for (auto it = constraints_.begin(); it != constraints_.end(); ++it) {
+    if (it->name == name) {
+      constraints_.erase(it);
+      break;
+    }
+  }
+  return removed;
+}
+
+agis::Status TopologyGuard::CheckHypothetical(
+    const std::string& subject_class, const geom::Geometry& geometry,
+    geodb::ObjectId exclude_id) const {
+  for (const TopologyConstraint& c : constraints_) {
+    if (c.subject_class != subject_class) continue;
+    AGIS_RETURN_IF_ERROR(CheckConstraint(c, geometry, exclude_id));
+  }
+  return agis::Status::OK();
+}
+
+std::vector<TopologyViolation> TopologyGuard::CheckAll() const {
+  std::vector<TopologyViolation> out;
+  for (const TopologyConstraint& c : constraints_) {
+    const std::string subject_attr = db_->GeometryAttributeOf(c.subject_class);
+    auto subjects = db_->ScanExtent(c.subject_class);
+    if (!subjects.ok()) continue;
+    for (geodb::ObjectId id : subjects.value()) {
+      const geodb::ObjectInstance* obj = db_->FindObject(id);
+      if (obj == nullptr) continue;
+      const geodb::Value& gv = obj->Get(subject_attr);
+      if (gv.is_null()) continue;
+      const agis::Status check =
+          CheckConstraint(c, gv.geometry_value(), id);
+      if (!check.ok()) {
+        TopologyViolation v;
+        v.constraint = c.name;
+        v.subject = id;
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace agis::active

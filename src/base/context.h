@@ -1,0 +1,48 @@
+#ifndef AGIS_BASE_CONTEXT_H_
+#define AGIS_BASE_CONTEXT_H_
+
+#include <map>
+#include <string>
+
+namespace agis {
+
+/// The working environment a user interaction happens in — the tuple
+/// `<user class, application domain>` of the paper (Section 3.3),
+/// carried on every event so customization-rule conditions can check
+/// it. `extras` holds the paper's "conceivable extensions" (geographic
+/// scale, time framework) as free-form dimensions.
+///
+/// Empty fields mean "unspecified"; a rule condition with an empty
+/// field matches any value of that field (see active/context_match.h).
+struct UserContext {
+  std::string user;         // e.g. "juliano"
+  std::string category;     // user class, e.g. "network_planner"
+  std::string application;  // application domain, e.g. "pole_manager"
+  std::map<std::string, std::string> extras;  // e.g. {"scale", "1:10000"}
+
+  friend bool operator==(const UserContext& a, const UserContext& b) {
+    return a.user == b.user && a.category == b.category &&
+           a.application == b.application && a.extras == b.extras;
+  }
+
+  std::string ToString() const {
+    std::string out = "<";
+    out += user.empty() ? "*" : user;
+    out += ", ";
+    out += category.empty() ? "*" : category;
+    out += ", ";
+    out += application.empty() ? "*" : application;
+    for (const auto& [k, v] : extras) {
+      out += ", ";
+      out += k;
+      out += "=";
+      out += v;
+    }
+    out += ">";
+    return out;
+  }
+};
+
+}  // namespace agis
+
+#endif  // AGIS_BASE_CONTEXT_H_

@@ -1,0 +1,63 @@
+#ifndef AGIS_BASE_LOGGING_H_
+#define AGIS_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace agis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kWarning so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style single-message emitter; flushes to stderr on
+/// destruction. `fatal` additionally aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace agis
+
+#define AGIS_LOG(level)                                              \
+  ::agis::internal_logging::LogMessage(::agis::LogLevel::k##level, \
+                                       __FILE__, __LINE__)
+
+/// Hard invariant check: logs and aborts when `cond` is false.
+/// Used for programming errors only, never for runtime conditions.
+#define AGIS_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::agis::internal_logging::LogMessage(::agis::LogLevel::kError,          \
+                                       __FILE__, __LINE__, /*fatal=*/true) \
+      << "Check failed: " #cond " "
+
+#define AGIS_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    const ::agis::Status _agis_check_status = (expr);                     \
+    AGIS_CHECK(_agis_check_status.ok()) << _agis_check_status.ToString(); \
+  } while (false)
+
+#endif  // AGIS_BASE_LOGGING_H_

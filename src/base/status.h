@@ -1,0 +1,217 @@
+#ifndef AGIS_BASE_STATUS_H_
+#define AGIS_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace agis {
+
+/// Error category for a `Status`. Values mirror the common
+/// Arrow/RocksDB-style taxonomy; `kParseError`, `kConstraintViolation`
+/// and `kPermissionDenied` are domain additions used by the
+/// customization-language compiler, the topology rule family, and the
+/// access-rights checks respectively.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kConstraintViolation,
+  kPermissionDenied,
+};
+
+/// Returns a stable human-readable name ("NotFound", ...) for `code`.
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome carried across every public API boundary in this
+/// codebase; exceptions are never thrown across module boundaries.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and
+/// carries a message otherwise. Use the factory functions
+/// (`Status::NotFound(...)`) rather than the code constructor directly.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns this status with `context + ": "` prepended to the message;
+  /// OK statuses pass through unchanged.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Value-or-error, the return type for every fallible producer.
+///
+/// `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the
+/// value of an errored result aborts (programming error), so callers
+/// must check `ok()` first or use `ValueOr`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in functions
+  /// returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    // An OK status without a value would make the Result unusable.
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      // Deliberate hard stop: accessing the value of an errored Result
+      // is a bug in the caller, not a runtime condition.
+      fprintf(stderr, "Fatal: Result::value() on error: %s\n",
+              std::get<Status>(repr_).ToString().c_str());
+      abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK `Status` to the caller.
+#define AGIS_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    ::agis::Status _agis_status = (expr);             \
+    if (!_agis_status.ok()) return _agis_status;      \
+  } while (false)
+
+/// Evaluates a Result-returning `expr`; on error returns its status,
+/// otherwise assigns the value to `lhs`.
+#define AGIS_ASSIGN_OR_RETURN(lhs, expr)              \
+  AGIS_ASSIGN_OR_RETURN_IMPL_(                        \
+      AGIS_STATUS_CONCAT_(_agis_result, __LINE__), lhs, expr)
+
+#define AGIS_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define AGIS_STATUS_CONCAT_INNER_(a, b) a##b
+#define AGIS_STATUS_CONCAT_(a, b) AGIS_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace agis
+
+#endif  // AGIS_BASE_STATUS_H_

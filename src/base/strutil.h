@@ -1,0 +1,66 @@
+#ifndef AGIS_BASE_STRUTIL_H_
+#define AGIS_BASE_STRUTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agis {
+
+/// Splits `s` on `sep`, keeping empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any run of ASCII whitespace, dropping empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing (locale-independent).
+std::string ToUpper(std::string_view s);
+
+/// True if `s` and `t` match ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view t);
+
+/// Repeats `s` `n` times.
+std::string Repeat(std::string_view s, size_t n);
+
+/// Pads `s` with spaces on the right to width `w` (returns `s`
+/// unchanged when already at least `w` wide).
+std::string PadRight(std::string_view s, size_t w);
+
+/// Formats `v` with `%g`-style shortest representation that still
+/// round-trips reasonably for display (6 significant digits).
+std::string DoubleToString(double v);
+
+namespace internal_strutil {
+inline void StrCatAppend(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrCatAppend(std::ostringstream& os, const T& head,
+                  const Rest&... rest) {
+  os << head;
+  StrCatAppend(os, rest...);
+}
+}  // namespace internal_strutil
+
+/// Concatenates the stream representations of all arguments.
+/// Lightweight stand-in for absl::StrCat / std::format (libstdc++ 12
+/// lacks <format>).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_strutil::StrCatAppend(os, args...);
+  return os.str();
+}
+
+}  // namespace agis
+
+#endif  // AGIS_BASE_STRUTIL_H_

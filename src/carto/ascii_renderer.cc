@@ -1,0 +1,133 @@
+#include "carto/ascii_renderer.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "geom/predicates.h"
+
+namespace agis::carto {
+
+namespace {
+const SymbolStyle& FallbackStyle() {
+  static const SymbolStyle* kStyle = new SymbolStyle();
+  return *kStyle;
+}
+}  // namespace
+
+void AsciiRenderer::Plot(const PixelPoint& px, char glyph,
+                         std::vector<std::string>* grid) const {
+  if (px.y < 0 || px.y >= static_cast<int>(grid->size())) return;
+  std::string& row = (*grid)[static_cast<size_t>(px.y)];
+  if (px.x < 0 || px.x >= static_cast<int>(row.size())) return;
+  row[static_cast<size_t>(px.x)] = glyph;
+}
+
+void AsciiRenderer::DrawSegment(const MapCanvas& canvas, const geom::Point& a,
+                                const geom::Point& b, char glyph,
+                                std::vector<std::string>* grid) const {
+  const PixelPoint pa = canvas.ToPixel(a);
+  const PixelPoint pb = canvas.ToPixel(b);
+  // Bresenham.
+  int x0 = pa.x, y0 = pa.y;
+  const int x1 = pb.x, y1 = pb.y;
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    Plot(PixelPoint{x0, y0}, glyph, grid);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void AsciiRenderer::DrawFeature(const MapCanvas& canvas,
+                                const StyledFeature& feature,
+                                std::vector<std::string>* grid) const {
+  const SymbolStyle* style = styles_->Find(feature.style);
+  if (style == nullptr) style = &FallbackStyle();
+  const char glyph = style->ascii_char;
+  const geom::Geometry& g = feature.geometry;
+  switch (g.kind()) {
+    case geom::GeometryKind::kPoint:
+      Plot(canvas.ToPixel(g.point()), glyph, grid);
+      break;
+    case geom::GeometryKind::kMultiPoint:
+      for (const geom::Point& p : g.multipoint()) {
+        Plot(canvas.ToPixel(p), glyph, grid);
+      }
+      break;
+    case geom::GeometryKind::kLineString: {
+      const auto& pts = g.linestring().points;
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        DrawSegment(canvas, pts[i], pts[i + 1], glyph, grid);
+      }
+      break;
+    }
+    case geom::GeometryKind::kPolygon: {
+      const geom::Polygon& poly = g.polygon();
+      if (style->fill) {
+        // Cell-center containment scan over the polygon's pixel bbox.
+        const PixelPoint lo = canvas.ToPixel(
+            geom::Point{g.Bounds().min_x, g.Bounds().max_y});
+        const PixelPoint hi = canvas.ToPixel(
+            geom::Point{g.Bounds().max_x, g.Bounds().min_y});
+        for (int y = lo.y; y <= hi.y; ++y) {
+          for (int x = lo.x; x <= hi.x; ++x) {
+            const geom::Point center = canvas.ToMap(PixelPoint{x, y});
+            if (geom::ClassifyPointInPolygon(center, poly) ==
+                geom::RingSide::kInside) {
+              Plot(PixelPoint{x, y}, glyph, grid);
+            }
+          }
+        }
+      }
+      // Outline always drawn (over the fill), using a lighter glyph
+      // for filled styles so edges read distinctly.
+      const char edge = style->fill ? '%' : glyph;
+      auto draw_ring = [&](const std::vector<geom::Point>& ring) {
+        for (size_t i = 0; i < ring.size(); ++i) {
+          DrawSegment(canvas, ring[i], ring[(i + 1) % ring.size()], edge,
+                      grid);
+        }
+      };
+      draw_ring(poly.outer);
+      for (const auto& hole : poly.holes) draw_ring(hole);
+      break;
+    }
+  }
+}
+
+std::vector<std::string> AsciiRenderer::RenderRows(
+    const MapCanvas& canvas) const {
+  std::vector<std::string> grid(
+      static_cast<size_t>(canvas.height()),
+      std::string(static_cast<size_t>(canvas.width()), ' '));
+  for (const StyledFeature& f : canvas.features()) {
+    DrawFeature(canvas, f, &grid);
+  }
+  return grid;
+}
+
+std::string AsciiRenderer::RenderFramed(const MapCanvas& canvas) const {
+  const std::vector<std::string> rows = RenderRows(canvas);
+  std::string out;
+  const std::string bar(static_cast<size_t>(canvas.width()) + 2, '-');
+  out += "+" + std::string(bar.begin() + 1, bar.end() - 1) + "+\n";
+  for (const std::string& row : rows) {
+    out += "|" + row + "|\n";
+  }
+  out += "+" + std::string(bar.begin() + 1, bar.end() - 1) + "+\n";
+  return out;
+}
+
+}  // namespace agis::carto

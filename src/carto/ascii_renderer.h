@@ -1,0 +1,40 @@
+#ifndef AGIS_CARTO_ASCII_RENDERER_H_
+#define AGIS_CARTO_ASCII_RENDERER_H_
+
+#include <string>
+#include <vector>
+
+#include "carto/canvas.h"
+#include "carto/style.h"
+
+namespace agis::carto {
+
+/// Renders a canvas to a character raster. Points draw their style
+/// glyph; lines are rasterized with Bresenham; polygons draw their
+/// outline, plus an interior fill for filled styles. Later features
+/// overdraw earlier ones (paint order = add order).
+class AsciiRenderer {
+ public:
+  explicit AsciiRenderer(const StyleRegistry* styles) : styles_(styles) {}
+
+  /// One string per raster row, each exactly canvas.width() chars.
+  std::vector<std::string> RenderRows(const MapCanvas& canvas) const;
+
+  /// RenderRows joined with newlines, with a border frame.
+  std::string RenderFramed(const MapCanvas& canvas) const;
+
+ private:
+  void DrawFeature(const MapCanvas& canvas, const StyledFeature& feature,
+                   std::vector<std::string>* grid) const;
+  void DrawSegment(const MapCanvas& canvas, const geom::Point& a,
+                   const geom::Point& b, char glyph,
+                   std::vector<std::string>* grid) const;
+  void Plot(const PixelPoint& px, char glyph,
+            std::vector<std::string>* grid) const;
+
+  const StyleRegistry* styles_;
+};
+
+}  // namespace agis::carto
+
+#endif  // AGIS_CARTO_ASCII_RENDERER_H_

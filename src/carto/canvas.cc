@@ -1,0 +1,73 @@
+#include "carto/canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+#include "geom/predicates.h"
+
+namespace agis::carto {
+
+MapCanvas::MapCanvas(const geom::BoundingBox& viewport, int width, int height)
+    : viewport_(viewport), width_(std::max(width, 1)),
+      height_(std::max(height, 1)) {
+  AGIS_CHECK(!viewport.empty()) << "canvas viewport must be non-empty";
+}
+
+void MapCanvas::AddFeature(StyledFeature feature) {
+  features_.push_back(std::move(feature));
+}
+
+double MapCanvas::UnitsPerCellX() const {
+  return viewport_.Width() / static_cast<double>(width_);
+}
+
+double MapCanvas::UnitsPerCellY() const {
+  return viewport_.Height() / static_cast<double>(height_);
+}
+
+PixelPoint MapCanvas::ToPixel(const geom::Point& p) const {
+  const double fx = (p.x - viewport_.min_x) / viewport_.Width();
+  const double fy = (p.y - viewport_.min_y) / viewport_.Height();
+  PixelPoint out;
+  out.x = static_cast<int>(std::floor(fx * width_));
+  out.y = static_cast<int>(std::floor((1.0 - fy) * height_));
+  out.x = std::clamp(out.x, 0, width_ - 1);
+  out.y = std::clamp(out.y, 0, height_ - 1);
+  return out;
+}
+
+geom::Point MapCanvas::ToMap(const PixelPoint& px) const {
+  const double fx = (static_cast<double>(px.x) + 0.5) / width_;
+  const double fy = 1.0 - (static_cast<double>(px.y) + 0.5) / height_;
+  return geom::Point{viewport_.min_x + fx * viewport_.Width(),
+                     viewport_.min_y + fy * viewport_.Height()};
+}
+
+geodb::ObjectId MapCanvas::HitTest(const geom::Point& p,
+                                   double tolerance) const {
+  geodb::ObjectId best = 0;
+  double best_dist = tolerance;
+  const geom::Geometry probe = geom::Geometry::FromPoint(p);
+  for (const StyledFeature& f : features_) {
+    const double d = geom::Distance(probe, f.geometry);
+    if (d <= best_dist) {
+      best_dist = d;
+      best = f.id;
+    }
+  }
+  return best;
+}
+
+geom::BoundingBox MapCanvas::FitBounds(
+    const std::vector<StyledFeature>& features, double margin_frac) {
+  geom::BoundingBox box;
+  for (const StyledFeature& f : features) box.Expand(f.geometry.Bounds());
+  if (box.empty()) return geom::BoundingBox(0, 0, 1, 1);
+  double margin =
+      std::max(box.Width(), box.Height()) * std::max(margin_frac, 0.0);
+  if (margin <= 0) margin = 1.0;  // Degenerate single-point extent.
+  return box.Inflated(margin);
+}
+
+}  // namespace agis::carto

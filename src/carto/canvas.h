@@ -1,0 +1,80 @@
+#ifndef AGIS_CARTO_CANVAS_H_
+#define AGIS_CARTO_CANVAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geodb/value.h"
+#include "geom/bbox.h"
+#include "geom/geometry.h"
+
+namespace agis::carto {
+
+/// One feature queued for rendering: geometry + presentation format +
+/// provenance (object id, for hit testing in the presentation area).
+struct StyledFeature {
+  geodb::ObjectId id = 0;
+  geom::Geometry geometry;
+  std::string style = "defaultFormat";
+  std::string label;
+};
+
+/// Pixel-space coordinate.
+struct PixelPoint {
+  int x = 0;
+  int y = 0;
+};
+
+/// A map presentation surface: a viewport in map units projected onto
+/// a raster of `width` x `height` cells (text columns/rows for the
+/// ASCII renderer, logical pixels for SVG).
+///
+/// y grows *north* in map units and *down* in raster space; ToPixel
+/// flips accordingly.
+class MapCanvas {
+ public:
+  MapCanvas(const geom::BoundingBox& viewport, int width, int height);
+
+  void AddFeature(StyledFeature feature);
+  void Clear() { features_.clear(); }
+
+  const std::vector<StyledFeature>& features() const { return features_; }
+  const geom::BoundingBox& viewport() const { return viewport_; }
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Cartographic scale denominators per axis (map units per cell).
+  double UnitsPerCellX() const;
+  double UnitsPerCellY() const;
+
+  PixelPoint ToPixel(const geom::Point& p) const;
+
+  /// Inverse transform to the cell's center point in map units.
+  geom::Point ToMap(const PixelPoint& px) const;
+
+  /// True when the pixel is on the raster.
+  bool InRaster(const PixelPoint& px) const {
+    return px.x >= 0 && px.x < width_ && px.y >= 0 && px.y < height_;
+  }
+
+  /// The feature whose geometry is closest to map point `p` within
+  /// `tolerance` map units; 0 when none (hit testing for instance
+  /// selection in the presentation area).
+  geodb::ObjectId HitTest(const geom::Point& p, double tolerance) const;
+
+  /// Viewport covering all feature bounds inflated by `margin_frac`
+  /// of the larger dimension (10% default framing).
+  static geom::BoundingBox FitBounds(const std::vector<StyledFeature>& features,
+                                     double margin_frac = 0.1);
+
+ private:
+  geom::BoundingBox viewport_;
+  int width_;
+  int height_;
+  std::vector<StyledFeature> features_;
+};
+
+}  // namespace agis::carto
+
+#endif  // AGIS_CARTO_CANVAS_H_

@@ -1,0 +1,90 @@
+#include "carto/style.h"
+
+#include <algorithm>
+
+#include "base/strutil.h"
+
+namespace agis::carto {
+
+agis::Status StyleRegistry::Register(SymbolStyle style, bool allow_replace) {
+  if (style.name.empty()) {
+    return agis::Status::InvalidArgument("style needs a name");
+  }
+  auto it = styles_.find(style.name);
+  if (it != styles_.end()) {
+    if (!allow_replace) {
+      return agis::Status::AlreadyExists(
+          agis::StrCat("style '", style.name, "'"));
+    }
+    it->second = std::move(style);
+    return agis::Status::OK();
+  }
+  order_.push_back(style.name);
+  styles_.emplace(style.name, std::move(style));
+  return agis::Status::OK();
+}
+
+const SymbolStyle* StyleRegistry::Find(const std::string& name) const {
+  auto it = styles_.find(name);
+  return it == styles_.end() ? nullptr : &it->second;
+}
+
+agis::Status StyleRegistry::RegisterStandardFormats() {
+  SymbolStyle def;
+  def.name = "defaultFormat";
+  def.marker = MarkerShape::kSquare;
+  def.ascii_char = 'o';
+  def.doc = "generic presentation used when no customization applies";
+  AGIS_RETURN_IF_ERROR(Register(def));
+
+  SymbolStyle point;
+  point.name = "pointFormat";
+  point.marker = MarkerShape::kDot;
+  point.ascii_char = '*';
+  point.point_radius = 2.0;
+  point.doc = "point symbol (Figure 6, line 5)";
+  AGIS_RETURN_IF_ERROR(Register(point));
+
+  SymbolStyle cross;
+  cross.name = "crossFormat";
+  cross.marker = MarkerShape::kCross;
+  cross.ascii_char = '+';
+  cross.doc = "cross marker for survey points";
+  AGIS_RETURN_IF_ERROR(Register(cross));
+
+  SymbolStyle line;
+  line.name = "lineFormat";
+  line.ascii_char = '-';
+  line.stroke_width = 1.5;
+  line.stroke_color = "#8c1f1f";
+  line.doc = "polyline rendering for network elements";
+  AGIS_RETURN_IF_ERROR(Register(line));
+
+  SymbolStyle fill;
+  fill.name = "fillFormat";
+  fill.ascii_char = '#';
+  fill.fill = true;
+  fill.doc = "filled areas";
+  AGIS_RETURN_IF_ERROR(Register(fill));
+
+  SymbolStyle region;
+  region.name = "regionFormat";
+  region.ascii_char = ':';
+  region.fill = true;
+  region.fill_color = "#e6f0d8";
+  region.stroke_color = "#5a7a3a";
+  region.doc = "administrative / service regions";
+  AGIS_RETURN_IF_ERROR(Register(region));
+
+  SymbolStyle highlight;
+  highlight.name = "highlightFormat";
+  highlight.marker = MarkerShape::kCircle;
+  highlight.ascii_char = '@';
+  highlight.stroke_color = "#cc3300";
+  highlight.stroke_width = 2.0;
+  highlight.point_radius = 4.0;
+  highlight.doc = "selected feature emphasis";
+  return Register(highlight);
+}
+
+}  // namespace agis::carto

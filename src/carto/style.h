@@ -1,0 +1,58 @@
+#ifndef AGIS_CARTO_STYLE_H_
+#define AGIS_CARTO_STYLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace agis::carto {
+
+/// Marker shape for point features.
+enum class MarkerShape { kDot, kCross, kSquare, kCircle, kTriangle };
+
+/// A named symbolization — what the customization language calls a
+/// *presentation format* ("pointFormat" in Figure 6, line 5). Styles
+/// carry both the ASCII glyph (text renderer) and the SVG attributes.
+struct SymbolStyle {
+  std::string name;
+  MarkerShape marker = MarkerShape::kDot;
+  char ascii_char = '*';
+  std::string stroke_color = "#1f4e8c";
+  double stroke_width = 1.0;
+  bool fill = false;
+  std::string fill_color = "#9ec3e6";
+  double point_radius = 3.0;
+  std::string doc;
+};
+
+/// Registry of presentation formats, the cartographic sibling of the
+/// interface objects library. The customization compiler validates
+/// `presentation as <format>` clauses against it.
+class StyleRegistry {
+ public:
+  StyleRegistry() = default;
+
+  StyleRegistry(const StyleRegistry&) = delete;
+  StyleRegistry& operator=(const StyleRegistry&) = delete;
+
+  agis::Status Register(SymbolStyle style, bool allow_replace = false);
+  const SymbolStyle* Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+  std::vector<std::string> Names() const { return order_; }
+  size_t NumStyles() const { return styles_.size(); }
+
+  /// Registers the standard formats: "defaultFormat", "pointFormat"
+  /// (dots), "crossFormat", "lineFormat", "fillFormat", "regionFormat"
+  /// (outlined fill), "highlightFormat".
+  agis::Status RegisterStandardFormats();
+
+ private:
+  std::map<std::string, SymbolStyle> styles_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace agis::carto
+
+#endif  // AGIS_CARTO_STYLE_H_

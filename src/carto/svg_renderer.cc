@@ -1,0 +1,130 @@
+#include "carto/svg_renderer.h"
+
+#include "base/strutil.h"
+
+namespace agis::carto {
+
+namespace {
+
+const SymbolStyle& FallbackStyle() {
+  static const SymbolStyle* kStyle = new SymbolStyle();
+  return *kStyle;
+}
+
+std::string PixelPair(const MapCanvas& canvas, const geom::Point& p) {
+  const PixelPoint px = canvas.ToPixel(p);
+  return agis::StrCat(px.x, ",", px.y);
+}
+
+std::string RingPath(const MapCanvas& canvas,
+                     const std::vector<geom::Point>& ring) {
+  std::string d;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    d += (i == 0 ? "M" : "L");
+    d += PixelPair(canvas, ring[i]);
+  }
+  d += "Z";
+  return d;
+}
+
+void AppendMarker(const MapCanvas& canvas, const geom::Point& p,
+                  const SymbolStyle& style, geodb::ObjectId id,
+                  std::string* out) {
+  const PixelPoint px = canvas.ToPixel(p);
+  const double r = style.point_radius;
+  const std::string common = agis::StrCat(
+      " stroke=\"", style.stroke_color, "\" stroke-width=\"",
+      agis::DoubleToString(style.stroke_width), "\" data-oid=\"", id, "\"");
+  switch (style.marker) {
+    case MarkerShape::kDot:
+      *out += agis::StrCat("  <circle cx=\"", px.x, "\" cy=\"", px.y,
+                           "\" r=\"", agis::DoubleToString(r), "\" fill=\"",
+                           style.stroke_color, "\"", common, "/>\n");
+      break;
+    case MarkerShape::kCircle:
+      *out += agis::StrCat("  <circle cx=\"", px.x, "\" cy=\"", px.y,
+                           "\" r=\"", agis::DoubleToString(r),
+                           "\" fill=\"none\"", common, "/>\n");
+      break;
+    case MarkerShape::kSquare:
+      *out += agis::StrCat("  <rect x=\"", px.x - r, "\" y=\"", px.y - r,
+                           "\" width=\"", 2 * r, "\" height=\"", 2 * r,
+                           "\" fill=\"", style.stroke_color, "\"", common,
+                           "/>\n");
+      break;
+    case MarkerShape::kCross:
+      *out += agis::StrCat("  <path d=\"M", px.x - r, ",", px.y, "L",
+                           px.x + r, ",", px.y, "M", px.x, ",", px.y - r, "L",
+                           px.x, ",", px.y + r, "\" fill=\"none\"", common,
+                           "/>\n");
+      break;
+    case MarkerShape::kTriangle:
+      *out += agis::StrCat("  <path d=\"M", px.x, ",", px.y - r, "L",
+                           px.x + r, ",", px.y + r, "L", px.x - r, ",",
+                           px.y + r, "Z\" fill=\"", style.stroke_color, "\"",
+                           common, "/>\n");
+      break;
+  }
+}
+
+}  // namespace
+
+void SvgRenderer::AppendFeature(const MapCanvas& canvas,
+                                const StyledFeature& feature,
+                                std::string* out) const {
+  const SymbolStyle* style = styles_->Find(feature.style);
+  if (style == nullptr) style = &FallbackStyle();
+  const geom::Geometry& g = feature.geometry;
+  switch (g.kind()) {
+    case geom::GeometryKind::kPoint:
+      AppendMarker(canvas, g.point(), *style, feature.id, out);
+      break;
+    case geom::GeometryKind::kMultiPoint:
+      for (const geom::Point& p : g.multipoint()) {
+        AppendMarker(canvas, p, *style, feature.id, out);
+      }
+      break;
+    case geom::GeometryKind::kLineString: {
+      std::string pts;
+      for (size_t i = 0; i < g.linestring().points.size(); ++i) {
+        if (i > 0) pts += " ";
+        pts += PixelPair(canvas, g.linestring().points[i]);
+      }
+      *out += agis::StrCat("  <polyline points=\"", pts,
+                           "\" fill=\"none\" stroke=\"", style->stroke_color,
+                           "\" stroke-width=\"",
+                           agis::DoubleToString(style->stroke_width),
+                           "\" data-oid=\"", feature.id, "\"/>\n");
+      break;
+    }
+    case geom::GeometryKind::kPolygon: {
+      std::string d = RingPath(canvas, g.polygon().outer);
+      for (const auto& hole : g.polygon().holes) {
+        d += RingPath(canvas, hole);
+      }
+      *out += agis::StrCat(
+          "  <path d=\"", d, "\" fill-rule=\"evenodd\" fill=\"",
+          style->fill ? style->fill_color : std::string("none"),
+          "\" stroke=\"", style->stroke_color, "\" stroke-width=\"",
+          agis::DoubleToString(style->stroke_width), "\" data-oid=\"",
+          feature.id, "\"/>\n");
+      break;
+    }
+  }
+}
+
+std::string SvgRenderer::Render(const MapCanvas& canvas) const {
+  std::string out = agis::StrCat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"", canvas.width(),
+      "\" height=\"", canvas.height(), "\" viewBox=\"0 0 ", canvas.width(),
+      " ", canvas.height(), "\">\n");
+  out += agis::StrCat("  <rect width=\"", canvas.width(), "\" height=\"",
+                      canvas.height(), "\" fill=\"#fbfaf7\"/>\n");
+  for (const StyledFeature& f : canvas.features()) {
+    AppendFeature(canvas, f, &out);
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace agis::carto

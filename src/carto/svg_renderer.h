@@ -1,0 +1,30 @@
+#ifndef AGIS_CARTO_SVG_RENDERER_H_
+#define AGIS_CARTO_SVG_RENDERER_H_
+
+#include <string>
+
+#include "carto/canvas.h"
+#include "carto/style.h"
+
+namespace agis::carto {
+
+/// Renders a canvas to a standalone SVG document, one element per
+/// feature (`data-oid` attributes carry the object ids so the output
+/// remains inspectable). Styles map to stroke/fill attributes and
+/// marker shapes.
+class SvgRenderer {
+ public:
+  explicit SvgRenderer(const StyleRegistry* styles) : styles_(styles) {}
+
+  std::string Render(const MapCanvas& canvas) const;
+
+ private:
+  void AppendFeature(const MapCanvas& canvas, const StyledFeature& feature,
+                     std::string* out) const;
+
+  const StyleRegistry* styles_;
+};
+
+}  // namespace agis::carto
+
+#endif  // AGIS_CARTO_SVG_RENDERER_H_

@@ -1,0 +1,153 @@
+#include "core/active_interface_system.h"
+
+#include "base/logging.h"
+#include "custlang/compiler.h"
+#include "custlang/parser.h"
+
+namespace agis::core {
+
+ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
+                                             SystemOptions options)
+    : options_(options) {
+  db_ = std::make_unique<geodb::GeoDatabase>(std::move(schema_name),
+                                             options.db);
+  engine_ = std::make_unique<active::RuleEngine>(options.conflict_policy);
+  bridge_ = std::make_unique<active::DbEventBridge>(engine_.get());
+  db_->AddEventSink(bridge_.get());
+
+  library_ = std::make_unique<uilib::InterfaceObjectLibrary>();
+  styles_ = std::make_unique<carto::StyleRegistry>();
+  if (options.register_standard_library) {
+    AGIS_CHECK_OK(library_->RegisterKernelPrototypes());
+    AGIS_CHECK_OK(uilib::RegisterStandardGisPrototypes(library_.get()));
+    AGIS_CHECK_OK(styles_->RegisterStandardFormats());
+  }
+
+  builder_ = std::make_unique<builder::GenericInterfaceBuilder>(
+      db_.get(), library_.get(), styles_.get());
+  dispatcher_ = std::make_unique<ui::Dispatcher>(db_.get(), engine_.get(),
+                                                 builder_.get());
+  protocol_ = std::make_unique<ui::DbProtocol>(db_.get());
+  topology_ =
+      std::make_unique<active::TopologyGuard>(db_.get(), engine_.get());
+}
+
+ActiveInterfaceSystem::~ActiveInterfaceSystem() {
+  db_->RemoveEventSink(bridge_.get());
+}
+
+agis::Result<std::vector<active::RuleId>>
+ActiveInterfaceSystem::InstallCustomization(std::string_view directive_source) {
+  AGIS_ASSIGN_OR_RETURN(custlang::Directive directive,
+                        custlang::ParseDirective(directive_source));
+  return InstallDirective(directive);
+}
+
+agis::Result<std::vector<active::RuleId>>
+ActiveInterfaceSystem::InstallDirective(const custlang::Directive& directive) {
+  return InstallDirectiveInternal(directive, options_.persist_directives);
+}
+
+agis::Result<std::vector<active::RuleId>>
+ActiveInterfaceSystem::InstallDirectiveInternal(
+    const custlang::Directive& directive, bool persist) {
+  AGIS_RETURN_IF_ERROR(custlang::AnalyzeDirective(
+      directive, db_->schema(), *library_, *styles_, access_checker_));
+  std::vector<active::EcaRule> rules = custlang::CompileDirective(directive);
+  std::vector<active::RuleId> ids;
+  ids.reserve(rules.size());
+  for (active::EcaRule& rule : rules) {
+    AGIS_ASSIGN_OR_RETURN(active::RuleId id,
+                          engine_->AddRule(std::move(rule)));
+    ids.push_back(id);
+  }
+  if (persist) {
+    AGIS_RETURN_IF_ERROR(PersistDirective(directive));
+  }
+  return ids;
+}
+
+agis::Status ActiveInterfaceSystem::EnsureDirectiveClass() {
+  if (db_->schema().HasClass(kDirectiveClassName)) return agis::Status::OK();
+  geodb::ClassDef cls(kDirectiveClassName,
+                      "system storage for installed customization "
+                      "directives");
+  geodb::AttributeDef name = geodb::AttributeDef::String("directive_name");
+  name.required = true;
+  AGIS_RETURN_IF_ERROR(cls.AddAttribute(std::move(name)));
+  AGIS_RETURN_IF_ERROR(
+      cls.AddAttribute(geodb::AttributeDef::Text("directive_source")));
+  return db_->RegisterClass(std::move(cls));
+}
+
+agis::Status ActiveInterfaceSystem::PersistDirective(
+    const custlang::Directive& directive) {
+  AGIS_RETURN_IF_ERROR(EnsureDirectiveClass());
+  const std::string canonical = directive.CanonicalName();
+  // Replace any previous copy under the same canonical name.
+  AGIS_ASSIGN_OR_RETURN(std::vector<geodb::ObjectId> stored,
+                        db_->ScanExtent(kDirectiveClassName));
+  for (geodb::ObjectId id : stored) {
+    const geodb::ObjectInstance* obj = db_->FindObject(id);
+    if (obj != nullptr &&
+        obj->Get("directive_name").ToDisplayString() == canonical) {
+      AGIS_RETURN_IF_ERROR(db_->Delete(id));
+      break;
+    }
+  }
+  return db_
+      ->Insert(kDirectiveClassName,
+               {{"directive_name", geodb::Value::String(canonical)},
+                {"directive_source",
+                 geodb::Value::String(directive.ToSource())}})
+      .status();
+}
+
+size_t ActiveInterfaceSystem::UninstallCustomization(
+    const std::string& canonical_name) {
+  const size_t removed = engine_->RemoveRulesByProvenance(canonical_name);
+  if (db_->schema().HasClass(kDirectiveClassName)) {
+    auto stored = db_->ScanExtent(kDirectiveClassName);
+    if (stored.ok()) {
+      for (geodb::ObjectId id : stored.value()) {
+        const geodb::ObjectInstance* obj = db_->FindObject(id);
+        if (obj != nullptr &&
+            obj->Get("directive_name").ToDisplayString() == canonical_name) {
+          (void)db_->Delete(id);
+          break;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ActiveInterfaceSystem::StoredDirectives() {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (!db_->schema().HasClass(kDirectiveClassName)) return out;
+  auto stored = db_->ScanExtent(kDirectiveClassName);
+  if (!stored.ok()) return out;
+  for (geodb::ObjectId id : stored.value()) {
+    const geodb::ObjectInstance* obj = db_->FindObject(id);
+    if (obj == nullptr) continue;
+    out.emplace_back(obj->Get("directive_name").ToDisplayString(),
+                     obj->Get("directive_source").ToDisplayString());
+  }
+  return out;
+}
+
+agis::Result<size_t> ActiveInterfaceSystem::ReloadCustomizations() {
+  size_t reloaded = 0;
+  for (const auto& [canonical, source] : StoredDirectives()) {
+    if (engine_->CountRulesByProvenance(canonical) > 0) continue;
+    AGIS_ASSIGN_OR_RETURN(custlang::Directive directive,
+                          custlang::ParseDirective(source));
+    AGIS_RETURN_IF_ERROR(
+        InstallDirectiveInternal(directive, /*persist=*/false).status());
+    ++reloaded;
+  }
+  return reloaded;
+}
+
+}  // namespace agis::core

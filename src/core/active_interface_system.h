@@ -1,0 +1,125 @@
+#ifndef AGIS_CORE_ACTIVE_INTERFACE_SYSTEM_H_
+#define AGIS_CORE_ACTIVE_INTERFACE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "active/db_bridge.h"
+#include "active/engine.h"
+#include "active/topology_guard.h"
+#include "base/status.h"
+#include "builder/interface_builder.h"
+#include "carto/style.h"
+#include "custlang/analyzer.h"
+#include "custlang/ast.h"
+#include "geodb/database.h"
+#include "ui/dispatcher.h"
+#include "ui/protocol.h"
+#include "uilib/library.h"
+
+namespace agis::core {
+
+/// Configuration of a complete system instance.
+struct SystemOptions {
+  geodb::DatabaseOptions db;
+  active::ConflictPolicy conflict_policy =
+      active::ConflictPolicy::kMostSpecific;
+  /// Register the kernel + standard GIS prototypes and the standard
+  /// presentation formats (on by default; benches that measure bare
+  /// library population turn this off).
+  bool register_standard_library = true;
+  /// Store installed directives as database objects (the paper:
+  /// "customization rules stored in the database are derived from
+  /// assertives written in this language"), enabling
+  /// ReloadCustomizations after a rule-engine reset.
+  bool persist_directives = true;
+};
+
+/// Name of the system class holding persisted directives. Classes
+/// with the "__" prefix are system-internal and hidden from Schema
+/// windows.
+inline constexpr const char* kDirectiveClassName = "__CustomizationDirective";
+
+/// The paper's full architecture (Figure 1) assembled: a geographic
+/// database, the active mechanism bridged to its event stream, the
+/// interface objects library with its style registry, the generic
+/// interface builder, and the dispatcher-based GIS interface on top.
+///
+/// Typical use:
+///
+///   core::ActiveInterfaceSystem sys("phone_net");
+///   // ... register classes, insert data ...
+///   sys.InstallCustomization(directive_source);       // Section 3.4
+///   sys.dispatcher().set_context({.user = "juliano",
+///                                 .application = "pole_manager"});
+///   sys.dispatcher().OpenSchemaWindow();              // Section 4 flow
+class ActiveInterfaceSystem {
+ public:
+  explicit ActiveInterfaceSystem(std::string schema_name,
+                                 SystemOptions options = SystemOptions());
+  ~ActiveInterfaceSystem();
+
+  ActiveInterfaceSystem(const ActiveInterfaceSystem&) = delete;
+  ActiveInterfaceSystem& operator=(const ActiveInterfaceSystem&) = delete;
+
+  geodb::GeoDatabase& db() { return *db_; }
+  active::RuleEngine& engine() { return *engine_; }
+  uilib::InterfaceObjectLibrary& library() { return *library_; }
+  carto::StyleRegistry& styles() { return *styles_; }
+  builder::GenericInterfaceBuilder& builder() { return *builder_; }
+  ui::Dispatcher& dispatcher() { return *dispatcher_; }
+  ui::DbProtocol& protocol() { return *protocol_; }
+  active::TopologyGuard& topology() { return *topology_; }
+
+  /// Parses, analyzes, compiles, and installs a customization
+  /// directive. Returns the installed rule ids. The directive's
+  /// CanonicalName() keys later uninstallation.
+  agis::Result<std::vector<active::RuleId>> InstallCustomization(
+      std::string_view directive_source);
+
+  /// Installs an already-parsed directive (still analyzed first).
+  agis::Result<std::vector<active::RuleId>> InstallDirective(
+      const custlang::Directive& directive);
+
+  /// Removes every rule compiled from the named directive (and its
+  /// persisted copy); returns the number of rules removed.
+  size_t UninstallCustomization(const std::string& canonical_name);
+
+  /// Directives persisted in the database, as (canonical name, source).
+  std::vector<std::pair<std::string, std::string>> StoredDirectives();
+
+  /// Re-compiles and re-installs every persisted directive whose rules
+  /// are not currently loaded (e.g. after a rule-engine reset).
+  /// Returns the number of directives (re)installed.
+  agis::Result<size_t> ReloadCustomizations();
+
+  /// Sets the access-rights hook consulted during directive analysis.
+  void set_access_checker(custlang::AccessChecker checker) {
+    access_checker_ = std::move(checker);
+  }
+
+ private:
+  /// Registers the system directive class on first use.
+  agis::Status EnsureDirectiveClass();
+  agis::Status PersistDirective(const custlang::Directive& directive);
+  agis::Result<std::vector<active::RuleId>> InstallDirectiveInternal(
+      const custlang::Directive& directive, bool persist);
+
+  SystemOptions options_;
+  std::unique_ptr<geodb::GeoDatabase> db_;
+  std::unique_ptr<active::RuleEngine> engine_;
+  std::unique_ptr<active::DbEventBridge> bridge_;
+  std::unique_ptr<uilib::InterfaceObjectLibrary> library_;
+  std::unique_ptr<carto::StyleRegistry> styles_;
+  std::unique_ptr<builder::GenericInterfaceBuilder> builder_;
+  std::unique_ptr<ui::Dispatcher> dispatcher_;
+  std::unique_ptr<ui::DbProtocol> protocol_;
+  std::unique_ptr<active::TopologyGuard> topology_;
+  custlang::AccessChecker access_checker_;
+};
+
+}  // namespace agis::core
+
+#endif  // AGIS_CORE_ACTIVE_INTERFACE_SYSTEM_H_

@@ -1,0 +1,285 @@
+#include "core/scenario.h"
+
+#include "base/strutil.h"
+#include "carto/ascii_renderer.h"
+#include "carto/canvas.h"
+
+namespace agis::core {
+
+using geodb::ObjectId;
+using geodb::ObjectInstance;
+using geodb::Value;
+
+ScenarioSandbox::ScenarioSandbox(geodb::GeoDatabase* db,
+                                 active::TopologyGuard* guard)
+    : db_(db), guard_(guard) {}
+
+agis::Result<ObjectId> ScenarioSandbox::HypotheticalInsert(
+    const std::string& class_name,
+    std::vector<std::pair<std::string, Value>> values) {
+  const geodb::ClassDef* cls = db_->schema().FindClass(class_name);
+  if (cls == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  // Type-check each value against the schema before recording.
+  for (const auto& [attr, value] : values) {
+    const geodb::AttributeDef* def =
+        db_->schema().FindAttributeOf(class_name, attr);
+    if (def == nullptr) {
+      return agis::Status::NotFound(
+          agis::StrCat("class '", class_name, "' has no attribute '", attr,
+                       "'"));
+    }
+    AGIS_RETURN_IF_ERROR(CheckValueType(db_->schema(), *def, value));
+  }
+  const ObjectId id = next_provisional_++;
+  ObjectInstance instance(id, class_name);
+  for (const auto& [attr, value] : values) instance.Set(attr, value);
+  provisional_.emplace(id, std::move(instance));
+  Op op;
+  op.kind = OpKind::kInsert;
+  op.id = id;
+  op.class_name = class_name;
+  op.values = std::move(values);
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+agis::Status ScenarioSandbox::HypotheticalUpdate(ObjectId id,
+                                                 const std::string& attribute,
+                                                 Value value) {
+  if (deleted_.count(id) != 0) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("object ", id, " is hypothetically deleted"));
+  }
+  std::string class_name;
+  if (IsProvisional(id)) {
+    auto it = provisional_.find(id);
+    if (it == provisional_.end()) {
+      return agis::Status::NotFound(agis::StrCat("provisional object ", id));
+    }
+    class_name = it->second.class_name();
+  } else {
+    const ObjectInstance* base = db_->FindObject(id);
+    if (base == nullptr) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    class_name = base->class_name();
+  }
+  const geodb::AttributeDef* def =
+      db_->schema().FindAttributeOf(class_name, attribute);
+  if (def == nullptr) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", class_name, "' has no attribute '",
+                     attribute, "'"));
+  }
+  AGIS_RETURN_IF_ERROR(CheckValueType(db_->schema(), *def, value));
+
+  if (IsProvisional(id)) {
+    provisional_.at(id).Set(attribute, value);
+  } else {
+    overlays_[id][attribute] = value;
+  }
+  Op op;
+  op.kind = OpKind::kUpdate;
+  op.id = id;
+  op.class_name = class_name;
+  op.attribute = attribute;
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+  return agis::Status::OK();
+}
+
+agis::Status ScenarioSandbox::HypotheticalDelete(ObjectId id) {
+  std::string class_name;
+  if (IsProvisional(id)) {
+    auto it = provisional_.find(id);
+    if (it == provisional_.end()) {
+      return agis::Status::NotFound(agis::StrCat("provisional object ", id));
+    }
+    class_name = it->second.class_name();
+  } else {
+    const ObjectInstance* base = db_->FindObject(id);
+    if (base == nullptr) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    class_name = base->class_name();
+  }
+  deleted_.insert(id);
+  Op op;
+  op.kind = OpKind::kDelete;
+  op.id = id;
+  op.class_name = class_name;
+  ops_.push_back(std::move(op));
+  return agis::Status::OK();
+}
+
+std::optional<ObjectInstance> ScenarioSandbox::EffectiveObject(
+    ObjectId id) const {
+  if (deleted_.count(id) != 0) return std::nullopt;
+  if (IsProvisional(id)) {
+    auto it = provisional_.find(id);
+    if (it == provisional_.end()) return std::nullopt;
+    return it->second;
+  }
+  const ObjectInstance* base = db_->FindObject(id);
+  if (base == nullptr) return std::nullopt;
+  ObjectInstance effective = *base;
+  auto overlay = overlays_.find(id);
+  if (overlay != overlays_.end()) {
+    for (const auto& [attr, value] : overlay->second) {
+      effective.Set(attr, value);
+    }
+  }
+  return effective;
+}
+
+agis::Result<std::vector<ObjectId>> ScenarioSandbox::EffectiveExtent(
+    const std::string& class_name) const {
+  AGIS_ASSIGN_OR_RETURN(std::vector<ObjectId> ids,
+                        db_->ScanExtent(class_name));
+  ids.erase(std::remove_if(ids.begin(), ids.end(),
+                           [this](ObjectId id) {
+                             return deleted_.count(id) != 0;
+                           }),
+            ids.end());
+  for (const auto& [id, instance] : provisional_) {
+    if (instance.class_name() == class_name && deleted_.count(id) == 0) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+agis::Result<std::string> ScenarioSandbox::RenderWhatIf(
+    const std::string& class_name, const carto::StyleRegistry& styles,
+    int width, int height) const {
+  const std::string geom_attr = db_->GeometryAttributeOf(class_name);
+  if (geom_attr.empty()) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("class '", class_name, "' has no geometry"));
+  }
+  AGIS_ASSIGN_OR_RETURN(std::vector<ObjectId> ids,
+                        EffectiveExtent(class_name));
+  std::vector<carto::StyledFeature> features;
+  for (ObjectId id : ids) {
+    const auto instance = EffectiveObject(id);
+    if (!instance.has_value()) continue;
+    const Value& gv = instance->Get(geom_attr);
+    if (gv.is_null()) continue;
+    carto::StyledFeature feature;
+    feature.id = id;
+    feature.geometry = gv.geometry_value();
+    const bool hypothetical =
+        IsProvisional(id) ||
+        (overlays_.count(id) != 0 &&
+         overlays_.at(id).count(geom_attr) != 0);
+    feature.style = hypothetical ? "highlightFormat" : "defaultFormat";
+    features.push_back(std::move(feature));
+  }
+  const geom::BoundingBox viewport = carto::MapCanvas::FitBounds(features);
+  carto::MapCanvas canvas(viewport, width, height);
+  for (carto::StyledFeature& f : features) canvas.AddFeature(std::move(f));
+  const carto::AsciiRenderer renderer(&styles);
+  return renderer.RenderFramed(canvas);
+}
+
+std::vector<std::pair<ObjectId, agis::Status>>
+ScenarioSandbox::CheckConstraints() const {
+  std::vector<std::pair<ObjectId, agis::Status>> out;
+  if (guard_ == nullptr) return out;
+  // Check the final effective geometry of every touched object.
+  std::set<ObjectId> touched;
+  for (const Op& op : ops_) {
+    if (op.kind != OpKind::kDelete) touched.insert(op.id);
+  }
+  for (ObjectId id : touched) {
+    const auto instance = EffectiveObject(id);
+    if (!instance.has_value()) continue;  // Deleted later in the scenario.
+    const std::string geom_attr =
+        db_->GeometryAttributeOf(instance->class_name());
+    if (geom_attr.empty()) continue;
+    const Value& gv = instance->Get(geom_attr);
+    if (gv.is_null()) continue;
+    const agis::Status status = guard_->CheckHypothetical(
+        instance->class_name(), gv.geometry_value(),
+        IsProvisional(id) ? 0 : id);
+    if (!status.ok()) out.emplace_back(id, status);
+  }
+  return out;
+}
+
+agis::Result<ScenarioSandbox::CommitOutcome> ScenarioSandbox::Commit(
+    const UserContext& ctx) {
+  CommitOutcome outcome;
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kInsert: {
+        auto inserted = db_->Insert(op.class_name, op.values, ctx);
+        if (inserted.ok()) {
+          outcome.id_mapping[op.id] = inserted.value();
+          ++outcome.applied;
+        } else {
+          outcome.rejected.emplace_back(
+              agis::StrCat("insert ", op.class_name), inserted.status());
+        }
+        break;
+      }
+      case OpKind::kUpdate: {
+        // Provisional targets resolve through the id mapping; if the
+        // insert was rejected, the update is skipped as rejected too.
+        ObjectId target = op.id;
+        if (IsProvisional(target)) {
+          auto mapped = outcome.id_mapping.find(target);
+          if (mapped == outcome.id_mapping.end()) {
+            outcome.rejected.emplace_back(
+                agis::StrCat("update of unapplied insert ", op.id),
+                agis::Status::FailedPrecondition("insert was rejected"));
+            break;
+          }
+          target = mapped->second;
+        }
+        const agis::Status status =
+            db_->Update(target, op.attribute, op.value, ctx);
+        if (status.ok()) {
+          ++outcome.applied;
+        } else {
+          outcome.rejected.emplace_back(
+              agis::StrCat("update ", op.class_name, "#", target, ".",
+                           op.attribute),
+              status);
+        }
+        break;
+      }
+      case OpKind::kDelete: {
+        ObjectId target = op.id;
+        if (IsProvisional(target)) {
+          auto mapped = outcome.id_mapping.find(target);
+          if (mapped == outcome.id_mapping.end()) {
+            break;  // Deleting a rejected insert: nothing to do.
+          }
+          target = mapped->second;
+        }
+        const agis::Status status = db_->Delete(target, ctx);
+        if (status.ok()) {
+          ++outcome.applied;
+        } else {
+          outcome.rejected.emplace_back(
+              agis::StrCat("delete ", op.class_name, "#", target), status);
+        }
+        break;
+      }
+    }
+  }
+  Discard();
+  return outcome;
+}
+
+void ScenarioSandbox::Discard() {
+  ops_.clear();
+  provisional_.clear();
+  overlays_.clear();
+  deleted_.clear();
+}
+
+}  // namespace agis::core

@@ -1,0 +1,135 @@
+#ifndef AGIS_CORE_SCENARIO_H_
+#define AGIS_CORE_SCENARIO_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "active/topology_guard.h"
+#include "base/status.h"
+#include "carto/style.h"
+#include "geodb/database.h"
+
+namespace agis::core {
+
+/// The *simulation* interaction mode ("users build scenarios to test
+/// their hypotheses", Section 2.2): a set of hypothetical edits layered
+/// over the base database.
+///
+/// Hypothetical inserts/updates/deletes are recorded locally — the
+/// base database never sees them until `Commit`. The sandbox can
+///  - materialize the *effective* extent of a class (base ∪ inserts ∖
+///    deletes, with updates applied),
+///  - render a what-if map where hypothetical features stand out in
+///    `highlightFormat`,
+///  - pre-check hypothetical geometries against the installed topology
+///    constraints (each hypothesis vs. committed data; interactions
+///    *between* hypotheses surface at commit time, when earlier ops
+///    have been applied),
+///  - `Commit` all ops in order through the normal write path (events
+///    fire, constraint rules may still veto individual ops) or
+///    `Discard` everything.
+///
+/// Provisional object ids for hypothetical inserts live far above any
+/// real id (>= kProvisionalBase) so they never collide.
+class ScenarioSandbox {
+ public:
+  static constexpr geodb::ObjectId kProvisionalBase = 1ULL << 62;
+
+  /// `db` must outlive the sandbox; `guard` is optional (nullptr =
+  /// no constraint pre-checks).
+  explicit ScenarioSandbox(geodb::GeoDatabase* db,
+                           active::TopologyGuard* guard = nullptr);
+
+  ScenarioSandbox(const ScenarioSandbox&) = delete;
+  ScenarioSandbox& operator=(const ScenarioSandbox&) = delete;
+
+  // ---- Hypothetical edits -------------------------------------------------
+
+  /// Validates against the schema and records the insert; returns the
+  /// provisional id.
+  agis::Result<geodb::ObjectId> HypotheticalInsert(
+      const std::string& class_name,
+      std::vector<std::pair<std::string, geodb::Value>> values);
+
+  /// Updates a base object or a provisional one.
+  agis::Status HypotheticalUpdate(geodb::ObjectId id,
+                                  const std::string& attribute,
+                                  geodb::Value value);
+
+  agis::Status HypotheticalDelete(geodb::ObjectId id);
+
+  size_t PendingOps() const { return ops_.size(); }
+
+  // ---- Effective state ----------------------------------------------------
+
+  /// The effective instance (base + overlay); nullopt when deleted or
+  /// unknown. Returned by value because it may be synthesized.
+  std::optional<geodb::ObjectInstance> EffectiveObject(
+      geodb::ObjectId id) const;
+
+  /// Effective extent ids of `class_name` (base order, then
+  /// provisional inserts).
+  agis::Result<std::vector<geodb::ObjectId>> EffectiveExtent(
+      const std::string& class_name) const;
+
+  /// ASCII what-if map of `class_name`: committed features in their
+  /// default format, hypothetical (inserted or geometry-updated) ones
+  /// in highlightFormat, deleted ones gone.
+  agis::Result<std::string> RenderWhatIf(const std::string& class_name,
+                                         const carto::StyleRegistry& styles,
+                                         int width = 60,
+                                         int height = 20) const;
+
+  // ---- Analysis & lifecycle -----------------------------------------------
+
+  /// Pre-checks every hypothetical geometry against the topology
+  /// constraints; one entry per violating pending op.
+  std::vector<std::pair<geodb::ObjectId, agis::Status>> CheckConstraints()
+      const;
+
+  struct CommitOutcome {
+    size_t applied = 0;
+    /// (description, status) for ops the write path rejected.
+    std::vector<std::pair<std::string, agis::Status>> rejected;
+    /// Provisional id -> real id for committed inserts.
+    std::map<geodb::ObjectId, geodb::ObjectId> id_mapping;
+  };
+
+  /// Applies all pending ops in order through the normal (rule-guarded)
+  /// write path and clears the scenario. Rejected ops are reported,
+  /// not retried.
+  agis::Result<CommitOutcome> Commit(const UserContext& ctx = UserContext());
+
+  void Discard();
+
+ private:
+  enum class OpKind { kInsert, kUpdate, kDelete };
+  struct Op {
+    OpKind kind;
+    geodb::ObjectId id = 0;  // Provisional for inserts.
+    std::string class_name;
+    std::string attribute;   // kUpdate.
+    geodb::Value value;      // kUpdate.
+    std::vector<std::pair<std::string, geodb::Value>> values;  // kInsert.
+  };
+
+  bool IsProvisional(geodb::ObjectId id) const {
+    return id >= kProvisionalBase;
+  }
+
+  geodb::GeoDatabase* db_;
+  active::TopologyGuard* guard_;
+  std::vector<Op> ops_;
+  /// Materialized provisional instances.
+  std::map<geodb::ObjectId, geodb::ObjectInstance> provisional_;
+  /// Attribute overlays for base objects.
+  std::map<geodb::ObjectId, std::map<std::string, geodb::Value>> overlays_;
+  std::set<geodb::ObjectId> deleted_;
+  geodb::ObjectId next_provisional_ = kProvisionalBase;
+};
+
+}  // namespace agis::core
+
+#endif  // AGIS_CORE_SCENARIO_H_

@@ -1,0 +1,48 @@
+#include "custlang/access_control.h"
+
+namespace agis::custlang {
+
+void AccessControl::Allow(const std::string& principal,
+                          const std::string& class_name) {
+  allow_[principal].insert(class_name);
+}
+
+void AccessControl::Deny(const std::string& principal,
+                         const std::string& class_name) {
+  deny_[principal].insert(class_name);
+}
+
+bool AccessControl::MayCustomize(const std::string& principal,
+                                 const std::string& class_name) const {
+  auto denied = deny_.find(principal);
+  if (denied != deny_.end() && denied->second.count(class_name) != 0) {
+    return false;
+  }
+  auto allowed = allow_.find(principal);
+  if (allowed != allow_.end()) {
+    return allowed->second.count(class_name) != 0;
+  }
+  return true;  // No whitelist registered: default-allow.
+}
+
+bool AccessControl::Admits(const Directive& directive,
+                           const std::string& class_name) const {
+  if (!directive.user.empty()) {
+    return MayCustomize(directive.user, class_name);
+  }
+  if (!directive.category.empty()) {
+    return MayCustomize(directive.category, class_name);
+  }
+  if (!directive.application.empty()) {
+    return MayCustomize(directive.application, class_name);
+  }
+  return true;
+}
+
+AccessChecker AccessControl::AsChecker() const {
+  return [this](const Directive& directive, const std::string& class_name) {
+    return Admits(directive, class_name);
+  };
+}
+
+}  // namespace agis::custlang

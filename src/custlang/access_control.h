@@ -1,0 +1,53 @@
+#ifndef AGIS_CUSTLANG_ACCESS_CONTROL_H_
+#define AGIS_CUSTLANG_ACCESS_CONTROL_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "custlang/analyzer.h"
+
+namespace agis::custlang {
+
+/// Access-rights model behind the customization language: "the target
+/// user of this language is the application designer, who has
+/// knowledge about the database schema and user access rights"
+/// (Section 3.4). A small per-principal class ACL:
+///
+///  - a *principal* is a user name or a category name (users are
+///    checked first, then the directive's category);
+///  - by default every principal may customize every class;
+///  - once a principal has any Allow entries, it is whitelisted to
+///    exactly those classes;
+///  - Deny entries override everything.
+class AccessControl {
+ public:
+  AccessControl() = default;
+
+  /// Whitelists `class_name` for `principal` (switches the principal
+  /// to whitelist mode).
+  void Allow(const std::string& principal, const std::string& class_name);
+
+  /// Blacklists `class_name` for `principal`.
+  void Deny(const std::string& principal, const std::string& class_name);
+
+  /// True when `principal` may customize `class_name`.
+  bool MayCustomize(const std::string& principal,
+                    const std::string& class_name) const;
+
+  /// Evaluates a directive's For-clause principals: the user if bound,
+  /// else the category, else the application; unbound directives
+  /// ("generic") are always admitted.
+  bool Admits(const Directive& directive, const std::string& class_name) const;
+
+  /// Adapts this ACL to the analyzer's hook type.
+  AccessChecker AsChecker() const;
+
+ private:
+  std::map<std::string, std::set<std::string>> allow_;
+  std::map<std::string, std::set<std::string>> deny_;
+};
+
+}  // namespace agis::custlang
+
+#endif  // AGIS_CUSTLANG_ACCESS_CONTROL_H_

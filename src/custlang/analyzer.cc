@@ -1,0 +1,140 @@
+#include "custlang/analyzer.h"
+
+#include "base/strutil.h"
+
+namespace agis::custlang {
+
+std::string CanonicalWidgetName(const std::string& name) {
+  if (name == "text") return "text_field";
+  if (name == "drawing") return "drawing_area";
+  if (name == "textfield") return "text_field";
+  return name;
+}
+
+namespace {
+
+agis::Status LineError(int line, const std::string& message) {
+  return agis::Status::FailedPrecondition(
+      agis::StrCat("line ", line, ": ", message));
+}
+
+/// True when `source` looks like "method(arg)".
+bool IsMethodCall(const std::string& source) {
+  const size_t paren = source.find('(');
+  return paren != std::string::npos && source.back() == ')';
+}
+
+agis::Status CheckSource(const geodb::Schema& schema,
+                         const std::string& class_name,
+                         const geodb::AttributeDef& attr,
+                         const std::string& source, int line) {
+  if (IsMethodCall(source)) {
+    const std::string method =
+        agis::Trim(source.substr(0, source.find('(')));
+    if (schema.FindMethodOf(class_name, method) == nullptr) {
+      return LineError(line, agis::StrCat("class '", class_name,
+                                          "' has no method '", method, "'"));
+    }
+    return agis::Status::OK();
+  }
+  const size_t dot = source.find('.');
+  if (dot != std::string::npos) {
+    if (attr.type != geodb::AttrType::kTuple) {
+      return LineError(
+          line, agis::StrCat("source '", source, "' uses a field path but '",
+                             attr.name, "' is not a tuple"));
+    }
+    const std::string prefix = source.substr(0, dot);
+    const std::string field = source.substr(dot + 1);
+    const std::string underscored = agis::StrCat(prefix, "_", field);
+    const std::string suffix = agis::StrCat("_", field);
+    for (const geodb::AttributeDef& f : attr.tuple_fields) {
+      if (f.name == field || f.name == underscored ||
+          (f.name.size() > suffix.size() &&
+           f.name.compare(f.name.size() - suffix.size(), suffix.size(),
+                          suffix) == 0)) {
+        return agis::Status::OK();
+      }
+    }
+    return LineError(line, agis::StrCat("tuple attribute '", attr.name,
+                                        "' has no field matching '", source,
+                                        "'"));
+  }
+  if (schema.FindAttributeOf(class_name, source) == nullptr) {
+    return LineError(line, agis::StrCat("class '", class_name,
+                                        "' has no attribute '", source, "'"));
+  }
+  return agis::Status::OK();
+}
+
+}  // namespace
+
+agis::Status AnalyzeDirective(const Directive& directive,
+                              const geodb::Schema& schema,
+                              const uilib::InterfaceObjectLibrary& library,
+                              const carto::StyleRegistry& styles,
+                              const AccessChecker& access_checker) {
+  if (directive.has_schema_clause &&
+      directive.schema_name != schema.name()) {
+    return agis::Status::NotFound(
+        agis::StrCat("directive targets schema '", directive.schema_name,
+                     "' but the database schema is '", schema.name(), "'"));
+  }
+
+  for (const ClassClause& cls : directive.classes) {
+    if (!schema.HasClass(cls.class_name)) {
+      return LineError(cls.line, agis::StrCat("unknown class '",
+                                              cls.class_name, "'"));
+    }
+    if (access_checker && !access_checker(directive, cls.class_name)) {
+      return agis::Status::PermissionDenied(
+          agis::StrCat("user '", directive.user,
+                       "' may not customize class '", cls.class_name, "'"));
+    }
+    if (!cls.control.empty() &&
+        !library.Has(CanonicalWidgetName(cls.control))) {
+      return LineError(cls.line,
+                       agis::StrCat("control widget '", cls.control,
+                                    "' is not in the interface library"));
+    }
+    if (!cls.presentation.empty() && !styles.Has(cls.presentation)) {
+      return LineError(cls.line,
+                       agis::StrCat("presentation format '", cls.presentation,
+                                    "' is not registered"));
+    }
+    for (const InstanceAttrClause& attr : cls.attributes) {
+      const geodb::AttributeDef* def =
+          schema.FindAttributeOf(cls.class_name, attr.attribute);
+      if (def == nullptr) {
+        return LineError(attr.line,
+                         agis::StrCat("class '", cls.class_name,
+                                      "' has no attribute '", attr.attribute,
+                                      "'"));
+      }
+      if (!attr.null_display &&
+          !library.Has(CanonicalWidgetName(attr.widget))) {
+        return LineError(attr.line,
+                         agis::StrCat("widget '", attr.widget,
+                                      "' is not in the interface library"));
+      }
+      for (const std::string& source : attr.sources) {
+        AGIS_RETURN_IF_ERROR(
+            CheckSource(schema, cls.class_name, *def, source, attr.line));
+      }
+      if (!attr.callback.empty()) {
+        const std::string& cb = attr.callback;
+        const bool shaped = cb.size() > 2 &&
+                            cb.compare(cb.size() - 2, 2, "()") == 0 &&
+                            cb.find('.') != std::string::npos;
+        if (!shaped) {
+          return LineError(attr.line,
+                           agis::StrCat("callback '", cb,
+                                        "' must look like name.event()"));
+        }
+      }
+    }
+  }
+  return agis::Status::OK();
+}
+
+}  // namespace agis::custlang

@@ -1,0 +1,48 @@
+#ifndef AGIS_CUSTLANG_ANALYZER_H_
+#define AGIS_CUSTLANG_ANALYZER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "carto/style.h"
+#include "custlang/ast.h"
+#include "geodb/schema.h"
+#include "uilib/library.h"
+
+namespace agis::custlang {
+
+/// Optional access-rights hook: the language's "target user ... has
+/// knowledge about the database schema and user access rights"
+/// (Section 3.4). Returning false rejects the directive for that
+/// user/class pair.
+using AccessChecker =
+    std::function<bool(const Directive&, const std::string& class_name)>;
+
+/// Widget-name aliasing applied before library lookup ("text" is the
+/// kernel "text_field", etc.). Returns the canonical prototype name.
+std::string CanonicalWidgetName(const std::string& name);
+
+/// Static checks a directive must pass before compilation:
+///  - the schema clause names this database's schema;
+///  - every class clause names a registered class;
+///  - every control widget and instance widget exists in the
+///    interface objects library (after aliasing);
+///  - every presentation format exists in the style registry;
+///  - every customized attribute exists on its class;
+///  - `from` sources resolve statically: dotted paths require the
+///    customized attribute to be a tuple with a matching field;
+///    method calls require the method on the class; plain names
+///    require the attribute;
+///  - callbacks are `name.event()`-shaped;
+///  - the optional access checker admits each class clause.
+///
+/// Returns the first violation with directive line information.
+agis::Status AnalyzeDirective(const Directive& directive,
+                              const geodb::Schema& schema,
+                              const uilib::InterfaceObjectLibrary& library,
+                              const carto::StyleRegistry& styles,
+                              const AccessChecker& access_checker = nullptr);
+
+}  // namespace agis::custlang
+
+#endif  // AGIS_CUSTLANG_ANALYZER_H_

@@ -1,0 +1,64 @@
+#include "custlang/ast.h"
+
+#include "base/strutil.h"
+
+namespace agis::custlang {
+
+std::string InstanceAttrClause::ToString() const {
+  std::string out = agis::StrCat("display attribute ", attribute, " as ",
+                                 null_display ? "Null" : widget);
+  if (!sources.empty()) {
+    out += agis::StrCat(" from ", agis::Join(sources, " "));
+  }
+  if (!callback.empty()) out += agis::StrCat(" using ", callback);
+  return out;
+}
+
+std::string ClassClause::ToString() const {
+  std::string out = agis::StrCat("class ", class_name, " display");
+  if (!control.empty()) out += agis::StrCat("\n  control as ", control);
+  if (!presentation.empty()) {
+    out += agis::StrCat("\n  presentation as ", presentation);
+  }
+  if (!attributes.empty()) {
+    out += "\n  instances";
+    for (const InstanceAttrClause& a : attributes) {
+      out += agis::StrCat("\n    ", a.ToString());
+    }
+  }
+  return out;
+}
+
+std::string Directive::CanonicalName() const {
+  std::string out = "For";
+  if (!user.empty()) out += agis::StrCat(" user=", user);
+  if (!category.empty()) out += agis::StrCat(" category=", category);
+  if (!application.empty()) out += agis::StrCat(" application=", application);
+  for (const auto& [key, value] : extras) {
+    out += agis::StrCat(" ", key, "=", value);
+  }
+  if (has_schema_clause) out += agis::StrCat(" schema=", schema_name);
+  return out;
+}
+
+std::string Directive::ToSource() const {
+  std::string out = "For";
+  if (!user.empty()) out += agis::StrCat(" user ", user);
+  if (!category.empty()) out += agis::StrCat(" category ", category);
+  if (!application.empty()) out += agis::StrCat(" application ", application);
+  for (const auto& [key, value] : extras) {
+    out += agis::StrCat(" when ", key, " ", value);
+  }
+  out += "\n";
+  if (has_schema_clause) {
+    out += agis::StrCat("schema ", schema_name, " display as ",
+                        active::SchemaDisplayModeName(schema_mode), "\n");
+  }
+  for (const ClassClause& c : classes) {
+    out += c.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace agis::custlang

@@ -1,0 +1,66 @@
+#ifndef AGIS_CUSTLANG_AST_H_
+#define AGIS_CUSTLANG_AST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "active/customization.h"
+
+namespace agis::custlang {
+
+/// `display attribute <name> as <widget|Null> [from <source>...]
+/// [using <callback>]` (Figure 3 / Figure 6 lines 6-12).
+struct InstanceAttrClause {
+  std::string attribute;
+  std::string widget;        // Library prototype name; "" when null_display.
+  bool null_display = false; // `as Null`.
+  std::vector<std::string> sources;  // `from` clause.
+  std::string callback;              // `using` clause.
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// `class <name> display [control as <w>] [presentation as <f>]
+/// [instances ...]`.
+struct ClassClause {
+  std::string class_name;
+  std::string control;        // Control-area widget prototype.
+  std::string presentation;   // Presentation format.
+  std::vector<InstanceAttrClause> attributes;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// A complete customization directive — one `For ...` block. A single
+/// directive "may spawn several customization rules" (Section 3.4).
+struct Directive {
+  // For clause (the rule Condition; empty = wildcard).
+  std::string user;
+  std::string category;
+  std::string application;
+  /// Extended context dimensions (`when <key> <value>` clauses) — the
+  /// paper's "conceivable extensions to other contextual data (e.g.,
+  /// geographic scale, time framework)".
+  std::map<std::string, std::string> extras;
+
+  // Schema clause.
+  bool has_schema_clause = false;
+  std::string schema_name;
+  active::SchemaDisplayMode schema_mode = active::SchemaDisplayMode::kDefault;
+
+  std::vector<ClassClause> classes;
+
+  /// Canonical identity used as rule provenance, e.g.
+  /// "For user=juliano application=pole_manager schema=phone_net".
+  std::string CanonicalName() const;
+
+  /// Regenerates canonical directive source (parse(ToSource(d)) == d).
+  std::string ToSource() const;
+};
+
+}  // namespace agis::custlang
+
+#endif  // AGIS_CUSTLANG_AST_H_

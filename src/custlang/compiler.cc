@@ -1,0 +1,129 @@
+#include "custlang/compiler.h"
+
+#include "base/strutil.h"
+#include "custlang/analyzer.h"
+
+namespace agis::custlang {
+
+namespace {
+
+active::ContextPattern ConditionOf(const Directive& d) {
+  active::ContextPattern pattern;
+  pattern.user = d.user;
+  pattern.category = d.category;
+  pattern.application = d.application;
+  pattern.extras = d.extras;
+  return pattern;
+}
+
+active::WindowCustomization SchemaPayload(const Directive& d) {
+  active::WindowCustomization cust;
+  cust.schema_mode = d.schema_mode;
+  for (const ClassClause& cls : d.classes) {
+    cust.auto_open_classes.push_back(cls.class_name);
+  }
+  return cust;
+}
+
+active::WindowCustomization ClassPayload(const Directive& d,
+                                         const ClassClause& cls) {
+  active::WindowCustomization cust;
+  cust.schema_mode = d.schema_mode;
+  cust.target_class = cls.class_name;
+  cust.control_widget = CanonicalWidgetName(cls.control);
+  if (cls.control.empty()) cust.control_widget.clear();
+  cust.presentation_format = cls.presentation;
+  return cust;
+}
+
+active::WindowCustomization InstancePayload(const ClassClause& cls) {
+  active::WindowCustomization cust;
+  cust.target_class = cls.class_name;
+  for (const InstanceAttrClause& attr : cls.attributes) {
+    active::AttributeCustomization out;
+    out.attribute = attr.attribute;
+    out.hidden = attr.null_display;
+    out.widget = attr.null_display ? "" : CanonicalWidgetName(attr.widget);
+    out.sources = attr.sources;
+    out.callback = attr.callback;
+    cust.attributes.push_back(std::move(out));
+  }
+  return cust;
+}
+
+}  // namespace
+
+std::vector<active::EcaRule> CompileDirective(const Directive& directive) {
+  std::vector<active::EcaRule> rules;
+  const active::ContextPattern condition = ConditionOf(directive);
+  const std::string provenance = directive.CanonicalName();
+
+  if (directive.has_schema_clause) {
+    active::EcaRule rule;
+    rule.name = agis::StrCat(provenance, "/schema");
+    rule.family = active::RuleFamily::kCustomization;
+    rule.event_name = active::kEventGetSchema;
+    rule.param_filters["schema"] = directive.schema_name;
+    rule.condition = condition;
+    rule.provenance = provenance;
+    const active::WindowCustomization payload = SchemaPayload(directive);
+    rule.customization_action =
+        [payload](const active::Event&)
+        -> agis::Result<active::WindowCustomization> { return payload; };
+    rules.push_back(std::move(rule));
+  }
+
+  for (const ClassClause& cls : directive.classes) {
+    {
+      active::EcaRule rule;
+      rule.name = agis::StrCat(provenance, "/class/", cls.class_name);
+      rule.family = active::RuleFamily::kCustomization;
+      rule.event_name = active::kEventGetClass;
+      rule.param_filters["class"] = cls.class_name;
+      rule.condition = condition;
+      rule.provenance = provenance;
+      const active::WindowCustomization payload =
+          ClassPayload(directive, cls);
+      rule.customization_action =
+          [payload](const active::Event&)
+          -> agis::Result<active::WindowCustomization> { return payload; };
+      rules.push_back(std::move(rule));
+    }
+    if (!cls.attributes.empty()) {
+      active::EcaRule rule;
+      rule.name = agis::StrCat(provenance, "/instances/", cls.class_name);
+      rule.family = active::RuleFamily::kCustomization;
+      rule.event_name = active::kEventGetValue;
+      rule.param_filters["class"] = cls.class_name;
+      rule.condition = condition;
+      rule.provenance = provenance;
+      const active::WindowCustomization payload = InstancePayload(cls);
+      rule.customization_action =
+          [payload](const active::Event&)
+          -> agis::Result<active::WindowCustomization> { return payload; };
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+std::string ExplainCompilation(const Directive& directive) {
+  const std::vector<active::EcaRule> rules = CompileDirective(directive);
+  std::string out = agis::StrCat("directive ", directive.CanonicalName(),
+                                 " compiles to ", rules.size(), " rule(s):\n");
+  int index = 1;
+  for (const active::EcaRule& rule : rules) {
+    out += agis::StrCat("R", index++, ": On ", rule.event_name);
+    for (const auto& [key, value] : rule.param_filters) {
+      out += agis::StrCat("(", key, "=", value, ")");
+    }
+    out += agis::StrCat("\n    If ", rule.condition.ToString(), "\n    Then ");
+    const active::Event probe{rule.event_name, UserContext{}, {}};
+    auto payload = rule.customization_action(probe);
+    out += payload.ok() ? payload.value().ToString() : payload.status().ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace agis::custlang

@@ -1,0 +1,35 @@
+#ifndef AGIS_CUSTLANG_COMPILER_H_
+#define AGIS_CUSTLANG_COMPILER_H_
+
+#include <vector>
+
+#include "active/rule.h"
+#include "base/status.h"
+#include "custlang/ast.h"
+
+namespace agis::custlang {
+
+/// Compiles an analyzed directive into its customization ECA rules —
+/// the mapping of Section 3.4:
+///
+///   schema clause          -> rule on Get_Schema  (Schema window)
+///   class clause           -> rule on Get_Class   (Class set window)
+///   instances clauses      -> rule on Get_Value   (Instance window)
+///
+/// Section 4's example compiles to exactly R1 and R2 plus the
+/// Get_Value rule for lines (7)-(12). All produced rules share the
+/// directive's context condition ("This condition is the same for all
+/// rules derived from a given customization directive") and carry its
+/// CanonicalName() as provenance so they can be uninstalled together.
+///
+/// The compiler assumes `AnalyzeDirective` has passed; it performs no
+/// further validation. Widget names are canonicalized here.
+std::vector<active::EcaRule> CompileDirective(const Directive& directive);
+
+/// Human-readable listing of the rules a directive compiles to, in the
+/// paper's "On ... If ... Then ..." notation (used by examples/tests).
+std::string ExplainCompilation(const Directive& directive);
+
+}  // namespace agis::custlang
+
+#endif  // AGIS_CUSTLANG_COMPILER_H_

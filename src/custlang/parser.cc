@@ -1,0 +1,264 @@
+#include "custlang/parser.h"
+
+#include <cctype>
+
+#include "base/strutil.h"
+
+namespace agis::custlang {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+/// Whitespace-splitting lexer with `#` comments and line tracking.
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < source.size() &&
+           !std::isspace(static_cast<unsigned char>(source[i])) &&
+           source[i] != '#') {
+      ++i;
+    }
+    out.push_back(Token{std::string(source.substr(start, i - start)), line});
+  }
+  return out;
+}
+
+bool IsKeyword(const std::string& token, const char* keyword) {
+  return agis::EqualsIgnoreCase(token, keyword);
+}
+
+/// Words that terminate a free-form list (sources).
+bool IsStructuralKeyword(const std::string& token) {
+  static const char* kKeywords[] = {
+      "for",     "user",        "category", "application", "schema",
+      "class",   "display",     "as",       "control",     "presentation",
+      "instances", "attribute", "from",     "using",       "when",
+  };
+  for (const char* kw : kKeywords) {
+    if (IsKeyword(token, kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(Lex(source)) {}
+
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+
+  const Token& Peek() const {
+    static const Token* kEof = new Token{"", -1};
+    return AtEnd() ? *kEof : tokens_[pos_];
+  }
+
+  Token Take() {
+    Token t = Peek();
+    if (!AtEnd()) ++pos_;
+    return t;
+  }
+
+  bool ConsumeKeyword(const char* keyword) {
+    if (!AtEnd() && IsKeyword(Peek().text, keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  agis::Status ExpectKeyword(const char* keyword) {
+    if (ConsumeKeyword(keyword)) return agis::Status::OK();
+    return Error(agis::StrCat("expected '", keyword, "', got '", Peek().text,
+                              "'"));
+  }
+
+  agis::Result<std::string> ExpectIdentifier(const char* what) {
+    if (AtEnd()) {
+      return Error(agis::StrCat("expected ", what, ", got end of input"));
+    }
+    if (IsStructuralKeyword(Peek().text)) {
+      return Error(agis::StrCat("expected ", what, ", got keyword '",
+                                Peek().text, "'"));
+    }
+    return Take().text;
+  }
+
+  agis::Status Error(const std::string& message) const {
+    const int line = AtEnd() ? (tokens_.empty() ? 1 : tokens_.back().line)
+                             : Peek().line;
+    return agis::Status::ParseError(
+        agis::StrCat("line ", line, ": ", message));
+  }
+
+  agis::Result<Directive> ParseOne() {
+    Directive d;
+    AGIS_RETURN_IF_ERROR(ExpectKeyword("for"));
+    // For clause fields in any order, each at most once.
+    while (!AtEnd()) {
+      if (IsKeyword(Peek().text, "user")) {
+        Take();
+        AGIS_ASSIGN_OR_RETURN(d.user, ExpectIdentifier("user name"));
+      } else if (IsKeyword(Peek().text, "category")) {
+        Take();
+        AGIS_ASSIGN_OR_RETURN(d.category, ExpectIdentifier("category name"));
+      } else if (IsKeyword(Peek().text, "application")) {
+        Take();
+        AGIS_ASSIGN_OR_RETURN(d.application,
+                              ExpectIdentifier("application name"));
+      } else if (IsKeyword(Peek().text, "when")) {
+        // Extended context dimension: `when <key> <value>`.
+        Take();
+        AGIS_ASSIGN_OR_RETURN(std::string key,
+                              ExpectIdentifier("context dimension"));
+        AGIS_ASSIGN_OR_RETURN(std::string value,
+                              ExpectIdentifier("context value"));
+        d.extras[key] = value;
+      } else {
+        break;
+      }
+    }
+    if (d.user.empty() && d.category.empty() && d.application.empty() &&
+        d.extras.empty()) {
+      return Error("For clause needs at least one of user/category/application");
+    }
+
+    if (ConsumeKeyword("schema")) {
+      d.has_schema_clause = true;
+      AGIS_ASSIGN_OR_RETURN(d.schema_name, ExpectIdentifier("schema name"));
+      AGIS_RETURN_IF_ERROR(ExpectKeyword("display"));
+      AGIS_RETURN_IF_ERROR(ExpectKeyword("as"));
+      const Token mode = Take();
+      if (IsKeyword(mode.text, "default")) {
+        d.schema_mode = active::SchemaDisplayMode::kDefault;
+      } else if (IsKeyword(mode.text, "hierarchy")) {
+        d.schema_mode = active::SchemaDisplayMode::kHierarchy;
+      } else if (IsKeyword(mode.text, "user-defined")) {
+        d.schema_mode = active::SchemaDisplayMode::kUserDefined;
+      } else if (IsKeyword(mode.text, "null")) {
+        d.schema_mode = active::SchemaDisplayMode::kNull;
+      } else {
+        return Error(agis::StrCat("unknown schema display mode '", mode.text,
+                                  "'"));
+      }
+    }
+
+    while (!AtEnd() && IsKeyword(Peek().text, "class")) {
+      AGIS_ASSIGN_OR_RETURN(ClassClause clause, ParseClassClause());
+      d.classes.push_back(std::move(clause));
+    }
+
+    if (!d.has_schema_clause && d.classes.empty()) {
+      return Error("directive has neither a schema nor a class clause");
+    }
+    return d;
+  }
+
+ private:
+  agis::Result<ClassClause> ParseClassClause() {
+    ClassClause clause;
+    clause.line = Peek().line;
+    AGIS_RETURN_IF_ERROR(ExpectKeyword("class"));
+    AGIS_ASSIGN_OR_RETURN(clause.class_name, ExpectIdentifier("class name"));
+    AGIS_RETURN_IF_ERROR(ExpectKeyword("display"));
+    while (!AtEnd()) {
+      if (IsKeyword(Peek().text, "control")) {
+        Take();
+        AGIS_RETURN_IF_ERROR(ExpectKeyword("as"));
+        AGIS_ASSIGN_OR_RETURN(clause.control,
+                              ExpectIdentifier("control widget name"));
+      } else if (IsKeyword(Peek().text, "presentation")) {
+        Take();
+        AGIS_RETURN_IF_ERROR(ExpectKeyword("as"));
+        AGIS_ASSIGN_OR_RETURN(clause.presentation,
+                              ExpectIdentifier("presentation format name"));
+      } else if (IsKeyword(Peek().text, "instances")) {
+        Take();
+        while (!AtEnd() && IsKeyword(Peek().text, "display")) {
+          AGIS_ASSIGN_OR_RETURN(InstanceAttrClause attr, ParseAttrClause());
+          clause.attributes.push_back(std::move(attr));
+        }
+      } else {
+        break;
+      }
+    }
+    return clause;
+  }
+
+  agis::Result<InstanceAttrClause> ParseAttrClause() {
+    InstanceAttrClause attr;
+    attr.line = Peek().line;
+    AGIS_RETURN_IF_ERROR(ExpectKeyword("display"));
+    AGIS_RETURN_IF_ERROR(ExpectKeyword("attribute"));
+    AGIS_ASSIGN_OR_RETURN(attr.attribute, ExpectIdentifier("attribute name"));
+    AGIS_RETURN_IF_ERROR(ExpectKeyword("as"));
+    if (AtEnd()) return Error("expected widget name or Null");
+    if (IsKeyword(Peek().text, "null")) {
+      Take();
+      attr.null_display = true;
+    } else {
+      AGIS_ASSIGN_OR_RETURN(attr.widget, ExpectIdentifier("widget name"));
+    }
+    if (ConsumeKeyword("from")) {
+      while (!AtEnd() && !IsStructuralKeyword(Peek().text)) {
+        attr.sources.push_back(Take().text);
+      }
+      if (attr.sources.empty()) {
+        return Error("'from' clause needs at least one source");
+      }
+    }
+    if (ConsumeKeyword("using")) {
+      AGIS_ASSIGN_OR_RETURN(attr.callback, ExpectIdentifier("callback name"));
+    }
+    return attr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+
+ public:
+  size_t position() const { return pos_; }
+};
+
+}  // namespace
+
+agis::Result<Directive> ParseDirective(std::string_view source) {
+  Parser parser(source);
+  AGIS_ASSIGN_OR_RETURN(Directive d, parser.ParseOne());
+  if (!parser.AtEnd()) {
+    return parser.Error(
+        agis::StrCat("unexpected trailing token '", parser.Peek().text, "'"));
+  }
+  return d;
+}
+
+agis::Result<std::vector<Directive>> ParseDirectives(std::string_view source) {
+  Parser parser(source);
+  std::vector<Directive> out;
+  while (!parser.AtEnd()) {
+    AGIS_ASSIGN_OR_RETURN(Directive d, parser.ParseOne());
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace agis::custlang

@@ -1,0 +1,30 @@
+#ifndef AGIS_CUSTLANG_PARSER_H_
+#define AGIS_CUSTLANG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "custlang/ast.h"
+
+namespace agis::custlang {
+
+/// Parses a single `For ...` directive (Figure 3 grammar). Errors are
+/// ParseError statuses with line numbers.
+///
+/// Lexical rules: tokens are whitespace-separated words; `#` starts a
+/// comment to end of line; structural keywords (For, user, category,
+/// application, schema, class, display, as, control, presentation,
+/// instances, attribute, from, using, Null and the display modes) are
+/// case-insensitive and reserved — identifiers must not collide with
+/// them. Sources may be dotted paths ("pole.material") or method
+/// calls ("get_supplier_name(pole_supplier)"); callbacks are
+/// "name.event()" words.
+agis::Result<Directive> ParseDirective(std::string_view source);
+
+/// Parses a file of several directives (each starting with `For`).
+agis::Result<std::vector<Directive>> ParseDirectives(std::string_view source);
+
+}  // namespace agis::custlang
+
+#endif  // AGIS_CUSTLANG_PARSER_H_

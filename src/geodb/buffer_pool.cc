@@ -1,0 +1,67 @@
+#include "geodb/buffer_pool.h"
+
+namespace agis::geodb {
+
+BufferPool::BufferPool(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+std::shared_ptr<const BufferSlice> BufferPool::Get(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->slice;
+}
+
+void BufferPool::EvictUntilFits(size_t incoming) {
+  while (!lru_.empty() && used_bytes_ + incoming > capacity_bytes_) {
+    const Node& victim = lru_.back();
+    used_bytes_ -= victim.slice->charge_bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void BufferPool::Put(const std::string& key, BufferSlice slice) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_bytes_ -= it->second->slice->charge_bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  const size_t charge = slice.charge_bytes;
+  if (charge > capacity_bytes_) return;  // Never cacheable; skip.
+  EvictUntilFits(charge);
+  lru_.push_front(
+      Node{key, std::make_shared<const BufferSlice>(std::move(slice))});
+  map_[key] = lru_.begin();
+  used_bytes_ += charge;
+  stats_.inserted_bytes += charge;
+}
+
+size_t BufferPool::InvalidatePrefix(const std::string& prefix) {
+  size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      used_bytes_ -= it->slice->charge_bytes;
+      map_.erase(it->key);
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace agis::geodb

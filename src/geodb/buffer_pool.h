@@ -1,0 +1,88 @@
+#ifndef AGIS_GEODB_BUFFER_POOL_H_
+#define AGIS_GEODB_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geodb/value.h"
+
+namespace agis::geodb {
+
+/// A cached query result: the object ids a display request produced,
+/// with the byte charge the pool accounts for.
+struct BufferSlice {
+  std::vector<ObjectId> ids;
+  size_t charge_bytes = 0;
+};
+
+/// Cumulative statistics; readable at any time, reset on demand.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t inserted_bytes = 0;
+
+  double HitRatio() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// LRU display-buffer manager.
+///
+/// The paper singles out buffer management as a DBMS-style problem the
+/// GIS interface must solve: query results feeding map/list displays
+/// are large and users revisit the same regions while browsing. This
+/// pool caches `BufferSlice`s keyed by a query signature under a byte
+/// budget with least-recently-used eviction (experiment C4).
+class BufferPool {
+ public:
+  explicit BufferPool(size_t capacity_bytes);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the cached slice for `key`, or nullptr on miss. A hit
+  /// refreshes recency.
+  std::shared_ptr<const BufferSlice> Get(const std::string& key);
+
+  /// Inserts (or replaces) the slice under `key`, evicting LRU entries
+  /// until the budget holds. Slices larger than the whole budget are
+  /// not cached.
+  void Put(const std::string& key, BufferSlice slice);
+
+  /// Removes every cached slice whose key begins with `prefix`;
+  /// returns the number removed. The database invalidates
+  /// "class/<name>/..." prefixes on writes to that class.
+  size_t InvalidatePrefix(const std::string& prefix);
+
+  void Clear();
+
+  size_t used_bytes() const { return used_bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t entry_count() const { return map_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  struct Node {
+    std::string key;
+    std::shared_ptr<const BufferSlice> slice;
+  };
+
+  void EvictUntilFits(size_t incoming);
+
+  size_t capacity_bytes_;
+  size_t used_bytes_ = 0;
+  std::list<Node> lru_;  // Front = most recent.
+  std::unordered_map<std::string, std::list<Node>::iterator> map_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_BUFFER_POOL_H_

@@ -1,0 +1,514 @@
+#include "geodb/database.h"
+
+#include <algorithm>
+
+#include "base/strutil.h"
+#include "geom/predicates.h"
+#include "spatial/grid_index.h"
+#include "spatial/rtree.h"
+
+namespace agis::geodb {
+
+GeoDatabase::GeoDatabase(std::string schema_name, DatabaseOptions options)
+    : schema_(std::move(schema_name)),
+      options_(options),
+      buffer_pool_(options.buffer_pool_bytes) {}
+
+std::unique_ptr<spatial::SpatialIndex> GeoDatabase::MakeIndex() const {
+  switch (options_.index_kind) {
+    case IndexKind::kRTree:
+      return std::make_unique<spatial::RTree>(options_.rtree_max_entries);
+    case IndexKind::kGrid:
+      return std::make_unique<spatial::GridIndex>(
+          options_.world, options_.grid_cells_per_side);
+    case IndexKind::kLinearScan:
+      return std::make_unique<spatial::LinearScanIndex>();
+  }
+  return std::make_unique<spatial::LinearScanIndex>();
+}
+
+agis::Status GeoDatabase::RegisterClass(ClassDef cls) {
+  const std::string name = cls.name();
+  AGIS_RETURN_IF_ERROR(schema_.AddClass(std::move(cls)));
+  Extent extent;
+  extent.index = MakeIndex();
+  // Resolve the first geometry attribute (including inherited).
+  auto attrs = schema_.AllAttributesOf(name);
+  for (const AttributeDef& a : attrs.value()) {
+    if (a.type == AttrType::kGeometry) {
+      extent.geometry_attr = a.name;
+      break;
+    }
+  }
+  extents_.emplace(name, std::move(extent));
+  return agis::Status::OK();
+}
+
+agis::Status GeoDatabase::RegisterMethod(const std::string& class_name,
+                                         MethodDef method) {
+  // Schema stores classes by value; re-fetch mutably via the map the
+  // Schema owns. Schema has no mutable accessor by design, so methods
+  // are registered through this database-level path.
+  const ClassDef* cls = schema_.FindClass(class_name);
+  if (cls == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  // const_cast is confined here: GeoDatabase owns schema_ and controls
+  // every mutation path.
+  return const_cast<ClassDef*>(cls)->AddMethod(std::move(method));
+}
+
+void GeoDatabase::AddEventSink(DbEventSink* sink) { sinks_.push_back(sink); }
+
+void GeoDatabase::RemoveEventSink(DbEventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+agis::Status GeoDatabase::RunBeforeSinks(const DbEvent& event) {
+  for (DbEventSink* sink : sinks_) {
+    AGIS_RETURN_IF_ERROR(sink->OnBeforeEvent(event));
+  }
+  return agis::Status::OK();
+}
+
+void GeoDatabase::RunAfterSinks(const DbEvent& event) {
+  for (DbEventSink* sink : sinks_) sink->OnAfterEvent(event);
+}
+
+agis::Status GeoDatabase::ValidateAgainstSchema(
+    const std::string& class_name,
+    const std::vector<std::pair<std::string, Value>>& values) const {
+  AGIS_ASSIGN_OR_RETURN(std::vector<AttributeDef> attrs,
+                        schema_.AllAttributesOf(class_name));
+  for (const auto& [attr_name, value] : values) {
+    const AttributeDef* def = nullptr;
+    for (const AttributeDef& a : attrs) {
+      if (a.name == attr_name) {
+        def = &a;
+        break;
+      }
+    }
+    if (def == nullptr) {
+      return agis::Status::NotFound(
+          agis::StrCat("class '", class_name, "' has no attribute '",
+                       attr_name, "'"));
+    }
+    AGIS_RETURN_IF_ERROR(
+        CheckValueType(schema_, *def, value).WithContext(class_name));
+  }
+  // Required attributes must be supplied and non-null.
+  for (const AttributeDef& a : attrs) {
+    if (!a.required) continue;
+    bool found = false;
+    for (const auto& [attr_name, value] : values) {
+      if (attr_name == a.name && !value.is_null()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return agis::Status::InvalidArgument(
+          agis::StrCat("required attribute '", a.name, "' of class '",
+                       class_name, "' missing"));
+    }
+  }
+  return agis::Status::OK();
+}
+
+void GeoDatabase::IndexGeometry(Extent* extent, ObjectId id,
+                                const Value& geometry_value) {
+  if (extent->geometry_attr.empty() || geometry_value.is_null()) return;
+  extent->index->Insert(id, geometry_value.geometry_value().Bounds());
+}
+
+void GeoDatabase::InvalidateClassBuffers(const std::string& class_name) {
+  buffer_pool_.InvalidatePrefix(agis::StrCat("class/", class_name, "/"));
+}
+
+agis::Result<ObjectId> GeoDatabase::Insert(
+    const std::string& class_name,
+    std::vector<std::pair<std::string, Value>> values,
+    const UserContext& ctx) {
+  if (!schema_.HasClass(class_name)) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(class_name, values));
+
+  ObjectInstance obj(next_id_, class_name);
+  for (auto& [attr_name, value] : values) {
+    obj.Set(attr_name, std::move(value));
+  }
+
+  DbEvent event;
+  event.kind = DbEventKind::kBeforeInsert;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  event.class_name = class_name;
+  event.object_id = obj.id();
+  Extent& extent = extents_.at(class_name);
+  if (!extent.geometry_attr.empty()) {
+    event.attribute = extent.geometry_attr;
+    event.new_value = obj.Get(extent.geometry_attr);
+  }
+  const agis::Status veto = RunBeforeSinks(event);
+  if (!veto.ok()) {
+    ++stats_.vetoed_writes;
+    return veto;
+  }
+
+  const ObjectId id = next_id_++;
+  IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
+  extent.ids.push_back(id);
+  objects_.emplace(id, std::move(obj));
+  InvalidateClassBuffers(class_name);
+  ++stats_.inserts;
+
+  event.kind = DbEventKind::kAfterInsert;
+  RunAfterSinks(event);
+  return id;
+}
+
+agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
+                                 Value value, const UserContext& ctx) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  ObjectInstance& obj = it->second;
+  const AttributeDef* def =
+      schema_.FindAttributeOf(obj.class_name(), attribute);
+  if (def == nullptr) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", obj.class_name(), "' has no attribute '",
+                     attribute, "'"));
+  }
+  AGIS_RETURN_IF_ERROR(CheckValueType(schema_, *def, value));
+
+  DbEvent event;
+  event.kind = DbEventKind::kBeforeUpdate;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  event.class_name = obj.class_name();
+  event.object_id = id;
+  event.attribute = attribute;
+  event.old_value = obj.Get(attribute);
+  event.new_value = value;
+  const agis::Status veto = RunBeforeSinks(event);
+  if (!veto.ok()) {
+    ++stats_.vetoed_writes;
+    return veto;
+  }
+
+  Extent& extent = extents_.at(obj.class_name());
+  if (attribute == extent.geometry_attr) {
+    extent.index->Remove(id);
+  }
+  obj.Set(attribute, std::move(value));
+  if (attribute == extent.geometry_attr) {
+    IndexGeometry(&extent, id, obj.Get(attribute));
+  }
+  InvalidateClassBuffers(obj.class_name());
+  ++stats_.updates;
+
+  event.kind = DbEventKind::kAfterUpdate;
+  RunAfterSinks(event);
+  return agis::Status::OK();
+}
+
+agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  const std::string class_name = it->second.class_name();
+
+  DbEvent event;
+  event.kind = DbEventKind::kBeforeDelete;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  event.class_name = class_name;
+  event.object_id = id;
+  const agis::Status veto = RunBeforeSinks(event);
+  if (!veto.ok()) {
+    ++stats_.vetoed_writes;
+    return veto;
+  }
+
+  Extent& extent = extents_.at(class_name);
+  extent.index->Remove(id);
+  extent.ids.erase(std::remove(extent.ids.begin(), extent.ids.end(), id),
+                   extent.ids.end());
+  objects_.erase(it);
+  InvalidateClassBuffers(class_name);
+  ++stats_.deletes;
+
+  event.kind = DbEventKind::kAfterDelete;
+  RunAfterSinks(event);
+  return agis::Status::OK();
+}
+
+agis::Result<const Schema*> GeoDatabase::GetSchema(const UserContext& ctx) {
+  DbEvent event;
+  event.kind = DbEventKind::kGetSchema;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  ++stats_.get_schema_calls;
+  RunAfterSinks(event);
+  return &schema_;
+}
+
+agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
+    const std::string& class_name, const GetClassOptions& options) const {
+  std::vector<std::string> classes = {class_name};
+  if (options.include_subclasses) {
+    // Breadth-first over the subclass tree.
+    for (size_t i = 0; i < classes.size(); ++i) {
+      for (const std::string& sub : schema_.SubclassesOf(classes[i])) {
+        classes.push_back(sub);
+      }
+    }
+  }
+
+  std::vector<ObjectId> out;
+  for (const std::string& cls : classes) {
+    const Extent& extent = extents_.at(cls);
+    std::vector<ObjectId> candidates;
+    const bool spatially_filtered =
+        options.window.has_value() || options.spatial.has_value();
+    if (spatially_filtered && !extent.geometry_attr.empty()) {
+      // Probe the index with the tighter of window and spatial-target
+      // box; exact filters below refine the candidates.
+      geom::BoundingBox probe;
+      if (options.window.has_value()) probe = *options.window;
+      if (options.spatial.has_value()) {
+        const geom::BoundingBox target_box = options.spatial->target.Bounds();
+        if (!options.window.has_value() || target_box.Area() < probe.Area()) {
+          probe = target_box;
+        }
+      }
+      candidates = extent.index->Query(probe);
+      std::sort(candidates.begin(), candidates.end());
+    } else {
+      candidates = extent.ids;
+    }
+
+    for (ObjectId id : candidates) {
+      const ObjectInstance& obj = objects_.at(id);
+      bool keep = true;
+
+      if (spatially_filtered && !extent.geometry_attr.empty()) {
+        const Value& gv = obj.Get(extent.geometry_attr);
+        if (gv.is_null()) {
+          keep = false;
+        } else {
+          const geom::Geometry& g = gv.geometry_value();
+          if (options.window.has_value() &&
+              !g.Bounds().Intersects(*options.window)) {
+            keep = false;
+          }
+          if (keep && options.spatial.has_value() &&
+              !geom::Satisfies(g, options.spatial->target,
+                               options.spatial->relation)) {
+            keep = false;
+          }
+        }
+      } else if (spatially_filtered && extent.geometry_attr.empty()) {
+        keep = false;  // Spatial filter over a non-spatial class.
+      }
+
+      for (const AttrPredicate& pred : options.predicates) {
+        if (!keep) break;
+        const Value& v = obj.Get(pred.attribute);
+        if (pred.op == CompareOp::kContains) {
+          keep = v.kind() == ValueKind::kString &&
+                 pred.operand.kind() == ValueKind::kString &&
+                 v.string_value().find(pred.operand.string_value()) !=
+                     std::string::npos;
+          continue;
+        }
+        auto cmp = CompareValues(v, pred.operand);
+        if (!cmp.ok()) {
+          keep = false;
+          continue;
+        }
+        const int c = cmp.value();
+        switch (pred.op) {
+          case CompareOp::kEq:
+            keep = c == 0;
+            break;
+          case CompareOp::kNe:
+            keep = c != 0;
+            break;
+          case CompareOp::kLt:
+            keep = c < 0;
+            break;
+          case CompareOp::kLe:
+            keep = c <= 0;
+            break;
+          case CompareOp::kGt:
+            keep = c > 0;
+            break;
+          case CompareOp::kGe:
+            keep = c >= 0;
+            break;
+          case CompareOp::kContains:
+            break;  // Handled above.
+        }
+      }
+
+      if (keep) {
+        out.push_back(id);
+        if (options.limit != 0 && out.size() >= options.limit) return out;
+      }
+    }
+  }
+  return out;
+}
+
+agis::Result<ClassResult> GeoDatabase::GetClass(const std::string& class_name,
+                                                const GetClassOptions& options,
+                                                const UserContext& ctx) {
+  if (!schema_.HasClass(class_name)) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  ++stats_.get_class_calls;
+
+  DbEvent event;
+  event.kind = DbEventKind::kGetClass;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  event.class_name = class_name;
+  RunAfterSinks(event);
+
+  ClassResult result;
+  result.class_name = class_name;
+
+  const std::string cache_key =
+      agis::StrCat("class/", class_name, "/", options.CacheKeySuffix());
+  if (options.use_buffer_pool) {
+    if (auto slice = buffer_pool_.Get(cache_key)) {
+      result.ids = slice->ids;
+      result.from_cache = true;
+      return result;
+    }
+  }
+
+  AGIS_ASSIGN_OR_RETURN(result.ids, EvaluateGetClass(class_name, options));
+
+  if (options.use_buffer_pool) {
+    BufferSlice slice;
+    slice.ids = result.ids;
+    slice.charge_bytes = 64 + slice.ids.size() * sizeof(ObjectId);
+    // Charge the objects a renderer would pin alongside the id list.
+    for (ObjectId id : slice.ids) {
+      slice.charge_bytes += objects_.at(id).ApproxSizeBytes();
+    }
+    buffer_pool_.Put(cache_key, std::move(slice));
+  }
+  return result;
+}
+
+agis::Result<const ObjectInstance*> GeoDatabase::GetValue(
+    ObjectId id, const UserContext& ctx) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  ++stats_.get_value_calls;
+
+  DbEvent event;
+  event.kind = DbEventKind::kGetValue;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  event.class_name = it->second.class_name();
+  event.object_id = id;
+  RunAfterSinks(event);
+  return &it->second;
+}
+
+agis::Result<Value> GeoDatabase::GetAttributeValue(ObjectId id,
+                                                   const std::string& attribute,
+                                                   const UserContext& ctx) {
+  AGIS_ASSIGN_OR_RETURN(const ObjectInstance* obj, GetValue(id, ctx));
+  if (schema_.FindAttributeOf(obj->class_name(), attribute) == nullptr) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", obj->class_name(), "' has no attribute '",
+                     attribute, "'"));
+  }
+  return obj->Get(attribute);
+}
+
+agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
+  if (obj.id() == 0) {
+    return agis::Status::InvalidArgument("restored object needs an id");
+  }
+  if (objects_.count(obj.id()) != 0) {
+    return agis::Status::AlreadyExists(
+        agis::StrCat("object ", obj.id(), " already exists"));
+  }
+  auto extent_it = extents_.find(obj.class_name());
+  if (extent_it == extents_.end()) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", obj.class_name(), "'"));
+  }
+  std::vector<std::pair<std::string, Value>> values(obj.values().begin(),
+                                                    obj.values().end());
+  AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(obj.class_name(), values));
+  Extent& extent = extent_it->second;
+  const ObjectId id = obj.id();
+  IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
+  extent.ids.push_back(id);
+  objects_.emplace(id, std::move(obj));
+  if (id >= next_id_) next_id_ = id + 1;
+  return agis::Status::OK();
+}
+
+agis::Result<Value> GeoDatabase::CallMethod(ObjectId id,
+                                            const std::string& method) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  const MethodDef* def =
+      schema_.FindMethodOf(it->second.class_name(), method);
+  if (def == nullptr || !def->impl) {
+    return agis::Status::NotFound(
+        agis::StrCat("method '", method, "' on class '",
+                     it->second.class_name(), "'"));
+  }
+  return def->impl(*this, it->second);
+}
+
+agis::Result<std::vector<ObjectId>> GeoDatabase::ScanExtent(
+    const std::string& class_name,
+    const std::optional<geom::BoundingBox>& window) const {
+  auto it = extents_.find(class_name);
+  if (it == extents_.end()) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  const Extent& extent = it->second;
+  if (window.has_value() && !extent.geometry_attr.empty()) {
+    std::vector<ObjectId> ids = extent.index->Query(*window);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+  return extent.ids;
+}
+
+const ObjectInstance* GeoDatabase::FindObject(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+size_t GeoDatabase::ExtentSize(const std::string& class_name) const {
+  auto it = extents_.find(class_name);
+  return it == extents_.end() ? 0 : it->second.ids.size();
+}
+
+std::string GeoDatabase::GeometryAttributeOf(
+    const std::string& class_name) const {
+  auto it = extents_.find(class_name);
+  return it == extents_.end() ? "" : it->second.geometry_attr;
+}
+
+}  // namespace agis::geodb

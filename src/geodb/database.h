@@ -1,0 +1,185 @@
+#ifndef AGIS_GEODB_DATABASE_H_
+#define AGIS_GEODB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/context.h"
+#include "base/status.h"
+#include "geodb/buffer_pool.h"
+#include "geodb/events.h"
+#include "geodb/object.h"
+#include "geodb/query.h"
+#include "geodb/schema.h"
+#include "geodb/value.h"
+#include "spatial/spatial_index.h"
+
+namespace agis::geodb {
+
+/// Spatial index implementation backing class extents.
+enum class IndexKind { kRTree, kGrid, kLinearScan };
+
+/// Tuning and substrate selection for a database instance.
+struct DatabaseOptions {
+  IndexKind index_kind = IndexKind::kRTree;
+  /// World extent; required by the grid index, ignored otherwise.
+  geom::BoundingBox world = geom::BoundingBox(0, 0, 10000, 10000);
+  size_t grid_cells_per_side = 64;
+  size_t rtree_max_entries = 8;
+  size_t buffer_pool_bytes = 8 << 20;
+};
+
+/// Cumulative operation counters, for tests and benches.
+struct DatabaseStats {
+  uint64_t get_schema_calls = 0;
+  uint64_t get_class_calls = 0;
+  uint64_t get_value_calls = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+  uint64_t vetoed_writes = 0;
+};
+
+/// In-memory object-oriented geographic DBMS.
+///
+/// This is the substrate the paper assumes: an OO schema with spatial
+/// attributes, class extents with spatial indexes, the three
+/// exploratory query primitives (`GetSchema`, `GetClass`, `GetValue`)
+/// plus write operations, a display buffer pool, and event emission
+/// hooks that the active mechanism subscribes to. Not thread-safe by
+/// design (the paper's interaction model is a single user session).
+class GeoDatabase {
+ public:
+  explicit GeoDatabase(std::string schema_name,
+                       DatabaseOptions options = DatabaseOptions());
+
+  GeoDatabase(const GeoDatabase&) = delete;
+  GeoDatabase& operator=(const GeoDatabase&) = delete;
+
+  // ---- Schema management -------------------------------------------------
+
+  /// Registers a class and creates its (empty) extent.
+  agis::Status RegisterClass(ClassDef cls);
+
+  const Schema& schema() const { return schema_; }
+
+  /// Attaches a method implementation to a registered class.
+  agis::Status RegisterMethod(const std::string& class_name, MethodDef method);
+
+  // ---- Event sinks -------------------------------------------------------
+
+  /// Sinks observe all events; before-write sinks may veto. Sinks are
+  /// not owned; callers must keep them alive and deregister first.
+  void AddEventSink(DbEventSink* sink);
+  void RemoveEventSink(DbEventSink* sink);
+
+  // ---- Write operations --------------------------------------------------
+
+  /// Validates `values` against the class definition, runs before-
+  /// insert sinks (veto aborts), stores, indexes, and emits
+  /// after-insert.
+  agis::Result<ObjectId> Insert(
+      const std::string& class_name,
+      std::vector<std::pair<std::string, Value>> values,
+      const UserContext& ctx = UserContext());
+
+  /// Single-attribute update with veto support.
+  agis::Status Update(ObjectId id, const std::string& attribute, Value value,
+                      const UserContext& ctx = UserContext());
+
+  agis::Status Delete(ObjectId id, const UserContext& ctx = UserContext());
+
+  // ---- Query primitives (each emits its database event) -------------------
+
+  /// `Get_Schema`: describes the schema. The returned pointer stays
+  /// valid for the database's lifetime.
+  agis::Result<const Schema*> GetSchema(const UserContext& ctx = UserContext());
+
+  /// `Get_Class`: instances of `class_name` matching `options`.
+  agis::Result<ClassResult> GetClass(const std::string& class_name,
+                                     const GetClassOptions& options = {},
+                                     const UserContext& ctx = UserContext());
+
+  /// `Get_Value`: one full instance.
+  agis::Result<const ObjectInstance*> GetValue(
+      ObjectId id, const UserContext& ctx = UserContext());
+
+  /// `Get_Value` narrowed to one attribute.
+  agis::Result<Value> GetAttributeValue(ObjectId id,
+                                        const std::string& attribute,
+                                        const UserContext& ctx = UserContext());
+
+  /// Invokes a registered method on an instance.
+  agis::Result<Value> CallMethod(ObjectId id, const std::string& method) const;
+
+  /// Bulk-load path used by geodb/persist: restores an instance with
+  /// its original id. Validates against the schema and indexes
+  /// geometry but bypasses event sinks and buffer invalidation
+  /// (databases are restored before rules and sessions attach).
+  agis::Status RestoreObject(ObjectInstance obj);
+
+  // ---- Non-event accessors (internal plumbing, no event emission) --------
+
+  /// Object lookup without emitting Get_Value (used by renderers that
+  /// already hold a ClassResult).
+  const ObjectInstance* FindObject(ObjectId id) const;
+
+  /// Extent scan without event emission or caching; `window` narrows
+  /// via the spatial index when the class has a geometry attribute.
+  /// Used by constraint rules, which must not recursively generate
+  /// query events while validating a write.
+  agis::Result<std::vector<ObjectId>> ScanExtent(
+      const std::string& class_name,
+      const std::optional<geom::BoundingBox>& window = std::nullopt) const;
+
+  /// Number of live instances of `class_name` (excluding subclasses).
+  size_t ExtentSize(const std::string& class_name) const;
+
+  size_t NumObjects() const { return objects_.size(); }
+
+  /// The attribute GetClass windows/spatial filters index for
+  /// `class_name` (first geometry attribute, possibly inherited);
+  /// empty when the class has none.
+  std::string GeometryAttributeOf(const std::string& class_name) const;
+
+  BufferPool& buffer_pool() { return buffer_pool_; }
+  const DatabaseStats& stats() const { return stats_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  struct Extent {
+    std::vector<ObjectId> ids;
+    std::unique_ptr<spatial::SpatialIndex> index;
+    std::string geometry_attr;
+  };
+
+  std::unique_ptr<spatial::SpatialIndex> MakeIndex() const;
+  agis::Status RunBeforeSinks(const DbEvent& event);
+  void RunAfterSinks(const DbEvent& event);
+  agis::Status ValidateAgainstSchema(
+      const std::string& class_name,
+      const std::vector<std::pair<std::string, Value>>& values) const;
+  void IndexGeometry(Extent* extent, ObjectId id, const Value& geometry_value);
+  void InvalidateClassBuffers(const std::string& class_name);
+
+  /// Extent evaluation shared by cached and uncached paths.
+  agis::Result<std::vector<ObjectId>> EvaluateGetClass(
+      const std::string& class_name, const GetClassOptions& options) const;
+
+  Schema schema_;
+  DatabaseOptions options_;
+  std::unordered_map<ObjectId, ObjectInstance> objects_;
+  std::map<std::string, Extent> extents_;
+  std::vector<DbEventSink*> sinks_;
+  BufferPool buffer_pool_;
+  DatabaseStats stats_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_DATABASE_H_

@@ -1,0 +1,41 @@
+#include "geodb/events.h"
+
+#include "base/strutil.h"
+
+namespace agis::geodb {
+
+const char* DbEventKindName(DbEventKind kind) {
+  switch (kind) {
+    case DbEventKind::kGetSchema:
+      return "Get_Schema";
+    case DbEventKind::kGetClass:
+      return "Get_Class";
+    case DbEventKind::kGetValue:
+      return "Get_Value";
+    case DbEventKind::kBeforeInsert:
+      return "Before_Insert";
+    case DbEventKind::kAfterInsert:
+      return "After_Insert";
+    case DbEventKind::kBeforeUpdate:
+      return "Before_Update";
+    case DbEventKind::kAfterUpdate:
+      return "After_Update";
+    case DbEventKind::kBeforeDelete:
+      return "Before_Delete";
+    case DbEventKind::kAfterDelete:
+      return "After_Delete";
+  }
+  return "Unknown";
+}
+
+std::string DbEvent::ToString() const {
+  std::string out =
+      agis::StrCat(DbEventKindName(kind), " ", context.ToString());
+  if (!schema_name.empty()) out += agis::StrCat(" schema=", schema_name);
+  if (!class_name.empty()) out += agis::StrCat(" class=", class_name);
+  if (object_id != 0) out += agis::StrCat(" object=", object_id);
+  if (!attribute.empty()) out += agis::StrCat(" attr=", attribute);
+  return out;
+}
+
+}  // namespace agis::geodb

@@ -1,0 +1,62 @@
+#ifndef AGIS_GEODB_EVENTS_H_
+#define AGIS_GEODB_EVENTS_H_
+
+#include <string>
+
+#include "base/context.h"
+#include "base/status.h"
+#include "geodb/value.h"
+
+namespace agis::geodb {
+
+/// Kinds of database events the engine emits. The first three are the
+/// exploratory-mode primitives the interface dispatcher generates
+/// (Section 3.3); the write events feed the integrity/topology rule
+/// family.
+enum class DbEventKind {
+  kGetSchema,
+  kGetClass,
+  kGetValue,
+  kBeforeInsert,
+  kAfterInsert,
+  kBeforeUpdate,
+  kAfterUpdate,
+  kBeforeDelete,
+  kAfterDelete,
+};
+
+const char* DbEventKindName(DbEventKind kind);
+
+/// One database event. Not every field is meaningful for every kind:
+/// `class_name` for GetClass/writes, `object_id` for GetValue/writes,
+/// `attribute`+`old_value`/`new_value` for updates.
+struct DbEvent {
+  DbEventKind kind;
+  UserContext context;       // Who/where the triggering interaction ran.
+  std::string schema_name;
+  std::string class_name;
+  ObjectId object_id = 0;
+  std::string attribute;
+  Value old_value;
+  Value new_value;
+
+  std::string ToString() const;
+};
+
+/// Observer registered with a GeoDatabase. `OnBeforeEvent` runs for
+/// kBefore* events and may veto the write by returning a non-OK
+/// status (this is how topology-constraint rules reject updates);
+/// `OnAfterEvent` runs for all other kinds, after the operation.
+class DbEventSink {
+ public:
+  virtual ~DbEventSink() = default;
+  virtual agis::Status OnBeforeEvent(const DbEvent& event) {
+    (void)event;
+    return agis::Status::OK();
+  }
+  virtual void OnAfterEvent(const DbEvent& event) { (void)event; }
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_EVENTS_H_

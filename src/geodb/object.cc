@@ -1,0 +1,56 @@
+#include "geodb/object.h"
+
+namespace agis::geodb {
+
+namespace {
+const Value& NullValue() {
+  static const Value* kNull = new Value();
+  return *kNull;
+}
+
+size_t ValueSizeBytes(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 16;
+    case ValueKind::kString:
+      return 32 + v.string_value().size();
+    case ValueKind::kBlob:
+      return 48 + v.blob_value().bytes.size();
+    case ValueKind::kGeometry:
+      return 48 + v.geometry_value().NumPoints() * sizeof(geom::Point);
+    case ValueKind::kTuple: {
+      size_t n = 32;
+      for (const auto& [name, value] : v.tuple_value()) {
+        n += name.size() + ValueSizeBytes(value);
+      }
+      return n;
+    }
+    case ValueKind::kList: {
+      size_t n = 32;
+      for (const Value& item : v.list_value()) n += ValueSizeBytes(item);
+      return n;
+    }
+    case ValueKind::kRef:
+      return 48 + v.ref_value().class_name.size();
+  }
+  return 16;
+}
+}  // namespace
+
+const Value& ObjectInstance::Get(const std::string& attr) const {
+  auto it = values_.find(attr);
+  return it == values_.end() ? NullValue() : it->second;
+}
+
+size_t ObjectInstance::ApproxSizeBytes() const {
+  size_t n = 64 + class_name_.size();
+  for (const auto& [attr, value] : values_) {
+    n += attr.size() + ValueSizeBytes(value);
+  }
+  return n;
+}
+
+}  // namespace agis::geodb

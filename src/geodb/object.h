@@ -1,0 +1,47 @@
+#ifndef AGIS_GEODB_OBJECT_H_
+#define AGIS_GEODB_OBJECT_H_
+
+#include <map>
+#include <string>
+
+#include "geodb/value.h"
+
+namespace agis::geodb {
+
+/// A stored instance: identity, class membership, and attribute
+/// values. Unset attributes read as null.
+class ObjectInstance {
+ public:
+  ObjectInstance() = default;
+  ObjectInstance(ObjectId id, std::string class_name)
+      : id_(id), class_name_(std::move(class_name)) {}
+
+  ObjectId id() const { return id_; }
+  const std::string& class_name() const { return class_name_; }
+
+  /// Null when the attribute has never been set.
+  const Value& Get(const std::string& attr) const;
+
+  void Set(const std::string& attr, Value value) {
+    values_[attr] = std::move(value);
+  }
+
+  bool Has(const std::string& attr) const {
+    return values_.count(attr) != 0;
+  }
+
+  const std::map<std::string, Value>& values() const { return values_; }
+
+  /// Rough memory footprint in bytes, used by the buffer manager to
+  /// charge cached result sets.
+  size_t ApproxSizeBytes() const;
+
+ private:
+  ObjectId id_ = 0;
+  std::string class_name_;
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_OBJECT_H_

@@ -1,0 +1,516 @@
+#include "geodb/persist.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/strutil.h"
+#include "geom/wkt.h"
+
+namespace agis::geodb {
+
+namespace {
+
+// ---- Writing ---------------------------------------------------------------
+
+std::string Quoted(std::string_view raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string HexEncode(const std::vector<uint8_t>& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+/// Exact round-trip double formatting.
+std::string DoubleExact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendAttrDef(const AttributeDef& attr, int indent, std::string* out) {
+  const std::string pad = agis::Repeat("  ", static_cast<size_t>(indent));
+  out->append(pad);
+  out->append("attr ");
+  out->append(Quoted(attr.name));
+  out->push_back(' ');
+  switch (attr.type) {
+    case AttrType::kRef:
+      out->append("ref ");
+      out->append(Quoted(attr.ref_class));
+      break;
+    case AttrType::kList:
+      out->append("list ");
+      out->append(attr.list_element ? AttrTypeName(*attr.list_element)
+                                    : "string");
+      break;
+    case AttrType::kTuple:
+      out->append("tuple");
+      break;
+    default:
+      out->append(AttrTypeName(attr.type));
+      break;
+  }
+  if (attr.required) out->append(" required");
+  out->push_back('\n');
+  if (attr.type == AttrType::kTuple) {
+    for (const AttributeDef& field : attr.tuple_fields) {
+      AppendAttrDef(field, indent + 1, out);
+    }
+    out->append(pad);
+    out->append("end\n");
+  }
+}
+
+void AppendValue(const Value& v, int indent, std::string* out) {
+  const std::string pad = agis::Repeat("  ", static_cast<size_t>(indent));
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      out->append("null");
+      break;
+    case ValueKind::kBool:
+      out->append(v.bool_value() ? "bool true" : "bool false");
+      break;
+    case ValueKind::kInt:
+      out->append(agis::StrCat("int ", v.int_value()));
+      break;
+    case ValueKind::kDouble:
+      out->append(agis::StrCat("double ", DoubleExact(v.double_value())));
+      break;
+    case ValueKind::kString:
+      out->append("string ");
+      out->append(Quoted(v.string_value()));
+      break;
+    case ValueKind::kBlob:
+      out->append("blob ");
+      out->append(Quoted(v.blob_value().format));
+      out->push_back(' ');
+      out->append(Quoted(HexEncode(v.blob_value().bytes)));
+      break;
+    case ValueKind::kGeometry:
+      out->append("geometry ");
+      out->append(Quoted(geom::ToWkt(v.geometry_value(), /*precision=*/17)));
+      break;
+    case ValueKind::kRef:
+      out->append(agis::StrCat("ref ", v.ref_value().id, " ",
+                               Quoted(v.ref_value().class_name)));
+      break;
+    case ValueKind::kTuple: {
+      out->append("tuple\n");
+      for (const auto& [name, field] : v.tuple_value()) {
+        out->append(pad);
+        out->append("  ");
+        out->append(Quoted(name));
+        out->push_back(' ');
+        AppendValue(field, indent + 1, out);
+        out->push_back('\n');
+      }
+      out->append(pad);
+      out->append("end");
+      break;
+    }
+    case ValueKind::kList: {
+      out->append("list\n");
+      for (const Value& item : v.list_value()) {
+        out->append(pad);
+        out->append("  ");
+        AppendValue(item, indent + 1, out);
+        out->push_back('\n');
+      }
+      out->append(pad);
+      out->append("end");
+      break;
+    }
+  }
+}
+
+// ---- Reading ---------------------------------------------------------------
+
+class PersistScanner {
+ public:
+  explicit PersistScanner(std::string_view text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  agis::Result<std::string> Word(const char* what) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Error(agis::StrCat("expected ", what, ", got end of input"));
+    }
+    if (text_[pos_] == '"') return Error(agis::StrCat("expected ", what));
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '"') {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Peeks the next word without consuming (empty if next is a quote
+  /// or end).
+  std::string PeekWord() {
+    const size_t saved_pos = pos_;
+    const int saved_line = line_;
+    auto word = Word("word");
+    pos_ = saved_pos;
+    line_ = saved_line;
+    return word.ok() ? word.value() : "";
+  }
+
+  agis::Result<std::string> QuotedString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected quoted string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '"':
+            c = '"';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          default:
+            return Error(agis::StrCat("bad escape \\", esc));
+        }
+      } else if (c == '\n') {
+        return Error("unterminated string");
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  agis::Result<int64_t> Integer(const char* what) {
+    AGIS_ASSIGN_OR_RETURN(std::string word, Word(what));
+    char* end = nullptr;
+    const long long v = std::strtoll(word.c_str(), &end, 10);
+    if (end == word.c_str() || *end != '\0') {
+      return Error(agis::StrCat("bad integer '", word, "'"));
+    }
+    return static_cast<int64_t>(v);
+  }
+
+  agis::Result<double> Double(const char* what) {
+    AGIS_ASSIGN_OR_RETURN(std::string word, Word(what));
+    char* end = nullptr;
+    const double v = std::strtod(word.c_str(), &end);
+    if (end == word.c_str() || *end != '\0') {
+      return Error(agis::StrCat("bad number '", word, "'"));
+    }
+    return v;
+  }
+
+  agis::Status Error(const std::string& message) const {
+    return agis::Status::ParseError(
+        agis::StrCat("agisdb line ", line_, ": ", message));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+agis::Result<AttrType> AttrTypeFromName(const std::string& name,
+                                        PersistScanner* scanner) {
+  for (AttrType type :
+       {AttrType::kBool, AttrType::kInt, AttrType::kDouble, AttrType::kString,
+        AttrType::kText, AttrType::kBlob, AttrType::kGeometry,
+        AttrType::kTuple, AttrType::kRef, AttrType::kList}) {
+    if (name == AttrTypeName(type)) return type;
+  }
+  return scanner->Error(agis::StrCat("unknown attribute type '", name, "'"));
+}
+
+agis::Result<std::vector<uint8_t>> HexDecode(const std::string& hex,
+                                             PersistScanner* scanner) {
+  if (hex.size() % 2 != 0) return scanner->Error("odd hex length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return scanner->Error("bad hex digit");
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+agis::Result<AttributeDef> ParseAttrDef(PersistScanner* scanner) {
+  AttributeDef attr;
+  AGIS_ASSIGN_OR_RETURN(attr.name, scanner->QuotedString());
+  AGIS_ASSIGN_OR_RETURN(std::string type_name,
+                        scanner->Word("attribute type"));
+  if (type_name == "ref") {
+    attr.type = AttrType::kRef;
+    AGIS_ASSIGN_OR_RETURN(attr.ref_class, scanner->QuotedString());
+  } else if (type_name == "list") {
+    attr.type = AttrType::kList;
+    AGIS_ASSIGN_OR_RETURN(std::string elem, scanner->Word("element type"));
+    AGIS_ASSIGN_OR_RETURN(AttrType elem_type,
+                          AttrTypeFromName(elem, scanner));
+    attr.list_element = elem_type;
+  } else {
+    AGIS_ASSIGN_OR_RETURN(attr.type, AttrTypeFromName(type_name, scanner));
+  }
+  if (scanner->PeekWord() == "required") {
+    (void)scanner->Word("required");
+    attr.required = true;
+  }
+  if (attr.type == AttrType::kTuple) {
+    while (true) {
+      const std::string next = scanner->PeekWord();
+      if (next == "end") {
+        (void)scanner->Word("end");
+        break;
+      }
+      if (next != "attr") return scanner->Error("expected attr or end");
+      (void)scanner->Word("attr");
+      AGIS_ASSIGN_OR_RETURN(AttributeDef field, ParseAttrDef(scanner));
+      attr.tuple_fields.push_back(std::move(field));
+    }
+  }
+  return attr;
+}
+
+agis::Result<Value> ParseValue(PersistScanner* scanner) {
+  AGIS_ASSIGN_OR_RETURN(std::string kind, scanner->Word("value kind"));
+  if (kind == "null") return Value();
+  if (kind == "bool") {
+    AGIS_ASSIGN_OR_RETURN(std::string b, scanner->Word("bool"));
+    return Value::Bool(b == "true");
+  }
+  if (kind == "int") {
+    AGIS_ASSIGN_OR_RETURN(int64_t v, scanner->Integer("int value"));
+    return Value::Int(v);
+  }
+  if (kind == "double") {
+    AGIS_ASSIGN_OR_RETURN(double v, scanner->Double("double value"));
+    return Value::Double(v);
+  }
+  if (kind == "string") {
+    AGIS_ASSIGN_OR_RETURN(std::string s, scanner->QuotedString());
+    return Value::String(std::move(s));
+  }
+  if (kind == "blob") {
+    Blob blob;
+    AGIS_ASSIGN_OR_RETURN(blob.format, scanner->QuotedString());
+    AGIS_ASSIGN_OR_RETURN(std::string hex, scanner->QuotedString());
+    AGIS_ASSIGN_OR_RETURN(blob.bytes, HexDecode(hex, scanner));
+    return Value::MakeBlob(std::move(blob));
+  }
+  if (kind == "geometry") {
+    AGIS_ASSIGN_OR_RETURN(std::string wkt, scanner->QuotedString());
+    AGIS_ASSIGN_OR_RETURN(geom::Geometry g, geom::ParseWkt(wkt));
+    return Value::MakeGeometry(std::move(g));
+  }
+  if (kind == "ref") {
+    AGIS_ASSIGN_OR_RETURN(int64_t id, scanner->Integer("ref id"));
+    AGIS_ASSIGN_OR_RETURN(std::string cls, scanner->QuotedString());
+    return Value::Ref(static_cast<ObjectId>(id), std::move(cls));
+  }
+  if (kind == "tuple") {
+    Value::Tuple fields;
+    while (scanner->PeekWord() != "end") {
+      AGIS_ASSIGN_OR_RETURN(std::string name, scanner->QuotedString());
+      AGIS_ASSIGN_OR_RETURN(Value field, ParseValue(scanner));
+      fields.emplace_back(std::move(name), std::move(field));
+    }
+    (void)scanner->Word("end");
+    return Value::MakeTuple(std::move(fields));
+  }
+  if (kind == "list") {
+    Value::List items;
+    while (scanner->PeekWord() != "end") {
+      AGIS_ASSIGN_OR_RETURN(Value item, ParseValue(scanner));
+      items.push_back(std::move(item));
+    }
+    (void)scanner->Word("end");
+    return Value::MakeList(std::move(items));
+  }
+  return scanner->Error(agis::StrCat("unknown value kind '", kind, "'"));
+}
+
+}  // namespace
+
+std::string SaveDatabaseToString(const GeoDatabase& db) {
+  std::string out = "agisdb 1\n";
+  out += agis::StrCat("schema ", Quoted(db.schema().name()), "\n");
+  for (const std::string& class_name : db.schema().ClassNames()) {
+    const ClassDef* cls = db.schema().FindClass(class_name);
+    out += agis::StrCat("class ", Quoted(class_name), " parent ",
+                        Quoted(cls->parent()), " doc ", Quoted(cls->doc()),
+                        "\n");
+    for (const AttributeDef& attr : cls->attributes()) {
+      AppendAttrDef(attr, 1, &out);
+    }
+    out += "end\n";
+  }
+  for (const std::string& class_name : db.schema().ClassNames()) {
+    auto ids = db.ScanExtent(class_name);
+    if (!ids.ok()) continue;
+    for (ObjectId id : ids.value()) {
+      const ObjectInstance* obj = db.FindObject(id);
+      if (obj == nullptr) continue;
+      out += agis::StrCat("object ", id, " ", Quoted(class_name), "\n");
+      for (const auto& [attr, value] : obj->values()) {
+        out += agis::StrCat("  ", Quoted(attr), " ");
+        AppendValue(value, 1, &out);
+        out += "\n";
+      }
+      out += "end\n";
+    }
+  }
+  return out;
+}
+
+agis::Status SaveDatabaseToFile(const GeoDatabase& db,
+                                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return agis::Status::Internal(
+        agis::StrCat("cannot open '", path, "' for writing"));
+  }
+  out << SaveDatabaseToString(db);
+  out.close();
+  if (!out) {
+    return agis::Status::Internal(agis::StrCat("write to '", path,
+                                               "' failed"));
+  }
+  return agis::Status::OK();
+}
+
+agis::Result<std::unique_ptr<GeoDatabase>> LoadDatabaseFromString(
+    std::string_view text, DatabaseOptions options) {
+  PersistScanner scanner(text);
+  AGIS_ASSIGN_OR_RETURN(std::string magic, scanner.Word("'agisdb'"));
+  if (magic != "agisdb") {
+    return scanner.Error("not an agisdb file");
+  }
+  AGIS_ASSIGN_OR_RETURN(int64_t version, scanner.Integer("format version"));
+  if (version != 1) {
+    return scanner.Error(agis::StrCat("unsupported version ", version));
+  }
+  AGIS_ASSIGN_OR_RETURN(std::string keyword, scanner.Word("'schema'"));
+  if (keyword != "schema") return scanner.Error("expected schema");
+  AGIS_ASSIGN_OR_RETURN(std::string schema_name, scanner.QuotedString());
+  auto db = std::make_unique<GeoDatabase>(schema_name, options);
+
+  while (!scanner.AtEnd()) {
+    AGIS_ASSIGN_OR_RETURN(std::string section, scanner.Word("section"));
+    if (section == "class") {
+      AGIS_ASSIGN_OR_RETURN(std::string name, scanner.QuotedString());
+      AGIS_ASSIGN_OR_RETURN(std::string parent_kw, scanner.Word("'parent'"));
+      if (parent_kw != "parent") return scanner.Error("expected parent");
+      AGIS_ASSIGN_OR_RETURN(std::string parent, scanner.QuotedString());
+      AGIS_ASSIGN_OR_RETURN(std::string doc_kw, scanner.Word("'doc'"));
+      if (doc_kw != "doc") return scanner.Error("expected doc");
+      AGIS_ASSIGN_OR_RETURN(std::string doc, scanner.QuotedString());
+      ClassDef cls(name, doc);
+      if (!parent.empty()) cls.set_parent(parent);
+      while (scanner.PeekWord() != "end") {
+        AGIS_ASSIGN_OR_RETURN(std::string attr_kw, scanner.Word("'attr'"));
+        if (attr_kw != "attr") return scanner.Error("expected attr or end");
+        AGIS_ASSIGN_OR_RETURN(AttributeDef attr, ParseAttrDef(&scanner));
+        AGIS_RETURN_IF_ERROR(cls.AddAttribute(std::move(attr)));
+      }
+      (void)scanner.Word("end");
+      AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(cls)));
+      continue;
+    }
+    if (section == "object") {
+      AGIS_ASSIGN_OR_RETURN(int64_t id, scanner.Integer("object id"));
+      AGIS_ASSIGN_OR_RETURN(std::string class_name, scanner.QuotedString());
+      ObjectInstance obj(static_cast<ObjectId>(id), class_name);
+      while (scanner.PeekWord() != "end") {
+        AGIS_ASSIGN_OR_RETURN(std::string attr, scanner.QuotedString());
+        AGIS_ASSIGN_OR_RETURN(Value value, ParseValue(&scanner));
+        obj.Set(attr, std::move(value));
+      }
+      (void)scanner.Word("end");
+      AGIS_RETURN_IF_ERROR(db->RestoreObject(std::move(obj)));
+      continue;
+    }
+    return scanner.Error(agis::StrCat("unknown section '", section, "'"));
+  }
+  return db;
+}
+
+agis::Result<std::unique_ptr<GeoDatabase>> LoadDatabaseFromFile(
+    const std::string& path, DatabaseOptions options) {
+  std::ifstream in(path);
+  if (!in) {
+    return agis::Status::NotFound(agis::StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadDatabaseFromString(buffer.str(), options);
+}
+
+}  // namespace agis::geodb

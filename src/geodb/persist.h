@@ -1,0 +1,36 @@
+#ifndef AGIS_GEODB_PERSIST_H_
+#define AGIS_GEODB_PERSIST_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "geodb/database.h"
+
+namespace agis::geodb {
+
+/// Serializes the whole database — schema catalog and every instance —
+/// to a line-oriented text format ("agisdb 1"). Geometries travel as
+/// WKT, blobs as hex, strings with `\n`/`\"`/`\\`/`\t` escapes.
+///
+/// Method *implementations* are host code and do not persist; callers
+/// re-register them after loading (the same contract as callback
+/// bindings in uilib/serialize.h).
+std::string SaveDatabaseToString(const GeoDatabase& db);
+
+agis::Status SaveDatabaseToFile(const GeoDatabase& db,
+                                const std::string& path);
+
+/// Rebuilds a database from `SaveDatabaseToString` output. Object ids
+/// are preserved (references stay valid); `options` picks the index
+/// substrate of the new instance.
+agis::Result<std::unique_ptr<GeoDatabase>> LoadDatabaseFromString(
+    std::string_view text, DatabaseOptions options = DatabaseOptions());
+
+agis::Result<std::unique_ptr<GeoDatabase>> LoadDatabaseFromFile(
+    const std::string& path, DatabaseOptions options = DatabaseOptions());
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_PERSIST_H_

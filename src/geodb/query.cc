@@ -1,0 +1,49 @@
+#include "geodb/query.h"
+
+#include "base/strutil.h"
+#include "geom/wkt.h"
+
+namespace agis::geodb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "contains";
+  }
+  return "?";
+}
+
+std::string AttrPredicate::ToString() const {
+  return agis::StrCat(attribute, " ", CompareOpName(op), " ",
+                      operand.ToDisplayString());
+}
+
+std::string SpatialFilter::ToString() const {
+  return agis::StrCat(geom::TopoRelationName(relation), " ",
+                      geom::ToWkt(target));
+}
+
+std::string GetClassOptions::CacheKeySuffix() const {
+  std::string out = agis::StrCat("sub=", include_subclasses ? 1 : 0);
+  if (window.has_value()) out += agis::StrCat("/win=", window->ToString());
+  if (spatial.has_value()) out += agis::StrCat("/sp=", spatial->ToString());
+  for (const AttrPredicate& p : predicates) {
+    out += agis::StrCat("/p=", p.ToString());
+  }
+  if (limit != 0) out += agis::StrCat("/lim=", limit);
+  return out;
+}
+
+}  // namespace agis::geodb

@@ -1,0 +1,69 @@
+#ifndef AGIS_GEODB_QUERY_H_
+#define AGIS_GEODB_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geodb/value.h"
+#include "geom/bbox.h"
+#include "geom/topology.h"
+
+namespace agis::geodb {
+
+/// Comparison operators for attribute predicates (the analysis-mode
+/// building block; the exploratory mode uses them for control-area
+/// filters).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+const char* CompareOpName(CompareOp op);
+
+/// A filter on one attribute: `attribute <op> operand`. `kContains`
+/// means substring match on string attributes.
+struct AttrPredicate {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+
+  std::string ToString() const;
+};
+
+/// A spatial filter: instance geometry must satisfy `relation`
+/// against `target` (e.g. inside a service region).
+struct SpatialFilter {
+  geom::Geometry target;
+  geom::TopoRelation relation = geom::TopoRelation::kIntersects;
+
+  std::string ToString() const;
+};
+
+/// Options for the `Get_Class` primitive.
+struct GetClassOptions {
+  /// Also return instances of subclasses.
+  bool include_subclasses = false;
+  /// Restrict to instances whose geometry bbox intersects the window
+  /// (the map viewport).
+  std::optional<geom::BoundingBox> window;
+  /// Exact spatial relation filter (refined after the index pass).
+  std::optional<SpatialFilter> spatial;
+  /// Attribute predicates, all of which must hold.
+  std::vector<AttrPredicate> predicates;
+  /// Serve repeated identical requests from the display buffer pool.
+  bool use_buffer_pool = true;
+  /// Truncate the result to this many instances; 0 = unlimited.
+  size_t limit = 0;
+
+  /// Deterministic cache signature of these options.
+  std::string CacheKeySuffix() const;
+};
+
+/// Result of `Get_Class`.
+struct ClassResult {
+  std::string class_name;
+  std::vector<ObjectId> ids;
+  bool from_cache = false;
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_QUERY_H_

@@ -1,0 +1,238 @@
+#include "geodb/query_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/strutil.h"
+#include "geom/wkt.h"
+
+namespace agis::geodb {
+
+namespace {
+
+/// Word-level scanner; quoted strings ('...') are single tokens.
+class QueryScanner {
+ public:
+  explicit QueryScanner(std::string_view text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  agis::Result<std::string> Next(const char* what) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return agis::Status::ParseError(
+          agis::StrCat("expected ", what, ", got end of query"));
+    }
+    if (text_[pos_] == '\'') {
+      ++pos_;
+      const size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+      if (pos_ >= text_.size()) {
+        return agis::Status::ParseError("unterminated string literal");
+      }
+      std::string out(text_.substr(start, pos_ - start));
+      ++pos_;
+      return out;
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Peeks the next bare word (lower-cased) without consuming.
+  std::string PeekWord() {
+    const size_t saved = pos_;
+    auto word = Next("word");
+    pos_ = saved;
+    return word.ok() ? agis::ToLower(word.value()) : "";
+  }
+
+  /// The rest of the input verbatim (for WKT payloads up to a
+  /// terminating keyword).
+  std::string TakeUntilKeyword(const std::vector<std::string>& stops) {
+    SkipSpace();
+    size_t best_end = text_.size();
+    // Find the earliest occurrence of any stop keyword at a word
+    // boundary.
+    const std::string lowered = agis::ToLower(std::string(text_));
+    for (const std::string& stop : stops) {
+      size_t search = pos_;
+      while (true) {
+        const size_t hit = lowered.find(stop, search);
+        if (hit == std::string::npos) break;
+        const bool start_ok =
+            hit == 0 ||
+            std::isspace(static_cast<unsigned char>(lowered[hit - 1]));
+        const size_t after = hit + stop.size();
+        const bool end_ok =
+            after >= lowered.size() ||
+            std::isspace(static_cast<unsigned char>(lowered[after]));
+        if (start_ok && end_ok) {
+          best_end = std::min(best_end, hit);
+          break;
+        }
+        search = hit + 1;
+      }
+    }
+    std::string out(text_.substr(pos_, best_end - pos_));
+    pos_ = best_end;
+    return agis::Trim(out);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+agis::Result<CompareOp> ParseOp(const std::string& token) {
+  if (token == "=" || token == "==") return CompareOp::kEq;
+  if (token == "!=" || token == "<>") return CompareOp::kNe;
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLe;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGe;
+  if (agis::EqualsIgnoreCase(token, "contains")) return CompareOp::kContains;
+  return agis::Status::ParseError(
+      agis::StrCat("unknown comparison operator '", token, "'"));
+}
+
+/// Literal typing: int, double, bool, else string.
+Value ParseLiteral(const std::string& token, bool quoted) {
+  if (!quoted) {
+    if (agis::EqualsIgnoreCase(token, "true")) return Value::Bool(true);
+    if (agis::EqualsIgnoreCase(token, "false")) return Value::Bool(false);
+    char* end = nullptr;
+    const long long as_int = std::strtoll(token.c_str(), &end, 10);
+    if (end != token.c_str() && *end == '\0') {
+      return Value::Int(as_int);
+    }
+    const double as_double = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() && *end == '\0') {
+      return Value::Double(as_double);
+    }
+  }
+  return Value::String(token);
+}
+
+bool IsQuoted(std::string_view raw_query, const std::string& token) {
+  // Heuristic is unnecessary: the scanner strips quotes, so re-detect
+  // by checking the raw text contains the quoted form.
+  return raw_query.find("'" + token + "'") != std::string_view::npos;
+}
+
+}  // namespace
+
+agis::Result<ParsedQuery> ParseQuery(std::string_view text,
+                                     const Schema& schema) {
+  QueryScanner scanner(text);
+  AGIS_ASSIGN_OR_RETURN(std::string keyword, scanner.Next("'select'"));
+  if (!agis::EqualsIgnoreCase(keyword, "select")) {
+    return agis::Status::ParseError("query must start with 'select'");
+  }
+  ParsedQuery query;
+  AGIS_ASSIGN_OR_RETURN(query.class_name, scanner.Next("class name"));
+  const ClassDef* cls = schema.FindClass(query.class_name);
+  if (cls == nullptr) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", query.class_name, "'"));
+  }
+  query.options.use_buffer_pool = false;  // Analysis queries are ad hoc.
+
+  while (!scanner.AtEnd()) {
+    AGIS_ASSIGN_OR_RETURN(std::string clause, scanner.Next("clause"));
+    const std::string lowered = agis::ToLower(clause);
+
+    if (lowered == "with") {
+      AGIS_ASSIGN_OR_RETURN(std::string what, scanner.Next("'subclasses'"));
+      if (!agis::EqualsIgnoreCase(what, "subclasses")) {
+        return agis::Status::ParseError(
+            agis::StrCat("expected 'subclasses' after 'with', got '", what,
+                         "'"));
+      }
+      query.options.include_subclasses = true;
+      continue;
+    }
+
+    if (lowered == "where" || lowered == "and") {
+      AGIS_ASSIGN_OR_RETURN(std::string attr, scanner.Next("attribute"));
+      if (schema.FindAttributeOf(query.class_name, attr) == nullptr) {
+        return agis::Status::NotFound(
+            agis::StrCat("class '", query.class_name,
+                         "' has no attribute '", attr, "'"));
+      }
+      AGIS_ASSIGN_OR_RETURN(std::string op_token, scanner.Next("operator"));
+      AGIS_ASSIGN_OR_RETURN(CompareOp op, ParseOp(op_token));
+      AGIS_ASSIGN_OR_RETURN(std::string value_token, scanner.Next("value"));
+      AttrPredicate predicate;
+      predicate.attribute = std::move(attr);
+      predicate.op = op;
+      predicate.operand =
+          ParseLiteral(value_token, IsQuoted(text, value_token));
+      query.options.predicates.push_back(std::move(predicate));
+      continue;
+    }
+
+    if (lowered == "window") {
+      double coords[4];
+      for (double& coord : coords) {
+        AGIS_ASSIGN_OR_RETURN(std::string token,
+                              scanner.Next("window coordinate"));
+        char* end = nullptr;
+        coord = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0') {
+          return agis::Status::ParseError(
+              agis::StrCat("bad window coordinate '", token, "'"));
+        }
+      }
+      query.options.window =
+          geom::BoundingBox(coords[0], coords[1], coords[2], coords[3]);
+      continue;
+    }
+
+    if (lowered == "limit") {
+      AGIS_ASSIGN_OR_RETURN(std::string token, scanner.Next("limit count"));
+      char* end = nullptr;
+      const long long n = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() || *end != '\0' || n < 0) {
+        return agis::Status::ParseError(
+            agis::StrCat("bad limit '", token, "'"));
+      }
+      query.options.limit = static_cast<size_t>(n);
+      continue;
+    }
+
+    // Otherwise the clause must be a topological relation followed by
+    // WKT running up to the next clause keyword.
+    auto relation = geom::ParseTopoRelation(clause);
+    if (relation.ok()) {
+      const std::string wkt = scanner.TakeUntilKeyword(
+          {"where", "and", "window", "limit", "with"});
+      if (wkt.empty()) {
+        return agis::Status::ParseError(
+            agis::StrCat("expected WKT after '", clause, "'"));
+      }
+      AGIS_ASSIGN_OR_RETURN(geom::Geometry target, geom::ParseWkt(wkt));
+      query.options.spatial =
+          SpatialFilter{std::move(target), relation.value()};
+      continue;
+    }
+    return agis::Status::ParseError(
+        agis::StrCat("unknown clause '", clause, "'"));
+  }
+  return query;
+}
+
+}  // namespace agis::geodb

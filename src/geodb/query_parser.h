@@ -1,0 +1,42 @@
+#ifndef AGIS_GEODB_QUERY_PARSER_H_
+#define AGIS_GEODB_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "geodb/query.h"
+#include "geodb/schema.h"
+
+namespace agis::geodb {
+
+/// A parsed analysis-mode query.
+struct ParsedQuery {
+  std::string class_name;
+  GetClassOptions options;
+};
+
+/// Parses the small textual query language behind the *analysis*
+/// interaction mode ("evaluate conditions, usually via query
+/// predicates"):
+///
+///   select <Class>
+///     [with subclasses]
+///     [where <attr> <op> <value> [and <attr> <op> <value>]*]
+///     [<relation> <WKT>]            e.g. inside POLYGON ((...))
+///     [window <x0> <y0> <x1> <y1>]
+///     [limit <n>]
+///
+/// Operators: = == != < <= > >= contains. Values: integers, decimals,
+/// true/false, 'quoted strings' or bare words. Relations: any
+/// geom::TopoRelation name (inside, intersects, touches, ...).
+///
+/// The parse is schema-checked: the class must exist and every
+/// predicate attribute must exist on it (so analysis queries fail
+/// fast in the control area instead of silently matching nothing).
+agis::Result<ParsedQuery> ParseQuery(std::string_view text,
+                                     const Schema& schema);
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_QUERY_PARSER_H_

@@ -1,0 +1,291 @@
+#include "geodb/schema.h"
+
+#include "base/strutil.h"
+
+namespace agis::geodb {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kBool:
+      return "bool";
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kDouble:
+      return "double";
+    case AttrType::kString:
+      return "string";
+    case AttrType::kText:
+      return "text";
+    case AttrType::kBlob:
+      return "bitmap";
+    case AttrType::kGeometry:
+      return "geometry";
+    case AttrType::kTuple:
+      return "tuple";
+    case AttrType::kRef:
+      return "ref";
+    case AttrType::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+std::string AttributeDef::TypeString() const {
+  switch (type) {
+    case AttrType::kTuple: {
+      std::string out = "tuple(";
+      for (size_t i = 0; i < tuple_fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += tuple_fields[i].name;
+        out += ": ";
+        out += tuple_fields[i].TypeString();
+      }
+      out += ")";
+      return out;
+    }
+    case AttrType::kRef:
+      return ref_class;
+    case AttrType::kList:
+      return agis::StrCat("list<",
+                          list_element ? AttrTypeName(*list_element) : "?",
+                          ">");
+    default:
+      return AttrTypeName(type);
+  }
+}
+
+agis::Status ClassDef::AddAttribute(AttributeDef attr) {
+  if (attr.name.empty()) {
+    return agis::Status::InvalidArgument("attribute name must not be empty");
+  }
+  if (FindAttribute(attr.name) != nullptr) {
+    return agis::Status::AlreadyExists(
+        agis::StrCat("attribute '", attr.name, "' in class '", name_, "'"));
+  }
+  attributes_.push_back(std::move(attr));
+  return agis::Status::OK();
+}
+
+agis::Status ClassDef::AddMethod(MethodDef method) {
+  if (method.name.empty()) {
+    return agis::Status::InvalidArgument("method name must not be empty");
+  }
+  if (FindMethod(method.name) != nullptr) {
+    return agis::Status::AlreadyExists(
+        agis::StrCat("method '", method.name, "' in class '", name_, "'"));
+  }
+  methods_.push_back(std::move(method));
+  return agis::Status::OK();
+}
+
+const AttributeDef* ClassDef::FindAttribute(const std::string& name) const {
+  for (const AttributeDef& a : attributes_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const MethodDef* ClassDef::FindMethod(const std::string& name) const {
+  for (const MethodDef& m : methods_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+agis::Status Schema::AddClass(ClassDef cls) {
+  if (cls.name().empty()) {
+    return agis::Status::InvalidArgument("class name must not be empty");
+  }
+  if (HasClass(cls.name())) {
+    return agis::Status::AlreadyExists(
+        agis::StrCat("class '", cls.name(), "'"));
+  }
+  if (!cls.parent().empty() && !HasClass(cls.parent())) {
+    return agis::Status::NotFound(
+        agis::StrCat("parent class '", cls.parent(), "' of '", cls.name(),
+                     "' is not registered"));
+  }
+  for (const AttributeDef& a : cls.attributes()) {
+    if (a.type == AttrType::kRef && a.ref_class != cls.name() &&
+        !HasClass(a.ref_class)) {
+      return agis::Status::NotFound(
+          agis::StrCat("reference target class '", a.ref_class,
+                       "' of attribute '", a.name, "' is not registered"));
+    }
+  }
+  order_.push_back(cls.name());
+  classes_.emplace(cls.name(), std::move(cls));
+  return agis::Status::OK();
+}
+
+const ClassDef* Schema::FindClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Schema::ClassNames() const { return order_; }
+
+std::vector<std::string> Schema::SubclassesOf(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const std::string& cls : order_) {
+    if (classes_.at(cls).parent() == name) out.push_back(cls);
+  }
+  return out;
+}
+
+bool Schema::IsSubclassOf(const std::string& cls,
+                          const std::string& ancestor) const {
+  const ClassDef* def = FindClass(cls);
+  while (def != nullptr) {
+    if (def->name() == ancestor) return true;
+    if (def->parent().empty()) return false;
+    def = FindClass(def->parent());
+  }
+  return false;
+}
+
+agis::Result<std::vector<AttributeDef>> Schema::AllAttributesOf(
+    const std::string& cls) const {
+  const ClassDef* def = FindClass(cls);
+  if (def == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("class '", cls, "'"));
+  }
+  // Collect the ancestor chain root-first.
+  std::vector<const ClassDef*> chain;
+  while (def != nullptr) {
+    chain.push_back(def);
+    def = def->parent().empty() ? nullptr : FindClass(def->parent());
+  }
+  std::vector<AttributeDef> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const AttributeDef& a : (*it)->attributes()) out.push_back(a);
+  }
+  return out;
+}
+
+const AttributeDef* Schema::FindAttributeOf(const std::string& cls,
+                                            const std::string& attr) const {
+  const ClassDef* def = FindClass(cls);
+  while (def != nullptr) {
+    const AttributeDef* a = def->FindAttribute(attr);
+    if (a != nullptr) return a;
+    def = def->parent().empty() ? nullptr : FindClass(def->parent());
+  }
+  return nullptr;
+}
+
+const MethodDef* Schema::FindMethodOf(const std::string& cls,
+                                      const std::string& method) const {
+  const ClassDef* def = FindClass(cls);
+  while (def != nullptr) {
+    const MethodDef* m = def->FindMethod(method);
+    if (m != nullptr) return m;
+    def = def->parent().empty() ? nullptr : FindClass(def->parent());
+  }
+  return nullptr;
+}
+
+std::string Schema::ToString() const {
+  std::string out = agis::StrCat("schema ", name_, "\n");
+  for (const std::string& name : order_) {
+    const ClassDef& cls = classes_.at(name);
+    out += agis::StrCat("  class ", name);
+    if (!cls.parent().empty()) out += agis::StrCat(" : ", cls.parent());
+    out += " {\n";
+    for (const AttributeDef& a : cls.attributes()) {
+      out += agis::StrCat("    ", a.name, ": ", a.TypeString(), ";\n");
+    }
+    for (const MethodDef& m : cls.methods()) {
+      out += agis::StrCat("    method ", m.name, "();\n");
+    }
+    out += "  }\n";
+  }
+  return out;
+}
+
+agis::Status CheckValueType(const Schema& schema, const AttributeDef& attr,
+                            const Value& value) {
+  if (value.is_null()) {
+    if (attr.required) {
+      return agis::Status::InvalidArgument(
+          agis::StrCat("attribute '", attr.name, "' is required"));
+    }
+    return agis::Status::OK();
+  }
+  auto type_error = [&attr, &value]() {
+    return agis::Status::InvalidArgument(
+        agis::StrCat("attribute '", attr.name, "' expects ",
+                     attr.TypeString(), ", got ",
+                     ValueKindName(value.kind())));
+  };
+  switch (attr.type) {
+    case AttrType::kBool:
+      if (value.kind() != ValueKind::kBool) return type_error();
+      return agis::Status::OK();
+    case AttrType::kInt:
+      if (value.kind() != ValueKind::kInt) return type_error();
+      return agis::Status::OK();
+    case AttrType::kDouble:
+      if (value.kind() != ValueKind::kDouble &&
+          value.kind() != ValueKind::kInt) {
+        return type_error();
+      }
+      return agis::Status::OK();
+    case AttrType::kString:
+    case AttrType::kText:
+      if (value.kind() != ValueKind::kString) return type_error();
+      return agis::Status::OK();
+    case AttrType::kBlob:
+      if (value.kind() != ValueKind::kBlob) return type_error();
+      return agis::Status::OK();
+    case AttrType::kGeometry:
+      if (value.kind() != ValueKind::kGeometry) return type_error();
+      return agis::Status::OK();
+    case AttrType::kTuple: {
+      if (value.kind() != ValueKind::kTuple) return type_error();
+      // Every provided field must exist and type-check; missing
+      // fields are treated as null.
+      for (const auto& [field_name, field_value] : value.tuple_value()) {
+        const AttributeDef* field_def = nullptr;
+        for (const AttributeDef& f : attr.tuple_fields) {
+          if (f.name == field_name) {
+            field_def = &f;
+            break;
+          }
+        }
+        if (field_def == nullptr) {
+          return agis::Status::InvalidArgument(
+              agis::StrCat("tuple attribute '", attr.name,
+                           "' has no field '", field_name, "'"));
+        }
+        AGIS_RETURN_IF_ERROR(CheckValueType(schema, *field_def, field_value));
+      }
+      return agis::Status::OK();
+    }
+    case AttrType::kRef: {
+      if (value.kind() != ValueKind::kRef) return type_error();
+      const std::string& target = value.ref_value().class_name;
+      if (!schema.IsSubclassOf(target, attr.ref_class)) {
+        return agis::Status::InvalidArgument(
+            agis::StrCat("attribute '", attr.name, "' must reference ",
+                         attr.ref_class, ", got ", target));
+      }
+      return agis::Status::OK();
+    }
+    case AttrType::kList: {
+      if (value.kind() != ValueKind::kList) return type_error();
+      if (attr.list_element.has_value()) {
+        AttributeDef elem;
+        elem.name = attr.name + "[]";
+        elem.type = *attr.list_element;
+        for (const Value& v : value.list_value()) {
+          AGIS_RETURN_IF_ERROR(CheckValueType(schema, elem, v));
+        }
+      }
+      return agis::Status::OK();
+    }
+  }
+  return agis::Status::Internal("unhandled attribute type");
+}
+
+}  // namespace agis::geodb

@@ -1,0 +1,194 @@
+#ifndef AGIS_GEODB_SCHEMA_H_
+#define AGIS_GEODB_SCHEMA_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "geodb/value.h"
+
+namespace agis::geodb {
+
+class GeoDatabase;
+class ObjectInstance;
+
+/// Static type of an attribute in a class definition.
+enum class AttrType {
+  kBool,
+  kInt,
+  kDouble,
+  kString,   // Short text (names, codes).
+  kText,     // Long text (the paper's `pole_historic: text`).
+  kBlob,     // Bitmap/binary (`pole_picture: bitmap`).
+  kGeometry, // Spatial (`pole_location: Geometry`).
+  kTuple,    // Composite (`pole_composition: tuple(...)`).
+  kRef,      // Reference to another class (`pole_supplier: Supplier`).
+  kList,     // Sequence of a single element type.
+};
+
+const char* AttrTypeName(AttrType type);
+
+/// One attribute of a class. Tuples carry nested field definitions;
+/// refs carry the target class name; lists carry the element type.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+  std::string doc;
+
+  std::vector<AttributeDef> tuple_fields;          // When type == kTuple.
+  std::string ref_class;                           // When type == kRef.
+  std::optional<AttrType> list_element;            // When type == kList.
+  bool required = false;
+
+  /// Convenience factories keep workload/schema-building code terse.
+  static AttributeDef Bool(std::string name) {
+    return {std::move(name), AttrType::kBool, "", {}, "", std::nullopt, false};
+  }
+  static AttributeDef Int(std::string name) {
+    return {std::move(name), AttrType::kInt, "", {}, "", std::nullopt, false};
+  }
+  static AttributeDef Double(std::string name) {
+    return {std::move(name), AttrType::kDouble, "", {}, "", std::nullopt,
+            false};
+  }
+  static AttributeDef String(std::string name) {
+    return {std::move(name), AttrType::kString, "", {}, "", std::nullopt,
+            false};
+  }
+  static AttributeDef Text(std::string name) {
+    return {std::move(name), AttrType::kText, "", {}, "", std::nullopt, false};
+  }
+  static AttributeDef Blob(std::string name) {
+    return {std::move(name), AttrType::kBlob, "", {}, "", std::nullopt, false};
+  }
+  static AttributeDef Geometry(std::string name) {
+    return {std::move(name), AttrType::kGeometry, "", {}, "", std::nullopt,
+            false};
+  }
+  static AttributeDef Tuple(std::string name,
+                            std::vector<AttributeDef> fields) {
+    return {std::move(name), AttrType::kTuple, "", std::move(fields), "",
+            std::nullopt, false};
+  }
+  static AttributeDef Ref(std::string name, std::string target_class) {
+    return {std::move(name), AttrType::kRef, "", {},
+            std::move(target_class), std::nullopt, false};
+  }
+  static AttributeDef List(std::string name, AttrType element) {
+    return {std::move(name), AttrType::kList, "", {}, "", element, false};
+  }
+
+  /// Human-readable type: "tuple(material: string, diameter: double)".
+  std::string TypeString() const;
+};
+
+/// A method attached to a class (Figure 5's
+/// `get_supplier_name(Supplier)`), implemented as a host callback that
+/// may read the database (e.g. dereference a supplier).
+struct MethodDef {
+  using Impl = std::function<agis::Result<Value>(const GeoDatabase&,
+                                                 const ObjectInstance&)>;
+  std::string name;
+  std::string doc;
+  Impl impl;
+};
+
+/// One class of the geographic schema. Single inheritance via
+/// `parent`; attribute and method lookup walk the parent chain.
+class ClassDef {
+ public:
+  ClassDef() = default;
+  ClassDef(std::string name, std::string doc)
+      : name_(std::move(name)), doc_(std::move(doc)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& doc() const { return doc_; }
+  const std::string& parent() const { return parent_; }
+  void set_parent(std::string parent) { parent_ = std::move(parent); }
+
+  /// Attributes declared directly on this class (inherited ones live
+  /// on ancestors; see Schema::AllAttributesOf).
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const std::vector<MethodDef>& methods() const { return methods_; }
+
+  agis::Status AddAttribute(AttributeDef attr);
+  agis::Status AddMethod(MethodDef method);
+
+  /// Direct (non-inherited) lookup; nullptr when absent.
+  const AttributeDef* FindAttribute(const std::string& name) const;
+  const MethodDef* FindMethod(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::string doc_;
+  std::string parent_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<MethodDef> methods_;
+};
+
+/// The schema catalog: a named collection of class definitions, the
+/// object the `Get_Schema` primitive describes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Registers `cls`. Fails on duplicates, unknown parents, and refs
+  /// to classes that are neither registered nor `cls` itself
+  /// (self-references are allowed).
+  agis::Status AddClass(ClassDef cls);
+
+  const ClassDef* FindClass(const std::string& name) const;
+  bool HasClass(const std::string& name) const {
+    return FindClass(name) != nullptr;
+  }
+
+  /// All class names in registration order.
+  std::vector<std::string> ClassNames() const;
+
+  /// Direct children of `name` (registration order).
+  std::vector<std::string> SubclassesOf(const std::string& name) const;
+
+  /// True when `cls` equals `ancestor` or derives from it.
+  bool IsSubclassOf(const std::string& cls, const std::string& ancestor) const;
+
+  /// Attributes of `cls` including inherited ones, ancestors first.
+  /// Errors when the class is unknown.
+  agis::Result<std::vector<AttributeDef>> AllAttributesOf(
+      const std::string& cls) const;
+
+  /// Attribute lookup walking the inheritance chain; nullptr if absent.
+  const AttributeDef* FindAttributeOf(const std::string& cls,
+                                      const std::string& attr) const;
+
+  /// Method lookup walking the inheritance chain; nullptr if absent.
+  const MethodDef* FindMethodOf(const std::string& cls,
+                                const std::string& method) const;
+
+  size_t NumClasses() const { return order_.size(); }
+
+  /// Multi-line textual rendering used by the Schema window's
+  /// "hierarchy" display mode and by tests.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, ClassDef> classes_;
+  std::vector<std::string> order_;
+};
+
+/// Checks that `value` is assignable to an attribute of type `attr`
+/// (null is allowed for non-required attributes; Int widens to Double;
+/// tuple fields check recursively; refs must target the declared class
+/// or a subclass — the schema resolves subclassing).
+agis::Status CheckValueType(const Schema& schema, const AttributeDef& attr,
+                            const Value& value);
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_SCHEMA_H_

@@ -1,0 +1,137 @@
+#include "geodb/value.h"
+
+#include "base/strutil.h"
+#include "geom/wkt.h"
+
+namespace agis::geodb {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kBlob:
+      return "blob";
+    case ValueKind::kGeometry:
+      return "geometry";
+    case ValueKind::kTuple:
+      return "tuple";
+    case ValueKind::kList:
+      return "list";
+    case ValueKind::kRef:
+      return "ref";
+  }
+  return "unknown";
+}
+
+agis::Result<double> Value::AsDouble() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return static_cast<double>(int_value());
+    case ValueKind::kDouble:
+      return double_value();
+    default:
+      return agis::Status::InvalidArgument(
+          agis::StrCat("cannot convert ", ValueKindName(kind()),
+                       " value to double"));
+  }
+}
+
+agis::Result<Value> Value::TupleField_(const std::string& name) const {
+  if (kind() != ValueKind::kTuple) {
+    return agis::Status::InvalidArgument(
+        agis::StrCat("value of kind ", ValueKindName(kind()),
+                     " has no tuple fields"));
+  }
+  for (const auto& [field_name, field_value] : tuple_value()) {
+    if (field_name == name) return field_value;
+  }
+  return agis::Status::NotFound(agis::StrCat("tuple field '", name, "'"));
+}
+
+std::string Value::ToDisplayString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueKind::kInt:
+      return agis::StrCat(int_value());
+    case ValueKind::kDouble:
+      return agis::DoubleToString(double_value());
+    case ValueKind::kString:
+      return string_value();
+    case ValueKind::kBlob:
+      return agis::StrCat("<blob ", blob_value().format, " ",
+                          blob_value().bytes.size(), "B>");
+    case ValueKind::kGeometry:
+      return geom::ToWkt(geometry_value());
+    case ValueKind::kTuple: {
+      std::string out = "(";
+      bool first = true;
+      for (const auto& [name, value] : tuple_value()) {
+        if (!first) out += ", ";
+        first = false;
+        out += name;
+        out += ": ";
+        out += value.ToDisplayString();
+      }
+      out += ")";
+      return out;
+    }
+    case ValueKind::kList: {
+      std::string out = "[";
+      for (size_t i = 0; i < list_value().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list_value()[i].ToDisplayString();
+      }
+      out += "]";
+      return out;
+    }
+    case ValueKind::kRef:
+      return agis::StrCat(ref_value().class_name, "#", ref_value().id);
+  }
+  return "?";
+}
+
+agis::Result<int> CompareValues(const Value& a, const Value& b) {
+  const bool a_num =
+      a.kind() == ValueKind::kInt || a.kind() == ValueKind::kDouble;
+  const bool b_num =
+      b.kind() == ValueKind::kInt || b.kind() == ValueKind::kDouble;
+  if (a_num && b_num) {
+    const double x = a.AsDouble().value();
+    const double y = b.AsDouble().value();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.kind() != b.kind()) {
+    return agis::Status::InvalidArgument(
+        agis::StrCat("cannot compare ", ValueKindName(a.kind()), " with ",
+                     ValueKindName(b.kind())));
+  }
+  switch (a.kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return static_cast<int>(a.bool_value()) -
+             static_cast<int>(b.bool_value());
+    case ValueKind::kString: {
+      const int c = a.string_value().compare(b.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return agis::Status::InvalidArgument(
+          agis::StrCat(ValueKindName(a.kind()), " values are not ordered"));
+  }
+}
+
+}  // namespace agis::geodb

@@ -1,0 +1,135 @@
+#ifndef AGIS_GEODB_VALUE_H_
+#define AGIS_GEODB_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "base/status.h"
+#include "geom/geometry.h"
+
+namespace agis::geodb {
+
+/// Identity of a stored object; 0 is never assigned.
+using ObjectId = uint64_t;
+
+/// Opaque binary attribute payload (the paper's `bitmap` attribute
+/// kind, e.g. `pole_picture`).
+struct Blob {
+  std::vector<uint8_t> bytes;
+  std::string format;  // e.g. "pbm", "png"; informational.
+
+  friend bool operator==(const Blob& a, const Blob& b) {
+    return a.format == b.format && a.bytes == b.bytes;
+  }
+};
+
+/// Reference attribute value: points at another stored object
+/// (`pole_supplier: Supplier` in Figure 5).
+struct ObjectRef {
+  ObjectId id = 0;
+  std::string class_name;
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) {
+    return a.id == b.id && a.class_name == b.class_name;
+  }
+};
+
+enum class ValueKind {
+  kNull,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kBlob,
+  kGeometry,
+  kTuple,
+  kList,
+  kRef,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// Dynamically-typed attribute value stored by the geographic DBMS and
+/// shuttled to the interface through the weak-integration protocol.
+///
+/// Tuples are ordered field lists (the paper's `pole_composition:
+/// tuple(material, diameter, height)`); lists hold homogeneous element
+/// sequences.
+class Value {
+ public:
+  using TupleField = std::pair<std::string, Value>;
+  using Tuple = std::vector<TupleField>;
+  using List = std::vector<Value>;
+
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value MakeBlob(Blob b) { return Value(Repr(std::move(b))); }
+  static Value MakeGeometry(geom::Geometry g) {
+    return Value(Repr(std::move(g)));
+  }
+  static Value MakeTuple(Tuple fields) { return Value(Repr(std::move(fields))); }
+  static Value MakeList(List items) { return Value(Repr(std::move(items))); }
+  static Value Ref(ObjectId id, std::string class_name) {
+    return Value(Repr(ObjectRef{id, std::move(class_name)}));
+  }
+
+  ValueKind kind() const { return static_cast<ValueKind>(repr_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  /// Typed accessors; abort on kind mismatch (programming error). Use
+  /// `kind()` or the As* helpers for data-dependent access.
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+  const Blob& blob_value() const { return std::get<Blob>(repr_); }
+  const geom::Geometry& geometry_value() const {
+    return std::get<geom::Geometry>(repr_);
+  }
+  const Tuple& tuple_value() const { return std::get<Tuple>(repr_); }
+  const List& list_value() const { return std::get<List>(repr_); }
+  const ObjectRef& ref_value() const { return std::get<ObjectRef>(repr_); }
+
+  /// Numeric coercion: int and double values convert; everything else
+  /// errors.
+  agis::Result<double> AsDouble() const;
+
+  /// Finds a tuple field by name; errors on non-tuples and absent names.
+  agis::Result<Value> TupleField_(const std::string& name) const;
+
+  /// Display representation used by default widget rendering:
+  /// "null", "true", "42", "3.5", raw strings, "<blob pbm 12B>",
+  /// WKT for geometries, "(material: wood, diameter: 0.3)" for tuples,
+  /// "[1, 2]" for lists, "Supplier#7" for refs.
+  std::string ToDisplayString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double,
+                            std::string, Blob, geom::Geometry, Tuple, List,
+                            ObjectRef>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+/// Three-way comparison used by attribute predicates: returns <0, 0,
+/// >0, or an error for incomparable kinds. Numeric kinds compare
+/// cross-kind (Int 2 == Double 2.0); strings compare lexicographically.
+agis::Result<int> CompareValues(const Value& a, const Value& b);
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_VALUE_H_

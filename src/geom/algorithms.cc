@@ -1,0 +1,164 @@
+#include "geom/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+
+namespace agis::geom {
+
+namespace {
+
+void DouglasPeucker(const std::vector<Point>& pts, size_t first, size_t last,
+                    double tolerance, std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  double worst = -1.0;
+  size_t worst_index = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double d = DistancePointSegment(pts[i], pts[first], pts[last]);
+    if (d > worst) {
+      worst = d;
+      worst_index = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_index] = true;
+    DouglasPeucker(pts, first, worst_index, tolerance, keep);
+    DouglasPeucker(pts, worst_index, last, tolerance, keep);
+  }
+}
+
+std::vector<Point> SimplifyRing(const std::vector<Point>& ring,
+                                double tolerance) {
+  if (ring.size() <= 4) return ring;
+  // Treat the ring as a closed line anchored at index 0 and at the
+  // farthest vertex from it, so simplification cannot collapse it.
+  size_t anchor = 1;
+  double best = -1.0;
+  for (size_t i = 1; i < ring.size(); ++i) {
+    const double d = Distance(ring[0], ring[i]);
+    if (d > best) {
+      best = d;
+      anchor = i;
+    }
+  }
+  std::vector<bool> keep(ring.size(), false);
+  keep[0] = keep[anchor] = true;
+  DouglasPeucker(ring, 0, anchor, tolerance, &keep);
+  // Second half: wrap around via an extended index space.
+  std::vector<Point> extended = ring;
+  extended.push_back(ring[0]);
+  std::vector<bool> keep2(extended.size(), false);
+  keep2[anchor] = keep2[extended.size() - 1] = true;
+  DouglasPeucker(extended, anchor, extended.size() - 1, tolerance, &keep2);
+  std::vector<Point> out;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (keep[i] || keep2[i]) out.push_back(ring[i]);
+  }
+  if (out.size() < 3) return ring;  // Refuse to collapse.
+  return out;
+}
+
+}  // namespace
+
+LineString SimplifyLine(const LineString& line, double tolerance) {
+  const auto& pts = line.points;
+  if (pts.size() < 3 || tolerance <= 0) return line;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(pts, 0, pts.size() - 1, tolerance, &keep);
+  LineString out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.points.push_back(pts[i]);
+  }
+  return out;
+}
+
+Geometry Simplify(const Geometry& g, double tolerance) {
+  switch (g.kind()) {
+    case GeometryKind::kLineString:
+      return Geometry::FromLineString(SimplifyLine(g.linestring(), tolerance));
+    case GeometryKind::kPolygon: {
+      Polygon out;
+      out.outer = SimplifyRing(g.polygon().outer, tolerance);
+      for (const auto& hole : g.polygon().holes) {
+        std::vector<Point> simplified = SimplifyRing(hole, tolerance);
+        if (simplified.size() >= 3) out.holes.push_back(std::move(simplified));
+      }
+      return Geometry::FromPolygon(std::move(out));
+    }
+    default:
+      return g;
+  }
+}
+
+agis::Result<Polygon> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) {
+    return agis::Status::InvalidArgument(
+        "convex hull needs at least 3 distinct points");
+  }
+  const size_t n = points.size();
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {  // Lower hull.
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], points[i]) <= kEpsilon) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {  // Upper hull.
+    while (k >= lower &&
+           Cross(hull[k - 2], hull[k - 1], points[i]) <= kEpsilon) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point repeats the first.
+  if (hull.size() < 3) {
+    return agis::Status::InvalidArgument("points are collinear");
+  }
+  Polygon out;
+  out.outer = std::move(hull);
+  return out;
+}
+
+Polygon BufferPoint(const Point& center, double radius, int segments) {
+  segments = std::max(segments, 3);
+  Polygon out;
+  for (int i = 0; i < segments; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(segments);
+    out.outer.push_back({center.x + radius * std::cos(angle),
+                         center.y + radius * std::sin(angle)});
+  }
+  return out;
+}
+
+agis::Result<Polygon> BufferLine(const LineString& line, double radius,
+                                 int segments) {
+  if (line.points.empty()) {
+    return agis::Status::InvalidArgument("cannot buffer an empty line");
+  }
+  // Convex approximation: hull of disc samples at every vertex and at
+  // midpoints of every segment. Exact for straight lines; an outer
+  // convex bound otherwise.
+  std::vector<Point> samples;
+  auto add_disc = [&samples, radius, segments](const Point& center) {
+    const Polygon disc = BufferPoint(center, radius, std::max(segments, 6));
+    samples.insert(samples.end(), disc.outer.begin(), disc.outer.end());
+  };
+  for (const Point& p : line.points) add_disc(p);
+  for (size_t i = 0; i + 1 < line.points.size(); ++i) {
+    add_disc({(line.points[i].x + line.points[i + 1].x) / 2.0,
+              (line.points[i].y + line.points[i + 1].y) / 2.0});
+  }
+  return ConvexHull(std::move(samples));
+}
+
+}  // namespace agis::geom

@@ -1,0 +1,40 @@
+#ifndef AGIS_GEOM_ALGORITHMS_H_
+#define AGIS_GEOM_ALGORITHMS_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "geom/geometry.h"
+
+namespace agis::geom {
+
+/// Douglas–Peucker polyline simplification: removes vertices whose
+/// perpendicular distance to the local chord is below `tolerance`.
+/// Endpoints are always kept; a line with < 3 points is returned
+/// unchanged. This is the basic cartographic-generalization primitive
+/// the presentation area applies at small display scales.
+LineString SimplifyLine(const LineString& line, double tolerance);
+
+/// Simplifies lines and polygon rings (rings keep at least 4 anchor
+/// points so areas never collapse); points and multipoints pass
+/// through unchanged.
+Geometry Simplify(const Geometry& g, double tolerance);
+
+/// Convex hull (Andrew's monotone chain), counter-clockwise outer
+/// ring. Errors when fewer than 3 distinct non-collinear points.
+agis::Result<Polygon> ConvexHull(std::vector<Point> points);
+
+/// Regular-polygon approximation of a disc of `radius` around
+/// `center` (`segments` >= 3 vertices, counter-clockwise).
+Polygon BufferPoint(const Point& center, double radius, int segments = 16);
+
+/// Buffers a polyline into a polygon corridor of half-width `radius`
+/// (union approximated by the convex hull of per-vertex discs when the
+/// line is short, else per-segment quads merged via hull — adequate
+/// for clearance visualization, not boolean-exact).
+agis::Result<Polygon> BufferLine(const LineString& line, double radius,
+                                 int segments = 8);
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_ALGORITHMS_H_

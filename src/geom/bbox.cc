@@ -1,0 +1,15 @@
+#include "geom/bbox.h"
+
+#include "base/strutil.h"
+
+namespace agis::geom {
+
+std::string BoundingBox::ToString() const {
+  if (empty()) return "BBox(empty)";
+  return agis::StrCat("BBox(", agis::DoubleToString(min_x), ", ",
+                      agis::DoubleToString(min_y), ", ",
+                      agis::DoubleToString(max_x), ", ",
+                      agis::DoubleToString(max_y), ")");
+}
+
+}  // namespace agis::geom

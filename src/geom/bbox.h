@@ -1,0 +1,101 @@
+#ifndef AGIS_GEOM_BBOX_H_
+#define AGIS_GEOM_BBOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace agis::geom {
+
+/// Axis-aligned bounding box. A default-constructed box is *empty*
+/// (inverted bounds); expanding an empty box by a point yields the
+/// degenerate box containing exactly that point.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  BoundingBox() = default;
+  BoundingBox(double min_x_in, double min_y_in, double max_x_in,
+              double max_y_in)
+      : min_x(min_x_in), min_y(min_y_in), max_x(max_x_in), max_y(max_y_in) {}
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  double Width() const { return empty() ? 0.0 : max_x - min_x; }
+  double Height() const { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  /// Half-perimeter, the classic R-tree enlargement metric.
+  double Margin() const { return Width() + Height(); }
+
+  Point Center() const {
+    return Point{(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Grows this box to cover `p`.
+  void Expand(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grows this box to cover `other` (no-op when `other` is empty).
+  void Expand(const BoundingBox& other) {
+    if (other.empty()) return;
+    min_x = std::min(min_x, other.min_x);
+    min_y = std::min(min_y, other.min_y);
+    max_x = std::max(max_x, other.max_x);
+    max_y = std::max(max_y, other.max_y);
+  }
+
+  /// Returns this box inflated by `d` on every side.
+  BoundingBox Inflated(double d) const {
+    if (empty()) return *this;
+    return BoundingBox(min_x - d, min_y - d, max_x + d, max_y + d);
+  }
+
+  bool Contains(const Point& p) const {
+    return !empty() && p.x >= min_x - kEpsilon && p.x <= max_x + kEpsilon &&
+           p.y >= min_y - kEpsilon && p.y <= max_y + kEpsilon;
+  }
+
+  bool Contains(const BoundingBox& o) const {
+    return !empty() && !o.empty() && o.min_x >= min_x - kEpsilon &&
+           o.max_x <= max_x + kEpsilon && o.min_y >= min_y - kEpsilon &&
+           o.max_y <= max_y + kEpsilon;
+  }
+
+  bool Intersects(const BoundingBox& o) const {
+    return !empty() && !o.empty() && min_x <= o.max_x + kEpsilon &&
+           o.min_x <= max_x + kEpsilon && min_y <= o.max_y + kEpsilon &&
+           o.min_y <= max_y + kEpsilon;
+  }
+
+  /// Union of two boxes.
+  static BoundingBox Union(const BoundingBox& a, const BoundingBox& b) {
+    BoundingBox out = a;
+    out.Expand(b);
+    return out;
+  }
+
+  /// Area of Union(a ∪ {b}) minus area of a; the R-tree insertion cost.
+  static double EnlargementArea(const BoundingBox& a, const BoundingBox& b) {
+    return Union(a, b).Area() - a.Area();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const BoundingBox& a, const BoundingBox& b) {
+    if (a.empty() && b.empty()) return true;
+    return NearlyEqual(a.min_x, b.min_x) && NearlyEqual(a.min_y, b.min_y) &&
+           NearlyEqual(a.max_x, b.max_x) && NearlyEqual(a.max_y, b.max_y);
+  }
+};
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_BBOX_H_

@@ -1,0 +1,146 @@
+#include "geom/geometry.h"
+
+#include <cmath>
+
+namespace agis::geom {
+
+namespace {
+
+double RingSignedArea(const std::vector<Point>& ring) {
+  if (ring.size() < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % ring.size()];
+    sum += a.x * b.y - b.x * a.y;
+  }
+  return sum / 2.0;
+}
+
+double RingPerimeter(const std::vector<Point>& ring) {
+  if (ring.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    sum += Distance(ring[i], ring[(i + 1) % ring.size()]);
+  }
+  return sum;
+}
+
+bool PointsNearlyEqual(const std::vector<Point>& a,
+                       const std::vector<Point>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double LineString::Length() const {
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    sum += Distance(points[i], points[i + 1]);
+  }
+  return sum;
+}
+
+double Polygon::Area() const {
+  double area = std::fabs(RingSignedArea(outer));
+  for (const auto& hole : holes) area -= std::fabs(RingSignedArea(hole));
+  return std::fmax(area, 0.0);
+}
+
+double Polygon::OuterPerimeter() const { return RingPerimeter(outer); }
+
+BoundingBox Geometry::Bounds() const {
+  BoundingBox box;
+  switch (kind()) {
+    case GeometryKind::kPoint:
+      box.Expand(point());
+      break;
+    case GeometryKind::kLineString:
+      for (const Point& p : linestring().points) box.Expand(p);
+      break;
+    case GeometryKind::kPolygon:
+      for (const Point& p : polygon().outer) box.Expand(p);
+      break;
+    case GeometryKind::kMultiPoint:
+      for (const Point& p : multipoint()) box.Expand(p);
+      break;
+  }
+  return box;
+}
+
+size_t Geometry::NumPoints() const {
+  switch (kind()) {
+    case GeometryKind::kPoint:
+      return 1;
+    case GeometryKind::kLineString:
+      return linestring().points.size();
+    case GeometryKind::kPolygon: {
+      size_t n = polygon().outer.size();
+      for (const auto& hole : polygon().holes) n += hole.size();
+      return n;
+    }
+    case GeometryKind::kMultiPoint:
+      return multipoint().size();
+  }
+  return 0;
+}
+
+int Geometry::Dimension() const {
+  switch (kind()) {
+    case GeometryKind::kPoint:
+    case GeometryKind::kMultiPoint:
+      return 0;
+    case GeometryKind::kLineString:
+      return 1;
+    case GeometryKind::kPolygon:
+      return 2;
+  }
+  return 0;
+}
+
+bool operator==(const Geometry& a, const Geometry& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case GeometryKind::kPoint:
+      return a.point() == b.point();
+    case GeometryKind::kLineString:
+      return PointsNearlyEqual(a.linestring().points, b.linestring().points);
+    case GeometryKind::kPolygon: {
+      if (!PointsNearlyEqual(a.polygon().outer, b.polygon().outer)) {
+        return false;
+      }
+      if (a.polygon().holes.size() != b.polygon().holes.size()) return false;
+      for (size_t i = 0; i < a.polygon().holes.size(); ++i) {
+        if (!PointsNearlyEqual(a.polygon().holes[i], b.polygon().holes[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case GeometryKind::kMultiPoint:
+      return PointsNearlyEqual(a.multipoint(), b.multipoint());
+  }
+  return false;
+}
+
+std::string Geometry::KindName() const { return GeometryKindName(kind()); }
+
+const char* GeometryKindName(GeometryKind kind) {
+  switch (kind) {
+    case GeometryKind::kPoint:
+      return "POINT";
+    case GeometryKind::kLineString:
+      return "LINESTRING";
+    case GeometryKind::kPolygon:
+      return "POLYGON";
+    case GeometryKind::kMultiPoint:
+      return "MULTIPOINT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace agis::geom

@@ -1,0 +1,113 @@
+#ifndef AGIS_GEOM_GEOMETRY_H_
+#define AGIS_GEOM_GEOMETRY_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/point.h"
+
+namespace agis::geom {
+
+/// Open or closed polyline. At least two points for a valid instance;
+/// validity is checked by `Validate`, not enforced by construction,
+/// because the WKT parser and generators build incrementally.
+struct LineString {
+  std::vector<Point> points;
+
+  /// Sum of segment lengths.
+  double Length() const;
+  bool IsClosed() const {
+    return points.size() >= 3 && points.front() == points.back();
+  }
+};
+
+/// Simple polygon with optional holes. The outer ring and every hole
+/// are stored *without* the closing duplicate point.
+struct Polygon {
+  std::vector<Point> outer;
+  std::vector<std::vector<Point>> holes;
+
+  /// Area of the outer ring minus hole areas (always >= 0 for valid
+  /// polygons regardless of ring orientation).
+  double Area() const;
+  /// Perimeter of the outer ring only.
+  double OuterPerimeter() const;
+};
+
+enum class GeometryKind { kPoint, kLineString, kPolygon, kMultiPoint };
+
+/// Closed sum type over the shapes the geographic DBMS stores.
+///
+/// A `Geometry` is a value type: copyable, comparable for approximate
+/// equality, and serializable to/from WKT (see geom/wkt.h).
+class Geometry {
+ public:
+  /// Constructs an empty MULTIPOINT (the "no geometry" value).
+  Geometry() : repr_(std::vector<Point>{}) {}
+
+  static Geometry FromPoint(Point p) { return Geometry(Repr(p)); }
+  static Geometry FromLineString(LineString ls) {
+    return Geometry(Repr(std::move(ls)));
+  }
+  static Geometry FromPolygon(Polygon poly) {
+    return Geometry(Repr(std::move(poly)));
+  }
+  static Geometry FromMultiPoint(std::vector<Point> pts) {
+    return Geometry(Repr(std::move(pts)));
+  }
+
+  GeometryKind kind() const {
+    switch (repr_.index()) {
+      case 0:
+        return GeometryKind::kPoint;
+      case 1:
+        return GeometryKind::kLineString;
+      case 2:
+        return GeometryKind::kPolygon;
+      default:
+        return GeometryKind::kMultiPoint;
+    }
+  }
+
+  bool is_point() const { return kind() == GeometryKind::kPoint; }
+  bool is_linestring() const { return kind() == GeometryKind::kLineString; }
+  bool is_polygon() const { return kind() == GeometryKind::kPolygon; }
+  bool is_multipoint() const { return kind() == GeometryKind::kMultiPoint; }
+
+  /// Accessors abort on kind mismatch (programming error).
+  const Point& point() const { return std::get<Point>(repr_); }
+  const LineString& linestring() const { return std::get<LineString>(repr_); }
+  const Polygon& polygon() const { return std::get<Polygon>(repr_); }
+  const std::vector<Point>& multipoint() const {
+    return std::get<std::vector<Point>>(repr_);
+  }
+
+  /// Minimal axis-aligned box covering this geometry; empty box for an
+  /// empty multipoint.
+  BoundingBox Bounds() const;
+
+  /// Number of coordinates stored (outer ring + holes for polygons).
+  size_t NumPoints() const;
+
+  /// Dimension of the shape: 0 for points, 1 for lines, 2 for polygons.
+  int Dimension() const;
+
+  /// Approximate equality: same kind, same coordinates within kEpsilon.
+  friend bool operator==(const Geometry& a, const Geometry& b);
+
+  std::string KindName() const;
+
+ private:
+  using Repr = std::variant<Point, LineString, Polygon, std::vector<Point>>;
+  explicit Geometry(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+const char* GeometryKindName(GeometryKind kind);
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_GEOMETRY_H_

@@ -1,0 +1,43 @@
+#ifndef AGIS_GEOM_POINT_H_
+#define AGIS_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace agis::geom {
+
+/// Tolerance used by all geometric comparisons in this library.
+/// Coordinates are map units (meters in the synthetic workloads), so
+/// 1e-9 is far below any feature dimension while absorbing FP noise.
+inline constexpr double kEpsilon = 1e-9;
+
+/// Returns true when `a` and `b` differ by at most `kEpsilon`.
+inline bool NearlyEqual(double a, double b) {
+  return std::fabs(a - b) <= kEpsilon;
+}
+
+/// A 2-D coordinate in map units.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return NearlyEqual(a.x, b.x) && NearlyEqual(a.y, b.y);
+  }
+};
+
+/// Euclidean distance between `a` and `b`.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Twice the signed area of triangle (a, b, c); > 0 when c lies to the
+/// left of the directed line a->b.
+inline double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_POINT_H_

@@ -1,0 +1,612 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agis::geom {
+
+namespace {
+
+/// Sign of the cross product with an epsilon dead-zone scaled by the
+/// magnitudes involved, so large coordinates don't mis-classify.
+int OrientationSign(const Point& a, const Point& b, const Point& c) {
+  const double v = Cross(a, b, c);
+  const double scale =
+      std::fabs(b.x - a.x) + std::fabs(b.y - a.y) + std::fabs(c.x - a.x) +
+      std::fabs(c.y - a.y) + 1.0;
+  if (std::fabs(v) <= kEpsilon * scale) return 0;
+  return v > 0 ? 1 : -1;
+}
+
+struct Segment {
+  Point a;
+  Point b;
+};
+
+/// All boundary segments of a geometry (line segments; polygon ring
+/// edges including holes). Points contribute none.
+std::vector<Segment> BoundarySegments(const Geometry& g) {
+  std::vector<Segment> segs;
+  auto add_ring = [&segs](const std::vector<Point>& ring, bool closed) {
+    if (ring.size() < 2) return;
+    for (size_t i = 0; i + 1 < ring.size(); ++i) {
+      segs.push_back({ring[i], ring[i + 1]});
+    }
+    if (closed && ring.size() >= 3) segs.push_back({ring.back(), ring.front()});
+  };
+  switch (g.kind()) {
+    case GeometryKind::kLineString:
+      add_ring(g.linestring().points, /*closed=*/false);
+      break;
+    case GeometryKind::kPolygon:
+      add_ring(g.polygon().outer, /*closed=*/true);
+      for (const auto& hole : g.polygon().holes) add_ring(hole, true);
+      break;
+    default:
+      break;
+  }
+  return segs;
+}
+
+/// All explicit coordinates of a geometry.
+std::vector<Point> AllPoints(const Geometry& g) {
+  switch (g.kind()) {
+    case GeometryKind::kPoint:
+      return {g.point()};
+    case GeometryKind::kMultiPoint:
+      return g.multipoint();
+    case GeometryKind::kLineString:
+      return g.linestring().points;
+    case GeometryKind::kPolygon: {
+      std::vector<Point> pts = g.polygon().outer;
+      for (const auto& hole : g.polygon().holes) {
+        pts.insert(pts.end(), hole.begin(), hole.end());
+      }
+      return pts;
+    }
+  }
+  return {};
+}
+
+/// True when `p` lies in the *interior* of linestring `ls` (on the
+/// line but not at a free endpoint; closed lines have no boundary).
+bool PointInLineInterior(const Point& p, const LineString& ls) {
+  bool on = false;
+  for (size_t i = 0; i + 1 < ls.points.size(); ++i) {
+    if (PointOnSegment(p, ls.points[i], ls.points[i + 1])) {
+      on = true;
+      break;
+    }
+  }
+  if (!on) return false;
+  if (ls.IsClosed()) return true;
+  return !(p == ls.points.front()) && !(p == ls.points.back());
+}
+
+bool PointOnGeometryBoundaryOrLine(const Point& p, const Geometry& g) {
+  for (const Segment& s : BoundarySegments(g)) {
+    if (PointOnSegment(p, s.a, s.b)) return true;
+  }
+  return false;
+}
+
+/// Parameter of `p` along segment [a, b] in [0, 1]; p must be on it.
+double ParamOnSegment(const Point& p, const Point& a, const Point& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 <= kEpsilon * kEpsilon) return 0.0;
+  return ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+}
+
+/// Collects parameters t in [0,1] where segment [a,b] meets segment
+/// [c,d] (for collinear overlap, both overlap endpoints are added).
+void CollectIntersectionParams(const Point& a, const Point& b, const Point& c,
+                               const Point& d, std::vector<double>* ts) {
+  const int o1 = OrientationSign(a, b, c);
+  const int o2 = OrientationSign(a, b, d);
+  const int o3 = OrientationSign(c, d, a);
+  const int o4 = OrientationSign(c, d, b);
+  if (o1 == 0 && o2 == 0) {
+    // Collinear: project c and d onto [a, b] and clamp.
+    for (const Point& p : {c, d}) {
+      if (PointOnSegment(p, a, b)) ts->push_back(ParamOnSegment(p, a, b));
+    }
+    for (const Point& p : {a, b}) {
+      if (PointOnSegment(p, c, d)) ts->push_back(ParamOnSegment(p, a, b));
+    }
+    return;
+  }
+  if (o1 != o2 && o3 != o4) {
+    // Regular intersection (possibly at an endpoint). Solve.
+    const double denom =
+        (b.x - a.x) * (d.y - c.y) - (b.y - a.y) * (d.x - c.x);
+    if (std::fabs(denom) < 1e-300) return;
+    const double t =
+        ((c.x - a.x) * (d.y - c.y) - (c.y - a.y) * (d.x - c.x)) / denom;
+    if (t >= -kEpsilon && t <= 1.0 + kEpsilon) {
+      ts->push_back(std::clamp(t, 0.0, 1.0));
+    }
+    return;
+  }
+  // Touching cases where an endpoint lies on the other segment.
+  if (PointOnSegment(c, a, b)) ts->push_back(ParamOnSegment(c, a, b));
+  if (PointOnSegment(d, a, b)) ts->push_back(ParamOnSegment(d, a, b));
+  if (PointOnSegment(a, c, d)) ts->push_back(0.0);
+  if (PointOnSegment(b, c, d)) ts->push_back(1.0);
+}
+
+/// Splits segment [a,b] at every crossing with `poly`'s boundary and
+/// classifies the midpoints of the resulting sub-intervals.
+/// Returns true if any midpoint satisfies `want`.
+bool AnySubsegmentMidpoint(const Point& a, const Point& b, const Polygon& poly,
+                           RingSide want) {
+  std::vector<double> ts = {0.0, 1.0};
+  const Geometry pg = Geometry::FromPolygon(poly);
+  for (const Segment& e : BoundarySegments(pg)) {
+    CollectIntersectionParams(a, b, e.a, e.b, &ts);
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end(),
+                       [](double x, double y) { return NearlyEqual(x, y); }),
+           ts.end());
+  for (size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double tm = (ts[i] + ts[i + 1]) / 2.0;
+    const Point mid{a.x + tm * (b.x - a.x), a.y + tm * (b.y - a.y)};
+    if (ClassifyPointInPolygon(mid, poly) == want) return true;
+  }
+  // Degenerate segment (a == b): classify the point itself.
+  if (ts.size() < 2 && ClassifyPointInPolygon(a, poly) == want) return true;
+  return false;
+}
+
+/// A point guaranteed to lie strictly inside `poly` (for valid simple
+/// polygons). Uses a horizontal scanline through the bbox middle,
+/// retrying at perturbed heights if it grazes vertices.
+Point PolygonInteriorPoint(const Polygon& poly) {
+  const Geometry pg = Geometry::FromPolygon(poly);
+  const BoundingBox box = pg.Bounds();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double frac = 0.5 + 0.031 * attempt;
+    const double y =
+        box.min_y + box.Height() * (frac - std::floor(frac));
+    std::vector<double> xs;
+    bool grazes_vertex = false;
+    for (const Segment& e : BoundarySegments(pg)) {
+      if (NearlyEqual(e.a.y, y) || NearlyEqual(e.b.y, y)) {
+        grazes_vertex = true;
+        break;
+      }
+      if ((e.a.y > y) != (e.b.y > y)) {
+        xs.push_back(e.a.x + (y - e.a.y) * (e.b.x - e.a.x) / (e.b.y - e.a.y));
+      }
+    }
+    if (grazes_vertex || xs.size() < 2) continue;
+    std::sort(xs.begin(), xs.end());
+    const Point candidate{(xs[0] + xs[1]) / 2.0, y};
+    if (ClassifyPointInPolygon(candidate, poly) == RingSide::kInside) {
+      return candidate;
+    }
+  }
+  // Fallback: centroid of the outer ring (may lie on the boundary for
+  // pathological shapes; callers treat this as best-effort).
+  Point c{0, 0};
+  for (const Point& p : poly.outer) {
+    c.x += p.x;
+    c.y += p.y;
+  }
+  const double n = static_cast<double>(poly.outer.size());
+  return Point{c.x / n, c.y / n};
+}
+
+/// True if any pair of boundary segments properly crosses.
+bool AnyProperCrossing(const Geometry& a, const Geometry& b) {
+  const auto sa = BoundarySegments(a);
+  const auto sb = BoundarySegments(b);
+  for (const Segment& x : sa) {
+    for (const Segment& y : sb) {
+      if (SegmentsProperlyCross(x.a, x.b, y.a, y.b)) return true;
+    }
+  }
+  return false;
+}
+
+/// True if some pair of boundary segments is collinear with an overlap
+/// of positive length.
+bool AnyCollinearOverlap(const Geometry& a, const Geometry& b) {
+  const auto sa = BoundarySegments(a);
+  const auto sb = BoundarySegments(b);
+  for (const Segment& x : sa) {
+    for (const Segment& y : sb) {
+      if (OrientationSign(x.a, x.b, y.a) != 0 ||
+          OrientationSign(x.a, x.b, y.b) != 0) {
+        continue;
+      }
+      std::vector<double> ts;
+      CollectIntersectionParams(x.a, x.b, y.a, y.b, &ts);
+      if (ts.size() < 2) continue;
+      const auto [mn, mx] = std::minmax_element(ts.begin(), ts.end());
+      const double seg_len = Distance(x.a, x.b);
+      if ((*mx - *mn) * seg_len > 10 * kEpsilon) return true;
+    }
+  }
+  return false;
+}
+
+bool GeometryHasArea(const Geometry& g) { return g.is_polygon(); }
+
+/// Point-set membership: is `p` anywhere on/in `g`?
+bool GeometryCoversPoint(const Geometry& g, const Point& p) {
+  switch (g.kind()) {
+    case GeometryKind::kPoint:
+      return g.point() == p;
+    case GeometryKind::kMultiPoint:
+      for (const Point& q : g.multipoint()) {
+        if (q == p) return true;
+      }
+      return false;
+    case GeometryKind::kLineString:
+      return PointOnGeometryBoundaryOrLine(p, g);
+    case GeometryKind::kPolygon:
+      return ClassifyPointInPolygon(p, g.polygon()) != RingSide::kOutside;
+  }
+  return false;
+}
+
+/// Is `p` in the interior of `g`?
+bool GeometryInteriorCoversPoint(const Geometry& g, const Point& p) {
+  switch (g.kind()) {
+    case GeometryKind::kPoint:
+      return g.point() == p;
+    case GeometryKind::kMultiPoint:
+      for (const Point& q : g.multipoint()) {
+        if (q == p) return true;
+      }
+      return false;
+    case GeometryKind::kLineString:
+      return PointInLineInterior(p, g.linestring());
+    case GeometryKind::kPolygon:
+      return ClassifyPointInPolygon(p, g.polygon()) == RingSide::kInside;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PointOnSegment(const Point& p, const Point& a, const Point& b) {
+  if (OrientationSign(a, b, p) != 0) return false;
+  const double minx = std::min(a.x, b.x) - kEpsilon;
+  const double maxx = std::max(a.x, b.x) + kEpsilon;
+  const double miny = std::min(a.y, b.y) - kEpsilon;
+  const double maxy = std::max(a.y, b.y) + kEpsilon;
+  return p.x >= minx && p.x <= maxx && p.y >= miny && p.y <= maxy;
+}
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  const int o1 = OrientationSign(a1, a2, b1);
+  const int o2 = OrientationSign(a1, a2, b2);
+  const int o3 = OrientationSign(b1, b2, a1);
+  const int o4 = OrientationSign(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && PointOnSegment(b1, a1, a2)) return true;
+  if (o2 == 0 && PointOnSegment(b2, a1, a2)) return true;
+  if (o3 == 0 && PointOnSegment(a1, b1, b2)) return true;
+  if (o4 == 0 && PointOnSegment(a2, b1, b2)) return true;
+  return false;
+}
+
+bool SegmentsProperlyCross(const Point& a1, const Point& a2, const Point& b1,
+                           const Point& b2) {
+  const int o1 = OrientationSign(a1, a2, b1);
+  const int o2 = OrientationSign(a1, a2, b2);
+  const int o3 = OrientationSign(b1, b2, a1);
+  const int o4 = OrientationSign(b1, b2, a2);
+  return o1 * o2 < 0 && o3 * o4 < 0;
+}
+
+RingSide ClassifyPointInRing(const Point& p, const std::vector<Point>& ring) {
+  const size_t n = ring.size();
+  if (n < 3) return RingSide::kOutside;
+  for (size_t i = 0; i < n; ++i) {
+    if (PointOnSegment(p, ring[i], ring[(i + 1) % n])) {
+      return RingSide::kBoundary;
+    }
+  }
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring[i];
+    const Point& b = ring[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_int) inside = !inside;
+    }
+  }
+  return inside ? RingSide::kInside : RingSide::kOutside;
+}
+
+RingSide ClassifyPointInPolygon(const Point& p, const Polygon& poly) {
+  const RingSide outer = ClassifyPointInRing(p, poly.outer);
+  if (outer != RingSide::kInside) return outer;
+  for (const auto& hole : poly.holes) {
+    const RingSide side = ClassifyPointInRing(p, hole);
+    if (side == RingSide::kBoundary) return RingSide::kBoundary;
+    if (side == RingSide::kInside) return RingSide::kOutside;
+  }
+  return RingSide::kInside;
+}
+
+double DistancePointSegment(const Point& p, const Point& a, const Point& b) {
+  const double t = std::clamp(ParamOnSegment(p, a, b), 0.0, 1.0);
+  const Point proj{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+  return Distance(p, proj);
+}
+
+double DistanceSegmentSegment(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2) {
+  if (SegmentsIntersect(a1, a2, b1, b2)) return 0.0;
+  return std::min(std::min(DistancePointSegment(a1, b1, b2),
+                           DistancePointSegment(a2, b1, b2)),
+                  std::min(DistancePointSegment(b1, a1, a2),
+                           DistancePointSegment(b2, a1, a2)));
+}
+
+double Distance(const Geometry& a, const Geometry& b) {
+  if (Intersects(a, b)) return 0.0;
+  const auto pa = AllPoints(a);
+  const auto pb = AllPoints(b);
+  const auto sa = BoundarySegments(a);
+  const auto sb = BoundarySegments(b);
+  double best = std::numeric_limits<double>::infinity();
+  if (sa.empty() && sb.empty()) {
+    for (const Point& x : pa) {
+      for (const Point& y : pb) best = std::min(best, geom::Distance(x, y));
+    }
+    return best;
+  }
+  for (const Point& x : pa) {
+    for (const Segment& s : sb) {
+      best = std::min(best, DistancePointSegment(x, s.a, s.b));
+    }
+  }
+  for (const Point& y : pb) {
+    for (const Segment& s : sa) {
+      best = std::min(best, DistancePointSegment(y, s.a, s.b));
+    }
+  }
+  for (const Segment& x : sa) {
+    for (const Segment& y : sb) {
+      best = std::min(best, DistanceSegmentSegment(x.a, x.b, y.a, y.b));
+    }
+  }
+  if (pb.empty() && !pa.empty() && sb.empty()) return best;
+  return best;
+}
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  // Point-kind against anything: membership test.
+  if (a.Dimension() == 0) {
+    for (const Point& p : AllPoints(a)) {
+      if (GeometryCoversPoint(b, p)) return true;
+    }
+    return false;
+  }
+  if (b.Dimension() == 0) return Intersects(b, a);
+  // Any vertex of one on/in the other (covers containment).
+  for (const Point& p : AllPoints(a)) {
+    if (GeometryCoversPoint(b, p)) return true;
+  }
+  for (const Point& p : AllPoints(b)) {
+    if (GeometryCoversPoint(a, p)) return true;
+  }
+  // Any boundary segments intersecting.
+  const auto sa = BoundarySegments(a);
+  const auto sb = BoundarySegments(b);
+  for (const Segment& x : sa) {
+    for (const Segment& y : sb) {
+      if (SegmentsIntersect(x.a, x.b, y.a, y.b)) return true;
+    }
+  }
+  return false;
+}
+
+bool Disjoint(const Geometry& a, const Geometry& b) {
+  return !Intersects(a, b);
+}
+
+bool InteriorsIntersect(const Geometry& a, const Geometry& b) {
+  if (!a.Bounds().Intersects(b.Bounds())) return false;
+  if (a.Dimension() == 0) {
+    for (const Point& p : AllPoints(a)) {
+      if (GeometryInteriorCoversPoint(b, p)) return true;
+    }
+    return false;
+  }
+  if (b.Dimension() == 0) return InteriorsIntersect(b, a);
+
+  if (a.is_linestring() && b.is_linestring()) {
+    if (AnyProperCrossing(a, b)) return true;
+    if (AnyCollinearOverlap(a, b)) return true;
+    // Touch points: endpoints of either lying on the other.
+    for (const Point& p : AllPoints(a)) {
+      if (PointInLineInterior(p, a.linestring()) &&
+          GeometryInteriorCoversPoint(b, p)) {
+        return true;
+      }
+    }
+    for (const Point& p : AllPoints(b)) {
+      if (PointInLineInterior(p, b.linestring()) &&
+          GeometryInteriorCoversPoint(a, p)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  if (a.is_linestring() && b.is_polygon()) {
+    const auto& pts = a.linestring().points;
+    for (size_t i = 0; i + 1 < pts.size(); ++i) {
+      if (AnySubsegmentMidpoint(pts[i], pts[i + 1], b.polygon(),
+                                RingSide::kInside)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (a.is_polygon() && b.is_linestring()) return InteriorsIntersect(b, a);
+
+  if (a.is_polygon() && b.is_polygon()) {
+    if (AnyProperCrossing(a, b)) return true;
+    for (const Point& p : AllPoints(a)) {
+      if (ClassifyPointInPolygon(p, b.polygon()) == RingSide::kInside) {
+        return true;
+      }
+    }
+    for (const Point& p : AllPoints(b)) {
+      if (ClassifyPointInPolygon(p, a.polygon()) == RingSide::kInside) {
+        return true;
+      }
+    }
+    // Containment / equality without strict vertex penetration.
+    const Point ia = PolygonInteriorPoint(a.polygon());
+    if (ClassifyPointInPolygon(ia, b.polygon()) == RingSide::kInside &&
+        ClassifyPointInPolygon(ia, a.polygon()) == RingSide::kInside) {
+      return true;
+    }
+    const Point ib = PolygonInteriorPoint(b.polygon());
+    if (ClassifyPointInPolygon(ib, a.polygon()) == RingSide::kInside &&
+        ClassifyPointInPolygon(ib, b.polygon()) == RingSide::kInside) {
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool Contains(const Geometry& a, const Geometry& b) {
+  if (!InteriorsIntersect(a, b)) return false;
+  // Every point of b must lie on/in a.
+  if (b.Dimension() == 0) {
+    for (const Point& p : AllPoints(b)) {
+      if (!GeometryCoversPoint(a, p)) return false;
+    }
+    return true;
+  }
+  if (a.Dimension() < b.Dimension()) return false;
+
+  if (a.is_polygon()) {
+    // All of b's vertices must not be outside.
+    for (const Point& p : AllPoints(b)) {
+      if (ClassifyPointInPolygon(p, a.polygon()) == RingSide::kOutside) {
+        return false;
+      }
+    }
+    // No part of b's boundary segments may pass outside a.
+    for (const Segment& s : BoundarySegments(b)) {
+      if (AnySubsegmentMidpoint(s.a, s.b, a.polygon(), RingSide::kOutside)) {
+        return false;
+      }
+    }
+    if (b.is_polygon()) {
+      // b's interior must not poke out: a's boundary may not properly
+      // cross b's, and b's interior sample must be inside a.
+      if (AnyProperCrossing(a, b)) return false;
+      const Point ib = PolygonInteriorPoint(b.polygon());
+      if (ClassifyPointInPolygon(ib, a.polygon()) != RingSide::kInside) {
+        return false;
+      }
+      // A hole of `a` inside `b` would carve out interior points of b.
+      for (const auto& hole : a.polygon().holes) {
+        if (hole.empty()) continue;
+        Polygon hole_poly{hole, {}};
+        const Point hp = PolygonInteriorPoint(hole_poly);
+        if (ClassifyPointInPolygon(hp, b.polygon()) == RingSide::kInside) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  if (a.is_linestring() && b.is_linestring()) {
+    // Sampling containment: all of b's vertices and segment midpoints
+    // must lie on a.
+    for (const Point& p : AllPoints(b)) {
+      if (!GeometryCoversPoint(a, p)) return false;
+    }
+    for (const Segment& s : BoundarySegments(b)) {
+      const Point mid{(s.a.x + s.b.x) / 2.0, (s.a.y + s.b.y) / 2.0};
+      if (!GeometryCoversPoint(a, mid)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool Within(const Geometry& a, const Geometry& b) { return Contains(b, a); }
+
+bool Touches(const Geometry& a, const Geometry& b) {
+  return Intersects(a, b) && !InteriorsIntersect(a, b);
+}
+
+bool Crosses(const Geometry& a, const Geometry& b) {
+  if (a.Dimension() > b.Dimension()) return Crosses(b, a);
+  if (a.Dimension() == 0 && b.Dimension() == 0) return false;
+  if (!InteriorsIntersect(a, b)) return false;
+
+  if (a.Dimension() == 0) {
+    // Multipoint crosses a line/area when some points are interior and
+    // some are fully outside.
+    bool some_in = false;
+    bool some_out = false;
+    for (const Point& p : AllPoints(a)) {
+      if (GeometryInteriorCoversPoint(b, p)) {
+        some_in = true;
+      } else if (!GeometryCoversPoint(b, p)) {
+        some_out = true;
+      }
+    }
+    return some_in && some_out;
+  }
+
+  if (a.is_linestring() && b.is_linestring()) {
+    // Intersection must be zero-dimensional: proper crossing without
+    // collinear overlap, and neither contains the other.
+    if (AnyCollinearOverlap(a, b)) return false;
+    if (Contains(a, b) || Contains(b, a)) return false;
+    return true;
+  }
+
+  if (a.is_linestring() && GeometryHasArea(b)) {
+    // The line must pass both strictly inside and strictly outside.
+    const auto& pts = a.linestring().points;
+    bool some_in = false;
+    bool some_out = false;
+    for (size_t i = 0; i + 1 < pts.size(); ++i) {
+      if (AnySubsegmentMidpoint(pts[i], pts[i + 1], b.polygon(),
+                                RingSide::kInside)) {
+        some_in = true;
+      }
+      if (AnySubsegmentMidpoint(pts[i], pts[i + 1], b.polygon(),
+                                RingSide::kOutside)) {
+        some_out = true;
+      }
+    }
+    return some_in && some_out;
+  }
+  return false;  // Crosses is undefined for area/area.
+}
+
+bool Overlaps(const Geometry& a, const Geometry& b) {
+  if (a.Dimension() != b.Dimension()) return false;
+  if (!InteriorsIntersect(a, b)) return false;
+  if (Contains(a, b) || Contains(b, a)) return false;
+  if (a.is_linestring() && b.is_linestring()) {
+    // Line overlap requires a shared 1-dimensional piece.
+    return AnyCollinearOverlap(a, b);
+  }
+  return true;
+}
+
+}  // namespace agis::geom

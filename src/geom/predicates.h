@@ -1,0 +1,72 @@
+#ifndef AGIS_GEOM_PREDICATES_H_
+#define AGIS_GEOM_PREDICATES_H_
+
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/point.h"
+
+namespace agis::geom {
+
+/// Position of a point relative to a closed ring (no closing duplicate).
+enum class RingSide { kOutside, kBoundary, kInside };
+
+/// True if `p` lies on segment [a, b] within kEpsilon.
+bool PointOnSegment(const Point& p, const Point& a, const Point& b);
+
+/// True if segments [a1,a2] and [b1,b2] share at least one point
+/// (touching endpoints count).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+/// True if the segments cross at a single interior point of both
+/// (proper crossing; shared endpoints and collinear overlap excluded).
+bool SegmentsProperlyCross(const Point& a1, const Point& a2, const Point& b1,
+                           const Point& b2);
+
+/// Ray-casting classification of `p` against `ring`.
+RingSide ClassifyPointInRing(const Point& p, const std::vector<Point>& ring);
+
+/// Classification of `p` against `poly` (holes respected: a point
+/// strictly inside a hole is outside; on a hole edge it is boundary).
+RingSide ClassifyPointInPolygon(const Point& p, const Polygon& poly);
+
+/// Shortest distance from `p` to segment [a, b].
+double DistancePointSegment(const Point& p, const Point& a, const Point& b);
+
+/// Shortest distance between two segments (0 when they intersect).
+double DistanceSegmentSegment(const Point& a1, const Point& a2,
+                              const Point& b1, const Point& b2);
+
+/// Shortest distance between two geometries; 0 when they intersect.
+double Distance(const Geometry& a, const Geometry& b);
+
+/// Named binary predicates over geometries. Semantics follow the
+/// usual GIS definitions (simplified to the shape kinds we store):
+///
+///  - Intersects: share at least one point.
+///  - Disjoint:   !Intersects.
+///  - Contains:   every point of `b` lies in `a`, and the interiors
+///                intersect (boundary-only contact is Touches).
+///  - Within:     Contains with the arguments swapped.
+///  - Touches:    share boundary points but no interior points.
+///  - Crosses:    interiors intersect and each geometry has points the
+///                other does not (for line/line: a proper crossing;
+///                for line/area: the line passes in and out).
+///  - Overlaps:   same-dimension geometries whose interiors intersect
+///                without either containing the other.
+bool Intersects(const Geometry& a, const Geometry& b);
+bool Disjoint(const Geometry& a, const Geometry& b);
+bool Contains(const Geometry& a, const Geometry& b);
+bool Within(const Geometry& a, const Geometry& b);
+bool Touches(const Geometry& a, const Geometry& b);
+bool Crosses(const Geometry& a, const Geometry& b);
+bool Overlaps(const Geometry& a, const Geometry& b);
+
+/// True when the interiors of `a` and `b` share at least one point.
+/// Building block for Touches/Overlaps/Contains.
+bool InteriorsIntersect(const Geometry& a, const Geometry& b);
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_PREDICATES_H_

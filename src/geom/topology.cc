@@ -1,0 +1,77 @@
+#include "geom/topology.h"
+
+#include "base/strutil.h"
+#include "geom/predicates.h"
+
+namespace agis::geom {
+
+const char* TopoRelationName(TopoRelation r) {
+  switch (r) {
+    case TopoRelation::kDisjoint:
+      return "disjoint";
+    case TopoRelation::kTouches:
+      return "touches";
+    case TopoRelation::kOverlaps:
+      return "overlaps";
+    case TopoRelation::kCrosses:
+      return "crosses";
+    case TopoRelation::kContains:
+      return "contains";
+    case TopoRelation::kInside:
+      return "inside";
+    case TopoRelation::kEquals:
+      return "equals";
+    case TopoRelation::kIntersects:
+      return "intersects";
+  }
+  return "unknown";
+}
+
+agis::Result<TopoRelation> ParseTopoRelation(const std::string& name) {
+  const std::string n = agis::ToLower(agis::Trim(name));
+  if (n == "disjoint") return TopoRelation::kDisjoint;
+  if (n == "touches" || n == "meets") return TopoRelation::kTouches;
+  if (n == "overlaps") return TopoRelation::kOverlaps;
+  if (n == "crosses") return TopoRelation::kCrosses;
+  if (n == "contains") return TopoRelation::kContains;
+  if (n == "inside" || n == "within") return TopoRelation::kInside;
+  if (n == "equals" || n == "equal") return TopoRelation::kEquals;
+  if (n == "intersects") return TopoRelation::kIntersects;
+  return agis::Status::ParseError(
+      agis::StrCat("unknown topological relation '", name, "'"));
+}
+
+TopoRelation Relate(const Geometry& a, const Geometry& b) {
+  if (!Intersects(a, b)) return TopoRelation::kDisjoint;
+  if (a == b) return TopoRelation::kEquals;
+  if (Contains(a, b)) return TopoRelation::kContains;
+  if (Within(a, b)) return TopoRelation::kInside;
+  if (Crosses(a, b)) return TopoRelation::kCrosses;
+  if (Overlaps(a, b)) return TopoRelation::kOverlaps;
+  if (Touches(a, b)) return TopoRelation::kTouches;
+  return TopoRelation::kIntersects;
+}
+
+bool Satisfies(const Geometry& a, const Geometry& b, TopoRelation r) {
+  switch (r) {
+    case TopoRelation::kDisjoint:
+      return Disjoint(a, b);
+    case TopoRelation::kTouches:
+      return Touches(a, b);
+    case TopoRelation::kOverlaps:
+      return Overlaps(a, b);
+    case TopoRelation::kCrosses:
+      return Crosses(a, b);
+    case TopoRelation::kContains:
+      return Contains(a, b);
+    case TopoRelation::kInside:
+      return Within(a, b);
+    case TopoRelation::kEquals:
+      return a == b;
+    case TopoRelation::kIntersects:
+      return Intersects(a, b);
+  }
+  return false;
+}
+
+}  // namespace agis::geom

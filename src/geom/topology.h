@@ -1,0 +1,46 @@
+#ifndef AGIS_GEOM_TOPOLOGY_H_
+#define AGIS_GEOM_TOPOLOGY_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "geom/geometry.h"
+
+namespace agis::geom {
+
+/// Named binary topological relations, the vocabulary of the
+/// topological-constraint rule family (Medeiros & Cilia [11] maintain
+/// binary topological constraints through active database rules; this
+/// enum is the constraint language those rules check).
+enum class TopoRelation {
+  kDisjoint,
+  kTouches,
+  kOverlaps,
+  kCrosses,
+  kContains,
+  kInside,   // Within: a inside b.
+  kEquals,
+  kIntersects,  // Generic: any shared point (used as a constraint
+                // target, never returned by Relate).
+};
+
+const char* TopoRelationName(TopoRelation r);
+
+/// Parses a relation name (case-insensitive: "disjoint", "touches",
+/// "overlaps", "crosses", "contains", "inside"/"within", "equals",
+/// "intersects").
+agis::Result<TopoRelation> ParseTopoRelation(const std::string& name);
+
+/// Classifies the pair (a, b) into the single most specific relation:
+/// Equals > Contains/Inside > Crosses > Overlaps > Touches >
+/// Intersects-fallback > Disjoint. The result is deterministic and
+/// total over the shape kinds this library stores.
+TopoRelation Relate(const Geometry& a, const Geometry& b);
+
+/// True when the pair (a, b) satisfies relation `r` (for `r ==
+/// kIntersects`, any non-disjoint pair qualifies).
+bool Satisfies(const Geometry& a, const Geometry& b, TopoRelation r);
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_TOPOLOGY_H_

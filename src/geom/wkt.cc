@@ -1,0 +1,207 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strutil.h"
+
+namespace agis::geom {
+
+namespace {
+
+std::string CoordToString(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+void AppendCoord(std::string* out, const Point& p, int precision) {
+  out->append(CoordToString(p.x, precision));
+  out->push_back(' ');
+  out->append(CoordToString(p.y, precision));
+}
+
+void AppendRing(std::string* out, const std::vector<Point>& ring,
+                int precision) {
+  out->push_back('(');
+  for (size_t i = 0; i < ring.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendCoord(out, ring[i], precision);
+  }
+  out->push_back(')');
+}
+
+/// Minimal recursive-descent tokenizer over the WKT input.
+class WktScanner {
+ public:
+  explicit WktScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `c` if it is next; returns whether it was consumed.
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  agis::Status Expect(char c) {
+    if (!Consume(c)) {
+      return agis::Status::ParseError(
+          agis::StrCat("expected '", c, "' at offset ", pos_, " in WKT"));
+    }
+    return agis::Status::OK();
+  }
+
+  /// Reads a contiguous alphabetic keyword, upper-cased.
+  std::string ReadKeyword() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return agis::ToUpper(text_.substr(start, pos_ - start));
+  }
+
+  agis::Result<double> ReadNumber() {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) {
+      return agis::Status::ParseError(
+          agis::StrCat("expected number at offset ", pos_, " in WKT"));
+    }
+    pos_ += static_cast<size_t>(end - begin);
+    return v;
+  }
+
+  agis::Result<Point> ReadCoord() {
+    AGIS_ASSIGN_OR_RETURN(double x, ReadNumber());
+    AGIS_ASSIGN_OR_RETURN(double y, ReadNumber());
+    return Point{x, y};
+  }
+
+  /// Parses "(x y, x y, ...)" into a point list.
+  agis::Result<std::vector<Point>> ReadCoordList() {
+    AGIS_RETURN_IF_ERROR(Expect('('));
+    std::vector<Point> pts;
+    do {
+      AGIS_ASSIGN_OR_RETURN(Point p, ReadCoord());
+      pts.push_back(p);
+    } while (Consume(','));
+    AGIS_RETURN_IF_ERROR(Expect(')'));
+    return pts;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Drops a standard-WKT closing duplicate point from a ring.
+std::vector<Point> NormalizeRing(std::vector<Point> ring) {
+  if (ring.size() >= 4 && ring.front() == ring.back()) {
+    ring.pop_back();
+  }
+  return ring;
+}
+
+}  // namespace
+
+std::string ToWkt(const Geometry& g, int precision) {
+  std::string out;
+  switch (g.kind()) {
+    case GeometryKind::kPoint:
+      out = "POINT (";
+      AppendCoord(&out, g.point(), precision);
+      out.push_back(')');
+      break;
+    case GeometryKind::kLineString:
+      out = "LINESTRING ";
+      AppendRing(&out, g.linestring().points, precision);
+      break;
+    case GeometryKind::kPolygon: {
+      out = "POLYGON (";
+      AppendRing(&out, g.polygon().outer, precision);
+      for (const auto& hole : g.polygon().holes) {
+        out.append(", ");
+        AppendRing(&out, hole, precision);
+      }
+      out.push_back(')');
+      break;
+    }
+    case GeometryKind::kMultiPoint: {
+      if (g.multipoint().empty()) {
+        out = "MULTIPOINT EMPTY";
+        break;
+      }
+      out = "MULTIPOINT ";
+      AppendRing(&out, g.multipoint(), precision);
+      break;
+    }
+  }
+  return out;
+}
+
+agis::Result<Geometry> ParseWkt(std::string_view text) {
+  WktScanner scanner(text);
+  const std::string keyword = scanner.ReadKeyword();
+  if (keyword == "POINT") {
+    AGIS_RETURN_IF_ERROR(scanner.Expect('('));
+    AGIS_ASSIGN_OR_RETURN(Point p, scanner.ReadCoord());
+    AGIS_RETURN_IF_ERROR(scanner.Expect(')'));
+    return Geometry::FromPoint(p);
+  }
+  if (keyword == "LINESTRING") {
+    AGIS_ASSIGN_OR_RETURN(std::vector<Point> pts, scanner.ReadCoordList());
+    if (pts.size() < 2) {
+      return agis::Status::ParseError("LINESTRING needs at least 2 points");
+    }
+    return Geometry::FromLineString(LineString{std::move(pts)});
+  }
+  if (keyword == "POLYGON") {
+    AGIS_RETURN_IF_ERROR(scanner.Expect('('));
+    Polygon poly;
+    AGIS_ASSIGN_OR_RETURN(std::vector<Point> outer, scanner.ReadCoordList());
+    poly.outer = NormalizeRing(std::move(outer));
+    if (poly.outer.size() < 3) {
+      return agis::Status::ParseError("POLYGON outer ring needs >= 3 points");
+    }
+    while (scanner.Consume(',')) {
+      AGIS_ASSIGN_OR_RETURN(std::vector<Point> hole, scanner.ReadCoordList());
+      poly.holes.push_back(NormalizeRing(std::move(hole)));
+    }
+    AGIS_RETURN_IF_ERROR(scanner.Expect(')'));
+    return Geometry::FromPolygon(std::move(poly));
+  }
+  if (keyword == "MULTIPOINT") {
+    WktScanner probe = scanner;
+    if (probe.ReadKeyword() == "EMPTY") {
+      return Geometry::FromMultiPoint({});
+    }
+    AGIS_ASSIGN_OR_RETURN(std::vector<Point> pts, scanner.ReadCoordList());
+    return Geometry::FromMultiPoint(std::move(pts));
+  }
+  return agis::Status::ParseError(
+      agis::StrCat("unknown WKT geometry type '", keyword, "'"));
+}
+
+}  // namespace agis::geom

@@ -1,0 +1,29 @@
+#ifndef AGIS_GEOM_WKT_H_
+#define AGIS_GEOM_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "geom/geometry.h"
+
+namespace agis::geom {
+
+/// Serializes `g` as Well-Known Text, e.g. "POINT (3 4)",
+/// "LINESTRING (0 0, 1 1)", "POLYGON ((0 0, 4 0, 4 4, 0 4), (1 1, 2 1, 2 2))",
+/// "MULTIPOINT (1 2, 3 4)". Polygon rings are emitted without the
+/// closing duplicate point, matching the in-memory representation.
+///
+/// `precision` is the significant-digit count: 6 (default) reads well
+/// in displays; 17 round-trips doubles exactly (what geodb/persist
+/// uses).
+std::string ToWkt(const Geometry& g, int precision = 6);
+
+/// Parses the WKT dialect produced by `ToWkt`. Accepts optional closing
+/// duplicate points on polygon rings (standard WKT) and arbitrary
+/// whitespace. Returns ParseError with position information on bad input.
+agis::Result<Geometry> ParseWkt(std::string_view text);
+
+}  // namespace agis::geom
+
+#endif  // AGIS_GEOM_WKT_H_

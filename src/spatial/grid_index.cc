@@ -1,0 +1,107 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace agis::spatial {
+
+GridIndex::GridIndex(const geom::BoundingBox& world, size_t cells_per_side)
+    : world_(world), side_(std::max<size_t>(cells_per_side, 1)) {
+  AGIS_CHECK(!world.empty()) << "GridIndex needs a non-empty world extent";
+  cell_w_ = world_.Width() / static_cast<double>(side_);
+  cell_h_ = world_.Height() / static_cast<double>(side_);
+  if (cell_w_ <= 0) cell_w_ = 1.0;
+  if (cell_h_ <= 0) cell_h_ = 1.0;
+  cells_.resize(side_ * side_);
+}
+
+GridIndex::CellRange GridIndex::CellsFor(const geom::BoundingBox& box) const {
+  auto clamp_cell = [this](double v, double origin, double cell) {
+    const double idx = std::floor((v - origin) / cell);
+    return static_cast<size_t>(
+        std::clamp(idx, 0.0, static_cast<double>(side_ - 1)));
+  };
+  return CellRange{
+      clamp_cell(box.min_x, world_.min_x, cell_w_),
+      clamp_cell(box.max_x, world_.min_x, cell_w_),
+      clamp_cell(box.min_y, world_.min_y, cell_h_),
+      clamp_cell(box.max_y, world_.min_y, cell_h_),
+  };
+}
+
+void GridIndex::Insert(EntryId id, const geom::BoundingBox& box) {
+  boxes_[id] = box;
+  const CellRange r = CellsFor(box);
+  for (size_t cy = r.y0; cy <= r.y1; ++cy) {
+    for (size_t cx = r.x0; cx <= r.x1; ++cx) {
+      cells_[CellIndex(cx, cy)].push_back(id);
+    }
+  }
+}
+
+bool GridIndex::Remove(EntryId id) {
+  auto it = boxes_.find(id);
+  if (it == boxes_.end()) return false;
+  const CellRange r = CellsFor(it->second);
+  for (size_t cy = r.y0; cy <= r.y1; ++cy) {
+    for (size_t cx = r.x0; cx <= r.x1; ++cx) {
+      auto& cell = cells_[CellIndex(cx, cy)];
+      cell.erase(std::remove(cell.begin(), cell.end(), id), cell.end());
+    }
+  }
+  boxes_.erase(it);
+  return true;
+}
+
+std::vector<EntryId> GridIndex::Query(const geom::BoundingBox& range) const {
+  std::vector<EntryId> out;
+  const CellRange r = CellsFor(range);
+  for (size_t cy = r.y0; cy <= r.y1; ++cy) {
+    for (size_t cx = r.x0; cx <= r.x1; ++cx) {
+      for (EntryId id : cells_[CellIndex(cx, cy)]) {
+        if (boxes_.at(id).Intersects(range)) out.push_back(id);
+      }
+    }
+  }
+  // Entries spanning several candidate cells appear once per cell.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<EntryId> GridIndex::QueryPoint(const geom::Point& p) const {
+  geom::BoundingBox pt_box(p.x, p.y, p.x, p.y);
+  std::vector<EntryId> out;
+  const CellRange r = CellsFor(pt_box);
+  for (size_t cy = r.y0; cy <= r.y1; ++cy) {
+    for (size_t cx = r.x0; cx <= r.x1; ++cx) {
+      for (EntryId id : cells_[CellIndex(cx, cy)]) {
+        if (boxes_.at(id).Contains(p)) out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<EntryId> GridIndex::Nearest(const geom::Point& p, size_t k) const {
+  // Grid nearest-neighbor via expanding ring search would complicate
+  // the code for little benefit here; fall back to scoring all boxes
+  // (the map already holds them).
+  std::vector<std::pair<double, EntryId>> scored;
+  scored.reserve(boxes_.size());
+  for (const auto& [id, box] : boxes_) {
+    scored.emplace_back(BoxDistance(p, box), id);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<EntryId> out;
+  for (size_t i = 0; i < scored.size() && i < k; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace agis::spatial

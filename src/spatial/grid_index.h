@@ -1,0 +1,47 @@
+#ifndef AGIS_SPATIAL_GRID_INDEX_H_
+#define AGIS_SPATIAL_GRID_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace agis::spatial {
+
+/// Uniform grid over a fixed world extent. Each entry is registered in
+/// every cell its box overlaps; queries collect candidate cells and
+/// de-duplicate. Boxes outside the world extent are clamped to the
+/// border cells, so correctness does not depend on the extent guess.
+class GridIndex : public SpatialIndex {
+ public:
+  /// `world` must be non-empty; `cells_per_side` >= 1.
+  GridIndex(const geom::BoundingBox& world, size_t cells_per_side);
+
+  void Insert(EntryId id, const geom::BoundingBox& box) override;
+  bool Remove(EntryId id) override;
+  std::vector<EntryId> Query(const geom::BoundingBox& range) const override;
+  std::vector<EntryId> QueryPoint(const geom::Point& p) const override;
+  std::vector<EntryId> Nearest(const geom::Point& p, size_t k) const override;
+  size_t size() const override { return boxes_.size(); }
+  std::string Name() const override { return "grid"; }
+
+ private:
+  struct CellRange {
+    size_t x0, x1, y0, y1;  // Inclusive cell coordinates.
+  };
+
+  CellRange CellsFor(const geom::BoundingBox& box) const;
+  size_t CellIndex(size_t cx, size_t cy) const { return cy * side_ + cx; }
+
+  geom::BoundingBox world_;
+  size_t side_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<std::vector<EntryId>> cells_;
+  std::unordered_map<EntryId, geom::BoundingBox> boxes_;
+};
+
+}  // namespace agis::spatial
+
+#endif  // AGIS_SPATIAL_GRID_INDEX_H_

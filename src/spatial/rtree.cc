@@ -1,0 +1,422 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "base/strutil.h"
+
+namespace agis::spatial {
+
+struct RTree::Entry {
+  EntryId id;
+  geom::BoundingBox box;
+};
+
+struct RTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+
+  bool is_leaf;
+  geom::BoundingBox box;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;                    // Populated when leaf.
+  std::vector<std::unique_ptr<Node>> children;   // Populated when internal.
+
+  size_t Count() const { return is_leaf ? entries.size() : children.size(); }
+};
+
+namespace {
+
+/// Quadratic-split seed selection over a list of boxes: the pair that
+/// wastes the most area when grouped together.
+std::pair<size_t, size_t> PickSeeds(const std::vector<geom::BoundingBox>& boxes) {
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    for (size_t j = i + 1; j < boxes.size(); ++j) {
+      const double dead = geom::BoundingBox::Union(boxes[i], boxes[j]).Area() -
+                          boxes[i].Area() - boxes[j].Area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  return {seed_a, seed_b};
+}
+
+/// Assigns each box index to group 0 or 1 using Guttman's quadratic
+/// PickNext, honoring the minimum fill `min_fill`.
+std::vector<int> QuadraticPartition(const std::vector<geom::BoundingBox>& boxes,
+                                    size_t min_fill) {
+  const size_t n = boxes.size();
+  std::vector<int> group(n, -1);
+  auto [sa, sb] = PickSeeds(boxes);
+  group[sa] = 0;
+  group[sb] = 1;
+  geom::BoundingBox cover[2] = {boxes[sa], boxes[sb]};
+  size_t count[2] = {1, 1};
+  size_t assigned = 2;
+  while (assigned < n) {
+    // Force-assign when a group must take all remaining to reach fill.
+    const size_t remaining = n - assigned;
+    for (int g = 0; g < 2; ++g) {
+      if (count[g] + remaining == min_fill) {
+        for (size_t i = 0; i < n; ++i) {
+          if (group[i] < 0) {
+            group[i] = g;
+            cover[g].Expand(boxes[i]);
+            ++count[g];
+            ++assigned;
+          }
+        }
+        return group;
+      }
+    }
+    // PickNext: the box with the greatest preference difference.
+    size_t best = 0;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (group[i] >= 0) continue;
+      const double d0 = geom::BoundingBox::EnlargementArea(cover[0], boxes[i]);
+      const double d1 = geom::BoundingBox::EnlargementArea(cover[1], boxes[i]);
+      const double diff = std::fabs(d0 - d1);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    const double d0 = geom::BoundingBox::EnlargementArea(cover[0], boxes[best]);
+    const double d1 = geom::BoundingBox::EnlargementArea(cover[1], boxes[best]);
+    int g;
+    if (d0 < d1) {
+      g = 0;
+    } else if (d1 < d0) {
+      g = 1;
+    } else {
+      g = cover[0].Area() <= cover[1].Area() ? 0 : 1;
+    }
+    group[best] = g;
+    cover[g].Expand(boxes[best]);
+    ++count[g];
+    ++assigned;
+  }
+  return group;
+}
+
+}  // namespace
+
+RTree::RTree(size_t max_entries)
+    : max_entries_(std::max<size_t>(max_entries, 4)),
+      min_entries_(std::max<size_t>(max_entries_ * 2 / 5, 2)),
+      root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+RTree::~RTree() = default;
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const geom::BoundingBox& box) const {
+  while (!node->is_leaf) {
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& child : node->children) {
+      const double enlargement =
+          geom::BoundingBox::EnlargementArea(child->box, box);
+      const double area = child->box.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = child.get();
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::RecomputeBox(Node* node) {
+  node->box = geom::BoundingBox();
+  if (node->is_leaf) {
+    for (const Entry& e : node->entries) node->box.Expand(e.box);
+  } else {
+    for (const auto& c : node->children) node->box.Expand(c->box);
+  }
+}
+
+void RTree::SplitNode(Node* node, std::unique_ptr<Node>* new_node_out) {
+  auto sibling = std::make_unique<Node>(node->is_leaf);
+  std::vector<geom::BoundingBox> boxes;
+  if (node->is_leaf) {
+    for (const Entry& e : node->entries) boxes.push_back(e.box);
+    const std::vector<int> group = QuadraticPartition(boxes, min_entries_);
+    std::vector<Entry> keep;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (group[i] == 0) {
+        keep.push_back(node->entries[i]);
+      } else {
+        sibling->entries.push_back(node->entries[i]);
+      }
+    }
+    node->entries = std::move(keep);
+  } else {
+    for (const auto& c : node->children) boxes.push_back(c->box);
+    const std::vector<int> group = QuadraticPartition(boxes, min_entries_);
+    std::vector<std::unique_ptr<Node>> keep;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->children[i]));
+      } else {
+        node->children[i]->parent = sibling.get();
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  RecomputeBox(node);
+  RecomputeBox(sibling.get());
+  *new_node_out = std::move(sibling);
+}
+
+void RTree::Insert(EntryId id, const geom::BoundingBox& box) {
+  Node* leaf = ChooseLeaf(root_.get(), box);
+  leaf->entries.push_back(Entry{id, box});
+  // Grow covering boxes along the path.
+  for (Node* n = leaf; n != nullptr; n = n->parent) n->box.Expand(box);
+  // Handle overflow, propagating splits upward.
+  Node* node = leaf;
+  while (node != nullptr && node->Count() > max_entries_) {
+    std::unique_ptr<Node> sibling;
+    SplitNode(node, &sibling);
+    if (node == root_.get()) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      sibling->parent = new_root.get();
+      root_->parent = new_root.get();
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      RecomputeBox(new_root.get());
+      root_ = std::move(new_root);
+      break;
+    }
+    Node* parent = node->parent;
+    sibling->parent = parent;
+    parent->children.push_back(std::move(sibling));
+    RecomputeBox(parent);
+    node = parent;
+  }
+  ++size_;
+}
+
+RTree::Node* RTree::FindLeaf(Node* node, EntryId id,
+                             const geom::BoundingBox& box) const {
+  if (node->is_leaf) {
+    for (const Entry& e : node->entries) {
+      if (e.id == id) return node;
+    }
+    return nullptr;
+  }
+  for (const auto& child : node->children) {
+    if (child->box.Intersects(box)) {
+      Node* found = FindLeaf(child.get(), id, box);
+      if (found != nullptr) return found;
+    }
+  }
+  return nullptr;
+}
+
+void RTree::ReinsertSubtree(Node* node) {
+  if (node->is_leaf) {
+    for (const Entry& e : node->entries) {
+      Insert(e.id, e.box);
+      --size_;  // Insert counted it again; net size is unchanged.
+    }
+    return;
+  }
+  for (const auto& child : node->children) ReinsertSubtree(child.get());
+}
+
+void RTree::CondenseTree(Node* leaf) {
+  std::vector<std::unique_ptr<Node>> orphans;
+  Node* node = leaf;
+  while (node != root_.get()) {
+    Node* parent = node->parent;
+    if (node->Count() < min_entries_) {
+      // Detach this node; its surviving entries get reinserted.
+      auto& siblings = parent->children;
+      for (auto it = siblings.begin(); it != siblings.end(); ++it) {
+        if (it->get() == node) {
+          orphans.push_back(std::move(*it));
+          siblings.erase(it);
+          break;
+        }
+      }
+    } else {
+      RecomputeBox(node);
+    }
+    node = parent;
+  }
+  RecomputeBox(root_.get());
+  for (const auto& orphan : orphans) ReinsertSubtree(orphan.get());
+  // Shrink the root when it became a unary internal node.
+  while (!root_->is_leaf && root_->children.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->children.front());
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (!root_->is_leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+  }
+}
+
+bool RTree::Remove(EntryId id) {
+  // The caller doesn't pass the box, so locate by id with a full
+  // search fallback; typical callers delete existing entries, so the
+  // box-guided search (via stored entry boxes) happens inside FindLeaf.
+  Node* leaf = FindLeaf(root_.get(), id, root_->box);
+  if (leaf == nullptr) return false;
+  auto& entries = leaf->entries;
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (it->id == id) {
+      entries.erase(it);
+      break;
+    }
+  }
+  --size_;
+  CondenseTree(leaf);
+  return true;
+}
+
+std::vector<EntryId> RTree::Query(const geom::BoundingBox& range) const {
+  std::vector<EntryId> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(range)) continue;
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        if (e.box.Intersects(range)) out.push_back(e.id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::vector<EntryId> RTree::QueryPoint(const geom::Point& p) const {
+  std::vector<EntryId> out;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Contains(p)) continue;
+    if (node->is_leaf) {
+      for (const Entry& e : node->entries) {
+        if (e.box.Contains(p)) out.push_back(e.id);
+      }
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+std::vector<EntryId> RTree::Nearest(const geom::Point& p, size_t k) const {
+  // Best-first search over nodes and entries keyed by box distance.
+  struct QueueItem {
+    double dist;
+    const Node* node;   // nullptr when this is an entry.
+    EntryId id;
+    bool operator>(const QueueItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({BoxDistance(p, root_->box), root_.get(), 0});
+  std::vector<EntryId> out;
+  while (!pq.empty() && out.size() < k) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      out.push_back(item.id);
+      continue;
+    }
+    if (item.node->is_leaf) {
+      for (const Entry& e : item.node->entries) {
+        pq.push({BoxDistance(p, e.box), nullptr, e.id});
+      }
+    } else {
+      for (const auto& child : item.node->children) {
+        pq.push({BoxDistance(p, child->box), child.get(), 0});
+      }
+    }
+  }
+  return out;
+}
+
+size_t RTree::Height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    ++h;
+    node = node->children.front().get();
+  }
+  return h;
+}
+
+agis::Status RTree::CheckInvariants() const {
+  // Every leaf at the same depth; every node's box covers its content;
+  // fill factors respected except at the root.
+  struct Frame {
+    const Node* node;
+    size_t depth;
+  };
+  size_t leaf_depth = 0;
+  bool leaf_depth_set = false;
+  std::vector<Frame> stack = {{root_.get(), 0}};
+  size_t counted = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node* n = f.node;
+    if (n != root_.get()) {
+      if (n->Count() < min_entries_) {
+        return agis::Status::Internal(
+            agis::StrCat("node underflow: ", n->Count()));
+      }
+    }
+    if (n->Count() > max_entries_) {
+      return agis::Status::Internal(
+          agis::StrCat("node overflow: ", n->Count()));
+    }
+    geom::BoundingBox cover;
+    if (n->is_leaf) {
+      if (!leaf_depth_set) {
+        leaf_depth = f.depth;
+        leaf_depth_set = true;
+      } else if (leaf_depth != f.depth) {
+        return agis::Status::Internal("leaves at different depths");
+      }
+      counted += n->entries.size();
+      for (const Entry& e : n->entries) cover.Expand(e.box);
+    } else {
+      for (const auto& c : n->children) {
+        if (c->parent != n) {
+          return agis::Status::Internal("broken parent pointer");
+        }
+        cover.Expand(c->box);
+        stack.push_back({c.get(), f.depth + 1});
+      }
+    }
+    if (!(cover == n->box)) {
+      return agis::Status::Internal("node box does not match content");
+    }
+  }
+  if (counted != size_) {
+    return agis::Status::Internal(
+        agis::StrCat("size mismatch: counted ", counted, " vs ", size_));
+  }
+  return agis::Status::OK();
+}
+
+}  // namespace agis::spatial

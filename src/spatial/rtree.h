@@ -1,0 +1,64 @@
+#ifndef AGIS_SPATIAL_RTREE_H_
+#define AGIS_SPATIAL_RTREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "spatial/spatial_index.h"
+
+namespace agis::spatial {
+
+/// Guttman R-tree with quadratic split.
+///
+/// Deletion uses the classic condense-tree strategy: underflowing
+/// nodes are dissolved and their surviving entries reinserted. Fanout
+/// is configurable for the ablation bench (C7).
+class RTree : public SpatialIndex {
+ public:
+  /// `max_entries` must be >= 4; `min_entries` defaults to 40% fill.
+  explicit RTree(size_t max_entries = 8);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  ~RTree() override;
+
+  void Insert(EntryId id, const geom::BoundingBox& box) override;
+  bool Remove(EntryId id) override;
+  std::vector<EntryId> Query(const geom::BoundingBox& range) const override;
+  std::vector<EntryId> QueryPoint(const geom::Point& p) const override;
+  std::vector<EntryId> Nearest(const geom::Point& p, size_t k) const override;
+  size_t size() const override { return size_; }
+  std::string Name() const override { return "rtree"; }
+
+  /// Tree height (1 for a single leaf); exposed for tests.
+  size_t Height() const;
+
+  /// Validates structural invariants (bbox coverage, fill factors,
+  /// uniform leaf depth). Returns a failed status describing the first
+  /// violation. Used by property tests.
+  agis::Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* ChooseLeaf(Node* node, const geom::BoundingBox& box) const;
+  void SplitNode(Node* node, std::unique_ptr<Node>* new_node_out);
+  void AdjustTreeAfterInsert(Node* node);
+  Node* FindLeaf(Node* node, EntryId id, const geom::BoundingBox& box) const;
+  void CondenseTree(Node* leaf);
+  void RecomputeBox(Node* node);
+  void ReinsertSubtree(Node* node);
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace agis::spatial
+
+#endif  // AGIS_SPATIAL_RTREE_H_

@@ -1,0 +1,63 @@
+#include "spatial/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agis::spatial {
+
+double BoxDistance(const geom::Point& p, const geom::BoundingBox& box) {
+  if (box.empty()) return std::numeric_limits<double>::infinity();
+  const double dx =
+      std::max({box.min_x - p.x, 0.0, p.x - box.max_x});
+  const double dy =
+      std::max({box.min_y - p.y, 0.0, p.y - box.max_y});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void LinearScanIndex::Insert(EntryId id, const geom::BoundingBox& box) {
+  entries_.emplace_back(id, box);
+}
+
+bool LinearScanIndex::Remove(EntryId id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == id) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<EntryId> LinearScanIndex::Query(
+    const geom::BoundingBox& range) const {
+  std::vector<EntryId> out;
+  for (const auto& [id, box] : entries_) {
+    if (box.Intersects(range)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EntryId> LinearScanIndex::QueryPoint(const geom::Point& p) const {
+  std::vector<EntryId> out;
+  for (const auto& [id, box] : entries_) {
+    if (box.Contains(p)) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EntryId> LinearScanIndex::Nearest(const geom::Point& p,
+                                              size_t k) const {
+  std::vector<std::pair<double, EntryId>> scored;
+  scored.reserve(entries_.size());
+  for (const auto& [id, box] : entries_) {
+    scored.emplace_back(BoxDistance(p, box), id);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<EntryId> out;
+  for (size_t i = 0; i < scored.size() && i < k; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace agis::spatial

@@ -1,0 +1,72 @@
+#ifndef AGIS_SPATIAL_SPATIAL_INDEX_H_
+#define AGIS_SPATIAL_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/point.h"
+
+namespace agis::spatial {
+
+/// Opaque handle an index associates with a bounding box. The geodb
+/// uses object ids.
+using EntryId = uint64_t;
+
+/// Abstract rectangle index used by class extents for the spatial
+/// selections behind Class-set presentation areas.
+///
+/// Implementations: `LinearScanIndex` (baseline), `RTree`, `GridIndex`.
+/// All return candidate sets based on bounding boxes; exact geometry
+/// filtering is the caller's job (standard filter/refine split).
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Adds an entry. Duplicate ids are allowed by the interface but the
+  /// geodb never inserts one twice.
+  virtual void Insert(EntryId id, const geom::BoundingBox& box) = 0;
+
+  /// Removes the entry with `id`; returns false when absent.
+  virtual bool Remove(EntryId id) = 0;
+
+  /// Ids whose boxes intersect `range` (unordered).
+  virtual std::vector<EntryId> Query(const geom::BoundingBox& range) const = 0;
+
+  /// Ids whose boxes contain `p` (unordered).
+  virtual std::vector<EntryId> QueryPoint(const geom::Point& p) const = 0;
+
+  /// The `k` entries with smallest box distance to `p`, nearest first.
+  virtual std::vector<EntryId> Nearest(const geom::Point& p,
+                                       size_t k) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Shortest distance from `p` to `box` (0 when inside).
+double BoxDistance(const geom::Point& p, const geom::BoundingBox& box);
+
+/// Baseline index: a flat vector scanned on every query. Correct by
+/// construction; the reference implementation the property tests
+/// compare R-tree and grid results against, and the "no index"
+/// baseline in bench C7.
+class LinearScanIndex : public SpatialIndex {
+ public:
+  void Insert(EntryId id, const geom::BoundingBox& box) override;
+  bool Remove(EntryId id) override;
+  std::vector<EntryId> Query(const geom::BoundingBox& range) const override;
+  std::vector<EntryId> QueryPoint(const geom::Point& p) const override;
+  std::vector<EntryId> Nearest(const geom::Point& p, size_t k) const override;
+  size_t size() const override { return entries_.size(); }
+  std::string Name() const override { return "linear_scan"; }
+
+ private:
+  std::vector<std::pair<EntryId, geom::BoundingBox>> entries_;
+};
+
+}  // namespace agis::spatial
+
+#endif  // AGIS_SPATIAL_SPATIAL_INDEX_H_

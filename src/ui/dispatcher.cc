@@ -1,0 +1,281 @@
+#include "ui/dispatcher.h"
+
+#include <algorithm>
+
+#include "base/strutil.h"
+#include "geodb/query_parser.h"
+#include "geom/predicates.h"
+#include "uilib/widget_props.h"
+
+namespace agis::ui {
+
+Dispatcher::Dispatcher(geodb::GeoDatabase* db, active::RuleEngine* engine,
+                       builder::GenericInterfaceBuilder* builder)
+    : db_(db), engine_(engine), builder_(builder) {}
+
+agis::Result<Dispatcher::CustomizationDecision> Dispatcher::Customize(
+    const std::string& event_name,
+    std::map<std::string, std::string> params) {
+  active::Event event;
+  event.name = event_name;
+  event.context = context_;
+  event.params = std::move(params);
+  CustomizationDecision decision;
+  AGIS_ASSIGN_OR_RETURN(decision.payload, engine_->GetCustomization(event));
+  if (decision.payload.has_value()) {
+    const active::EcaRule* winner = engine_->SelectCustomizationRule(event);
+    if (winner != nullptr) {
+      decision.rule_name = winner->name;
+      decision.provenance = winner->provenance;
+    }
+  }
+  return decision;
+}
+
+void Dispatcher::AnnotateWindow(uilib::InterfaceObject* window,
+                                const std::string& event_name,
+                                const CustomizationDecision& decision) {
+  window->SetProperty("built_from_event", event_name);
+  if (decision.payload.has_value()) {
+    window->SetProperty("customized_by", decision.rule_name);
+    if (!decision.provenance.empty()) {
+      window->SetProperty("customization_directive", decision.provenance);
+    }
+  }
+}
+
+std::string Dispatcher::ExplainWindow(
+    const uilib::InterfaceObject& window) const {
+  std::string out = agis::StrCat(
+      "window \"", window.name(), "\" was built for context ",
+      window.GetProperty("context"), " by event ",
+      window.GetProperty("built_from_event"), ". ");
+  const std::string& rule = window.GetProperty("customized_by");
+  if (rule.empty()) {
+    out += "No customization rule matched; the generic default "
+           "presentation was used.";
+  } else {
+    out += agis::StrCat("Customization rule '", rule,
+                        "' (most specific match) applied");
+    const std::string& directive =
+        window.GetProperty("customization_directive");
+    if (!directive.empty()) {
+      out += agis::StrCat(", compiled from directive [", directive, "]");
+    }
+    out += ".";
+  }
+  return out;
+}
+
+uilib::InterfaceObject* Dispatcher::Install(
+    std::unique_ptr<uilib::InterfaceObject> window) {
+  // Re-opening a window replaces the previous instance (refresh).
+  for (auto& existing : windows_) {
+    if (existing->name() == window->name()) {
+      existing = std::move(window);
+      return existing.get();
+    }
+  }
+  windows_.push_back(std::move(window));
+  return windows_.back().get();
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::OpenSchemaWindow() {
+  // Database event first (Figure 1: interface -> DB events), then the
+  // customization decision, then the build.
+  AGIS_RETURN_IF_ERROR(db_->GetSchema(context_).status());
+  AGIS_ASSIGN_OR_RETURN(
+      CustomizationDecision decision,
+      Customize(active::kEventGetSchema, {{"schema", db_->schema().name()}}));
+
+  const active::WindowCustomization* cust_ptr =
+      decision.payload.has_value() ? &decision.payload.value() : nullptr;
+  AGIS_ASSIGN_OR_RETURN(
+      std::unique_ptr<uilib::InterfaceObject> window,
+      builder_->BuildSchemaWindow(cust_ptr, context_, build_options_));
+  AnnotateWindow(window.get(), active::kEventGetSchema, decision);
+  log_.push_back(agis::StrCat("open_schema -> Get_Schema(",
+                              db_->schema().name(), ")",
+                              cust_ptr ? " [customized]" : " [default]"));
+  uilib::InterfaceObject* installed = Install(std::move(window));
+
+  // R1 behaviour: a suppressed Schema window opens its classes itself.
+  if (cust_ptr != nullptr &&
+      cust_ptr->schema_mode == active::SchemaDisplayMode::kNull) {
+    for (const std::string& cls : cust_ptr->auto_open_classes) {
+      AGIS_RETURN_IF_ERROR(OpenClassWindow(cls).status());
+    }
+  }
+  return installed;
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindow(
+    const std::string& class_name) {
+  AGIS_ASSIGN_OR_RETURN(
+      CustomizationDecision decision,
+      Customize(active::kEventGetClass, {{"class", class_name}}));
+  const active::WindowCustomization* cust_ptr =
+      decision.payload.has_value() ? &decision.payload.value() : nullptr;
+  AGIS_ASSIGN_OR_RETURN(std::unique_ptr<uilib::InterfaceObject> window,
+                        builder_->BuildClassSetWindow(
+                            class_name, cust_ptr, context_, build_options_));
+  AnnotateWindow(window.get(), active::kEventGetClass, decision);
+  log_.push_back(agis::StrCat("open_class -> Get_Class(", class_name, ")",
+                              cust_ptr ? " [customized]" : " [default]"));
+  return Install(std::move(window));
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::OpenInstanceWindow(
+    geodb::ObjectId id) {
+  // The Get_Value event runs inside the DBMS.
+  AGIS_ASSIGN_OR_RETURN(const geodb::ObjectInstance* obj,
+                        db_->GetValue(id, context_));
+  AGIS_ASSIGN_OR_RETURN(
+      CustomizationDecision decision,
+      Customize(active::kEventGetValue,
+                {{"class", obj->class_name()},
+                 {"object", agis::StrCat(id)}}));
+  const active::WindowCustomization* cust_ptr =
+      decision.payload.has_value() ? &decision.payload.value() : nullptr;
+  AGIS_ASSIGN_OR_RETURN(
+      std::unique_ptr<uilib::InterfaceObject> window,
+      builder_->BuildInstanceWindow(id, cust_ptr, context_, build_options_));
+  AnnotateWindow(window.get(), active::kEventGetValue, decision);
+  log_.push_back(agis::StrCat("open_instance -> Get_Value(",
+                              obj->class_name(), "#", id, ")",
+                              cust_ptr ? " [customized]" : " [default]"));
+  return Install(std::move(window));
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::OpenQueryWindow(
+    const std::string& query_text) {
+  AGIS_ASSIGN_OR_RETURN(geodb::ParsedQuery parsed,
+                        geodb::ParseQuery(query_text, db_->schema()));
+  AGIS_ASSIGN_OR_RETURN(
+      CustomizationDecision decision,
+      Customize(active::kEventGetClass, {{"class", parsed.class_name}}));
+  const active::WindowCustomization* cust_ptr =
+      decision.payload.has_value() ? &decision.payload.value() : nullptr;
+  builder::BuildOptions options = build_options_;
+  options.query = parsed.options;
+  AGIS_ASSIGN_OR_RETURN(
+      std::unique_ptr<uilib::InterfaceObject> window,
+      builder_->BuildClassSetWindow(parsed.class_name, cust_ptr, context_,
+                                    options));
+  window->set_name(agis::StrCat("Query: ", query_text));
+  window->SetProperty("query", query_text);
+  AnnotateWindow(window.get(), active::kEventGetClass, decision);
+  log_.push_back(agis::StrCat("query -> Get_Class(", parsed.class_name,
+                              ") [", query_text, "]"));
+  return Install(std::move(window));
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::SelectClassInSchema(
+    size_t index) {
+  uilib::InterfaceObject* schema_window = nullptr;
+  for (auto& w : windows_) {
+    if (w->GetProperty(uilib::kPropWindowType) == uilib::kWindowSchema) {
+      schema_window = w.get();
+      break;
+    }
+  }
+  if (schema_window == nullptr) {
+    return agis::Status::FailedPrecondition("no Schema window is open");
+  }
+  uilib::InterfaceObject* list = schema_window->FindDescendant("classes");
+  if (list == nullptr) {
+    return agis::Status::FailedPrecondition(
+        "Schema window has no class list (display mode hides it)");
+  }
+  // Interface event: the click/selection on the list widget.
+  uilib::SelectListItem(list, index);
+  const std::string selected = uilib::SelectedListItem(*list);
+  if (selected.empty()) {
+    return agis::Status::OutOfRange(agis::StrCat("no class at index ", index));
+  }
+  log_.push_back(
+      agis::StrCat("ui.select classes[", index, "] = ", selected));
+  // Database event + window build.
+  return OpenClassWindow(selected);
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::SelectInstanceAt(
+    const std::string& class_name, const geom::Point& p, double tolerance) {
+  const uilib::InterfaceObject* window =
+      FindWindow(agis::StrCat("Class set: ", class_name));
+  if (window == nullptr) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("no Class set window open for '", class_name, "'"));
+  }
+  const uilib::InterfaceObject* area = window->FindDescendant("presentation");
+  if (area == nullptr) {
+    return agis::Status::Internal("class window has no presentation area");
+  }
+  const std::string& ids_csv = area->GetProperty("ids");
+  if (ids_csv.empty()) {
+    return agis::Status::NotFound("presentation area shows no features");
+  }
+  const std::string geom_attr = db_->GeometryAttributeOf(class_name);
+  geodb::ObjectId best = 0;
+  double best_dist = tolerance;
+  const geom::Geometry probe = geom::Geometry::FromPoint(p);
+  for (const std::string& id_str : agis::Split(ids_csv, ',')) {
+    const geodb::ObjectId id = std::stoull(id_str);
+    const geodb::ObjectInstance* obj = db_->FindObject(id);
+    if (obj == nullptr) continue;
+    const geodb::Value& gv = obj->Get(geom_attr);
+    if (gv.is_null()) continue;
+    const double d = geom::Distance(probe, gv.geometry_value());
+    if (d <= best_dist) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  if (best == 0) {
+    return agis::Status::NotFound(
+        agis::StrCat("no feature within ", agis::DoubleToString(tolerance),
+                     " of (", agis::DoubleToString(p.x), ", ",
+                     agis::DoubleToString(p.y), ")"));
+  }
+  log_.push_back(agis::StrCat("ui.click map(", agis::DoubleToString(p.x),
+                              ",", agis::DoubleToString(p.y), ") -> object ",
+                              best));
+  return OpenInstanceWindow(best);
+}
+
+agis::Status Dispatcher::CloseWindow(const std::string& window_name) {
+  for (auto it = windows_.begin(); it != windows_.end(); ++it) {
+    if ((*it)->name() == window_name) {
+      log_.push_back(agis::StrCat("close ", window_name));
+      windows_.erase(it);
+      return agis::Status::OK();
+    }
+  }
+  return agis::Status::NotFound(agis::StrCat("window '", window_name, "'"));
+}
+
+std::vector<const uilib::InterfaceObject*> Dispatcher::windows() const {
+  std::vector<const uilib::InterfaceObject*> out;
+  out.reserve(windows_.size());
+  for (const auto& w : windows_) out.push_back(w.get());
+  return out;
+}
+
+const uilib::InterfaceObject* Dispatcher::FindWindow(
+    const std::string& name) const {
+  for (const auto& w : windows_) {
+    if (w->name() == name) return w.get();
+  }
+  return nullptr;
+}
+
+std::vector<const uilib::InterfaceObject*> Dispatcher::visible_windows()
+    const {
+  std::vector<const uilib::InterfaceObject*> out;
+  for (const auto& w : windows_) {
+    if (w->GetProperty(uilib::kPropHidden) != "true") out.push_back(w.get());
+  }
+  return out;
+}
+
+}  // namespace agis::ui

@@ -1,0 +1,132 @@
+#ifndef AGIS_UI_DISPATCHER_H_
+#define AGIS_UI_DISPATCHER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "active/engine.h"
+#include "base/context.h"
+#include "base/status.h"
+#include "builder/interface_builder.h"
+#include "geodb/database.h"
+#include "geom/point.h"
+#include "uilib/interface_object.h"
+
+namespace agis::ui {
+
+/// The generic interface control module (Section 3.5): creates and
+/// maintains the (Schema, Class set, Instance) window hierarchy,
+/// splits user interactions into interface events (widget callbacks)
+/// and database events, and lets the active mechanism customize every
+/// window transparently — the dispatcher's code path is identical
+/// with and without customization.
+///
+/// A Dispatcher models one interactive session: it holds the current
+/// user context and the open windows.
+class Dispatcher {
+ public:
+  /// All pointers are borrowed.
+  Dispatcher(geodb::GeoDatabase* db, active::RuleEngine* engine,
+             builder::GenericInterfaceBuilder* builder);
+
+  void set_context(UserContext ctx) { context_ = std::move(ctx); }
+  const UserContext& context() const { return context_; }
+
+  void set_build_options(builder::BuildOptions options) {
+    build_options_ = std::move(options);
+  }
+
+  // ---- Window hierarchy (all windows owned by the dispatcher) -----------
+
+  /// Level 1: activates the generic interface on the database schema.
+  /// Emits Get_Schema, consults the active mechanism, builds the
+  /// Schema window, and honours auto-open classes (a `schema ...
+  /// display as Null` customization opens its class windows directly,
+  /// like rule R1 in Section 4).
+  agis::Result<uilib::InterfaceObject*> OpenSchemaWindow();
+
+  /// Level 2: opens (or refreshes) the Class-set window for a class.
+  agis::Result<uilib::InterfaceObject*> OpenClassWindow(
+      const std::string& class_name);
+
+  /// Level 3: opens (or refreshes) an Instance window.
+  agis::Result<uilib::InterfaceObject*> OpenInstanceWindow(
+      geodb::ObjectId id);
+
+  /// Analysis mode: runs a textual query ("select Pole where pole_type
+  /// >= 2 inside POLYGON ((...))") and opens a Class-set window whose
+  /// presentation area shows only the matching instances. The window
+  /// is named "Query: <text>" and records the query in its "query"
+  /// property. Customization rules apply exactly as for plain class
+  /// windows (same Get_Class event).
+  agis::Result<uilib::InterfaceObject*> OpenQueryWindow(
+      const std::string& query_text);
+
+  // ---- User interactions (IE + DBE split) --------------------------------
+
+  /// Clicks the class list in the Schema window at `index`, firing the
+  /// list's select callback and opening the class window.
+  agis::Result<uilib::InterfaceObject*> SelectClassInSchema(size_t index);
+
+  /// Clicks the presentation area of `class_name`'s window at map
+  /// position `p`; the nearest feature within `tolerance` map units is
+  /// selected and its Instance window opened.
+  agis::Result<uilib::InterfaceObject*> SelectInstanceAt(
+      const std::string& class_name, const geom::Point& p, double tolerance);
+
+  agis::Status CloseWindow(const std::string& window_name);
+
+  // ---- Introspection ------------------------------------------------------
+
+  /// Open windows in opening order (hidden ones included).
+  std::vector<const uilib::InterfaceObject*> windows() const;
+
+  const uilib::InterfaceObject* FindWindow(const std::string& name) const;
+
+  /// Visible windows only (skips `hidden` Schema windows).
+  std::vector<const uilib::InterfaceObject*> visible_windows() const;
+
+  /// Chronological log of interactions and the events they generated,
+  /// e.g. "ui.select classes[0] -> Get_Class(Pole)".
+  const std::vector<std::string>& interaction_log() const { return log_; }
+
+  /// The paper's *explanation* interaction mode, scoped to what this
+  /// system can answer: why does this window look the way it does?
+  /// Reports the context, the triggering event, and — when customized —
+  /// the winning rule and the directive it was compiled from.
+  std::string ExplainWindow(const uilib::InterfaceObject& window) const;
+
+ private:
+  struct CustomizationDecision {
+    std::optional<active::WindowCustomization> payload;
+    std::string rule_name;    // Winning rule; empty when generic.
+    std::string provenance;   // Directive the rule came from.
+  };
+
+  /// Asks the active mechanism for the customization governing
+  /// `event_name` with the given params under the current context.
+  agis::Result<CustomizationDecision> Customize(
+      const std::string& event_name,
+      std::map<std::string, std::string> params);
+
+  /// Stamps explanation properties onto a freshly built window.
+  static void AnnotateWindow(uilib::InterfaceObject* window,
+                             const std::string& event_name,
+                             const CustomizationDecision& decision);
+
+  uilib::InterfaceObject* Install(std::unique_ptr<uilib::InterfaceObject> w);
+
+  geodb::GeoDatabase* db_;
+  active::RuleEngine* engine_;
+  builder::GenericInterfaceBuilder* builder_;
+  UserContext context_;
+  builder::BuildOptions build_options_;
+  std::vector<std::unique_ptr<uilib::InterfaceObject>> windows_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace agis::ui
+
+#endif  // AGIS_UI_DISPATCHER_H_

@@ -1,0 +1,42 @@
+#include "ui/protocol.h"
+
+namespace agis::ui {
+
+agis::Result<DbResponse> DbProtocol::Execute(const DbRequest& request) {
+  DbResponse response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case DbRequest::Kind::kGetSchema: {
+      AGIS_ASSIGN_OR_RETURN(const geodb::Schema* schema,
+                            db_->GetSchema(request.context));
+      response.schema_name = schema->name();
+      response.class_names = schema->ClassNames();
+      break;
+    }
+    case DbRequest::Kind::kGetClass: {
+      AGIS_ASSIGN_OR_RETURN(
+          response.class_result,
+          db_->GetClass(request.class_name, request.class_options,
+                        request.context));
+      break;
+    }
+    case DbRequest::Kind::kGetValue: {
+      AGIS_ASSIGN_OR_RETURN(const geodb::ObjectInstance* obj,
+                            db_->GetValue(request.object_id, request.context));
+      response.instance_class = obj->class_name();
+      response.instance_id = obj->id();
+      AGIS_ASSIGN_OR_RETURN(
+          std::vector<geodb::AttributeDef> attrs,
+          db_->schema().AllAttributesOf(obj->class_name()));
+      for (const geodb::AttributeDef& attr : attrs) {
+        response.attribute_values.emplace_back(
+            attr.name, obj->Get(attr.name).ToDisplayString());
+      }
+      break;
+    }
+  }
+  ++requests_served_;
+  return response;
+}
+
+}  // namespace agis::ui

@@ -1,0 +1,66 @@
+#ifndef AGIS_UI_PROTOCOL_H_
+#define AGIS_UI_PROTOCOL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/context.h"
+#include "base/status.h"
+#include "geodb/database.h"
+
+namespace agis::ui {
+
+/// A request the interface sends the geographic database. This is the
+/// *weak integration* boundary of Section 3.5: the interface never
+/// touches DBMS internals, only this message protocol, so the same
+/// interface could front a different GIS by swapping the protocol
+/// implementation.
+struct DbRequest {
+  enum class Kind { kGetSchema, kGetClass, kGetValue };
+  Kind kind = Kind::kGetSchema;
+  UserContext context;
+  std::string class_name;                // kGetClass.
+  geodb::ObjectId object_id = 0;         // kGetValue.
+  geodb::GetClassOptions class_options;  // kGetClass.
+};
+
+/// The converted response: database values are already flattened to
+/// interface-consumable strings (the protocol's data-conversion half).
+struct DbResponse {
+  DbRequest::Kind kind = DbRequest::Kind::kGetSchema;
+
+  // kGetSchema.
+  std::string schema_name;
+  std::vector<std::string> class_names;
+
+  // kGetClass.
+  geodb::ClassResult class_result;
+
+  // kGetValue.
+  std::string instance_class;
+  geodb::ObjectId instance_id = 0;
+  /// (attribute, display string) in schema order.
+  std::vector<std::pair<std::string, std::string>> attribute_values;
+};
+
+/// Executes protocol requests against a GeoDatabase. Each Execute call
+/// triggers the corresponding database event (Get_Schema / Get_Class /
+/// Get_Value) inside the DBMS, which is what the active mechanism
+/// listens to.
+class DbProtocol {
+ public:
+  explicit DbProtocol(geodb::GeoDatabase* db) : db_(db) {}
+
+  agis::Result<DbResponse> Execute(const DbRequest& request);
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  geodb::GeoDatabase* db_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace agis::ui
+
+#endif  // AGIS_UI_PROTOCOL_H_

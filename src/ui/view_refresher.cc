@@ -1,0 +1,60 @@
+#include "ui/view_refresher.h"
+
+#include "base/strutil.h"
+#include "uilib/widget_props.h"
+
+namespace agis::ui {
+
+namespace {
+constexpr const char* kProvenance = "view_refresh";
+}  // namespace
+
+ViewRefresher::ViewRefresher(Dispatcher* dispatcher,
+                             active::RuleEngine* engine, Mode mode)
+    : dispatcher_(dispatcher), engine_(engine), mode_(mode) {}
+
+ViewRefresher::~ViewRefresher() {
+  if (installed_) Uninstall();
+}
+
+agis::Status ViewRefresher::OnWrite(const active::Event& event) {
+  const std::string& class_name = event.Param("class");
+  if (class_name.empty()) return agis::Status::OK();
+  const std::string window_name = agis::StrCat("Class set: ", class_name);
+  const uilib::InterfaceObject* window = dispatcher_->FindWindow(window_name);
+  if (window == nullptr) return agis::Status::OK();
+  if (mode_ == Mode::kMarkStale) {
+    // The dispatcher owns the window; the const view is its public
+    // face. Staleness is a UI annotation, not a structural change.
+    const_cast<uilib::InterfaceObject*>(window)->SetProperty("stale", "true");
+    ++marked_;
+    return agis::Status::OK();
+  }
+  ++refreshed_;
+  return dispatcher_->OpenClassWindow(class_name).status();
+}
+
+agis::Status ViewRefresher::Install() {
+  if (installed_) return agis::Status::OK();
+  for (const char* event_name :
+       {"After_Insert", "After_Update", "After_Delete"}) {
+    active::EcaRule rule;
+    rule.name = agis::StrCat(kProvenance, "@", event_name);
+    rule.family = active::RuleFamily::kGeneral;
+    rule.event_name = event_name;
+    rule.provenance = kProvenance;
+    rule.general_action = [this](const active::Event& event) {
+      return OnWrite(event);
+    };
+    AGIS_RETURN_IF_ERROR(engine_->AddRule(std::move(rule)).status());
+  }
+  installed_ = true;
+  return agis::Status::OK();
+}
+
+size_t ViewRefresher::Uninstall() {
+  installed_ = false;
+  return engine_->RemoveRulesByProvenance(kProvenance);
+}
+
+}  // namespace agis::ui

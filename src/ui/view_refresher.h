@@ -1,0 +1,62 @@
+#ifndef AGIS_UI_VIEW_REFRESHER_H_
+#define AGIS_UI_VIEW_REFRESHER_H_
+
+#include <cstdint>
+
+#include "active/engine.h"
+#include "base/status.h"
+#include "ui/dispatcher.h"
+
+namespace agis::ui {
+
+/// Dynamic display maintenance through the same active mechanism —
+/// the capability of Diaz et al. [3] the paper contrasts itself with
+/// ("their emphasis is on dynamically reflecting database state
+/// changes in the interface, akin to a view refresh"). Implemented
+/// here as one more *general* rule family to demonstrate that the
+/// engine serves both customization and view maintenance.
+///
+/// Installs general rules on After_Insert / After_Update /
+/// After_Delete. When a write touches a class whose Class-set window
+/// is open, the window is either flagged stale (kMarkStale — the
+/// window gets a "stale"="true" property a real toolkit would render
+/// as a refresh affordance) or rebuilt in place (kAutoRefresh).
+/// Only plain Class-set windows are tracked; ad-hoc query windows
+/// ("Query: ...") represent a moment-in-time answer and stay as built.
+class ViewRefresher {
+ public:
+  enum class Mode { kMarkStale, kAutoRefresh };
+
+  /// `dispatcher` and `engine` must outlive this object.
+  ViewRefresher(Dispatcher* dispatcher, active::RuleEngine* engine,
+                Mode mode = Mode::kMarkStale);
+
+  ViewRefresher(const ViewRefresher&) = delete;
+  ViewRefresher& operator=(const ViewRefresher&) = delete;
+
+  ~ViewRefresher();
+
+  /// Installs the three rules; idempotent.
+  agis::Status Install();
+
+  /// Removes the rules; returns how many were removed.
+  size_t Uninstall();
+
+  Mode mode() const { return mode_; }
+  uint64_t windows_marked_stale() const { return marked_; }
+  uint64_t windows_refreshed() const { return refreshed_; }
+
+ private:
+  agis::Status OnWrite(const active::Event& event);
+
+  Dispatcher* dispatcher_;
+  active::RuleEngine* engine_;
+  Mode mode_;
+  bool installed_ = false;
+  uint64_t marked_ = 0;
+  uint64_t refreshed_ = 0;
+};
+
+}  // namespace agis::ui
+
+#endif  // AGIS_UI_VIEW_REFRESHER_H_

@@ -1,0 +1,219 @@
+#include "uilib/interface_object.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strutil.h"
+
+namespace agis::uilib {
+
+const char* WidgetKindName(WidgetKind kind) {
+  switch (kind) {
+    case WidgetKind::kWindow:
+      return "Window";
+    case WidgetKind::kPanel:
+      return "Panel";
+    case WidgetKind::kTextField:
+      return "TextField";
+    case WidgetKind::kDrawingArea:
+      return "DrawingArea";
+    case WidgetKind::kList:
+      return "List";
+    case WidgetKind::kButton:
+      return "Button";
+    case WidgetKind::kMenu:
+      return "Menu";
+    case WidgetKind::kMenuItem:
+      return "MenuItem";
+  }
+  return "Unknown";
+}
+
+InterfaceObject::InterfaceObject(WidgetKind kind, std::string name)
+    : kind_(kind), name_(std::move(name)) {}
+
+InterfaceObject::~InterfaceObject() = default;
+
+void InterfaceObject::SetProperty(const std::string& key, std::string value) {
+  properties_[key] = std::move(value);
+}
+
+const std::string& InterfaceObject::GetProperty(const std::string& key) const {
+  static const std::string* kEmpty = new std::string();
+  auto it = properties_.find(key);
+  return it == properties_.end() ? *kEmpty : it->second;
+}
+
+bool InterfaceObject::HasProperty(const std::string& key) const {
+  return properties_.count(key) != 0;
+}
+
+bool InterfaceObject::CanContainChildren() const {
+  switch (kind_) {
+    case WidgetKind::kWindow:
+    case WidgetKind::kPanel:
+    case WidgetKind::kMenu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+InterfaceObject* InterfaceObject::AddChild(
+    std::unique_ptr<InterfaceObject> child) {
+  AGIS_CHECK(CanContainChildren())
+      << WidgetKindName(kind_) << " '" << name_ << "' cannot hold children";
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+agis::Status InterfaceObject::RemoveChild(const std::string& name) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if ((*it)->name() == name) {
+      children_.erase(it);
+      return agis::Status::OK();
+    }
+  }
+  return agis::Status::NotFound(
+      agis::StrCat("child '", name, "' of '", name_, "'"));
+}
+
+InterfaceObject* InterfaceObject::FindChild(const std::string& name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+InterfaceObject* InterfaceObject::FindDescendant(
+    const std::string& name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+    InterfaceObject* found = child->FindDescendant(name);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+size_t InterfaceObject::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+size_t InterfaceObject::SubtreeDepth() const {
+  size_t deepest = 0;
+  for (const auto& child : children_) {
+    deepest = std::max(deepest, child->SubtreeDepth());
+  }
+  return deepest + 1;
+}
+
+void InterfaceObject::Bind(const std::string& event_name,
+                           std::string callback_name, Callback callback) {
+  for (Binding& b : bindings_) {
+    if (b.event_name == event_name && b.callback_name == callback_name) {
+      b.callback = std::move(callback);
+      return;
+    }
+  }
+  bindings_.push_back(
+      Binding{event_name, std::move(callback_name), std::move(callback)});
+}
+
+bool InterfaceObject::Unbind(const std::string& event_name,
+                             const std::string& callback_name) {
+  for (auto it = bindings_.begin(); it != bindings_.end(); ++it) {
+    if (it->event_name == event_name && it->callback_name == callback_name) {
+      bindings_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t InterfaceObject::Fire(const UiEvent& event) {
+  size_t fired = 0;
+  // Index-based loop: a callback may add further bindings.
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    if (bindings_[i].event_name == event.name) {
+      bindings_[i].callback(*this, event);
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+std::vector<std::string> InterfaceObject::BoundCallbacks(
+    const std::string& event_name) const {
+  std::vector<std::string> out;
+  for (const Binding& b : bindings_) {
+    if (b.event_name == event_name) out.push_back(b.callback_name);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+InterfaceObject::AllBindings() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Binding& b : bindings_) {
+    out.emplace_back(b.event_name, b.callback_name);
+  }
+  return out;
+}
+
+std::unique_ptr<InterfaceObject> InterfaceObject::Clone() const {
+  auto copy = std::make_unique<InterfaceObject>(kind_, name_);
+  copy->properties_ = properties_;
+  copy->bindings_ = bindings_;
+  for (const auto& child : children_) {
+    copy->AddChild(child->Clone());
+  }
+  return copy;
+}
+
+agis::Status InterfaceObject::Validate() const {
+  if (!children_.empty() && !CanContainChildren()) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat(WidgetKindName(kind_), " '", name_,
+                     "' has children but is atomic"));
+  }
+  for (const auto& child : children_) {
+    if (kind_ == WidgetKind::kMenu &&
+        child->kind() != WidgetKind::kMenuItem &&
+        child->kind() != WidgetKind::kMenu) {
+      return agis::Status::FailedPrecondition(
+          agis::StrCat("menu '", name_, "' contains non-item '",
+                       child->name(), "'"));
+    }
+    if (child->kind() == WidgetKind::kMenuItem &&
+        kind_ != WidgetKind::kMenu) {
+      return agis::Status::FailedPrecondition(
+          agis::StrCat("menu item '", child->name(), "' outside a menu"));
+    }
+    AGIS_RETURN_IF_ERROR(child->Validate());
+  }
+  return agis::Status::OK();
+}
+
+std::string InterfaceObject::ToTreeString(int indent) const {
+  std::string out = agis::Repeat("  ", static_cast<size_t>(indent));
+  out += agis::StrCat(WidgetKindName(kind_), " \"", name_, "\"");
+  const std::string& label = GetProperty("label");
+  if (!label.empty() && label != name_) {
+    out += agis::StrCat(" [", label, "]");
+  }
+  out += "\n";
+  for (const auto& child : children_) {
+    out += child->ToTreeString(indent + 1);
+  }
+  return out;
+}
+
+std::unique_ptr<InterfaceObject> MakeWidget(WidgetKind kind,
+                                            std::string name) {
+  return std::make_unique<InterfaceObject>(kind, std::move(name));
+}
+
+}  // namespace agis::uilib

@@ -1,0 +1,156 @@
+#ifndef AGIS_UILIB_INTERFACE_OBJECT_H_
+#define AGIS_UILIB_INTERFACE_OBJECT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "uilib/ui_event.h"
+
+namespace agis::uilib {
+
+/// The kernel classes of Figure 2.
+enum class WidgetKind {
+  kWindow,
+  kPanel,
+  kTextField,
+  kDrawingArea,
+  kList,
+  kButton,
+  kMenu,
+  kMenuItem,
+};
+
+const char* WidgetKindName(WidgetKind kind);
+
+/// Base class of every interface object in the library.
+///
+/// Interface objects are *either atomic* (button, text field) *or
+/// complex* (window, panel) via the recursive composition the paper's
+/// Figure 2 shows on Panel. Every object carries:
+///  - a name (unique among siblings),
+///  - a string property bag (label, tooltip, format, value, ...),
+///  - event→callback bindings ("callback functions triggered by
+///    events on interface objects"),
+///  - children (owned).
+///
+/// `Clone` deep-copies the subtree including property bags and
+/// callback bindings — the library instantiates prototypes by cloning.
+class InterfaceObject {
+ public:
+  using Callback = std::function<void(InterfaceObject&, const UiEvent&)>;
+
+  InterfaceObject(WidgetKind kind, std::string name);
+  virtual ~InterfaceObject();
+
+  InterfaceObject(const InterfaceObject&) = delete;
+  InterfaceObject& operator=(const InterfaceObject&) = delete;
+
+  WidgetKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- Properties --------------------------------------------------------
+
+  void SetProperty(const std::string& key, std::string value);
+  /// Empty string when unset.
+  const std::string& GetProperty(const std::string& key) const;
+  bool HasProperty(const std::string& key) const;
+  const std::map<std::string, std::string>& properties() const {
+    return properties_;
+  }
+
+  // ---- Composition -------------------------------------------------------
+
+  /// Adds `child` (taking ownership) and returns a raw pointer to it.
+  /// Aborts when this object's kind cannot hold children (see
+  /// CanContainChildren); the builder validates before adding.
+  InterfaceObject* AddChild(std::unique_ptr<InterfaceObject> child);
+
+  /// Removes and destroys the first child named `name`.
+  agis::Status RemoveChild(const std::string& name);
+
+  const std::vector<std::unique_ptr<InterfaceObject>>& children() const {
+    return children_;
+  }
+  InterfaceObject* parent() const { return parent_; }
+
+  /// First child with `name`; nullptr when absent.
+  InterfaceObject* FindChild(const std::string& name) const;
+
+  /// Depth-first search of the whole subtree (excluding this node).
+  InterfaceObject* FindDescendant(const std::string& name) const;
+
+  /// Nodes in this subtree, including this one.
+  size_t SubtreeSize() const;
+
+  /// Depth of this subtree (a lone node has depth 1).
+  size_t SubtreeDepth() const;
+
+  /// Whether this kind may own children (windows, panels, menus).
+  bool CanContainChildren() const;
+
+  // ---- Events ------------------------------------------------------------
+
+  /// Binds `callback` (registered under `callback_name` for
+  /// introspection) to `event_name`. Multiple callbacks per event run
+  /// in binding order. Binding the same callback_name again replaces
+  /// the previous binding (customization overrides default behavior).
+  void Bind(const std::string& event_name, std::string callback_name,
+            Callback callback);
+
+  /// Removes the named binding; false when absent.
+  bool Unbind(const std::string& event_name,
+              const std::string& callback_name);
+
+  /// Fires `event` on this object, invoking its bound callbacks.
+  /// Returns the number of callbacks run.
+  size_t Fire(const UiEvent& event);
+
+  /// Names of callbacks bound to `event_name` (binding order).
+  std::vector<std::string> BoundCallbacks(const std::string& event_name) const;
+
+  /// All (event name, callback name) bindings in binding order; used
+  /// by the definition serializer.
+  std::vector<std::pair<std::string, std::string>> AllBindings() const;
+
+  // ---- Cloning & inspection ----------------------------------------------
+
+  /// Deep copy of the subtree: kinds, names, properties, bindings.
+  std::unique_ptr<InterfaceObject> Clone() const;
+
+  /// Structural validation: menus contain only menu items, menu items
+  /// are inside menus, only container kinds have children.
+  agis::Status Validate() const;
+
+  /// Indented structural dump, e.g.
+  ///   Window "Class set: Pole"
+  ///     Panel "control"
+  ///       Button "show"
+  std::string ToTreeString(int indent = 0) const;
+
+ private:
+  struct Binding {
+    std::string event_name;
+    std::string callback_name;
+    Callback callback;
+  };
+
+  WidgetKind kind_;
+  std::string name_;
+  std::map<std::string, std::string> properties_;
+  std::vector<std::unique_ptr<InterfaceObject>> children_;
+  InterfaceObject* parent_ = nullptr;
+  std::vector<Binding> bindings_;
+};
+
+/// Creates an object of `kind` with `name` (factory used by the
+/// library's kernel prototypes).
+std::unique_ptr<InterfaceObject> MakeWidget(WidgetKind kind, std::string name);
+
+}  // namespace agis::uilib
+
+#endif  // AGIS_UILIB_INTERFACE_OBJECT_H_

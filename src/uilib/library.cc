@@ -1,0 +1,178 @@
+#include "uilib/library.h"
+
+#include <algorithm>
+
+#include "base/strutil.h"
+
+namespace agis::uilib {
+
+agis::Status InterfaceObjectLibrary::RegisterPrototype(
+    std::unique_ptr<InterfaceObject> prototype, std::string doc,
+    bool allow_replace) {
+  if (prototype == nullptr || prototype->name().empty()) {
+    return agis::Status::InvalidArgument("prototype needs a name");
+  }
+  AGIS_RETURN_IF_ERROR(prototype->Validate());
+  const std::string name = prototype->name();
+  auto it = prototypes_.find(name);
+  if (it != prototypes_.end()) {
+    if (!allow_replace) {
+      return agis::Status::AlreadyExists(
+          agis::StrCat("prototype '", name, "'"));
+    }
+    it->second = Stored{std::move(prototype), std::move(doc)};
+    return agis::Status::OK();
+  }
+  order_.push_back(name);
+  prototypes_.emplace(name, Stored{std::move(prototype), std::move(doc)});
+  return agis::Status::OK();
+}
+
+agis::Result<std::unique_ptr<InterfaceObject>>
+InterfaceObjectLibrary::Instantiate(const std::string& name) const {
+  auto it = prototypes_.find(name);
+  if (it == prototypes_.end()) {
+    return agis::Status::NotFound(
+        agis::StrCat("prototype '", name, "' is not in the library"));
+  }
+  return it->second.prototype->Clone();
+}
+
+agis::Status InterfaceObjectLibrary::Specialize(
+    const std::string& base_name, const std::string& new_name,
+    const std::function<void(InterfaceObject&)>& mutate, std::string doc) {
+  AGIS_ASSIGN_OR_RETURN(std::unique_ptr<InterfaceObject> clone,
+                        Instantiate(base_name));
+  clone->set_name(new_name);
+  if (mutate) mutate(*clone);
+  return RegisterPrototype(std::move(clone), std::move(doc));
+}
+
+agis::Status InterfaceObjectLibrary::RemovePrototype(const std::string& name) {
+  auto it = prototypes_.find(name);
+  if (it == prototypes_.end()) {
+    return agis::Status::NotFound(agis::StrCat("prototype '", name, "'"));
+  }
+  prototypes_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  return agis::Status::OK();
+}
+
+const InterfaceObject* InterfaceObjectLibrary::Peek(
+    const std::string& name) const {
+  auto it = prototypes_.find(name);
+  return it == prototypes_.end() ? nullptr : it->second.prototype.get();
+}
+
+const std::string& InterfaceObjectLibrary::DocOf(
+    const std::string& name) const {
+  static const std::string* kEmpty = new std::string();
+  auto it = prototypes_.find(name);
+  return it == prototypes_.end() ? *kEmpty : it->second.doc;
+}
+
+agis::Status InterfaceObjectLibrary::RegisterKernelPrototypes() {
+  struct KernelEntry {
+    WidgetKind kind;
+    const char* name;
+    const char* doc;
+  };
+  const KernelEntry kKernel[] = {
+      {WidgetKind::kWindow, "window", "root interaction container"},
+      {WidgetKind::kPanel, "panel", "recursive control grouping"},
+      {WidgetKind::kTextField, "text_field", "single text value"},
+      {WidgetKind::kDrawingArea, "drawing_area",
+       "cartographic presentation surface"},
+      {WidgetKind::kList, "list", "scrolling choice list"},
+      {WidgetKind::kButton, "button", "push button"},
+      {WidgetKind::kMenu, "menu", "menu of items"},
+      {WidgetKind::kMenuItem, "menu_item", "one menu entry"},
+  };
+  for (const KernelEntry& entry : kKernel) {
+    AGIS_RETURN_IF_ERROR(
+        RegisterPrototype(MakeWidget(entry.kind, entry.name), entry.doc));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status RegisterStandardGisPrototypes(InterfaceObjectLibrary* library) {
+  // poleWidget: the paper defines it as "a predefined composed widget
+  // (defined as a slider)" for the Pole class control area.
+  {
+    auto pole = MakeWidget(WidgetKind::kPanel, "poleWidget");
+    pole->SetProperty("label", "Poles");
+    pole->SetProperty("style", "slider");
+    auto* slider = pole->AddChild(
+        MakeWidget(WidgetKind::kTextField, "pole_density_slider"));
+    slider->SetProperty("role", "slider");
+    slider->SetProperty("min", "0");
+    slider->SetProperty("max", "100");
+    slider->SetProperty("value", "100");
+    auto* toggle = pole->AddChild(MakeWidget(WidgetKind::kButton, "show"));
+    toggle->SetProperty("label", "Show");
+    AGIS_RETURN_IF_ERROR(library->RegisterPrototype(
+        std::move(pole), "slider-based class control (Figure 6, line 4)"));
+  }
+
+  // composed_text: one text field rendering several composed source
+  // values; carries the notify() callback of Figure 6 line 9.
+  {
+    auto composed = MakeWidget(WidgetKind::kTextField, "composed_text");
+    composed->SetProperty("role", "composed");
+    composed->SetProperty("separator", " / ");
+    composed->Bind(kUiChange, "composed_text.notify",
+                   [](InterfaceObject& self, const UiEvent&) {
+                     self.SetProperty("notified", "true");
+                   });
+    AGIS_RETURN_IF_ERROR(library->RegisterPrototype(
+        std::move(composed),
+        "text field composing several sources (Figure 6, line 7)"));
+  }
+
+  // map_selection_panel: Section 3.2's reuse example — a complex
+  // component with lists for visualization/choice, a region text
+  // field, and operation buttons.
+  {
+    auto panel = MakeWidget(WidgetKind::kPanel, "map_selection_panel");
+    panel->SetProperty("label", "Map selection");
+    panel->AddChild(MakeWidget(WidgetKind::kList, "available_maps"));
+    panel->AddChild(MakeWidget(WidgetKind::kList, "chosen_maps"));
+    auto* region =
+        panel->AddChild(MakeWidget(WidgetKind::kTextField, "region_name"));
+    region->SetProperty("label", "Region");
+    auto* buttons = panel->AddChild(MakeWidget(WidgetKind::kPanel, "ops"));
+    buttons->AddChild(MakeWidget(WidgetKind::kButton, "add"))
+        ->SetProperty("label", "Add");
+    buttons->AddChild(MakeWidget(WidgetKind::kButton, "remove"))
+        ->SetProperty("label", "Remove");
+    buttons->AddChild(MakeWidget(WidgetKind::kButton, "open"))
+        ->SetProperty("label", "Open");
+    AGIS_RETURN_IF_ERROR(library->RegisterPrototype(
+        std::move(panel), "complex reusable map-selection component"));
+  }
+
+  // class_control: default control-area widget per class.
+  {
+    auto control = MakeWidget(WidgetKind::kPanel, "class_control");
+    auto* toggle = control->AddChild(
+        MakeWidget(WidgetKind::kButton, "visible_toggle"));
+    toggle->SetProperty("label", "Visible");
+    toggle->SetProperty("state", "on");
+    AGIS_RETURN_IF_ERROR(library->RegisterPrototype(
+        std::move(control), "default per-class control widget"));
+  }
+
+  // attribute_row: default Instance-window row (label + value field).
+  {
+    auto row = MakeWidget(WidgetKind::kPanel, "attribute_row");
+    row->AddChild(MakeWidget(WidgetKind::kTextField, "attr_label"))
+        ->SetProperty("role", "label");
+    row->AddChild(MakeWidget(WidgetKind::kTextField, "attr_value"))
+        ->SetProperty("role", "value");
+    AGIS_RETURN_IF_ERROR(library->RegisterPrototype(
+        std::move(row), "default attribute display row"));
+  }
+  return agis::Status::OK();
+}
+
+}  // namespace agis::uilib

@@ -1,0 +1,91 @@
+#ifndef AGIS_UILIB_LIBRARY_H_
+#define AGIS_UILIB_LIBRARY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "uilib/interface_object.h"
+
+namespace agis::uilib {
+
+/// The interface objects library of Figure 1: a database of named
+/// widget prototypes, atomic and complex, that the generic interface
+/// builder instantiates at run time.
+///
+/// Extensibility works exactly as Section 3.2 describes: new complex
+/// objects (a whole map-selection panel) can be registered and then
+/// reused as components of yet more complex objects; existing
+/// prototypes can be *specialized* (cloned, mutated, re-registered
+/// under a new name).
+class InterfaceObjectLibrary {
+ public:
+  InterfaceObjectLibrary() = default;
+
+  InterfaceObjectLibrary(const InterfaceObjectLibrary&) = delete;
+  InterfaceObjectLibrary& operator=(const InterfaceObjectLibrary&) = delete;
+
+  /// Registers `prototype` under its object name. Fails on duplicates
+  /// unless `allow_replace`; fails on invalid structures.
+  agis::Status RegisterPrototype(std::unique_ptr<InterfaceObject> prototype,
+                                 std::string doc = "",
+                                 bool allow_replace = false);
+
+  /// Instantiates a prototype: a deep clone the caller owns.
+  agis::Result<std::unique_ptr<InterfaceObject>> Instantiate(
+      const std::string& name) const;
+
+  /// Clones `base_name`, applies `mutate`, registers under `new_name`.
+  agis::Status Specialize(
+      const std::string& base_name, const std::string& new_name,
+      const std::function<void(InterfaceObject&)>& mutate,
+      std::string doc = "");
+
+  agis::Status RemovePrototype(const std::string& name);
+
+  bool Has(const std::string& name) const {
+    return prototypes_.count(name) != 0;
+  }
+
+  /// Read-only view of a prototype (no clone); nullptr when absent.
+  const InterfaceObject* Peek(const std::string& name) const;
+
+  const std::string& DocOf(const std::string& name) const;
+
+  /// Registered names, insertion order.
+  std::vector<std::string> Names() const { return order_; }
+  size_t NumPrototypes() const { return prototypes_.size(); }
+
+  /// Registers one atomic prototype per kernel class of Figure 2
+  /// ("window", "panel", "text_field", "drawing_area", "list",
+  /// "button", "menu", "menu_item").
+  agis::Status RegisterKernelPrototypes();
+
+ private:
+  struct Stored {
+    std::unique_ptr<InterfaceObject> prototype;
+    std::string doc;
+  };
+
+  std::map<std::string, Stored> prototypes_;
+  std::vector<std::string> order_;
+};
+
+/// Registers the GIS-standard complex prototypes the paper's example
+/// uses on top of the kernel:
+///  - "poleWidget": slider-based class-control panel (Figure 6 line 4),
+///  - "composed_text": text field that composes several source values
+///    (line 7), with a "notify" callback,
+///  - "map_selection_panel": the Section 3.2 reuse example — lists,
+///    region text field and operation buttons composed into one panel,
+///  - "class_control": default per-class control widget (checkbox-like
+///    toggle used in Class-set control areas),
+///  - "attribute_row": default Instance-window attribute panel.
+agis::Status RegisterStandardGisPrototypes(InterfaceObjectLibrary* library);
+
+}  // namespace agis::uilib
+
+#endif  // AGIS_UILIB_LIBRARY_H_

@@ -1,0 +1,241 @@
+#include "uilib/serialize.h"
+
+#include <cctype>
+
+#include "base/strutil.h"
+
+namespace agis::uilib {
+
+namespace {
+
+agis::Result<WidgetKind> KindFromName(const std::string& name) {
+  static const std::pair<const char*, WidgetKind> kKinds[] = {
+      {"Window", WidgetKind::kWindow},
+      {"Panel", WidgetKind::kPanel},
+      {"TextField", WidgetKind::kTextField},
+      {"DrawingArea", WidgetKind::kDrawingArea},
+      {"List", WidgetKind::kList},
+      {"Button", WidgetKind::kButton},
+      {"Menu", WidgetKind::kMenu},
+      {"MenuItem", WidgetKind::kMenuItem},
+  };
+  for (const auto& [kind_name, kind] : kKinds) {
+    if (name == kind_name) return kind;
+  }
+  return agis::Status::ParseError(
+      agis::StrCat("unknown widget kind '", name, "'"));
+}
+
+void AppendNode(const InterfaceObject& node, int indent, std::string* out) {
+  const std::string pad = agis::Repeat("  ", static_cast<size_t>(indent));
+  out->append(pad);
+  out->append(WidgetKindName(node.kind()));
+  out->append(" \"");
+  out->append(EscapeDefinitionString(node.name()));
+  out->append("\" {\n");
+  for (const auto& [key, value] : node.properties()) {
+    out->append(pad);
+    out->append("  @");
+    out->append(key);
+    out->append(" \"");
+    out->append(EscapeDefinitionString(value));
+    out->append("\"\n");
+  }
+  for (const auto& [event, callback] : node.AllBindings()) {
+    out->append(pad);
+    out->append("  !");
+    out->append(event);
+    out->append(" \"");
+    out->append(EscapeDefinitionString(callback));
+    out->append("\"\n");
+  }
+  for (const auto& child : node.children()) {
+    AppendNode(*child, indent + 1, out);
+  }
+  out->append(pad);
+  out->append("}\n");
+}
+
+/// Token scanner for the definition format.
+class DefScanner {
+ public:
+  explicit DefScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {  // Comment to end of line.
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char PeekChar() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (PeekChar() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  agis::Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(agis::StrCat("expected '", c, "'"));
+    }
+    return agis::Status::OK();
+  }
+
+  agis::Result<std::string> ReadWord() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  agis::Result<std::string> ReadQuotedString() {
+    AGIS_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '"':
+            c = '"';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          default:
+            return Error(agis::StrCat("bad escape '\\", esc, "'"));
+        }
+      } else if (c == '\n') {
+        return Error("unterminated string literal");
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string literal");
+    ++pos_;  // Closing quote.
+    return out;
+  }
+
+  agis::Status Error(const std::string& message) const {
+    return agis::Status::ParseError(
+        agis::StrCat("definition line ", line_, ": ", message));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+agis::Result<std::unique_ptr<InterfaceObject>> ParseNode(DefScanner* scanner) {
+  AGIS_ASSIGN_OR_RETURN(std::string kind_name, scanner->ReadWord());
+  AGIS_ASSIGN_OR_RETURN(WidgetKind kind, KindFromName(kind_name));
+  AGIS_ASSIGN_OR_RETURN(std::string name, scanner->ReadQuotedString());
+  auto node = MakeWidget(kind, std::move(name));
+  AGIS_RETURN_IF_ERROR(scanner->Expect('{'));
+  while (!scanner->AtEnd() && scanner->PeekChar() != '}') {
+    if (scanner->Consume('@')) {
+      AGIS_ASSIGN_OR_RETURN(std::string key, scanner->ReadWord());
+      AGIS_ASSIGN_OR_RETURN(std::string value, scanner->ReadQuotedString());
+      node->SetProperty(key, std::move(value));
+      continue;
+    }
+    if (scanner->Consume('!')) {
+      AGIS_ASSIGN_OR_RETURN(std::string event, scanner->ReadWord());
+      AGIS_ASSIGN_OR_RETURN(std::string callback,
+                            scanner->ReadQuotedString());
+      // Behavior is resolved locally by the receiving interface; the
+      // placeholder makes firing observable.
+      const std::string marker = agis::StrCat("fired_", callback);
+      node->Bind(event, callback,
+                 [marker](InterfaceObject& self, const UiEvent&) {
+                   self.SetProperty(marker, "true");
+                 });
+      continue;
+    }
+    AGIS_ASSIGN_OR_RETURN(std::unique_ptr<InterfaceObject> child,
+                          ParseNode(scanner));
+    if (!node->CanContainChildren()) {
+      return scanner->Error(
+          agis::StrCat("widget kind ", WidgetKindName(node->kind()),
+                       " cannot hold children"));
+    }
+    node->AddChild(std::move(child));
+  }
+  AGIS_RETURN_IF_ERROR(scanner->Expect('}'));
+  return node;
+}
+
+}  // namespace
+
+std::string EscapeDefinitionString(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string SerializeDefinition(const InterfaceObject& root) {
+  std::string out;
+  AppendNode(root, 0, &out);
+  return out;
+}
+
+agis::Result<std::unique_ptr<InterfaceObject>> ParseDefinition(
+    std::string_view text) {
+  DefScanner scanner(text);
+  AGIS_ASSIGN_OR_RETURN(std::unique_ptr<InterfaceObject> root,
+                        ParseNode(&scanner));
+  if (!scanner.AtEnd()) {
+    return scanner.Error("trailing content after root widget");
+  }
+  return root;
+}
+
+}  // namespace agis::uilib

@@ -1,0 +1,49 @@
+#ifndef AGIS_UILIB_SERIALIZE_H_
+#define AGIS_UILIB_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "uilib/interface_object.h"
+
+namespace agis::uilib {
+
+/// The *interface definition* wire format of Figure 1: the generic
+/// interface builder "generates a definition of a customized
+/// interface [which] is sent back to the interface, to dynamically
+/// generate the output screen objects". Under weak integration that
+/// definition must be a concrete, parseable message — this is it.
+///
+/// Format (text, whitespace-insensitive between tokens):
+///
+///   Window "Class set: Pole" {
+///     @window_type "ClassSet"
+///     Panel "control" {
+///       Button "show" { @label "Show" !click "toggle_visibility" }
+///     }
+///   }
+///
+/// `@key "value"` entries are properties; `!event "callback"` entries
+/// are callback-binding declarations. String literals escape `\\`,
+/// `\"`, `\n`, `\t`. Property maps serialize in sorted key order, so
+/// serialization is deterministic.
+std::string SerializeDefinition(const InterfaceObject& root);
+
+/// Parses a definition back into a widget tree.
+///
+/// Callback *behavior* cannot travel in a textual message; bindings
+/// are re-attached as named placeholders that set the property
+/// "fired_<callback>" when triggered. A receiving interface resolves
+/// real behavior by name against its own library (exactly the weak
+/// integration contract: names shared, code local).
+agis::Result<std::unique_ptr<InterfaceObject>> ParseDefinition(
+    std::string_view text);
+
+/// Escapes a string for embedding in a definition literal.
+std::string EscapeDefinitionString(std::string_view raw);
+
+}  // namespace agis::uilib
+
+#endif  // AGIS_UILIB_SERIALIZE_H_

@@ -1,0 +1,34 @@
+#ifndef AGIS_UILIB_UI_EVENT_H_
+#define AGIS_UILIB_UI_EVENT_H_
+
+#include <map>
+#include <string>
+
+namespace agis::uilib {
+
+/// An interface event (`IE` in Section 3.3): a user gesture on one
+/// interface object — click, select, text change. The dispatcher
+/// splits a user interaction into such an interface event (handled by
+/// widget callbacks) and a database event (handled by the active
+/// mechanism).
+struct UiEvent {
+  std::string name;  // "click", "select", "change", "open", "close".
+  std::map<std::string, std::string> args;
+
+  const std::string& Arg(const std::string& key) const {
+    static const std::string* kEmpty = new std::string();
+    auto it = args.find(key);
+    return it == args.end() ? *kEmpty : it->second;
+  }
+};
+
+/// Canonical interface-event names.
+inline constexpr const char* kUiClick = "click";
+inline constexpr const char* kUiSelect = "select";
+inline constexpr const char* kUiChange = "change";
+inline constexpr const char* kUiOpen = "open";
+inline constexpr const char* kUiClose = "close";
+
+}  // namespace agis::uilib
+
+#endif  // AGIS_UILIB_UI_EVENT_H_

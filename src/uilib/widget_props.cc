@@ -1,0 +1,45 @@
+#include "uilib/widget_props.h"
+
+#include <algorithm>
+
+#include "base/strutil.h"
+
+namespace agis::uilib {
+
+void SetListItems(InterfaceObject* list,
+                  const std::vector<std::string>& items) {
+  std::vector<std::string> cleaned = items;
+  for (std::string& item : cleaned) {
+    std::replace(item.begin(), item.end(), '\n', ' ');
+  }
+  list->SetProperty(kPropItems, agis::Join(cleaned, "\n"));
+  list->SetProperty("item_count", agis::StrCat(cleaned.size()));
+}
+
+std::vector<std::string> GetListItems(const InterfaceObject& list) {
+  const std::string& raw = list.GetProperty(kPropItems);
+  if (raw.empty()) return {};
+  return agis::Split(raw, '\n');
+}
+
+void SelectListItem(InterfaceObject* list, size_t index) {
+  const std::vector<std::string> items = GetListItems(*list);
+  if (items.empty()) return;
+  index = std::min(index, items.size() - 1);
+  list->SetProperty(kPropSelected, agis::StrCat(index));
+  UiEvent event;
+  event.name = kUiSelect;
+  event.args["index"] = agis::StrCat(index);
+  event.args["item"] = items[index];
+  list->Fire(event);
+}
+
+std::string SelectedListItem(const InterfaceObject& list) {
+  const std::string& sel = list.GetProperty(kPropSelected);
+  if (sel.empty()) return "";
+  const std::vector<std::string> items = GetListItems(list);
+  const size_t index = static_cast<size_t>(std::stoul(sel));
+  return index < items.size() ? items[index] : "";
+}
+
+}  // namespace agis::uilib

@@ -1,0 +1,45 @@
+#ifndef AGIS_UILIB_WIDGET_PROPS_H_
+#define AGIS_UILIB_WIDGET_PROPS_H_
+
+#include <string>
+#include <vector>
+
+#include "uilib/interface_object.h"
+
+namespace agis::uilib {
+
+/// Common property keys used across the builder and the dispatcher.
+inline constexpr const char* kPropLabel = "label";
+inline constexpr const char* kPropValue = "value";
+inline constexpr const char* kPropItems = "items";          // List contents.
+inline constexpr const char* kPropSelected = "selected";    // List selection.
+inline constexpr const char* kPropWindowType = "window_type";
+inline constexpr const char* kPropHidden = "hidden";
+inline constexpr const char* kPropClass = "class";
+inline constexpr const char* kPropObject = "object";
+inline constexpr const char* kPropContent = "content";      // ASCII raster.
+inline constexpr const char* kPropSvg = "svg";              // SVG document.
+inline constexpr const char* kPropFeatureCount = "feature_count";
+inline constexpr const char* kPropStyle = "style";
+
+/// Window-type values.
+inline constexpr const char* kWindowSchema = "Schema";
+inline constexpr const char* kWindowClassSet = "ClassSet";
+inline constexpr const char* kWindowInstance = "Instance";
+
+/// Stores `items` on a List widget (newline-joined; items must not
+/// contain newlines — enforced by replacing them with spaces).
+void SetListItems(InterfaceObject* list, const std::vector<std::string>& items);
+
+/// Reads back the items stored by SetListItems.
+std::vector<std::string> GetListItems(const InterfaceObject& list);
+
+/// Selects item `index` (clamped); fires a "select" event.
+void SelectListItem(InterfaceObject* list, size_t index);
+
+/// The currently selected item text; empty when nothing is selected.
+std::string SelectedListItem(const InterfaceObject& list);
+
+}  // namespace agis::uilib
+
+#endif  // AGIS_UILIB_WIDGET_PROPS_H_

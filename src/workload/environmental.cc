@@ -1,0 +1,166 @@
+#include "workload/environmental.h"
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "geom/geometry.h"
+
+namespace agis::workload {
+
+namespace {
+
+using geodb::AttributeDef;
+using geodb::ClassDef;
+using geodb::Value;
+
+/// Convex blob polygon around (cx, cy).
+geom::Polygon MakeBlob(Rng* rng, double cx, double cy, double radius) {
+  geom::Polygon poly;
+  const size_t n = 6 + rng->Uniform(5);
+  for (size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) / n;
+    const double r = radius * (0.6 + 0.4 * rng->UniformDouble());
+    poly.outer.push_back({cx + r * std::cos(angle), cy + r * std::sin(angle)});
+  }
+  return poly;
+}
+
+}  // namespace
+
+agis::Status BuildEnvironmentalDb(geodb::GeoDatabase* db,
+                                  const EnvironmentalConfig& config) {
+  {
+    ClassDef patch("VegetationPatch", "contiguous vegetation cover");
+    AGIS_RETURN_IF_ERROR(
+        patch.AddAttribute(AttributeDef::String("vegetation_type")));
+    AGIS_RETURN_IF_ERROR(patch.AddAttribute(AttributeDef::Tuple(
+        "cover", {AttributeDef::Double("cover_density"),
+                  AttributeDef::Double("cover_height"),
+                  AttributeDef::String("cover_season")})));
+    AGIS_RETURN_IF_ERROR(
+        patch.AddAttribute(AttributeDef::Geometry("patch_area")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(patch)));
+  }
+  {
+    ClassDef river("River", "water course");
+    AGIS_RETURN_IF_ERROR(river.AddAttribute(AttributeDef::String("river_name")));
+    AGIS_RETURN_IF_ERROR(river.AddAttribute(AttributeDef::Double("flow_m3s")));
+    AGIS_RETURN_IF_ERROR(river.AddAttribute(AttributeDef::Geometry("course")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(river)));
+  }
+  {
+    ClassDef station("MonitoringStation", "field measurement station");
+    AGIS_RETURN_IF_ERROR(
+        station.AddAttribute(AttributeDef::String("station_code")));
+    AGIS_RETURN_IF_ERROR(
+        station.AddAttribute(AttributeDef::Double("last_reading")));
+    AGIS_RETURN_IF_ERROR(
+        station.AddAttribute(AttributeDef::Geometry("position")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(station)));
+  }
+  {
+    ClassDef area("ProtectedArea", "legally protected zone");
+    AGIS_RETURN_IF_ERROR(area.AddAttribute(AttributeDef::String("area_name")));
+    AGIS_RETURN_IF_ERROR(area.AddAttribute(AttributeDef::Int("protection_level")));
+    AGIS_RETURN_IF_ERROR(area.AddAttribute(AttributeDef::Geometry("zone")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(area)));
+  }
+
+  Rng rng(config.seed);
+  const geom::BoundingBox& world = config.world;
+  static const char* kVegTypes[] = {"cerrado", "mata_atlantica", "pasture",
+                                    "riparian"};
+  static const char* kSeasons[] = {"wet", "dry"};
+
+  for (size_t i = 0; i < config.num_patches; ++i) {
+    const double cx = rng.UniformDouble(world.min_x + 100, world.max_x - 100);
+    const double cy = rng.UniformDouble(world.min_y + 100, world.max_y - 100);
+    AGIS_RETURN_IF_ERROR(
+        db->Insert(
+              "VegetationPatch",
+              {{"vegetation_type", Value::String(kVegTypes[rng.Uniform(4)])},
+               {"cover",
+                Value::MakeTuple(
+                    {{"cover_density", Value::Double(rng.UniformDouble())},
+                     {"cover_height",
+                      Value::Double(1.0 + rng.UniformDouble() * 25.0)},
+                     {"cover_season",
+                      Value::String(kSeasons[rng.Uniform(2)])}})},
+               {"patch_area",
+                Value::MakeGeometry(geom::Geometry::FromPolygon(
+                    MakeBlob(&rng, cx, cy, 40 + rng.UniformDouble() * 60)))}})
+            .status());
+  }
+
+  for (size_t i = 0; i < config.num_rivers; ++i) {
+    geom::LineString course;
+    double x = world.min_x;
+    double y = rng.UniformDouble(world.min_y, world.max_y);
+    while (x < world.max_x) {
+      course.points.push_back({x, y});
+      x += 120 + rng.UniformDouble() * 120;
+      y += rng.UniformDouble(-150, 150);
+      y = std::min(std::max(y, world.min_y), world.max_y);
+    }
+    course.points.push_back({world.max_x, y});
+    AGIS_RETURN_IF_ERROR(
+        db->Insert("River",
+                   {{"river_name",
+                     Value::String(agis::StrCat("river_", i))},
+                    {"flow_m3s",
+                     Value::Double(5.0 + rng.UniformDouble() * 300.0)},
+                    {"course", Value::MakeGeometry(
+                                   geom::Geometry::FromLineString(course))}})
+            .status());
+  }
+
+  for (size_t i = 0; i < config.num_stations; ++i) {
+    AGIS_RETURN_IF_ERROR(
+        db->Insert(
+              "MonitoringStation",
+              {{"station_code",
+                Value::String(agis::StrCat("ST-", 100 + i))},
+               {"last_reading", Value::Double(rng.UniformDouble() * 50.0)},
+               {"position",
+                Value::MakeGeometry(geom::Geometry::FromPoint(
+                    {rng.UniformDouble(world.min_x, world.max_x),
+                     rng.UniformDouble(world.min_y, world.max_y)}))}})
+            .status());
+  }
+
+  for (size_t i = 0; i < config.num_protected; ++i) {
+    const double cx = rng.UniformDouble(world.min_x + 200, world.max_x - 200);
+    const double cy = rng.UniformDouble(world.min_y + 200, world.max_y - 200);
+    AGIS_RETURN_IF_ERROR(
+        db->Insert(
+              "ProtectedArea",
+              {{"area_name", Value::String(agis::StrCat("reserve_", i))},
+               {"protection_level",
+                Value::Int(static_cast<int64_t>(1 + rng.Uniform(3)))},
+               {"zone",
+                Value::MakeGeometry(geom::Geometry::FromPolygon(MakeBlob(
+                    &rng, cx, cy, 120 + rng.UniformDouble() * 120)))}})
+            .status());
+  }
+  return agis::Status::OK();
+}
+
+std::string AnalystDirectiveSource() {
+  return R"(# Environmental analyst view
+For category analyst application env_control
+schema eco_db display as hierarchy
+class River display
+  presentation as lineFormat
+class MonitoringStation display
+  presentation as crossFormat
+class VegetationPatch display
+  presentation as fillFormat
+  instances
+    display attribute cover as composed_text
+      from cover.density cover.height cover.season
+    display attribute patch_area as Null
+)";
+}
+
+}  // namespace agis::workload

@@ -1,0 +1,38 @@
+#ifndef AGIS_WORKLOAD_ENVIRONMENTAL_H_
+#define AGIS_WORKLOAD_ENVIRONMENTAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "geodb/database.h"
+#include "geom/bbox.h"
+
+namespace agis::workload {
+
+/// Environmental-control application (the paper's introduction names
+/// environmental control as a canonical GIS domain): vegetation
+/// patches, rivers, monitoring stations, protected areas.
+struct EnvironmentalConfig {
+  uint64_t seed = 7;
+  size_t num_patches = 40;     // Vegetation polygons.
+  size_t num_rivers = 6;       // Polylines.
+  size_t num_stations = 25;    // Monitoring points.
+  size_t num_protected = 5;    // Protected-area polygons.
+  geom::BoundingBox world = geom::BoundingBox(0, 0, 2000, 2000);
+};
+
+/// Registers the eco_db schema (VegetationPatch, River,
+/// MonitoringStation, ProtectedArea) and populates it.
+agis::Status BuildEnvironmentalDb(
+    geodb::GeoDatabase* db,
+    const EnvironmentalConfig& config = EnvironmentalConfig());
+
+/// Directive customizing the analyst view: hierarchy schema, rivers as
+/// lines, stations as crosses, vegetation cover composed into one text
+/// row.
+std::string AnalystDirectiveSource();
+
+}  // namespace agis::workload
+
+#endif  // AGIS_WORKLOAD_ENVIRONMENTAL_H_

@@ -1,0 +1,266 @@
+#include "workload/phone_net.h"
+
+#include <cmath>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "geom/geometry.h"
+
+namespace agis::workload {
+
+namespace {
+
+using geodb::AttributeDef;
+using geodb::ClassDef;
+using geodb::Value;
+
+agis::Status RegisterSchema(geodb::GeoDatabase* db) {
+  {
+    ClassDef supplier("Supplier", "pole/cable equipment vendor");
+    AGIS_RETURN_IF_ERROR(supplier.AddAttribute([] {
+      AttributeDef a = AttributeDef::String("supplier_name");
+      a.required = true;
+      return a;
+    }()));
+    AGIS_RETURN_IF_ERROR(
+        supplier.AddAttribute(AttributeDef::String("supplier_city")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(supplier)));
+  }
+  {
+    ClassDef region("ServiceRegion", "telephone service region");
+    AGIS_RETURN_IF_ERROR(
+        region.AddAttribute(AttributeDef::String("region_name")));
+    AGIS_RETURN_IF_ERROR(
+        region.AddAttribute(AttributeDef::Geometry("region_area")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(region)));
+  }
+  {
+    ClassDef base("NetworkElement", "common network element state");
+    AGIS_RETURN_IF_ERROR(base.AddAttribute(AttributeDef::String("status")));
+    AGIS_RETURN_IF_ERROR(base.AddAttribute(AttributeDef::Int("install_year")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(base)));
+  }
+  {
+    // Figure 5, verbatim structure.
+    ClassDef pole("Pole", "aerial network support pole (Figure 5)");
+    pole.set_parent("NetworkElement");
+    AGIS_RETURN_IF_ERROR(pole.AddAttribute(AttributeDef::Int("pole_type")));
+    AGIS_RETURN_IF_ERROR(pole.AddAttribute(AttributeDef::Tuple(
+        "pole_composition", {AttributeDef::String("pole_material"),
+                             AttributeDef::Double("pole_diameter"),
+                             AttributeDef::Double("pole_height")})));
+    AGIS_RETURN_IF_ERROR(
+        pole.AddAttribute(AttributeDef::Ref("pole_supplier", "Supplier")));
+    AGIS_RETURN_IF_ERROR(
+        pole.AddAttribute(AttributeDef::Geometry("pole_location")));
+    AGIS_RETURN_IF_ERROR(
+        pole.AddAttribute(AttributeDef::Blob("pole_picture")));
+    AGIS_RETURN_IF_ERROR(
+        pole.AddAttribute(AttributeDef::Text("pole_historic")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(pole)));
+  }
+  {
+    ClassDef duct("Duct", "underground duct");
+    duct.set_parent("NetworkElement");
+    AGIS_RETURN_IF_ERROR(duct.AddAttribute(AttributeDef::Double("duct_depth")));
+    AGIS_RETURN_IF_ERROR(duct.AddAttribute(AttributeDef::Geometry("duct_path")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(duct)));
+  }
+  {
+    ClassDef cable("Cable", "aerial cable strung between poles");
+    cable.set_parent("NetworkElement");
+    AGIS_RETURN_IF_ERROR(
+        cable.AddAttribute(AttributeDef::Int("cable_pairs")));
+    AGIS_RETURN_IF_ERROR(
+        cable.AddAttribute(AttributeDef::Geometry("cable_path")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(cable)));
+  }
+  // Figure 5's method: get_supplier_name(Supplier) dereferences the
+  // pole's supplier and returns its name.
+  return db->RegisterMethod(
+      "Pole",
+      geodb::MethodDef{
+          "get_supplier_name", "name of the pole's supplier",
+          [](const geodb::GeoDatabase& db,
+             const geodb::ObjectInstance& pole) -> agis::Result<Value> {
+            const Value& ref = pole.Get("pole_supplier");
+            if (ref.kind() != geodb::ValueKind::kRef) {
+              return Value::String("<no supplier>");
+            }
+            const geodb::ObjectInstance* supplier =
+                db.FindObject(ref.ref_value().id);
+            if (supplier == nullptr) {
+              return agis::Status::NotFound(
+                  agis::StrCat("supplier ", ref.ref_value().id));
+            }
+            return supplier->Get("supplier_name");
+          }});
+}
+
+}  // namespace
+
+agis::Status BuildPhoneNetwork(geodb::GeoDatabase* db,
+                               const PhoneNetConfig& config) {
+  AGIS_RETURN_IF_ERROR(RegisterSchema(db));
+  Rng rng(config.seed);
+  const geom::BoundingBox& world = config.world;
+
+  // Service regions: a near-regular grid of rectangles covering the
+  // world (so every pole lies inside exactly one region).
+  const size_t grid =
+      std::max<size_t>(1, static_cast<size_t>(
+                              std::ceil(std::sqrt(
+                                  static_cast<double>(config.num_regions)))));
+  std::vector<geodb::ObjectId> region_ids;
+  size_t regions_made = 0;
+  for (size_t gy = 0; gy < grid && regions_made < config.num_regions; ++gy) {
+    for (size_t gx = 0; gx < grid && regions_made < config.num_regions;
+         ++gx) {
+      const double x0 = world.min_x + world.Width() * gx / grid;
+      const double x1 = world.min_x + world.Width() * (gx + 1) / grid;
+      const double y0 = world.min_y + world.Height() * gy / grid;
+      const double y1 = world.min_y + world.Height() * (gy + 1) / grid;
+      geom::Polygon poly;
+      poly.outer = {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}};
+      auto id = db->Insert(
+          "ServiceRegion",
+          {{"region_name",
+            Value::String(agis::StrCat("region_", gx, "_", gy))},
+           {"region_area",
+            Value::MakeGeometry(geom::Geometry::FromPolygon(poly))}});
+      AGIS_RETURN_IF_ERROR(id.status());
+      region_ids.push_back(id.value());
+      ++regions_made;
+    }
+  }
+
+  // Suppliers.
+  static const char* kSupplierNames[] = {"WoodCo", "ConcretePlus", "SteelBr",
+                                         "PoleTec", "LigMat", "TeleParts"};
+  static const char* kCities[] = {"Campinas", "Tandil", "Sao Paulo",
+                                  "Valinhos", "Sumare"};
+  std::vector<geodb::ObjectId> supplier_ids;
+  for (size_t i = 0; i < config.num_suppliers; ++i) {
+    auto id = db->Insert(
+        "Supplier",
+        {{"supplier_name",
+          Value::String(agis::StrCat(
+              kSupplierNames[i % (sizeof(kSupplierNames) /
+                                  sizeof(kSupplierNames[0]))],
+              i < 6 ? "" : agis::StrCat("_", i)))},
+         {"supplier_city",
+          Value::String(kCities[i % (sizeof(kCities) / sizeof(kCities[0]))])}});
+    AGIS_RETURN_IF_ERROR(id.status());
+    supplier_ids.push_back(id.value());
+  }
+
+  // Poles: random positions, composed tuple, supplier ref, a tiny
+  // synthetic bitmap, and a history note.
+  static const char* kMaterials[] = {"wood", "concrete", "steel"};
+  std::vector<geom::Point> pole_points;
+  for (size_t i = 0; i < config.num_poles; ++i) {
+    const geom::Point p{rng.UniformDouble(world.min_x, world.max_x),
+                        rng.UniformDouble(world.min_y, world.max_y)};
+    pole_points.push_back(p);
+    geodb::Blob picture;
+    picture.format = "pbm";
+    picture.bytes = {'P', '1', ' ', '2', ' ', '2', ' ',
+                     static_cast<uint8_t>('0' + (i % 2)), '1', '0', '1'};
+    Value composition = Value::MakeTuple(
+        {{"pole_material",
+          Value::String(kMaterials[rng.Uniform(3)])},
+         {"pole_diameter", Value::Double(0.2 + rng.UniformDouble() * 0.3)},
+         {"pole_height", Value::Double(7.0 + rng.UniformDouble() * 5.0)}});
+    auto id = db->Insert(
+        "Pole",
+        {{"pole_type", Value::Int(static_cast<int64_t>(rng.Uniform(4)))},
+         {"pole_composition", std::move(composition)},
+         {"pole_supplier",
+          Value::Ref(supplier_ids[rng.Uniform(supplier_ids.size())],
+                     "Supplier")},
+         {"pole_location",
+          Value::MakeGeometry(geom::Geometry::FromPoint(p))},
+         {"pole_picture", Value::MakeBlob(std::move(picture))},
+         {"pole_historic",
+          Value::String(agis::StrCat("installed batch ", i / 10))},
+         {"status", Value::String(rng.Bernoulli(0.9) ? "active" : "repair")},
+         {"install_year",
+          Value::Int(1970 + static_cast<int64_t>(rng.Uniform(27)))}});
+    AGIS_RETURN_IF_ERROR(id.status());
+  }
+
+  // Ducts: jittered polylines crossing the world.
+  for (size_t i = 0; i < config.num_ducts; ++i) {
+    geom::LineString path;
+    double x = rng.UniformDouble(world.min_x, world.max_x);
+    double y = rng.UniformDouble(world.min_y, world.max_y);
+    const size_t segments = 3 + rng.Uniform(4);
+    path.points.push_back({x, y});
+    for (size_t s = 0; s < segments; ++s) {
+      x += rng.UniformDouble(-80, 80);
+      y += rng.UniformDouble(-80, 80);
+      x = std::min(std::max(x, world.min_x), world.max_x);
+      y = std::min(std::max(y, world.min_y), world.max_y);
+      path.points.push_back({x, y});
+    }
+    auto id = db->Insert(
+        "Duct",
+        {{"duct_depth", Value::Double(0.6 + rng.UniformDouble() * 1.2)},
+         {"duct_path",
+          Value::MakeGeometry(geom::Geometry::FromLineString(path))},
+         {"status", Value::String("active")},
+         {"install_year",
+          Value::Int(1960 + static_cast<int64_t>(rng.Uniform(37)))}});
+    AGIS_RETURN_IF_ERROR(id.status());
+  }
+
+  // Cables: straight spans between random pole pairs.
+  for (size_t i = 0; i < config.num_cables && pole_points.size() >= 2; ++i) {
+    const geom::Point& a = pole_points[rng.Uniform(pole_points.size())];
+    const geom::Point& b = pole_points[rng.Uniform(pole_points.size())];
+    if (a == b) continue;
+    geom::LineString span;
+    span.points = {a, b};
+    auto id = db->Insert(
+        "Cable",
+        {{"cable_pairs", Value::Int(static_cast<int64_t>(10 + rng.Uniform(90)))},
+         {"cable_path",
+          Value::MakeGeometry(geom::Geometry::FromLineString(span))},
+         {"status", Value::String("active")},
+         {"install_year",
+          Value::Int(1980 + static_cast<int64_t>(rng.Uniform(17)))}});
+    AGIS_RETURN_IF_ERROR(id.status());
+  }
+  return agis::Status::OK();
+}
+
+std::string Fig6DirectiveSource() {
+  return R"(# Figure 6: customization for the pole manager (Section 4)
+For user juliano application pole_manager
+schema phone_net display as Null
+class Pole display
+  control as poleWidget
+  presentation as pointFormat
+  instances
+    display attribute pole_composition as composed_text
+      from pole.material pole.diameter pole.height
+      using composed_text.notify()
+    display attribute pole_supplier as text
+      from get_supplier_name(pole_supplier)
+    display attribute pole_location as Null
+)";
+}
+
+std::string PlannerDirectiveSource() {
+  return R"(# Category-level customization for network planners
+For category network_planner application pole_manager
+schema phone_net display as hierarchy
+class ServiceRegion display
+  presentation as regionFormat
+class Pole display
+  presentation as crossFormat
+)";
+}
+
+}  // namespace agis::workload

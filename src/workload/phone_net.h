@@ -1,0 +1,47 @@
+#ifndef AGIS_WORKLOAD_PHONE_NET_H_
+#define AGIS_WORKLOAD_PHONE_NET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "geodb/database.h"
+#include "geom/bbox.h"
+
+namespace agis::workload {
+
+/// Parameters of the synthetic telephone utility network (the urban
+/// planning application of Section 4). Deterministic under `seed`.
+struct PhoneNetConfig {
+  uint64_t seed = 42;
+  size_t num_regions = 4;     // Service regions (polygons).
+  size_t num_suppliers = 5;
+  size_t num_poles = 120;     // Aerial network support points.
+  size_t num_ducts = 24;      // Underground polylines.
+  size_t num_cables = 60;     // Aerial cables strung between poles.
+  geom::BoundingBox world = geom::BoundingBox(0, 0, 1000, 1000);
+};
+
+/// Registers the phone_net schema and populates it.
+///
+/// Classes: Supplier, ServiceRegion, NetworkElement (abstract base
+/// with status/install_year), Pole : NetworkElement (the exact
+/// Figure 5 class: pole_type, pole_composition tuple, pole_supplier
+/// reference with the get_supplier_name method, pole_location
+/// geometry, pole_picture bitmap, pole_historic text), Duct :
+/// NetworkElement, Cable : NetworkElement.
+agis::Status BuildPhoneNetwork(geodb::GeoDatabase* db,
+                               const PhoneNetConfig& config = PhoneNetConfig());
+
+/// The customization directive of Figure 6, verbatim in this
+/// library's concrete syntax (context <juliano, pole_manager>).
+std::string Fig6DirectiveSource();
+
+/// A second directive for the planner category: hierarchy schema view
+/// and region-focused presentation (used by tests/benches exercising
+/// specificity between category- and user-level rules).
+std::string PlannerDirectiveSource();
+
+}  // namespace agis::workload
+
+#endif  // AGIS_WORKLOAD_PHONE_NET_H_

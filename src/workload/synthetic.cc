@@ -1,0 +1,141 @@
+#include "workload/synthetic.h"
+
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "geom/geometry.h"
+
+namespace agis::workload {
+
+using geodb::AttributeDef;
+using geodb::ClassDef;
+using geodb::Value;
+
+agis::Status BuildSyntheticSchema(geodb::GeoDatabase* db,
+                                  const SyntheticSchemaConfig& config) {
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    ClassDef cls(agis::StrCat("class_", c), "synthetic sweep class");
+    for (size_t a = 0; a < config.attrs_per_class; ++a) {
+      const std::string name = agis::StrCat("attr_", a);
+      switch (a % 4) {
+        case 0:
+          AGIS_RETURN_IF_ERROR(cls.AddAttribute(AttributeDef::Int(name)));
+          break;
+        case 1:
+          AGIS_RETURN_IF_ERROR(cls.AddAttribute(AttributeDef::Double(name)));
+          break;
+        case 2:
+          AGIS_RETURN_IF_ERROR(cls.AddAttribute(AttributeDef::String(name)));
+          break;
+        case 3:
+          AGIS_RETURN_IF_ERROR(cls.AddAttribute(AttributeDef::Tuple(
+              name, {AttributeDef::Double(agis::StrCat(name, "_x")),
+                     AttributeDef::Double(agis::StrCat(name, "_y"))})));
+          break;
+      }
+    }
+    AGIS_RETURN_IF_ERROR(cls.AddAttribute(AttributeDef::Geometry("location")));
+    AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(cls)));
+  }
+  for (size_t c = 0; c < config.num_classes; ++c) {
+    AGIS_RETURN_IF_ERROR(AddSyntheticInstances(
+        db, agis::StrCat("class_", c), config.instances_per_class,
+        config.seed + c, config.world));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status AddSyntheticInstances(geodb::GeoDatabase* db,
+                                   const std::string& class_name,
+                                   size_t count, uint64_t seed,
+                                   const geom::BoundingBox& world) {
+  Rng rng(seed);
+  auto attrs = db->schema().AllAttributesOf(class_name);
+  AGIS_RETURN_IF_ERROR(attrs.status());
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<std::pair<std::string, Value>> values;
+    for (const AttributeDef& attr : attrs.value()) {
+      switch (attr.type) {
+        case geodb::AttrType::kInt:
+          values.emplace_back(
+              attr.name, Value::Int(static_cast<int64_t>(rng.Uniform(1000))));
+          break;
+        case geodb::AttrType::kDouble:
+          values.emplace_back(attr.name,
+                              Value::Double(rng.UniformDouble() * 100));
+          break;
+        case geodb::AttrType::kString:
+          values.emplace_back(
+              attr.name,
+              Value::String(agis::StrCat("v", rng.Uniform(100))));
+          break;
+        case geodb::AttrType::kTuple: {
+          Value::Tuple fields;
+          for (const AttributeDef& f : attr.tuple_fields) {
+            fields.emplace_back(f.name,
+                                Value::Double(rng.UniformDouble() * 10));
+          }
+          values.emplace_back(attr.name, Value::MakeTuple(std::move(fields)));
+          break;
+        }
+        case geodb::AttrType::kGeometry:
+          values.emplace_back(
+              attr.name,
+              Value::MakeGeometry(geom::Geometry::FromPoint(
+                  {rng.UniformDouble(world.min_x, world.max_x),
+                   rng.UniformDouble(world.min_y, world.max_y)})));
+          break;
+        default:
+          break;
+      }
+    }
+    AGIS_RETURN_IF_ERROR(db->Insert(class_name, std::move(values)).status());
+  }
+  return agis::Status::OK();
+}
+
+std::vector<UserContext> GenerateContexts(size_t num_users,
+                                          size_t num_categories,
+                                          size_t num_apps) {
+  std::vector<UserContext> out;
+  out.reserve(num_users);
+  for (size_t i = 0; i < num_users; ++i) {
+    UserContext ctx;
+    ctx.user = agis::StrCat("user_", i);
+    ctx.category =
+        agis::StrCat("category_", num_categories == 0 ? 0 : i % num_categories);
+    ctx.application = agis::StrCat("app_", num_apps == 0 ? 0 : i % num_apps);
+    out.push_back(std::move(ctx));
+  }
+  return out;
+}
+
+std::vector<custlang::Directive> GenerateDirectives(
+    const DirectiveSweepConfig& config) {
+  std::vector<custlang::Directive> out;
+  out.reserve(config.num_directives);
+  const size_t user_bound =
+      static_cast<size_t>(static_cast<double>(config.num_directives) *
+                          config.user_frac);
+  for (size_t i = 0; i < config.num_directives; ++i) {
+    custlang::Directive d;
+    if (i < user_bound) d.user = agis::StrCat("user_", i);
+    d.category = agis::StrCat(
+        "category_", config.num_categories == 0 ? 0 : i % config.num_categories);
+    d.application =
+        agis::StrCat("app_", config.num_apps == 0 ? 0 : i % config.num_apps);
+    custlang::ClassClause cls;
+    cls.class_name =
+        agis::StrCat("class_", config.num_classes == 0 ? 0 : i % config.num_classes);
+    cls.control = "class_control";
+    cls.presentation = (i % 2 == 0) ? "pointFormat" : "crossFormat";
+    custlang::InstanceAttrClause attr;
+    attr.attribute = "attr_0";
+    attr.widget = "text_field";
+    cls.attributes.push_back(std::move(attr));
+    d.classes.push_back(std::move(cls));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace agis::workload

@@ -1,0 +1,62 @@
+#ifndef AGIS_WORKLOAD_SYNTHETIC_H_
+#define AGIS_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/context.h"
+#include "base/status.h"
+#include "custlang/ast.h"
+#include "geodb/database.h"
+
+namespace agis::workload {
+
+/// Schema-size sweep generator (bench F4/C1): `num_classes` classes
+/// named class_<i>, each with `attrs_per_class` mixed-type attributes
+/// plus one geometry attribute, and `instances_per_class` random point
+/// instances.
+struct SyntheticSchemaConfig {
+  uint64_t seed = 11;
+  size_t num_classes = 8;
+  size_t attrs_per_class = 6;
+  size_t instances_per_class = 50;
+  geom::BoundingBox world = geom::BoundingBox(0, 0, 1000, 1000);
+};
+
+agis::Status BuildSyntheticSchema(geodb::GeoDatabase* db,
+                                  const SyntheticSchemaConfig& config);
+
+/// Populates an *already registered* synthetic class with extra point
+/// instances (extent-size sweeps, bench C7).
+agis::Status AddSyntheticInstances(geodb::GeoDatabase* db,
+                                   const std::string& class_name,
+                                   size_t count, uint64_t seed,
+                                   const geom::BoundingBox& world);
+
+/// Context-population generator (bench C2): `num_users` users spread
+/// over `num_categories` categories and `num_apps` applications.
+/// Deterministic naming: user_<i>, category_<i % c>, app_<i % a>.
+std::vector<UserContext> GenerateContexts(size_t num_users,
+                                          size_t num_categories,
+                                          size_t num_apps);
+
+/// Directive generator (benches F6/C2/C3): one directive per context
+/// at the requested specificity mix — a fraction `user_frac` bind the
+/// user, the rest bind only category/application. Directives target
+/// round-robin classes of the synthetic schema with a control and
+/// presentation clause each.
+struct DirectiveSweepConfig {
+  size_t num_directives = 100;
+  size_t num_classes = 8;
+  size_t num_categories = 4;
+  size_t num_apps = 4;
+  double user_frac = 0.5;
+};
+
+std::vector<custlang::Directive> GenerateDirectives(
+    const DirectiveSweepConfig& config);
+
+}  // namespace agis::workload
+
+#endif  // AGIS_WORKLOAD_SYNTHETIC_H_

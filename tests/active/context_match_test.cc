@@ -1,0 +1,109 @@
+#include "active/context_match.h"
+
+#include <gtest/gtest.h>
+
+namespace agis::active {
+namespace {
+
+UserContext Ctx(const std::string& user, const std::string& category,
+                const std::string& application) {
+  UserContext ctx;
+  ctx.user = user;
+  ctx.category = category;
+  ctx.application = application;
+  return ctx;
+}
+
+TEST(ContextPattern, EmptyMatchesEverything) {
+  ContextPattern any;
+  EXPECT_TRUE(any.Matches(Ctx("a", "b", "c")));
+  EXPECT_TRUE(any.Matches(UserContext{}));
+  EXPECT_EQ(any.Specificity(), 0);
+}
+
+TEST(ContextPattern, BoundFieldsMustMatch) {
+  ContextPattern p;
+  p.user = "juliano";
+  p.application = "pole_manager";
+  EXPECT_TRUE(p.Matches(Ctx("juliano", "anything", "pole_manager")));
+  EXPECT_FALSE(p.Matches(Ctx("other", "anything", "pole_manager")));
+  EXPECT_FALSE(p.Matches(Ctx("juliano", "x", "other_app")));
+}
+
+TEST(ContextPattern, ExtrasAreExactMatch) {
+  ContextPattern p;
+  p.extras["scale"] = "1:5000";
+  UserContext ctx = Ctx("u", "c", "a");
+  EXPECT_FALSE(p.Matches(ctx));
+  ctx.extras["scale"] = "1:5000";
+  EXPECT_TRUE(p.Matches(ctx));
+  ctx.extras["scale"] = "1:10000";
+  EXPECT_FALSE(p.Matches(ctx));
+}
+
+TEST(ContextPattern, SpecificityOrderingMatchesPaper) {
+  // "a rule for generic users, for a particular category of users, and
+  // for a particular user within the category" — progressively more
+  // restrictive.
+  ContextPattern generic;
+  generic.application = "pole_manager";
+  ContextPattern category;
+  category.category = "planner";
+  category.application = "pole_manager";
+  ContextPattern user;
+  user.user = "juliano";
+  user.category = "planner";
+  user.application = "pole_manager";
+  EXPECT_LT(generic.Specificity(), category.Specificity());
+  EXPECT_LT(category.Specificity(), user.Specificity());
+}
+
+TEST(ContextPattern, ExtrasNeverOutrankTheNamedFields) {
+  // The documented weights hold for any realistic extras count (< 8):
+  // an application-bound pattern beats any pile of extras.
+  ContextPattern app_only;
+  app_only.application = "a";
+  ContextPattern many_extras;
+  for (int i = 0; i < 7; ++i) {
+    many_extras.extras["dim" + std::to_string(i)] = "v";
+  }
+  EXPECT_GT(app_only.Specificity(), many_extras.Specificity());
+  // But extras do break ties between otherwise equal patterns.
+  ContextPattern app_plus_extra = app_only;
+  app_plus_extra.extras["scale"] = "1:5000";
+  EXPECT_GT(app_plus_extra.Specificity(), app_only.Specificity());
+}
+
+TEST(ContextPattern, UserDominatesCategoryAndApplication) {
+  ContextPattern just_user;
+  just_user.user = "juliano";
+  ContextPattern cat_app_extras;
+  cat_app_extras.category = "c";
+  cat_app_extras.application = "a";
+  cat_app_extras.extras["scale"] = "x";
+  cat_app_extras.extras["time"] = "y";
+  EXPECT_GT(just_user.Specificity(), cat_app_extras.Specificity());
+}
+
+TEST(ContextPattern, StrictGenerality) {
+  ContextPattern general;
+  general.application = "app";
+  ContextPattern specific;
+  specific.user = "u";
+  specific.application = "app";
+  EXPECT_TRUE(general.IsStrictlyMoreGeneralThan(specific));
+  EXPECT_FALSE(specific.IsStrictlyMoreGeneralThan(general));
+  EXPECT_FALSE(general.IsStrictlyMoreGeneralThan(general));
+  ContextPattern other_app;
+  other_app.application = "other";
+  EXPECT_FALSE(general.IsStrictlyMoreGeneralThan(other_app));
+}
+
+TEST(ContextPattern, ToStringUsesWildcards) {
+  ContextPattern p;
+  p.user = "juliano";
+  EXPECT_EQ(p.ToString(), "<juliano, *, *>");
+}
+
+}  // namespace
+}  // namespace agis::active

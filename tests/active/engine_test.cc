@@ -1,0 +1,272 @@
+#include "active/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace agis::active {
+namespace {
+
+Event MakeEvent(const std::string& name, const std::string& user,
+                const std::string& app,
+                std::map<std::string, std::string> params = {}) {
+  Event e;
+  e.name = name;
+  e.context.user = user;
+  e.context.application = app;
+  e.params = std::move(params);
+  return e;
+}
+
+EcaRule CustomizationRule(const std::string& name,
+                          const std::string& event_name,
+                          ContextPattern condition,
+                          const std::string& marker) {
+  EcaRule rule;
+  rule.name = name;
+  rule.family = RuleFamily::kCustomization;
+  rule.event_name = event_name;
+  rule.condition = std::move(condition);
+  rule.customization_action =
+      [marker](const Event&) -> agis::Result<WindowCustomization> {
+    WindowCustomization cust;
+    cust.control_widget = marker;
+    return cust;
+  };
+  return rule;
+}
+
+TEST(RuleEngine, RejectsRulesWithoutActions) {
+  RuleEngine engine;
+  EcaRule no_action;
+  no_action.name = "bad";
+  no_action.event_name = "E";
+  EXPECT_TRUE(engine.AddRule(no_action).status().IsInvalidArgument());
+  EcaRule no_event = CustomizationRule("bad2", "", {}, "m");
+  EXPECT_TRUE(engine.AddRule(no_event).status().IsInvalidArgument());
+  EcaRule general;
+  general.name = "bad3";
+  general.family = RuleFamily::kGeneral;
+  general.event_name = "E";
+  EXPECT_TRUE(engine.AddRule(general).status().IsInvalidArgument());
+}
+
+TEST(RuleEngine, NoMatchingRuleMeansDefault) {
+  RuleEngine engine;
+  ContextPattern p;
+  p.user = "juliano";
+  ASSERT_TRUE(engine.AddRule(CustomizationRule("r", "Get_Class", p, "w")).ok());
+  auto result = engine.GetCustomization(MakeEvent("Get_Class", "ana", "app"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().has_value());
+  // Different event name: no match either.
+  auto other = engine.GetCustomization(MakeEvent("Get_Schema", "juliano", ""));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other.value().has_value());
+}
+
+TEST(RuleEngine, MostSpecificWins) {
+  RuleEngine engine;
+  ContextPattern generic;
+  generic.application = "app";
+  ContextPattern by_category;
+  by_category.category = "planner";
+  by_category.application = "app";
+  ContextPattern by_user;
+  by_user.user = "juliano";
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("g", "Get_Class", generic, "generic"))
+          .ok());
+  ASSERT_TRUE(engine
+                  .AddRule(CustomizationRule("c", "Get_Class", by_category,
+                                             "category"))
+                  .ok());
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("u", "Get_Class", by_user, "user"))
+          .ok());
+
+  Event event = MakeEvent("Get_Class", "juliano", "app");
+  event.context.category = "planner";
+  auto result = engine.GetCustomization(event);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().has_value());
+  EXPECT_EQ(result.value()->control_widget, "user");
+  EXPECT_EQ(engine.stats().conflicts_resolved, 1u);
+  EXPECT_EQ(engine.stats().customization_rules_fired, 1u);
+
+  // Same event for another user in the category: category rule wins.
+  Event other = MakeEvent("Get_Class", "maria", "app");
+  other.context.category = "planner";
+  EXPECT_EQ(engine.GetCustomization(other).value()->control_widget,
+            "category");
+
+  // Outside the category: generic rule.
+  Event generic_event = MakeEvent("Get_Class", "bob", "app");
+  EXPECT_EQ(engine.GetCustomization(generic_event).value()->control_widget,
+            "generic");
+}
+
+TEST(RuleEngine, PriorityBoostBeatsSpecificity) {
+  RuleEngine engine;
+  ContextPattern by_user;
+  by_user.user = "juliano";
+  EcaRule boosted = CustomizationRule("boosted", "Get_Class", {}, "boosted");
+  boosted.priority_boost = 1;
+  ASSERT_TRUE(engine.AddRule(boosted).ok());
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("u", "Get_Class", by_user, "user"))
+          .ok());
+  EXPECT_EQ(engine.GetCustomization(MakeEvent("Get_Class", "juliano", ""))
+                .value()
+                ->control_widget,
+            "boosted");
+}
+
+TEST(RuleEngine, TiesGoToLatestRegistration) {
+  RuleEngine engine;
+  ContextPattern p;
+  p.user = "u";
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("old", "Get_Class", p, "old")).ok());
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("new", "Get_Class", p, "new")).ok());
+  EXPECT_EQ(engine.GetCustomization(MakeEvent("Get_Class", "u", ""))
+                .value()
+                ->control_widget,
+            "new");
+  // And the old rule is reported as shadowed.
+  const auto shadowed = engine.FindShadowedRules();
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_EQ(engine.FindRule(shadowed[0].first)->name, "old");
+  EXPECT_EQ(engine.FindRule(shadowed[0].second)->name, "new");
+}
+
+TEST(RuleEngine, ParamFiltersNarrowEvents) {
+  RuleEngine engine;
+  EcaRule rule = CustomizationRule("pole_only", "Get_Class", {}, "pole");
+  rule.param_filters["class"] = "Pole";
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+  EXPECT_TRUE(engine
+                  .GetCustomization(MakeEvent("Get_Class", "u", "",
+                                              {{"class", "Pole"}}))
+                  .value()
+                  .has_value());
+  EXPECT_FALSE(engine
+                   .GetCustomization(MakeEvent("Get_Class", "u", "",
+                                               {{"class", "Duct"}}))
+                   .value()
+                   .has_value());
+}
+
+TEST(RuleEngine, ExecuteAllMergePolicy) {
+  RuleEngine engine(ConflictPolicy::kExecuteAllMerge);
+  ContextPattern generic;  // Matches everything.
+  EcaRule base = CustomizationRule("base", "Get_Class", generic, "base");
+  base.customization_action =
+      [](const Event&) -> agis::Result<WindowCustomization> {
+    WindowCustomization cust;
+    cust.control_widget = "base_control";
+    cust.presentation_format = "base_format";
+    return cust;
+  };
+  ASSERT_TRUE(engine.AddRule(base).ok());
+  ContextPattern by_user;
+  by_user.user = "u";
+  EcaRule overlay = CustomizationRule("overlay", "Get_Class", by_user, "x");
+  overlay.customization_action =
+      [](const Event&) -> agis::Result<WindowCustomization> {
+    WindowCustomization cust;
+    cust.control_widget = "user_control";  // Overrides.
+    return cust;                           // Format inherited.
+  };
+  ASSERT_TRUE(engine.AddRule(overlay).ok());
+  auto result = engine.GetCustomization(MakeEvent("Get_Class", "u", ""));
+  ASSERT_TRUE(result.value().has_value());
+  EXPECT_EQ(result.value()->control_widget, "user_control");
+  EXPECT_EQ(result.value()->presentation_format, "base_format");
+  EXPECT_EQ(engine.stats().customization_rules_fired, 2u);
+}
+
+TEST(RuleEngine, GeneralRulesAllFireAndVetoPropagates) {
+  RuleEngine engine;
+  int fired = 0;
+  EcaRule counter;
+  counter.name = "counter";
+  counter.family = RuleFamily::kGeneral;
+  counter.event_name = "Before_Update";
+  counter.general_action = [&fired](const Event&) {
+    ++fired;
+    return agis::Status::OK();
+  };
+  ASSERT_TRUE(engine.AddRule(counter).ok());
+  counter.name = "counter2";
+  ASSERT_TRUE(engine.AddRule(counter).ok());
+  EXPECT_TRUE(engine.FireGeneralRules(MakeEvent("Before_Update", "", "")).ok());
+  EXPECT_EQ(fired, 2);
+
+  EcaRule veto;
+  veto.name = "veto";
+  veto.family = RuleFamily::kGeneral;
+  veto.event_name = "Before_Update";
+  veto.priority_boost = 1;  // Fires first.
+  veto.general_action = [](const Event&) {
+    return agis::Status::ConstraintViolation("no");
+  };
+  ASSERT_TRUE(engine.AddRule(veto).ok());
+  EXPECT_TRUE(engine.FireGeneralRules(MakeEvent("Before_Update", "", ""))
+                  .IsConstraintViolation());
+  EXPECT_EQ(fired, 2);  // Counters did not run after the veto.
+}
+
+TEST(RuleEngine, CascadeDepthGuard) {
+  RuleEngine engine;
+  EcaRule recurse;
+  recurse.name = "recurse";
+  recurse.family = RuleFamily::kGeneral;
+  recurse.event_name = "loop";
+  recurse.general_action = [&engine](const Event& e) {
+    return engine.FireGeneralRules(e);
+  };
+  ASSERT_TRUE(engine.AddRule(recurse).ok());
+  EXPECT_TRUE(engine.FireGeneralRules(MakeEvent("loop", "", ""))
+                  .IsFailedPrecondition());
+}
+
+TEST(RuleEngine, RemoveRuleAndProvenance) {
+  RuleEngine engine;
+  EcaRule a = CustomizationRule("a", "E", {}, "a");
+  a.provenance = "directive1";
+  EcaRule b = CustomizationRule("b", "E", {}, "b");
+  b.provenance = "directive1";
+  EcaRule c = CustomizationRule("c", "E", {}, "c");
+  c.provenance = "directive2";
+  const RuleId id_a = engine.AddRule(a).value();
+  ASSERT_TRUE(engine.AddRule(b).ok());
+  ASSERT_TRUE(engine.AddRule(c).ok());
+  EXPECT_EQ(engine.NumRules(), 3u);
+  EXPECT_TRUE(engine.RemoveRule(id_a).ok());
+  EXPECT_TRUE(engine.RemoveRule(id_a).IsNotFound());
+  EXPECT_EQ(engine.RemoveRulesByProvenance("directive1"), 1u);
+  EXPECT_EQ(engine.NumRules(), 1u);
+  EXPECT_EQ(engine.RemoveRulesByProvenance("directive2"), 1u);
+  EXPECT_FALSE(engine.GetCustomization(MakeEvent("E", "", ""))
+                   .value()
+                   .has_value());
+}
+
+TEST(RuleEngine, CustomizationActionErrorPropagates) {
+  RuleEngine engine;
+  EcaRule rule;
+  rule.name = "failing";
+  rule.family = RuleFamily::kCustomization;
+  rule.event_name = "E";
+  rule.customization_action =
+      [](const Event&) -> agis::Result<WindowCustomization> {
+    return agis::Status::Internal("boom");
+  };
+  ASSERT_TRUE(engine.AddRule(rule).ok());
+  EXPECT_TRUE(engine.GetCustomization(MakeEvent("E", "", ""))
+                  .status()
+                  .IsInternal());
+}
+
+}  // namespace
+}  // namespace agis::active

@@ -1,0 +1,190 @@
+#include "active/topology_guard.h"
+
+#include <gtest/gtest.h>
+
+#include "active/db_bridge.h"
+#include "geom/geometry.h"
+
+namespace agis::active {
+namespace {
+
+using geodb::AttributeDef;
+using geodb::ClassDef;
+using geodb::Value;
+
+geodb::Value PointValue(double x, double y) {
+  return Value::MakeGeometry(geom::Geometry::FromPoint({x, y}));
+}
+
+geodb::Value RectValue(double x0, double y0, double x1, double y1) {
+  geom::Polygon poly;
+  poly.outer = {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}};
+  return Value::MakeGeometry(geom::Geometry::FromPolygon(poly));
+}
+
+class TopologyGuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<geodb::GeoDatabase>("net");
+    engine_ = std::make_unique<RuleEngine>();
+    bridge_ = std::make_unique<DbEventBridge>(engine_.get());
+    db_->AddEventSink(bridge_.get());
+    guard_ = std::make_unique<TopologyGuard>(db_.get(), engine_.get());
+
+    ClassDef region("Region", "");
+    ASSERT_TRUE(region.AddAttribute(AttributeDef::Geometry("area")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(region)).ok());
+    ClassDef pole("Pole", "");
+    ASSERT_TRUE(pole.AddAttribute(AttributeDef::Geometry("location")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(pole)).ok());
+    ClassDef note("Note", "non-spatial");
+    ASSERT_TRUE(note.AddAttribute(AttributeDef::String("text")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(note)).ok());
+
+    ASSERT_TRUE(
+        db_->Insert("Region", {{"area", RectValue(0, 0, 100, 100)}}).ok());
+  }
+
+  void TearDown() override { db_->RemoveEventSink(bridge_.get()); }
+
+  std::unique_ptr<geodb::GeoDatabase> db_;
+  std::unique_ptr<RuleEngine> engine_;
+  std::unique_ptr<DbEventBridge> bridge_;
+  std::unique_ptr<TopologyGuard> guard_;
+};
+
+TEST_F(TopologyGuardTest, ValidatesConstraintDefinitions) {
+  TopologyConstraint c;
+  c.name = "bad_subject";
+  c.subject_class = "Nope";
+  c.object_class = "Region";
+  EXPECT_TRUE(guard_->AddConstraint(c).status().IsNotFound());
+  c.name = "bad_object";
+  c.subject_class = "Pole";
+  c.object_class = "Nope";
+  EXPECT_TRUE(guard_->AddConstraint(c).status().IsNotFound());
+  c.name = "non_spatial";
+  c.subject_class = "Note";
+  c.object_class = "Region";
+  EXPECT_TRUE(guard_->AddConstraint(c).status().IsFailedPrecondition());
+}
+
+TEST_F(TopologyGuardTest, ExistsInsideConstraintOnInsert) {
+  TopologyConstraint c;
+  c.name = "pole_in_region";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kInside;
+  c.object_class = "Region";
+  c.quantifier = TopologyConstraint::Quantifier::kExists;
+  ASSERT_EQ(guard_->AddConstraint(c).value().size(), 2u);
+
+  // Inside the region: accepted.
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(50, 50)}}).ok());
+  // Outside every region: vetoed.
+  auto bad = db_->Insert("Pole", {{"location", PointValue(500, 500)}});
+  EXPECT_TRUE(bad.status().IsConstraintViolation());
+  EXPECT_EQ(db_->ExtentSize("Pole"), 1u);
+  EXPECT_EQ(guard_->violations_detected(), 1u);
+}
+
+TEST_F(TopologyGuardTest, ExistsConstraintOnUpdate) {
+  TopologyConstraint c;
+  c.name = "pole_in_region";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kInside;
+  c.object_class = "Region";
+  c.quantifier = TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(guard_->AddConstraint(c).ok());
+  auto pole = db_->Insert("Pole", {{"location", PointValue(50, 50)}});
+  ASSERT_TRUE(pole.ok());
+  // Move outside: vetoed, value unchanged.
+  EXPECT_TRUE(db_->Update(pole.value(), "location", PointValue(900, 900))
+                  .IsConstraintViolation());
+  EXPECT_EQ(db_->FindObject(pole.value())->Get("location"),
+            PointValue(50, 50));
+  // Move within: accepted.
+  EXPECT_TRUE(db_->Update(pole.value(), "location", PointValue(10, 10)).ok());
+}
+
+TEST_F(TopologyGuardTest, ForAllDisjointWithClearance) {
+  TopologyConstraint c;
+  c.name = "pole_spacing";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kDisjoint;
+  c.object_class = "Pole";
+  c.quantifier = TopologyConstraint::Quantifier::kForAll;
+  c.min_distance = 10.0;
+  ASSERT_TRUE(guard_->AddConstraint(c).ok());
+
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(0, 0)}}).ok());
+  // Too close to the first pole.
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(5, 0)}})
+                  .status()
+                  .IsConstraintViolation());
+  // Far enough.
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(20, 0)}}).ok());
+  EXPECT_EQ(db_->ExtentSize("Pole"), 2u);
+}
+
+TEST_F(TopologyGuardTest, WarnModeAllowsViolations) {
+  TopologyConstraint c;
+  c.name = "soft_spacing";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kDisjoint;
+  c.object_class = "Pole";
+  c.min_distance = 10.0;
+  c.on_violation = TopologyConstraint::OnViolation::kWarn;
+  ASSERT_TRUE(guard_->AddConstraint(c).ok());
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(0, 0)}}).ok());
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(1, 0)}}).ok());
+  EXPECT_EQ(db_->ExtentSize("Pole"), 2u);
+  EXPECT_EQ(guard_->violations_detected(), 1u);
+  EXPECT_EQ(guard_->warnings_issued(), 1u);
+}
+
+TEST_F(TopologyGuardTest, RemoveConstraintDisablesChecks) {
+  TopologyConstraint c;
+  c.name = "pole_in_region";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kInside;
+  c.object_class = "Region";
+  c.quantifier = TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(guard_->AddConstraint(c).ok());
+  EXPECT_EQ(guard_->RemoveConstraint("pole_in_region"), 2u);
+  EXPECT_TRUE(db_->Insert("Pole", {{"location", PointValue(999, 999)}}).ok());
+  EXPECT_TRUE(guard_->constraints().empty());
+}
+
+TEST_F(TopologyGuardTest, CheckAllAuditsExistingData) {
+  // Insert violating data first, then install the constraint.
+  ASSERT_TRUE(db_->Insert("Pole", {{"location", PointValue(500, 500)}}).ok());
+  ASSERT_TRUE(db_->Insert("Pole", {{"location", PointValue(50, 50)}}).ok());
+  TopologyConstraint c;
+  c.name = "pole_in_region";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kInside;
+  c.object_class = "Region";
+  c.quantifier = TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(guard_->AddConstraint(c).ok());
+  const auto violations = guard_->CheckAll();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].constraint, "pole_in_region");
+  EXPECT_FALSE(violations[0].ToString().empty());
+}
+
+TEST_F(TopologyGuardTest, NonGeometryWritesPassThrough) {
+  TopologyConstraint c;
+  c.name = "pole_in_region";
+  c.subject_class = "Pole";
+  c.relation = geom::TopoRelation::kInside;
+  c.object_class = "Region";
+  c.quantifier = TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(guard_->AddConstraint(c).ok());
+  auto pole = db_->Insert("Pole", {{"location", PointValue(50, 50)}});
+  ASSERT_TRUE(pole.ok());
+  // Notes have no geometry; constraint rules are filtered by class.
+  EXPECT_TRUE(db_->Insert("Note", {{"text", Value::String("hi")}}).ok());
+}
+
+}  // namespace
+}  // namespace agis::active

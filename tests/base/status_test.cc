@@ -1,0 +1,97 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+namespace agis {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::ConstraintViolation("x").IsConstraintViolation());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_EQ(Status::NotFound("thing").message(), "thing");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("pole 7").ToString(), "NotFound: pole 7");
+  EXPECT_EQ(Status::ConstraintViolation("x").ToString(),
+            "ConstraintViolation: x");
+}
+
+TEST(Status, WithContextPrepends) {
+  const Status s = Status::NotFound("attr").WithContext("class Pole");
+  EXPECT_EQ(s.message(), "class Pole: attr");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(Result, OkStatusConstructionBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  AGIS_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainedMacro(int x) {
+  AGIS_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(Result, MacrosPropagateErrors) {
+  EXPECT_EQ(ChainedMacro(5).value(), 11);
+  EXPECT_TRUE(ChainedMacro(-5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace agis

@@ -1,0 +1,99 @@
+#include "base/strutil.h"
+
+#include <gtest/gtest.h>
+
+#include "base/context.h"
+#include "base/rng.h"
+
+namespace agis {
+namespace {
+
+TEST(Split, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, DropsEmptyPieces) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(CaseConversion, AsciiOnly) {
+  EXPECT_EQ(ToLower("GeT_ScHeMa"), "get_schema");
+  EXPECT_EQ(ToUpper("point"), "POINT");
+  EXPECT_TRUE(EqualsIgnoreCase("Null", "NULL"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(PadAndRepeat, Widths) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+  EXPECT_EQ(Repeat("x", 0), "");
+}
+
+TEST(StrCat, MixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(DoubleToString, ShortRepresentation) {
+  EXPECT_EQ(DoubleToString(2.0), "2");
+  EXPECT_EQ(DoubleToString(0.5), "0.5");
+  EXPECT_EQ(DoubleToString(-3.25), "-3.25");
+}
+
+TEST(UserContext, ToStringShowsWildcards) {
+  UserContext ctx;
+  EXPECT_EQ(ctx.ToString(), "<*, *, *>");
+  ctx.user = "juliano";
+  ctx.application = "pole_manager";
+  EXPECT_EQ(ctx.ToString(), "<juliano, *, pole_manager>");
+  ctx.extras["scale"] = "1:5000";
+  EXPECT_EQ(ctx.ToString(), "<juliano, *, pole_manager, scale=1:5000>");
+}
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    const double d = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(d, 2.0);
+    EXPECT_LT(d, 3.0);
+    const int64_t n = rng.UniformInt(-5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+  }
+}
+
+}  // namespace
+}  // namespace agis

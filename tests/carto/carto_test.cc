@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "base/strutil.h"
+#include "carto/ascii_renderer.h"
+#include "carto/canvas.h"
+#include "carto/style.h"
+#include "carto/svg_renderer.h"
+
+namespace agis::carto {
+namespace {
+
+StyledFeature PointFeature(geodb::ObjectId id, double x, double y,
+                           const std::string& style = "pointFormat") {
+  StyledFeature f;
+  f.id = id;
+  f.geometry = geom::Geometry::FromPoint({x, y});
+  f.style = style;
+  return f;
+}
+
+class CartoTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(styles_.RegisterStandardFormats().ok()); }
+  StyleRegistry styles_;
+};
+
+TEST_F(CartoTest, StandardFormatsRegistered) {
+  for (const char* name :
+       {"defaultFormat", "pointFormat", "crossFormat", "lineFormat",
+        "fillFormat", "regionFormat", "highlightFormat"}) {
+    EXPECT_TRUE(styles_.Has(name)) << name;
+  }
+  EXPECT_EQ(styles_.Find("pointFormat")->ascii_char, '*');
+  EXPECT_TRUE(styles_.Find("regionFormat")->fill);
+  EXPECT_FALSE(styles_.Has("nope"));
+}
+
+TEST_F(CartoTest, RegistryRejectsDuplicatesAndEmptyNames) {
+  SymbolStyle s;
+  s.name = "pointFormat";
+  EXPECT_TRUE(styles_.Register(s).IsAlreadyExists());
+  EXPECT_TRUE(styles_.Register(s, /*allow_replace=*/true).ok());
+  s.name = "";
+  EXPECT_TRUE(styles_.Register(s).IsInvalidArgument());
+}
+
+TEST_F(CartoTest, CanvasTransformRoundTrips) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 100, 50), 100, 50);
+  const PixelPoint px = canvas.ToPixel({50, 25});
+  EXPECT_EQ(px.x, 50);
+  EXPECT_EQ(px.y, 25);  // y flipped: middle stays middle.
+  // Top-left of the map (min_x, max_y) is pixel (0, 0).
+  const PixelPoint corner = canvas.ToPixel({0, 50});
+  EXPECT_EQ(corner.x, 0);
+  EXPECT_EQ(corner.y, 0);
+  // ToMap returns the cell center.
+  const geom::Point back = canvas.ToMap(px);
+  EXPECT_NEAR(back.x, 50.5, 1e-9);
+  EXPECT_NEAR(back.y, 24.5, 1e-9);
+  EXPECT_DOUBLE_EQ(canvas.UnitsPerCellX(), 1.0);
+}
+
+TEST_F(CartoTest, FitBoundsAddsMargin) {
+  std::vector<StyledFeature> features = {PointFeature(1, 0, 0),
+                                         PointFeature(2, 10, 10)};
+  const geom::BoundingBox fit = MapCanvas::FitBounds(features, 0.1);
+  EXPECT_LT(fit.min_x, 0);
+  EXPECT_GT(fit.max_x, 10);
+  // Empty features: unit box fallback.
+  EXPECT_EQ(MapCanvas::FitBounds({}, 0.1), geom::BoundingBox(0, 0, 1, 1));
+  // Single point: non-degenerate box.
+  const geom::BoundingBox single =
+      MapCanvas::FitBounds({PointFeature(1, 5, 5)}, 0.1);
+  EXPECT_GT(single.Width(), 0);
+}
+
+TEST_F(CartoTest, HitTestFindsNearestFeature) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 100, 100), 50, 50);
+  canvas.AddFeature(PointFeature(1, 10, 10));
+  canvas.AddFeature(PointFeature(2, 90, 90));
+  EXPECT_EQ(canvas.HitTest({12, 11}, 5.0), 1u);
+  EXPECT_EQ(canvas.HitTest({88, 91}, 5.0), 2u);
+  EXPECT_EQ(canvas.HitTest({50, 50}, 5.0), 0u);  // Nothing close.
+}
+
+TEST_F(CartoTest, HitTestInsidePolygonIsDistanceZero) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 100, 100), 50, 50);
+  StyledFeature region;
+  region.id = 9;
+  geom::Polygon square;
+  square.outer = {{20, 20}, {60, 20}, {60, 60}, {20, 60}};
+  region.geometry = geom::Geometry::FromPolygon(square);
+  canvas.AddFeature(region);
+  canvas.AddFeature(PointFeature(1, 40, 42));
+  // A click inside the polygon but nearer the point picks whichever
+  // has the smallest distance — the point is 2 units away, the
+  // polygon 0, so the polygon wins.
+  EXPECT_EQ(canvas.HitTest({40, 40}, 5.0), 9u);
+  // Outside both, within tolerance of the polygon's edge only.
+  EXPECT_EQ(canvas.HitTest({62, 40}, 3.0), 9u);
+}
+
+TEST_F(CartoTest, AsciiRendererPlotsPoints) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 10, 10), 11, 11);
+  canvas.AddFeature(PointFeature(1, 5, 5));
+  canvas.AddFeature(PointFeature(2, 0, 0, "crossFormat"));
+  const AsciiRenderer renderer(&styles_);
+  const std::vector<std::string> rows = renderer.RenderRows(canvas);
+  ASSERT_EQ(rows.size(), 11u);
+  ASSERT_EQ(rows[0].size(), 11u);
+  // (5,5) is mid-raster; (0,0) is bottom-left.
+  EXPECT_EQ(rows[5][5], '*');
+  EXPECT_EQ(rows[10][0], '+');
+}
+
+TEST_F(CartoTest, AsciiRendererDrawsLines) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 10, 10), 11, 11);
+  StyledFeature line;
+  line.id = 1;
+  line.style = "lineFormat";
+  line.geometry = geom::Geometry::FromLineString(
+      geom::LineString{{{0, 5}, {10, 5}}});
+  canvas.AddFeature(line);
+  const AsciiRenderer renderer(&styles_);
+  const auto rows = renderer.RenderRows(canvas);
+  // Horizontal line: the whole row is '-'.
+  for (int x = 0; x < 11; ++x) {
+    EXPECT_EQ(rows[5][static_cast<size_t>(x)], '-') << x;
+  }
+}
+
+TEST_F(CartoTest, AsciiRendererFillsPolygons) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 20, 20), 21, 21);
+  StyledFeature poly;
+  poly.id = 1;
+  poly.style = "fillFormat";
+  geom::Polygon square;
+  square.outer = {{4, 4}, {16, 4}, {16, 16}, {4, 16}};
+  poly.geometry = geom::Geometry::FromPolygon(square);
+  canvas.AddFeature(poly);
+  const AsciiRenderer renderer(&styles_);
+  const auto rows = renderer.RenderRows(canvas);
+  // Interior filled with '#', outline drawn with '%'.
+  EXPECT_EQ(rows[10][10], '#');
+  EXPECT_EQ(rows[4][4], '%');
+  // Outside untouched.
+  EXPECT_EQ(rows[0][0], ' ');
+}
+
+TEST_F(CartoTest, UnknownStyleFallsBack) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 10, 10), 11, 11);
+  canvas.AddFeature(PointFeature(1, 5, 5, "no_such_style"));
+  const AsciiRenderer renderer(&styles_);
+  const auto rows = renderer.RenderRows(canvas);
+  EXPECT_EQ(rows[5][5], '*');  // Fallback style glyph.
+}
+
+TEST_F(CartoTest, RenderFramedHasBorder) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 4, 4), 5, 3);
+  const AsciiRenderer renderer(&styles_);
+  const std::string framed = renderer.RenderFramed(canvas);
+  const auto lines = agis::Split(framed, '\n');
+  ASSERT_GE(lines.size(), 5u);
+  EXPECT_EQ(lines[0][0], '+');
+  EXPECT_EQ(lines[1][0], '|');
+  EXPECT_EQ(lines[1].size(), 7u);  // 5 + 2 borders.
+}
+
+TEST_F(CartoTest, SvgRendererEmitsElements) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 100, 100), 200, 200);
+  canvas.AddFeature(PointFeature(7, 50, 50));
+  StyledFeature line;
+  line.id = 8;
+  line.style = "lineFormat";
+  line.geometry =
+      geom::Geometry::FromLineString(geom::LineString{{{0, 0}, {100, 100}}});
+  canvas.AddFeature(line);
+  StyledFeature poly;
+  poly.id = 9;
+  poly.style = "regionFormat";
+  geom::Polygon square;
+  square.outer = {{10, 10}, {30, 10}, {30, 30}, {10, 30}};
+  square.holes.push_back({{15, 15}, {20, 15}, {20, 20}});
+  poly.geometry = geom::Geometry::FromPolygon(square);
+  canvas.AddFeature(poly);
+
+  const SvgRenderer renderer(&styles_);
+  const std::string svg = renderer.Render(canvas);
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("data-oid=\"7\""), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("data-oid=\"8\""), std::string::npos);
+  EXPECT_NE(svg.find("fill-rule=\"evenodd\""), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Region format carries its fill color.
+  EXPECT_NE(svg.find("#e6f0d8"), std::string::npos);
+}
+
+TEST_F(CartoTest, SvgMarkersVaryByShape) {
+  MapCanvas canvas(geom::BoundingBox(0, 0, 10, 10), 100, 100);
+  canvas.AddFeature(PointFeature(1, 5, 5, "crossFormat"));
+  canvas.AddFeature(PointFeature(2, 2, 2, "defaultFormat"));  // Square.
+  canvas.AddFeature(PointFeature(3, 8, 8, "highlightFormat"));  // Circle.
+  const SvgRenderer renderer(&styles_);
+  const std::string svg = renderer.Render(canvas);
+  EXPECT_NE(svg.find("<path d=\"M"), std::string::npos);   // Cross.
+  EXPECT_NE(svg.find("<rect"), std::string::npos);          // Square.
+  EXPECT_NE(svg.find("fill=\"none\""), std::string::npos);  // Circle outline.
+}
+
+}  // namespace
+}  // namespace agis::carto

@@ -1,0 +1,116 @@
+// Directive persistence: installed directives are stored as database
+// objects and can be reloaded after a rule-engine reset.
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "custlang/parser.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis::core {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<ActiveInterfaceSystem>("phone_net");
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys_->db()).ok());
+  }
+  std::unique_ptr<ActiveInterfaceSystem> sys_;
+};
+
+TEST_F(PersistenceTest, InstalledDirectivesAreStoredInTheDatabase) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  const auto stored = sys_->StoredDirectives();
+  ASSERT_EQ(stored.size(), 1u);
+  EXPECT_EQ(stored[0].first,
+            "For user=juliano application=pole_manager schema=phone_net");
+  EXPECT_NE(stored[0].second.find("poleWidget"), std::string::npos);
+  // The storage class exists in the DB.
+  EXPECT_TRUE(sys_->db().schema().HasClass(kDirectiveClassName));
+  EXPECT_EQ(sys_->db().ExtentSize(kDirectiveClassName), 1u);
+}
+
+TEST_F(PersistenceTest, ReinstallReplacesTheStoredCopy) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  EXPECT_EQ(sys_->StoredDirectives().size(), 1u);
+  EXPECT_EQ(sys_->db().ExtentSize(kDirectiveClassName), 1u);
+}
+
+TEST_F(PersistenceTest, UninstallRemovesTheStoredCopy) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  auto parsed = custlang::ParseDirective(workload::Fig6DirectiveSource());
+  EXPECT_EQ(sys_->UninstallCustomization(parsed->CanonicalName()), 3u);
+  EXPECT_TRUE(sys_->StoredDirectives().empty());
+}
+
+TEST_F(PersistenceTest, ReloadRestoresRulesAfterEngineWipe) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::PlannerDirectiveSource()).ok());
+  ASSERT_EQ(sys_->engine().NumRules(), 6u);
+
+  // Simulate an engine reset (e.g. a new session): wipe all rules but
+  // keep the database.
+  auto fig6 = custlang::ParseDirective(workload::Fig6DirectiveSource());
+  auto planner = custlang::ParseDirective(workload::PlannerDirectiveSource());
+  sys_->engine().RemoveRulesByProvenance(fig6->CanonicalName());
+  sys_->engine().RemoveRulesByProvenance(planner->CanonicalName());
+  ASSERT_EQ(sys_->engine().NumRules(), 0u);
+
+  auto reloaded = sys_->ReloadCustomizations();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded.value(), 2u);
+  EXPECT_EQ(sys_->engine().NumRules(), 6u);
+
+  // The reloaded rules behave identically.
+  UserContext juliano;
+  juliano.user = "juliano";
+  juliano.application = "pole_manager";
+  sys_->dispatcher().set_context(juliano);
+  auto window = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window.value()
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            "pointFormat");
+  // Reload is idempotent.
+  EXPECT_EQ(sys_->ReloadCustomizations().value(), 0u);
+}
+
+TEST_F(PersistenceTest, SystemClassHiddenFromSchemaWindows) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::PlannerDirectiveSource()).ok());
+  UserContext ctx;
+  ctx.user = "anybody";
+  sys_->dispatcher().set_context(ctx);
+  auto window = sys_->dispatcher().OpenSchemaWindow();
+  ASSERT_TRUE(window.ok());
+  auto* list = window.value()->FindDescendant("classes");
+  ASSERT_NE(list, nullptr);
+  for (const std::string& item : uilib::GetListItems(*list)) {
+    EXPECT_NE(item, kDirectiveClassName);
+  }
+  EXPECT_EQ(uilib::GetListItems(*list).size(), 6u);
+}
+
+TEST_F(PersistenceTest, PersistenceCanBeDisabled) {
+  SystemOptions options;
+  options.persist_directives = false;
+  ActiveInterfaceSystem sys("phone_net", options);
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  ASSERT_TRUE(
+      sys.InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  EXPECT_TRUE(sys.StoredDirectives().empty());
+  EXPECT_FALSE(sys.db().schema().HasClass(kDirectiveClassName));
+}
+
+}  // namespace
+}  // namespace agis::core

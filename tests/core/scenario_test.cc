@@ -1,0 +1,209 @@
+// Simulation interaction mode: hypothetical edits over the base
+// database, what-if rendering, constraint pre-checks, commit/discard.
+
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "workload/phone_net.h"
+
+namespace agis::core {
+namespace {
+
+geodb::Value PointValue(double x, double y) {
+  return geodb::Value::MakeGeometry(geom::Geometry::FromPoint({x, y}));
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<ActiveInterfaceSystem>("phone_net");
+    workload::PhoneNetConfig config;
+    config.num_poles = 10;
+    config.num_cables = 0;
+    config.num_ducts = 0;
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys_->db(), config).ok());
+  }
+  std::unique_ptr<ActiveInterfaceSystem> sys_;
+};
+
+TEST_F(ScenarioTest, HypotheticalEditsDoNotTouchTheBase) {
+  ScenarioSandbox scenario(&sys_->db());
+  const size_t base_poles = sys_->db().ExtentSize("Pole");
+
+  auto id = scenario.HypotheticalInsert(
+      "Pole", {{"pole_location", PointValue(10, 10)},
+               {"pole_type", geodb::Value::Int(9)}});
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_GE(id.value(), ScenarioSandbox::kProvisionalBase);
+  EXPECT_EQ(sys_->db().ExtentSize("Pole"), base_poles);
+
+  const auto poles = sys_->db().ScanExtent("Pole");
+  ASSERT_TRUE(scenario
+                  .HypotheticalUpdate(poles.value()[0], "pole_type",
+                                      geodb::Value::Int(7))
+                  .ok());
+  EXPECT_NE(sys_->db().FindObject(poles.value()[0])->Get("pole_type"),
+            geodb::Value::Int(7));
+  ASSERT_TRUE(scenario.HypotheticalDelete(poles.value()[1]).ok());
+  EXPECT_NE(sys_->db().FindObject(poles.value()[1]), nullptr);
+  EXPECT_EQ(scenario.PendingOps(), 3u);
+}
+
+TEST_F(ScenarioTest, EffectiveStateMergesOverlay) {
+  ScenarioSandbox scenario(&sys_->db());
+  const auto poles = sys_->db().ScanExtent("Pole");
+  const geodb::ObjectId base_id = poles.value()[0];
+  ASSERT_TRUE(
+      scenario.HypotheticalUpdate(base_id, "pole_type", geodb::Value::Int(42))
+          .ok());
+  auto effective = scenario.EffectiveObject(base_id);
+  ASSERT_TRUE(effective.has_value());
+  EXPECT_EQ(effective->Get("pole_type"), geodb::Value::Int(42));
+  // Untouched attributes come from the base.
+  EXPECT_EQ(effective->Get("pole_location"),
+            sys_->db().FindObject(base_id)->Get("pole_location"));
+
+  ASSERT_TRUE(scenario.HypotheticalDelete(poles.value()[1]).ok());
+  EXPECT_FALSE(scenario.EffectiveObject(poles.value()[1]).has_value());
+
+  auto inserted = scenario.HypotheticalInsert(
+      "Pole", {{"pole_location", PointValue(5, 5)}});
+  ASSERT_TRUE(inserted.ok());
+  auto extent = scenario.EffectiveExtent("Pole");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent.value().size(), poles.value().size());  // -1 +1.
+}
+
+TEST_F(ScenarioTest, ValidationMirrorsTheSchema) {
+  ScenarioSandbox scenario(&sys_->db());
+  EXPECT_TRUE(scenario.HypotheticalInsert("Nope", {}).status().IsNotFound());
+  EXPECT_TRUE(scenario
+                  .HypotheticalInsert("Pole", {{"bogus", geodb::Value::Int(1)}})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(scenario
+                  .HypotheticalInsert(
+                      "Pole", {{"pole_type", geodb::Value::String("x")}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(scenario.HypotheticalUpdate(999999, "pole_type",
+                                          geodb::Value::Int(1))
+                  .IsNotFound());
+  EXPECT_TRUE(scenario.HypotheticalDelete(999999).IsNotFound());
+}
+
+TEST_F(ScenarioTest, WhatIfRenderingHighlightsHypotheses) {
+  ScenarioSandbox scenario(&sys_->db());
+  ASSERT_TRUE(scenario
+                  .HypotheticalInsert("Pole",
+                                      {{"pole_location", PointValue(500, 500)}})
+                  .ok());
+  auto render = scenario.RenderWhatIf("Pole", sys_->styles(), 40, 15);
+  ASSERT_TRUE(render.ok()) << render.status();
+  // Base poles render 'o' (defaultFormat), the hypothesis '@'.
+  EXPECT_NE(render.value().find('o'), std::string::npos);
+  EXPECT_NE(render.value().find('@'), std::string::npos);
+  EXPECT_TRUE(scenario.RenderWhatIf("Supplier", sys_->styles())
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ScenarioTest, ConstraintPreChecksFlagViolations) {
+  active::TopologyConstraint inside;
+  inside.name = "pole_in_region";
+  inside.subject_class = "Pole";
+  inside.relation = geom::TopoRelation::kInside;
+  inside.object_class = "ServiceRegion";
+  inside.quantifier = active::TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(sys_->topology().AddConstraint(inside).ok());
+
+  ScenarioSandbox scenario(&sys_->db(), &sys_->topology());
+  ASSERT_TRUE(scenario
+                  .HypotheticalInsert("Pole",
+                                      {{"pole_location", PointValue(100, 100)}})
+                  .ok());
+  auto bad = scenario.HypotheticalInsert(
+      "Pole", {{"pole_location", PointValue(9999, 9999)}});
+  ASSERT_TRUE(bad.ok());  // Recording succeeds; the *check* flags it.
+  const auto violations = scenario.CheckConstraints();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].first, bad.value());
+  EXPECT_TRUE(violations[0].second.IsConstraintViolation());
+}
+
+TEST_F(ScenarioTest, CommitAppliesThroughTheGuardedWritePath) {
+  active::TopologyConstraint inside;
+  inside.name = "pole_in_region";
+  inside.subject_class = "Pole";
+  inside.relation = geom::TopoRelation::kInside;
+  inside.object_class = "ServiceRegion";
+  inside.quantifier = active::TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(sys_->topology().AddConstraint(inside).ok());
+
+  ScenarioSandbox scenario(&sys_->db(), &sys_->topology());
+  const size_t base_poles = sys_->db().ExtentSize("Pole");
+  auto good = scenario.HypotheticalInsert(
+      "Pole", {{"pole_location", PointValue(100, 100)}});
+  auto bad = scenario.HypotheticalInsert(
+      "Pole", {{"pole_location", PointValue(9999, 9999)}});
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  // Update the good provisional pole before commit.
+  ASSERT_TRUE(scenario
+                  .HypotheticalUpdate(good.value(), "pole_type",
+                                      geodb::Value::Int(3))
+                  .ok());
+
+  auto outcome = scenario.Commit();
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->applied, 2u);  // Insert + update.
+  ASSERT_EQ(outcome->rejected.size(), 1u);
+  EXPECT_TRUE(outcome->rejected[0].second.IsConstraintViolation());
+  EXPECT_EQ(sys_->db().ExtentSize("Pole"), base_poles + 1);
+  // The committed pole carries the scenario's update, under its real id.
+  const geodb::ObjectId real_id = outcome->id_mapping.at(good.value());
+  EXPECT_EQ(sys_->db().FindObject(real_id)->Get("pole_type"),
+            geodb::Value::Int(3));
+  EXPECT_EQ(scenario.PendingOps(), 0u);
+}
+
+TEST_F(ScenarioTest, UpdateOfRejectedInsertIsReportedNotApplied) {
+  active::TopologyConstraint inside;
+  inside.name = "pole_in_region";
+  inside.subject_class = "Pole";
+  inside.relation = geom::TopoRelation::kInside;
+  inside.object_class = "ServiceRegion";
+  inside.quantifier = active::TopologyConstraint::Quantifier::kExists;
+  ASSERT_TRUE(sys_->topology().AddConstraint(inside).ok());
+
+  ScenarioSandbox scenario(&sys_->db(), &sys_->topology());
+  auto bad = scenario.HypotheticalInsert(
+      "Pole", {{"pole_location", PointValue(9999, 9999)}});
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(scenario
+                  .HypotheticalUpdate(bad.value(), "pole_type",
+                                      geodb::Value::Int(1))
+                  .ok());
+  auto outcome = scenario.Commit();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->applied, 0u);
+  EXPECT_EQ(outcome->rejected.size(), 2u);
+}
+
+TEST_F(ScenarioTest, DiscardDropsEverything) {
+  ScenarioSandbox scenario(&sys_->db());
+  ASSERT_TRUE(scenario
+                  .HypotheticalInsert("Pole",
+                                      {{"pole_location", PointValue(1, 1)}})
+                  .ok());
+  const size_t base_poles = sys_->db().ExtentSize("Pole");
+  scenario.Discard();
+  EXPECT_EQ(scenario.PendingOps(), 0u);
+  auto extent = scenario.EffectiveExtent("Pole");
+  EXPECT_EQ(extent.value().size(), base_poles);
+}
+
+}  // namespace
+}  // namespace agis::core

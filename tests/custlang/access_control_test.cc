@@ -1,0 +1,71 @@
+#include "custlang/access_control.h"
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "workload/phone_net.h"
+
+namespace agis::custlang {
+namespace {
+
+TEST(AccessControl, DefaultAllow) {
+  AccessControl acl;
+  EXPECT_TRUE(acl.MayCustomize("anyone", "Pole"));
+}
+
+TEST(AccessControl, DenyOverridesEverything) {
+  AccessControl acl;
+  acl.Allow("intern", "Pole");
+  acl.Deny("intern", "Pole");
+  EXPECT_FALSE(acl.MayCustomize("intern", "Pole"));
+}
+
+TEST(AccessControl, AllowSwitchesToWhitelist) {
+  AccessControl acl;
+  acl.Allow("intern", "Duct");
+  EXPECT_TRUE(acl.MayCustomize("intern", "Duct"));
+  EXPECT_FALSE(acl.MayCustomize("intern", "Pole"));  // Not whitelisted.
+  EXPECT_TRUE(acl.MayCustomize("chief", "Pole"));    // Other principals free.
+}
+
+TEST(AccessControl, DirectivePrincipalResolution) {
+  AccessControl acl;
+  acl.Deny("planners", "Supplier");
+
+  Directive by_user;
+  by_user.user = "ana";
+  by_user.category = "planners";
+  // User binding takes precedence: ana has no restrictions.
+  EXPECT_TRUE(acl.Admits(by_user, "Supplier"));
+
+  Directive by_category;
+  by_category.category = "planners";
+  EXPECT_FALSE(acl.Admits(by_category, "Supplier"));
+  EXPECT_TRUE(acl.Admits(by_category, "Pole"));
+
+  Directive generic;
+  generic.application = "browsing";
+  EXPECT_TRUE(acl.Admits(generic, "Supplier"));
+}
+
+TEST(AccessControl, IntegratesWithSystemInstallation) {
+  core::ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  auto acl = std::make_shared<AccessControl>();
+  acl->Deny("field_tech", "ServiceRegion");
+  sys.set_access_checker(
+      [acl](const Directive& d, const std::string& cls) {
+        return acl->Admits(d, cls);
+      });
+
+  EXPECT_TRUE(sys.InstallCustomization(
+                     "For user field_tech class ServiceRegion display")
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(
+      sys.InstallCustomization("For user field_tech class Pole display")
+          .ok());
+}
+
+}  // namespace
+}  // namespace agis::custlang

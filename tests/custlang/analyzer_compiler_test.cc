@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "custlang/analyzer.h"
+#include "custlang/compiler.h"
+#include "custlang/parser.h"
+#include "uilib/library.h"
+#include "workload/phone_net.h"
+
+namespace agis::custlang {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<geodb::GeoDatabase>("phone_net");
+    ASSERT_TRUE(workload::BuildPhoneNetwork(db_.get()).ok());
+    ASSERT_TRUE(library_.RegisterKernelPrototypes().ok());
+    ASSERT_TRUE(uilib::RegisterStandardGisPrototypes(&library_).ok());
+    ASSERT_TRUE(styles_.RegisterStandardFormats().ok());
+  }
+
+  agis::Status Analyze(const std::string& source,
+                       const AccessChecker& checker = nullptr) {
+    auto d = ParseDirective(source);
+    if (!d.ok()) return d.status();
+    return AnalyzeDirective(d.value(), db_->schema(), library_, styles_,
+                            checker);
+  }
+
+  std::unique_ptr<geodb::GeoDatabase> db_;
+  uilib::InterfaceObjectLibrary library_;
+  carto::StyleRegistry styles_;
+};
+
+TEST_F(AnalyzerTest, Fig6DirectivePasses) {
+  EXPECT_TRUE(Analyze(workload::Fig6DirectiveSource()).ok())
+      << Analyze(workload::Fig6DirectiveSource());
+  EXPECT_TRUE(Analyze(workload::PlannerDirectiveSource()).ok());
+}
+
+TEST_F(AnalyzerTest, WrongSchemaNameRejected) {
+  EXPECT_TRUE(
+      Analyze("For user u schema other_db display as Null").IsNotFound());
+}
+
+TEST_F(AnalyzerTest, UnknownClassRejected) {
+  const auto status = Analyze("For user u class Tower display");
+  EXPECT_TRUE(status.IsFailedPrecondition());
+  EXPECT_NE(status.message().find("Tower"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, UnknownWidgetsAndFormatsRejected) {
+  EXPECT_TRUE(Analyze("For user u class Pole display control as missingWidget")
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(
+      Analyze("For user u class Pole display presentation as missingFormat")
+          .IsFailedPrecondition());
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as missingWidget")
+                  .IsFailedPrecondition());
+}
+
+TEST_F(AnalyzerTest, WidgetAliasesAccepted) {
+  // "text" aliases the kernel "text_field".
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as text")
+                  .ok());
+  EXPECT_EQ(CanonicalWidgetName("text"), "text_field");
+  EXPECT_EQ(CanonicalWidgetName("poleWidget"), "poleWidget");
+}
+
+TEST_F(AnalyzerTest, UnknownAttributeRejected) {
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute bogus as text")
+                  .IsFailedPrecondition());
+}
+
+TEST_F(AnalyzerTest, SourceChecks) {
+  // Dotted path on a non-tuple attribute.
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as text from a.b")
+                  .IsFailedPrecondition());
+  // Dotted path with no matching tuple field.
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_composition as text "
+                      "from pole.nothing")
+                  .IsFailedPrecondition());
+  // Unknown method.
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_supplier as text "
+                      "from no_method(pole_supplier)")
+                  .IsFailedPrecondition());
+  // Unknown plain attribute source.
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as text from bogus")
+                  .IsFailedPrecondition());
+  // Valid inherited plain source.
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as text from status")
+                  .ok());
+}
+
+TEST_F(AnalyzerTest, CallbackShapeChecked) {
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as text using broken")
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(Analyze("For user u class Pole display instances "
+                      "display attribute pole_type as text using w.cb()")
+                  .ok());
+}
+
+TEST_F(AnalyzerTest, AccessCheckerCanDeny) {
+  const AccessChecker deny_pole = [](const Directive& d,
+                                     const std::string& cls) {
+    return !(d.user == "intern" && cls == "Pole");
+  };
+  EXPECT_TRUE(
+      Analyze("For user intern class Pole display", deny_pole)
+          .IsPermissionDenied());
+  EXPECT_TRUE(Analyze("For user chief class Pole display", deny_pole).ok());
+}
+
+TEST(Compiler, Fig6CompilesToThreeRules) {
+  auto d = ParseDirective(workload::Fig6DirectiveSource());
+  ASSERT_TRUE(d.ok());
+  const std::vector<active::EcaRule> rules = CompileDirective(d.value());
+  ASSERT_EQ(rules.size(), 3u);
+
+  // R1: On Get_Schema If <juliano, pole_manager> — builds the hidden
+  // Schema window and auto-opens Pole.
+  const active::EcaRule& r1 = rules[0];
+  EXPECT_EQ(r1.event_name, "Get_Schema");
+  EXPECT_EQ(r1.param_filters.at("schema"), "phone_net");
+  EXPECT_EQ(r1.condition.user, "juliano");
+  EXPECT_EQ(r1.condition.application, "pole_manager");
+  EXPECT_TRUE(r1.condition.category.empty());
+  active::Event probe;
+  probe.name = "Get_Schema";
+  auto payload1 = r1.customization_action(probe);
+  ASSERT_TRUE(payload1.ok());
+  EXPECT_EQ(payload1->schema_mode, active::SchemaDisplayMode::kNull);
+  EXPECT_EQ(payload1->auto_open_classes,
+            (std::vector<std::string>{"Pole"}));
+
+  // R2: On Get_Class(Pole) — poleWidget + pointFormat.
+  const active::EcaRule& r2 = rules[1];
+  EXPECT_EQ(r2.event_name, "Get_Class");
+  EXPECT_EQ(r2.param_filters.at("class"), "Pole");
+  auto payload2 = r2.customization_action(probe);
+  ASSERT_TRUE(payload2.ok());
+  EXPECT_EQ(payload2->control_widget, "poleWidget");
+  EXPECT_EQ(payload2->presentation_format, "pointFormat");
+
+  // R3: On Get_Value(Pole) — the three attribute customizations, with
+  // the "text" alias canonicalized.
+  const active::EcaRule& r3 = rules[2];
+  EXPECT_EQ(r3.event_name, "Get_Value");
+  auto payload3 = r3.customization_action(probe);
+  ASSERT_TRUE(payload3.ok());
+  ASSERT_EQ(payload3->attributes.size(), 3u);
+  EXPECT_EQ(payload3->attributes[0].widget, "composed_text");
+  EXPECT_EQ(payload3->attributes[1].widget, "text_field");
+  EXPECT_TRUE(payload3->attributes[2].hidden);
+
+  // All rules share the directive's condition and provenance.
+  for (const active::EcaRule& rule : rules) {
+    EXPECT_EQ(rule.condition, r1.condition);
+    EXPECT_EQ(rule.provenance, d->CanonicalName());
+    EXPECT_EQ(rule.family, active::RuleFamily::kCustomization);
+  }
+}
+
+TEST(Compiler, SchemaOnlyDirectiveYieldsOneRule) {
+  auto d = ParseDirective("For category c schema s display as hierarchy");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(CompileDirective(d.value()).size(), 1u);
+}
+
+TEST(Compiler, ClassWithoutInstancesSkipsGetValueRule) {
+  auto d = ParseDirective(
+      "For user u class Pole display presentation as pointFormat");
+  ASSERT_TRUE(d.ok());
+  const auto rules = CompileDirective(d.value());
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].event_name, "Get_Class");
+}
+
+TEST(Compiler, ExplainListsRulesInPaperNotation) {
+  auto d = ParseDirective(workload::Fig6DirectiveSource());
+  ASSERT_TRUE(d.ok());
+  const std::string text = ExplainCompilation(d.value());
+  EXPECT_NE(text.find("compiles to 3 rule(s)"), std::string::npos);
+  EXPECT_NE(text.find("R1: On Get_Schema"), std::string::npos);
+  EXPECT_NE(text.find("R2: On Get_Class(class=Pole)"), std::string::npos);
+  EXPECT_NE(text.find("If <juliano, *, pole_manager>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agis::custlang

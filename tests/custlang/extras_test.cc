@@ -1,0 +1,133 @@
+// Tests for the extended-context dimension (`when <key> <value>`) —
+// the paper's "conceivable extensions to other contextual data (e.g.,
+// geographic scale, time framework)".
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "custlang/compiler.h"
+#include "custlang/parser.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis::custlang {
+namespace {
+
+TEST(Extras, ParserAcceptsWhenClauses) {
+  auto d = ParseDirective(
+      "For user juliano when scale 1:5000 when season dry "
+      "class Pole display presentation as pointFormat");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->extras.at("scale"), "1:5000");
+  EXPECT_EQ(d->extras.at("season"), "dry");
+}
+
+TEST(Extras, WhenAloneIsAValidCondition) {
+  auto d = ParseDirective(
+      "For when scale 1:5000 class Pole display");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_TRUE(d->user.empty());
+  EXPECT_EQ(d->extras.size(), 1u);
+}
+
+TEST(Extras, WhenNeedsKeyAndValue) {
+  EXPECT_TRUE(ParseDirective("For user u when scale class Pole display")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Extras, RoundTripThroughToSource) {
+  auto first = ParseDirective(
+      "For user u when scale 1:5000 schema s display as Null");
+  ASSERT_TRUE(first.ok());
+  auto second = ParseDirective(first->ToSource());
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << first->ToSource();
+  EXPECT_EQ(second->extras, first->extras);
+  EXPECT_EQ(second->CanonicalName(), first->CanonicalName());
+}
+
+TEST(Extras, CompiledIntoRuleCondition) {
+  auto d = ParseDirective(
+      "For user u when scale 1:5000 class Pole display");
+  ASSERT_TRUE(d.ok());
+  const auto rules = CompileDirective(d.value());
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].condition.extras.at("scale"), "1:5000");
+
+  // A context with the matching scale triggers; without it, not.
+  active::Event event;
+  event.name = "Get_Class";
+  event.context.user = "u";
+  event.params["class"] = "Pole";
+  EXPECT_FALSE(rules[0].Triggers(event));
+  event.context.extras["scale"] = "1:5000";
+  EXPECT_TRUE(rules[0].Triggers(event));
+}
+
+TEST(Extras, ScaleDependentPresentationEndToEnd) {
+  core::ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  // Zoomed out: poles as plain dots. Zoomed in: crosses.
+  ASSERT_TRUE(sys.InstallCustomization(
+                     "For application pole_manager when zoom far "
+                     "class Pole display presentation as pointFormat")
+                  .ok());
+  ASSERT_TRUE(sys.InstallCustomization(
+                     "For application pole_manager when zoom near "
+                     "class Pole display presentation as crossFormat")
+                  .ok());
+  UserContext ctx;
+  ctx.user = "ana";
+  ctx.application = "pole_manager";
+  ctx.extras["zoom"] = "far";
+  sys.dispatcher().set_context(ctx);
+  auto far_window = sys.dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(far_window.ok());
+  EXPECT_EQ(far_window.value()
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            "pointFormat");
+  ctx.extras["zoom"] = "near";
+  sys.dispatcher().set_context(ctx);
+  auto near_window = sys.dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(near_window.ok());
+  EXPECT_EQ(near_window.value()
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            "crossFormat");
+}
+
+TEST(Explain, WindowsCarryTheirProvenance) {
+  core::ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  ASSERT_TRUE(
+      sys.InstallCustomization(workload::Fig6DirectiveSource()).ok());
+
+  // Customized window: explanation names the rule and directive.
+  UserContext juliano;
+  juliano.user = "juliano";
+  juliano.application = "pole_manager";
+  sys.dispatcher().set_context(juliano);
+  auto window = sys.dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(window.ok());
+  EXPECT_FALSE(window.value()->GetProperty("customized_by").empty());
+  const std::string explanation =
+      sys.dispatcher().ExplainWindow(*window.value());
+  EXPECT_NE(explanation.find("Customization rule"), std::string::npos);
+  EXPECT_NE(explanation.find("user=juliano"), std::string::npos);
+
+  // Generic window: explanation says so.
+  UserContext other;
+  other.user = "someone";
+  sys.dispatcher().set_context(other);
+  auto generic = sys.dispatcher().OpenClassWindow("Duct");
+  ASSERT_TRUE(generic.ok());
+  EXPECT_TRUE(generic.value()->GetProperty("customized_by").empty());
+  EXPECT_NE(sys.dispatcher()
+                .ExplainWindow(*generic.value())
+                .find("generic default"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace agis::custlang

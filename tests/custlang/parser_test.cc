@@ -1,0 +1,167 @@
+#include "custlang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/phone_net.h"
+
+namespace agis::custlang {
+namespace {
+
+TEST(Parser, ParsesFig6Verbatim) {
+  auto d = ParseDirective(workload::Fig6DirectiveSource());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->user, "juliano");
+  EXPECT_EQ(d->category, "");
+  EXPECT_EQ(d->application, "pole_manager");
+  EXPECT_TRUE(d->has_schema_clause);
+  EXPECT_EQ(d->schema_name, "phone_net");
+  EXPECT_EQ(d->schema_mode, active::SchemaDisplayMode::kNull);
+  ASSERT_EQ(d->classes.size(), 1u);
+  const ClassClause& pole = d->classes[0];
+  EXPECT_EQ(pole.class_name, "Pole");
+  EXPECT_EQ(pole.control, "poleWidget");
+  EXPECT_EQ(pole.presentation, "pointFormat");
+  ASSERT_EQ(pole.attributes.size(), 3u);
+  EXPECT_EQ(pole.attributes[0].attribute, "pole_composition");
+  EXPECT_EQ(pole.attributes[0].widget, "composed_text");
+  EXPECT_EQ(pole.attributes[0].sources,
+            (std::vector<std::string>{"pole.material", "pole.diameter",
+                                      "pole.height"}));
+  EXPECT_EQ(pole.attributes[0].callback, "composed_text.notify()");
+  EXPECT_EQ(pole.attributes[1].attribute, "pole_supplier");
+  EXPECT_EQ(pole.attributes[1].widget, "text");
+  EXPECT_EQ(pole.attributes[1].sources,
+            (std::vector<std::string>{"get_supplier_name(pole_supplier)"}));
+  EXPECT_TRUE(pole.attributes[2].null_display);
+  EXPECT_EQ(pole.attributes[2].widget, "");
+}
+
+TEST(Parser, ForClauseFieldsInAnyOrder) {
+  auto d = ParseDirective(
+      "For application app category cat user u schema s display as default");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->user, "u");
+  EXPECT_EQ(d->category, "cat");
+  EXPECT_EQ(d->application, "app");
+  EXPECT_EQ(d->schema_mode, active::SchemaDisplayMode::kDefault);
+}
+
+TEST(Parser, SchemaModes) {
+  for (const auto& [text, mode] :
+       std::vector<std::pair<std::string, active::SchemaDisplayMode>>{
+           {"default", active::SchemaDisplayMode::kDefault},
+           {"hierarchy", active::SchemaDisplayMode::kHierarchy},
+           {"user-defined", active::SchemaDisplayMode::kUserDefined},
+           {"Null", active::SchemaDisplayMode::kNull},
+           {"NULL", active::SchemaDisplayMode::kNull}}) {
+    auto d = ParseDirective("For user u schema s display as " + text);
+    ASSERT_TRUE(d.ok()) << text;
+    EXPECT_EQ(d->schema_mode, mode) << text;
+  }
+  EXPECT_TRUE(ParseDirective("For user u schema s display as sideways")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Parser, MultipleClassClauses) {
+  auto d = ParseDirective(R"(
+    For category planner
+    class Pole display presentation as crossFormat
+    class Duct display control as class_control
+    class Region display
+  )");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_FALSE(d->has_schema_clause);
+  ASSERT_EQ(d->classes.size(), 3u);
+  EXPECT_EQ(d->classes[0].presentation, "crossFormat");
+  EXPECT_EQ(d->classes[1].control, "class_control");
+  EXPECT_TRUE(d->classes[2].control.empty());
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  auto d = ParseDirective(R"(
+    # leading comment
+    For user u  # trailing comment
+    # another
+    schema s display as hierarchy
+  )");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->user, "u");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  const auto status =
+      ParseDirective("For user u\nschema s display oops").status();
+  ASSERT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RejectsStructuralMistakes) {
+  // Missing For.
+  EXPECT_TRUE(ParseDirective("schema s display as Null")
+                  .status()
+                  .IsParseError());
+  // For without any binding.
+  EXPECT_TRUE(ParseDirective("For schema s display as Null")
+                  .status()
+                  .IsParseError());
+  // Directive with no clauses at all.
+  EXPECT_TRUE(ParseDirective("For user u").status().IsParseError());
+  // Keyword where identifier expected.
+  EXPECT_TRUE(ParseDirective("For user class").status().IsParseError());
+  // Empty from clause.
+  EXPECT_TRUE(ParseDirective("For user u class C display instances "
+                             "display attribute a as w from using x()")
+                  .status()
+                  .IsParseError());
+  // Trailing garbage.
+  EXPECT_TRUE(ParseDirective("For user u schema s display as Null extra")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Parser, ParseDirectivesSplitsOnFor) {
+  auto ds = ParseDirectives(R"(
+    For user a schema s display as Null
+    For user b schema s display as hierarchy
+  )");
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_EQ((*ds)[0].user, "a");
+  EXPECT_EQ((*ds)[1].user, "b");
+  auto empty = ParseDirectives("  # only comments\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(Parser, RoundTripThroughToSource) {
+  const std::string sources[] = {
+      workload::Fig6DirectiveSource(),
+      workload::PlannerDirectiveSource(),
+      "For user u category c application a\n"
+      "schema s display as user-defined\n"
+      "class A display\n  control as w1\n  presentation as f1\n"
+      "  instances\n    display attribute x as wx from a.b c.d using w.x()\n"
+      "    display attribute y as Null\n",
+  };
+  for (const std::string& source : sources) {
+    auto first = ParseDirective(source);
+    ASSERT_TRUE(first.ok()) << first.status();
+    auto second = ParseDirective(first->ToSource());
+    ASSERT_TRUE(second.ok())
+        << second.status() << "\nregenerated:\n" << first->ToSource();
+    EXPECT_EQ(second->ToSource(), first->ToSource());
+    EXPECT_EQ(second->CanonicalName(), first->CanonicalName());
+    EXPECT_EQ(second->classes.size(), first->classes.size());
+  }
+}
+
+TEST(Directive, CanonicalNameIsStable) {
+  auto d = ParseDirective(workload::Fig6DirectiveSource());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->CanonicalName(),
+            "For user=juliano application=pole_manager schema=phone_net");
+}
+
+}  // namespace
+}  // namespace agis::custlang

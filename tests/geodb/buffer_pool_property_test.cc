@@ -1,0 +1,92 @@
+// Model-based property test: BufferPool behaves exactly like a
+// reference LRU implementation under random workloads.
+
+#include <list>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "geodb/buffer_pool.h"
+
+namespace agis::geodb {
+namespace {
+
+/// Straightforward reference LRU with the same byte-budget semantics.
+class ModelLru {
+ public:
+  explicit ModelLru(size_t capacity) : capacity_(capacity) {}
+
+  bool Get(const std::string& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    Touch(key);
+    return true;
+  }
+
+  void Put(const std::string& key, size_t charge) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      used_ -= it->second;
+      entries_.erase(it);
+      order_.remove(key);
+    }
+    if (charge > capacity_) return;
+    while (!order_.empty() && used_ + charge > capacity_) {
+      const std::string victim = order_.back();
+      used_ -= entries_.at(victim);
+      entries_.erase(victim);
+      order_.pop_back();
+    }
+    entries_[key] = charge;
+    order_.push_front(key);
+    used_ += charge;
+  }
+
+  size_t used() const { return used_; }
+  size_t count() const { return entries_.size(); }
+
+ private:
+  void Touch(const std::string& key) {
+    order_.remove(key);
+    order_.push_front(key);
+  }
+
+  size_t capacity_;
+  size_t used_ = 0;
+  std::map<std::string, size_t> entries_;
+  std::list<std::string> order_;
+};
+
+class BufferPoolModel : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BufferPoolModel, MatchesReferenceLru) {
+  agis::Rng rng(GetParam());
+  const size_t capacity = 1000;
+  BufferPool pool(capacity);
+  ModelLru model(capacity);
+
+  for (int step = 0; step < 2000; ++step) {
+    const std::string key = agis::StrCat("k", rng.Uniform(30));
+    if (rng.Bernoulli(0.5)) {
+      const bool pool_hit = pool.Get(key) != nullptr;
+      const bool model_hit = model.Get(key);
+      ASSERT_EQ(pool_hit, model_hit) << "step " << step << " key " << key;
+    } else {
+      BufferSlice slice;
+      slice.charge_bytes = 1 + rng.Uniform(300);
+      model.Put(key, slice.charge_bytes);
+      pool.Put(key, std::move(slice));
+    }
+    ASSERT_EQ(pool.used_bytes(), model.used()) << "step " << step;
+    ASSERT_EQ(pool.entry_count(), model.count()) << "step " << step;
+    ASSERT_LE(pool.used_bytes(), capacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolModel,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace agis::geodb

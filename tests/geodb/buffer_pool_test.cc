@@ -1,0 +1,90 @@
+#include "geodb/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace agis::geodb {
+namespace {
+
+BufferSlice Slice(std::vector<ObjectId> ids, size_t charge) {
+  BufferSlice s;
+  s.ids = std::move(ids);
+  s.charge_bytes = charge;
+  return s;
+}
+
+TEST(BufferPool, MissThenHit) {
+  BufferPool pool(1024);
+  EXPECT_EQ(pool.Get("k"), nullptr);
+  pool.Put("k", Slice({1, 2}, 100));
+  auto hit = pool.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->ids, (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRatio(), 0.5);
+}
+
+TEST(BufferPool, EvictsLeastRecentlyUsed) {
+  BufferPool pool(300);
+  pool.Put("a", Slice({1}, 100));
+  pool.Put("b", Slice({2}, 100));
+  pool.Put("c", Slice({3}, 100));
+  EXPECT_EQ(pool.entry_count(), 3u);
+  // Touch "a" so "b" is the LRU victim.
+  EXPECT_NE(pool.Get("a"), nullptr);
+  pool.Put("d", Slice({4}, 100));
+  EXPECT_NE(pool.Get("a"), nullptr);
+  EXPECT_EQ(pool.Get("b"), nullptr);  // Evicted.
+  EXPECT_NE(pool.Get("c"), nullptr);
+  EXPECT_NE(pool.Get("d"), nullptr);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPool, ReplaceUpdatesCharge) {
+  BufferPool pool(300);
+  pool.Put("a", Slice({1}, 200));
+  EXPECT_EQ(pool.used_bytes(), 200u);
+  pool.Put("a", Slice({1, 2}, 100));
+  EXPECT_EQ(pool.used_bytes(), 100u);
+  EXPECT_EQ(pool.entry_count(), 1u);
+  EXPECT_EQ(pool.Get("a")->ids.size(), 2u);
+}
+
+TEST(BufferPool, OversizedSlicesAreNotCached) {
+  BufferPool pool(100);
+  pool.Put("big", Slice({1}, 500));
+  EXPECT_EQ(pool.Get("big"), nullptr);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+}
+
+TEST(BufferPool, InvalidatePrefix) {
+  BufferPool pool(10000);
+  pool.Put("class/Pole/a", Slice({1}, 10));
+  pool.Put("class/Pole/b", Slice({2}, 10));
+  pool.Put("class/Duct/a", Slice({3}, 10));
+  EXPECT_EQ(pool.InvalidatePrefix("class/Pole/"), 2u);
+  EXPECT_EQ(pool.Get("class/Pole/a"), nullptr);
+  EXPECT_NE(pool.Get("class/Duct/a"), nullptr);
+  EXPECT_EQ(pool.used_bytes(), 10u);
+}
+
+TEST(BufferPool, ClearAndStatsReset) {
+  BufferPool pool(1000);
+  pool.Put("a", Slice({1}, 10));
+  (void)pool.Get("a");
+  pool.Clear();
+  EXPECT_EQ(pool.entry_count(), 0u);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_EQ(pool.stats().hits, 1u);  // Stats survive Clear...
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().hits, 0u);  // ...until explicitly reset.
+}
+
+TEST(BufferPool, ZeroCapacityNeverCaches) {
+  BufferPool pool(0);
+  pool.Put("a", Slice({1}, 1));
+  EXPECT_EQ(pool.Get("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace agis::geodb

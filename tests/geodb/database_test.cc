@@ -1,0 +1,370 @@
+#include "geodb/database.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+
+namespace agis::geodb {
+namespace {
+
+geom::Geometry PointGeom(double x, double y) {
+  return geom::Geometry::FromPoint({x, y});
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<GeoDatabase>("test_schema");
+    ClassDef supplier("Supplier", "");
+    ASSERT_TRUE(
+        supplier.AddAttribute(AttributeDef::String("supplier_name")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(supplier)).ok());
+
+    ClassDef pole("Pole", "");
+    ASSERT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+    ASSERT_TRUE(
+        pole.AddAttribute(AttributeDef::Geometry("pole_location")).ok());
+    ASSERT_TRUE(
+        pole.AddAttribute(AttributeDef::Ref("pole_supplier", "Supplier")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(pole)).ok());
+  }
+
+  ObjectId InsertPole(double x, double y, int64_t type = 1) {
+    auto id = db_->Insert("Pole",
+                          {{"pole_type", Value::Int(type)},
+                           {"pole_location", Value::MakeGeometry(
+                                                 PointGeom(x, y))}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.ok() ? id.value() : 0;
+  }
+
+  std::unique_ptr<GeoDatabase> db_;
+};
+
+TEST_F(DatabaseTest, InsertAssignsIdsAndUpdatesExtent) {
+  const ObjectId a = InsertPole(1, 1);
+  const ObjectId b = InsertPole(2, 2);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, a);
+  EXPECT_EQ(db_->ExtentSize("Pole"), 2u);
+  EXPECT_EQ(db_->NumObjects(), 2u);
+  EXPECT_EQ(db_->GeometryAttributeOf("Pole"), "pole_location");
+  EXPECT_EQ(db_->GeometryAttributeOf("Supplier"), "");
+}
+
+TEST_F(DatabaseTest, InsertValidatesSchema) {
+  EXPECT_TRUE(db_->Insert("Nope", {}).status().IsNotFound());
+  EXPECT_TRUE(db_->Insert("Pole", {{"bogus", Value::Int(1)}})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(db_->Insert("Pole", {{"pole_type", Value::String("x")}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, RequiredAttributeEnforced) {
+  ClassDef strict("Strict", "");
+  AttributeDef name = AttributeDef::String("name");
+  name.required = true;
+  ASSERT_TRUE(strict.AddAttribute(std::move(name)).ok());
+  ASSERT_TRUE(db_->RegisterClass(std::move(strict)).ok());
+  EXPECT_TRUE(db_->Insert("Strict", {}).status().IsInvalidArgument());
+  EXPECT_TRUE(db_->Insert("Strict", {{"name", Value()}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->Insert("Strict", {{"name", Value::String("ok")}}).ok());
+}
+
+TEST_F(DatabaseTest, UpdateAndDelete) {
+  const ObjectId id = InsertPole(1, 1, 3);
+  EXPECT_TRUE(db_->Update(id, "pole_type", Value::Int(5)).ok());
+  EXPECT_EQ(db_->FindObject(id)->Get("pole_type").int_value(), 5);
+  EXPECT_TRUE(db_->Update(id, "bogus", Value::Int(1)).IsNotFound());
+  EXPECT_TRUE(db_->Update(999, "pole_type", Value::Int(1)).IsNotFound());
+  EXPECT_TRUE(db_->Delete(id).ok());
+  EXPECT_EQ(db_->FindObject(id), nullptr);
+  EXPECT_EQ(db_->ExtentSize("Pole"), 0u);
+  EXPECT_TRUE(db_->Delete(id).IsNotFound());
+}
+
+TEST_F(DatabaseTest, GeometryUpdateMovesIndexEntry) {
+  const ObjectId id = InsertPole(1, 1);
+  GetClassOptions near_origin;
+  near_origin.window = geom::BoundingBox(0, 0, 2, 2);
+  near_origin.use_buffer_pool = false;
+  EXPECT_EQ(db_->GetClass("Pole", near_origin).value().ids.size(), 1u);
+  ASSERT_TRUE(
+      db_->Update(id, "pole_location", Value::MakeGeometry(PointGeom(50, 50)))
+          .ok());
+  EXPECT_TRUE(db_->GetClass("Pole", near_origin).value().ids.empty());
+  GetClassOptions far;
+  far.window = geom::BoundingBox(49, 49, 51, 51);
+  far.use_buffer_pool = false;
+  EXPECT_EQ(db_->GetClass("Pole", far).value().ids.size(), 1u);
+}
+
+TEST_F(DatabaseTest, GetClassPredicates) {
+  InsertPole(1, 1, 1);
+  InsertPole(2, 2, 2);
+  InsertPole(3, 3, 3);
+  GetClassOptions options;
+  options.use_buffer_pool = false;
+  options.predicates.push_back(
+      AttrPredicate{"pole_type", CompareOp::kGe, Value::Int(2)});
+  EXPECT_EQ(db_->GetClass("Pole", options).value().ids.size(), 2u);
+  options.predicates.push_back(
+      AttrPredicate{"pole_type", CompareOp::kNe, Value::Int(3)});
+  EXPECT_EQ(db_->GetClass("Pole", options).value().ids.size(), 1u);
+}
+
+TEST_F(DatabaseTest, GetClassStringContains) {
+  ASSERT_TRUE(
+      db_->Insert("Supplier", {{"supplier_name", Value::String("WoodCo")}})
+          .ok());
+  ASSERT_TRUE(
+      db_->Insert("Supplier", {{"supplier_name", Value::String("SteelBr")}})
+          .ok());
+  GetClassOptions options;
+  options.use_buffer_pool = false;
+  options.predicates.push_back(
+      AttrPredicate{"supplier_name", CompareOp::kContains,
+                    Value::String("ood")});
+  EXPECT_EQ(db_->GetClass("Supplier", options).value().ids.size(), 1u);
+}
+
+TEST_F(DatabaseTest, GetClassSpatialRelation) {
+  InsertPole(1, 1);
+  InsertPole(5, 5);
+  geom::Polygon region;
+  region.outer = {{0, 0}, {3, 0}, {3, 3}, {0, 3}};
+  GetClassOptions options;
+  options.use_buffer_pool = false;
+  options.spatial = SpatialFilter{geom::Geometry::FromPolygon(region),
+                                  geom::TopoRelation::kInside};
+  EXPECT_EQ(db_->GetClass("Pole", options).value().ids.size(), 1u);
+}
+
+TEST_F(DatabaseTest, GetClassSubclasses) {
+  ClassDef special("SpecialPole", "");
+  special.set_parent("Pole");
+  ASSERT_TRUE(db_->RegisterClass(std::move(special)).ok());
+  InsertPole(1, 1);
+  ASSERT_TRUE(db_->Insert("SpecialPole",
+                          {{"pole_location",
+                            Value::MakeGeometry(PointGeom(2, 2))}})
+                  .ok());
+  GetClassOptions options;
+  options.use_buffer_pool = false;
+  EXPECT_EQ(db_->GetClass("Pole", options).value().ids.size(), 1u);
+  options.include_subclasses = true;
+  EXPECT_EQ(db_->GetClass("Pole", options).value().ids.size(), 2u);
+}
+
+TEST_F(DatabaseTest, GetClassLimit) {
+  for (int i = 0; i < 10; ++i) InsertPole(i, i);
+  GetClassOptions options;
+  options.use_buffer_pool = false;
+  options.limit = 4;
+  EXPECT_EQ(db_->GetClass("Pole", options).value().ids.size(), 4u);
+}
+
+TEST_F(DatabaseTest, BufferPoolServesRepeatsAndInvalidatesOnWrite) {
+  InsertPole(1, 1);
+  GetClassOptions options;  // use_buffer_pool defaults true.
+  auto first = db_->GetClass("Pole", options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().from_cache);
+  auto second = db_->GetClass("Pole", options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().ids, first.value().ids);
+  InsertPole(2, 2);  // Invalidates the class prefix.
+  auto third = db_->GetClass("Pole", options);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.value().from_cache);
+  EXPECT_EQ(third.value().ids.size(), 2u);
+}
+
+TEST_F(DatabaseTest, GetValueAndAttribute) {
+  const ObjectId id = InsertPole(1, 2, 7);
+  auto obj = db_->GetValue(id);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj.value()->class_name(), "Pole");
+  EXPECT_EQ(db_->GetAttributeValue(id, "pole_type").value().int_value(), 7);
+  EXPECT_TRUE(db_->GetAttributeValue(id, "bogus").status().IsNotFound());
+  EXPECT_TRUE(db_->GetValue(12345).status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, MethodsInvokeRegisteredImpl) {
+  auto supplier =
+      db_->Insert("Supplier", {{"supplier_name", Value::String("WoodCo")}});
+  ASSERT_TRUE(supplier.ok());
+  const ObjectId pole = InsertPole(1, 1);
+  ASSERT_TRUE(db_->Update(pole, "pole_supplier",
+                          Value::Ref(supplier.value(), "Supplier"))
+                  .ok());
+  ASSERT_TRUE(
+      db_->RegisterMethod(
+             "Pole",
+             MethodDef{"get_supplier_name", "",
+                       [](const GeoDatabase& db, const ObjectInstance& obj)
+                           -> agis::Result<Value> {
+                         const Value& ref = obj.Get("pole_supplier");
+                         const ObjectInstance* s =
+                             db.FindObject(ref.ref_value().id);
+                         return s->Get("supplier_name");
+                       }})
+          .ok());
+  EXPECT_EQ(db_->CallMethod(pole, "get_supplier_name").value().string_value(),
+            "WoodCo");
+  EXPECT_TRUE(db_->CallMethod(pole, "nope").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, EventsEmittedInOrder) {
+  struct Recorder : DbEventSink {
+    std::vector<std::string> events;
+    agis::Status OnBeforeEvent(const DbEvent& e) override {
+      events.push_back(std::string("before:") + DbEventKindName(e.kind));
+      return agis::Status::OK();
+    }
+    void OnAfterEvent(const DbEvent& e) override {
+      events.push_back(std::string("after:") + DbEventKindName(e.kind));
+    }
+  };
+  Recorder recorder;
+  db_->AddEventSink(&recorder);
+  const ObjectId id = InsertPole(1, 1);
+  ASSERT_TRUE(db_->Update(id, "pole_type", Value::Int(2)).ok());
+  ASSERT_TRUE(db_->GetSchema().ok());
+  ASSERT_TRUE(db_->GetClass("Pole").ok());
+  ASSERT_TRUE(db_->GetValue(id).ok());
+  ASSERT_TRUE(db_->Delete(id).ok());
+  db_->RemoveEventSink(&recorder);
+  InsertPole(9, 9);  // Not recorded.
+  EXPECT_EQ(recorder.events,
+            (std::vector<std::string>{
+                "before:Before_Insert", "after:After_Insert",
+                "before:Before_Update", "after:After_Update",
+                "after:Get_Schema", "after:Get_Class", "after:Get_Value",
+                "before:Before_Delete", "after:After_Delete"}));
+}
+
+TEST_F(DatabaseTest, VetoAbortsWrites) {
+  struct Veto : DbEventSink {
+    agis::Status OnBeforeEvent(const DbEvent& e) override {
+      if (e.kind == DbEventKind::kBeforeUpdate) {
+        return agis::Status::ConstraintViolation("frozen");
+      }
+      return agis::Status::OK();
+    }
+  };
+  Veto veto;
+  const ObjectId id = InsertPole(1, 1, 3);
+  db_->AddEventSink(&veto);
+  EXPECT_TRUE(
+      db_->Update(id, "pole_type", Value::Int(9)).IsConstraintViolation());
+  EXPECT_EQ(db_->FindObject(id)->Get("pole_type").int_value(), 3);
+  EXPECT_EQ(db_->stats().vetoed_writes, 1u);
+  db_->RemoveEventSink(&veto);
+}
+
+TEST_F(DatabaseTest, StatsCountPrimitives) {
+  InsertPole(1, 1);
+  ASSERT_TRUE(db_->GetSchema().ok());
+  ASSERT_TRUE(db_->GetClass("Pole").ok());
+  ASSERT_TRUE(db_->GetClass("Pole").ok());
+  EXPECT_EQ(db_->stats().get_schema_calls, 1u);
+  EXPECT_EQ(db_->stats().get_class_calls, 2u);
+  EXPECT_EQ(db_->stats().inserts, 1u);
+}
+
+TEST_F(DatabaseTest, ScanExtentWithWindow) {
+  InsertPole(1, 1);
+  InsertPole(100, 100);
+  auto all = db_->ScanExtent("Pole");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 2u);
+  auto windowed =
+      db_->ScanExtent("Pole", geom::BoundingBox(0, 0, 10, 10));
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_EQ(windowed.value().size(), 1u);
+  EXPECT_TRUE(db_->ScanExtent("Nope").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, CacheKeysDistinguishOptionVariants) {
+  // Distinct query options must never share a buffer-pool key, or a
+  // cached result would serve the wrong query.
+  std::vector<GetClassOptions> variants;
+  variants.emplace_back();
+  GetClassOptions with_sub;
+  with_sub.include_subclasses = true;
+  variants.push_back(with_sub);
+  GetClassOptions with_window;
+  with_window.window = geom::BoundingBox(0, 0, 10, 10);
+  variants.push_back(with_window);
+  GetClassOptions other_window;
+  other_window.window = geom::BoundingBox(0, 0, 10, 11);
+  variants.push_back(other_window);
+  GetClassOptions with_pred;
+  with_pred.predicates.push_back(
+      AttrPredicate{"pole_type", CompareOp::kGe, Value::Int(2)});
+  variants.push_back(with_pred);
+  GetClassOptions other_pred = with_pred;
+  other_pred.predicates[0].operand = Value::Int(3);
+  variants.push_back(other_pred);
+  GetClassOptions with_limit;
+  with_limit.limit = 5;
+  variants.push_back(with_limit);
+  GetClassOptions with_spatial;
+  with_spatial.spatial =
+      SpatialFilter{PointGeom(1, 1), geom::TopoRelation::kIntersects};
+  variants.push_back(with_spatial);
+
+  std::set<std::string> keys;
+  for (const GetClassOptions& options : variants) {
+    EXPECT_TRUE(keys.insert(options.CacheKeySuffix()).second)
+        << "duplicate key: " << options.CacheKeySuffix();
+    // Deterministic.
+    EXPECT_EQ(options.CacheKeySuffix(), options.CacheKeySuffix());
+  }
+}
+
+// The three index kinds agree on GetClass results.
+class IndexKindTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(IndexKindTest, WindowQueriesAgree) {
+  DatabaseOptions options;
+  options.index_kind = GetParam();
+  options.world = geom::BoundingBox(0, 0, 100, 100);
+  GeoDatabase db("s", options);
+  ClassDef cls("P", "");
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Geometry("loc")).ok());
+  ASSERT_TRUE(db.RegisterClass(std::move(cls)).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Insert("P", {{"loc", Value::MakeGeometry(PointGeom(
+                                            (i * 7) % 100, (i * 13) % 100))}})
+                    .ok());
+  }
+  GetClassOptions q;
+  q.use_buffer_pool = false;
+  q.window = geom::BoundingBox(20, 20, 60, 60);
+  auto result = db.GetClass("P", q);
+  ASSERT_TRUE(result.ok());
+  size_t expected = 0;
+  const auto all_ids = db.ScanExtent("P");
+  ASSERT_TRUE(all_ids.ok());
+  for (ObjectId id : all_ids.value()) {
+    const auto& g = db.FindObject(id)->Get("loc").geometry_value();
+    if (g.Bounds().Intersects(*q.window)) ++expected;
+  }
+  EXPECT_EQ(result.value().ids.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IndexKindTest,
+                         ::testing::Values(IndexKind::kRTree, IndexKind::kGrid,
+                                           IndexKind::kLinearScan));
+
+}  // namespace
+}  // namespace agis::geodb

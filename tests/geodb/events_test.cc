@@ -1,0 +1,73 @@
+#include "geodb/events.h"
+
+#include <gtest/gtest.h>
+
+#include "active/event.h"
+
+namespace agis::geodb {
+namespace {
+
+TEST(DbEventKind, NamesAreStable) {
+  // The active mechanism matches rules by these exact names; renaming
+  // one silently breaks every compiled directive.
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kGetSchema), "Get_Schema");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kGetClass), "Get_Class");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kGetValue), "Get_Value");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kBeforeInsert), "Before_Insert");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kAfterInsert), "After_Insert");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kBeforeUpdate), "Before_Update");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kAfterUpdate), "After_Update");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kBeforeDelete), "Before_Delete");
+  EXPECT_STREQ(DbEventKindName(DbEventKind::kAfterDelete), "After_Delete");
+}
+
+TEST(DbEvent, ToStringIncludesSetFields) {
+  DbEvent event;
+  event.kind = DbEventKind::kGetClass;
+  event.context.user = "juliano";
+  event.schema_name = "phone_net";
+  event.class_name = "Pole";
+  const std::string text = event.ToString();
+  EXPECT_NE(text.find("Get_Class"), std::string::npos);
+  EXPECT_NE(text.find("juliano"), std::string::npos);
+  EXPECT_NE(text.find("schema=phone_net"), std::string::npos);
+  EXPECT_NE(text.find("class=Pole"), std::string::npos);
+  EXPECT_EQ(text.find("object="), std::string::npos);  // Unset.
+}
+
+TEST(DbEvent, ConversionToActiveEvent) {
+  DbEvent event;
+  event.kind = DbEventKind::kBeforeUpdate;
+  event.context.user = "u";
+  event.schema_name = "s";
+  event.class_name = "Pole";
+  event.object_id = 42;
+  event.attribute = "pole_location";
+  event.new_value =
+      Value::MakeGeometry(geom::Geometry::FromPoint({1, 2}));
+  event.old_value =
+      Value::MakeGeometry(geom::Geometry::FromPoint({3, 4}));
+
+  const active::Event converted = active::FromDbEvent(event);
+  EXPECT_EQ(converted.name, "Before_Update");
+  EXPECT_EQ(converted.context.user, "u");
+  EXPECT_EQ(converted.Param("schema"), "s");
+  EXPECT_EQ(converted.Param("class"), "Pole");
+  EXPECT_EQ(converted.Param("object"), "42");
+  EXPECT_EQ(converted.Param("attribute"), "pole_location");
+  EXPECT_EQ(converted.Param("new_wkt"), "POINT (1 2)");
+  EXPECT_EQ(converted.Param("old_wkt"), "POINT (3 4)");
+  EXPECT_EQ(converted.Param("missing"), "");
+  EXPECT_NE(converted.ToString().find("Before_Update"), std::string::npos);
+}
+
+TEST(DbEvent, NonGeometryValuesProduceNoWktParams) {
+  DbEvent event;
+  event.kind = DbEventKind::kBeforeUpdate;
+  event.new_value = Value::Int(5);
+  const active::Event converted = active::FromDbEvent(event);
+  EXPECT_EQ(converted.Param("new_wkt"), "");
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -1,0 +1,198 @@
+#include "geodb/persist.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/phone_net.h"
+
+namespace agis::geodb {
+namespace {
+
+TEST(Persist, RoundTripsThePhoneNetwork) {
+  GeoDatabase db("phone_net");
+  workload::PhoneNetConfig config;
+  config.num_poles = 25;
+  config.num_ducts = 4;
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&db, config).ok());
+
+  const std::string text = SaveDatabaseToString(db);
+  EXPECT_NE(text.find("agisdb 1"), std::string::npos);
+  auto loaded = LoadDatabaseFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  GeoDatabase& copy = *loaded.value();
+
+  // Schema identical.
+  EXPECT_EQ(copy.schema().name(), "phone_net");
+  EXPECT_EQ(copy.schema().ClassNames(), db.schema().ClassNames());
+  EXPECT_EQ(copy.schema().FindClass("Pole")->parent(), "NetworkElement");
+  EXPECT_EQ(copy.schema().FindClass("Pole")->attributes().size(),
+            db.schema().FindClass("Pole")->attributes().size());
+  // Method *implementations* are host code and do not persist; the
+  // loaded class has no methods until they are re-registered.
+  EXPECT_EQ(copy.schema().FindMethodOf("Pole", "get_supplier_name"), nullptr);
+  ASSERT_TRUE(copy.RegisterMethod(
+                      "Pole",
+                      MethodDef{"get_supplier_name", "",
+                                [](const GeoDatabase&, const ObjectInstance&)
+                                    -> agis::Result<Value> {
+                                  return Value::String("re-registered");
+                                }})
+                  .ok());
+
+  // Instances identical, ids preserved.
+  for (const std::string& cls : db.schema().ClassNames()) {
+    EXPECT_EQ(copy.ExtentSize(cls), db.ExtentSize(cls)) << cls;
+  }
+  const auto poles = db.ScanExtent("Pole");
+  for (ObjectId id : poles.value()) {
+    const ObjectInstance* original = db.FindObject(id);
+    const ObjectInstance* restored = copy.FindObject(id);
+    ASSERT_NE(restored, nullptr) << "pole " << id;
+    EXPECT_EQ(restored->values().size(), original->values().size());
+    for (const auto& [attr, value] : original->values()) {
+      EXPECT_EQ(restored->Get(attr), value) << attr << " of pole " << id;
+    }
+  }
+
+  // The loaded spatial index answers like the original.
+  GetClassOptions q;
+  q.use_buffer_pool = false;
+  q.window = geom::BoundingBox(0, 0, 400, 400);
+  auto a = db.GetClass("Pole", q);
+  auto b = copy.GetClass("Pole", q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto sa = a.value().ids;
+  auto sb = b.value().ids;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+
+  // New inserts in the copy get fresh ids (next_id_ restored).
+  auto fresh = copy.Insert(
+      "Supplier", {{"supplier_name", Value::String("NewCo")}});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(db.FindObject(fresh.value()), nullptr)
+      << "fresh id collides with an existing one";
+}
+
+TEST(Persist, EscapingSurvivesHostileStrings) {
+  GeoDatabase db("s");
+  ClassDef cls("Note", "");
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Text("body")).ok());
+  ASSERT_TRUE(db.RegisterClass(std::move(cls)).ok());
+  const std::string hostile = "line1\nline2\t\"quoted\" \\slash end attr";
+  ASSERT_TRUE(db.Insert("Note", {{"body", Value::String(hostile)}}).ok());
+  auto loaded = LoadDatabaseFromString(SaveDatabaseToString(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const auto ids = loaded.value()->ScanExtent("Note");
+  EXPECT_EQ(loaded.value()->FindObject(ids.value()[0])
+                ->Get("body")
+                .string_value(),
+            hostile);
+}
+
+TEST(Persist, AllValueKindsRoundTrip) {
+  GeoDatabase db("s");
+  ClassDef cls("Everything", "");
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Bool("b")).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Int("i")).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Double("d")).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Blob("bytes")).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Geometry("g")).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::List("xs", AttrType::kInt)).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Tuple(
+                                   "t", {AttributeDef::String("s"),
+                                         AttributeDef::Double("v")}))
+                  .ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Ref("self", "Everything")).ok());
+  ASSERT_TRUE(db.RegisterClass(std::move(cls)).ok());
+
+  Blob blob;
+  blob.format = "bin";
+  blob.bytes = {0x00, 0xff, 0x42, 0x0a};
+  geom::Polygon poly;
+  poly.outer = {{0, 0}, {3.25, 0}, {3.25, 7.125}};
+  auto id = db.Insert(
+      "Everything",
+      {{"b", Value::Bool(true)},
+       {"i", Value::Int(-123456789)},
+       {"d", Value::Double(0.1 + 0.2)},
+       {"bytes", Value::MakeBlob(blob)},
+       {"g", Value::MakeGeometry(geom::Geometry::FromPolygon(poly))},
+       {"xs", Value::MakeList({Value::Int(1), Value::Int(2)})},
+       {"t", Value::MakeTuple({{"s", Value::String("x")},
+                               {"v", Value::Double(2.5)}})},
+       {"self", Value::Ref(1, "Everything")}});
+  ASSERT_TRUE(id.ok());
+
+  auto loaded = LoadDatabaseFromString(SaveDatabaseToString(db));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ObjectInstance* restored = loaded.value()->FindObject(id.value());
+  ASSERT_NE(restored, nullptr);
+  const ObjectInstance* original = db.FindObject(id.value());
+  for (const auto& [attr, value] : original->values()) {
+    EXPECT_EQ(restored->Get(attr), value) << attr;
+  }
+  // Exact double round-trip (0.1 + 0.2 != 0.3).
+  EXPECT_EQ(restored->Get("d").double_value(), 0.1 + 0.2);
+}
+
+TEST(Persist, FileRoundTrip) {
+  GeoDatabase db("s");
+  ClassDef cls("P", "");
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Geometry("loc")).ok());
+  ASSERT_TRUE(db.RegisterClass(std::move(cls)).ok());
+  ASSERT_TRUE(db.Insert("P", {{"loc", Value::MakeGeometry(
+                                          geom::Geometry::FromPoint(
+                                              {1, 2}))}})
+                  .ok());
+  const std::string path = ::testing::TempDir() + "/agis_persist_test.db";
+  ASSERT_TRUE(SaveDatabaseToFile(db, path).ok());
+  auto loaded = LoadDatabaseFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value()->ExtentSize("P"), 1u);
+  EXPECT_TRUE(LoadDatabaseFromFile("/no/such/file").status().IsNotFound());
+}
+
+TEST(Persist, RejectsCorruptInput) {
+  EXPECT_TRUE(LoadDatabaseFromString("").status().IsParseError());
+  EXPECT_TRUE(LoadDatabaseFromString("notdb 1").status().IsParseError());
+  EXPECT_TRUE(LoadDatabaseFromString("agisdb 99 schema \"s\"")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(LoadDatabaseFromString("agisdb 1 schema \"s\" bogus")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(LoadDatabaseFromString(
+                  "agisdb 1 schema \"s\" object 1 \"Missing\" end")
+                  .status()
+                  .IsNotFound());
+  // Truncated object block.
+  EXPECT_TRUE(LoadDatabaseFromString(
+                  "agisdb 1 schema \"s\" class \"P\" parent \"\" doc \"\" "
+                  "end object 1 \"P\" \"x\" int")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(RestoreObject, ValidatesInput) {
+  GeoDatabase db("s");
+  ClassDef cls("P", "");
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Int("x")).ok());
+  ASSERT_TRUE(db.RegisterClass(std::move(cls)).ok());
+  ObjectInstance no_id(0, "P");
+  EXPECT_TRUE(db.RestoreObject(std::move(no_id)).IsInvalidArgument());
+  ObjectInstance bad_class(5, "Nope");
+  EXPECT_TRUE(db.RestoreObject(std::move(bad_class)).IsNotFound());
+  ObjectInstance bad_type(5, "P");
+  bad_type.Set("x", Value::String("not an int"));
+  EXPECT_TRUE(db.RestoreObject(std::move(bad_type)).IsInvalidArgument());
+  ObjectInstance good(5, "P");
+  good.Set("x", Value::Int(1));
+  EXPECT_TRUE(db.RestoreObject(std::move(good)).ok());
+  ObjectInstance duplicate(5, "P");
+  EXPECT_TRUE(db.RestoreObject(std::move(duplicate)).IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -1,0 +1,110 @@
+#include "geodb/query_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "geodb/database.h"
+#include "workload/phone_net.h"
+
+namespace agis::geodb {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<GeoDatabase>("phone_net");
+    ASSERT_TRUE(workload::BuildPhoneNetwork(db_.get()).ok());
+  }
+
+  agis::Result<ParsedQuery> Parse(const std::string& text) {
+    return ParseQuery(text, db_->schema());
+  }
+
+  std::unique_ptr<GeoDatabase> db_;
+};
+
+TEST_F(QueryParserTest, BareSelect) {
+  auto q = Parse("select Pole");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->class_name, "Pole");
+  EXPECT_TRUE(q->options.predicates.empty());
+  EXPECT_FALSE(q->options.window.has_value());
+  EXPECT_FALSE(q->options.spatial.has_value());
+}
+
+TEST_F(QueryParserTest, WherePredicatesWithTypes) {
+  auto q = Parse(
+      "select Pole where pole_type >= 2 and status != 'repair' "
+      "and install_year < 1990");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->options.predicates.size(), 3u);
+  EXPECT_EQ(q->options.predicates[0].attribute, "pole_type");
+  EXPECT_EQ(q->options.predicates[0].op, CompareOp::kGe);
+  EXPECT_EQ(q->options.predicates[0].operand, Value::Int(2));
+  EXPECT_EQ(q->options.predicates[1].op, CompareOp::kNe);
+  EXPECT_EQ(q->options.predicates[1].operand, Value::String("repair"));
+  EXPECT_EQ(q->options.predicates[2].operand, Value::Int(1990));
+}
+
+TEST_F(QueryParserTest, ContainsAndBooleans) {
+  auto q = Parse("select Supplier where supplier_name contains Wood");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->options.predicates[0].op, CompareOp::kContains);
+  EXPECT_EQ(q->options.predicates[0].operand, Value::String("Wood"));
+}
+
+TEST_F(QueryParserTest, SpatialRelationWithWkt) {
+  auto q = Parse(
+      "select Pole inside POLYGON ((0 0, 500 0, 500 500, 0 500)) "
+      "limit 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(q->options.spatial.has_value());
+  EXPECT_EQ(q->options.spatial->relation, geom::TopoRelation::kInside);
+  EXPECT_TRUE(q->options.spatial->target.is_polygon());
+  EXPECT_EQ(q->options.limit, 10u);
+}
+
+TEST_F(QueryParserTest, WindowAndSubclasses) {
+  auto q = Parse("select NetworkElement with subclasses window 0 0 100 100");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->options.include_subclasses);
+  ASSERT_TRUE(q->options.window.has_value());
+  EXPECT_EQ(*q->options.window, geom::BoundingBox(0, 0, 100, 100));
+}
+
+TEST_F(QueryParserTest, SchemaChecked) {
+  EXPECT_TRUE(Parse("select Tower").status().IsNotFound());
+  EXPECT_TRUE(Parse("select Pole where bogus = 1").status().IsNotFound());
+}
+
+TEST_F(QueryParserTest, SyntaxErrors) {
+  EXPECT_TRUE(Parse("").status().IsParseError());
+  EXPECT_TRUE(Parse("fetch Pole").status().IsParseError());
+  EXPECT_TRUE(Parse("select Pole frobnicate").status().IsParseError());
+  EXPECT_TRUE(Parse("select Pole where pole_type ~ 2").status().IsParseError());
+  EXPECT_TRUE(Parse("select Pole limit many").status().IsParseError());
+  EXPECT_TRUE(Parse("select Pole window 1 2 3").status().IsParseError());
+  EXPECT_TRUE(Parse("select Pole inside").status().IsParseError());
+  EXPECT_TRUE(Parse("select Pole inside NOT_WKT").status().IsParseError());
+  EXPECT_TRUE(
+      Parse("select Pole where status = 'unterminated").status().IsParseError());
+}
+
+TEST_F(QueryParserTest, EndToEndExecution) {
+  auto q = Parse(
+      "select Pole where pole_type >= 2 "
+      "inside POLYGON ((0 0, 1000 0, 1000 1000, 0 1000))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto result = db_->GetClass(q->class_name, q->options);
+  ASSERT_TRUE(result.ok());
+  // Every returned pole satisfies both filters.
+  for (ObjectId id : result.value().ids) {
+    const ObjectInstance* obj = db_->FindObject(id);
+    EXPECT_GE(obj->Get("pole_type").int_value(), 2);
+  }
+  // And the filter is strictly narrower than the full extent.
+  EXPECT_LT(result.value().ids.size(), db_->ExtentSize("Pole"));
+  EXPECT_FALSE(result.value().ids.empty());
+}
+
+}  // namespace
+}  // namespace agis::geodb

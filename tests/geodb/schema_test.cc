@@ -1,0 +1,167 @@
+#include "geodb/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace agis::geodb {
+namespace {
+
+ClassDef SimpleClass(const std::string& name) {
+  ClassDef cls(name, "test class");
+  EXPECT_TRUE(cls.AddAttribute(AttributeDef::String("name")).ok());
+  return cls;
+}
+
+TEST(ClassDef, RejectsDuplicateAttributes) {
+  ClassDef cls("A", "");
+  EXPECT_TRUE(cls.AddAttribute(AttributeDef::Int("x")).ok());
+  EXPECT_TRUE(cls.AddAttribute(AttributeDef::Int("x")).IsAlreadyExists());
+  EXPECT_TRUE(cls.AddAttribute(AttributeDef::Int("")).IsInvalidArgument());
+}
+
+TEST(Schema, RegistrationAndLookup) {
+  Schema schema("s");
+  EXPECT_TRUE(schema.AddClass(SimpleClass("A")).ok());
+  EXPECT_TRUE(schema.AddClass(SimpleClass("A")).IsAlreadyExists());
+  EXPECT_TRUE(schema.HasClass("A"));
+  EXPECT_FALSE(schema.HasClass("B"));
+  EXPECT_EQ(schema.ClassNames(), (std::vector<std::string>{"A"}));
+}
+
+TEST(Schema, ParentMustExist) {
+  Schema schema("s");
+  ClassDef orphan("B", "");
+  orphan.set_parent("missing");
+  EXPECT_TRUE(schema.AddClass(std::move(orphan)).IsNotFound());
+}
+
+TEST(Schema, RefTargetMustExistOrBeSelf) {
+  Schema schema("s");
+  ClassDef a("A", "");
+  EXPECT_TRUE(a.AddAttribute(AttributeDef::Ref("other", "Missing")).ok());
+  EXPECT_TRUE(schema.AddClass(std::move(a)).IsNotFound());
+
+  ClassDef self("Node", "");
+  EXPECT_TRUE(self.AddAttribute(AttributeDef::Ref("next", "Node")).ok());
+  EXPECT_TRUE(schema.AddClass(std::move(self)).ok());
+}
+
+TEST(Schema, InheritanceChainLookups) {
+  Schema schema("s");
+  ClassDef base("Base", "");
+  EXPECT_TRUE(base.AddAttribute(AttributeDef::String("status")).ok());
+  EXPECT_TRUE(schema.AddClass(std::move(base)).ok());
+  ClassDef mid("Mid", "");
+  mid.set_parent("Base");
+  EXPECT_TRUE(mid.AddAttribute(AttributeDef::Int("level")).ok());
+  EXPECT_TRUE(schema.AddClass(std::move(mid)).ok());
+  ClassDef leaf("Leaf", "");
+  leaf.set_parent("Mid");
+  EXPECT_TRUE(leaf.AddAttribute(AttributeDef::Double("value")).ok());
+  EXPECT_TRUE(schema.AddClass(std::move(leaf)).ok());
+
+  EXPECT_TRUE(schema.IsSubclassOf("Leaf", "Base"));
+  EXPECT_TRUE(schema.IsSubclassOf("Leaf", "Leaf"));
+  EXPECT_FALSE(schema.IsSubclassOf("Base", "Leaf"));
+  EXPECT_EQ(schema.SubclassesOf("Base"),
+            (std::vector<std::string>{"Mid"}));
+
+  auto attrs = schema.AllAttributesOf("Leaf");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs.value().size(), 3u);
+  // Ancestors first.
+  EXPECT_EQ(attrs.value()[0].name, "status");
+  EXPECT_EQ(attrs.value()[2].name, "value");
+
+  EXPECT_NE(schema.FindAttributeOf("Leaf", "status"), nullptr);
+  EXPECT_EQ(schema.FindAttributeOf("Base", "value"), nullptr);
+  EXPECT_TRUE(schema.AllAttributesOf("Nope").status().IsNotFound());
+}
+
+TEST(AttributeDef, TypeStrings) {
+  EXPECT_EQ(AttributeDef::Int("x").TypeString(), "int");
+  EXPECT_EQ(AttributeDef::Ref("s", "Supplier").TypeString(), "Supplier");
+  EXPECT_EQ(AttributeDef::List("xs", AttrType::kInt).TypeString(),
+            "list<int>");
+  const AttributeDef tuple = AttributeDef::Tuple(
+      "t", {AttributeDef::String("a"), AttributeDef::Double("b")});
+  EXPECT_EQ(tuple.TypeString(), "tuple(a: string, b: double)");
+}
+
+TEST(Schema, ToStringListsClasses) {
+  Schema schema("phone_net");
+  EXPECT_TRUE(schema.AddClass(SimpleClass("Pole")).ok());
+  const std::string text = schema.ToString();
+  EXPECT_NE(text.find("schema phone_net"), std::string::npos);
+  EXPECT_NE(text.find("class Pole"), std::string::npos);
+  EXPECT_NE(text.find("name: string;"), std::string::npos);
+}
+
+class CheckValueTypeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClassDef supplier("Supplier", "");
+    ASSERT_TRUE(
+        supplier.AddAttribute(AttributeDef::String("supplier_name")).ok());
+    ASSERT_TRUE(schema_.AddClass(std::move(supplier)).ok());
+    ClassDef special("SpecialSupplier", "");
+    special.set_parent("Supplier");
+    ASSERT_TRUE(schema_.AddClass(std::move(special)).ok());
+  }
+  Schema schema_{"s"};
+};
+
+TEST_F(CheckValueTypeTest, NullHandling) {
+  AttributeDef optional = AttributeDef::Int("x");
+  EXPECT_TRUE(CheckValueType(schema_, optional, Value()).ok());
+  AttributeDef required = AttributeDef::Int("x");
+  required.required = true;
+  EXPECT_TRUE(
+      CheckValueType(schema_, required, Value()).IsInvalidArgument());
+}
+
+TEST_F(CheckValueTypeTest, IntWidensToDouble) {
+  EXPECT_TRUE(
+      CheckValueType(schema_, AttributeDef::Double("d"), Value::Int(3)).ok());
+  EXPECT_TRUE(CheckValueType(schema_, AttributeDef::Int("i"),
+                             Value::Double(3.0))
+                  .IsInvalidArgument());
+}
+
+TEST_F(CheckValueTypeTest, TupleFieldsChecked) {
+  const AttributeDef tuple = AttributeDef::Tuple(
+      "composition",
+      {AttributeDef::String("material"), AttributeDef::Double("height")});
+  EXPECT_TRUE(CheckValueType(schema_, tuple,
+                             Value::MakeTuple(
+                                 {{"material", Value::String("wood")}}))
+                  .ok());
+  EXPECT_TRUE(CheckValueType(schema_, tuple,
+                             Value::MakeTuple({{"bogus", Value::Int(1)}}))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CheckValueType(schema_, tuple,
+                             Value::MakeTuple(
+                                 {{"material", Value::Int(1)}}))
+                  .IsInvalidArgument());
+}
+
+TEST_F(CheckValueTypeTest, RefsRespectSubclassing) {
+  const AttributeDef ref = AttributeDef::Ref("sup", "Supplier");
+  EXPECT_TRUE(CheckValueType(schema_, ref, Value::Ref(1, "Supplier")).ok());
+  EXPECT_TRUE(
+      CheckValueType(schema_, ref, Value::Ref(1, "SpecialSupplier")).ok());
+  EXPECT_TRUE(CheckValueType(schema_, ref, Value::Ref(1, "Other"))
+                  .IsInvalidArgument());
+}
+
+TEST_F(CheckValueTypeTest, ListElementsChecked) {
+  const AttributeDef list = AttributeDef::List("xs", AttrType::kInt);
+  EXPECT_TRUE(CheckValueType(schema_, list,
+                             Value::MakeList({Value::Int(1), Value::Int(2)}))
+                  .ok());
+  EXPECT_TRUE(CheckValueType(schema_, list,
+                             Value::MakeList({Value::String("x")}))
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -1,0 +1,91 @@
+#include "geodb/value.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+
+namespace agis::geodb {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+  EXPECT_EQ(v.ToDisplayString(), "null");
+}
+
+TEST(Value, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+}
+
+TEST(Value, DisplayStrings) {
+  EXPECT_EQ(Value::Bool(false).ToDisplayString(), "false");
+  EXPECT_EQ(Value::Int(42).ToDisplayString(), "42");
+  EXPECT_EQ(Value::Double(3.5).ToDisplayString(), "3.5");
+  EXPECT_EQ(Value::String("wood").ToDisplayString(), "wood");
+  Blob b;
+  b.format = "pbm";
+  b.bytes = {1, 2, 3};
+  EXPECT_EQ(Value::MakeBlob(b).ToDisplayString(), "<blob pbm 3B>");
+  EXPECT_EQ(Value::Ref(7, "Supplier").ToDisplayString(), "Supplier#7");
+  EXPECT_EQ(
+      Value::MakeGeometry(geom::Geometry::FromPoint({1, 2})).ToDisplayString(),
+      "POINT (1 2)");
+}
+
+TEST(Value, TupleDisplayAndFieldAccess) {
+  const Value v = Value::MakeTuple({{"material", Value::String("wood")},
+                                    {"height", Value::Double(9.5)}});
+  EXPECT_EQ(v.ToDisplayString(), "(material: wood, height: 9.5)");
+  EXPECT_EQ(v.TupleField_("material").value().string_value(), "wood");
+  EXPECT_TRUE(v.TupleField_("nope").status().IsNotFound());
+  EXPECT_TRUE(Value::Int(1).TupleField_("x").status().IsInvalidArgument());
+}
+
+TEST(Value, NestedTuplesAndLists) {
+  const Value inner = Value::MakeTuple({{"x", Value::Int(1)}});
+  const Value v = Value::MakeList({inner, Value::Int(2)});
+  EXPECT_EQ(v.ToDisplayString(), "[(x: 1), 2]");
+  EXPECT_EQ(v.list_value().size(), 2u);
+}
+
+TEST(Value, AsDoubleCoercesNumerics) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble().value(), 2.5);
+  EXPECT_TRUE(Value::String("x").AsDouble().status().IsInvalidArgument());
+}
+
+TEST(Value, EqualityAcrossKinds) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Double(3.0));  // Distinct kinds.
+  EXPECT_EQ(Value(), Value());
+  EXPECT_EQ(Value::Ref(1, "A"), Value::Ref(1, "A"));
+  EXPECT_FALSE(Value::Ref(1, "A") == Value::Ref(1, "B"));
+}
+
+TEST(CompareValues, NumericCrossKind) {
+  EXPECT_EQ(CompareValues(Value::Int(2), Value::Double(2.0)).value(), 0);
+  EXPECT_LT(CompareValues(Value::Int(1), Value::Double(1.5)).value(), 0);
+  EXPECT_GT(CompareValues(Value::Double(3.5), Value::Int(3)).value(), 0);
+}
+
+TEST(CompareValues, StringsAndBools) {
+  EXPECT_LT(CompareValues(Value::String("a"), Value::String("b")).value(), 0);
+  EXPECT_EQ(CompareValues(Value::String("x"), Value::String("x")).value(), 0);
+  EXPECT_GT(CompareValues(Value::Bool(true), Value::Bool(false)).value(), 0);
+}
+
+TEST(CompareValues, IncomparableKindsError) {
+  EXPECT_TRUE(CompareValues(Value::Int(1), Value::String("1"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CompareValues(Value::Ref(1, "A"), Value::Ref(1, "A"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -1,0 +1,149 @@
+#include "geom/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "geom/predicates.h"
+
+namespace agis::geom {
+namespace {
+
+TEST(SimplifyLine, RemovesCollinearNoise) {
+  LineString line;
+  for (int i = 0; i <= 10; ++i) {
+    line.points.push_back({static_cast<double>(i), 0.001 * (i % 2)});
+  }
+  const LineString simplified = SimplifyLine(line, 0.01);
+  EXPECT_EQ(simplified.points.size(), 2u);
+  EXPECT_EQ(simplified.points.front(), line.points.front());
+  EXPECT_EQ(simplified.points.back(), line.points.back());
+}
+
+TEST(SimplifyLine, KeepsSignificantCorners) {
+  LineString line{{{0, 0}, {5, 0}, {5, 5}, {10, 5}}};
+  const LineString simplified = SimplifyLine(line, 0.5);
+  EXPECT_EQ(simplified.points.size(), 4u);  // Every corner matters.
+}
+
+TEST(SimplifyLine, ZeroToleranceAndTinyLinesUnchanged) {
+  LineString line{{{0, 0}, {1, 1}, {2, 0}}};
+  EXPECT_EQ(SimplifyLine(line, 0).points.size(), 3u);
+  LineString two{{{0, 0}, {1, 1}}};
+  EXPECT_EQ(SimplifyLine(two, 10).points.size(), 2u);
+}
+
+// Property: simplified line stays within tolerance of the original
+// vertices and never gains points.
+class SimplifyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyProperty, HausdorffBoundHolds) {
+  agis::Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    LineString line;
+    double x = 0;
+    double y = 0;
+    const size_t n = 10 + rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      x += rng.UniformDouble(0.2, 2.0);
+      y += rng.UniformDouble(-1.0, 1.0);
+      line.points.push_back({x, y});
+    }
+    const double tolerance = 0.5;
+    const LineString simplified = SimplifyLine(line, tolerance);
+    ASSERT_GE(simplified.points.size(), 2u);
+    EXPECT_LE(simplified.points.size(), line.points.size());
+    const Geometry simple_geom = Geometry::FromLineString(simplified);
+    for (const Point& p : line.points) {
+      EXPECT_LE(Distance(Geometry::FromPoint(p), simple_geom),
+                tolerance + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty,
+                         ::testing::Values(41, 42, 43, 44));
+
+TEST(SimplifyGeometry, PolygonsNeverCollapse) {
+  Polygon poly;
+  for (int i = 0; i < 32; ++i) {
+    const double angle = 2 * M_PI * i / 32.0;
+    poly.outer.push_back({10 * std::cos(angle), 10 * std::sin(angle)});
+  }
+  const Geometry simplified =
+      Simplify(Geometry::FromPolygon(poly), 1.0);
+  ASSERT_TRUE(simplified.is_polygon());
+  EXPECT_GE(simplified.polygon().outer.size(), 3u);
+  EXPECT_LT(simplified.polygon().outer.size(), 32u);
+  // Area roughly preserved (within the tolerance band).
+  EXPECT_NEAR(simplified.polygon().Area(), poly.Area(),
+              poly.OuterPerimeter() * 1.0);
+  // Points pass through untouched.
+  const Geometry pt = Geometry::FromPoint({1, 2});
+  EXPECT_EQ(Simplify(pt, 5.0), pt);
+}
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  auto hull = ConvexHull({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}});
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->outer.size(), 4u);
+  EXPECT_DOUBLE_EQ(hull->Area(), 16.0);
+  // Every input point is inside or on the hull.
+  for (const Point& p : {Point{2, 2}, Point{1, 3}, Point{0, 0}}) {
+    EXPECT_NE(ClassifyPointInPolygon(p, *hull), RingSide::kOutside);
+  }
+}
+
+TEST(ConvexHull, RejectsDegenerateInput) {
+  EXPECT_TRUE(ConvexHull({{0, 0}, {1, 1}}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}}).status().IsInvalidArgument());
+  EXPECT_TRUE(ConvexHull({{0, 0}, {0, 0}, {0, 0}}).status().IsInvalidArgument());
+}
+
+// Property: hull contains all points and is convex.
+TEST(ConvexHull, RandomPointCloudsProperty) {
+  agis::Rng rng(77);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<Point> cloud;
+    const size_t n = 10 + rng.Uniform(100);
+    for (size_t i = 0; i < n; ++i) {
+      cloud.push_back({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)});
+    }
+    auto hull = ConvexHull(cloud);
+    ASSERT_TRUE(hull.ok());
+    for (const Point& p : cloud) {
+      EXPECT_NE(ClassifyPointInPolygon(p, *hull), RingSide::kOutside);
+    }
+    // Convexity: every consecutive triple turns the same way.
+    const auto& ring = hull->outer;
+    for (size_t i = 0; i < ring.size(); ++i) {
+      EXPECT_GE(Cross(ring[i], ring[(i + 1) % ring.size()],
+                      ring[(i + 2) % ring.size()]),
+                -1e-9);
+    }
+  }
+}
+
+TEST(BufferPoint, ApproximatesDisc) {
+  const Polygon disc = BufferPoint({5, 5}, 2.0, 32);
+  EXPECT_EQ(disc.outer.size(), 32u);
+  // Area approaches pi*r^2 from below.
+  EXPECT_NEAR(disc.Area(), M_PI * 4.0, 0.2);
+  EXPECT_EQ(ClassifyPointInPolygon({5, 5}, disc), RingSide::kInside);
+  EXPECT_EQ(ClassifyPointInPolygon({8, 5}, disc), RingSide::kOutside);
+}
+
+TEST(BufferLine, CoversTheLine) {
+  LineString line{{{0, 0}, {10, 0}, {10, 10}}};
+  auto corridor = BufferLine(line, 1.0);
+  ASSERT_TRUE(corridor.ok());
+  // Every vertex and midpoint is strictly inside the corridor.
+  for (const Point& p :
+       {Point{0, 0}, Point{5, 0}, Point{10, 0}, Point{10, 5}, Point{10, 10}}) {
+    EXPECT_EQ(ClassifyPointInPolygon(p, *corridor), RingSide::kInside);
+  }
+  EXPECT_TRUE(BufferLine(LineString{}, 1.0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace agis::geom

@@ -1,0 +1,131 @@
+#include "geom/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/bbox.h"
+#include "geom/point.h"
+
+namespace agis::geom {
+namespace {
+
+TEST(Point, EqualityUsesEpsilon) {
+  EXPECT_EQ((Point{1, 2}), (Point{1 + 1e-12, 2 - 1e-12}));
+  EXPECT_FALSE((Point{1, 2}) == (Point{1.1, 2}));
+}
+
+TEST(Point, DistanceAndCross) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_GT(Cross({0, 0}, {1, 0}, {0, 1}), 0.0);  // Left turn.
+  EXPECT_LT(Cross({0, 0}, {1, 0}, {0, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(Cross({0, 0}, {1, 1}, {2, 2}), 0.0);
+}
+
+TEST(BoundingBox, EmptyByDefault) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);
+  box.Expand(Point{3, 4});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Width(), 0.0);
+  EXPECT_TRUE(box.Contains(Point{3, 4}));
+}
+
+TEST(BoundingBox, ExpandUnionContains) {
+  BoundingBox a(0, 0, 2, 2);
+  BoundingBox b(1, 1, 4, 3);
+  const BoundingBox u = BoundingBox::Union(a, b);
+  EXPECT_EQ(u, BoundingBox(0, 0, 4, 3));
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(BoundingBox(3, 3, 4, 4)));
+  // Touching boxes intersect.
+  EXPECT_TRUE(a.Intersects(BoundingBox(2, 0, 3, 2)));
+}
+
+TEST(BoundingBox, EnlargementArea) {
+  BoundingBox a(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(BoundingBox::EnlargementArea(a, BoundingBox(1, 1, 2, 2)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(BoundingBox::EnlargementArea(a, BoundingBox(0, 0, 4, 2)),
+                   4.0);
+}
+
+TEST(BoundingBox, InflatedAndCenter) {
+  BoundingBox a(0, 0, 2, 4);
+  const BoundingBox inflated = a.Inflated(1);
+  EXPECT_EQ(inflated, BoundingBox(-1, -1, 3, 5));
+  EXPECT_EQ(a.Center(), (Point{1, 2}));
+  EXPECT_DOUBLE_EQ(a.Margin(), 6.0);
+}
+
+TEST(LineString, LengthAndClosed) {
+  LineString ls{{{0, 0}, {3, 0}, {3, 4}}};
+  EXPECT_DOUBLE_EQ(ls.Length(), 7.0);
+  EXPECT_FALSE(ls.IsClosed());
+  LineString ring{{{0, 0}, {1, 0}, {1, 1}, {0, 0}}};
+  EXPECT_TRUE(ring.IsClosed());
+}
+
+TEST(Polygon, AreaWithHoles) {
+  Polygon poly;
+  poly.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  EXPECT_DOUBLE_EQ(poly.Area(), 100.0);
+  poly.holes.push_back({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  EXPECT_DOUBLE_EQ(poly.Area(), 96.0);
+  EXPECT_DOUBLE_EQ(poly.OuterPerimeter(), 40.0);
+}
+
+TEST(Polygon, AreaIndependentOfOrientation) {
+  Polygon ccw;
+  ccw.outer = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  Polygon cw;
+  cw.outer = {{0, 0}, {0, 4}, {4, 4}, {4, 0}};
+  EXPECT_DOUBLE_EQ(ccw.Area(), cw.Area());
+}
+
+TEST(Geometry, KindsAndBounds) {
+  const Geometry pt = Geometry::FromPoint({2, 3});
+  EXPECT_TRUE(pt.is_point());
+  EXPECT_EQ(pt.Dimension(), 0);
+  EXPECT_EQ(pt.Bounds(), BoundingBox(2, 3, 2, 3));
+
+  const Geometry line =
+      Geometry::FromLineString(LineString{{{0, 0}, {5, 2}}});
+  EXPECT_EQ(line.Dimension(), 1);
+  EXPECT_EQ(line.Bounds(), BoundingBox(0, 0, 5, 2));
+  EXPECT_EQ(line.NumPoints(), 2u);
+
+  Polygon poly;
+  poly.outer = {{0, 0}, {4, 0}, {4, 4}};
+  const Geometry area = Geometry::FromPolygon(poly);
+  EXPECT_EQ(area.Dimension(), 2);
+  EXPECT_EQ(area.KindName(), "POLYGON");
+
+  const Geometry mp = Geometry::FromMultiPoint({{1, 1}, {2, 2}});
+  EXPECT_EQ(mp.NumPoints(), 2u);
+  EXPECT_EQ(mp.Bounds(), BoundingBox(1, 1, 2, 2));
+}
+
+TEST(Geometry, DefaultIsEmptyMultipoint) {
+  const Geometry g;
+  EXPECT_TRUE(g.is_multipoint());
+  EXPECT_TRUE(g.Bounds().empty());
+  EXPECT_EQ(g.NumPoints(), 0u);
+}
+
+TEST(Geometry, EqualityByKindAndCoords) {
+  EXPECT_EQ(Geometry::FromPoint({1, 2}), Geometry::FromPoint({1, 2}));
+  EXPECT_FALSE(Geometry::FromPoint({1, 2}) == Geometry::FromPoint({1, 3}));
+  EXPECT_FALSE(Geometry::FromPoint({1, 2}) ==
+               Geometry::FromMultiPoint({{1, 2}}));
+  Polygon a;
+  a.outer = {{0, 0}, {1, 0}, {1, 1}};
+  Polygon b = a;
+  EXPECT_EQ(Geometry::FromPolygon(a), Geometry::FromPolygon(b));
+  b.holes.push_back({{0.1, 0.1}, {0.2, 0.1}, {0.2, 0.2}});
+  EXPECT_FALSE(Geometry::FromPolygon(a) == Geometry::FromPolygon(b));
+}
+
+}  // namespace
+}  // namespace agis::geom

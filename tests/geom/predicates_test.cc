@@ -1,0 +1,232 @@
+#include "geom/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace agis::geom {
+namespace {
+
+Geometry Pt(double x, double y) { return Geometry::FromPoint({x, y}); }
+
+Geometry Line(std::vector<Point> pts) {
+  return Geometry::FromLineString(LineString{std::move(pts)});
+}
+
+Geometry Rect(double x0, double y0, double x1, double y1) {
+  Polygon poly;
+  poly.outer = {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}};
+  return Geometry::FromPolygon(poly);
+}
+
+TEST(Segments, BasicIntersection) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Shared endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(Segments, ProperCrossExcludesTouching) {
+  EXPECT_TRUE(SegmentsProperlyCross({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsProperlyCross({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  EXPECT_FALSE(SegmentsProperlyCross({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // T-junction: endpoint on interior is not a proper cross.
+  EXPECT_FALSE(SegmentsProperlyCross({0, 0}, {2, 0}, {1, 0}, {1, 2}));
+}
+
+TEST(PointOnSegment, EndpointsAndInterior) {
+  EXPECT_TRUE(PointOnSegment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({0, 0}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(PointOnSegment({1, 1.01}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(PointOnSegment({3, 3}, {0, 0}, {2, 2}));
+}
+
+TEST(RingClassification, InsideOutsideBoundary) {
+  const std::vector<Point> square = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_EQ(ClassifyPointInRing({2, 2}, square), RingSide::kInside);
+  EXPECT_EQ(ClassifyPointInRing({5, 2}, square), RingSide::kOutside);
+  EXPECT_EQ(ClassifyPointInRing({0, 2}, square), RingSide::kBoundary);
+  EXPECT_EQ(ClassifyPointInRing({4, 4}, square), RingSide::kBoundary);
+}
+
+TEST(PolygonClassification, HolesRespected) {
+  Polygon poly;
+  poly.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  poly.holes.push_back({{4, 4}, {6, 4}, {6, 6}, {4, 6}});
+  EXPECT_EQ(ClassifyPointInPolygon({2, 2}, poly), RingSide::kInside);
+  EXPECT_EQ(ClassifyPointInPolygon({5, 5}, poly), RingSide::kOutside);
+  EXPECT_EQ(ClassifyPointInPolygon({4, 5}, poly), RingSide::kBoundary);
+  EXPECT_EQ(ClassifyPointInPolygon({-1, 5}, poly), RingSide::kOutside);
+}
+
+TEST(Distances, PointSegmentAndSegmentSegment) {
+  EXPECT_DOUBLE_EQ(DistancePointSegment({0, 3}, {-1, 0}, {1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({5, 0}, {-1, 0}, {1, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment({0, 0}, {1, 0}, {0, 2}, {1, 2}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(DistanceSegmentSegment({0, 0}, {2, 2}, {0, 2}, {2, 0}),
+                   0.0);
+}
+
+TEST(GeometryDistance, MixedKinds) {
+  EXPECT_DOUBLE_EQ(Distance(Pt(0, 0), Pt(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Pt(0, 5), Line({{-1, 0}, {1, 0}})), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Pt(5, 5), Rect(0, 0, 4, 4)), std::sqrt(2.0));
+  // Point inside polygon: distance 0.
+  EXPECT_DOUBLE_EQ(Distance(Pt(2, 2), Rect(0, 0, 4, 4)), 0.0);
+}
+
+TEST(Intersects, PointCases) {
+  EXPECT_TRUE(Intersects(Pt(1, 1), Pt(1, 1)));
+  EXPECT_FALSE(Intersects(Pt(1, 1), Pt(1, 2)));
+  EXPECT_TRUE(Intersects(Pt(1, 0), Line({{0, 0}, {2, 0}})));
+  EXPECT_TRUE(Intersects(Pt(2, 2), Rect(0, 0, 4, 4)));
+  EXPECT_TRUE(Intersects(Pt(0, 2), Rect(0, 0, 4, 4)));  // Boundary.
+  EXPECT_FALSE(Intersects(Pt(9, 9), Rect(0, 0, 4, 4)));
+}
+
+TEST(Intersects, LineAndPolygonCases) {
+  EXPECT_TRUE(Intersects(Line({{0, 0}, {2, 2}}), Line({{0, 2}, {2, 0}})));
+  EXPECT_FALSE(Intersects(Line({{0, 0}, {1, 0}}), Line({{0, 1}, {1, 1}})));
+  // Line through polygon without vertex inside.
+  EXPECT_TRUE(Intersects(Line({{-1, 2}, {5, 2}}), Rect(0, 0, 4, 4)));
+  // Line fully inside polygon.
+  EXPECT_TRUE(Intersects(Line({{1, 1}, {2, 2}}), Rect(0, 0, 4, 4)));
+  // Polygon containing polygon.
+  EXPECT_TRUE(Intersects(Rect(0, 0, 10, 10), Rect(2, 2, 3, 3)));
+  EXPECT_FALSE(Intersects(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)));
+}
+
+TEST(ContainsWithin, PolygonOverOthers) {
+  EXPECT_TRUE(Contains(Rect(0, 0, 10, 10), Pt(5, 5)));
+  EXPECT_FALSE(Contains(Rect(0, 0, 10, 10), Pt(0, 5)));  // Boundary only.
+  EXPECT_TRUE(Contains(Rect(0, 0, 10, 10), Line({{1, 1}, {9, 9}})));
+  EXPECT_FALSE(Contains(Rect(0, 0, 10, 10), Line({{1, 1}, {11, 11}})));
+  EXPECT_TRUE(Contains(Rect(0, 0, 10, 10), Rect(2, 2, 5, 5)));
+  EXPECT_FALSE(Contains(Rect(2, 2, 5, 5), Rect(0, 0, 10, 10)));
+  EXPECT_TRUE(Within(Rect(2, 2, 5, 5), Rect(0, 0, 10, 10)));
+  // Equal polygons contain each other.
+  EXPECT_TRUE(Contains(Rect(0, 0, 4, 4), Rect(0, 0, 4, 4)));
+}
+
+TEST(ContainsWithin, HoleBlocksContainment) {
+  Polygon donut;
+  donut.outer = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  donut.holes.push_back({{3, 3}, {7, 3}, {7, 7}, {3, 7}});
+  const Geometry g = Geometry::FromPolygon(donut);
+  EXPECT_FALSE(Contains(g, Pt(5, 5)));        // In the hole.
+  EXPECT_TRUE(Contains(g, Pt(1, 1)));
+  EXPECT_FALSE(Contains(g, Rect(4, 4, 6, 6)));  // Entirely in hole.
+  EXPECT_FALSE(Contains(g, Rect(2, 2, 8, 8)));  // Straddles the hole.
+  EXPECT_FALSE(Contains(g, Line({{1, 5}, {9, 5}})));  // Crosses the hole.
+  EXPECT_TRUE(Contains(g, Line({{1, 1}, {9, 1}})));
+}
+
+TEST(Touches, BoundaryOnlyContact) {
+  // Two squares sharing an edge.
+  EXPECT_TRUE(Touches(Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)));
+  // Sharing a corner.
+  EXPECT_TRUE(Touches(Rect(0, 0, 2, 2), Rect(2, 2, 4, 4)));
+  // Overlapping: not touching.
+  EXPECT_FALSE(Touches(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)));
+  // Point on boundary touches polygon.
+  EXPECT_TRUE(Touches(Pt(0, 1), Rect(0, 0, 2, 2)));
+  EXPECT_FALSE(Touches(Pt(1, 1), Rect(0, 0, 2, 2)));
+  // Line ending on polygon boundary.
+  EXPECT_TRUE(Touches(Line({{-2, 1}, {0, 1}}), Rect(0, 0, 2, 2)));
+  // Lines meeting at endpoints.
+  EXPECT_TRUE(Touches(Line({{0, 0}, {1, 1}}), Line({{1, 1}, {2, 0}})));
+}
+
+TEST(Crosses, LineThroughPolygon) {
+  EXPECT_TRUE(Crosses(Line({{-1, 1}, {5, 1}}), Rect(0, 0, 4, 4)));
+  // Line fully inside does not cross.
+  EXPECT_FALSE(Crosses(Line({{1, 1}, {2, 2}}), Rect(0, 0, 4, 4)));
+  // Line along the boundary does not cross.
+  EXPECT_FALSE(Crosses(Line({{0, 0}, {4, 0}}), Rect(0, 0, 4, 4)));
+  // X-crossing lines.
+  EXPECT_TRUE(Crosses(Line({{0, 0}, {2, 2}}), Line({{0, 2}, {2, 0}})));
+  // Collinear overlap is overlap, not crossing.
+  EXPECT_FALSE(Crosses(Line({{0, 0}, {2, 0}}), Line({{1, 0}, {3, 0}})));
+}
+
+TEST(Overlaps, SameDimensionPartialSharing) {
+  EXPECT_TRUE(Overlaps(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)));
+  EXPECT_FALSE(Overlaps(Rect(0, 0, 4, 4), Rect(1, 1, 2, 2)));  // Contained.
+  EXPECT_FALSE(Overlaps(Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)));  // Touches.
+  EXPECT_TRUE(Overlaps(Line({{0, 0}, {2, 0}}), Line({{1, 0}, {3, 0}})));
+  EXPECT_FALSE(Overlaps(Line({{0, 0}, {2, 2}}), Line({{0, 2}, {2, 0}})));
+  EXPECT_FALSE(Overlaps(Pt(1, 1), Rect(0, 0, 2, 2)));  // Dim mismatch.
+}
+
+// Property suite: predicate consistency over random shape pairs.
+class PredicateConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateConsistency, InvariantsHold) {
+  agis::Rng rng(GetParam());
+  auto random_geometry = [&rng]() -> Geometry {
+    switch (rng.Uniform(3)) {
+      case 0:
+        return Geometry::FromPoint(
+            {rng.UniformDouble(0, 20), rng.UniformDouble(0, 20)});
+      case 1: {
+        LineString ls;
+        const size_t n = 2 + rng.Uniform(3);
+        for (size_t i = 0; i < n; ++i) {
+          ls.points.push_back(
+              {rng.UniformDouble(0, 20), rng.UniformDouble(0, 20)});
+        }
+        return Geometry::FromLineString(ls);
+      }
+      default: {
+        const double x = rng.UniformDouble(0, 15);
+        const double y = rng.UniformDouble(0, 15);
+        const double w = 1 + rng.UniformDouble(0, 5);
+        const double h = 1 + rng.UniformDouble(0, 5);
+        return Rect(x, y, x + w, y + h);
+      }
+    }
+  };
+  for (int iter = 0; iter < 60; ++iter) {
+    const Geometry a = random_geometry();
+    const Geometry b = random_geometry();
+    // Disjoint is the negation of Intersects, both ways.
+    EXPECT_EQ(Disjoint(a, b), !Intersects(a, b));
+    EXPECT_EQ(Intersects(a, b), Intersects(b, a));
+    // Interiors intersecting implies intersecting.
+    if (InteriorsIntersect(a, b)) {
+      EXPECT_TRUE(Intersects(a, b));
+    }
+    // Contains implies Intersects and interiors intersecting.
+    if (Contains(a, b)) {
+      EXPECT_TRUE(Intersects(a, b));
+      EXPECT_TRUE(InteriorsIntersect(a, b));
+      EXPECT_TRUE(Within(b, a));
+    }
+    // Touches implies intersecting without interior sharing, and is
+    // symmetric.
+    if (Touches(a, b)) {
+      EXPECT_TRUE(Intersects(a, b));
+      EXPECT_FALSE(InteriorsIntersect(a, b));
+      EXPECT_TRUE(Touches(b, a));
+    }
+    // Overlaps is symmetric and excludes containment.
+    if (Overlaps(a, b)) {
+      EXPECT_TRUE(Overlaps(b, a));
+      EXPECT_FALSE(Contains(a, b));
+      EXPECT_FALSE(Contains(b, a));
+    }
+    // Distance 0 iff intersecting.
+    EXPECT_EQ(Distance(a, b) <= 1e-9, Intersects(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateConsistency,
+                         ::testing::Range<uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace agis::geom

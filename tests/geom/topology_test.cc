@@ -1,0 +1,102 @@
+#include "geom/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+
+namespace agis::geom {
+namespace {
+
+Geometry Pt(double x, double y) { return Geometry::FromPoint({x, y}); }
+
+Geometry Rect(double x0, double y0, double x1, double y1) {
+  Polygon poly;
+  poly.outer = {{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}};
+  return Geometry::FromPolygon(poly);
+}
+
+Geometry Line(std::vector<Point> pts) {
+  return Geometry::FromLineString(LineString{std::move(pts)});
+}
+
+TEST(Relate, ClassifiesBasicPairs) {
+  EXPECT_EQ(Relate(Pt(0, 0), Pt(5, 5)), TopoRelation::kDisjoint);
+  EXPECT_EQ(Relate(Pt(1, 1), Pt(1, 1)), TopoRelation::kEquals);
+  EXPECT_EQ(Relate(Rect(0, 0, 4, 4), Pt(2, 2)), TopoRelation::kContains);
+  EXPECT_EQ(Relate(Pt(2, 2), Rect(0, 0, 4, 4)), TopoRelation::kInside);
+  EXPECT_EQ(Relate(Rect(0, 0, 2, 2), Rect(2, 0, 4, 2)),
+            TopoRelation::kTouches);
+  EXPECT_EQ(Relate(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)),
+            TopoRelation::kOverlaps);
+  EXPECT_EQ(Relate(Line({{-1, 1}, {5, 1}}), Rect(0, 0, 4, 4)),
+            TopoRelation::kCrosses);
+  EXPECT_EQ(Relate(Rect(0, 0, 4, 4), Rect(0, 0, 4, 4)),
+            TopoRelation::kEquals);
+}
+
+TEST(Relate, PointOnBoundaryIsTouches) {
+  EXPECT_EQ(Relate(Pt(0, 2), Rect(0, 0, 4, 4)), TopoRelation::kTouches);
+}
+
+TEST(Satisfies, MatchesRelateForSpecificRelations) {
+  const Geometry a = Rect(0, 0, 2, 2);
+  const Geometry b = Rect(1, 1, 3, 3);
+  EXPECT_TRUE(Satisfies(a, b, TopoRelation::kOverlaps));
+  EXPECT_TRUE(Satisfies(a, b, TopoRelation::kIntersects));
+  EXPECT_FALSE(Satisfies(a, b, TopoRelation::kDisjoint));
+  EXPECT_FALSE(Satisfies(a, b, TopoRelation::kTouches));
+}
+
+TEST(Satisfies, IntersectsIsGeneric) {
+  EXPECT_TRUE(Satisfies(Pt(2, 2), Rect(0, 0, 4, 4),
+                        TopoRelation::kIntersects));
+  EXPECT_TRUE(Satisfies(Rect(0, 0, 2, 2), Rect(2, 0, 4, 2),
+                        TopoRelation::kIntersects));
+}
+
+TEST(ParseTopoRelation, NamesAndAliases) {
+  EXPECT_EQ(ParseTopoRelation("disjoint").value(), TopoRelation::kDisjoint);
+  EXPECT_EQ(ParseTopoRelation("TOUCHES").value(), TopoRelation::kTouches);
+  EXPECT_EQ(ParseTopoRelation("meets").value(), TopoRelation::kTouches);
+  EXPECT_EQ(ParseTopoRelation("within").value(), TopoRelation::kInside);
+  EXPECT_EQ(ParseTopoRelation(" equals ").value(), TopoRelation::kEquals);
+  EXPECT_TRUE(ParseTopoRelation("adjacent").status().IsParseError());
+}
+
+TEST(TopoRelationName, RoundTripsThroughParse) {
+  for (TopoRelation r :
+       {TopoRelation::kDisjoint, TopoRelation::kTouches,
+        TopoRelation::kOverlaps, TopoRelation::kCrosses,
+        TopoRelation::kContains, TopoRelation::kInside, TopoRelation::kEquals,
+        TopoRelation::kIntersects}) {
+    EXPECT_EQ(ParseTopoRelation(TopoRelationName(r)).value(), r);
+  }
+}
+
+TEST(Relate, ResultIsConsistentWithPredicates) {
+  const Geometry shapes[] = {
+      Pt(1, 1),
+      Pt(10, 10),
+      Line({{0, 0}, {3, 3}}),
+      Line({{0, 3}, {3, 0}}),
+      Rect(0, 0, 4, 4),
+      Rect(2, 2, 6, 6),
+      Rect(5, 5, 7, 7),
+  };
+  for (const Geometry& a : shapes) {
+    for (const Geometry& b : shapes) {
+      const TopoRelation r = Relate(a, b);
+      EXPECT_TRUE(Satisfies(a, b, r))
+          << "Relate said " << TopoRelationName(r)
+          << " but Satisfies disagrees";
+      if (r == TopoRelation::kDisjoint) {
+        EXPECT_FALSE(Intersects(a, b));
+      } else {
+        EXPECT_TRUE(Intersects(a, b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agis::geom

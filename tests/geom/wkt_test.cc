@@ -1,0 +1,137 @@
+#include "geom/wkt.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace agis::geom {
+namespace {
+
+TEST(Wkt, FormatsPoint) {
+  EXPECT_EQ(ToWkt(Geometry::FromPoint({3, 4.5})), "POINT (3 4.5)");
+}
+
+TEST(Wkt, FormatsLineString) {
+  EXPECT_EQ(ToWkt(Geometry::FromLineString(LineString{{{0, 0}, {1, 2}}})),
+            "LINESTRING (0 0, 1 2)");
+}
+
+TEST(Wkt, FormatsPolygonWithHole) {
+  Polygon poly;
+  poly.outer = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  poly.holes.push_back({{1, 1}, {2, 1}, {2, 2}});
+  EXPECT_EQ(ToWkt(Geometry::FromPolygon(poly)),
+            "POLYGON ((0 0, 4 0, 4 4, 0 4), (1 1, 2 1, 2 2))");
+}
+
+TEST(Wkt, FormatsMultiPoint) {
+  EXPECT_EQ(ToWkt(Geometry::FromMultiPoint({{1, 2}, {3, 4}})),
+            "MULTIPOINT (1 2, 3 4)");
+  EXPECT_EQ(ToWkt(Geometry::FromMultiPoint({})), "MULTIPOINT EMPTY");
+}
+
+TEST(Wkt, ParsesPoint) {
+  auto g = ParseWkt("POINT (3 4)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value(), Geometry::FromPoint({3, 4}));
+}
+
+TEST(Wkt, ParsesWithWeirdWhitespaceAndCase) {
+  auto g = ParseWkt("  point(3   4.25)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value(), Geometry::FromPoint({3, 4.25}));
+}
+
+TEST(Wkt, ParsesNegativeAndScientific) {
+  auto g = ParseWkt("LINESTRING (-1.5 2e2, 3 -4)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().linestring().points[0], (Point{-1.5, 200}));
+}
+
+TEST(Wkt, ParsesPolygonWithClosingDuplicate) {
+  auto g = ParseWkt("POLYGON ((0 0, 4 0, 4 4, 0 0))");
+  ASSERT_TRUE(g.ok());
+  // Closing duplicate dropped.
+  EXPECT_EQ(g.value().polygon().outer.size(), 3u);
+}
+
+TEST(Wkt, ParsesMultiPointEmpty) {
+  auto g = ParseWkt("MULTIPOINT EMPTY");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g.value().multipoint().empty());
+}
+
+TEST(Wkt, RejectsBadInput) {
+  EXPECT_TRUE(ParseWkt("").status().IsParseError());
+  EXPECT_TRUE(ParseWkt("CIRCLE (0 0, 5)").status().IsParseError());
+  EXPECT_TRUE(ParseWkt("POINT 3 4").status().IsParseError());
+  EXPECT_TRUE(ParseWkt("POINT (3)").status().IsParseError());
+  EXPECT_TRUE(ParseWkt("LINESTRING (1 1)").status().IsParseError());
+  EXPECT_TRUE(ParseWkt("POLYGON ((0 0, 1 1))").status().IsParseError());
+  EXPECT_TRUE(ParseWkt("POINT (a b)").status().IsParseError());
+}
+
+// Property: ToWkt / ParseWkt round-trips over random geometries.
+class WktRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WktRoundTrip, RandomGeometriesSurvive) {
+  agis::Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    Geometry g;
+    switch (rng.Uniform(4)) {
+      case 0:
+        g = Geometry::FromPoint(
+            {rng.UniformDouble(-1e3, 1e3), rng.UniformDouble(-1e3, 1e3)});
+        break;
+      case 1: {
+        LineString ls;
+        const size_t n = 2 + rng.Uniform(6);
+        for (size_t i = 0; i < n; ++i) {
+          ls.points.push_back(
+              {rng.UniformDouble(-100, 100), rng.UniformDouble(-100, 100)});
+        }
+        g = Geometry::FromLineString(ls);
+        break;
+      }
+      case 2: {
+        Polygon poly;
+        const double cx = rng.UniformDouble(-50, 50);
+        const double cy = rng.UniformDouble(-50, 50);
+        const size_t n = 3 + rng.Uniform(5);
+        for (size_t i = 0; i < n; ++i) {
+          const double angle = 6.28318 * static_cast<double>(i) / n;
+          poly.outer.push_back({cx + 10 * std::cos(angle) + 0.125,
+                                cy + 10 * std::sin(angle) + 0.25});
+        }
+        g = Geometry::FromPolygon(poly);
+        break;
+      }
+      default: {
+        std::vector<Point> pts;
+        const size_t n = 1 + rng.Uniform(5);
+        for (size_t i = 0; i < n; ++i) {
+          pts.push_back(
+              {rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10)});
+        }
+        g = Geometry::FromMultiPoint(pts);
+        break;
+      }
+    }
+    auto parsed = ParseWkt(ToWkt(g));
+    ASSERT_TRUE(parsed.ok()) << ToWkt(g) << " -> " << parsed.status();
+    // %.6g costs precision; compare bounds approximately instead of
+    // exact equality.
+    const auto ob = g.Bounds();
+    const auto pb = parsed.value().Bounds();
+    EXPECT_NEAR(ob.min_x, pb.min_x, 1e-3);
+    EXPECT_NEAR(ob.max_y, pb.max_y, 1e-3);
+    EXPECT_EQ(g.kind(), parsed.value().kind());
+    EXPECT_EQ(g.NumPoints(), parsed.value().NumPoints());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WktRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace agis::geom

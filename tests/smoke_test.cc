@@ -1,0 +1,83 @@
+// End-to-end smoke test: the Section 4 flow from directive
+// installation to customized windows.
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis {
+namespace {
+
+TEST(Smoke, Section4FlowProducesCustomizedWindows) {
+  core::ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+
+  auto installed =
+      sys.InstallCustomization(workload::Fig6DirectiveSource());
+  ASSERT_TRUE(installed.ok()) << installed.status();
+  EXPECT_EQ(installed.value().size(), 3u);  // R1 + R2 + instance rule.
+
+  UserContext ctx;
+  ctx.user = "juliano";
+  ctx.application = "pole_manager";
+  sys.dispatcher().set_context(ctx);
+
+  auto schema_window = sys.dispatcher().OpenSchemaWindow();
+  ASSERT_TRUE(schema_window.ok()) << schema_window.status();
+  // Schema window built but hidden; Pole class auto-opened (R1).
+  EXPECT_EQ(schema_window.value()->GetProperty(uilib::kPropHidden), "true");
+  const uilib::InterfaceObject* class_window =
+      sys.dispatcher().FindWindow("Class set: Pole");
+  ASSERT_NE(class_window, nullptr);
+
+  // R2: customized control widget + pointFormat presentation.
+  const uilib::InterfaceObject* control =
+      class_window->FindDescendant("control_Pole");
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(control->GetProperty("prototype"), "poleWidget");
+  const uilib::InterfaceObject* area =
+      class_window->FindDescendant("presentation");
+  ASSERT_NE(area, nullptr);
+  EXPECT_EQ(area->GetProperty(uilib::kPropStyle), "pointFormat");
+  EXPECT_GT(std::stoi(area->GetProperty(uilib::kPropFeatureCount)), 0);
+
+  // Select a pole instance: composed_text + hidden location.
+  auto ids = sys.db().ScanExtent("Pole");
+  ASSERT_TRUE(ids.ok());
+  ASSERT_FALSE(ids.value().empty());
+  auto instance_window = sys.dispatcher().OpenInstanceWindow(ids.value()[0]);
+  ASSERT_TRUE(instance_window.ok()) << instance_window.status();
+  const uilib::InterfaceObject* composed =
+      instance_window.value()->FindDescendant("attr_pole_composition");
+  ASSERT_NE(composed, nullptr);
+  EXPECT_EQ(composed->GetProperty("prototype"), "composed_text");
+  EXPECT_FALSE(composed->GetProperty(uilib::kPropValue).empty());
+  EXPECT_EQ(instance_window.value()->FindDescendant("attr_pole_location"),
+            nullptr);
+}
+
+TEST(Smoke, DefaultContextGetsGenericInterface) {
+  core::ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  ASSERT_TRUE(
+      sys.InstallCustomization(workload::Fig6DirectiveSource()).ok());
+
+  UserContext ctx;
+  ctx.user = "someone_else";
+  ctx.application = "browsing";
+  sys.dispatcher().set_context(ctx);
+
+  auto schema_window = sys.dispatcher().OpenSchemaWindow();
+  ASSERT_TRUE(schema_window.ok()) << schema_window.status();
+  EXPECT_NE(schema_window.value()->GetProperty(uilib::kPropHidden), "true");
+  auto* list = schema_window.value()->FindDescendant("classes");
+  ASSERT_NE(list, nullptr);
+  // All six user classes; the persisted-directive system class is
+  // hidden from Schema windows.
+  EXPECT_EQ(uilib::GetListItems(*list).size(), 6u);
+}
+
+}  // namespace
+}  // namespace agis

@@ -1,0 +1,216 @@
+#include "spatial/spatial_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "spatial/grid_index.h"
+#include "spatial/rtree.h"
+
+namespace agis::spatial {
+namespace {
+
+using geom::BoundingBox;
+using geom::Point;
+
+std::vector<EntryId> Sorted(std::vector<EntryId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+BoundingBox RandomBox(agis::Rng* rng, double world, double max_size) {
+  const double x = rng->UniformDouble(0, world);
+  const double y = rng->UniformDouble(0, world);
+  const double w = rng->UniformDouble(0, max_size);
+  const double h = rng->UniformDouble(0, max_size);
+  return BoundingBox(x, y, x + w, y + h);
+}
+
+TEST(LinearScanIndex, BasicInsertQueryRemove) {
+  LinearScanIndex index;
+  index.Insert(1, BoundingBox(0, 0, 1, 1));
+  index.Insert(2, BoundingBox(5, 5, 6, 6));
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_EQ(Sorted(index.Query(BoundingBox(0, 0, 10, 10))),
+            (std::vector<EntryId>{1, 2}));
+  EXPECT_EQ(index.Query(BoundingBox(4, 4, 7, 7)),
+            (std::vector<EntryId>{2}));
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LinearScanIndex, QueryPointAndNearest) {
+  LinearScanIndex index;
+  index.Insert(1, BoundingBox(0, 0, 2, 2));
+  index.Insert(2, BoundingBox(1, 1, 3, 3));
+  index.Insert(3, BoundingBox(10, 10, 11, 11));
+  EXPECT_EQ(Sorted(index.QueryPoint({1.5, 1.5})),
+            (std::vector<EntryId>{1, 2}));
+  EXPECT_EQ(index.Nearest({0, 0}, 2), (std::vector<EntryId>{1, 2}));
+  EXPECT_EQ(index.Nearest({20, 20}, 1), (std::vector<EntryId>{3}));
+}
+
+TEST(BoxDistance, ZeroInsidePositiveOutside) {
+  const BoundingBox box(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(BoxDistance({1, 1}, box), 0.0);
+  EXPECT_DOUBLE_EQ(BoxDistance({5, 1}, box), 3.0);
+  EXPECT_DOUBLE_EQ(BoxDistance({5, 6}, box), 5.0);
+}
+
+TEST(RTree, SplitsAndStaysValid) {
+  RTree tree(4);
+  for (EntryId id = 1; id <= 100; ++id) {
+    const double x = static_cast<double>(id % 10);
+    const double y = static_cast<double>(id / 10);
+    tree.Insert(id, BoundingBox(x, y, x + 0.5, y + 0.5));
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << "after insert " << id << ": " << tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.Height(), 1u);
+  EXPECT_EQ(tree.Query(BoundingBox(0, 0, 10, 10)).size(), 100u);
+}
+
+TEST(RTree, RemoveCondensesAndStaysValid) {
+  RTree tree(4);
+  for (EntryId id = 1; id <= 60; ++id) {
+    const double x = static_cast<double>(id);
+    tree.Insert(id, BoundingBox(x, 0, x + 1, 1));
+  }
+  for (EntryId id = 1; id <= 60; id += 2) {
+    ASSERT_TRUE(tree.Remove(id));
+    ASSERT_TRUE(tree.CheckInvariants().ok())
+        << "after remove " << id << ": " << tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 30u);
+  EXPECT_FALSE(tree.Remove(1));  // Already gone.
+  // Remaining even ids still findable.
+  EXPECT_EQ(tree.Query(BoundingBox(1.5, 0, 2.5, 1)),
+            (std::vector<EntryId>{2}));
+}
+
+TEST(RTree, RemoveToEmptyAndReuse) {
+  RTree tree(4);
+  for (EntryId id = 1; id <= 20; ++id) {
+    tree.Insert(id, BoundingBox(id, id, id + 1, id + 1));
+  }
+  for (EntryId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(tree.Remove(id));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Query(BoundingBox(0, 0, 100, 100)).empty());
+  tree.Insert(99, BoundingBox(1, 1, 2, 2));
+  EXPECT_EQ(tree.Query(BoundingBox(0, 0, 3, 3)),
+            (std::vector<EntryId>{99}));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(GridIndex, ClampsOutOfWorldBoxes) {
+  GridIndex grid(BoundingBox(0, 0, 100, 100), 10);
+  grid.Insert(1, BoundingBox(-50, -50, -40, -40));  // Entirely outside.
+  grid.Insert(2, BoundingBox(95, 95, 150, 150));    // Partially outside.
+  EXPECT_EQ(grid.Query(BoundingBox(-60, -60, -30, -30)),
+            (std::vector<EntryId>{1}));
+  EXPECT_EQ(grid.Query(BoundingBox(140, 140, 160, 160)),
+            (std::vector<EntryId>{2}));
+}
+
+TEST(GridIndex, NoDuplicatesForSpanningEntries) {
+  GridIndex grid(BoundingBox(0, 0, 100, 100), 10);
+  grid.Insert(7, BoundingBox(5, 5, 95, 95));  // Spans many cells.
+  EXPECT_EQ(grid.Query(BoundingBox(0, 0, 100, 100)),
+            (std::vector<EntryId>{7}));
+}
+
+// Property: every index returns exactly the linear scan's results
+// under random insert/remove/query workloads.
+struct IndexParam {
+  std::string name;
+  uint64_t seed;
+};
+
+class IndexEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexEquivalence, MatchesLinearScanUnderChurn) {
+  agis::Rng rng(GetParam());
+  LinearScanIndex reference;
+  RTree rtree(8);
+  GridIndex grid(BoundingBox(0, 0, 1000, 1000), 32);
+  std::vector<EntryId> live;
+  EntryId next_id = 1;
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t action = rng.Uniform(10);
+    if (action < 6 || live.empty()) {
+      const BoundingBox box = RandomBox(&rng, 950, 50);
+      const EntryId id = next_id++;
+      reference.Insert(id, box);
+      rtree.Insert(id, box);
+      grid.Insert(id, box);
+      live.push_back(id);
+    } else if (action < 8) {
+      const size_t pick = rng.Uniform(live.size());
+      const EntryId id = live[pick];
+      EXPECT_TRUE(reference.Remove(id));
+      EXPECT_TRUE(rtree.Remove(id));
+      EXPECT_TRUE(grid.Remove(id));
+      live.erase(live.begin() + static_cast<long>(pick));
+    } else {
+      const BoundingBox probe = RandomBox(&rng, 900, 150);
+      const auto expected = Sorted(reference.Query(probe));
+      EXPECT_EQ(Sorted(rtree.Query(probe)), expected);
+      EXPECT_EQ(Sorted(grid.Query(probe)), expected);
+      const Point p{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+      const auto expected_pt = Sorted(reference.QueryPoint(p));
+      EXPECT_EQ(Sorted(rtree.QueryPoint(p)), expected_pt);
+      EXPECT_EQ(Sorted(grid.QueryPoint(p)), expected_pt);
+    }
+  }
+  EXPECT_EQ(rtree.size(), reference.size());
+  EXPECT_EQ(grid.size(), reference.size());
+  EXPECT_TRUE(rtree.CheckInvariants().ok()) << rtree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalence,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// Property: Nearest returns the same distance profile as the scan
+// (ids may differ on ties, distances must not).
+class NearestEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NearestEquivalence, DistanceProfilesMatch) {
+  agis::Rng rng(GetParam());
+  LinearScanIndex reference;
+  RTree rtree(8);
+  std::vector<std::pair<EntryId, BoundingBox>> entries;
+  for (EntryId id = 1; id <= 200; ++id) {
+    const BoundingBox box = RandomBox(&rng, 950, 20);
+    reference.Insert(id, box);
+    rtree.Insert(id, box);
+    entries.emplace_back(id, box);
+  }
+  auto box_of = [&entries](EntryId id) {
+    for (const auto& [eid, box] : entries) {
+      if (eid == id) return box;
+    }
+    return BoundingBox();
+  };
+  for (int probe = 0; probe < 20; ++probe) {
+    const Point p{rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)};
+    const auto expected = reference.Nearest(p, 10);
+    const auto actual = rtree.Nearest(p, 10);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_NEAR(BoxDistance(p, box_of(actual[i])),
+                  BoxDistance(p, box_of(expected[i])), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NearestEquivalence,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace agis::spatial

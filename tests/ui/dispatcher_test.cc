@@ -1,0 +1,229 @@
+#include "ui/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "ui/protocol.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis::ui {
+namespace {
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<core::ActiveInterfaceSystem>("phone_net");
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys_->db()).ok());
+    UserContext ctx;
+    ctx.user = "browser";
+    ctx.application = "explore";
+    sys_->dispatcher().set_context(ctx);
+  }
+
+  std::unique_ptr<core::ActiveInterfaceSystem> sys_;
+};
+
+TEST_F(DispatcherTest, OpenSchemaThenSelectClassThenInstance) {
+  auto schema = sys_->dispatcher().OpenSchemaWindow();
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(sys_->dispatcher().windows().size(), 1u);
+
+  // Find Pole in the class list and select it.
+  auto* list = schema.value()->FindDescendant("classes");
+  const auto items = uilib::GetListItems(*list);
+  const auto pole_it = std::find(items.begin(), items.end(), "Pole");
+  ASSERT_NE(pole_it, items.end());
+  auto class_window = sys_->dispatcher().SelectClassInSchema(
+      static_cast<size_t>(pole_it - items.begin()));
+  ASSERT_TRUE(class_window.ok()) << class_window.status();
+  EXPECT_EQ(class_window.value()->GetProperty(uilib::kPropClass), "Pole");
+  EXPECT_EQ(sys_->dispatcher().windows().size(), 2u);
+
+  // Click the map near a known pole.
+  auto pole_ids = sys_->db().ScanExtent("Pole");
+  ASSERT_TRUE(pole_ids.ok());
+  const geodb::ObjectInstance* pole =
+      sys_->db().FindObject(pole_ids.value().front());
+  const geom::Point site = pole->Get("pole_location").geometry_value().point();
+  auto instance = sys_->dispatcher().SelectInstanceAt("Pole", site, 1.0);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_EQ(instance.value()->GetProperty(uilib::kPropObject),
+            std::to_string(pole->id()));
+  EXPECT_EQ(sys_->dispatcher().windows().size(), 3u);
+
+  // Log shows the full interaction chain.
+  const auto& log = sys_->dispatcher().interaction_log();
+  ASSERT_GE(log.size(), 4u);
+  EXPECT_NE(log[0].find("Get_Schema"), std::string::npos);
+  EXPECT_NE(log.back().find("Get_Value"), std::string::npos);
+}
+
+TEST_F(DispatcherTest, SelectClassWithoutSchemaWindowFails) {
+  EXPECT_TRUE(sys_->dispatcher()
+                  .SelectClassInSchema(0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(DispatcherTest, SelectInstanceWithoutClassWindowFails) {
+  EXPECT_TRUE(sys_->dispatcher()
+                  .SelectInstanceAt("Pole", {0, 0}, 5.0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(DispatcherTest, SelectInstanceMissesWhenNothingNear) {
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  EXPECT_TRUE(sys_->dispatcher()
+                  .SelectInstanceAt("Pole", {-9999, -9999}, 0.5)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(DispatcherTest, ReopeningAWindowReplacesIt) {
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  EXPECT_EQ(sys_->dispatcher().windows().size(), 1u);
+}
+
+TEST_F(DispatcherTest, CloseWindow) {
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  EXPECT_TRUE(sys_->dispatcher().CloseWindow("Class set: Pole").ok());
+  EXPECT_TRUE(sys_->dispatcher().CloseWindow("Class set: Pole").IsNotFound());
+  EXPECT_TRUE(sys_->dispatcher().windows().empty());
+}
+
+TEST_F(DispatcherTest, VisibleWindowsSkipHiddenSchema) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  UserContext juliano;
+  juliano.user = "juliano";
+  juliano.application = "pole_manager";
+  sys_->dispatcher().set_context(juliano);
+  ASSERT_TRUE(sys_->dispatcher().OpenSchemaWindow().ok());
+  // Two windows open (Schema hidden + Pole class), one visible.
+  EXPECT_EQ(sys_->dispatcher().windows().size(), 2u);
+  EXPECT_EQ(sys_->dispatcher().visible_windows().size(), 1u);
+  EXPECT_EQ(sys_->dispatcher().visible_windows()[0]->name(),
+            "Class set: Pole");
+}
+
+TEST_F(DispatcherTest, ContextSwitchChangesCustomization) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::PlannerDirectiveSource()).ok());
+  // Planner category: crossFormat poles.
+  UserContext planner;
+  planner.user = "maria";
+  planner.category = "network_planner";
+  planner.application = "pole_manager";
+  sys_->dispatcher().set_context(planner);
+  auto planner_window = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(planner_window.ok());
+  EXPECT_EQ(planner_window.value()
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            "crossFormat");
+  // Plain browser: default style, same dispatcher, same code path.
+  UserContext browser;
+  browser.user = "bob";
+  sys_->dispatcher().set_context(browser);
+  auto plain_window = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(plain_window.ok());
+  EXPECT_EQ(plain_window.value()
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            "default");
+}
+
+TEST_F(DispatcherTest, QueryWindowFiltersPresentation) {
+  auto full = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(full.ok());
+  const size_t all = std::stoul(full.value()
+                                    ->FindDescendant("presentation")
+                                    ->GetProperty(uilib::kPropFeatureCount));
+
+  auto query = sys_->dispatcher().OpenQueryWindow(
+      "select Pole where pole_type >= 2");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query.value()->GetProperty("query"),
+            "select Pole where pole_type >= 2");
+  EXPECT_EQ(query.value()->GetProperty(uilib::kPropClass), "Pole");
+  const size_t filtered =
+      std::stoul(query.value()
+                     ->FindDescendant("presentation")
+                     ->GetProperty(uilib::kPropFeatureCount));
+  EXPECT_LT(filtered, all);
+  EXPECT_GT(filtered, 0u);
+  // The query window coexists with the plain class window.
+  EXPECT_NE(sys_->dispatcher().FindWindow("Class set: Pole"), nullptr);
+  EXPECT_NE(sys_->dispatcher().FindWindow(
+                "Query: select Pole where pole_type >= 2"),
+            nullptr);
+}
+
+TEST_F(DispatcherTest, QueryWindowHonorsCustomization) {
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  UserContext juliano;
+  juliano.user = "juliano";
+  juliano.application = "pole_manager";
+  sys_->dispatcher().set_context(juliano);
+  auto query = sys_->dispatcher().OpenQueryWindow("select Pole limit 5");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query.value()
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            "pointFormat");
+  EXPECT_LE(std::stoul(query.value()
+                           ->FindDescendant("presentation")
+                           ->GetProperty(uilib::kPropFeatureCount)),
+            5u);
+}
+
+TEST_F(DispatcherTest, QueryWindowRejectsBadQueries) {
+  EXPECT_TRUE(sys_->dispatcher()
+                  .OpenQueryWindow("select Nothing")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(sys_->dispatcher()
+                  .OpenQueryWindow("garbled")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(DispatcherTest, ProtocolServesAllThreeRequestKinds) {
+  DbProtocol& protocol = sys_->protocol();
+  DbRequest schema_req;
+  schema_req.kind = DbRequest::Kind::kGetSchema;
+  auto schema = protocol.Execute(schema_req);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->schema_name, "phone_net");
+  EXPECT_EQ(schema->class_names.size(), 6u);
+
+  DbRequest class_req;
+  class_req.kind = DbRequest::Kind::kGetClass;
+  class_req.class_name = "Pole";
+  auto cls = protocol.Execute(class_req);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->class_result.ids.size(), sys_->db().ExtentSize("Pole"));
+
+  DbRequest value_req;
+  value_req.kind = DbRequest::Kind::kGetValue;
+  value_req.object_id = cls->class_result.ids.front();
+  auto value = protocol.Execute(value_req);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->instance_class, "Pole");
+  // Converted to display strings in schema order.
+  ASSERT_EQ(value->attribute_values.size(), 8u);
+  EXPECT_EQ(value->attribute_values[0].first, "status");
+  EXPECT_EQ(protocol.requests_served(), 3u);
+
+  DbRequest bad;
+  bad.kind = DbRequest::Kind::kGetValue;
+  bad.object_id = 999999;
+  EXPECT_TRUE(protocol.Execute(bad).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace agis::ui

@@ -1,0 +1,105 @@
+#include "ui/view_refresher.h"
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis::ui {
+namespace {
+
+geodb::Value PointValue(double x, double y) {
+  return geodb::Value::MakeGeometry(geom::Geometry::FromPoint({x, y}));
+}
+
+class ViewRefresherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<core::ActiveInterfaceSystem>("phone_net");
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys_->db()).ok());
+    UserContext ctx;
+    ctx.user = "viewer";
+    sys_->dispatcher().set_context(ctx);
+  }
+  std::unique_ptr<core::ActiveInterfaceSystem> sys_;
+};
+
+TEST_F(ViewRefresherTest, MarkStaleFlagsOpenWindows) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  auto window = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(window.ok());
+  EXPECT_NE(window.value()->GetProperty("stale"), "true");
+
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(1, 1)}}).ok());
+  EXPECT_EQ(sys_->dispatcher()
+                .FindWindow("Class set: Pole")
+                ->GetProperty("stale"),
+            "true");
+  EXPECT_EQ(refresher.windows_marked_stale(), 1u);
+
+  // Writes to classes without open windows do nothing.
+  ASSERT_TRUE(sys_->db()
+                  .Insert("Supplier", {{"supplier_name",
+                                        geodb::Value::String("X")}})
+                  .ok());
+  EXPECT_EQ(refresher.windows_marked_stale(), 1u);
+}
+
+TEST_F(ViewRefresherTest, AutoRefreshRebuildsThePresentation) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kAutoRefresh);
+  ASSERT_TRUE(refresher.Install().ok());
+  auto window = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(window.ok());
+  const size_t before =
+      std::stoul(window.value()
+                     ->FindDescendant("presentation")
+                     ->GetProperty(uilib::kPropFeatureCount));
+
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(1, 1)}}).ok());
+  const uilib::InterfaceObject* refreshed =
+      sys_->dispatcher().FindWindow("Class set: Pole");
+  ASSERT_NE(refreshed, nullptr);
+  EXPECT_EQ(std::stoul(refreshed->FindDescendant("presentation")
+                           ->GetProperty(uilib::kPropFeatureCount)),
+            before + 1);
+  EXPECT_EQ(refresher.windows_refreshed(), 1u);
+}
+
+TEST_F(ViewRefresherTest, UpdatesAndDeletesAlsoTrigger) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  const auto poles = sys_->db().ScanExtent("Pole");
+  ASSERT_TRUE(
+      sys_->db().Update(poles.value().front(), "pole_type",
+                        geodb::Value::Int(3))
+          .ok());
+  EXPECT_EQ(refresher.windows_marked_stale(), 1u);
+  ASSERT_TRUE(sys_->db().Delete(poles.value().front()).ok());
+  EXPECT_EQ(refresher.windows_marked_stale(), 2u);
+}
+
+TEST_F(ViewRefresherTest, UninstallStopsTracking) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  EXPECT_EQ(refresher.Uninstall(), 3u);
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(1, 1)}}).ok());
+  EXPECT_EQ(refresher.windows_marked_stale(), 0u);
+  // Install is idempotent.
+  ASSERT_TRUE(refresher.Install().ok());
+  ASSERT_TRUE(refresher.Install().ok());
+  EXPECT_EQ(refresher.Uninstall(), 3u);
+}
+
+}  // namespace
+}  // namespace agis::ui

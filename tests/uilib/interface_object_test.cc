@@ -1,0 +1,189 @@
+#include "uilib/interface_object.h"
+
+#include <gtest/gtest.h>
+
+#include "uilib/widget_props.h"
+
+namespace agis::uilib {
+namespace {
+
+TEST(InterfaceObject, PropertiesDefaultEmpty) {
+  InterfaceObject button(WidgetKind::kButton, "ok");
+  EXPECT_EQ(button.GetProperty("label"), "");
+  EXPECT_FALSE(button.HasProperty("label"));
+  button.SetProperty("label", "OK");
+  EXPECT_EQ(button.GetProperty("label"), "OK");
+  EXPECT_TRUE(button.HasProperty("label"));
+}
+
+TEST(InterfaceObject, CompositionAndLookup) {
+  InterfaceObject window(WidgetKind::kWindow, "w");
+  auto* panel = window.AddChild(MakeWidget(WidgetKind::kPanel, "p"));
+  auto* inner = panel->AddChild(MakeWidget(WidgetKind::kPanel, "inner"));
+  inner->AddChild(MakeWidget(WidgetKind::kButton, "deep_button"));
+  EXPECT_EQ(window.SubtreeSize(), 4u);
+  EXPECT_EQ(window.SubtreeDepth(), 4u);
+  EXPECT_EQ(window.FindChild("p"), panel);
+  EXPECT_EQ(window.FindChild("inner"), nullptr);  // Not direct.
+  EXPECT_NE(window.FindDescendant("deep_button"), nullptr);
+  EXPECT_EQ(window.FindDescendant("deep_button")->parent(), inner);
+  EXPECT_EQ(window.FindDescendant("missing"), nullptr);
+}
+
+TEST(InterfaceObject, RecursivePanelComposition) {
+  // The Figure 2 recursive relationship: panels nest arbitrarily.
+  auto root = MakeWidget(WidgetKind::kPanel, "level0");
+  InterfaceObject* current = root.get();
+  for (int i = 1; i <= 10; ++i) {
+    current = current->AddChild(
+        MakeWidget(WidgetKind::kPanel, "level" + std::to_string(i)));
+  }
+  EXPECT_EQ(root->SubtreeDepth(), 11u);
+  EXPECT_TRUE(root->Validate().ok());
+}
+
+TEST(InterfaceObject, AtomicKindsRejectChildrenInValidate) {
+  InterfaceObject button(WidgetKind::kButton, "b");
+  EXPECT_FALSE(button.CanContainChildren());
+  EXPECT_TRUE(button.Validate().ok());
+}
+
+TEST(InterfaceObject, MenuStructureValidation) {
+  InterfaceObject menu(WidgetKind::kMenu, "m");
+  menu.AddChild(MakeWidget(WidgetKind::kMenuItem, "open"));
+  EXPECT_TRUE(menu.Validate().ok());
+  menu.AddChild(MakeWidget(WidgetKind::kMenu, "submenu"));
+  EXPECT_TRUE(menu.Validate().ok());  // Nested menus allowed.
+
+  InterfaceObject bad_menu(WidgetKind::kMenu, "bad");
+  bad_menu.AddChild(MakeWidget(WidgetKind::kButton, "not_an_item"));
+  EXPECT_TRUE(bad_menu.Validate().IsFailedPrecondition());
+
+  InterfaceObject panel(WidgetKind::kPanel, "p");
+  panel.AddChild(MakeWidget(WidgetKind::kMenuItem, "stray"));
+  EXPECT_TRUE(panel.Validate().IsFailedPrecondition());
+}
+
+TEST(InterfaceObject, RemoveChild) {
+  InterfaceObject window(WidgetKind::kWindow, "w");
+  window.AddChild(MakeWidget(WidgetKind::kButton, "a"));
+  window.AddChild(MakeWidget(WidgetKind::kButton, "b"));
+  EXPECT_TRUE(window.RemoveChild("a").ok());
+  EXPECT_TRUE(window.RemoveChild("a").IsNotFound());
+  EXPECT_EQ(window.children().size(), 1u);
+}
+
+TEST(InterfaceObject, CallbackBindingAndFiring) {
+  InterfaceObject button(WidgetKind::kButton, "b");
+  int clicks = 0;
+  button.Bind(kUiClick, "count",
+              [&clicks](InterfaceObject&, const UiEvent&) { ++clicks; });
+  UiEvent click;
+  click.name = kUiClick;
+  EXPECT_EQ(button.Fire(click), 1u);
+  EXPECT_EQ(clicks, 1);
+  UiEvent other;
+  other.name = kUiChange;
+  EXPECT_EQ(button.Fire(other), 0u);
+  EXPECT_EQ(clicks, 1);
+}
+
+TEST(InterfaceObject, RebindReplacesCallback) {
+  InterfaceObject field(WidgetKind::kTextField, "f");
+  std::string result;
+  field.Bind(kUiChange, "handler",
+             [&result](InterfaceObject&, const UiEvent&) { result = "old"; });
+  field.Bind(kUiChange, "handler",
+             [&result](InterfaceObject&, const UiEvent&) { result = "new"; });
+  UiEvent change;
+  change.name = kUiChange;
+  EXPECT_EQ(field.Fire(change), 1u);
+  EXPECT_EQ(result, "new");
+  EXPECT_EQ(field.BoundCallbacks(kUiChange),
+            (std::vector<std::string>{"handler"}));
+}
+
+TEST(InterfaceObject, UnbindRemovesCallback) {
+  InterfaceObject field(WidgetKind::kTextField, "f");
+  field.Bind(kUiChange, "h", [](InterfaceObject&, const UiEvent&) {});
+  EXPECT_TRUE(field.Unbind(kUiChange, "h"));
+  EXPECT_FALSE(field.Unbind(kUiChange, "h"));
+  UiEvent change;
+  change.name = kUiChange;
+  EXPECT_EQ(field.Fire(change), 0u);
+}
+
+TEST(InterfaceObject, CloneIsDeepAndIndependent) {
+  InterfaceObject window(WidgetKind::kWindow, "w");
+  window.SetProperty("title", "original");
+  auto* panel = window.AddChild(MakeWidget(WidgetKind::kPanel, "p"));
+  auto* button = panel->AddChild(MakeWidget(WidgetKind::kButton, "b"));
+  int fires = 0;
+  button->Bind(kUiClick, "cb",
+               [&fires](InterfaceObject&, const UiEvent&) { ++fires; });
+
+  auto clone = window.Clone();
+  EXPECT_EQ(clone->SubtreeSize(), 3u);
+  EXPECT_EQ(clone->GetProperty("title"), "original");
+  clone->SetProperty("title", "copy");
+  EXPECT_EQ(window.GetProperty("title"), "original");
+
+  // Cloned callbacks fire independently but share the captured state.
+  UiEvent click;
+  click.name = kUiClick;
+  clone->FindDescendant("b")->Fire(click);
+  EXPECT_EQ(fires, 1);
+  clone->FindDescendant("b")->Unbind(kUiClick, "cb");
+  button->Fire(click);
+  EXPECT_EQ(fires, 2);  // Original binding untouched.
+}
+
+TEST(InterfaceObject, ToTreeStringShowsStructure) {
+  InterfaceObject window(WidgetKind::kWindow, "Class set: Pole");
+  auto* control = window.AddChild(MakeWidget(WidgetKind::kPanel, "control"));
+  control->AddChild(MakeWidget(WidgetKind::kButton, "show"))
+      ->SetProperty("label", "Show");
+  const std::string tree = window.ToTreeString();
+  EXPECT_NE(tree.find("Window \"Class set: Pole\""), std::string::npos);
+  EXPECT_NE(tree.find("  Panel \"control\""), std::string::npos);
+  EXPECT_NE(tree.find("    Button \"show\" [Show]"), std::string::npos);
+}
+
+TEST(WidgetProps, ListItemsRoundTrip) {
+  auto list = MakeWidget(WidgetKind::kList, "l");
+  SetListItems(list.get(), {"Pole", "Duct", "Cable"});
+  EXPECT_EQ(GetListItems(*list),
+            (std::vector<std::string>{"Pole", "Duct", "Cable"}));
+  EXPECT_EQ(list->GetProperty("item_count"), "3");
+  SetListItems(list.get(), {});
+  EXPECT_TRUE(GetListItems(*list).empty());
+}
+
+TEST(WidgetProps, NewlinesInItemsSanitized) {
+  auto list = MakeWidget(WidgetKind::kList, "l");
+  SetListItems(list.get(), {"two\nlines"});
+  EXPECT_EQ(GetListItems(*list), (std::vector<std::string>{"two lines"}));
+}
+
+TEST(WidgetProps, SelectionFiresEvent) {
+  auto list = MakeWidget(WidgetKind::kList, "l");
+  SetListItems(list.get(), {"a", "b", "c"});
+  std::string selected_item;
+  list->Bind(kUiSelect, "track",
+             [&selected_item](InterfaceObject&, const UiEvent& e) {
+               selected_item = e.Arg("item");
+             });
+  SelectListItem(list.get(), 1);
+  EXPECT_EQ(selected_item, "b");
+  EXPECT_EQ(SelectedListItem(*list), "b");
+  // Out-of-range clamps to the last item.
+  SelectListItem(list.get(), 99);
+  EXPECT_EQ(SelectedListItem(*list), "c");
+  // Empty list: no selection, no crash.
+  auto empty = MakeWidget(WidgetKind::kList, "e");
+  SelectListItem(empty.get(), 0);
+  EXPECT_EQ(SelectedListItem(*empty), "");
+}
+
+}  // namespace
+}  // namespace agis::uilib

@@ -1,0 +1,157 @@
+#include "uilib/library.h"
+
+#include <gtest/gtest.h>
+
+#include "uilib/widget_props.h"
+
+namespace agis::uilib {
+namespace {
+
+TEST(Library, RegisterAndInstantiate) {
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(library
+                  .RegisterPrototype(MakeWidget(WidgetKind::kButton, "ok"),
+                                     "an ok button")
+                  .ok());
+  EXPECT_TRUE(library.Has("ok"));
+  EXPECT_EQ(library.DocOf("ok"), "an ok button");
+  auto instance = library.Instantiate("ok");
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance.value()->kind(), WidgetKind::kButton);
+  EXPECT_TRUE(library.Instantiate("missing").status().IsNotFound());
+}
+
+TEST(Library, DuplicateNamesRejectedUnlessReplace) {
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(
+      library.RegisterPrototype(MakeWidget(WidgetKind::kButton, "b")).ok());
+  EXPECT_TRUE(library.RegisterPrototype(MakeWidget(WidgetKind::kList, "b"))
+                  .IsAlreadyExists());
+  EXPECT_TRUE(library
+                  .RegisterPrototype(MakeWidget(WidgetKind::kList, "b"), "",
+                                     /*allow_replace=*/true)
+                  .ok());
+  EXPECT_EQ(library.Peek("b")->kind(), WidgetKind::kList);
+  EXPECT_EQ(library.NumPrototypes(), 1u);
+}
+
+TEST(Library, RejectsInvalidPrototypes) {
+  InterfaceObjectLibrary library;
+  EXPECT_TRUE(library.RegisterPrototype(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(library.RegisterPrototype(MakeWidget(WidgetKind::kButton, ""))
+                  .IsInvalidArgument());
+  auto bad_menu = MakeWidget(WidgetKind::kMenu, "m");
+  bad_menu->AddChild(MakeWidget(WidgetKind::kButton, "x"));
+  EXPECT_TRUE(library.RegisterPrototype(std::move(bad_menu))
+                  .IsFailedPrecondition());
+}
+
+TEST(Library, InstancesAreIndependentOfPrototype) {
+  InterfaceObjectLibrary library;
+  auto proto = MakeWidget(WidgetKind::kPanel, "panel");
+  proto->SetProperty("color", "blue");
+  ASSERT_TRUE(library.RegisterPrototype(std::move(proto)).ok());
+  auto a = library.Instantiate("panel").value();
+  a->SetProperty("color", "red");
+  auto b = library.Instantiate("panel").value();
+  EXPECT_EQ(b->GetProperty("color"), "blue");
+}
+
+TEST(Library, SpecializeClonesAndMutates) {
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(library.RegisterKernelPrototypes().ok());
+  ASSERT_TRUE(library
+                  .Specialize("panel", "toolbox",
+                              [](InterfaceObject& w) {
+                                w.SetProperty("orientation", "horizontal");
+                                w.AddChild(
+                                    MakeWidget(WidgetKind::kButton, "tool1"));
+                              },
+                              "horizontal tool panel")
+                  .ok());
+  auto toolbox = library.Instantiate("toolbox");
+  ASSERT_TRUE(toolbox.ok());
+  EXPECT_EQ(toolbox.value()->name(), "toolbox");
+  EXPECT_EQ(toolbox.value()->GetProperty("orientation"), "horizontal");
+  EXPECT_NE(toolbox.value()->FindChild("tool1"), nullptr);
+  // Base prototype untouched.
+  EXPECT_TRUE(library.Peek("panel")->children().empty());
+  // Specializing a missing base fails.
+  EXPECT_TRUE(
+      library.Specialize("missing", "x", nullptr).IsNotFound());
+}
+
+TEST(Library, RemovePrototype) {
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(
+      library.RegisterPrototype(MakeWidget(WidgetKind::kButton, "b")).ok());
+  EXPECT_TRUE(library.RemovePrototype("b").ok());
+  EXPECT_FALSE(library.Has("b"));
+  EXPECT_TRUE(library.RemovePrototype("b").IsNotFound());
+  EXPECT_TRUE(library.Names().empty());
+}
+
+TEST(Library, KernelPrototypesMatchFigure2) {
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(library.RegisterKernelPrototypes().ok());
+  // The eight kernel classes of Figure 2.
+  for (const char* name : {"window", "panel", "text_field", "drawing_area",
+                           "list", "button", "menu", "menu_item"}) {
+    EXPECT_TRUE(library.Has(name)) << name;
+  }
+  EXPECT_EQ(library.NumPrototypes(), 8u);
+  // Registering twice collides.
+  EXPECT_TRUE(library.RegisterKernelPrototypes().IsAlreadyExists());
+}
+
+TEST(Library, StandardGisPrototypes) {
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(library.RegisterKernelPrototypes().ok());
+  ASSERT_TRUE(RegisterStandardGisPrototypes(&library).ok());
+  EXPECT_TRUE(library.Has("poleWidget"));
+  EXPECT_TRUE(library.Has("composed_text"));
+  EXPECT_TRUE(library.Has("map_selection_panel"));
+  EXPECT_TRUE(library.Has("class_control"));
+  EXPECT_TRUE(library.Has("attribute_row"));
+
+  // poleWidget is the slider-style panel of Figure 6 line 4.
+  auto pole = library.Instantiate("poleWidget").value();
+  EXPECT_EQ(pole->kind(), WidgetKind::kPanel);
+  EXPECT_EQ(pole->GetProperty("style"), "slider");
+  EXPECT_NE(pole->FindDescendant("pole_density_slider"), nullptr);
+
+  // composed_text carries its notify() callback.
+  auto composed = library.Instantiate("composed_text").value();
+  EXPECT_EQ(composed->BoundCallbacks(kUiChange),
+            (std::vector<std::string>{"composed_text.notify"}));
+  UiEvent change;
+  change.name = kUiChange;
+  composed->Fire(change);
+  EXPECT_EQ(composed->GetProperty("notified"), "true");
+
+  // map_selection_panel composes lists, a text field and buttons
+  // (the Section 3.2 reuse example).
+  auto map_sel = library.Instantiate("map_selection_panel").value();
+  EXPECT_NE(map_sel->FindDescendant("available_maps"), nullptr);
+  EXPECT_NE(map_sel->FindDescendant("region_name"), nullptr);
+  EXPECT_NE(map_sel->FindDescendant("open"), nullptr);
+}
+
+TEST(Library, ComplexPrototypeReuseInsideAnotherPanel) {
+  // "this panel can be incorporated by the interface library as a new
+  // complex object and thereafter used as a component of another
+  // panel" (Section 3.2).
+  InterfaceObjectLibrary library;
+  ASSERT_TRUE(library.RegisterKernelPrototypes().ok());
+  ASSERT_TRUE(RegisterStandardGisPrototypes(&library).ok());
+  auto composite = MakeWidget(WidgetKind::kPanel, "browse_and_pick");
+  composite->AddChild(library.Instantiate("map_selection_panel").value());
+  composite->AddChild(library.Instantiate("class_control").value());
+  ASSERT_TRUE(library.RegisterPrototype(std::move(composite)).ok());
+  auto instance = library.Instantiate("browse_and_pick").value();
+  EXPECT_NE(instance->FindDescendant("available_maps"), nullptr);
+  EXPECT_NE(instance->FindDescendant("visible_toggle"), nullptr);
+}
+
+}  // namespace
+}  // namespace agis::uilib

@@ -1,0 +1,153 @@
+#include "uilib/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "uilib/library.h"
+#include "uilib/widget_props.h"
+
+namespace agis::uilib {
+namespace {
+
+TEST(Serialize, EscapingRoundTrips) {
+  EXPECT_EQ(EscapeDefinitionString("plain"), "plain");
+  EXPECT_EQ(EscapeDefinitionString("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+}
+
+TEST(Serialize, SimpleTreeFormat) {
+  auto window = MakeWidget(WidgetKind::kWindow, "w");
+  window->SetProperty("title", "Hello");
+  auto* button = window->AddChild(MakeWidget(WidgetKind::kButton, "ok"));
+  button->SetProperty("label", "OK");
+  const std::string text = SerializeDefinition(*window);
+  EXPECT_NE(text.find("Window \"w\" {"), std::string::npos);
+  EXPECT_NE(text.find("@title \"Hello\""), std::string::npos);
+  EXPECT_NE(text.find("Button \"ok\" {"), std::string::npos);
+}
+
+TEST(Serialize, ParseRebuildsTree) {
+  auto parsed = ParseDefinition(R"(
+    Window "Class set: Pole" {
+      @window_type "ClassSet"
+      Panel "control" {
+        Button "show" { @label "Show" !click "toggle" }
+        List "classes" { @items "Pole\nDuct" }
+      }
+    }
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const InterfaceObject& root = *parsed.value();
+  EXPECT_EQ(root.kind(), WidgetKind::kWindow);
+  EXPECT_EQ(root.GetProperty(kPropWindowType), "ClassSet");
+  const InterfaceObject* button = root.FindDescendant("show");
+  ASSERT_NE(button, nullptr);
+  EXPECT_EQ(button->GetProperty("label"), "Show");
+  // The binding arrived as a named placeholder that fires observably.
+  EXPECT_EQ(button->BoundCallbacks(kUiClick),
+            (std::vector<std::string>{"toggle"}));
+  const InterfaceObject* list = root.FindDescendant("classes");
+  EXPECT_EQ(GetListItems(*list), (std::vector<std::string>{"Pole", "Duct"}));
+}
+
+TEST(Serialize, PlaceholderCallbackFires) {
+  auto parsed = ParseDefinition(
+      R"(Button "b" { !click "do_thing" })");
+  ASSERT_TRUE(parsed.ok());
+  UiEvent click;
+  click.name = kUiClick;
+  parsed.value()->Fire(click);
+  EXPECT_EQ(parsed.value()->GetProperty("fired_do_thing"), "true");
+}
+
+TEST(Serialize, ParseErrors) {
+  EXPECT_TRUE(ParseDefinition("").status().IsParseError());
+  EXPECT_TRUE(ParseDefinition("Gadget \"x\" {}").status().IsParseError());
+  EXPECT_TRUE(ParseDefinition("Window \"w\" {").status().IsParseError());
+  EXPECT_TRUE(
+      ParseDefinition("Window \"w\" {} extra").status().IsParseError());
+  EXPECT_TRUE(ParseDefinition("Window \"unterminated {}")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseDefinition(R"(Window "w" { @k "bad \q escape" })")
+                  .status()
+                  .IsParseError());
+  // Atomic widget with a child.
+  EXPECT_TRUE(ParseDefinition(R"(Button "b" { Button "c" {} })")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(Serialize, CommentsIgnored) {
+  auto parsed = ParseDefinition(R"(
+    # a window definition
+    Window "w" {  # inline comment
+      @k "v"
+    }
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value()->GetProperty("k"), "v");
+}
+
+// Property: serialize(parse(serialize(t))) is stable for random trees,
+// and the parsed tree matches the original structurally.
+class SerializeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+void ExpectStructurallyEqual(const InterfaceObject& a,
+                             const InterfaceObject& b) {
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.properties(), b.properties());
+  EXPECT_EQ(a.AllBindings(), b.AllBindings());
+  ASSERT_EQ(a.children().size(), b.children().size());
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    ExpectStructurallyEqual(*a.children()[i], *b.children()[i]);
+  }
+}
+
+std::unique_ptr<InterfaceObject> RandomTree(agis::Rng* rng, int depth) {
+  const bool leaf = depth <= 0 || rng->Bernoulli(0.4);
+  const WidgetKind kind =
+      leaf ? (rng->Bernoulli(0.5) ? WidgetKind::kButton
+                                  : WidgetKind::kTextField)
+           : WidgetKind::kPanel;
+  auto node = MakeWidget(
+      kind, agis::StrCat("node_", rng->Uniform(1000)));
+  const size_t props = rng->Uniform(3);
+  for (size_t i = 0; i < props; ++i) {
+    node->SetProperty(agis::StrCat("p", i),
+                      agis::StrCat("value \"", rng->Uniform(10), "\"\nline2"));
+  }
+  if (rng->Bernoulli(0.3)) {
+    node->Bind(kUiClick, agis::StrCat("cb_", rng->Uniform(10)),
+               [](InterfaceObject&, const UiEvent&) {});
+  }
+  if (!leaf) {
+    const size_t kids = 1 + rng->Uniform(3);
+    for (size_t i = 0; i < kids; ++i) {
+      auto child = RandomTree(rng, depth - 1);
+      child->set_name(agis::StrCat(child->name(), "_", i));
+      node->AddChild(std::move(child));
+    }
+  }
+  return node;
+}
+
+TEST_P(SerializeRoundTrip, RandomTreesSurvive) {
+  agis::Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    auto tree = RandomTree(&rng, 4);
+    const std::string text = SerializeDefinition(*tree);
+    auto parsed = ParseDefinition(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    ExpectStructurallyEqual(*tree, *parsed.value());
+    EXPECT_EQ(SerializeDefinition(*parsed.value()), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip,
+                         ::testing::Values(3, 5, 7, 9));
+
+}  // namespace
+}  // namespace agis::uilib

@@ -1,0 +1,13 @@
+// The umbrella header must be self-contained and conflict-free.
+#include "agis.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EverythingIncludesCleanly) {
+  agis::core::ActiveInterfaceSystem sys("umbrella");
+  EXPECT_EQ(sys.db().NumObjects(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+#include "workload/environmental.h"
+#include "workload/phone_net.h"
+#include "workload/synthetic.h"
+
+namespace agis::workload {
+namespace {
+
+TEST(PhoneNet, BuildsFigure5SchemaExactly) {
+  geodb::GeoDatabase db("phone_net");
+  ASSERT_TRUE(BuildPhoneNetwork(&db).ok());
+  const geodb::ClassDef* pole = db.schema().FindClass("Pole");
+  ASSERT_NE(pole, nullptr);
+  EXPECT_EQ(pole->parent(), "NetworkElement");
+
+  // Figure 5's attributes, in order.
+  const std::vector<std::string> expected = {
+      "pole_type",     "pole_composition", "pole_supplier",
+      "pole_location", "pole_picture",     "pole_historic"};
+  ASSERT_EQ(pole->attributes().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(pole->attributes()[i].name, expected[i]);
+  }
+  // pole_composition: tuple(material, diameter, height).
+  const geodb::AttributeDef* comp = pole->FindAttribute("pole_composition");
+  EXPECT_EQ(comp->type, geodb::AttrType::kTuple);
+  ASSERT_EQ(comp->tuple_fields.size(), 3u);
+  EXPECT_EQ(comp->tuple_fields[0].name, "pole_material");
+  // pole_supplier: Supplier ref; pole_location: geometry;
+  // pole_picture: bitmap; pole_historic: text.
+  EXPECT_EQ(pole->FindAttribute("pole_supplier")->ref_class, "Supplier");
+  EXPECT_EQ(pole->FindAttribute("pole_location")->type,
+            geodb::AttrType::kGeometry);
+  EXPECT_EQ(pole->FindAttribute("pole_picture")->type, geodb::AttrType::kBlob);
+  EXPECT_EQ(pole->FindAttribute("pole_historic")->type,
+            geodb::AttrType::kText);
+  // Figure 5's method.
+  EXPECT_NE(db.schema().FindMethodOf("Pole", "get_supplier_name"), nullptr);
+}
+
+TEST(PhoneNet, PopulationMatchesConfig) {
+  geodb::GeoDatabase db("phone_net");
+  PhoneNetConfig config;
+  config.num_poles = 30;
+  config.num_ducts = 5;
+  config.num_suppliers = 3;
+  config.num_regions = 4;
+  ASSERT_TRUE(BuildPhoneNetwork(&db, config).ok());
+  EXPECT_EQ(db.ExtentSize("Pole"), 30u);
+  EXPECT_EQ(db.ExtentSize("Duct"), 5u);
+  EXPECT_EQ(db.ExtentSize("Supplier"), 3u);
+  EXPECT_EQ(db.ExtentSize("ServiceRegion"), 4u);
+  EXPECT_GT(db.ExtentSize("Cable"), 0u);
+}
+
+TEST(PhoneNet, DeterministicUnderSeed) {
+  geodb::GeoDatabase a("phone_net");
+  geodb::GeoDatabase b("phone_net");
+  PhoneNetConfig config;
+  config.seed = 99;
+  config.num_poles = 20;
+  ASSERT_TRUE(BuildPhoneNetwork(&a, config).ok());
+  ASSERT_TRUE(BuildPhoneNetwork(&b, config).ok());
+  const auto ids_a = a.ScanExtent("Pole").value();
+  const auto ids_b = b.ScanExtent("Pole").value();
+  ASSERT_EQ(ids_a.size(), ids_b.size());
+  for (size_t i = 0; i < ids_a.size(); ++i) {
+    EXPECT_EQ(a.FindObject(ids_a[i])->Get("pole_location"),
+              b.FindObject(ids_b[i])->Get("pole_location"));
+  }
+}
+
+TEST(PhoneNet, GetSupplierNameMethodWorks) {
+  geodb::GeoDatabase db("phone_net");
+  ASSERT_TRUE(BuildPhoneNetwork(&db).ok());
+  const auto poles = db.ScanExtent("Pole").value();
+  auto name = db.CallMethod(poles.front(), "get_supplier_name");
+  ASSERT_TRUE(name.ok()) << name.status();
+  EXPECT_FALSE(name.value().string_value().empty());
+}
+
+TEST(PhoneNet, EveryPoleLiesInSomeRegion) {
+  geodb::GeoDatabase db("phone_net");
+  ASSERT_TRUE(BuildPhoneNetwork(&db).ok());
+  const auto regions = db.ScanExtent("ServiceRegion").value();
+  const auto poles = db.ScanExtent("Pole").value();
+  for (geodb::ObjectId pole_id : poles) {
+    const auto& site =
+        db.FindObject(pole_id)->Get("pole_location").geometry_value();
+    bool covered = false;
+    for (geodb::ObjectId region_id : regions) {
+      const auto& area =
+          db.FindObject(region_id)->Get("region_area").geometry_value();
+      if (geom::Intersects(site, area)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "pole " << pole_id << " outside all regions";
+  }
+}
+
+TEST(Environmental, BuildsAndPopulates) {
+  geodb::GeoDatabase db("eco_db");
+  EnvironmentalConfig config;
+  config.num_patches = 10;
+  config.num_rivers = 2;
+  config.num_stations = 5;
+  config.num_protected = 2;
+  ASSERT_TRUE(BuildEnvironmentalDb(&db, config).ok());
+  EXPECT_EQ(db.ExtentSize("VegetationPatch"), 10u);
+  EXPECT_EQ(db.ExtentSize("River"), 2u);
+  EXPECT_EQ(db.ExtentSize("MonitoringStation"), 5u);
+  EXPECT_EQ(db.ExtentSize("ProtectedArea"), 2u);
+  // Rivers are polylines, patches are polygons.
+  const auto rivers = db.ScanExtent("River").value();
+  EXPECT_TRUE(db.FindObject(rivers.front())
+                  ->Get("course")
+                  .geometry_value()
+                  .is_linestring());
+}
+
+TEST(Synthetic, SchemaSweepShapes) {
+  geodb::GeoDatabase db("synthetic");
+  SyntheticSchemaConfig config;
+  config.num_classes = 5;
+  config.attrs_per_class = 4;
+  config.instances_per_class = 7;
+  ASSERT_TRUE(BuildSyntheticSchema(&db, config).ok());
+  EXPECT_EQ(db.schema().NumClasses(), 5u);
+  for (size_t c = 0; c < 5; ++c) {
+    const std::string name = "class_" + std::to_string(c);
+    EXPECT_EQ(db.ExtentSize(name), 7u);
+    // attrs + geometry.
+    EXPECT_EQ(db.schema().AllAttributesOf(name).value().size(), 5u);
+    EXPECT_EQ(db.GeometryAttributeOf(name), "location");
+  }
+  ASSERT_TRUE(AddSyntheticInstances(&db, "class_0", 3, 77,
+                                    config.world)
+                  .ok());
+  EXPECT_EQ(db.ExtentSize("class_0"), 10u);
+}
+
+TEST(Synthetic, ContextsAndDirectives) {
+  const auto contexts = GenerateContexts(10, 3, 2);
+  ASSERT_EQ(contexts.size(), 10u);
+  EXPECT_EQ(contexts[0].user, "user_0");
+  EXPECT_EQ(contexts[4].category, "category_1");
+  EXPECT_EQ(contexts[5].application, "app_1");
+
+  DirectiveSweepConfig config;
+  config.num_directives = 20;
+  config.user_frac = 0.5;
+  const auto directives = GenerateDirectives(config);
+  ASSERT_EQ(directives.size(), 20u);
+  size_t with_user = 0;
+  for (const auto& d : directives) {
+    if (!d.user.empty()) ++with_user;
+    ASSERT_EQ(d.classes.size(), 1u);
+    EXPECT_FALSE(d.classes[0].control.empty());
+  }
+  EXPECT_EQ(with_user, 10u);
+}
+
+}  // namespace
+}  // namespace agis::workload
