@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -77,6 +78,44 @@ void BM_SelectionVsRuleCount(benchmark::State& state) {
   state.counters["rules"] = static_cast<double>(rules);
 }
 BENCHMARK(BM_SelectionVsRuleCount)->RangeMultiplier(4)->Range(16, 16384);
+
+// Cold path: memoization disabled, so every lookup walks the selection
+// index. Isolates the index win from the cache win.
+void BM_SelectionColdVsRuleCount(benchmark::State& state) {
+  RuleEngine engine;
+  const size_t rules = static_cast<size_t>(state.range(0));
+  PopulateRules(&engine, rules, 16, 8);
+  engine.set_cache_capacity(0);
+  const Event event = ProbeEvent(16);
+  for (auto _ : state) {
+    auto cust = engine.GetCustomization(event);
+    benchmark::DoNotOptimize(cust);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_SelectionColdVsRuleCount)->RangeMultiplier(4)->Range(16, 16384);
+
+// Rotating contexts defeat the memo even when it is enabled: each
+// iteration probes a different user, so hits are rare and the indexed
+// scan dominates. This is the realistic multi-user cold workload.
+void BM_SelectionRotatingContexts(benchmark::State& state) {
+  RuleEngine engine;
+  const size_t contexts = 64;
+  PopulateRules(&engine, static_cast<size_t>(state.range(0)), contexts, 8);
+  std::vector<Event> events;
+  for (size_t u = 0; u < contexts; ++u) {
+    Event event = ProbeEvent(contexts);
+    event.context.user = agis::StrCat("user_", u);
+    events.push_back(std::move(event));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto cust = engine.GetCustomization(events[i++ % events.size()]);
+    benchmark::DoNotOptimize(cust);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SelectionRotatingContexts)->RangeMultiplier(4)->Range(16, 16384);
 
 void BM_SelectionVsContextPopulation(benchmark::State& state) {
   RuleEngine engine;

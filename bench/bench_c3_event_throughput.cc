@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -88,6 +90,33 @@ void BM_EngineEventDispatch(benchmark::State& state) {
       static_cast<double>(sys->engine().NumRules());
 }
 BENCHMARK(BM_EngineEventDispatch)->Arg(0)->Arg(10)->Arg(100)->Arg(1000);
+
+// Batched customization resolution: a window-refresh burst resolved
+// through GetCustomizationBatch on the system's UI pool versus one
+// GetCustomization call per event. Arg is the batch size.
+void BM_BatchedCustomizationResolution(benchmark::State& state) {
+  auto sys = MakeSystem(1000);
+  sys->engine().set_cache_capacity(0);  // Measure resolution, not the memo.
+  std::vector<agis::active::Event> events;
+  for (int i = 0; i < state.range(0); ++i) {
+    agis::active::Event event;
+    event.name = agis::active::kEventGetClass;
+    event.context.user = "user_" + std::to_string(i % 8);
+    event.context.category = "category_0";
+    event.context.application = "app_0";
+    event.params["class"] = "class_" + std::to_string(i % 8);
+    events.push_back(std::move(event));
+  }
+  for (auto _ : state) {
+    auto results =
+        sys->engine().GetCustomizationBatch(events, &sys->ui_pool());
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["batch"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BatchedCustomizationResolution)->Arg(4)->Arg(16)->Arg(64);
 
 // Write events flowing through the bridge into general rules.
 void BM_WriteEventThroughBridge(benchmark::State& state) {

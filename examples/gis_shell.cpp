@@ -223,12 +223,17 @@ int main() {
       const auto& db_stats = sys.db().stats();
       std::printf(
           "events=%llu custom_fired=%llu conflicts=%llu | "
+          "memo hits=%llu misses=%llu evictions=%llu size=%zu | "
           "get_class=%llu get_value=%llu inserts=%llu vetoed=%llu | "
           "buffer hit_ratio=%.2f\n",
           static_cast<unsigned long long>(engine_stats.events_processed),
           static_cast<unsigned long long>(
               engine_stats.customization_rules_fired),
           static_cast<unsigned long long>(engine_stats.conflicts_resolved),
+          static_cast<unsigned long long>(engine_stats.cache_hits),
+          static_cast<unsigned long long>(engine_stats.cache_misses),
+          static_cast<unsigned long long>(engine_stats.cache_evictions),
+          sys.engine().cache_size(),
           static_cast<unsigned long long>(db_stats.get_class_calls),
           static_cast<unsigned long long>(db_stats.get_value_calls),
           static_cast<unsigned long long>(db_stats.inserts),

@@ -1,6 +1,8 @@
 #include "active/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <functional>
 
 #include "base/strutil.h"
 
@@ -9,11 +11,122 @@ namespace agis::active {
 namespace {
 /// Bound on reentrant general-rule cascades; deep recursion means a
 /// rule set triggers itself, which the paper's customization family
-/// rules out by construction but general rules could.
+/// rules out by construction but general rules could. Per thread:
+/// actions execute without engine locks, so concurrent threads each
+/// carry their own cascade chain.
 constexpr int kMaxCascadeDepth = 8;
+thread_local int t_cascade_depth = 0;
+
+using CustomizationAction =
+    std::function<agis::Result<WindowCustomization>(const Event&)>;
+using GeneralAction = std::function<agis::Status(const Event&)>;
 }  // namespace
 
 RuleEngine::RuleEngine(ConflictPolicy policy) : policy_(policy) {}
+
+// ---- Selection index maintenance (exclusive lock held) -------------------
+
+std::string RuleEngine::PickDiscriminator(const Bucket& bucket) {
+  std::string best;
+  size_t best_count = 0;
+  for (const auto& [key, count] : bucket.key_counts) {
+    if (count > best_count) {  // Ties keep the smallest key (map order).
+      best = key;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+std::vector<RuleEngine::Candidate>* RuleEngine::PartitionOf(
+    Bucket* bucket, const EcaRule& rule) {
+  if (!bucket->discriminator.empty()) {
+    auto it = rule.param_filters.find(bucket->discriminator);
+    if (it != rule.param_filters.end()) return &bucket->by_value[it->second];
+  }
+  return &bucket->rest;
+}
+
+namespace {
+void InsertSorted(std::vector<std::pair<int, RuleId>>* vec,
+                  std::pair<int, RuleId> candidate) {
+  vec->insert(std::lower_bound(vec->begin(), vec->end(), candidate,
+                               std::greater<std::pair<int, RuleId>>()),
+              candidate);
+}
+}  // namespace
+
+void RuleEngine::RepartitionBucket(Bucket* bucket) {
+  std::vector<Candidate> all;
+  all.reserve(bucket->total);
+  for (const auto& [value, vec] : bucket->by_value) {
+    all.insert(all.end(), vec.begin(), vec.end());
+  }
+  all.insert(all.end(), bucket->rest.begin(), bucket->rest.end());
+  bucket->by_value.clear();
+  bucket->rest.clear();
+  for (const Candidate& candidate : all) {
+    InsertSorted(PartitionOf(bucket, rules_.at(candidate.second)), candidate);
+  }
+}
+
+void RuleEngine::IndexRule(Bucket* bucket, RuleId id, const EcaRule& rule) {
+  ++bucket->total;
+  if (rule.family == RuleFamily::kCustomization) ++bucket->customization_rules;
+  for (const auto& [key, value] : rule.param_filters) {
+    ++bucket->key_counts[key];
+  }
+  const std::string discriminator = PickDiscriminator(*bucket);
+  if (discriminator != bucket->discriminator) {
+    bucket->discriminator = discriminator;
+    RepartitionBucket(bucket);
+  }
+  InsertSorted(PartitionOf(bucket, rule), {rule.EffectivePriority(), id});
+}
+
+void RuleEngine::UnindexRule(Bucket* bucket, RuleId id, const EcaRule& rule) {
+  std::vector<Candidate>* part = PartitionOf(bucket, rule);
+  const Candidate candidate{rule.EffectivePriority(), id};
+  part->erase(std::find(part->begin(), part->end(), candidate));
+  if (part != &bucket->rest && part->empty()) {
+    bucket->by_value.erase(rule.param_filters.at(bucket->discriminator));
+  }
+  --bucket->total;
+  if (rule.family == RuleFamily::kCustomization) --bucket->customization_rules;
+  for (const auto& [key, value] : rule.param_filters) {
+    auto it = bucket->key_counts.find(key);
+    if (--it->second == 0) bucket->key_counts.erase(it);
+  }
+  const std::string discriminator = PickDiscriminator(*bucket);
+  if (discriminator != bucket->discriminator) {
+    bucket->discriminator = discriminator;
+    RepartitionBucket(bucket);
+  }
+}
+
+template <typename Fn>
+void RuleEngine::ForEachCandidate(const Bucket& bucket, const Event& event,
+                                  Fn&& fn) const {
+  const std::vector<Candidate>* filtered = nullptr;
+  if (!bucket.discriminator.empty()) {
+    auto it = bucket.by_value.find(event.Param(bucket.discriminator));
+    if (it != bucket.by_value.end()) filtered = &it->second;
+  }
+  // Merge the two pre-sorted partitions; descending (priority, id)
+  // order is exactly the engine's selection order.
+  size_t i = 0, j = 0;
+  const size_t ni = filtered == nullptr ? 0 : filtered->size();
+  const size_t nj = bucket.rest.size();
+  while (i < ni || j < nj) {
+    const Candidate& next =
+        (i < ni && (j >= nj || (*filtered)[i] > bucket.rest[j]))
+            ? (*filtered)[i++]
+            : bucket.rest[j++];
+    if (!fn(rules_.at(next.second))) return;
+  }
+}
+
+// ---- Rule registration ---------------------------------------------------
 
 agis::Result<RuleId> RuleEngine::AddRule(EcaRule rule) {
   if (rule.event_name.empty()) {
@@ -29,140 +142,372 @@ agis::Result<RuleId> RuleEngine::AddRule(EcaRule rule) {
     return agis::Status::InvalidArgument(
         agis::StrCat("general rule '", rule.name, "' has no action"));
   }
-  const RuleId id = next_id_++;
-  by_event_[rule.event_name].push_back(id);
-  rules_.emplace(id, std::move(rule));
-  return id;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    const RuleId id = next_id_++;
+    auto [it, inserted] = rules_.emplace(id, std::move(rule));
+    IndexRule(&by_event_[it->second.event_name], id, it->second);
+    by_provenance_[it->second.provenance].push_back(id);
+    {
+      std::lock_guard<std::mutex> memo(memo_mutex_);
+      BumpGenerationLocked();
+    }
+    return id;
+  }
 }
 
 agis::Status RuleEngine::RemoveRule(RuleId id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = rules_.find(id);
   if (it == rules_.end()) {
     return agis::Status::NotFound(agis::StrCat("rule ", id));
   }
-  auto& ids = by_event_[it->second.event_name];
-  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
-  rules_.erase(it);
+  RemoveRuleLocked(it);
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  BumpGenerationLocked();
   return agis::Status::OK();
 }
 
+void RuleEngine::RemoveRuleLocked(std::map<RuleId, EcaRule>::iterator it) {
+  const RuleId id = it->first;
+  const EcaRule& rule = it->second;
+  auto bucket_it = by_event_.find(rule.event_name);
+  UnindexRule(&bucket_it->second, id, rule);
+  if (bucket_it->second.total == 0) by_event_.erase(bucket_it);
+  auto prov_it = by_provenance_.find(rule.provenance);
+  auto& ids = prov_it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  if (ids.empty()) by_provenance_.erase(prov_it);
+  rules_.erase(it);
+}
+
 size_t RuleEngine::RemoveRulesByProvenance(const std::string& provenance) {
-  std::vector<RuleId> victims;
-  for (const auto& [id, rule] : rules_) {
-    if (rule.provenance == provenance) victims.push_back(id);
-  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto prov_it = by_provenance_.find(provenance);
+  if (prov_it == by_provenance_.end()) return 0;
+  const std::vector<RuleId> victims = prov_it->second;
   for (RuleId id : victims) {
-    (void)RemoveRule(id);
+    RemoveRuleLocked(rules_.find(id));
   }
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  BumpGenerationLocked();
   return victims.size();
 }
 
 size_t RuleEngine::CountRulesByProvenance(
     const std::string& provenance) const {
-  size_t count = 0;
-  for (const auto& [id, rule] : rules_) {
-    if (rule.provenance == provenance) ++count;
-  }
-  return count;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = by_provenance_.find(provenance);
+  return it == by_provenance_.end() ? 0 : it->second.size();
+}
+
+size_t RuleEngine::NumRules() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return rules_.size();
 }
 
 const EcaRule* RuleEngine::FindRule(RuleId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = rules_.find(id);
   return it == rules_.end() ? nullptr : &it->second;
 }
 
+// ---- Selection -----------------------------------------------------------
+
 std::vector<const EcaRule*> RuleEngine::MatchingRules(
     const Event& event) const {
-  std::vector<std::pair<RuleId, const EcaRule*>> hits;
-  auto idx = by_event_.find(event.name);
-  if (idx == by_event_.end()) return {};
-  for (RuleId id : idx->second) {
-    const EcaRule& rule = rules_.at(id);
-    if (rule.Triggers(event)) hits.emplace_back(id, &rule);
-  }
-  std::stable_sort(hits.begin(), hits.end(),
-                   [](const auto& a, const auto& b) {
-                     const int pa = a.second->EffectivePriority();
-                     const int pb = b.second->EffectivePriority();
-                     if (pa != pb) return pa > pb;
-                     return a.first > b.first;  // Later registration wins.
-                   });
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = by_event_.find(event.name);
+  if (it == by_event_.end()) return {};
   std::vector<const EcaRule*> out;
-  out.reserve(hits.size());
-  for (const auto& [id, rule] : hits) out.push_back(rule);
+  ForEachCandidate(it->second, event, [&](const EcaRule& rule) {
+    if (rule.Triggers(event)) out.push_back(&rule);
+    return true;
+  });
   return out;
 }
 
 const EcaRule* RuleEngine::SelectCustomizationRule(const Event& event) const {
-  for (const EcaRule* rule : MatchingRules(event)) {
-    if (rule->family == RuleFamily::kCustomization) return rule;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = by_event_.find(event.name);
+  if (it == by_event_.end() || it->second.customization_rules == 0) {
+    return nullptr;
   }
-  return nullptr;
+  const EcaRule* winner = nullptr;
+  ForEachCandidate(it->second, event, [&](const EcaRule& rule) {
+    if (rule.family == RuleFamily::kCustomization && rule.Triggers(event)) {
+      winner = &rule;
+      return false;
+    }
+    return true;
+  });
+  return winner;
+}
+
+std::string RuleEngine::CacheKey(const Event& event) {
+  std::string key;
+  key.reserve(64);
+  const auto append = [&key](const std::string& s) {
+    key += std::to_string(s.size());
+    key += ':';
+    key += s;
+  };
+  append(event.name);
+  for (const auto& [k, v] : event.params) {
+    append(k);
+    append(v);
+  }
+  key += '|';
+  append(event.context.user);
+  append(event.context.category);
+  append(event.context.application);
+  for (const auto& [k, v] : event.context.extras) {
+    append(k);
+    append(v);
+  }
+  return key;
+}
+
+void RuleEngine::EvictToCapacityLocked() {
+  while (cache_.size() > cache_capacity_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
 }
 
 agis::Result<std::optional<WindowCustomization>> RuleEngine::GetCustomization(
     const Event& event) {
-  ++stats_.events_processed;
-  std::vector<const EcaRule*> matching;
-  for (const EcaRule* rule : MatchingRules(event)) {
-    if (rule->family == RuleFamily::kCustomization) matching.push_back(rule);
-  }
-  if (matching.empty()) return std::optional<WindowCustomization>();
-  if (matching.size() > 1) ++stats_.conflicts_resolved;
-
-  if (policy_ == ConflictPolicy::kMostSpecific) {
-    ++stats_.customization_rules_fired;
-    AGIS_ASSIGN_OR_RETURN(WindowCustomization cust,
-                          matching.front()->customization_action(event));
-    return std::optional<WindowCustomization>(std::move(cust));
+  // Fast path: no customization rule listens on this event at all.
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = by_event_.find(event.name);
+    if (it == by_event_.end() || it->second.customization_rules == 0) {
+      std::lock_guard<std::mutex> memo(memo_mutex_);
+      ++stats_.events_processed;
+      return std::optional<WindowCustomization>();
+    }
   }
 
-  // kExecuteAllMerge: apply from most general to most specific.
-  WindowCustomization merged;
-  for (auto it = matching.rbegin(); it != matching.rend(); ++it) {
-    ++stats_.customization_rules_fired;
-    AGIS_ASSIGN_OR_RETURN(WindowCustomization layer,
-                          (*it)->customization_action(event));
-    MergeCustomization(layer, &merged);
+  // Memo probe. The generation stamp makes invalidation lazy: a rule
+  // mutation only bumps generation_, and stale entries die on touch.
+  const std::string key = CacheKey(event);
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> memo(memo_mutex_);
+    ++stats_.events_processed;
+    generation = generation_;
+    if (cache_capacity_ > 0) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        if (it->second.generation == generation_) {
+          ++stats_.cache_hits;
+          lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+          return it->second.payload;
+        }
+        lru_.erase(it->second.lru_it);
+        cache_.erase(it);
+      }
+      ++stats_.cache_misses;
+    }
   }
-  return std::optional<WindowCustomization>(std::move(merged));
+
+  // Resolve: copy the matching actions out under the shared lock, then
+  // execute them lock-free (actions may re-enter the engine).
+  CustomizationAction winner;
+  std::vector<CustomizationAction> layers;
+  size_t match_count = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = by_event_.find(event.name);
+    if (it != by_event_.end()) {
+      ForEachCandidate(it->second, event, [&](const EcaRule& rule) {
+        if (rule.family != RuleFamily::kCustomization ||
+            !rule.Triggers(event)) {
+          return true;
+        }
+        ++match_count;
+        if (policy_ == ConflictPolicy::kMostSpecific) {
+          if (!winner) winner = rule.customization_action;
+        } else {
+          layers.push_back(rule.customization_action);
+        }
+        return true;
+      });
+    }
+  }
+
+  std::optional<WindowCustomization> resolved;
+  uint64_t fired = 0;
+  if (match_count > 0) {
+    if (policy_ == ConflictPolicy::kMostSpecific) {
+      ++fired;
+      agis::Result<WindowCustomization> result = winner(event);
+      if (!result.ok()) {
+        std::lock_guard<std::mutex> memo(memo_mutex_);
+        if (match_count > 1) ++stats_.conflicts_resolved;
+        stats_.customization_rules_fired += fired;
+        return result.status();
+      }
+      resolved = std::move(result).value();
+    } else {
+      // kExecuteAllMerge: apply from most general to most specific.
+      WindowCustomization merged;
+      for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+        ++fired;
+        agis::Result<WindowCustomization> layer = (*it)(event);
+        if (!layer.ok()) {
+          std::lock_guard<std::mutex> memo(memo_mutex_);
+          if (match_count > 1) ++stats_.conflicts_resolved;
+          stats_.customization_rules_fired += fired;
+          return layer.status();
+        }
+        MergeCustomization(layer.value(), &merged);
+      }
+      resolved = std::move(merged);
+    }
+  }
+
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  if (match_count > 1) ++stats_.conflicts_resolved;
+  stats_.customization_rules_fired += fired;
+  if (cache_capacity_ > 0) {
+    // Stamp with the generation read before resolving: if a mutation
+    // raced past us the entry arrives already stale, never wrong.
+    auto [it, inserted] = cache_.try_emplace(key);
+    if (!inserted) lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second = CacheEntry{generation, resolved, lru_.begin()};
+    EvictToCapacityLocked();
+  }
+  return resolved;
+}
+
+std::vector<agis::Result<std::optional<WindowCustomization>>>
+RuleEngine::GetCustomizationBatch(const std::vector<Event>& events,
+                                  agis::ThreadPool* pool) {
+  std::vector<agis::Result<std::optional<WindowCustomization>>> out(
+      events.size(),
+      agis::Result<std::optional<WindowCustomization>>(
+          agis::Status::Internal("unresolved batch slot")));
+  if (pool == nullptr || events.size() <= 1) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      out[i] = GetCustomization(events[i]);
+    }
+    return out;
+  }
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  size_t remaining = events.size();
+  for (size_t i = 0; i < events.size(); ++i) {
+    pool->Submit([this, &events, &out, &done_mutex, &done_cv, &remaining, i] {
+      auto result = GetCustomization(events[i]);
+      std::lock_guard<std::mutex> lock(done_mutex);
+      out[i] = std::move(result);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  return out;
 }
 
 agis::Status RuleEngine::FireGeneralRules(const Event& event) {
-  ++stats_.events_processed;
-  if (cascade_depth_ >= kMaxCascadeDepth) {
+  {
+    std::lock_guard<std::mutex> memo(memo_mutex_);
+    ++stats_.events_processed;
+  }
+  if (t_cascade_depth >= kMaxCascadeDepth) {
     return agis::Status::FailedPrecondition(
         agis::StrCat("rule cascade exceeded depth ", kMaxCascadeDepth,
                      " at event ", event.name));
   }
-  ++cascade_depth_;
+  std::vector<GeneralAction> actions;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = by_event_.find(event.name);
+    if (it != by_event_.end()) {
+      ForEachCandidate(it->second, event, [&](const EcaRule& rule) {
+        if (rule.family == RuleFamily::kGeneral && rule.Triggers(event)) {
+          actions.push_back(rule.general_action);
+        }
+        return true;
+      });
+    }
+  }
+  ++t_cascade_depth;
   agis::Status status = agis::Status::OK();
-  for (const EcaRule* rule : MatchingRules(event)) {
-    if (rule->family != RuleFamily::kGeneral) continue;
-    ++stats_.general_rules_fired;
-    status = rule->general_action(event);
+  uint64_t fired = 0;
+  for (const GeneralAction& action : actions) {
+    ++fired;
+    status = action(event);
     if (!status.ok()) break;
   }
-  --cascade_depth_;
+  --t_cascade_depth;
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  stats_.general_rules_fired += fired;
   return status;
 }
 
 std::vector<std::pair<RuleId, RuleId>> RuleEngine::FindShadowedRules() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::pair<RuleId, RuleId>> out;
-  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
-    if (it->second.family != RuleFamily::kCustomization) continue;
-    for (auto jt = std::next(it); jt != rules_.end(); ++jt) {
-      if (jt->second.family != RuleFamily::kCustomization) continue;
-      const EcaRule& a = it->second;
-      const EcaRule& b = jt->second;
-      if (a.event_name == b.event_name && a.param_filters == b.param_filters &&
-          a.condition == b.condition &&
-          a.priority_boost == b.priority_boost) {
-        out.emplace_back(it->first, jt->first);
+  // Shadowing requires equal (event, filters, condition, boost): equal
+  // filters put both rules in the same partition of the same bucket,
+  // and equal (condition, boost) gives equal effective priority — so
+  // only equal-priority runs inside each partition need comparing.
+  const auto scan = [&](const std::vector<Candidate>& vec) {
+    size_t run_start = 0;
+    while (run_start < vec.size()) {
+      size_t run_end = run_start + 1;
+      while (run_end < vec.size() &&
+             vec[run_end].first == vec[run_start].first) {
+        ++run_end;
       }
+      for (size_t i = run_start; i < run_end; ++i) {
+        const EcaRule& later = rules_.at(vec[i].second);
+        if (later.family != RuleFamily::kCustomization) continue;
+        for (size_t j = i + 1; j < run_end; ++j) {
+          // Descending id order within a run: vec[j] registered first.
+          const EcaRule& earlier = rules_.at(vec[j].second);
+          if (earlier.family != RuleFamily::kCustomization) continue;
+          if (earlier.param_filters == later.param_filters &&
+              earlier.condition == later.condition &&
+              earlier.priority_boost == later.priority_boost) {
+            out.emplace_back(vec[j].second, vec[i].second);
+          }
+        }
+      }
+      run_start = run_end;
     }
+  };
+  for (const auto& [event_name, bucket] : by_event_) {
+    for (const auto& [value, vec] : bucket.by_value) scan(vec);
+    scan(bucket.rest);
   }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+void RuleEngine::ResetStats() {
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  stats_ = EngineStats();
+}
+
+void RuleEngine::set_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  cache_capacity_ = capacity;
+  EvictToCapacityLocked();
+}
+
+size_t RuleEngine::cache_capacity() const {
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  return cache_capacity_;
+}
+
+size_t RuleEngine::cache_size() const {
+  std::lock_guard<std::mutex> memo(memo_mutex_);
+  return cache_.size();
 }
 
 void RuleEngine::MergeCustomization(const WindowCustomization& overlay,

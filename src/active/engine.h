@@ -1,13 +1,19 @@
 #ifndef AGIS_ACTIVE_ENGINE_H_
 #define AGIS_ACTIVE_ENGINE_H_
 
+#include <list>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "active/rule.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 
 namespace agis::active {
 
@@ -22,7 +28,9 @@ enum class ConflictPolicy {
   kExecuteAllMerge,
 };
 
-/// Engine statistics.
+/// Engine statistics. Counter updates are internally synchronized;
+/// read the struct while the engine is quiescent (no concurrent
+/// calls) for exact values.
 struct EngineStats {
   uint64_t events_processed = 0;
   uint64_t customization_rules_fired = 0;
@@ -30,6 +38,12 @@ struct EngineStats {
   /// Events that matched more than one customization rule and needed
   /// conflict resolution.
   uint64_t conflicts_resolved = 0;
+  /// Customization memo: lookups served from the cache, lookups that
+  /// had to resolve (including stale generations), and entries pushed
+  /// out by the LRU capacity bound.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
 };
 
 /// The active mechanism: rule registration, event-driven selection,
@@ -41,6 +55,23 @@ struct EngineStats {
 /// (later rules refine earlier ones). General rules (constraint
 /// maintenance, logging) all fire; the first failing action vetoes
 /// the triggering operation. A depth guard bounds rule cascades.
+///
+/// Selection is indexed: every per-event candidate list is kept
+/// sorted by effective priority at mutation time, and each event
+/// bucket discriminates on its dominant `param_filters` key (for
+/// `Get_Class` rules that is "class"), so a lookup touches only the
+/// rules that could plausibly trigger. Resolved customizations are
+/// memoized in a generation-stamped LRU cache keyed by
+/// (event name, params, context); any rule mutation bumps the
+/// generation and lazily invalidates. Customization actions are
+/// therefore required to be deterministic for a given event — the
+/// compiler-produced payload closures are.
+///
+/// Thread safety: rule lookup and customization resolution take a
+/// shared lock and may run concurrently from many threads (see
+/// GetCustomizationBatch); AddRule/RemoveRule/RemoveRulesByProvenance
+/// take the exclusive lock. Rule actions execute with no engine lock
+/// held, so actions may re-enter the engine (cascades, view refresh).
 class RuleEngine {
  public:
   explicit RuleEngine(ConflictPolicy policy = ConflictPolicy::kMostSpecific);
@@ -62,11 +93,12 @@ class RuleEngine {
   /// Number of installed rules carrying `provenance`.
   size_t CountRulesByProvenance(const std::string& provenance) const;
 
-  size_t NumRules() const { return rules_.size(); }
+  size_t NumRules() const;
   const EcaRule* FindRule(RuleId id) const;
 
   /// All rules triggered by `event`, highest effective priority first
-  /// (ties: later registration first).
+  /// (ties: later registration first). The returned pointers are valid
+  /// until the next rule mutation.
   std::vector<const EcaRule*> MatchingRules(const Event& event) const;
 
   /// The customization rule that would win for `event`, or nullptr.
@@ -78,35 +110,112 @@ class RuleEngine {
   agis::Result<std::optional<WindowCustomization>> GetCustomization(
       const Event& event);
 
+  /// Resolves a batch of events — one result per event, same order.
+  /// With a pool, events resolve concurrently on the pool's workers
+  /// (the read path is shared-lock safe); without one, sequentially.
+  std::vector<agis::Result<std::optional<WindowCustomization>>>
+  GetCustomizationBatch(const std::vector<Event>& events,
+                        agis::ThreadPool* pool = nullptr);
+
   /// Executes every matching general rule; the first non-OK action
   /// status is returned (used as a write veto). Reentrant firing is
-  /// depth-guarded.
+  /// depth-guarded (per thread).
   agis::Status FireGeneralRules(const Event& event);
 
   /// Pairs (shadowed, shadowing) of customization rules where the
   /// first can never be selected: same event selector, identical
   /// condition and boost, later registration wins ties. Diagnostic
-  /// for application designers.
+  /// for application designers. Pairs are ordered by id.
   std::vector<std::pair<RuleId, RuleId>> FindShadowedRules() const;
 
   const EngineStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = EngineStats(); }
+  void ResetStats();
   ConflictPolicy policy() const { return policy_; }
 
+  /// Maximum number of memoized customizations (0 disables the
+  /// cache). Shrinking below the current size evicts immediately.
+  void set_cache_capacity(size_t capacity);
+  size_t cache_capacity() const;
+  /// Entries currently resident (stale ones included until touched).
+  size_t cache_size() const;
+
  private:
+  /// One (priority, id) candidate; vectors of these are kept sorted
+  /// descending, which is exactly "highest effective priority first,
+  /// ties to the later registration".
+  using Candidate = std::pair<int, RuleId>;
+
+  /// Per-event-name index bucket. Candidates are partitioned on the
+  /// bucket's dominant param_filters key: rules filtering on it live
+  /// in `by_value[filter value]`, everything else in `rest`. A lookup
+  /// merges `by_value[event param]` with `rest`, skipping the rules
+  /// whose filter value cannot match.
+  struct Bucket {
+    std::string discriminator;  // Empty: no rule filters on params.
+    std::map<std::string, std::vector<Candidate>> by_value;
+    std::vector<Candidate> rest;
+    /// How many rules filter on each param key (discriminator =
+    /// argmax, ties to the lexicographically smallest key).
+    std::map<std::string, size_t> key_counts;
+    size_t customization_rules = 0;
+    size_t total = 0;
+  };
+
   /// Merges `overlay` (more specific) over `base` for the
   /// execute-all-merge ablation policy.
   static void MergeCustomization(const WindowCustomization& overlay,
                                  WindowCustomization* base);
 
-  ConflictPolicy policy_;
+  /// Unambiguous memo key over (event name, params, context).
+  static std::string CacheKey(const Event& event);
+
+  /// Walks the bucket's plausible candidates for `event` in priority
+  /// order, invoking `fn(rule)`; `fn` returns false to stop early.
+  template <typename Fn>
+  void ForEachCandidate(const Bucket& bucket, const Event& event,
+                        Fn&& fn) const;
+
+  /// The dominant filter key for `bucket` under its current counts.
+  static std::string PickDiscriminator(const Bucket& bucket);
+  /// Which partition vector of `bucket` holds `rule`'s candidates.
+  std::vector<Candidate>* PartitionOf(Bucket* bucket, const EcaRule& rule);
+  /// Re-partitions `bucket` after its discriminator changed.
+  void RepartitionBucket(Bucket* bucket);
+  void IndexRule(Bucket* bucket, RuleId id, const EcaRule& rule);
+  void UnindexRule(Bucket* bucket, RuleId id, const EcaRule& rule);
+  /// Requires the exclusive lock: removes one rule from every index.
+  void RemoveRuleLocked(std::map<RuleId, EcaRule>::iterator it);
+
+  /// Requires memo_mutex_. Records a mutation: bumps the memo
+  /// generation (lazy cache invalidation).
+  void BumpGenerationLocked() { ++generation_; }
+  /// Requires memo_mutex_. Evicts LRU entries down to capacity.
+  void EvictToCapacityLocked();
+
+  const ConflictPolicy policy_;
+
+  /// Guards rules_, by_event_, by_provenance_, next_id_. Shared for
+  /// lookup, exclusive for mutation.
+  mutable std::shared_mutex mutex_;
   /// Rules keyed by id; map order == registration order.
   std::map<RuleId, EcaRule> rules_;
-  /// Index: event name -> rule ids (ascending).
-  std::map<std::string, std::vector<RuleId>> by_event_;
+  std::map<std::string, Bucket> by_event_;
+  std::map<std::string, std::vector<RuleId>> by_provenance_;
   RuleId next_id_ = 1;
-  int cascade_depth_ = 0;
+
+  /// Guards stats_ and the customization memo (cache_, lru_,
+  /// generation_, cache_capacity_).
+  mutable std::mutex memo_mutex_;
   EngineStats stats_;
+  struct CacheEntry {
+    uint64_t generation;
+    std::optional<WindowCustomization> payload;
+    std::list<std::string>::iterator lru_it;
+  };
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::list<std::string> lru_;  // Front = most recently used key.
+  uint64_t generation_ = 0;
+  size_t cache_capacity_ = 1024;
 };
 
 }  // namespace agis::active

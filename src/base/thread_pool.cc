@@ -1,0 +1,61 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace agis {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock,
+                 [this] { return queue_.empty() && active_workers_ == 0; });
+}
+
+uint64_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // Shutdown with a drained queue.
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_workers_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_workers_;
+    ++completed_;
+    if (queue_.empty() && active_workers_ == 0) all_idle_.notify_all();
+  }
+}
+
+}  // namespace agis

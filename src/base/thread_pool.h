@@ -1,0 +1,60 @@
+#ifndef AGIS_BASE_THREAD_POOL_H_
+#define AGIS_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agis {
+
+/// A small fixed-size worker pool for fan-out work (batched
+/// customization resolution, multi-window refresh). Deliberately
+/// minimal: FIFO queue, no futures — callers that need completion
+/// signalling layer their own latch on top (see
+/// RuleEngine::GetCustomizationBatch).
+///
+/// All methods are thread-safe. Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle. Note
+  /// this waits for *all* submitted tasks, including tasks enqueued by
+  /// other threads.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks that have finished executing since construction.
+  uint64_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_workers_ = 0;
+  uint64_t completed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace agis
+
+#endif  // AGIS_BASE_THREAD_POOL_H_

@@ -1,0 +1,307 @@
+#include "builder/interface_builder.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "base/strutil.h"
+#include "carto/ascii_renderer.h"
+#include "carto/canvas.h"
+#include "carto/svg_renderer.h"
+#include "geom/algorithms.h"
+#include "uilib/widget_props.h"
+
+namespace agis::builder {
+
+namespace {
+
+using uilib::InterfaceObject;
+using uilib::MakeWidget;
+using uilib::WidgetKind;
+
+/// Window "context" property — the explanation mode reports it
+/// verbatim ("user=juliano category= application=pole_manager ...").
+std::string FormatContext(const UserContext& ctx) {
+  std::string out = agis::StrCat("user=", ctx.user, " category=", ctx.category,
+                                 " application=", ctx.application);
+  for (const auto& [key, value] : ctx.extras) {
+    out += agis::StrCat(" ", key, "=", value);
+  }
+  return out;
+}
+
+bool IsSystemClass(const std::string& name) {
+  return name.rfind("__", 0) == 0;
+}
+
+bool IsMethodCall(const std::string& source) {
+  const size_t paren = source.find('(');
+  return paren != std::string::npos && !source.empty() &&
+         source.back() == ')';
+}
+
+/// Resolves a dotted `from` path ("pole.material") against a tuple
+/// value whose fields follow the workload naming convention
+/// ("pole_material"): accepts an exact field name, prefix_field, or
+/// any field ending in "_field" (mirrors custlang's analyzer).
+std::string ResolveTupleSource(const geodb::Value& value,
+                               const std::string& source) {
+  if (value.kind() != geodb::ValueKind::kTuple) {
+    return value.ToDisplayString();
+  }
+  const size_t dot = source.find('.');
+  const std::string prefix = source.substr(0, dot);
+  const std::string field = source.substr(dot + 1);
+  const std::string underscored = agis::StrCat(prefix, "_", field);
+  const std::string suffix = agis::StrCat("_", field);
+  for (const auto& [name, field_value] : value.tuple_value()) {
+    const bool suffix_match =
+        name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+    if (name == field || name == underscored || suffix_match) {
+      return field_value.ToDisplayString();
+    }
+  }
+  return "null";
+}
+
+}  // namespace
+
+GenericInterfaceBuilder::GenericInterfaceBuilder(
+    geodb::GeoDatabase* db, uilib::InterfaceObjectLibrary* library,
+    carto::StyleRegistry* styles)
+    : db_(db), library_(library), styles_(styles) {}
+
+std::unique_ptr<InterfaceObject> GenericInterfaceBuilder::NewWindow(
+    const std::string& name, const char* window_type,
+    const UserContext& ctx) const {
+  auto window = MakeWidget(WidgetKind::kWindow, name);
+  window->SetProperty(uilib::kPropWindowType, window_type);
+  window->SetProperty("context", FormatContext(ctx));
+  return window;
+}
+
+agis::Result<std::unique_ptr<InterfaceObject>>
+GenericInterfaceBuilder::BuildSchemaWindow(
+    const active::WindowCustomization* customization, const UserContext& ctx,
+    const BuildOptions& options) {
+  (void)options;
+  const geodb::Schema& schema = db_->schema();
+  auto window = NewWindow(agis::StrCat("Schema: ", schema.name()),
+                          uilib::kWindowSchema, ctx);
+  window->SetProperty(uilib::kPropLabel, schema.name());
+
+  const active::SchemaDisplayMode mode =
+      customization == nullptr ? active::SchemaDisplayMode::kDefault
+                               : customization->schema_mode;
+  window->SetProperty("schema_display", active::SchemaDisplayModeName(mode));
+  if (mode == active::SchemaDisplayMode::kNull) {
+    // `schema ... display as Null`: the window exists (the dispatcher
+    // may auto-open classes) but shows nothing.
+    window->SetProperty(uilib::kPropHidden, "true");
+    return window;
+  }
+
+  if (mode == active::SchemaDisplayMode::kHierarchy) {
+    auto* hierarchy =
+        window->AddChild(MakeWidget(WidgetKind::kTextField, "hierarchy"));
+    hierarchy->SetProperty(uilib::kPropValue, schema.ToString());
+  }
+
+  std::vector<std::string> classes;
+  for (const std::string& name : schema.ClassNames()) {
+    if (!IsSystemClass(name)) classes.push_back(name);
+  }
+  auto* list = window->AddChild(MakeWidget(WidgetKind::kList, "classes"));
+  list->SetProperty(uilib::kPropLabel, "Classes");
+  uilib::SetListItems(list, classes);
+  return window;
+}
+
+agis::Result<std::unique_ptr<InterfaceObject>>
+GenericInterfaceBuilder::BuildClassSetWindow(
+    const std::string& class_name,
+    const active::WindowCustomization* customization, const UserContext& ctx,
+    const BuildOptions& options) {
+  if (!db_->schema().HasClass(class_name)) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", class_name, "' is not in the schema"));
+  }
+  auto window = NewWindow(agis::StrCat("Class set: ", class_name),
+                          uilib::kWindowClassSet, ctx);
+  window->SetProperty(uilib::kPropClass, class_name);
+
+  // Control area: customized prototype or the default per-class widget.
+  const std::string control_proto =
+      (customization != nullptr && !customization->control_widget.empty())
+          ? customization->control_widget
+          : "class_control";
+  AGIS_ASSIGN_OR_RETURN(std::unique_ptr<InterfaceObject> control,
+                        library_->Instantiate(control_proto));
+  control->set_name(agis::StrCat("control_", class_name));
+  control->SetProperty("prototype", control_proto);
+  control->SetProperty(uilib::kPropClass, class_name);
+  window->AddChild(std::move(control));
+
+  AGIS_RETURN_IF_ERROR(AddPresentationArea(window.get(), class_name,
+                                           customization, ctx, options));
+  return window;
+}
+
+agis::Status GenericInterfaceBuilder::AddPresentationArea(
+    InterfaceObject* window, const std::string& class_name,
+    const active::WindowCustomization* customization, const UserContext& ctx,
+    const BuildOptions& options) {
+  AGIS_ASSIGN_OR_RETURN(geodb::ClassResult result,
+                        db_->GetClass(class_name, options.query, ctx));
+
+  const std::string style_label =
+      (customization != nullptr && !customization->presentation_format.empty())
+          ? customization->presentation_format
+          : "default";
+  const std::string feature_style =
+      style_label == "default" ? "defaultFormat" : style_label;
+
+  const std::string geometry_attr = db_->GeometryAttributeOf(class_name);
+  std::vector<carto::StyledFeature> features;
+  if (!geometry_attr.empty()) {
+    features.reserve(result.ids.size());
+    for (geodb::ObjectId id : result.ids) {
+      const geodb::ObjectInstance* obj = db_->FindObject(id);
+      if (obj == nullptr) continue;
+      const geodb::Value& value = obj->Get(geometry_attr);
+      if (value.is_null()) continue;
+      features.push_back(
+          carto::StyledFeature{id, value.geometry_value(), feature_style, ""});
+    }
+  }
+
+  carto::MapCanvas canvas(carto::MapCanvas::FitBounds(features),
+                          options.map_width, options.map_height);
+  size_t points_removed = 0;
+  if (options.generalize) {
+    // Display-scale generalization: nothing smaller than one raster
+    // cell survives projection, so simplify to that tolerance.
+    const double tolerance =
+        std::max(canvas.UnitsPerCellX(), canvas.UnitsPerCellY());
+    for (carto::StyledFeature& feature : features) {
+      const size_t before = feature.geometry.NumPoints();
+      feature.geometry = geom::Simplify(feature.geometry, tolerance);
+      points_removed += before - feature.geometry.NumPoints();
+    }
+  }
+  const size_t feature_count = features.size();
+  for (carto::StyledFeature& feature : features) {
+    canvas.AddFeature(std::move(feature));
+  }
+
+  auto* area =
+      window->AddChild(MakeWidget(WidgetKind::kDrawingArea, "presentation"));
+  area->SetProperty(uilib::kPropStyle, style_label);
+  area->SetProperty(uilib::kPropFeatureCount, agis::StrCat(feature_count));
+  area->SetProperty("generalized_points_removed",
+                    agis::StrCat(points_removed));
+  std::string ids_csv;
+  for (geodb::ObjectId id : result.ids) {
+    if (!ids_csv.empty()) ids_csv += ',';
+    ids_csv += agis::StrCat(id);
+  }
+  area->SetProperty("ids", ids_csv);
+  area->SetProperty(uilib::kPropContent,
+                    carto::AsciiRenderer(styles_).RenderFramed(canvas));
+  area->SetProperty(uilib::kPropSvg, carto::SvgRenderer(styles_).Render(canvas));
+  return agis::Status::OK();
+}
+
+agis::Result<std::string> GenericInterfaceBuilder::ComposeSources(
+    const geodb::ObjectInstance& obj,
+    const active::AttributeCustomization& cust,
+    const std::string& separator) const {
+  if (cust.sources.empty()) {
+    return obj.Get(cust.attribute).ToDisplayString();
+  }
+  std::string out;
+  for (const std::string& source : cust.sources) {
+    std::string part;
+    if (IsMethodCall(source)) {
+      const std::string method =
+          agis::Trim(source.substr(0, source.find('(')));
+      AGIS_ASSIGN_OR_RETURN(geodb::Value value,
+                            db_->CallMethod(obj.id(), method));
+      part = value.ToDisplayString();
+    } else if (source.find('.') != std::string::npos) {
+      part = ResolveTupleSource(obj.Get(cust.attribute), source);
+    } else {
+      part = obj.Get(source).ToDisplayString();
+    }
+    if (!out.empty()) out += separator;
+    out += part;
+  }
+  return out;
+}
+
+agis::Result<std::unique_ptr<InterfaceObject>>
+GenericInterfaceBuilder::BuildInstanceWindow(
+    geodb::ObjectId id, const active::WindowCustomization* customization,
+    const UserContext& ctx, const BuildOptions& options) {
+  (void)options;
+  const geodb::ObjectInstance* obj = db_->FindObject(id);
+  if (obj == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  const std::string& class_name = obj->class_name();
+  AGIS_ASSIGN_OR_RETURN(std::vector<geodb::AttributeDef> attrs,
+                        db_->schema().AllAttributesOf(class_name));
+
+  auto window = NewWindow(agis::StrCat("Instance: ", class_name, "#", id),
+                          uilib::kWindowInstance, ctx);
+  window->SetProperty(uilib::kPropClass, class_name);
+  window->SetProperty(uilib::kPropObject, agis::StrCat(id));
+
+  auto* rows = window->AddChild(MakeWidget(WidgetKind::kPanel, "attributes"));
+  for (const geodb::AttributeDef& attr : attrs) {
+    const active::AttributeCustomization* cust =
+        customization == nullptr ? nullptr
+                                 : customization->FindAttribute(attr.name);
+    if (cust != nullptr && cust->hidden) continue;  // `display as Null`.
+
+    if (cust != nullptr && !cust->widget.empty()) {
+      AGIS_ASSIGN_OR_RETURN(std::unique_ptr<InterfaceObject> row,
+                            library_->Instantiate(cust->widget));
+      row->set_name(agis::StrCat("attr_", attr.name));
+      row->SetProperty("prototype", cust->widget);
+      row->SetProperty(uilib::kPropLabel, attr.name);
+      if (!cust->callback.empty()) {
+        row->SetProperty("callback", cust->callback);
+      }
+      const std::string& proto_separator = row->GetProperty("separator");
+      AGIS_ASSIGN_OR_RETURN(
+          const std::string value,
+          ComposeSources(*obj, *cust,
+                         proto_separator.empty() ? ", " : proto_separator));
+      InterfaceObject* value_field = row->CanContainChildren()
+                                         ? row->FindDescendant("attr_value")
+                                         : nullptr;
+      (value_field != nullptr ? value_field : row.get())
+          ->SetProperty(uilib::kPropValue, value);
+      rows->AddChild(std::move(row));
+      continue;
+    }
+
+    AGIS_ASSIGN_OR_RETURN(std::unique_ptr<InterfaceObject> row,
+                          library_->Instantiate("attribute_row"));
+    row->set_name(agis::StrCat("attr_", attr.name));
+    row->SetProperty(uilib::kPropLabel, attr.name);
+    if (InterfaceObject* label = row->FindChild("attr_label")) {
+      label->SetProperty(uilib::kPropValue, attr.name);
+    }
+    if (InterfaceObject* value_field = row->FindChild("attr_value")) {
+      value_field->SetProperty(uilib::kPropValue,
+                               obj->Get(attr.name).ToDisplayString());
+    }
+    rows->AddChild(std::move(row));
+  }
+  return window;
+}
+
+}  // namespace agis::builder

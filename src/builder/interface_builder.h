@@ -1,0 +1,95 @@
+#ifndef AGIS_BUILDER_INTERFACE_BUILDER_H_
+#define AGIS_BUILDER_INTERFACE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "active/customization.h"
+#include "base/context.h"
+#include "base/status.h"
+#include "carto/style.h"
+#include "geodb/database.h"
+#include "uilib/library.h"
+
+namespace agis::builder {
+
+/// Knobs for one window construction.
+struct BuildOptions {
+  /// Raster size of the presentation area (text columns/rows for the
+  /// ASCII renderer, logical pixels for SVG).
+  int map_width = 64;
+  int map_height = 20;
+  /// Options forwarded to the `Get_Class` primitive feeding the
+  /// presentation area (viewport window, predicates, buffer pool use).
+  geodb::GetClassOptions query;
+  /// Apply display-scale cartographic generalization: simplify
+  /// geometries to one raster cell before rendering.
+  bool generalize = false;
+};
+
+/// The generic interface builder of Figure 1: composes the three
+/// window levels of the exploratory mode (Schema, Class set, Instance)
+/// from (data, presentation) pairs. With a null customization payload
+/// it produces the paper's *default* presentation (Figure 4); with a
+/// payload selected by the active mechanism it deviates exactly where
+/// the payload says (Figure 7), keeping the builder independent of how
+/// customizations are stored or selected.
+class GenericInterfaceBuilder {
+ public:
+  /// All pointers are borrowed and must outlive the builder.
+  GenericInterfaceBuilder(geodb::GeoDatabase* db,
+                          uilib::InterfaceObjectLibrary* library,
+                          carto::StyleRegistry* styles);
+
+  /// Level 1: the Schema window — a class catalog (list by default,
+  /// textual hierarchy under `display as hierarchy`, suppressed and
+  /// marked hidden under `display as Null`). System classes ("__"
+  /// prefix) never appear.
+  agis::Result<std::unique_ptr<uilib::InterfaceObject>> BuildSchemaWindow(
+      const active::WindowCustomization* customization, const UserContext& ctx,
+      const BuildOptions& options = BuildOptions());
+
+  /// Level 2: the Class-set window — a control area (library prototype,
+  /// default `class_control`) plus a cartographic presentation area
+  /// rendering the class extent.
+  agis::Result<std::unique_ptr<uilib::InterfaceObject>> BuildClassSetWindow(
+      const std::string& class_name,
+      const active::WindowCustomization* customization, const UserContext& ctx,
+      const BuildOptions& options = BuildOptions());
+
+  /// Level 3: the Instance window — one row per attribute (inherited
+  /// ones first), default rows from the `attribute_row` prototype,
+  /// customized rows from the payload's widget with composed `from`
+  /// sources; `Null` attributes are omitted.
+  agis::Result<std::unique_ptr<uilib::InterfaceObject>> BuildInstanceWindow(
+      geodb::ObjectId id, const active::WindowCustomization* customization,
+      const UserContext& ctx, const BuildOptions& options = BuildOptions());
+
+ private:
+  /// New top-level window stamped with type/context properties.
+  std::unique_ptr<uilib::InterfaceObject> NewWindow(
+      const std::string& name, const char* window_type,
+      const UserContext& ctx) const;
+
+  /// Builds the map presentation area for `class_name` and adds it to
+  /// `window` under the name "presentation".
+  agis::Status AddPresentationArea(
+      uilib::InterfaceObject* window, const std::string& class_name,
+      const active::WindowCustomization* customization, const UserContext& ctx,
+      const BuildOptions& options);
+
+  /// Resolves the `from` sources of one customized attribute row into
+  /// its display text.
+  agis::Result<std::string> ComposeSources(
+      const geodb::ObjectInstance& obj,
+      const active::AttributeCustomization& cust,
+      const std::string& separator) const;
+
+  geodb::GeoDatabase* db_;
+  uilib::InterfaceObjectLibrary* library_;
+  carto::StyleRegistry* styles_;
+};
+
+}  // namespace agis::builder
+
+#endif  // AGIS_BUILDER_INTERFACE_BUILDER_H_

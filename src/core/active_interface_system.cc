@@ -1,5 +1,8 @@
 #include "core/active_interface_system.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "base/logging.h"
 #include "custlang/compiler.h"
 #include "custlang/parser.h"
@@ -12,6 +15,7 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
   db_ = std::make_unique<geodb::GeoDatabase>(std::move(schema_name),
                                              options.db);
   engine_ = std::make_unique<active::RuleEngine>(options.conflict_policy);
+  engine_->set_cache_capacity(options.customization_cache_capacity);
   bridge_ = std::make_unique<active::DbEventBridge>(engine_.get());
   db_->AddEventSink(bridge_.get());
 
@@ -25,8 +29,14 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
 
   builder_ = std::make_unique<builder::GenericInterfaceBuilder>(
       db_.get(), library_.get(), styles_.get());
+  size_t ui_threads = options.ui_threads;
+  if (ui_threads == 0) {
+    ui_threads = std::clamp<size_t>(std::thread::hardware_concurrency(), 2, 4);
+  }
+  ui_pool_ = std::make_unique<agis::ThreadPool>(ui_threads);
   dispatcher_ = std::make_unique<ui::Dispatcher>(db_.get(), engine_.get(),
                                                  builder_.get());
+  dispatcher_->set_thread_pool(ui_pool_.get());
   protocol_ = std::make_unique<ui::DbProtocol>(db_.get());
   topology_ =
       std::make_unique<active::TopologyGuard>(db_.get(), engine_.get());

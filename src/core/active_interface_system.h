@@ -10,6 +10,7 @@
 #include "active/engine.h"
 #include "active/topology_guard.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "builder/interface_builder.h"
 #include "carto/style.h"
 #include "custlang/analyzer.h"
@@ -35,6 +36,13 @@ struct SystemOptions {
   /// assertives written in this language"), enabling
   /// ReloadCustomizations after a rule-engine reset.
   bool persist_directives = true;
+  /// Capacity of the engine's memoized-customization cache (0
+  /// disables memoization).
+  size_t customization_cache_capacity = 1024;
+  /// Workers in the UI dispatch pool used for batched customization
+  /// resolution (multi-window refresh). 0 picks a small default from
+  /// the hardware; 1 still creates a pool (serialized batches).
+  size_t ui_threads = 0;
 };
 
 /// Name of the system class holding persisted directives. Classes
@@ -72,6 +80,7 @@ class ActiveInterfaceSystem {
   ui::Dispatcher& dispatcher() { return *dispatcher_; }
   ui::DbProtocol& protocol() { return *protocol_; }
   active::TopologyGuard& topology() { return *topology_; }
+  agis::ThreadPool& ui_pool() { return *ui_pool_; }
 
   /// Parses, analyzes, compiles, and installs a customization
   /// directive. Returns the installed rule ids. The directive's
@@ -109,6 +118,7 @@ class ActiveInterfaceSystem {
 
   SystemOptions options_;
   std::unique_ptr<geodb::GeoDatabase> db_;
+  std::unique_ptr<agis::ThreadPool> ui_pool_;
   std::unique_ptr<active::RuleEngine> engine_;
   std::unique_ptr<active::DbEventBridge> bridge_;
   std::unique_ptr<uilib::InterfaceObjectLibrary> library_;

@@ -13,15 +13,21 @@ Dispatcher::Dispatcher(geodb::GeoDatabase* db, active::RuleEngine* engine,
                        builder::GenericInterfaceBuilder* builder)
     : db_(db), engine_(engine), builder_(builder) {}
 
-agis::Result<Dispatcher::CustomizationDecision> Dispatcher::Customize(
+active::Event Dispatcher::MakeEvent(
     const std::string& event_name,
-    std::map<std::string, std::string> params) {
+    std::map<std::string, std::string> params) const {
   active::Event event;
   event.name = event_name;
   event.context = context_;
   event.params = std::move(params);
+  return event;
+}
+
+Dispatcher::CustomizationDecision Dispatcher::DecisionFor(
+    const active::Event& event,
+    std::optional<active::WindowCustomization> payload) const {
   CustomizationDecision decision;
-  AGIS_ASSIGN_OR_RETURN(decision.payload, engine_->GetCustomization(event));
+  decision.payload = std::move(payload);
   if (decision.payload.has_value()) {
     const active::EcaRule* winner = engine_->SelectCustomizationRule(event);
     if (winner != nullptr) {
@@ -30,6 +36,15 @@ agis::Result<Dispatcher::CustomizationDecision> Dispatcher::Customize(
     }
   }
   return decision;
+}
+
+agis::Result<Dispatcher::CustomizationDecision> Dispatcher::Customize(
+    const std::string& event_name,
+    std::map<std::string, std::string> params) {
+  const active::Event event = MakeEvent(event_name, std::move(params));
+  AGIS_ASSIGN_OR_RETURN(std::optional<active::WindowCustomization> payload,
+                        engine_->GetCustomization(event));
+  return DecisionFor(event, std::move(payload));
 }
 
 void Dispatcher::AnnotateWindow(uilib::InterfaceObject* window,
@@ -99,21 +114,17 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::OpenSchemaWindow() {
                               cust_ptr ? " [customized]" : " [default]"));
   uilib::InterfaceObject* installed = Install(std::move(window));
 
-  // R1 behaviour: a suppressed Schema window opens its classes itself.
+  // R1 behaviour: a suppressed Schema window opens its classes itself
+  // — a multi-window refresh, so resolve the batch concurrently.
   if (cust_ptr != nullptr &&
       cust_ptr->schema_mode == active::SchemaDisplayMode::kNull) {
-    for (const std::string& cls : cust_ptr->auto_open_classes) {
-      AGIS_RETURN_IF_ERROR(OpenClassWindow(cls).status());
-    }
+    AGIS_RETURN_IF_ERROR(OpenClassWindows(cust_ptr->auto_open_classes));
   }
   return installed;
 }
 
-agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindow(
-    const std::string& class_name) {
-  AGIS_ASSIGN_OR_RETURN(
-      CustomizationDecision decision,
-      Customize(active::kEventGetClass, {{"class", class_name}}));
+agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindowResolved(
+    const std::string& class_name, const CustomizationDecision& decision) {
   const active::WindowCustomization* cust_ptr =
       decision.payload.has_value() ? &decision.payload.value() : nullptr;
   AGIS_ASSIGN_OR_RETURN(std::unique_ptr<uilib::InterfaceObject> window,
@@ -123,6 +134,32 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindow(
   log_.push_back(agis::StrCat("open_class -> Get_Class(", class_name, ")",
                               cust_ptr ? " [customized]" : " [default]"));
   return Install(std::move(window));
+}
+
+agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindow(
+    const std::string& class_name) {
+  AGIS_ASSIGN_OR_RETURN(
+      CustomizationDecision decision,
+      Customize(active::kEventGetClass, {{"class", class_name}}));
+  return OpenClassWindowResolved(class_name, decision);
+}
+
+agis::Status Dispatcher::OpenClassWindows(
+    const std::vector<std::string>& class_names) {
+  std::vector<active::Event> events;
+  events.reserve(class_names.size());
+  for (const std::string& cls : class_names) {
+    events.push_back(MakeEvent(active::kEventGetClass, {{"class", cls}}));
+  }
+  const auto payloads = engine_->GetCustomizationBatch(events, pool_);
+  for (size_t i = 0; i < class_names.size(); ++i) {
+    AGIS_RETURN_IF_ERROR(payloads[i].status());
+    const CustomizationDecision decision =
+        DecisionFor(events[i], payloads[i].value());
+    AGIS_RETURN_IF_ERROR(
+        OpenClassWindowResolved(class_names[i], decision).status());
+  }
+  return agis::Status::OK();
 }
 
 agis::Result<uilib::InterfaceObject*> Dispatcher::OpenInstanceWindow(

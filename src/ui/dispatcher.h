@@ -9,6 +9,7 @@
 #include "active/engine.h"
 #include "base/context.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "builder/interface_builder.h"
 #include "geodb/database.h"
 #include "geom/point.h"
@@ -38,6 +39,13 @@ class Dispatcher {
     build_options_ = std::move(options);
   }
 
+  /// Worker pool (borrowed, may be null) used to resolve the
+  /// customizations of multi-window operations concurrently via
+  /// RuleEngine::GetCustomizationBatch. Window *construction* stays on
+  /// the calling thread — the builder and database are not reentrant.
+  void set_thread_pool(agis::ThreadPool* pool) { pool_ = pool; }
+  agis::ThreadPool* thread_pool() const { return pool_; }
+
   // ---- Window hierarchy (all windows owned by the dispatcher) -----------
 
   /// Level 1: activates the generic interface on the database schema.
@@ -50,6 +58,13 @@ class Dispatcher {
   /// Level 2: opens (or refreshes) the Class-set window for a class.
   agis::Result<uilib::InterfaceObject*> OpenClassWindow(
       const std::string& class_name);
+
+  /// Batched level 2: opens (or refreshes) one Class-set window per
+  /// entry. The Get_Class customizations are resolved in one
+  /// GetCustomizationBatch call — concurrently when a thread pool is
+  /// set — and the windows are then built in order. Stops at the
+  /// first failing build.
+  agis::Status OpenClassWindows(const std::vector<std::string>& class_names);
 
   /// Level 3: opens (or refreshes) an Instance window.
   agis::Result<uilib::InterfaceObject*> OpenInstanceWindow(
@@ -105,11 +120,26 @@ class Dispatcher {
     std::string provenance;   // Directive the rule came from.
   };
 
+  /// The event `event_name` would emit under the current context.
+  active::Event MakeEvent(const std::string& event_name,
+                          std::map<std::string, std::string> params) const;
+
   /// Asks the active mechanism for the customization governing
   /// `event_name` with the given params under the current context.
   agis::Result<CustomizationDecision> Customize(
       const std::string& event_name,
       std::map<std::string, std::string> params);
+
+  /// Names the winning rule for `event` on an already-resolved payload
+  /// (explanation metadata for AnnotateWindow).
+  CustomizationDecision DecisionFor(
+      const active::Event& event,
+      std::optional<active::WindowCustomization> payload) const;
+
+  /// Builds and installs one Class-set window from a pre-resolved
+  /// customization decision.
+  agis::Result<uilib::InterfaceObject*> OpenClassWindowResolved(
+      const std::string& class_name, const CustomizationDecision& decision);
 
   /// Stamps explanation properties onto a freshly built window.
   static void AnnotateWindow(uilib::InterfaceObject* window,
@@ -121,6 +151,7 @@ class Dispatcher {
   geodb::GeoDatabase* db_;
   active::RuleEngine* engine_;
   builder::GenericInterfaceBuilder* builder_;
+  agis::ThreadPool* pool_ = nullptr;
   UserContext context_;
   builder::BuildOptions build_options_;
   std::vector<std::unique_ptr<uilib::InterfaceObject>> windows_;

@@ -57,4 +57,19 @@ size_t ViewRefresher::Uninstall() {
   return engine_->RemoveRulesByProvenance(kProvenance);
 }
 
+agis::Result<size_t> ViewRefresher::RefreshStale() {
+  std::vector<std::string> stale_classes;
+  for (const uilib::InterfaceObject* window : dispatcher_->windows()) {
+    if (window->GetProperty("stale") == "true" &&
+        window->GetProperty(uilib::kPropWindowType) == uilib::kWindowClassSet &&
+        window->GetProperty("query").empty()) {
+      stale_classes.push_back(window->GetProperty(uilib::kPropClass));
+    }
+  }
+  if (stale_classes.empty()) return static_cast<size_t>(0);
+  AGIS_RETURN_IF_ERROR(dispatcher_->OpenClassWindows(stale_classes));
+  refreshed_ += stale_classes.size();
+  return stale_classes.size();
+}
+
 }  // namespace agis::ui

@@ -42,6 +42,13 @@ class ViewRefresher {
   /// Removes the rules; returns how many were removed.
   size_t Uninstall();
 
+  /// Rebuilds every Class-set window currently flagged stale (the
+  /// kMarkStale mode's deferred half): customizations for the whole
+  /// batch resolve in one GetCustomizationBatch call — concurrently
+  /// when the dispatcher has a thread pool. Returns how many windows
+  /// were rebuilt.
+  agis::Result<size_t> RefreshStale();
+
   Mode mode() const { return mode_; }
   uint64_t windows_marked_stale() const { return marked_; }
   uint64_t windows_refreshed() const { return refreshed_; }

@@ -1,0 +1,345 @@
+// Tests for the engine's memoized customization cache: hit/miss/
+// eviction accounting, generation-stamped invalidation on every
+// mutation path, cached-vs-uncached equivalence under both conflict
+// policies, and thread safety of the shared-lock read path.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "active/engine.h"
+#include "base/strutil.h"
+#include "base/thread_pool.h"
+
+namespace agis::active {
+namespace {
+
+EcaRule CustomizationRule(const std::string& name, const std::string& cls,
+                          const ContextPattern& condition,
+                          const std::string& format,
+                          const std::string& provenance = "") {
+  EcaRule rule;
+  rule.name = name;
+  rule.family = RuleFamily::kCustomization;
+  rule.event_name = kEventGetClass;
+  if (!cls.empty()) rule.param_filters["class"] = cls;
+  rule.condition = condition;
+  rule.provenance = provenance;
+  WindowCustomization payload;
+  payload.target_class = cls;
+  payload.presentation_format = format;
+  payload.control_widget = agis::StrCat(name, "_control");
+  rule.customization_action =
+      [payload](const Event&) -> agis::Result<WindowCustomization> {
+    return payload;
+  };
+  return rule;
+}
+
+Event ClassEvent(const std::string& cls, const std::string& user) {
+  Event event;
+  event.name = kEventGetClass;
+  event.params["class"] = cls;
+  event.context.user = user;
+  event.context.application = "explore";
+  return event;
+}
+
+TEST(EngineCacheTest, RepeatedLookupHitsTheCache) {
+  RuleEngine engine;
+  ContextPattern juliano;
+  juliano.user = "juliano";
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("r1", "Pole", juliano, "pointFormat"))
+          .ok());
+
+  const Event event = ClassEvent("Pole", "juliano");
+  auto first = engine.GetCustomization(event);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.stats().cache_misses, 1u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+
+  auto second = engine.GetCustomization(event);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.stats().cache_misses, 1u);
+  // The cache serves results, it does not re-fire the rule.
+  EXPECT_EQ(engine.stats().customization_rules_fired, 1u);
+  ASSERT_TRUE(second->has_value());
+  EXPECT_EQ((*second)->presentation_format, "pointFormat");
+}
+
+TEST(EngineCacheTest, NoMatchIsAlsoMemoized) {
+  RuleEngine engine;
+  ContextPattern anyone;
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("r1", "Pole", anyone, "pointFormat"))
+          .ok());
+  const Event other = ClassEvent("Duct", "juliano");
+  ASSERT_TRUE(engine.GetCustomization(other).ok());
+  auto again = engine.GetCustomization(other);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->has_value());
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+}
+
+TEST(EngineCacheTest, EventsWithoutRulesSkipTheCacheEntirely) {
+  RuleEngine engine;
+  Event event;
+  event.name = "Get_Value";
+  ASSERT_TRUE(engine.GetCustomization(event).ok());
+  ASSERT_TRUE(engine.GetCustomization(event).ok());
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().cache_misses, 0u);
+  EXPECT_EQ(engine.stats().events_processed, 2u);
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(EngineCacheTest, AddRuleInvalidates) {
+  RuleEngine engine;
+  ContextPattern anyone;
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("base", "Pole", anyone, "defaultFormat"))
+          .ok());
+  const Event event = ClassEvent("Pole", "juliano");
+  ASSERT_TRUE(engine.GetCustomization(event).ok());
+  ASSERT_TRUE(engine.GetCustomization(event).ok());
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+
+  // A more specific rule must win immediately, not after the stale
+  // entry ages out.
+  ContextPattern juliano;
+  juliano.user = "juliano";
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("mine", "Pole", juliano, "pointFormat"))
+          .ok());
+  auto after = engine.GetCustomization(event);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->has_value());
+  EXPECT_EQ((*after)->presentation_format, "pointFormat");
+  EXPECT_EQ(engine.stats().cache_misses, 2u);
+}
+
+TEST(EngineCacheTest, RemoveRuleInvalidates) {
+  RuleEngine engine;
+  ContextPattern anyone;
+  ContextPattern juliano;
+  juliano.user = "juliano";
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("base", "Pole", anyone, "defaultFormat"))
+          .ok());
+  auto specific =
+      engine.AddRule(CustomizationRule("mine", "Pole", juliano, "pointFormat"));
+  ASSERT_TRUE(specific.ok());
+
+  const Event event = ClassEvent("Pole", "juliano");
+  auto before = engine.GetCustomization(event);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->presentation_format, "pointFormat");
+
+  ASSERT_TRUE(engine.RemoveRule(*specific).ok());
+  auto after = engine.GetCustomization(event);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->has_value());
+  EXPECT_EQ((*after)->presentation_format, "defaultFormat");
+}
+
+TEST(EngineCacheTest, RemoveByProvenanceInvalidates) {
+  RuleEngine engine;
+  ContextPattern anyone;
+  ContextPattern juliano;
+  juliano.user = "juliano";
+  ASSERT_TRUE(engine
+                  .AddRule(CustomizationRule("base", "Pole", anyone,
+                                             "defaultFormat", "directive_a"))
+                  .ok());
+  ASSERT_TRUE(engine
+                  .AddRule(CustomizationRule("mine", "Pole", juliano,
+                                             "pointFormat", "directive_b"))
+                  .ok());
+  const Event event = ClassEvent("Pole", "juliano");
+  auto before = engine.GetCustomization(event);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->presentation_format, "pointFormat");
+
+  EXPECT_EQ(engine.RemoveRulesByProvenance("directive_b"), 1u);
+  auto after = engine.GetCustomization(event);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->presentation_format, "defaultFormat");
+  EXPECT_EQ(engine.CountRulesByProvenance("directive_b"), 0u);
+  EXPECT_EQ(engine.CountRulesByProvenance("directive_a"), 1u);
+}
+
+TEST(EngineCacheTest, LruEvictionIsCountedAndBounded) {
+  RuleEngine engine;
+  engine.set_cache_capacity(2);
+  ContextPattern anyone;
+  for (const char* cls : {"Pole", "Duct", "Cable"}) {
+    ASSERT_TRUE(
+        engine.AddRule(CustomizationRule(cls, cls, anyone, "pointFormat"))
+            .ok());
+  }
+  for (const char* cls : {"Pole", "Duct", "Cable"}) {
+    ASSERT_TRUE(engine.GetCustomization(ClassEvent(cls, "u")).ok());
+  }
+  EXPECT_EQ(engine.cache_size(), 2u);
+  EXPECT_EQ(engine.stats().cache_evictions, 1u);
+  // Pole was least recently used and got evicted: re-resolving it is a
+  // miss, while Cable is still resident.
+  ASSERT_TRUE(engine.GetCustomization(ClassEvent("Cable", "u")).ok());
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  ASSERT_TRUE(engine.GetCustomization(ClassEvent("Pole", "u")).ok());
+  EXPECT_EQ(engine.stats().cache_misses, 4u);
+}
+
+TEST(EngineCacheTest, ZeroCapacityDisablesMemoization) {
+  RuleEngine engine;
+  engine.set_cache_capacity(0);
+  ContextPattern anyone;
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("r", "Pole", anyone, "pointFormat"))
+          .ok());
+  const Event event = ClassEvent("Pole", "u");
+  ASSERT_TRUE(engine.GetCustomization(event).ok());
+  ASSERT_TRUE(engine.GetCustomization(event).ok());
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_EQ(engine.stats().customization_rules_fired, 2u);
+}
+
+/// Installs a mixed population and returns probe events spanning
+/// cached/uncached, matching/non-matching, and conflicting cases.
+void PopulateMixed(RuleEngine* engine) {
+  for (int i = 0; i < 40; ++i) {
+    ContextPattern condition;
+    switch (i % 3) {
+      case 0:
+        condition.user = agis::StrCat("user_", i % 5);
+        break;
+      case 1:
+        condition.category = agis::StrCat("cat_", i % 5);
+        break;
+      default:
+        break;  // Generic.
+    }
+    ASSERT_TRUE(engine
+                    ->AddRule(CustomizationRule(
+                        agis::StrCat("rule_", i),
+                        agis::StrCat("class_", i % 4), condition,
+                        agis::StrCat("format_", i)))
+                    .ok());
+  }
+}
+
+std::vector<Event> ProbeEvents() {
+  std::vector<Event> events;
+  for (int round = 0; round < 3; ++round) {  // Repeats exercise hits.
+    for (int c = 0; c < 5; ++c) {
+      for (int u = 0; u < 3; ++u) {
+        events.push_back(ClassEvent(agis::StrCat("class_", c),
+                                    agis::StrCat("user_", u)));
+      }
+    }
+  }
+  return events;
+}
+
+class EquivalencePolicyTest : public ::testing::TestWithParam<ConflictPolicy> {
+};
+
+TEST_P(EquivalencePolicyTest, CachedAndUncachedResultsAreIdentical) {
+  RuleEngine cached(GetParam());
+  RuleEngine uncached(GetParam());
+  uncached.set_cache_capacity(0);
+  PopulateMixed(&cached);
+  PopulateMixed(&uncached);
+
+  for (const Event& event : ProbeEvents()) {
+    auto a = cached.GetCustomization(event);
+    auto b = uncached.GetCustomization(event);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->has_value(), b->has_value()) << event.ToString();
+    if (a->has_value()) {
+      EXPECT_EQ((*a)->ToString(), (*b)->ToString()) << event.ToString();
+    }
+  }
+  EXPECT_GT(cached.stats().cache_hits, 0u);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+  EXPECT_LT(cached.stats().customization_rules_fired,
+            uncached.stats().customization_rules_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, EquivalencePolicyTest,
+                         ::testing::Values(ConflictPolicy::kMostSpecific,
+                                           ConflictPolicy::kExecuteAllMerge));
+
+TEST(EngineCacheTest, BatchMatchesSequentialResolution) {
+  RuleEngine engine;
+  PopulateMixed(&engine);
+  const std::vector<Event> events = ProbeEvents();
+
+  RuleEngine reference;
+  PopulateMixed(&reference);
+  agis::ThreadPool pool(4);
+  auto batched = engine.GetCustomizationBatch(events, &pool);
+  ASSERT_EQ(batched.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    auto expected = reference.GetCustomization(events[i]);
+    ASSERT_TRUE(batched[i].ok());
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(batched[i]->has_value(), expected->has_value());
+    if (expected->has_value()) {
+      EXPECT_EQ((*batched[i])->ToString(), (*expected)->ToString());
+    }
+  }
+}
+
+TEST(EngineCacheTest, ConcurrentBatchReadsWithMutationStayCoherent) {
+  RuleEngine engine;
+  PopulateMixed(&engine);
+  const std::vector<Event> events = ProbeEvents();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> resolved{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &events, &stop, &resolved] {
+      // do-while: every reader completes at least one full pass even if
+      // the mutator finishes before this thread is scheduled.
+      do {
+        for (const Event& event : events) {
+          auto result = engine.GetCustomization(event);
+          ASSERT_TRUE(result.ok());
+          // Any payload must be internally consistent: the memo never
+          // serves a half-written customization.
+          if (result->has_value() && !(*result)->target_class.empty()) {
+            ASSERT_EQ((*result)->target_class.rfind("class_", 0), 0u);
+          }
+          resolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+
+  // Mutator: churn a rule in and out while the readers hammer.
+  ContextPattern churn_ctx;
+  churn_ctx.user = "user_0";
+  for (int i = 0; i < 200; ++i) {
+    auto id = engine.AddRule(CustomizationRule(
+        "churn", "class_0", churn_ctx, agis::StrCat("churn_", i), "churn"));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(engine.RemoveRule(*id).ok());
+  }
+  engine.RemoveRulesByProvenance("churn");
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(resolved.load(), 0u);
+  EXPECT_EQ(engine.CountRulesByProvenance("churn"), 0u);
+}
+
+}  // namespace
+}  // namespace agis::active

@@ -1,0 +1,74 @@
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace agis {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.tasks_completed(), 100u);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilSlowTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(ThreadPoolTest, WorkSpreadsAcrossWorkers) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&mutex, &seen] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsTheQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace agis

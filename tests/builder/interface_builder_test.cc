@@ -1,0 +1,240 @@
+// Tests for the generic interface builder (Figure 1): default window
+// composition (Figure 4) and payload-driven deviation (Figure 7),
+// independent of how customizations were selected.
+
+#include "builder/interface_builder.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/strutil.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis::builder {
+namespace {
+
+using active::AttributeCustomization;
+using active::SchemaDisplayMode;
+using active::WindowCustomization;
+using uilib::InterfaceObject;
+
+class InterfaceBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<geodb::GeoDatabase>("phone_net");
+    workload::PhoneNetConfig config;
+    config.num_poles = 40;
+    ASSERT_TRUE(workload::BuildPhoneNetwork(db_.get(), config).ok());
+    ASSERT_TRUE(library_.RegisterKernelPrototypes().ok());
+    ASSERT_TRUE(RegisterStandardGisPrototypes(&library_).ok());
+    ASSERT_TRUE(styles_.RegisterStandardFormats().ok());
+    builder_ = std::make_unique<GenericInterfaceBuilder>(db_.get(), &library_,
+                                                         &styles_);
+    ctx_.user = "juliano";
+    ctx_.application = "pole_manager";
+  }
+
+  geodb::ObjectId AnyPoleId() {
+    geodb::GetClassOptions options;
+    options.use_buffer_pool = false;
+    auto result = db_->GetClass("Pole", options, ctx_);
+    EXPECT_TRUE(result.ok());
+    EXPECT_FALSE(result->ids.empty());
+    return result->ids.front();
+  }
+
+  std::unique_ptr<geodb::GeoDatabase> db_;
+  uilib::InterfaceObjectLibrary library_;
+  carto::StyleRegistry styles_;
+  std::unique_ptr<GenericInterfaceBuilder> builder_;
+  UserContext ctx_;
+};
+
+TEST_F(InterfaceBuilderTest, DefaultSchemaWindowListsUserClasses) {
+  auto window = builder_->BuildSchemaWindow(nullptr, ctx_);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ((*window)->GetProperty(uilib::kPropWindowType),
+            uilib::kWindowSchema);
+  EXPECT_NE((*window)->GetProperty(uilib::kPropHidden), "true");
+  InterfaceObject* list = (*window)->FindDescendant("classes");
+  ASSERT_NE(list, nullptr);
+  const std::vector<std::string> classes = uilib::GetListItems(*list);
+  EXPECT_EQ(classes.size(), 6u);
+  for (const std::string& name : classes) {
+    EXPECT_NE(name.substr(0, 2), "__") << name;
+  }
+}
+
+TEST_F(InterfaceBuilderTest, NullSchemaModeHidesWindow) {
+  WindowCustomization cust;
+  cust.schema_mode = SchemaDisplayMode::kNull;
+  auto window = builder_->BuildSchemaWindow(&cust, ctx_);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ((*window)->GetProperty(uilib::kPropHidden), "true");
+}
+
+TEST_F(InterfaceBuilderTest, HierarchySchemaModeRendersTextTree) {
+  WindowCustomization cust;
+  cust.schema_mode = SchemaDisplayMode::kHierarchy;
+  auto window = builder_->BuildSchemaWindow(&cust, ctx_);
+  ASSERT_TRUE(window.ok());
+  InterfaceObject* hierarchy = (*window)->FindDescendant("hierarchy");
+  ASSERT_NE(hierarchy, nullptr);
+  EXPECT_NE(hierarchy->GetProperty(uilib::kPropValue).find("Pole"),
+            std::string::npos);
+}
+
+TEST_F(InterfaceBuilderTest, WindowCarriesContextProperty) {
+  auto window = builder_->BuildSchemaWindow(nullptr, ctx_);
+  ASSERT_TRUE(window.ok());
+  const std::string context = (*window)->GetProperty("context");
+  EXPECT_NE(context.find("user=juliano"), std::string::npos);
+  EXPECT_NE(context.find("application=pole_manager"), std::string::npos);
+}
+
+TEST_F(InterfaceBuilderTest, DefaultClassWindowUsesStandardControlAndStyle) {
+  auto window = builder_->BuildClassSetWindow("Pole", nullptr, ctx_);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ((*window)->GetProperty(uilib::kPropClass), "Pole");
+  InterfaceObject* control = (*window)->FindDescendant("control_Pole");
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(control->GetProperty("prototype"), "class_control");
+  InterfaceObject* presentation = (*window)->FindDescendant("presentation");
+  ASSERT_NE(presentation, nullptr);
+  EXPECT_EQ(presentation->GetProperty(uilib::kPropStyle), "default");
+  EXPECT_GT(std::stoul(presentation->GetProperty(uilib::kPropFeatureCount)),
+            0u);
+  EXPECT_EQ(presentation->GetProperty("generalized_points_removed"), "0");
+  EXPECT_FALSE(presentation->GetProperty(uilib::kPropContent).empty());
+  EXPECT_FALSE(presentation->GetProperty(uilib::kPropSvg).empty());
+}
+
+TEST_F(InterfaceBuilderTest, CustomizedClassWindowOverridesControlAndFormat) {
+  WindowCustomization cust;
+  cust.target_class = "Pole";
+  cust.control_widget = "poleWidget";
+  cust.presentation_format = "pointFormat";
+  auto window = builder_->BuildClassSetWindow("Pole", &cust, ctx_);
+  ASSERT_TRUE(window.ok());
+  InterfaceObject* control = (*window)->FindDescendant("control_Pole");
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(control->GetProperty("prototype"), "poleWidget");
+  InterfaceObject* presentation = (*window)->FindDescendant("presentation");
+  ASSERT_NE(presentation, nullptr);
+  EXPECT_EQ(presentation->GetProperty(uilib::kPropStyle), "pointFormat");
+}
+
+TEST_F(InterfaceBuilderTest, UnknownClassIsNotFound) {
+  auto window = builder_->BuildClassSetWindow("NoSuchClass", nullptr, ctx_);
+  EXPECT_FALSE(window.ok());
+  EXPECT_TRUE(window.status().IsNotFound());
+}
+
+TEST_F(InterfaceBuilderTest, QueryLimitBoundsPresentationIds) {
+  BuildOptions options;
+  options.query.limit = 5;
+  options.query.use_buffer_pool = false;
+  auto window = builder_->BuildClassSetWindow("Pole", nullptr, ctx_, options);
+  ASSERT_TRUE(window.ok());
+  InterfaceObject* presentation = (*window)->FindDescendant("presentation");
+  ASSERT_NE(presentation, nullptr);
+  EXPECT_LE(std::stoul(presentation->GetProperty(uilib::kPropFeatureCount)),
+            5u);
+}
+
+TEST_F(InterfaceBuilderTest, GeneralizationReportsRemovedPoints) {
+  BuildOptions coarse;
+  coarse.generalize = true;
+  coarse.map_width = 8;
+  coarse.map_height = 4;
+  coarse.query.use_buffer_pool = false;
+  auto window = builder_->BuildClassSetWindow("Duct", nullptr, ctx_, coarse);
+  ASSERT_TRUE(window.ok());
+  InterfaceObject* presentation = (*window)->FindDescendant("presentation");
+  ASSERT_NE(presentation, nullptr);
+  // The property is always present and numeric; on a coarse raster the
+  // polyline class should actually shed vertices.
+  const size_t removed =
+      std::stoul(presentation->GetProperty("generalized_points_removed"));
+  EXPECT_GT(removed, 0u);
+}
+
+TEST_F(InterfaceBuilderTest, DefaultInstanceWindowHasOneRowPerAttribute) {
+  const geodb::ObjectId id = AnyPoleId();
+  auto window = builder_->BuildInstanceWindow(id, nullptr, ctx_);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ((*window)->GetProperty(uilib::kPropObject), agis::StrCat(id));
+  InterfaceObject* rows = (*window)->FindChild("attributes");
+  ASSERT_NE(rows, nullptr);
+  // Inherited attributes (NetworkElement.status) come before Pole's own.
+  InterfaceObject* status = rows->FindChild("attr_status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->GetProperty(uilib::kPropLabel), "status");
+  InterfaceObject* type_row = rows->FindChild("attr_pole_type");
+  ASSERT_NE(type_row, nullptr);
+  InterfaceObject* value = type_row->FindChild("attr_value");
+  ASSERT_NE(value, nullptr);
+  EXPECT_FALSE(value->GetProperty(uilib::kPropValue).empty());
+}
+
+TEST_F(InterfaceBuilderTest, ComposedSourcesFillCustomWidget) {
+  WindowCustomization cust;
+  cust.target_class = "Pole";
+  AttributeCustomization attr;
+  attr.attribute = "pole_composition";
+  attr.widget = "composed_text";
+  attr.sources = {"pole.material", "pole.diameter", "pole.height"};
+  cust.attributes.push_back(attr);
+  auto window = builder_->BuildInstanceWindow(AnyPoleId(), &cust, ctx_);
+  ASSERT_TRUE(window.ok());
+  InterfaceObject* row = (*window)->FindDescendant("attr_pole_composition");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->GetProperty("prototype"), "composed_text");
+  const std::string value = row->GetProperty(uilib::kPropValue);
+  ASSERT_FALSE(value.empty());
+  // The composed_text prototype separates parts with " / ".
+  EXPECT_NE(value.find(" / "), std::string::npos);
+}
+
+TEST_F(InterfaceBuilderTest, MethodCallSourceResolvesThroughDatabase) {
+  WindowCustomization cust;
+  cust.target_class = "Pole";
+  AttributeCustomization attr;
+  attr.attribute = "pole_supplier";
+  attr.widget = "text_field";
+  attr.sources = {"get_supplier_name(pole_supplier)"};
+  cust.attributes.push_back(attr);
+  auto window = builder_->BuildInstanceWindow(AnyPoleId(), &cust, ctx_);
+  ASSERT_TRUE(window.ok());
+  InterfaceObject* row = (*window)->FindDescendant("attr_pole_supplier");
+  ASSERT_NE(row, nullptr);
+  const std::string value = row->GetProperty(uilib::kPropValue);
+  EXPECT_FALSE(value.empty());
+  // Resolved via CallMethod, not the raw reference display ("Supplier#N").
+  EXPECT_EQ(value.find("Supplier#"), std::string::npos);
+}
+
+TEST_F(InterfaceBuilderTest, HiddenAttributeIsOmitted) {
+  WindowCustomization cust;
+  cust.target_class = "Pole";
+  AttributeCustomization attr;
+  attr.attribute = "pole_location";
+  attr.hidden = true;
+  cust.attributes.push_back(attr);
+  auto window = builder_->BuildInstanceWindow(AnyPoleId(), &cust, ctx_);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ((*window)->FindDescendant("attr_pole_location"), nullptr);
+  EXPECT_NE((*window)->FindDescendant("attr_pole_type"), nullptr);
+}
+
+TEST_F(InterfaceBuilderTest, UnknownInstanceIsNotFound) {
+  auto window = builder_->BuildInstanceWindow(999999, nullptr, ctx_);
+  EXPECT_FALSE(window.ok());
+  EXPECT_TRUE(window.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace agis::builder

@@ -1,0 +1,109 @@
+// Tests for batched multi-window dispatch: OpenClassWindows resolving
+// its customizations through GetCustomizationBatch on the system's
+// thread pool, and ViewRefresher::RefreshStale rebuilding flagged
+// windows in one batch.
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "ui/view_refresher.h"
+#include "uilib/widget_props.h"
+#include "workload/phone_net.h"
+
+namespace agis::ui {
+namespace {
+
+class BatchDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<core::ActiveInterfaceSystem>("phone_net");
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys_->db()).ok());
+    UserContext ctx;
+    ctx.user = "juliano";
+    ctx.application = "pole_manager";
+    sys_->dispatcher().set_context(ctx);
+  }
+
+  std::unique_ptr<core::ActiveInterfaceSystem> sys_;
+};
+
+TEST_F(BatchDispatchTest, OpenClassWindowsOpensEveryWindow) {
+  ASSERT_TRUE(sys_->dispatcher().thread_pool() != nullptr);
+  ASSERT_TRUE(
+      sys_->dispatcher().OpenClassWindows({"Pole", "Duct", "Cable"}).ok());
+  EXPECT_EQ(sys_->dispatcher().windows().size(), 3u);
+  for (const char* cls : {"Pole", "Duct", "Cable"}) {
+    const uilib::InterfaceObject* window =
+        sys_->dispatcher().FindWindow(std::string("Class set: ") + cls);
+    ASSERT_NE(window, nullptr) << cls;
+    EXPECT_NE(window->FindDescendant("presentation"), nullptr);
+  }
+}
+
+TEST_F(BatchDispatchTest, BatchedWindowsMatchSequentialOnes) {
+  // Install the Figure 6 customization so the batch path must carry
+  // real payloads, not just defaults.
+  ASSERT_TRUE(
+      sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindows({"Pole", "Duct"}).ok());
+  const uilib::InterfaceObject* batched =
+      sys_->dispatcher().FindWindow("Class set: Pole");
+  ASSERT_NE(batched, nullptr);
+  const std::string batched_control =
+      batched->FindDescendant("control_Pole")->GetProperty("prototype");
+  const std::string batched_style =
+      batched->FindDescendant("presentation")->GetProperty(uilib::kPropStyle);
+
+  auto sequential = sys_->dispatcher().OpenClassWindow("Pole");
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(
+      (*sequential)->FindDescendant("control_Pole")->GetProperty("prototype"),
+      batched_control);
+  EXPECT_EQ((*sequential)
+                ->FindDescendant("presentation")
+                ->GetProperty(uilib::kPropStyle),
+            batched_style);
+}
+
+TEST_F(BatchDispatchTest, OpenClassWindowsRejectsUnknownClass) {
+  EXPECT_FALSE(
+      sys_->dispatcher().OpenClassWindows({"Pole", "NoSuchClass"}).ok());
+}
+
+TEST_F(BatchDispatchTest, RefreshStaleRebuildsFlaggedWindowsInOneBatch) {
+  ASSERT_TRUE(
+      sys_->dispatcher().OpenClassWindows({"Pole", "Duct", "Cable"}).ok());
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+
+  // Writes to two of the three classes flag their windows stale.
+  ASSERT_TRUE(sys_->db()
+                  .Insert("Pole", {{"pole_location",
+                                    geodb::Value::MakeGeometry(
+                                        geom::Geometry::FromPoint({1, 2}))}})
+                  .ok());
+  ASSERT_TRUE(sys_->db().Insert("Duct", {}).ok());
+
+  size_t stale = 0;
+  for (const uilib::InterfaceObject* window : sys_->dispatcher().windows()) {
+    if (window->GetProperty("stale") == "true") ++stale;
+  }
+  EXPECT_EQ(stale, 2u);
+
+  auto refreshed = refresher.RefreshStale();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(*refreshed, 2u);
+  for (const uilib::InterfaceObject* window : sys_->dispatcher().windows()) {
+    EXPECT_NE(window->GetProperty("stale"), "true") << window->name();
+  }
+  EXPECT_EQ(refresher.windows_refreshed(), 2u);
+
+  // A second sweep is a no-op.
+  auto again = refresher.RefreshStale();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+}
+
+}  // namespace
+}  // namespace agis::ui
