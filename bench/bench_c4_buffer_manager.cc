@@ -5,7 +5,9 @@
 // across capacity/working-set ratios.
 
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include <benchmark/benchmark.h>
 
@@ -110,6 +112,62 @@ void BM_WriteInvalidation(benchmark::State& state) {
   state.counters["hit_ratio"] = db->buffer_pool().stats().HitRatio();
 }
 BENCHMARK(BM_WriteInvalidation);
+
+// ---- Concurrent hit path (PR-2 sharded pool) -------------------------------
+
+/// One database per shard count, shared across the benchmark's threads
+/// and prewarmed so every region is resident: the measurement is pure
+/// cache-hit throughput against the sharded LRU.
+agis::geodb::GeoDatabase* SharedDb(size_t shards) {
+  static std::map<size_t, std::unique_ptr<agis::geodb::GeoDatabase>> dbs;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = dbs[shards];
+  if (slot == nullptr) {
+    agis::geodb::DatabaseOptions options;
+    options.buffer_pool_bytes = 64 << 20;
+    options.buffer_pool_shards = shards;
+    slot = std::make_unique<agis::geodb::GeoDatabase>("bufbench", options);
+    agis::geodb::ClassDef cls("P", "");
+    (void)cls.AddAttribute(agis::geodb::AttributeDef::Geometry("loc"));
+    (void)cls.AddAttribute(agis::geodb::AttributeDef::String("tag"));
+    (void)slot->RegisterClass(std::move(cls));
+    (void)agis::workload::AddSyntheticInstances(
+        slot.get(), "P", 8192, 3, agis::geom::BoundingBox(0, 0, 1000, 1000));
+    for (size_t region = 0; region < 16; ++region) {
+      (void)slot->GetClass("P", RegionQuery(region, 16, true));
+    }
+  }
+  return slot.get();
+}
+
+void RunConcurrentBrowse(agis::geodb::GeoDatabase* db,
+                         benchmark::State& state) {
+  agis::Rng rng(7 + static_cast<uint64_t>(state.thread_index()));
+  for (auto _ : state) {
+    auto result = db->GetClass("P", RegionQuery(rng.Uniform(16), 16, true));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    state.counters["hit_ratio"] = db->buffer_pool().stats().HitRatio();
+  }
+}
+
+void BM_ConcurrentBrowse_Sharded(benchmark::State& state) {
+  RunConcurrentBrowse(SharedDb(8), state);
+}
+BENCHMARK(BM_ConcurrentBrowse_Sharded)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+/// Ablation: the same workload against a single-shard (one-lock) pool.
+void BM_ConcurrentBrowse_OneShard(benchmark::State& state) {
+  RunConcurrentBrowse(SharedDb(1), state);
+}
+BENCHMARK(BM_ConcurrentBrowse_OneShard)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
 
 }  // namespace
 

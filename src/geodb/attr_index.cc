@@ -1,0 +1,187 @@
+#include "geodb/attr_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace agis::geodb {
+
+std::optional<AttrKey> AttrKey::FromValue(const Value& v) {
+  AttrKey key;
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      key.cls = Class::kBool;
+      key.number = v.bool_value() ? 1 : 0;
+      return key;
+    case ValueKind::kInt:
+      key.cls = Class::kNumber;
+      key.number = static_cast<double>(v.int_value());
+      return key;
+    case ValueKind::kDouble:
+      if (std::isnan(v.double_value())) return std::nullopt;
+      key.cls = Class::kNumber;
+      key.number = v.double_value();
+      return key;
+    case ValueKind::kString:
+      key.cls = Class::kString;
+      key.text = v.string_value();
+      return key;
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+bool IsNanValue(const Value& v) {
+  return v.kind() == ValueKind::kDouble && std::isnan(v.double_value());
+}
+
+}  // namespace
+
+void AttributeIndex::Insert(ObjectId id, const Value& value) {
+  if (IsNanValue(value)) {
+    nan_ids_.insert(std::upper_bound(nan_ids_.begin(), nan_ids_.end(), id),
+                    id);
+    ++entry_count_;
+    return;
+  }
+  const std::optional<AttrKey> key = AttrKey::FromValue(value);
+  if (!key.has_value()) return;
+  Posting& hash_posting = hash_[*key];
+  hash_posting.insert(
+      std::upper_bound(hash_posting.begin(), hash_posting.end(), id), id);
+  Posting& ordered_posting = ordered_[*key];
+  ordered_posting.insert(
+      std::upper_bound(ordered_posting.begin(), ordered_posting.end(), id),
+      id);
+  ++entry_count_;
+}
+
+void AttributeIndex::Remove(ObjectId id, const Value& value) {
+  if (IsNanValue(value)) {
+    const auto pos = std::lower_bound(nan_ids_.begin(), nan_ids_.end(), id);
+    if (pos != nan_ids_.end() && *pos == id) {
+      nan_ids_.erase(pos);
+      --entry_count_;
+    }
+    return;
+  }
+  const std::optional<AttrKey> key = AttrKey::FromValue(value);
+  if (!key.has_value()) return;
+  const auto hash_it = hash_.find(*key);
+  if (hash_it == hash_.end()) return;
+  Posting& hash_posting = hash_it->second;
+  const auto pos =
+      std::lower_bound(hash_posting.begin(), hash_posting.end(), id);
+  if (pos == hash_posting.end() || *pos != id) return;
+  hash_posting.erase(pos);
+  if (hash_posting.empty()) hash_.erase(hash_it);
+
+  const auto ordered_it = ordered_.find(*key);
+  Posting& ordered_posting = ordered_it->second;
+  ordered_posting.erase(std::lower_bound(ordered_posting.begin(),
+                                         ordered_posting.end(), id));
+  if (ordered_posting.empty()) ordered_.erase(ordered_it);
+  --entry_count_;
+}
+
+template <typename Fn>
+void AttributeIndex::ForEachMatchingBucket(CompareOp op, const AttrKey& key,
+                                           Fn&& fn) const {
+  // Keys of a different class are incomparable under CompareValues, so
+  // every operator is restricted to the operand's class band. The map
+  // is ordered by (class, value), making each band contiguous.
+  auto in_band = [&](const AttrKey& k) { return k.cls == key.cls; };
+  auto band_begin = [&] {
+    AttrKey band_lo;
+    band_lo.cls = key.cls;
+    band_lo.number = -std::numeric_limits<double>::infinity();
+    return ordered_.lower_bound(band_lo);
+  };
+
+  switch (op) {
+    // Equality and its complement are answered from the hash index;
+    // bucket iteration order does not matter because callers sort.
+    case CompareOp::kEq: {
+      const auto it = hash_.find(key);
+      if (it != hash_.end()) fn(it->second);
+      return;
+    }
+    case CompareOp::kNe:
+      for (const auto& [k, posting] : hash_) {
+        if (k.cls == key.cls && !(k == key)) fn(posting);
+      }
+      return;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      for (auto it = band_begin(); it != ordered_.end() && in_band(it->first);
+           ++it) {
+        if (key < it->first) break;
+        if (op == CompareOp::kLt && it->first == key) break;
+        fn(it->second);
+      }
+      return;
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      auto it = op == CompareOp::kGe ? ordered_.lower_bound(key)
+                                     : ordered_.upper_bound(key);
+      for (; it != ordered_.end() && in_band(it->first); ++it) {
+        fn(it->second);
+      }
+      return;
+    }
+    case CompareOp::kContains:
+      return;  // Not indexable; guarded by SupportsOp.
+  }
+}
+
+bool AttributeIndex::NansMatch(CompareOp op, const AttrKey& key) {
+  // CompareValues(NaN, numeric) == 0, so stored NaNs satisfy the
+  // "compares equal" operators against any numeric operand.
+  return key.cls == AttrKey::Class::kNumber &&
+         (op == CompareOp::kEq || op == CompareOp::kLe ||
+          op == CompareOp::kGe);
+}
+
+std::optional<size_t> AttributeIndex::EstimateCount(
+    CompareOp op, const Value& operand) const {
+  if (!SupportsOp(op)) return std::nullopt;
+  // Null matches null and NaN compares equal to everything numeric;
+  // both would need a key outside the ordered space — leave those
+  // degenerate operands to the residual path.
+  if (operand.is_null() || IsNanValue(operand)) return std::nullopt;
+  const std::optional<AttrKey> key = AttrKey::FromValue(operand);
+  // A non-scalar operand compares as an error against every stored
+  // value, i.e. matches nothing; that is an exact (and free) answer.
+  if (!key.has_value()) return 0;
+  size_t count = NansMatch(op, *key) ? nan_ids_.size() : 0;
+  ForEachMatchingBucket(op, *key,
+                        [&](const Posting& p) { count += p.size(); });
+  return count;
+}
+
+std::optional<std::vector<ObjectId>> AttributeIndex::Eval(
+    CompareOp op, const Value& operand) const {
+  if (!SupportsOp(op)) return std::nullopt;
+  if (operand.is_null() || IsNanValue(operand)) return std::nullopt;
+  const std::optional<AttrKey> key = AttrKey::FromValue(operand);
+  if (!key.has_value()) return std::vector<ObjectId>();
+  std::vector<const Posting*> postings;
+  size_t total = 0;
+  if (NansMatch(op, *key) && !nan_ids_.empty()) {
+    postings.push_back(&nan_ids_);
+    total += nan_ids_.size();
+  }
+  ForEachMatchingBucket(op, *key, [&](const Posting& p) {
+    postings.push_back(&p);
+    total += p.size();
+  });
+  std::vector<ObjectId> out;
+  out.reserve(total);
+  for (const Posting* p : postings) out.insert(out.end(), p->begin(), p->end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace agis::geodb

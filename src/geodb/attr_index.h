@@ -1,0 +1,114 @@
+#ifndef AGIS_GEODB_ATTR_INDEX_H_
+#define AGIS_GEODB_ATTR_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geodb/query.h"
+#include "geodb/value.h"
+
+namespace agis::geodb {
+
+/// Normalized index key for a scalar attribute value. Numeric kinds
+/// collapse to one key class so that `Int 2` and `Double 2.0` index
+/// (and probe) identically — exactly the cross-kind semantics of
+/// `CompareValues`. Non-scalar kinds (geometry, blob, tuple, list,
+/// ref) and nulls are not indexable; predicates over them always
+/// evaluate to "no match", which the index reproduces by simply not
+/// holding such entries.
+struct AttrKey {
+  enum class Class : uint8_t { kBool = 0, kNumber = 1, kString = 2 };
+
+  Class cls = Class::kNumber;
+  double number = 0;   // kBool stores 0/1 here too (its order).
+  std::string text;    // Only for kString.
+
+  /// Normalizes `v`; nullopt when `v` is not an indexable scalar.
+  static std::optional<AttrKey> FromValue(const Value& v);
+
+  friend bool operator==(const AttrKey& a, const AttrKey& b) {
+    return a.cls == b.cls && a.number == b.number && a.text == b.text;
+  }
+  friend bool operator<(const AttrKey& a, const AttrKey& b) {
+    if (a.cls != b.cls) return a.cls < b.cls;
+    if (a.cls == Class::kString) return a.text < b.text;
+    return a.number < b.number;
+  }
+};
+
+struct AttrKeyHash {
+  size_t operator()(const AttrKey& k) const {
+    const size_t h = k.cls == AttrKey::Class::kString
+                         ? std::hash<std::string>()(k.text)
+                         : std::hash<double>()(k.number);
+    return h ^ (static_cast<size_t>(k.cls) << 29);
+  }
+};
+
+/// Secondary index over one attribute of one class extent.
+///
+/// Two structures are maintained side by side: a hash index serving
+/// equality (and its complement) in O(1) bucket lookups, and an
+/// ordered index serving range operators via in-order iteration.
+/// Postings are sorted id vectors, so planner-side intersection is a
+/// linear merge. Results are exact for `kEq`/`kNe`/`kLt`/`kLe`/`kGt`/
+/// `kGe` — matching residual evaluation bit for bit, including the
+/// "comparison error means no match" rule — so an index-answered
+/// predicate never needs re-checking. `kContains` is not indexable.
+///
+/// Not internally synchronized; the owning GeoDatabase serializes
+/// writers and shares readers (see database.h).
+class AttributeIndex {
+ public:
+  /// Adds `id` under `value`; non-indexable values are ignored.
+  void Insert(ObjectId id, const Value& value);
+
+  /// Removes `id` from the posting of `value`; ignores absent pairs.
+  void Remove(ObjectId id, const Value& value);
+
+  /// Whether `op` can be answered from this index at all.
+  static bool SupportsOp(CompareOp op) { return op != CompareOp::kContains; }
+
+  /// Cheap upper bound on the result size of `attribute <op> operand`;
+  /// nullopt when the predicate cannot be answered here (the planner
+  /// then treats it as residual). kNe and ranges cost one ordered-map
+  /// walk over bucket *counts*, never over ids.
+  std::optional<size_t> EstimateCount(CompareOp op, const Value& operand) const;
+
+  /// Exact result ids (sorted ascending) of `attribute <op> operand`.
+  /// nullopt in the same cases as EstimateCount.
+  std::optional<std::vector<ObjectId>> Eval(CompareOp op,
+                                            const Value& operand) const;
+
+  size_t entry_count() const { return entry_count_; }
+  size_t distinct_keys() const { return ordered_.size(); }
+
+ private:
+  using Posting = std::vector<ObjectId>;
+
+  /// [first, last) ordered-map range matching `op` against `key`,
+  /// restricted to `key.cls` (cross-class keys are incomparable and
+  /// never match a range or inequality).
+  template <typename Fn>
+  void ForEachMatchingBucket(CompareOp op, const AttrKey& key, Fn&& fn) const;
+
+  /// Whether stored NaN values satisfy `op` against `key`'s class.
+  static bool NansMatch(CompareOp op, const AttrKey& key);
+
+  std::unordered_map<AttrKey, Posting, AttrKeyHash> hash_;
+  std::map<AttrKey, Posting> ordered_;
+  /// NaN doubles sit outside the ordered key space (they would break
+  /// the map's strict weak ordering) but CompareValues(NaN, x) == 0
+  /// for every numeric x, so they match kEq/kLe/kGe against any
+  /// numeric operand. Kept aside and merged into those answers.
+  Posting nan_ids_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_ATTR_INDEX_H_

@@ -1,67 +1,135 @@
 #include "geodb/buffer_pool.h"
 
+#include <algorithm>
+
 namespace agis::geodb {
 
-BufferPool::BufferPool(size_t capacity_bytes)
-    : capacity_bytes_(capacity_bytes) {}
+BufferPool::BufferPool(size_t capacity_bytes, size_t num_shards)
+    : capacity_bytes_(capacity_bytes) {
+  const size_t count = std::max<size_t>(num_shards, 1);
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = capacity_bytes / count;
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t BufferPool::ShardOf(const std::string& key) const {
+  return shards_.size() == 1 ? 0
+                             : std::hash<std::string>()(key) % shards_.size();
+}
 
 std::shared_ptr<const BufferSlice> BufferPool::Get(const std::string& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++stats_.misses;
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->slice;
 }
 
-void BufferPool::EvictUntilFits(size_t incoming) {
-  while (!lru_.empty() && used_bytes_ + incoming > capacity_bytes_) {
-    const Node& victim = lru_.back();
-    used_bytes_ -= victim.slice->charge_bytes;
-    map_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.evictions;
+void BufferPool::EvictUntilFits(Shard* shard, size_t incoming) {
+  while (!shard->lru.empty() &&
+         shard->used + incoming > shard->capacity) {
+    const Node& victim = shard->lru.back();
+    shard->used -= victim.slice->charge_bytes;
+    shard->map.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->stats.evictions;
   }
 }
 
 void BufferPool::Put(const std::string& key, BufferSlice slice) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    used_bytes_ -= it->second->slice->charge_bytes;
-    lru_.erase(it->second);
-    map_.erase(it);
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Release the replaced entry's charge first so accounting stays
+  // exact — the old and new slice never count against the budget at
+  // the same time.
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.used -= it->second->slice->charge_bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
   }
   const size_t charge = slice.charge_bytes;
-  if (charge > capacity_bytes_) return;  // Never cacheable; skip.
-  EvictUntilFits(charge);
-  lru_.push_front(
+  if (charge > shard.capacity) return;  // Never cacheable; skip.
+  EvictUntilFits(&shard, charge);
+  shard.lru.push_front(
       Node{key, std::make_shared<const BufferSlice>(std::move(slice))});
-  map_[key] = lru_.begin();
-  used_bytes_ += charge;
-  stats_.inserted_bytes += charge;
+  shard.map[key] = shard.lru.begin();
+  shard.used += charge;
+  shard.stats.inserted_bytes += charge;
 }
 
 size_t BufferPool::InvalidatePrefix(const std::string& prefix) {
   size_t removed = 0;
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.compare(0, prefix.size(), prefix) == 0) {
-      used_bytes_ -= it->slice->charge_bytes;
-      map_.erase(it->key);
-      it = lru_.erase(it);
-      ++removed;
-    } else {
-      ++it;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.compare(0, prefix.size(), prefix) == 0) {
+        shard.used -= it->slice->charge_bytes;
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
     }
   }
   return removed;
 }
 
 void BufferPool::Clear() {
-  lru_.clear();
-  map_.clear();
-  used_bytes_ = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.used = 0;
+  }
+}
+
+size_t BufferPool::used_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->used;
+  }
+  return total;
+}
+
+size_t BufferPool::entry_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.evictions += shard->stats.evictions;
+    total.inserted_bytes += shard->stats.inserted_bytes;
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->stats = BufferPoolStats();
+  }
 }
 
 }  // namespace agis::geodb

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -19,7 +20,7 @@ struct BufferSlice {
   size_t charge_bytes = 0;
 };
 
-/// Cumulative statistics; readable at any time, reset on demand.
+/// Cumulative statistics; aggregated over shards on read.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -32,41 +33,64 @@ struct BufferPoolStats {
   }
 };
 
-/// LRU display-buffer manager.
+/// Sharded LRU display-buffer manager.
 ///
 /// The paper singles out buffer management as a DBMS-style problem the
 /// GIS interface must solve: query results feeding map/list displays
 /// are large and users revisit the same regions while browsing. This
 /// pool caches `BufferSlice`s keyed by a query signature under a byte
 /// budget with least-recently-used eviction (experiment C4).
+///
+/// Thread safety: every operation is safe to call concurrently. The
+/// key space is hash-partitioned into `num_shards` independent LRUs,
+/// each behind its own mutex, so concurrent Get/Put on different keys
+/// rarely contend — this is what lets the GetCustomizationBatch /
+/// parallel-scan thread pools hit the cache from many workers. The
+/// byte budget is split evenly across shards; eviction is LRU *per
+/// shard* (global recency order is only exact with one shard, which
+/// is the default for direct construction and what the model-based
+/// property test pins down).
 class BufferPool {
  public:
-  explicit BufferPool(size_t capacity_bytes);
+  /// `num_shards` is clamped to at least 1. Each shard owns
+  /// `capacity_bytes / num_shards` of the budget; slices larger than
+  /// one shard's budget are never cached.
+  explicit BufferPool(size_t capacity_bytes, size_t num_shards = 1);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns the cached slice for `key`, or nullptr on miss. A hit
-  /// refreshes recency.
+  /// refreshes recency within the key's shard.
   std::shared_ptr<const BufferSlice> Get(const std::string& key);
 
   /// Inserts (or replaces) the slice under `key`, evicting LRU entries
-  /// until the budget holds. Slices larger than the whole budget are
-  /// not cached.
+  /// of its shard until the budget holds. Replacement accounts bytes
+  /// exactly: the old entry's charge is released before the new one is
+  /// added. Slices larger than the shard budget are not cached (a
+  /// replaced entry stays dropped).
   void Put(const std::string& key, BufferSlice slice);
 
   /// Removes every cached slice whose key begins with `prefix`;
   /// returns the number removed. The database invalidates
-  /// "class/<name>/..." prefixes on writes to that class.
+  /// "class/<name>/..." prefixes on writes to that class. Walks every
+  /// shard; concurrent Put of a matching key that starts after the
+  /// walk passed its shard may survive (callers that need a fence must
+  /// serialize writes, which the database's writer lock does).
   size_t InvalidatePrefix(const std::string& prefix);
 
   void Clear();
 
-  size_t used_bytes() const { return used_bytes_; }
+  size_t used_bytes() const;
   size_t capacity_bytes() const { return capacity_bytes_; }
-  size_t entry_count() const { return map_.size(); }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t entry_count() const;
+  size_t num_shards() const { return shards_.size(); }
+  /// Which shard `key` lives in; exposed so tests can model per-shard
+  /// LRU behavior exactly.
+  size_t ShardOf(const std::string& key) const;
+
+  BufferPoolStats stats() const;
+  void ResetStats();
 
  private:
   struct Node {
@@ -74,13 +98,20 @@ class BufferPool {
     std::shared_ptr<const BufferSlice> slice;
   };
 
-  void EvictUntilFits(size_t incoming);
+  struct Shard {
+    mutable std::mutex mutex;
+    size_t capacity = 0;
+    size_t used = 0;
+    std::list<Node> lru;  // Front = most recent.
+    std::unordered_map<std::string, std::list<Node>::iterator> map;
+    BufferPoolStats stats;
+  };
+
+  /// Requires `shard->mutex`.
+  static void EvictUntilFits(Shard* shard, size_t incoming);
 
   size_t capacity_bytes_;
-  size_t used_bytes_ = 0;
-  std::list<Node> lru_;  // Front = most recent.
-  std::unordered_map<std::string, std::list<Node>::iterator> map_;
-  BufferPoolStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace agis::geodb

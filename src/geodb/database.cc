@@ -1,18 +1,54 @@
 #include "geodb/database.h"
 
 #include <algorithm>
+#include <condition_variable>
 
 #include "base/strutil.h"
+#include "base/thread_pool.h"
 #include "geom/predicates.h"
 #include "spatial/grid_index.h"
 #include "spatial/rtree.h"
 
 namespace agis::geodb {
 
+namespace {
+
+/// Attribute types the secondary indexes can hold.
+bool IsIndexableAttrType(AttrType type) {
+  switch (type) {
+    case AttrType::kBool:
+    case AttrType::kInt:
+    case AttrType::kDouble:
+    case AttrType::kString:
+    case AttrType::kText:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// In-place intersection of sorted id vectors, smallest first.
+std::vector<ObjectId> IntersectSorted(std::vector<std::vector<ObjectId>> sets) {
+  std::sort(sets.begin(), sets.end(), [](const auto& a, const auto& b) {
+    return a.size() < b.size();
+  });
+  std::vector<ObjectId> out = std::move(sets.front());
+  for (size_t i = 1; i < sets.size() && !out.empty(); ++i) {
+    std::vector<ObjectId> next;
+    next.reserve(std::min(out.size(), sets[i].size()));
+    std::set_intersection(out.begin(), out.end(), sets[i].begin(),
+                          sets[i].end(), std::back_inserter(next));
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace
+
 GeoDatabase::GeoDatabase(std::string schema_name, DatabaseOptions options)
     : schema_(std::move(schema_name)),
       options_(options),
-      buffer_pool_(options.buffer_pool_bytes) {}
+      buffer_pool_(options.buffer_pool_bytes, options.buffer_pool_shards) {}
 
 std::unique_ptr<spatial::SpatialIndex> GeoDatabase::MakeIndex() const {
   switch (options_.index_kind) {
@@ -32,14 +68,18 @@ agis::Status GeoDatabase::RegisterClass(ClassDef cls) {
   AGIS_RETURN_IF_ERROR(schema_.AddClass(std::move(cls)));
   Extent extent;
   extent.index = MakeIndex();
-  // Resolve the first geometry attribute (including inherited).
+  // Resolve the first geometry attribute (including inherited) and
+  // set up secondary indexes for the scalar attributes.
   auto attrs = schema_.AllAttributesOf(name);
   for (const AttributeDef& a : attrs.value()) {
-    if (a.type == AttrType::kGeometry) {
+    if (a.type == AttrType::kGeometry && extent.geometry_attr.empty()) {
       extent.geometry_attr = a.name;
-      break;
+    }
+    if (options_.auto_attribute_indexes && IsIndexableAttrType(a.type)) {
+      extent.attr_indexes.emplace(a.name, AttributeIndex());
     }
   }
+  std::unique_lock lock(data_mutex_);
   extents_.emplace(name, std::move(extent));
   return agis::Status::OK();
 }
@@ -56,6 +96,38 @@ agis::Status GeoDatabase::RegisterMethod(const std::string& class_name,
   // const_cast is confined here: GeoDatabase owns schema_ and controls
   // every mutation path.
   return const_cast<ClassDef*>(cls)->AddMethod(std::move(method));
+}
+
+agis::Status GeoDatabase::CreateAttributeIndex(const std::string& class_name,
+                                               const std::string& attribute) {
+  const AttributeDef* def = schema_.FindAttributeOf(class_name, attribute);
+  if (def == nullptr) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", class_name, "' has no attribute '", attribute,
+                     "'"));
+  }
+  if (!IsIndexableAttrType(def->type)) {
+    return agis::Status::InvalidArgument(
+        agis::StrCat("attribute '", attribute, "' of type ",
+                     AttrTypeName(def->type), " is not indexable"));
+  }
+  std::unique_lock lock(data_mutex_);
+  Extent& extent = extents_.at(class_name);
+  const auto [it, created] = extent.attr_indexes.emplace(attribute,
+                                                         AttributeIndex());
+  if (!created) return agis::Status::OK();
+  for (ObjectId id : extent.ids) {
+    it->second.Insert(id, objects_.at(id).Get(attribute));
+  }
+  return agis::Status::OK();
+}
+
+bool GeoDatabase::HasAttributeIndex(const std::string& class_name,
+                                    const std::string& attribute) const {
+  std::shared_lock lock(data_mutex_);
+  const auto it = extents_.find(class_name);
+  return it != extents_.end() &&
+         it->second.attr_indexes.count(attribute) != 0;
 }
 
 void GeoDatabase::AddEventSink(DbEventSink* sink) { sinks_.push_back(sink); }
@@ -121,6 +193,19 @@ void GeoDatabase::IndexGeometry(Extent* extent, ObjectId id,
   extent->index->Insert(id, geometry_value.geometry_value().Bounds());
 }
 
+void GeoDatabase::IndexAttributes(Extent* extent, const ObjectInstance& obj) {
+  for (auto& [attr, index] : extent->attr_indexes) {
+    index.Insert(obj.id(), obj.Get(attr));
+  }
+}
+
+void GeoDatabase::UnindexAttributes(Extent* extent,
+                                    const ObjectInstance& obj) {
+  for (auto& [attr, index] : extent->attr_indexes) {
+    index.Remove(obj.id(), obj.Get(attr));
+  }
+}
+
 void GeoDatabase::InvalidateClassBuffers(const std::string& class_name) {
   buffer_pool_.InvalidatePrefix(agis::StrCat("class/", class_name, "/"));
 }
@@ -134,81 +219,123 @@ agis::Result<ObjectId> GeoDatabase::Insert(
   }
   AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(class_name, values));
 
-  ObjectInstance obj(next_id_, class_name);
-  for (auto& [attr_name, value] : values) {
-    obj.Set(attr_name, std::move(value));
-  }
-
   DbEvent event;
   event.kind = DbEventKind::kBeforeInsert;
   event.context = ctx;
   event.schema_name = schema_.name();
   event.class_name = class_name;
-  event.object_id = obj.id();
-  Extent& extent = extents_.at(class_name);
-  if (!extent.geometry_attr.empty()) {
-    event.attribute = extent.geometry_attr;
-    event.new_value = obj.Get(extent.geometry_attr);
+  {
+    std::shared_lock lock(data_mutex_);
+    // Provisional id; final under concurrent writers only after the
+    // exclusive section below (see the thread-safety contract).
+    event.object_id = next_id_;
+    const Extent& extent = extents_.at(class_name);
+    if (!extent.geometry_attr.empty()) {
+      event.attribute = extent.geometry_attr;
+      // Last write wins, matching ObjectInstance::Set below.
+      for (const auto& [attr_name, value] : values) {
+        if (attr_name == extent.geometry_attr) event.new_value = value;
+      }
+    }
   }
   const agis::Status veto = RunBeforeSinks(event);
   if (!veto.ok()) {
+    std::lock_guard stats_lock(stats_mutex_);
     ++stats_.vetoed_writes;
     return veto;
   }
 
-  const ObjectId id = next_id_++;
-  IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
-  extent.ids.push_back(id);
-  objects_.emplace(id, std::move(obj));
+  ObjectId id = 0;
+  {
+    std::unique_lock lock(data_mutex_);
+    id = next_id_++;
+    ObjectInstance obj(id, class_name);
+    for (auto& [attr_name, value] : values) {
+      obj.Set(attr_name, std::move(value));
+    }
+    Extent& extent = extents_.at(class_name);
+    IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
+    IndexAttributes(&extent, obj);
+    extent.ids.push_back(id);
+    objects_.emplace(id, std::move(obj));
+  }
   InvalidateClassBuffers(class_name);
-  ++stats_.inserts;
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.inserts;
+  }
 
   event.kind = DbEventKind::kAfterInsert;
+  event.object_id = id;
   RunAfterSinks(event);
   return id;
 }
 
 agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
                                  Value value, const UserContext& ctx) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return agis::Status::NotFound(agis::StrCat("object ", id));
-  }
-  ObjectInstance& obj = it->second;
-  const AttributeDef* def =
-      schema_.FindAttributeOf(obj.class_name(), attribute);
-  if (def == nullptr) {
-    return agis::Status::NotFound(
-        agis::StrCat("class '", obj.class_name(), "' has no attribute '",
-                     attribute, "'"));
-  }
-  AGIS_RETURN_IF_ERROR(CheckValueType(schema_, *def, value));
-
   DbEvent event;
   event.kind = DbEventKind::kBeforeUpdate;
   event.context = ctx;
   event.schema_name = schema_.name();
-  event.class_name = obj.class_name();
   event.object_id = id;
   event.attribute = attribute;
-  event.old_value = obj.Get(attribute);
   event.new_value = value;
+  {
+    std::shared_lock lock(data_mutex_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    const ObjectInstance& obj = it->second;
+    const AttributeDef* def =
+        schema_.FindAttributeOf(obj.class_name(), attribute);
+    if (def == nullptr) {
+      return agis::Status::NotFound(
+          agis::StrCat("class '", obj.class_name(), "' has no attribute '",
+                       attribute, "'"));
+    }
+    AGIS_RETURN_IF_ERROR(CheckValueType(schema_, *def, value));
+    event.class_name = obj.class_name();
+    event.old_value = obj.Get(attribute);
+  }
   const agis::Status veto = RunBeforeSinks(event);
   if (!veto.ok()) {
+    std::lock_guard stats_lock(stats_mutex_);
     ++stats_.vetoed_writes;
     return veto;
   }
 
-  Extent& extent = extents_.at(obj.class_name());
-  if (attribute == extent.geometry_attr) {
-    extent.index->Remove(id);
+  {
+    std::unique_lock lock(data_mutex_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    ObjectInstance& obj = it->second;
+    Extent& extent = extents_.at(obj.class_name());
+    // Re-read the stored value under the exclusive lock so index
+    // maintenance matches what is actually replaced.
+    const Value& stored = obj.Get(attribute);
+    if (attribute == extent.geometry_attr) {
+      extent.index->Remove(id);
+    }
+    const auto attr_index_it = extent.attr_indexes.find(attribute);
+    if (attr_index_it != extent.attr_indexes.end()) {
+      attr_index_it->second.Remove(id, stored);
+    }
+    obj.Set(attribute, std::move(value));
+    if (attribute == extent.geometry_attr) {
+      IndexGeometry(&extent, id, obj.Get(attribute));
+    }
+    if (attr_index_it != extent.attr_indexes.end()) {
+      attr_index_it->second.Insert(id, obj.Get(attribute));
+    }
   }
-  obj.Set(attribute, std::move(value));
-  if (attribute == extent.geometry_attr) {
-    IndexGeometry(&extent, id, obj.Get(attribute));
+  InvalidateClassBuffers(event.class_name);
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.updates;
   }
-  InvalidateClassBuffers(obj.class_name());
-  ++stats_.updates;
 
   event.kind = DbEventKind::kAfterUpdate;
   RunAfterSinks(event);
@@ -216,31 +343,44 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
 }
 
 agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return agis::Status::NotFound(agis::StrCat("object ", id));
-  }
-  const std::string class_name = it->second.class_name();
-
   DbEvent event;
   event.kind = DbEventKind::kBeforeDelete;
   event.context = ctx;
   event.schema_name = schema_.name();
-  event.class_name = class_name;
   event.object_id = id;
+  {
+    std::shared_lock lock(data_mutex_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    event.class_name = it->second.class_name();
+  }
   const agis::Status veto = RunBeforeSinks(event);
   if (!veto.ok()) {
+    std::lock_guard stats_lock(stats_mutex_);
     ++stats_.vetoed_writes;
     return veto;
   }
 
-  Extent& extent = extents_.at(class_name);
-  extent.index->Remove(id);
-  extent.ids.erase(std::remove(extent.ids.begin(), extent.ids.end(), id),
-                   extent.ids.end());
-  objects_.erase(it);
-  InvalidateClassBuffers(class_name);
-  ++stats_.deletes;
+  {
+    std::unique_lock lock(data_mutex_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    Extent& extent = extents_.at(it->second.class_name());
+    extent.index->Remove(id);
+    UnindexAttributes(&extent, it->second);
+    extent.ids.erase(std::remove(extent.ids.begin(), extent.ids.end(), id),
+                     extent.ids.end());
+    objects_.erase(it);
+  }
+  InvalidateClassBuffers(event.class_name);
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.deletes;
+  }
 
   event.kind = DbEventKind::kAfterDelete;
   RunAfterSinks(event);
@@ -252,9 +392,91 @@ agis::Result<const Schema*> GeoDatabase::GetSchema(const UserContext& ctx) {
   event.kind = DbEventKind::kGetSchema;
   event.context = ctx;
   event.schema_name = schema_.name();
-  ++stats_.get_schema_calls;
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.get_schema_calls;
+  }
   RunAfterSinks(event);
   return &schema_;
+}
+
+std::vector<ObjectId> GeoDatabase::EvaluateResidual(
+    const Extent& extent, const GetClassOptions& options,
+    const std::vector<bool>& applied, const std::vector<ObjectId>& candidates,
+    size_t begin, size_t end) const {
+  const bool spatially_filtered =
+      options.window.has_value() || options.spatial.has_value();
+  std::vector<ObjectId> out;
+  for (size_t i = begin; i < end; ++i) {
+    const ObjectId id = candidates[i];
+    const ObjectInstance& obj = objects_.at(id);
+    bool keep = true;
+
+    if (spatially_filtered && !extent.geometry_attr.empty()) {
+      const Value& gv = obj.Get(extent.geometry_attr);
+      if (gv.is_null()) {
+        keep = false;
+      } else {
+        const geom::Geometry& g = gv.geometry_value();
+        if (options.window.has_value() &&
+            !g.Bounds().Intersects(*options.window)) {
+          keep = false;
+        }
+        if (keep && options.spatial.has_value() &&
+            !geom::Satisfies(g, options.spatial->target,
+                             options.spatial->relation)) {
+          keep = false;
+        }
+      }
+    } else if (spatially_filtered && extent.geometry_attr.empty()) {
+      keep = false;  // Spatial filter over a non-spatial class.
+    }
+
+    for (size_t p = 0; p < options.predicates.size(); ++p) {
+      if (!keep) break;
+      if (applied[p]) continue;  // Answered exactly by an index.
+      const AttrPredicate& pred = options.predicates[p];
+      const Value& v = obj.Get(pred.attribute);
+      if (pred.op == CompareOp::kContains) {
+        keep = v.kind() == ValueKind::kString &&
+               pred.operand.kind() == ValueKind::kString &&
+               v.string_value().find(pred.operand.string_value()) !=
+                   std::string::npos;
+        continue;
+      }
+      auto cmp = CompareValues(v, pred.operand);
+      if (!cmp.ok()) {
+        keep = false;
+        continue;
+      }
+      const int c = cmp.value();
+      switch (pred.op) {
+        case CompareOp::kEq:
+          keep = c == 0;
+          break;
+        case CompareOp::kNe:
+          keep = c != 0;
+          break;
+        case CompareOp::kLt:
+          keep = c < 0;
+          break;
+        case CompareOp::kLe:
+          keep = c <= 0;
+          break;
+        case CompareOp::kGt:
+          keep = c > 0;
+          break;
+        case CompareOp::kGe:
+          keep = c >= 0;
+          break;
+        case CompareOp::kContains:
+          break;  // Handled above.
+      }
+    }
+
+    if (keep) out.push_back(id);
+  }
+  return out;
 }
 
 agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
@@ -269,15 +491,27 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
     }
   }
 
+  bool used_attr_index = false;
+  bool used_spatial_index = false;
+  bool used_full_scan = false;
+  bool used_parallel_scan = false;
+
   std::vector<ObjectId> out;
   for (const std::string& cls : classes) {
     const Extent& extent = extents_.at(cls);
-    std::vector<ObjectId> candidates;
     const bool spatially_filtered =
         options.window.has_value() || options.spatial.has_value();
-    if (spatially_filtered && !extent.geometry_attr.empty()) {
+    if (spatially_filtered && extent.geometry_attr.empty()) {
+      continue;  // Spatial filter over a non-spatial class: no matches.
+    }
+
+    // ---- Plan: collect an id set from every usable access path ----------
+    std::vector<std::vector<ObjectId>> paths;
+    std::vector<bool> applied(options.predicates.size(), false);
+
+    if (spatially_filtered) {
       // Probe the index with the tighter of window and spatial-target
-      // box; exact filters below refine the candidates.
+      // box; exact filters in the residual refine the candidates.
       geom::BoundingBox probe;
       if (options.window.has_value()) probe = *options.window;
       if (options.spatial.has_value()) {
@@ -286,81 +520,90 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
           probe = target_box;
         }
       }
-      candidates = extent.index->Query(probe);
-      std::sort(candidates.begin(), candidates.end());
-    } else {
+      std::vector<ObjectId> ids = extent.index->Query(probe);
+      std::sort(ids.begin(), ids.end());
+      paths.push_back(std::move(ids));
+      used_spatial_index = true;
+    }
+
+    for (size_t p = 0; p < options.predicates.size(); ++p) {
+      const AttrPredicate& pred = options.predicates[p];
+      const auto it = extent.attr_indexes.find(pred.attribute);
+      if (it == extent.attr_indexes.end()) continue;
+      auto ids = it->second.Eval(pred.op, pred.operand);
+      if (!ids.has_value()) continue;  // Degenerate operand: residual.
+      applied[p] = true;
+      used_attr_index = true;
+      paths.push_back(std::move(*ids));
+    }
+
+    // ---- Choose candidates: intersect paths, else the whole extent ------
+    std::vector<ObjectId> candidates;
+    if (paths.empty()) {
       candidates = extent.ids;
+      used_full_scan = true;
+    } else {
+      candidates = IntersectSorted(std::move(paths));
     }
 
-    for (ObjectId id : candidates) {
-      const ObjectInstance& obj = objects_.at(id);
-      bool keep = true;
-
-      if (spatially_filtered && !extent.geometry_attr.empty()) {
-        const Value& gv = obj.Get(extent.geometry_attr);
-        if (gv.is_null()) {
-          keep = false;
-        } else {
-          const geom::Geometry& g = gv.geometry_value();
-          if (options.window.has_value() &&
-              !g.Bounds().Intersects(*options.window)) {
-            keep = false;
-          }
-          if (keep && options.spatial.has_value() &&
-              !geom::Satisfies(g, options.spatial->target,
-                               options.spatial->relation)) {
-            keep = false;
-          }
-        }
-      } else if (spatially_filtered && extent.geometry_attr.empty()) {
-        keep = false;  // Spatial filter over a non-spatial class.
-      }
-
-      for (const AttrPredicate& pred : options.predicates) {
-        if (!keep) break;
-        const Value& v = obj.Get(pred.attribute);
-        if (pred.op == CompareOp::kContains) {
-          keep = v.kind() == ValueKind::kString &&
-                 pred.operand.kind() == ValueKind::kString &&
-                 v.string_value().find(pred.operand.string_value()) !=
-                     std::string::npos;
-          continue;
-        }
-        auto cmp = CompareValues(v, pred.operand);
-        if (!cmp.ok()) {
-          keep = false;
-          continue;
-        }
-        const int c = cmp.value();
-        switch (pred.op) {
-          case CompareOp::kEq:
-            keep = c == 0;
-            break;
-          case CompareOp::kNe:
-            keep = c != 0;
-            break;
-          case CompareOp::kLt:
-            keep = c < 0;
-            break;
-          case CompareOp::kLe:
-            keep = c <= 0;
-            break;
-          case CompareOp::kGt:
-            keep = c > 0;
-            break;
-          case CompareOp::kGe:
-            keep = c >= 0;
-            break;
-          case CompareOp::kContains:
-            break;  // Handled above.
+    // ---- Residual evaluation over the surviving candidates --------------
+    const size_t partition = std::max<size_t>(options_.parallel_scan_partition,
+                                              1);
+    if (options.limit != 0) {
+      // Evaluate in blocks so a satisfied limit stops early.
+      const size_t block = 1024;
+      for (size_t b = 0; b < candidates.size() && out.size() < options.limit;
+           b += block) {
+        std::vector<ObjectId> kept = EvaluateResidual(
+            extent, options, applied, candidates, b,
+            std::min(b + block, candidates.size()));
+        for (ObjectId id : kept) {
+          out.push_back(id);
+          if (out.size() >= options.limit) break;
         }
       }
-
-      if (keep) {
-        out.push_back(id);
-        if (options.limit != 0 && out.size() >= options.limit) return out;
+      if (out.size() >= options.limit) break;
+    } else if (query_pool_ != nullptr && candidates.size() >= 2 * partition) {
+      // Partition the residual scan across the pool; chunk results
+      // merge in chunk order, so the outcome is identical to the
+      // sequential path.
+      const size_t nchunks = (candidates.size() + partition - 1) / partition;
+      std::vector<std::vector<ObjectId>> chunk_results(nchunks);
+      std::mutex merge_mutex;
+      std::condition_variable done_cv;
+      size_t pending = nchunks - 1;
+      for (size_t c = 1; c < nchunks; ++c) {
+        query_pool_->Submit([&, c] {
+          chunk_results[c] = EvaluateResidual(
+              extent, options, applied, candidates, c * partition,
+              std::min((c + 1) * partition, candidates.size()));
+          std::lock_guard<std::mutex> lock(merge_mutex);
+          if (--pending == 0) done_cv.notify_one();
+        });
       }
+      chunk_results[0] =
+          EvaluateResidual(extent, options, applied, candidates, 0, partition);
+      {
+        std::unique_lock<std::mutex> lock(merge_mutex);
+        done_cv.wait(lock, [&] { return pending == 0; });
+      }
+      for (std::vector<ObjectId>& chunk : chunk_results) {
+        out.insert(out.end(), chunk.begin(), chunk.end());
+      }
+      used_parallel_scan = true;
+    } else {
+      std::vector<ObjectId> kept = EvaluateResidual(
+          extent, options, applied, candidates, 0, candidates.size());
+      out.insert(out.end(), kept.begin(), kept.end());
     }
+  }
+
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    if (used_attr_index) ++stats_.attr_index_queries;
+    if (used_spatial_index) ++stats_.spatial_index_queries;
+    if (used_full_scan) ++stats_.full_extent_scans;
+    if (used_parallel_scan) ++stats_.parallel_scans;
   }
   return out;
 }
@@ -371,7 +614,10 @@ agis::Result<ClassResult> GeoDatabase::GetClass(const std::string& class_name,
   if (!schema_.HasClass(class_name)) {
     return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
   }
-  ++stats_.get_class_calls;
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.get_class_calls;
+  }
 
   DbEvent event;
   event.kind = DbEventKind::kGetClass;
@@ -393,16 +639,20 @@ agis::Result<ClassResult> GeoDatabase::GetClass(const std::string& class_name,
     }
   }
 
-  AGIS_ASSIGN_OR_RETURN(result.ids, EvaluateGetClass(class_name, options));
-
-  if (options.use_buffer_pool) {
-    BufferSlice slice;
-    slice.ids = result.ids;
-    slice.charge_bytes = 64 + slice.ids.size() * sizeof(ObjectId);
-    // Charge the objects a renderer would pin alongside the id list.
-    for (ObjectId id : slice.ids) {
-      slice.charge_bytes += objects_.at(id).ApproxSizeBytes();
+  BufferSlice slice;
+  {
+    std::shared_lock lock(data_mutex_);
+    AGIS_ASSIGN_OR_RETURN(result.ids, EvaluateGetClass(class_name, options));
+    if (options.use_buffer_pool) {
+      slice.ids = result.ids;
+      slice.charge_bytes = 64 + slice.ids.size() * sizeof(ObjectId);
+      // Charge the objects a renderer would pin alongside the id list.
+      for (ObjectId id : slice.ids) {
+        slice.charge_bytes += objects_.at(id).ApproxSizeBytes();
+      }
     }
+  }
+  if (options.use_buffer_pool) {
     buffer_pool_.Put(cache_key, std::move(slice));
   }
   return result;
@@ -410,20 +660,28 @@ agis::Result<ClassResult> GeoDatabase::GetClass(const std::string& class_name,
 
 agis::Result<const ObjectInstance*> GeoDatabase::GetValue(
     ObjectId id, const UserContext& ctx) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return agis::Status::NotFound(agis::StrCat("object ", id));
-  }
-  ++stats_.get_value_calls;
-
   DbEvent event;
+  const ObjectInstance* found = nullptr;
+  {
+    std::shared_lock lock(data_mutex_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    found = &it->second;
+    event.class_name = it->second.class_name();
+  }
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.get_value_calls;
+  }
+
   event.kind = DbEventKind::kGetValue;
   event.context = ctx;
   event.schema_name = schema_.name();
-  event.class_name = it->second.class_name();
   event.object_id = id;
   RunAfterSinks(event);
-  return &it->second;
+  return found;
 }
 
 agis::Result<Value> GeoDatabase::GetAttributeValue(ObjectId id,
@@ -442,6 +700,10 @@ agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
   if (obj.id() == 0) {
     return agis::Status::InvalidArgument("restored object needs an id");
   }
+  std::vector<std::pair<std::string, Value>> values(obj.values().begin(),
+                                                    obj.values().end());
+  AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(obj.class_name(), values));
+  std::unique_lock lock(data_mutex_);
   if (objects_.count(obj.id()) != 0) {
     return agis::Status::AlreadyExists(
         agis::StrCat("object ", obj.id(), " already exists"));
@@ -451,37 +713,90 @@ agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
     return agis::Status::NotFound(
         agis::StrCat("class '", obj.class_name(), "'"));
   }
-  std::vector<std::pair<std::string, Value>> values(obj.values().begin(),
-                                                    obj.values().end());
-  AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(obj.class_name(), values));
   Extent& extent = extent_it->second;
   const ObjectId id = obj.id();
-  IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
+  if (!bulk_restore_) {
+    IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
+    IndexAttributes(&extent, obj);
+  }
   extent.ids.push_back(id);
   objects_.emplace(id, std::move(obj));
   if (id >= next_id_) next_id_ = id + 1;
   return agis::Status::OK();
 }
 
+void GeoDatabase::BeginBulkRestore() {
+  std::unique_lock lock(data_mutex_);
+  bulk_restore_ = true;
+}
+
+agis::Status GeoDatabase::FinishBulkRestore() {
+  std::unique_lock lock(data_mutex_);
+  if (!bulk_restore_) return agis::Status::OK();
+  bulk_restore_ = false;
+  for (auto& [class_name, extent] : extents_) {
+    RebuildExtentSpatialIndexLocked(class_name, &extent);
+    for (auto& [attr, index] : extent.attr_indexes) {
+      index = AttributeIndex();
+      for (ObjectId id : extent.ids) {
+        index.Insert(id, objects_.at(id).Get(attr));
+      }
+    }
+  }
+  return agis::Status::OK();
+}
+
+void GeoDatabase::RebuildSpatialIndexes() {
+  std::unique_lock lock(data_mutex_);
+  for (auto& [class_name, extent] : extents_) {
+    RebuildExtentSpatialIndexLocked(class_name, &extent);
+  }
+}
+
+void GeoDatabase::RebuildExtentSpatialIndexLocked(
+    const std::string& class_name, Extent* extent) {
+  if (extent->geometry_attr.empty()) return;
+  std::vector<spatial::IndexEntry> entries;
+  entries.reserve(extent->ids.size());
+  for (ObjectId id : extent->ids) {
+    const Value& gv = objects_.at(id).Get(extent->geometry_attr);
+    if (gv.is_null()) continue;
+    entries.push_back({id, gv.geometry_value().Bounds()});
+  }
+  extent->index = MakeIndex();
+  extent->index->BulkLoad(std::move(entries));
+  std::lock_guard stats_lock(stats_mutex_);
+  ++stats_.bulk_index_builds;
+  stats_.index_quality[class_name] = extent->index->Quality();
+}
+
 agis::Result<Value> GeoDatabase::CallMethod(ObjectId id,
                                             const std::string& method) const {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
-    return agis::Status::NotFound(agis::StrCat("object ", id));
+  const ObjectInstance* obj = nullptr;
+  const MethodDef* def = nullptr;
+  {
+    std::shared_lock lock(data_mutex_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return agis::Status::NotFound(agis::StrCat("object ", id));
+    }
+    obj = &it->second;
+    def = schema_.FindMethodOf(it->second.class_name(), method);
+    if (def == nullptr || !def->impl) {
+      return agis::Status::NotFound(
+          agis::StrCat("method '", method, "' on class '",
+                       it->second.class_name(), "'"));
+    }
   }
-  const MethodDef* def =
-      schema_.FindMethodOf(it->second.class_name(), method);
-  if (def == nullptr || !def->impl) {
-    return agis::Status::NotFound(
-        agis::StrCat("method '", method, "' on class '",
-                     it->second.class_name(), "'"));
-  }
-  return def->impl(*this, it->second);
+  // Invoked unlocked: method impls read the database (and would
+  // self-deadlock against a queued writer otherwise).
+  return def->impl(*this, *obj);
 }
 
 agis::Result<std::vector<ObjectId>> GeoDatabase::ScanExtent(
     const std::string& class_name,
     const std::optional<geom::BoundingBox>& window) const {
+  std::shared_lock lock(data_mutex_);
   auto it = extents_.find(class_name);
   if (it == extents_.end()) {
     return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
@@ -496,17 +811,25 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::ScanExtent(
 }
 
 const ObjectInstance* GeoDatabase::FindObject(ObjectId id) const {
+  std::shared_lock lock(data_mutex_);
   auto it = objects_.find(id);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 size_t GeoDatabase::ExtentSize(const std::string& class_name) const {
+  std::shared_lock lock(data_mutex_);
   auto it = extents_.find(class_name);
   return it == extents_.end() ? 0 : it->second.ids.size();
 }
 
+size_t GeoDatabase::NumObjects() const {
+  std::shared_lock lock(data_mutex_);
+  return objects_.size();
+}
+
 std::string GeoDatabase::GeometryAttributeOf(
     const std::string& class_name) const {
+  std::shared_lock lock(data_mutex_);
   auto it = extents_.find(class_name);
   return it == extents_.end() ? "" : it->second.geometry_attr;
 }

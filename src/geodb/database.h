@@ -3,13 +3,16 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/context.h"
 #include "base/status.h"
+#include "geodb/attr_index.h"
 #include "geodb/buffer_pool.h"
 #include "geodb/events.h"
 #include "geodb/object.h"
@@ -17,6 +20,10 @@
 #include "geodb/schema.h"
 #include "geodb/value.h"
 #include "spatial/spatial_index.h"
+
+namespace agis {
+class ThreadPool;
+}
 
 namespace agis::geodb {
 
@@ -31,9 +38,22 @@ struct DatabaseOptions {
   size_t grid_cells_per_side = 64;
   size_t rtree_max_entries = 8;
   size_t buffer_pool_bytes = 8 << 20;
+  /// Shards of the display buffer pool; >1 lets concurrent readers
+  /// hit the cache without serializing on one lock.
+  size_t buffer_pool_shards = 8;
+  /// Maintain secondary attribute indexes (hash + ordered) for every
+  /// scalar attribute of every class; the Get_Class planner uses them
+  /// for predicate access paths. Costs O(#scalar attrs) per write.
+  bool auto_attribute_indexes = true;
+  /// Minimum candidates per partition when a residual extent scan is
+  /// spread across the query thread pool (see set_query_pool); scans
+  /// smaller than two partitions stay on the calling thread.
+  size_t parallel_scan_partition = 4096;
 };
 
-/// Cumulative operation counters, for tests and benches.
+/// Cumulative operation counters, for tests and benches. Counter
+/// updates are internally synchronized; read the struct while the
+/// database is quiescent (no concurrent calls) for exact values.
 struct DatabaseStats {
   uint64_t get_schema_calls = 0;
   uint64_t get_class_calls = 0;
@@ -42,6 +62,23 @@ struct DatabaseStats {
   uint64_t updates = 0;
   uint64_t deletes = 0;
   uint64_t vetoed_writes = 0;
+
+  // ---- Read-path planner counters ----------------------------------------
+  /// Get_Class evaluations that used at least one attribute-index
+  /// access path.
+  uint64_t attr_index_queries = 0;
+  /// Get_Class evaluations that probed a spatial index.
+  uint64_t spatial_index_queries = 0;
+  /// Get_Class evaluations with no index path at all (full extent
+  /// candidates).
+  uint64_t full_extent_scans = 0;
+  /// Residual scans partitioned across the query thread pool.
+  uint64_t parallel_scans = 0;
+  /// STR bulk (re)builds of spatial indexes.
+  uint64_t bulk_index_builds = 0;
+  /// Spatial-index quality per class, refreshed by FinishBulkRestore /
+  /// RebuildSpatialIndexes (height, node count, average node fill).
+  std::map<std::string, spatial::IndexQuality> index_quality;
 };
 
 /// In-memory object-oriented geographic DBMS.
@@ -50,8 +87,33 @@ struct DatabaseStats {
 /// attributes, class extents with spatial indexes, the three
 /// exploratory query primitives (`GetSchema`, `GetClass`, `GetValue`)
 /// plus write operations, a display buffer pool, and event emission
-/// hooks that the active mechanism subscribes to. Not thread-safe by
-/// design (the paper's interaction model is a single user session).
+/// hooks that the active mechanism subscribes to.
+///
+/// ---- Thread-safety contract --------------------------------------------
+///
+/// The read path is concurrent: any number of threads may issue
+/// GetSchema / GetClass / GetValue / GetAttributeValue / ScanExtent /
+/// FindObject / ExtentSize / CallMethod simultaneously (they take a
+/// shared lock, mirroring the PR-1 RuleEngine locking model). Write
+/// operations (Insert / Update / Delete / RestoreObject) take the
+/// exclusive lock for the mutation itself and serialize against each
+/// other and against readers.
+///
+/// Three deliberate carve-outs, matching the paper's single-session
+/// write model:
+///  * Event sinks run with NO database lock held (before-write sinks
+///    routinely re-enter the database, e.g. topology constraints
+///    calling ScanExtent). Consequently a write is not atomic with
+///    its sink invocations: under concurrent writers, a before-sink
+///    may observe state that changes before the mutation lands, and
+///    the provisional object id carried by a before-insert event may
+///    differ from the final id. Single-writer callers (the paper's
+///    model) never observe either.
+///  * Schema registration (RegisterClass / RegisterMethod) and sink
+///    registration (Add/RemoveEventSink) are a setup phase: run them
+///    before going concurrent.
+///  * Pointers returned by GetValue / FindObject / GetSchema remain
+///    valid only until the next write that touches them.
 class GeoDatabase {
  public:
   explicit GeoDatabase(std::string schema_name,
@@ -62,7 +124,10 @@ class GeoDatabase {
 
   // ---- Schema management -------------------------------------------------
 
-  /// Registers a class and creates its (empty) extent.
+  /// Registers a class and creates its (empty) extent. With
+  /// `auto_attribute_indexes`, every scalar attribute (bool / int /
+  /// double / string / text, including inherited ones) gets a
+  /// secondary index maintained from then on.
   agis::Status RegisterClass(ClassDef cls);
 
   const Schema& schema() const { return schema_; }
@@ -70,10 +135,21 @@ class GeoDatabase {
   /// Attaches a method implementation to a registered class.
   agis::Status RegisterMethod(const std::string& class_name, MethodDef method);
 
+  /// Creates a secondary index over one scalar attribute of
+  /// `class_name` (for databases running with auto_attribute_indexes
+  /// off). Existing instances are indexed immediately. Idempotent.
+  agis::Status CreateAttributeIndex(const std::string& class_name,
+                                    const std::string& attribute);
+
+  /// Whether `class_name` maintains an index over `attribute`.
+  bool HasAttributeIndex(const std::string& class_name,
+                         const std::string& attribute) const;
+
   // ---- Event sinks -------------------------------------------------------
 
   /// Sinks observe all events; before-write sinks may veto. Sinks are
   /// not owned; callers must keep them alive and deregister first.
+  /// Registration is not synchronized against in-flight operations.
   void AddEventSink(DbEventSink* sink);
   void RemoveEventSink(DbEventSink* sink);
 
@@ -100,6 +176,15 @@ class GeoDatabase {
   agis::Result<const Schema*> GetSchema(const UserContext& ctx = UserContext());
 
   /// `Get_Class`: instances of `class_name` matching `options`.
+  ///
+  /// Evaluation is planned per class: the planner gathers an id set
+  /// from every usable access path — the spatial index for window /
+  /// relation filters, the attribute indexes for indexable predicates
+  /// — intersects them (most selective first), and only then runs the
+  /// residual predicates over the surviving candidates. Large
+  /// residual scans are partitioned across the query thread pool when
+  /// one is attached (set_query_pool) with a deterministic in-order
+  /// merge, so results are identical with and without the pool.
   agis::Result<ClassResult> GetClass(const std::string& class_name,
                                      const GetClassOptions& options = {},
                                      const UserContext& ctx = UserContext());
@@ -120,7 +205,22 @@ class GeoDatabase {
   /// its original id. Validates against the schema and indexes
   /// geometry but bypasses event sinks and buffer invalidation
   /// (databases are restored before rules and sessions attach).
+  /// Between BeginBulkRestore and FinishBulkRestore, per-object index
+  /// maintenance is skipped entirely and indexes are rebuilt in one
+  /// STR pass at the end.
   agis::Status RestoreObject(ObjectInstance obj);
+
+  /// Enters bulk-restore mode: RestoreObject defers all indexing.
+  void BeginBulkRestore();
+
+  /// Leaves bulk-restore mode: rebuilds every extent's spatial index
+  /// with one STR bulk load and repopulates attribute indexes.
+  agis::Status FinishBulkRestore();
+
+  /// Rebuilds every extent's spatial index from current contents via
+  /// STR bulk loading (also refreshes DatabaseStats::index_quality).
+  /// Useful after heavy churn degraded the incrementally-built tree.
+  void RebuildSpatialIndexes();
 
   // ---- Non-event accessors (internal plumbing, no event emission) --------
 
@@ -139,12 +239,18 @@ class GeoDatabase {
   /// Number of live instances of `class_name` (excluding subclasses).
   size_t ExtentSize(const std::string& class_name) const;
 
-  size_t NumObjects() const { return objects_.size(); }
+  size_t NumObjects() const;
 
   /// The attribute GetClass windows/spatial filters index for
   /// `class_name` (first geometry attribute, possibly inherited);
   /// empty when the class has none.
   std::string GeometryAttributeOf(const std::string& class_name) const;
+
+  /// Attaches a worker pool used to partition large residual extent
+  /// scans (non-owning; pass nullptr to detach). The pool must not be
+  /// one whose workers themselves call into this database's GetClass,
+  /// or a saturated pool can deadlock waiting on its own queue.
+  void set_query_pool(agis::ThreadPool* pool) { query_pool_ = pool; }
 
   BufferPool& buffer_pool() { return buffer_pool_; }
   const DatabaseStats& stats() const { return stats_; }
@@ -155,6 +261,8 @@ class GeoDatabase {
     std::vector<ObjectId> ids;
     std::unique_ptr<spatial::SpatialIndex> index;
     std::string geometry_attr;
+    /// Secondary indexes keyed by attribute name.
+    std::map<std::string, AttributeIndex> attr_indexes;
   };
 
   std::unique_ptr<spatial::SpatialIndex> MakeIndex() const;
@@ -164,20 +272,48 @@ class GeoDatabase {
       const std::string& class_name,
       const std::vector<std::pair<std::string, Value>>& values) const;
   void IndexGeometry(Extent* extent, ObjectId id, const Value& geometry_value);
+  /// Adds/removes `id` in every attribute index of `extent`.
+  void IndexAttributes(Extent* extent, const ObjectInstance& obj);
+  void UnindexAttributes(Extent* extent, const ObjectInstance& obj);
   void InvalidateClassBuffers(const std::string& class_name);
+  /// Requires the exclusive lock. Rebuilds one extent's spatial index
+  /// via STR and refreshes its quality stats.
+  void RebuildExtentSpatialIndexLocked(const std::string& class_name,
+                                       Extent* extent);
 
-  /// Extent evaluation shared by cached and uncached paths.
+  /// Extent evaluation shared by cached and uncached paths. The
+  /// caller must hold the shared (or exclusive) data lock.
   agis::Result<std::vector<ObjectId>> EvaluateGetClass(
       const std::string& class_name, const GetClassOptions& options) const;
 
+  /// Residual predicate/geometry evaluation over
+  /// `candidates[begin, end)`; `applied` flags predicates already
+  /// answered exactly by an index. Caller holds the data lock.
+  std::vector<ObjectId> EvaluateResidual(const Extent& extent,
+                                         const GetClassOptions& options,
+                                         const std::vector<bool>& applied,
+                                         const std::vector<ObjectId>& candidates,
+                                         size_t begin, size_t end) const;
+
   Schema schema_;
   DatabaseOptions options_;
+
+  /// Guards objects_, extents_ (structure and contents), and
+  /// next_id_. Shared for queries, exclusive for writes. Sinks always
+  /// run with this lock released (they re-enter the database).
+  mutable std::shared_mutex data_mutex_;
   std::unordered_map<ObjectId, ObjectInstance> objects_;
   std::map<std::string, Extent> extents_;
+  ObjectId next_id_ = 1;
+  bool bulk_restore_ = false;
+
   std::vector<DbEventSink*> sinks_;
   BufferPool buffer_pool_;
-  DatabaseStats stats_;
-  ObjectId next_id_ = 1;
+  agis::ThreadPool* query_pool_ = nullptr;
+
+  /// Guards stats_. Mutable so const read paths can count their work.
+  mutable std::mutex stats_mutex_;
+  mutable DatabaseStats stats_;
 };
 
 }  // namespace agis::geodb

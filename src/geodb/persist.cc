@@ -461,6 +461,9 @@ agis::Result<std::unique_ptr<GeoDatabase>> LoadDatabaseFromString(
   if (keyword != "schema") return scanner.Error("expected schema");
   AGIS_ASSIGN_OR_RETURN(std::string schema_name, scanner.QuotedString());
   auto db = std::make_unique<GeoDatabase>(schema_name, options);
+  // Defer per-object index maintenance: indexes are bulk-built once at
+  // the end, which gives the spatial indexes an STR-packed layout.
+  db->BeginBulkRestore();
 
   while (!scanner.AtEnd()) {
     AGIS_ASSIGN_OR_RETURN(std::string section, scanner.Word("section"));
@@ -499,6 +502,7 @@ agis::Result<std::unique_ptr<GeoDatabase>> LoadDatabaseFromString(
     }
     return scanner.Error(agis::StrCat("unknown section '", section, "'"));
   }
+  AGIS_RETURN_IF_ERROR(db->FinishBulkRestore());
   return db;
 }
 

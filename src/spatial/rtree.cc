@@ -208,6 +208,155 @@ void RTree::Insert(EntryId id, const geom::BoundingBox& box) {
   ++size_;
 }
 
+namespace {
+
+double CenterX(const geom::BoundingBox& b) { return (b.min_x + b.max_x) / 2; }
+double CenterY(const geom::BoundingBox& b) { return (b.min_y + b.max_y) / 2; }
+
+/// Number of vertical slices STR uses for `count` items at `fanout`.
+size_t StrSliceWidth(size_t count, size_t fanout) {
+  const size_t pages = (count + fanout - 1) / fanout;
+  const size_t slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(pages))));
+  return slices * fanout;  // Items per slice.
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<RTree::Node>> RTree::PackLevel(
+    std::vector<std::unique_ptr<Node>> nodes) {
+  const size_t slice_width = StrSliceWidth(nodes.size(), max_entries_);
+  std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+    return CenterX(a->box) < CenterX(b->box);
+  });
+  std::vector<std::unique_ptr<Node>> parents;
+  for (size_t s = 0; s < nodes.size(); s += slice_width) {
+    const size_t slice_end = std::min(s + slice_width, nodes.size());
+    std::sort(nodes.begin() + s, nodes.begin() + slice_end,
+              [](const auto& a, const auto& b) {
+                return CenterY(a->box) < CenterY(b->box);
+              });
+    for (size_t g = s; g < slice_end; g += max_entries_) {
+      const size_t group_end = std::min(g + max_entries_, slice_end);
+      auto parent = std::make_unique<Node>(/*leaf=*/false);
+      for (size_t i = g; i < group_end; ++i) {
+        nodes[i]->parent = parent.get();
+        parent->children.push_back(std::move(nodes[i]));
+      }
+      RecomputeBox(parent.get());
+      parents.push_back(std::move(parent));
+    }
+  }
+  // The final parent may underflow the minimum fill; rebalance with
+  // its (full) predecessor so both respect it.
+  if (parents.size() >= 2) {
+    Node* last = parents.back().get();
+    Node* prev = parents[parents.size() - 2].get();
+    while (last->children.size() < min_entries_) {
+      std::unique_ptr<Node> moved = std::move(prev->children.back());
+      prev->children.pop_back();
+      moved->parent = last;
+      last->children.push_back(std::move(moved));
+    }
+    RecomputeBox(prev);
+    RecomputeBox(last);
+  }
+  return parents;
+}
+
+void RTree::BulkLoad(std::vector<IndexEntry> entries) {
+  // BulkLoad requires an empty tree; degrade gracefully otherwise.
+  if (size_ != 0) {
+    for (const IndexEntry& e : entries) Insert(e.id, e.box);
+    return;
+  }
+  const size_t n = entries.size();
+  if (n <= max_entries_) {
+    for (const IndexEntry& e : entries) {
+      root_->entries.push_back(Entry{e.id, e.box});
+    }
+    RecomputeBox(root_.get());
+    size_ = n;
+    return;
+  }
+
+  // Tile entries into full leaves.
+  const size_t slice_width = StrSliceWidth(n, max_entries_);
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return CenterX(a.box) < CenterX(b.box);
+            });
+  std::vector<std::unique_ptr<Node>> leaves;
+  for (size_t s = 0; s < n; s += slice_width) {
+    const size_t slice_end = std::min(s + slice_width, n);
+    std::sort(entries.begin() + s, entries.begin() + slice_end,
+              [](const IndexEntry& a, const IndexEntry& b) {
+                return CenterY(a.box) < CenterY(b.box);
+              });
+    for (size_t g = s; g < slice_end; g += max_entries_) {
+      const size_t group_end = std::min(g + max_entries_, slice_end);
+      auto leaf = std::make_unique<Node>(/*leaf=*/true);
+      for (size_t i = g; i < group_end; ++i) {
+        leaf->entries.push_back(Entry{entries[i].id, entries[i].box});
+      }
+      RecomputeBox(leaf.get());
+      leaves.push_back(std::move(leaf));
+    }
+  }
+  if (leaves.size() >= 2) {
+    Node* last = leaves.back().get();
+    Node* prev = leaves[leaves.size() - 2].get();
+    while (last->entries.size() < min_entries_) {
+      last->entries.push_back(prev->entries.back());
+      prev->entries.pop_back();
+    }
+    RecomputeBox(prev);
+    RecomputeBox(last);
+  }
+
+  // Pack upward until one level fits under a single root.
+  std::vector<std::unique_ptr<Node>> level = std::move(leaves);
+  while (level.size() > max_entries_) {
+    level = PackLevel(std::move(level));
+  }
+  if (level.size() == 1) {
+    root_ = std::move(level.front());
+    root_->parent = nullptr;
+  } else {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    for (auto& child : level) {
+      child->parent = new_root.get();
+      new_root->children.push_back(std::move(child));
+    }
+    RecomputeBox(new_root.get());
+    root_ = std::move(new_root);
+  }
+  size_ = n;
+}
+
+IndexQuality RTree::Quality() const {
+  IndexQuality q;
+  q.height = Height();
+  q.nodes = 0;
+  size_t slots = 0;
+  size_t filled = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++q.nodes;
+    slots += max_entries_;
+    filled += node->Count();
+    if (!node->is_leaf) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  q.avg_fill = slots == 0 ? 0.0
+                          : static_cast<double>(filled) /
+                                static_cast<double>(slots);
+  return q;
+}
+
 RTree::Node* RTree::FindLeaf(Node* node, EntryId id,
                              const geom::BoundingBox& box) const {
   if (node->is_leaf) {

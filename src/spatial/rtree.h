@@ -26,6 +26,19 @@ class RTree : public SpatialIndex {
   ~RTree() override;
 
   void Insert(EntryId id, const geom::BoundingBox& box) override;
+
+  /// Sort-tile-recursive (STR) bulk construction: entries are sorted
+  /// into vertical slices by x-center, each slice sorted by y-center
+  /// and packed into full leaves; upper levels pack the same way until
+  /// one node remains. Produces a tree with ~100% node fill and far
+  /// better box clustering than repeated Insert, in O(n log n). The
+  /// tail of each packing level is rebalanced so every node respects
+  /// the minimum fill (CheckInvariants holds afterwards). Must only be
+  /// called on an empty tree.
+  void BulkLoad(std::vector<IndexEntry> entries) override;
+
+  IndexQuality Quality() const override;
+
   bool Remove(EntryId id) override;
   std::vector<EntryId> Query(const geom::BoundingBox& range) const override;
   std::vector<EntryId> QueryPoint(const geom::Point& p) const override;
@@ -44,6 +57,11 @@ class RTree : public SpatialIndex {
  private:
   struct Node;
   struct Entry;
+
+  /// Packs `nodes` (all of one level) into parent nodes with STR
+  /// tiling; returns the parent level.
+  std::vector<std::unique_ptr<Node>> PackLevel(
+      std::vector<std::unique_ptr<Node>> nodes);
 
   Node* ChooseLeaf(Node* node, const geom::BoundingBox& box) const;
   void SplitNode(Node* node, std::unique_ptr<Node>* new_node_out);

@@ -5,6 +5,10 @@
 
 namespace agis::spatial {
 
+void SpatialIndex::BulkLoad(std::vector<IndexEntry> entries) {
+  for (const IndexEntry& e : entries) Insert(e.id, e.box);
+}
+
 double BoxDistance(const geom::Point& p, const geom::BoundingBox& box) {
   if (box.empty()) return std::numeric_limits<double>::infinity();
   const double dx =

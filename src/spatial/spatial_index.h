@@ -15,6 +15,23 @@ namespace agis::spatial {
 /// uses object ids.
 using EntryId = uint64_t;
 
+/// One (id, box) pair for bulk construction.
+struct IndexEntry {
+  EntryId id;
+  geom::BoundingBox box;
+};
+
+/// Structural quality of an index after (bulk) construction; the
+/// geodb surfaces these per class extent in DatabaseStats. Flat
+/// structures (grid, linear scan) report height 1 and full fill.
+struct IndexQuality {
+  size_t height = 1;
+  size_t nodes = 1;
+  /// Mean entries-per-node over capacity, in [0, 1]; 1 when the
+  /// structure has no per-node capacity.
+  double avg_fill = 1.0;
+};
+
 /// Abstract rectangle index used by class extents for the spatial
 /// selections behind Class-set presentation areas.
 ///
@@ -28,6 +45,15 @@ class SpatialIndex {
   /// Adds an entry. Duplicate ids are allowed by the interface but the
   /// geodb never inserts one twice.
   virtual void Insert(EntryId id, const geom::BoundingBox& box) = 0;
+
+  /// Loads `entries` into the index in one pass. Must only be called
+  /// on an empty index. The base implementation inserts one entry at
+  /// a time; implementations with a cheaper construction path (the
+  /// R-tree's sort-tile-recursive packing) override it.
+  virtual void BulkLoad(std::vector<IndexEntry> entries);
+
+  /// Structural quality of the current tree/structure.
+  virtual IndexQuality Quality() const { return IndexQuality(); }
 
   /// Removes the entry with `id`; returns false when absent.
   virtual bool Remove(EntryId id) = 0;

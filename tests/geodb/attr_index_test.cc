@@ -1,0 +1,200 @@
+#include "geodb/attr_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace agis::geodb {
+namespace {
+
+using Ids = std::vector<ObjectId>;
+
+/// Reference implementation: the residual predicate loop's semantics,
+/// applied to an explicit (id, value) table. The index must agree with
+/// this on every operator and operand.
+Ids ScanReference(const std::vector<std::pair<ObjectId, Value>>& rows,
+                  CompareOp op, const Value& operand) {
+  Ids out;
+  for (const auto& [id, v] : rows) {
+    auto cmp = CompareValues(v, operand);
+    if (!cmp.ok()) continue;  // Comparison error: no match.
+    const int c = cmp.value();
+    bool keep = false;
+    switch (op) {
+      case CompareOp::kEq: keep = c == 0; break;
+      case CompareOp::kNe: keep = c != 0; break;
+      case CompareOp::kLt: keep = c < 0; break;
+      case CompareOp::kLe: keep = c <= 0; break;
+      case CompareOp::kGt: keep = c > 0; break;
+      case CompareOp::kGe: keep = c >= 0; break;
+      case CompareOp::kContains: break;
+    }
+    if (keep) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(AttrKey, NormalizesNumericKindsToOneClass) {
+  const auto from_int = AttrKey::FromValue(Value::Int(2));
+  const auto from_double = AttrKey::FromValue(Value::Double(2.0));
+  ASSERT_TRUE(from_int.has_value());
+  ASSERT_TRUE(from_double.has_value());
+  EXPECT_TRUE(*from_int == *from_double);
+  EXPECT_EQ(AttrKeyHash()(*from_int), AttrKeyHash()(*from_double));
+}
+
+TEST(AttrKey, BoolsAndStringsGetTheirOwnClasses) {
+  const auto b = AttrKey::FromValue(Value::Bool(true));
+  const auto n = AttrKey::FromValue(Value::Int(1));
+  const auto s = AttrKey::FromValue(Value::String("1"));
+  ASSERT_TRUE(b && n && s);
+  EXPECT_FALSE(*b == *n);
+  EXPECT_FALSE(*n == *s);
+  EXPECT_TRUE(*b < *n);  // Class order: bool < number < string.
+  EXPECT_TRUE(*n < *s);
+}
+
+TEST(AttrKey, RejectsNonScalarsNullsAndNan) {
+  EXPECT_FALSE(AttrKey::FromValue(Value()).has_value());
+  EXPECT_FALSE(
+      AttrKey::FromValue(Value::Double(std::nan(""))).has_value());
+  EXPECT_FALSE(AttrKey::FromValue(Value::Ref(1, "Pole")).has_value());
+  EXPECT_FALSE(AttrKey::FromValue(Value::MakeList({})).has_value());
+}
+
+class AttributeIndexTest : public ::testing::Test {
+ protected:
+  void Add(ObjectId id, Value v) {
+    index_.Insert(id, v);
+    rows_.push_back({id, std::move(v)});
+  }
+
+  /// Asserts Eval matches the reference scan and EstimateCount bounds it.
+  void ExpectExact(CompareOp op, const Value& operand) {
+    const auto got = index_.Eval(op, operand);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, ScanReference(rows_, op, operand));
+    const auto est = index_.EstimateCount(op, operand);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_GE(*est, got->size());
+  }
+
+  AttributeIndex index_;
+  std::vector<std::pair<ObjectId, Value>> rows_;
+};
+
+TEST_F(AttributeIndexTest, AllOperatorsMatchReferenceScan) {
+  Add(1, Value::Int(1));
+  Add(2, Value::Int(2));
+  Add(3, Value::Double(2.0));  // Cross-kind duplicate of id 2's key.
+  Add(4, Value::Double(2.5));
+  Add(5, Value::Int(9));
+  Add(6, Value::String("beta"));
+  Add(7, Value::String("alpha"));
+  Add(8, Value::Bool(true));
+  Add(9, Value());  // Null: never indexed, never matched.
+
+  const std::vector<Value> operands = {
+      Value::Int(2),        Value::Double(2.0), Value::Double(2.4),
+      Value::Int(0),        Value::Int(100),    Value::String("beta"),
+      Value::String("a"),   Value::Bool(true),  Value::Bool(false)};
+  for (const Value& operand : operands) {
+    for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                         CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+      SCOPED_TRACE(static_cast<int>(op));
+      ExpectExact(op, operand);
+    }
+  }
+}
+
+TEST_F(AttributeIndexTest, InequalityStaysWithinTheValueClass) {
+  Add(1, Value::Int(5));
+  Add(2, Value::String("5"));
+  Add(3, Value::Bool(true));
+  // kNe 5: only numeric values compare against a number; strings and
+  // bools error out, which means "no match" — not "not equal".
+  const auto got = index_.Eval(CompareOp::kNe, Value::Int(4));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Ids{1});
+}
+
+TEST_F(AttributeIndexTest, StoredNansMatchEqLeGeAgainstAnyNumber) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Add(1, Value::Double(nan));
+  Add(2, Value::Int(7));
+  // CompareValues(NaN, x) reports 0 for numeric x (neither < nor >),
+  // so a stored NaN "equals" every number under the residual rules.
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kLe, CompareOp::kGe}) {
+    SCOPED_TRACE(static_cast<int>(op));
+    ExpectExact(op, Value::Int(7));
+    ExpectExact(op, Value::Double(-3.5));
+  }
+  for (CompareOp op : {CompareOp::kNe, CompareOp::kLt, CompareOp::kGt}) {
+    SCOPED_TRACE(static_cast<int>(op));
+    ExpectExact(op, Value::Int(7));
+  }
+  // But never against a string operand: cross-class, comparison errors.
+  const auto got = index_.Eval(CompareOp::kEq, Value::String("7"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_F(AttributeIndexTest, DegenerateOperandsFallBackToResidual) {
+  Add(1, Value::Int(1));
+  // Null operand: CompareValues(null, null) == 0, and the index holds
+  // no nulls, so it cannot answer exactly.
+  EXPECT_FALSE(index_.Eval(CompareOp::kEq, Value()).has_value());
+  EXPECT_FALSE(index_.EstimateCount(CompareOp::kEq, Value()).has_value());
+  // NaN operand likewise (it "equals" every stored number).
+  EXPECT_FALSE(
+      index_.Eval(CompareOp::kEq, Value::Double(std::nan(""))).has_value());
+  // Contains is never indexable.
+  EXPECT_FALSE(AttributeIndex::SupportsOp(CompareOp::kContains));
+}
+
+TEST_F(AttributeIndexTest, NonScalarOperandIsAnExactEmptyAnswer) {
+  Add(1, Value::Int(1));
+  Add(2, Value::String("x"));
+  // A ref/list/tuple operand errors against every scalar, so the exact
+  // answer is the empty set — the index can say so without a scan.
+  const auto got = index_.Eval(CompareOp::kEq, Value::Ref(9, "Pole"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+  EXPECT_EQ(index_.EstimateCount(CompareOp::kNe, Value::MakeList({})), 0u);
+}
+
+TEST_F(AttributeIndexTest, RemoveMaintainsPostingsAndCounts) {
+  Add(1, Value::Int(5));
+  Add(2, Value::Int(5));
+  Add(3, Value::Double(std::numeric_limits<double>::quiet_NaN()));
+  // NaN is held in a side posting: counted as an entry, not as a key.
+  EXPECT_EQ(index_.entry_count(), 3u);
+  EXPECT_EQ(index_.distinct_keys(), 1u);
+
+  index_.Remove(1, Value::Int(5));
+  EXPECT_EQ(index_.Eval(CompareOp::kEq, Value::Int(5)), (Ids{2, 3}));
+  index_.Remove(3, Value::Double(std::nan("")));
+  EXPECT_EQ(index_.Eval(CompareOp::kEq, Value::Int(5)), (Ids{2}));
+  index_.Remove(2, Value::Int(5));
+  EXPECT_EQ(index_.entry_count(), 0u);
+  EXPECT_EQ(index_.distinct_keys(), 0u);
+  EXPECT_EQ(index_.Eval(CompareOp::kEq, Value::Int(5)), (Ids{}));
+  // Removing something never inserted is a no-op.
+  index_.Remove(42, Value::Int(5));
+  index_.Remove(42, Value());
+}
+
+TEST_F(AttributeIndexTest, EstimateIsZeroOnlyWhenAnswerIsEmpty) {
+  Add(1, Value::Int(1));
+  Add(2, Value::Int(3));
+  EXPECT_EQ(index_.EstimateCount(CompareOp::kEq, Value::Int(2)), 0u);
+  EXPECT_EQ(index_.EstimateCount(CompareOp::kLt, Value::Int(1)), 0u);
+  EXPECT_EQ(index_.EstimateCount(CompareOp::kGt, Value::Int(3)), 0u);
+  EXPECT_EQ(index_.EstimateCount(CompareOp::kEq, Value::Int(3)), 1u);
+  EXPECT_EQ(index_.EstimateCount(CompareOp::kNe, Value::Int(3)), 1u);
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -86,5 +86,69 @@ TEST(BufferPool, ZeroCapacityNeverCaches) {
   EXPECT_EQ(pool.Get("a"), nullptr);
 }
 
+TEST(BufferPool, ReplaceAccountsBytesExactly) {
+  BufferPool pool(1000);
+  pool.Put("a", Slice({1}, 400));
+  pool.Put("b", Slice({2}, 400));
+  EXPECT_EQ(pool.used_bytes(), 800u);
+  // Replacing "a" releases its old charge before the new one is added:
+  // 400 (b) + 500 (new a) = 900 fits, so nothing may be evicted. If
+  // the old and new charge ever coexisted, "b" would be evicted here.
+  pool.Put("a", Slice({1, 1}, 500));
+  EXPECT_EQ(pool.used_bytes(), 900u);
+  EXPECT_EQ(pool.entry_count(), 2u);
+  EXPECT_NE(pool.Get("b"), nullptr);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
+TEST(BufferPool, ReplaceWithOversizedSliceDropsTheEntry) {
+  BufferPool pool(300);
+  pool.Put("a", Slice({1}, 100));
+  pool.Put("a", Slice({1, 2}, 999));  // Larger than the whole budget.
+  EXPECT_EQ(pool.Get("a"), nullptr);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_EQ(pool.entry_count(), 0u);
+}
+
+TEST(BufferPool, ReplacementRefreshesLruPosition) {
+  BufferPool pool(300);
+  pool.Put("a", Slice({1}, 100));
+  pool.Put("b", Slice({2}, 100));
+  pool.Put("c", Slice({3}, 100));
+  // Re-Put "a": it must move to the front of the LRU list, so the
+  // next eviction victim is "b", not "a".
+  pool.Put("a", Slice({1, 1}, 100));
+  pool.Put("d", Slice({4}, 100));
+  EXPECT_NE(pool.Get("a"), nullptr);
+  EXPECT_EQ(pool.Get("b"), nullptr);  // Evicted.
+  EXPECT_NE(pool.Get("c"), nullptr);
+  EXPECT_NE(pool.Get("d"), nullptr);
+}
+
+TEST(BufferPool, ShardsSplitTheBudgetAndTheKeySpace) {
+  BufferPool pool(800, 4);
+  EXPECT_EQ(pool.num_shards(), 4u);
+  EXPECT_EQ(pool.capacity_bytes(), 800u);
+  // A slice above the per-shard budget (200) is never cached even
+  // though it is below the total budget.
+  pool.Put("big", Slice({1}, 300));
+  EXPECT_EQ(pool.Get("big"), nullptr);
+  pool.Put("small", Slice({2}, 150));
+  EXPECT_NE(pool.Get("small"), nullptr);
+  // ShardOf is a pure function of the key.
+  EXPECT_EQ(pool.ShardOf("k1"), pool.ShardOf("k1"));
+  EXPECT_LT(pool.ShardOf("k1"), 4u);
+  // Single-shard pools route everything to shard 0.
+  BufferPool single(100);
+  EXPECT_EQ(single.ShardOf("anything"), 0u);
+}
+
+TEST(BufferPool, ShardCountIsClampedToAtLeastOne) {
+  BufferPool pool(100, 0);
+  EXPECT_EQ(pool.num_shards(), 1u);
+  pool.Put("a", Slice({1}, 50));
+  EXPECT_NE(pool.Get("a"), nullptr);
+}
+
 }  // namespace
 }  // namespace agis::geodb

@@ -1,0 +1,136 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "spatial/grid_index.h"
+#include "spatial/rtree.h"
+#include "spatial/spatial_index.h"
+
+namespace agis::spatial {
+namespace {
+
+using geom::BoundingBox;
+
+std::vector<EntryId> Sorted(std::vector<EntryId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<IndexEntry> RandomEntries(size_t n, uint64_t seed) {
+  agis::Rng rng(seed);
+  std::vector<IndexEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    const double w = rng.UniformDouble(0, 5);
+    const double h = rng.UniformDouble(0, 5);
+    entries.push_back(
+        {static_cast<EntryId>(i + 1), BoundingBox(x, y, x + w, y + h)});
+  }
+  return entries;
+}
+
+TEST(StrBulkLoad, InvariantsHoldAcrossSizesAndFanouts) {
+  for (const size_t fanout : {size_t{4}, size_t{8}, size_t{16}}) {
+    // Cover empty, single node, exact boundaries, boundary +/- 1, and
+    // sizes that force a short tail node at both leaf and inner levels.
+    const std::vector<size_t> sizes = {
+        0, 1, fanout, fanout + 1, fanout * fanout, fanout * fanout + 1,
+        337, 1000};
+    for (const size_t n : sizes) {
+      SCOPED_TRACE("fanout=" + std::to_string(fanout) +
+                   " n=" + std::to_string(n));
+      RTree tree(fanout);
+      tree.BulkLoad(RandomEntries(n, /*seed=*/n * 31 + fanout));
+      EXPECT_EQ(tree.size(), n);
+      const auto status = tree.CheckInvariants();
+      EXPECT_TRUE(status.ok()) << status;
+    }
+  }
+}
+
+TEST(StrBulkLoad, QueriesMatchLinearScan) {
+  const auto entries = RandomEntries(500, /*seed=*/42);
+  RTree tree(8);
+  tree.BulkLoad(entries);
+  LinearScanIndex reference;
+  reference.BulkLoad(entries);  // Default BulkLoad: per-entry Insert.
+
+  agis::Rng rng(7);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double y = rng.UniformDouble(0, 1000);
+    const double size = rng.UniformDouble(1, 120);
+    const BoundingBox window(x, y, x + size, y + size);
+    EXPECT_EQ(Sorted(tree.Query(window)), Sorted(reference.Query(window)));
+  }
+  EXPECT_EQ(Sorted(tree.Query(BoundingBox(0, 0, 1000, 1000))).size(), 500u);
+}
+
+TEST(StrBulkLoad, TreeSupportsUpdatesAfterwards) {
+  RTree tree(8);
+  tree.BulkLoad(RandomEntries(200, /*seed=*/3));
+  EXPECT_TRUE(tree.Remove(5));
+  EXPECT_FALSE(tree.Remove(5));
+  tree.Insert(1000, BoundingBox(1, 1, 2, 2));
+  EXPECT_EQ(tree.size(), 200u);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_EQ(tree.Query(BoundingBox(0.5, 0.5, 2.5, 2.5)).size(),
+            Sorted(tree.Query(BoundingBox(0.5, 0.5, 2.5, 2.5))).size());
+}
+
+TEST(StrBulkLoad, PacksTighterThanIncrementalInserts) {
+  const auto entries = RandomEntries(2000, /*seed=*/11);
+  RTree packed(8);
+  packed.BulkLoad(entries);
+  RTree incremental(8);
+  for (const IndexEntry& e : entries) incremental.Insert(e.id, e.box);
+
+  const IndexQuality pq = packed.Quality();
+  const IndexQuality iq = incremental.Quality();
+  // STR fills nodes to capacity (modulo one short tail per level);
+  // quadratic-split insertion leaves nodes roughly half full.
+  EXPECT_GT(pq.avg_fill, 0.85);
+  EXPECT_GT(pq.avg_fill, iq.avg_fill);
+  EXPECT_LE(pq.height, iq.height);
+  EXPECT_LT(pq.nodes, iq.nodes);
+  EXPECT_GE(pq.height, 1u);
+  EXPECT_GE(pq.nodes, 1u);
+}
+
+TEST(StrBulkLoad, NonEmptyTreeFallsBackToInserts) {
+  RTree tree(4);
+  tree.Insert(999, BoundingBox(0, 0, 1, 1));
+  tree.BulkLoad(RandomEntries(100, /*seed=*/5));
+  EXPECT_EQ(tree.size(), 101u);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_EQ(tree.Query(BoundingBox(-1, -1, 1001, 1001)).size(), 101u);
+}
+
+TEST(StrBulkLoad, GridIndexUsesDefaultBulkLoad) {
+  GridIndex grid(BoundingBox(0, 0, 1000, 1000), 16);
+  const auto entries = RandomEntries(300, /*seed=*/9);
+  grid.BulkLoad(entries);
+  EXPECT_EQ(grid.size(), 300u);
+  LinearScanIndex reference;
+  reference.BulkLoad(entries);
+  const BoundingBox window(100, 100, 400, 400);
+  EXPECT_EQ(Sorted(grid.Query(window)), Sorted(reference.Query(window)));
+}
+
+TEST(StrBulkLoad, QualityOfTrivialTrees) {
+  RTree empty(8);
+  const IndexQuality q = empty.Quality();
+  EXPECT_EQ(q.height, 1u);
+  EXPECT_EQ(q.nodes, 1u);
+
+  RTree one(8);
+  one.BulkLoad({{1, BoundingBox(0, 0, 1, 1)}});
+  EXPECT_EQ(one.Quality().height, 1u);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+}  // namespace
+}  // namespace agis::spatial
