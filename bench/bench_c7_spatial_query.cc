@@ -296,3 +296,68 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   return 0;
 }
+
+// ---- Versioned read path (PR-3 snapshots) ----------------------------------
+
+/// Point reads at 100k objects: the deprecated raw-pointer path vs the
+/// same lookup through a pinned snapshot. The snapshot path must stay
+/// within ~10% — it adds one visibility check per probe, nothing else.
+void BM_PointRead_RawPointer(benchmark::State& state) {
+  auto db = MakeDb(IndexKind::kRTree, static_cast<size_t>(state.range(0)));
+  const auto ids = *db->ScanExtent("P");
+  agis::Rng rng(41);
+  for (auto _ : state) {
+    const auto* obj = db->FindObject(ids[rng.Uniform(ids.size())]);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PointRead_RawPointer)->Arg(100000);
+
+void BM_PointRead_Snapshot(benchmark::State& state) {
+  auto db = MakeDb(IndexKind::kRTree, static_cast<size_t>(state.range(0)));
+  const auto ids = *db->ScanExtent("P");
+  const agis::geodb::Snapshot snap = db->OpenSnapshot();
+  agis::Rng rng(41);
+  for (auto _ : state) {
+    const auto* obj = db->FindObjectAt(snap, ids[rng.Uniform(ids.size())]);
+    benchmark::DoNotOptimize(obj);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PointRead_Snapshot)->Arg(100000);
+
+/// Extent scans: ScanExtentAt at the current epoch takes the fast path
+/// (index-backed, no dead-list walk) and should track ScanExtent.
+void BM_ScanExtent_Raw(benchmark::State& state) {
+  auto db = MakeDb(IndexKind::kRTree, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto ids = db->ScanExtent("P");
+    benchmark::DoNotOptimize(ids);
+  }
+  state.counters["extent"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ScanExtent_Raw)->RangeMultiplier(10)->Range(1000, 100000);
+
+void BM_ScanExtent_Snapshot(benchmark::State& state) {
+  auto db = MakeDb(IndexKind::kRTree, static_cast<size_t>(state.range(0)));
+  const agis::geodb::Snapshot snap = db->OpenSnapshot();
+  for (auto _ : state) {
+    auto ids = db->ScanExtentAt(snap, "P");
+    benchmark::DoNotOptimize(ids);
+  }
+  state.counters["extent"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ScanExtent_Snapshot)->RangeMultiplier(10)->Range(1000, 100000);
+
+/// Pin/unpin cost of the handle itself (every dispatcher window open
+/// pays this once).
+void BM_SnapshotOpenClose(benchmark::State& state) {
+  auto db = MakeDb(IndexKind::kRTree, 10000);
+  for (auto _ : state) {
+    const agis::geodb::Snapshot snap = db->OpenSnapshot();
+    benchmark::DoNotOptimize(snap.epoch());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotOpenClose);

@@ -11,6 +11,13 @@ namespace agis::active {
 /// vetoes the write); after events run it for side effects. This is
 /// the "DB Events -> Active Mechanism" arrow of Figure 1.
 ///
+/// Write events arrive carrying a pinned database snapshot (pre-write
+/// for before-events, post-write for after-events); FromDbEvent
+/// forwards it on the active::Event, so rule actions that read back
+/// into the database (topology constraints, view refresh) evaluate
+/// against the state the event describes rather than whatever a
+/// concurrent writer has made of it since.
+///
 /// Register with `db.AddEventSink(&bridge)`; deregister before the
 /// engine dies.
 class DbEventBridge : public geodb::DbEventSink {

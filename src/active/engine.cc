@@ -269,6 +269,24 @@ std::string RuleEngine::CacheKey(const Event& event) {
 }
 
 void RuleEngine::EvictToCapacityLocked() {
+  if (cache_.size() > cache_capacity_ &&
+      last_swept_generation_ != generation_) {
+    // Over capacity with a generation bump since the last sweep:
+    // stale entries are sitting in slots a live entry would otherwise
+    // be evicted for. Drop them first.
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      const auto cache_it = cache_.find(*it);
+      if (cache_it != cache_.end() &&
+          cache_it->second.generation != generation_) {
+        cache_.erase(cache_it);
+        it = lru_.erase(it);
+        ++stats_.cache_stale_swept;
+      } else {
+        ++it;
+      }
+    }
+    last_swept_generation_ = generation_;
+  }
   while (cache_.size() > cache_capacity_) {
     cache_.erase(lru_.back());
     lru_.pop_back();

@@ -28,9 +28,9 @@ enum class ConflictPolicy {
   kExecuteAllMerge,
 };
 
-/// Engine statistics. Counter updates are internally synchronized;
-/// read the struct while the engine is quiescent (no concurrent
-/// calls) for exact values.
+/// Engine statistics. Counter updates are internally synchronized and
+/// stats() returns a copy taken under the counters' lock; values are
+/// exact once the engine is quiescent.
 struct EngineStats {
   uint64_t events_processed = 0;
   uint64_t customization_rules_fired = 0;
@@ -44,6 +44,10 @@ struct EngineStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  /// Stale-generation entries dropped by the capacity sweep instead
+  /// of being counted against live entries (they could never be
+  /// served again; see EvictToCapacityLocked).
+  uint64_t cache_stale_swept = 0;
 };
 
 /// The active mechanism: rule registration, event-driven selection,
@@ -128,7 +132,12 @@ class RuleEngine {
   /// for application designers. Pairs are ordered by id.
   std::vector<std::pair<RuleId, RuleId>> FindShadowedRules() const;
 
-  const EngineStats& stats() const { return stats_; }
+  /// A consistent copy of the counters, taken under their lock (safe
+  /// to call while other threads drive the engine).
+  EngineStats stats() const {
+    std::lock_guard<std::mutex> memo(memo_mutex_);
+    return stats_;
+  }
   void ResetStats();
   ConflictPolicy policy() const { return policy_; }
 
@@ -189,7 +198,11 @@ class RuleEngine {
   /// Requires memo_mutex_. Records a mutation: bumps the memo
   /// generation (lazy cache invalidation).
   void BumpGenerationLocked() { ++generation_; }
-  /// Requires memo_mutex_. Evicts LRU entries down to capacity.
+  /// Requires memo_mutex_. Brings the cache down to capacity: first
+  /// sweeps out resident stale-generation entries (they can never be
+  /// served again but still occupy slots), then LRU-evicts whatever
+  /// live entries are still over the bound — so a generation bump
+  /// cannot push the entire live working set out of the cache.
   void EvictToCapacityLocked();
 
   const ConflictPolicy policy_;
@@ -215,6 +228,9 @@ class RuleEngine {
   std::unordered_map<std::string, CacheEntry> cache_;
   std::list<std::string> lru_;  // Front = most recently used key.
   uint64_t generation_ = 0;
+  /// Generation the last capacity sweep ran against; the sweep is
+  /// O(cache size), so it runs at most once per generation.
+  uint64_t last_swept_generation_ = 0;
   size_t cache_capacity_ = 1024;
 };
 

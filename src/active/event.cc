@@ -29,6 +29,7 @@ Event FromDbEvent(const geodb::DbEvent& db_event) {
     e.params["object"] = agis::StrCat(db_event.object_id);
   }
   if (!db_event.attribute.empty()) e.params["attribute"] = db_event.attribute;
+  e.snapshot = db_event.snapshot;
   // Geometry payloads travel as WKT so constraint-rule actions can
   // validate writes without reaching back into the (still unmodified)
   // store for the incoming value.

@@ -2,10 +2,12 @@
 #define AGIS_ACTIVE_EVENT_H_
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "base/context.h"
 #include "geodb/events.h"
+#include "geodb/snapshot.h"
 
 namespace agis::active {
 
@@ -24,6 +26,13 @@ struct Event {
   UserContext context;
   /// Free-form parameters: "schema", "class", "object", "attribute"...
   std::map<std::string, std::string> params;
+  /// For database write events: pinned view of the database as of the
+  /// event (pre-write for Before_*, post-write for After_*). Rule
+  /// actions that read back into the database should go through it
+  /// (FindObjectAt / ScanExtentAt) so a concurrent writer cannot
+  /// shift the state they are validating. May be null (non-database
+  /// events, query events).
+  std::shared_ptr<const geodb::Snapshot> snapshot;
 
   /// Parameter accessor; empty string when absent.
   const std::string& Param(const std::string& key) const;

@@ -33,13 +33,14 @@ TopologyGuard::TopologyGuard(geodb::GeoDatabase* db, RuleEngine* engine)
 
 agis::Status TopologyGuard::CheckConstraint(
     const TopologyConstraint& c, const geom::Geometry& subject_geometry,
-    geodb::ObjectId subject_id) const {
+    geodb::ObjectId subject_id, const geodb::Snapshot* snapshot) const {
   const std::string object_geom_attr =
       db_->GeometryAttributeOf(c.object_class);
   if (object_geom_attr.empty()) {
     return agis::Status::FailedPrecondition(
         agis::StrCat("class '", c.object_class, "' has no geometry"));
   }
+  const bool use_snapshot = snapshot != nullptr && snapshot->valid();
 
   // Narrow the counterpart scan when only nearby objects can decide
   // the outcome (disjointness / clearance checks).
@@ -48,13 +49,17 @@ agis::Status TopologyGuard::CheckConstraint(
       c.quantifier == TopologyConstraint::Quantifier::kForAll) {
     window = subject_geometry.Bounds().Inflated(c.min_distance + 1.0);
   }
-  auto candidates = db_->ScanExtent(c.object_class, window);
+  auto candidates = use_snapshot
+                        ? db_->ScanExtentAt(*snapshot, c.object_class, window)
+                        : db_->ScanExtent(c.object_class, window);
   AGIS_RETURN_IF_ERROR(candidates.status());
 
   bool exists_satisfied = false;
   for (geodb::ObjectId other_id : candidates.value()) {
     if (other_id == subject_id) continue;
-    const geodb::ObjectInstance* other = db_->FindObject(other_id);
+    const geodb::ObjectInstance* other =
+        use_snapshot ? db_->FindObjectAt(*snapshot, other_id)
+                     : db_->FindObject(other_id);
     if (other == nullptr) continue;
     const geodb::Value& gv = other->Get(object_geom_attr);
     if (gv.is_null()) continue;
@@ -122,8 +127,11 @@ agis::Result<std::vector<RuleId>> TopologyGuard::AddConstraint(
       geodb::ObjectId subject_id = 0;
       const std::string& id_str = event.Param("object");
       if (!id_str.empty()) subject_id = std::stoull(id_str);
-      const agis::Status check =
-          CheckConstraint(constraint, parsed.value(), subject_id);
+      // Validate against the pre-write snapshot the event carries:
+      // the rule's verdict then cannot be skewed by writes racing in
+      // while the check scans counterparts.
+      const agis::Status check = CheckConstraint(
+          constraint, parsed.value(), subject_id, event.snapshot.get());
       if (check.ok()) return check;
       ++violations_detected_;
       if (constraint.on_violation ==
@@ -157,26 +165,30 @@ size_t TopologyGuard::RemoveConstraint(const std::string& name) {
 agis::Status TopologyGuard::CheckHypothetical(
     const std::string& subject_class, const geom::Geometry& geometry,
     geodb::ObjectId exclude_id) const {
+  const geodb::Snapshot snap = db_->OpenSnapshot();
   for (const TopologyConstraint& c : constraints_) {
     if (c.subject_class != subject_class) continue;
-    AGIS_RETURN_IF_ERROR(CheckConstraint(c, geometry, exclude_id));
+    AGIS_RETURN_IF_ERROR(CheckConstraint(c, geometry, exclude_id, &snap));
   }
   return agis::Status::OK();
 }
 
 std::vector<TopologyViolation> TopologyGuard::CheckAll() const {
   std::vector<TopologyViolation> out;
+  // One snapshot for the whole audit: every constraint judges the
+  // same consistent version set even while writers keep going.
+  const geodb::Snapshot snap = db_->OpenSnapshot();
   for (const TopologyConstraint& c : constraints_) {
     const std::string subject_attr = db_->GeometryAttributeOf(c.subject_class);
-    auto subjects = db_->ScanExtent(c.subject_class);
+    auto subjects = db_->ScanExtentAt(snap, c.subject_class);
     if (!subjects.ok()) continue;
     for (geodb::ObjectId id : subjects.value()) {
-      const geodb::ObjectInstance* obj = db_->FindObject(id);
+      const geodb::ObjectInstance* obj = db_->FindObjectAt(snap, id);
       if (obj == nullptr) continue;
       const geodb::Value& gv = obj->Get(subject_attr);
       if (gv.is_null()) continue;
       const agis::Status check =
-          CheckConstraint(c, gv.geometry_value(), id);
+          CheckConstraint(c, gv.geometry_value(), id, &snap);
       if (!check.ok()) {
         TopologyViolation v;
         v.constraint = c.name;

@@ -88,10 +88,14 @@ class TopologyGuard {
 
  private:
   /// Checks `subject_geometry` (for subject id, possibly 0 at insert
-  /// time) against `c`; OK when satisfied.
+  /// time) against `c`; OK when satisfied. With `snapshot` set, all
+  /// counterpart reads go through it — rule actions pass the
+  /// triggering event's snapshot so the state they validate cannot
+  /// shift under a concurrent writer; nullptr reads current state.
   agis::Status CheckConstraint(const TopologyConstraint& c,
                                const geom::Geometry& subject_geometry,
-                               geodb::ObjectId subject_id) const;
+                               geodb::ObjectId subject_id,
+                               const geodb::Snapshot* snapshot) const;
 
   geodb::GeoDatabase* db_;
   RuleEngine* engine_;

@@ -72,6 +72,14 @@ GenericInterfaceBuilder::GenericInterfaceBuilder(
     carto::StyleRegistry* styles)
     : db_(db), library_(library), styles_(styles) {}
 
+const geodb::ObjectInstance* GenericInterfaceBuilder::LookupObject(
+    const BuildOptions& options, geodb::ObjectId id) const {
+  if (options.snapshot != nullptr && options.snapshot->valid()) {
+    return db_->FindObjectAt(*options.snapshot, id);
+  }
+  return db_->FindObject(id);
+}
+
 std::unique_ptr<InterfaceObject> GenericInterfaceBuilder::NewWindow(
     const std::string& name, const char* window_type,
     const UserContext& ctx) const {
@@ -167,7 +175,7 @@ agis::Status GenericInterfaceBuilder::AddPresentationArea(
   if (!geometry_attr.empty()) {
     features.reserve(result.ids.size());
     for (geodb::ObjectId id : result.ids) {
-      const geodb::ObjectInstance* obj = db_->FindObject(id);
+      const geodb::ObjectInstance* obj = LookupObject(options, id);
       if (obj == nullptr) continue;
       const geodb::Value& value = obj->Get(geometry_attr);
       if (value.is_null()) continue;
@@ -244,8 +252,7 @@ agis::Result<std::unique_ptr<InterfaceObject>>
 GenericInterfaceBuilder::BuildInstanceWindow(
     geodb::ObjectId id, const active::WindowCustomization* customization,
     const UserContext& ctx, const BuildOptions& options) {
-  (void)options;
-  const geodb::ObjectInstance* obj = db_->FindObject(id);
+  const geodb::ObjectInstance* obj = LookupObject(options, id);
   if (obj == nullptr) {
     return agis::Status::NotFound(agis::StrCat("object ", id));
   }

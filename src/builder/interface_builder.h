@@ -25,6 +25,12 @@ struct BuildOptions {
   /// Apply display-scale cartographic generalization: simplify
   /// geometries to one raster cell before rendering.
   bool generalize = false;
+  /// Borrowed pinned snapshot (must outlive the build call). When set,
+  /// every instance the builder reads comes from this snapshot's
+  /// version set, so a window rebuild renders one consistent state
+  /// even while writers mutate the database; when null, the builder
+  /// reads current state (single-threaded sessions).
+  const geodb::Snapshot* snapshot = nullptr;
 };
 
 /// The generic interface builder of Figure 1: composes the three
@@ -77,6 +83,10 @@ class GenericInterfaceBuilder {
       uilib::InterfaceObject* window, const std::string& class_name,
       const active::WindowCustomization* customization, const UserContext& ctx,
       const BuildOptions& options);
+
+  /// Instance lookup honouring `options.snapshot` (see BuildOptions).
+  const geodb::ObjectInstance* LookupObject(const BuildOptions& options,
+                                            geodb::ObjectId id) const;
 
   /// Resolves the `from` sources of one customized attribute row into
   /// its display text.

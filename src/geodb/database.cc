@@ -117,7 +117,7 @@ agis::Status GeoDatabase::CreateAttributeIndex(const std::string& class_name,
                                                          AttributeIndex());
   if (!created) return agis::Status::OK();
   for (ObjectId id : extent.ids) {
-    it->second.Insert(id, objects_.at(id).Get(attribute));
+    it->second.Insert(id, CurrentLocked(id)->Get(attribute));
   }
   return agis::Status::OK();
 }
@@ -145,6 +145,11 @@ agis::Status GeoDatabase::RunBeforeSinks(const DbEvent& event) {
 
 void GeoDatabase::RunAfterSinks(const DbEvent& event) {
   for (DbEventSink* sink : sinks_) sink->OnAfterEvent(event);
+}
+
+void GeoDatabase::AttachEventSnapshot(DbEvent* event) const {
+  if (sinks_.empty()) return;
+  event->snapshot = std::make_shared<Snapshot>(OpenSnapshot());
 }
 
 agis::Status GeoDatabase::ValidateAgainstSchema(
@@ -210,6 +215,136 @@ void GeoDatabase::InvalidateClassBuffers(const std::string& class_name) {
   buffer_pool_.InvalidatePrefix(agis::StrCat("class/", class_name, "/"));
 }
 
+// ---- Version-store internals ----------------------------------------------
+
+const ObjectInstance* GeoDatabase::CurrentLocked(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end() || it->second.versions.empty()) return nullptr;
+  return it->second.versions.back().data.get();
+}
+
+const ObjectInstance* GeoDatabase::VisibleLocked(const VersionChain& chain,
+                                                 uint64_t epoch) {
+  const auto& v = chain.versions;
+  for (size_t i = v.size(); i-- > 0;) {
+    if (v[i].epoch <= epoch) return v[i].data.get();
+  }
+  return nullptr;
+}
+
+void GeoDatabase::PushVersionLocked(
+    ObjectId id, uint64_t epoch, std::shared_ptr<const ObjectInstance> data) {
+  VersionChain& chain = objects_[id];
+  chain.versions.push_back(Version{epoch, std::move(data)});
+  const bool has_history =
+      chain.versions.size() > 1 || chain.versions.back().data == nullptr;
+  if (has_history && !chain.retired_listed) {
+    chain.retired_listed = true;
+    retired_.push_back(id);
+  }
+}
+
+Snapshot GeoDatabase::PinSnapshotLocked() const {
+  std::lock_guard pin_lock(snapshot_mutex_);
+  pinned_epochs_.insert(current_epoch_);
+  return Snapshot(this, current_epoch_);
+}
+
+Snapshot GeoDatabase::OpenSnapshot() const {
+  Snapshot snap = [&] {
+    std::shared_lock lock(data_mutex_);
+    return PinSnapshotLocked();
+  }();
+  std::lock_guard stats_lock(stats_mutex_);
+  ++stats_.snapshots_opened;
+  return snap;
+}
+
+void GeoDatabase::UnpinSnapshot(uint64_t epoch) const {
+  std::lock_guard pin_lock(snapshot_mutex_);
+  const auto it = pinned_epochs_.find(epoch);
+  if (it != pinned_epochs_.end()) pinned_epochs_.erase(it);
+}
+
+size_t GeoDatabase::PinnedSnapshotCount() const {
+  std::lock_guard pin_lock(snapshot_mutex_);
+  return pinned_epochs_.size();
+}
+
+size_t GeoDatabase::TotalVersionCount() const {
+  std::shared_lock lock(data_mutex_);
+  size_t total = 0;
+  for (const auto& [id, chain] : objects_) total += chain.versions.size();
+  return total;
+}
+
+void GeoDatabase::ReclaimVersions() {
+  std::unique_lock lock(data_mutex_);
+  ReclaimVersionsLocked();
+}
+
+void GeoDatabase::ReclaimVersionsLocked() {
+  if (retired_.empty() && dead_entries_ == 0) return;
+  uint64_t floor;
+  {
+    std::lock_guard pin_lock(snapshot_mutex_);
+    floor = pinned_epochs_.empty() ? current_epoch_ : *pinned_epochs_.begin();
+  }
+
+  uint64_t reclaimed = 0;
+  std::vector<ObjectId> still_retired;
+  for (ObjectId id : retired_) {
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) continue;
+    VersionChain& chain = it->second;
+    std::vector<Version>& v = chain.versions;
+    // A version is dead once its successor is visible to every open
+    // snapshot (successor epoch <= floor).
+    size_t keep_from = 0;
+    while (keep_from + 1 < v.size() && v[keep_from + 1].epoch <= floor) {
+      ++keep_from;
+    }
+    if (keep_from > 0) {
+      reclaimed += keep_from;
+      v.erase(v.begin(), v.begin() + keep_from);
+    }
+    if (v.size() == 1 && v.front().data == nullptr &&
+        v.front().epoch <= floor) {
+      // Sole tombstone every snapshot postdates: the id is fully gone.
+      ++reclaimed;
+      objects_.erase(it);
+      continue;
+    }
+    if (v.size() > 1 || v.back().data == nullptr) {
+      still_retired.push_back(id);
+    } else {
+      chain.retired_listed = false;
+    }
+  }
+  retired_ = std::move(still_retired);
+
+  if (dead_entries_ != 0) {
+    for (auto& [class_name, extent] : extents_) {
+      if (extent.dead.empty()) continue;
+      // Ascending by epoch: drop the prefix no snapshot predates.
+      const auto cut = std::find_if(
+          extent.dead.begin(), extent.dead.end(),
+          [floor](const std::pair<uint64_t, ObjectId>& e) {
+            return e.first > floor;
+          });
+      dead_entries_ -= static_cast<size_t>(cut - extent.dead.begin());
+      extent.dead.erase(extent.dead.begin(), cut);
+    }
+  }
+
+  if (reclaimed != 0) {
+    std::lock_guard stats_lock(stats_mutex_);
+    stats_.versions_reclaimed += reclaimed;
+  }
+}
+
+// ---- Write operations ------------------------------------------------------
+
 agis::Result<ObjectId> GeoDatabase::Insert(
     const std::string& class_name,
     std::vector<std::pair<std::string, Value>> values,
@@ -238,6 +373,7 @@ agis::Result<ObjectId> GeoDatabase::Insert(
       }
     }
   }
+  AttachEventSnapshot(&event);  // Pre-write state for before-sinks.
   const agis::Status veto = RunBeforeSinks(event);
   if (!veto.ok()) {
     std::lock_guard stats_lock(stats_mutex_);
@@ -249,15 +385,18 @@ agis::Result<ObjectId> GeoDatabase::Insert(
   {
     std::unique_lock lock(data_mutex_);
     id = next_id_++;
-    ObjectInstance obj(id, class_name);
+    const uint64_t write_epoch = ++current_epoch_;
+    auto obj = std::make_shared<ObjectInstance>(id, class_name);
     for (auto& [attr_name, value] : values) {
-      obj.Set(attr_name, std::move(value));
+      obj->Set(attr_name, std::move(value));
     }
     Extent& extent = extents_.at(class_name);
-    IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
-    IndexAttributes(&extent, obj);
+    IndexGeometry(&extent, id, obj->Get(extent.geometry_attr));
+    IndexAttributes(&extent, *obj);
     extent.ids.push_back(id);
-    objects_.emplace(id, std::move(obj));
+    PushVersionLocked(id, write_epoch, std::move(obj));
+    ++live_objects_;
+    ReclaimVersionsLocked();
   }
   InvalidateClassBuffers(class_name);
   {
@@ -267,6 +406,7 @@ agis::Result<ObjectId> GeoDatabase::Insert(
 
   event.kind = DbEventKind::kAfterInsert;
   event.object_id = id;
+  AttachEventSnapshot(&event);  // Post-write state for after-sinks.
   RunAfterSinks(event);
   return id;
 }
@@ -282,22 +422,22 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
   event.new_value = value;
   {
     std::shared_lock lock(data_mutex_);
-    auto it = objects_.find(id);
-    if (it == objects_.end()) {
+    const ObjectInstance* obj = CurrentLocked(id);
+    if (obj == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
-    const ObjectInstance& obj = it->second;
     const AttributeDef* def =
-        schema_.FindAttributeOf(obj.class_name(), attribute);
+        schema_.FindAttributeOf(obj->class_name(), attribute);
     if (def == nullptr) {
       return agis::Status::NotFound(
-          agis::StrCat("class '", obj.class_name(), "' has no attribute '",
+          agis::StrCat("class '", obj->class_name(), "' has no attribute '",
                        attribute, "'"));
     }
     AGIS_RETURN_IF_ERROR(CheckValueType(schema_, *def, value));
-    event.class_name = obj.class_name();
-    event.old_value = obj.Get(attribute);
+    event.class_name = obj->class_name();
+    event.old_value = obj->Get(attribute);
   }
+  AttachEventSnapshot(&event);  // Pre-write state for before-sinks.
   const agis::Status veto = RunBeforeSinks(event);
   if (!veto.ok()) {
     std::lock_guard stats_lock(stats_mutex_);
@@ -307,15 +447,18 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
 
   {
     std::unique_lock lock(data_mutex_);
-    auto it = objects_.find(id);
-    if (it == objects_.end()) {
+    const ObjectInstance* current = CurrentLocked(id);
+    if (current == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
-    ObjectInstance& obj = it->second;
-    Extent& extent = extents_.at(obj.class_name());
+    const uint64_t write_epoch = ++current_epoch_;
+    Extent& extent = extents_.at(current->class_name());
+    // Copy-on-write: build the successor version; the current one
+    // stays untouched for snapshot readers.
+    auto next = std::make_shared<ObjectInstance>(*current);
     // Re-read the stored value under the exclusive lock so index
     // maintenance matches what is actually replaced.
-    const Value& stored = obj.Get(attribute);
+    const Value& stored = current->Get(attribute);
     if (attribute == extent.geometry_attr) {
       extent.index->Remove(id);
     }
@@ -323,13 +466,15 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
     if (attr_index_it != extent.attr_indexes.end()) {
       attr_index_it->second.Remove(id, stored);
     }
-    obj.Set(attribute, std::move(value));
+    next->Set(attribute, std::move(value));
     if (attribute == extent.geometry_attr) {
-      IndexGeometry(&extent, id, obj.Get(attribute));
+      IndexGeometry(&extent, id, next->Get(attribute));
     }
     if (attr_index_it != extent.attr_indexes.end()) {
-      attr_index_it->second.Insert(id, obj.Get(attribute));
+      attr_index_it->second.Insert(id, next->Get(attribute));
     }
+    PushVersionLocked(id, write_epoch, std::move(next));
+    ReclaimVersionsLocked();
   }
   InvalidateClassBuffers(event.class_name);
   {
@@ -338,6 +483,7 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
   }
 
   event.kind = DbEventKind::kAfterUpdate;
+  AttachEventSnapshot(&event);  // Post-write state for after-sinks.
   RunAfterSinks(event);
   return agis::Status::OK();
 }
@@ -350,12 +496,13 @@ agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
   event.object_id = id;
   {
     std::shared_lock lock(data_mutex_);
-    auto it = objects_.find(id);
-    if (it == objects_.end()) {
+    const ObjectInstance* obj = CurrentLocked(id);
+    if (obj == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
-    event.class_name = it->second.class_name();
+    event.class_name = obj->class_name();
   }
+  AttachEventSnapshot(&event);  // Pre-write state for before-sinks.
   const agis::Status veto = RunBeforeSinks(event);
   if (!veto.ok()) {
     std::lock_guard stats_lock(stats_mutex_);
@@ -365,16 +512,21 @@ agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
 
   {
     std::unique_lock lock(data_mutex_);
-    auto it = objects_.find(id);
-    if (it == objects_.end()) {
+    const ObjectInstance* current = CurrentLocked(id);
+    if (current == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
-    Extent& extent = extents_.at(it->second.class_name());
+    const uint64_t write_epoch = ++current_epoch_;
+    Extent& extent = extents_.at(current->class_name());
     extent.index->Remove(id);
-    UnindexAttributes(&extent, it->second);
+    UnindexAttributes(&extent, *current);
     extent.ids.erase(std::remove(extent.ids.begin(), extent.ids.end(), id),
                      extent.ids.end());
-    objects_.erase(it);
+    extent.dead.emplace_back(write_epoch, id);
+    ++dead_entries_;
+    PushVersionLocked(id, write_epoch, nullptr);  // Tombstone.
+    --live_objects_;
+    ReclaimVersionsLocked();
   }
   InvalidateClassBuffers(event.class_name);
   {
@@ -383,6 +535,7 @@ agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
   }
 
   event.kind = DbEventKind::kAfterDelete;
+  AttachEventSnapshot(&event);  // Post-write state for after-sinks.
   RunAfterSinks(event);
   return agis::Status::OK();
 }
@@ -401,19 +554,19 @@ agis::Result<const Schema*> GeoDatabase::GetSchema(const UserContext& ctx) {
 }
 
 std::vector<ObjectId> GeoDatabase::EvaluateResidual(
-    const Extent& extent, const GetClassOptions& options,
-    const std::vector<bool>& applied, const std::vector<ObjectId>& candidates,
-    size_t begin, size_t end) const {
+    const std::string& geometry_attr, const GetClassOptions& options,
+    const std::vector<bool>& applied,
+    const std::vector<const ObjectInstance*>& candidates, size_t begin,
+    size_t end) const {
   const bool spatially_filtered =
       options.window.has_value() || options.spatial.has_value();
   std::vector<ObjectId> out;
   for (size_t i = begin; i < end; ++i) {
-    const ObjectId id = candidates[i];
-    const ObjectInstance& obj = objects_.at(id);
+    const ObjectInstance& obj = *candidates[i];
     bool keep = true;
 
-    if (spatially_filtered && !extent.geometry_attr.empty()) {
-      const Value& gv = obj.Get(extent.geometry_attr);
+    if (spatially_filtered && !geometry_attr.empty()) {
+      const Value& gv = obj.Get(geometry_attr);
       if (gv.is_null()) {
         keep = false;
       } else {
@@ -428,7 +581,7 @@ std::vector<ObjectId> GeoDatabase::EvaluateResidual(
           keep = false;
         }
       }
-    } else if (spatially_filtered && extent.geometry_attr.empty()) {
+    } else if (spatially_filtered && geometry_attr.empty()) {
       keep = false;  // Spatial filter over a non-spatial class.
     }
 
@@ -474,100 +627,135 @@ std::vector<ObjectId> GeoDatabase::EvaluateResidual(
       }
     }
 
-    if (keep) out.push_back(id);
+    if (keep) out.push_back(obj.id());
   }
   return out;
 }
 
 agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
     const std::string& class_name, const GetClassOptions& options) const {
-  std::vector<std::string> classes = {class_name};
-  if (options.include_subclasses) {
-    // Breadth-first over the subclass tree.
-    for (size_t i = 0; i < classes.size(); ++i) {
-      for (const std::string& sub : schema_.SubclassesOf(classes[i])) {
-        classes.push_back(sub);
-      }
-    }
-  }
-
   bool used_attr_index = false;
   bool used_spatial_index = false;
   bool used_full_scan = false;
   bool used_parallel_scan = false;
 
-  std::vector<ObjectId> out;
-  for (const std::string& cls : classes) {
-    const Extent& extent = extents_.at(cls);
-    const bool spatially_filtered =
-        options.window.has_value() || options.spatial.has_value();
-    if (spatially_filtered && extent.geometry_attr.empty()) {
-      continue;  // Spatial filter over a non-spatial class: no matches.
-    }
+  /// Per-class residual work, carrying pinned version pointers so the
+  /// scan can run with the data lock released.
+  struct ClassWork {
+    std::string geometry_attr;
+    std::vector<bool> applied;
+    std::vector<const ObjectInstance*> candidates;
+  };
+  std::vector<ClassWork> work;
+  Snapshot pin;
 
-    // ---- Plan: collect an id set from every usable access path ----------
-    std::vector<std::vector<ObjectId>> paths;
-    std::vector<bool> applied(options.predicates.size(), false);
-
-    if (spatially_filtered) {
-      // Probe the index with the tighter of window and spatial-target
-      // box; exact filters in the residual refine the candidates.
-      geom::BoundingBox probe;
-      if (options.window.has_value()) probe = *options.window;
-      if (options.spatial.has_value()) {
-        const geom::BoundingBox target_box = options.spatial->target.Bounds();
-        if (!options.window.has_value() || target_box.Area() < probe.Area()) {
-          probe = target_box;
+  // ---- Phase 1 (shared lock): plan access paths, materialize the
+  // candidate versions, and pin them before releasing the lock.
+  {
+    std::shared_lock lock(data_mutex_);
+    std::vector<std::string> classes = {class_name};
+    if (options.include_subclasses) {
+      // Breadth-first over the subclass tree.
+      for (size_t i = 0; i < classes.size(); ++i) {
+        for (const std::string& sub : schema_.SubclassesOf(classes[i])) {
+          classes.push_back(sub);
         }
       }
-      std::vector<ObjectId> ids = extent.index->Query(probe);
-      std::sort(ids.begin(), ids.end());
-      paths.push_back(std::move(ids));
-      used_spatial_index = true;
     }
 
-    for (size_t p = 0; p < options.predicates.size(); ++p) {
-      const AttrPredicate& pred = options.predicates[p];
-      const auto it = extent.attr_indexes.find(pred.attribute);
-      if (it == extent.attr_indexes.end()) continue;
-      auto ids = it->second.Eval(pred.op, pred.operand);
-      if (!ids.has_value()) continue;  // Degenerate operand: residual.
-      applied[p] = true;
-      used_attr_index = true;
-      paths.push_back(std::move(*ids));
-    }
+    for (const std::string& cls : classes) {
+      const Extent& extent = extents_.at(cls);
+      const bool spatially_filtered =
+          options.window.has_value() || options.spatial.has_value();
+      if (spatially_filtered && extent.geometry_attr.empty()) {
+        continue;  // Spatial filter over a non-spatial class: no matches.
+      }
 
-    // ---- Choose candidates: intersect paths, else the whole extent ------
-    std::vector<ObjectId> candidates;
-    if (paths.empty()) {
-      candidates = extent.ids;
-      used_full_scan = true;
-    } else {
-      candidates = IntersectSorted(std::move(paths));
-    }
+      // ---- Plan: collect an id set from every usable access path --------
+      std::vector<std::vector<ObjectId>> paths;
+      std::vector<bool> applied(options.predicates.size(), false);
 
-    // ---- Residual evaluation over the surviving candidates --------------
-    const size_t partition = std::max<size_t>(options_.parallel_scan_partition,
-                                              1);
+      if (spatially_filtered) {
+        // Probe the index with the tighter of window and spatial-target
+        // box; exact filters in the residual refine the candidates.
+        geom::BoundingBox probe;
+        if (options.window.has_value()) probe = *options.window;
+        if (options.spatial.has_value()) {
+          const geom::BoundingBox target_box =
+              options.spatial->target.Bounds();
+          if (!options.window.has_value() ||
+              target_box.Area() < probe.Area()) {
+            probe = target_box;
+          }
+        }
+        std::vector<ObjectId> ids = extent.index->Query(probe);
+        std::sort(ids.begin(), ids.end());
+        paths.push_back(std::move(ids));
+        used_spatial_index = true;
+      }
+
+      for (size_t p = 0; p < options.predicates.size(); ++p) {
+        const AttrPredicate& pred = options.predicates[p];
+        const auto it = extent.attr_indexes.find(pred.attribute);
+        if (it == extent.attr_indexes.end()) continue;
+        auto ids = it->second.Eval(pred.op, pred.operand);
+        if (!ids.has_value()) continue;  // Degenerate operand: residual.
+        applied[p] = true;
+        used_attr_index = true;
+        paths.push_back(std::move(*ids));
+      }
+
+      // ---- Choose candidates: intersect paths, else the whole extent ----
+      std::vector<ObjectId> candidate_ids;
+      if (paths.empty()) {
+        candidate_ids = extent.ids;
+        used_full_scan = true;
+      } else {
+        candidate_ids = IntersectSorted(std::move(paths));
+      }
+
+      ClassWork w;
+      w.geometry_attr = extent.geometry_attr;
+      w.applied = std::move(applied);
+      w.candidates.reserve(candidate_ids.size());
+      for (ObjectId id : candidate_ids) {
+        const ObjectInstance* obj = CurrentLocked(id);
+        if (obj != nullptr) w.candidates.push_back(obj);
+      }
+      work.push_back(std::move(w));
+    }
+    // Pin before unlocking: reclamation cannot free the candidate
+    // versions while this scan runs, and no later write mutates them
+    // (copy-on-write) — so the residual below can never observe a
+    // torn or recycled instance, parallel or not.
+    pin = PinSnapshotLocked();
+  }
+
+  // ---- Phase 2 (no lock): residual evaluation over pinned versions.
+  std::vector<ObjectId> out;
+  for (const ClassWork& w : work) {
+    const size_t partition =
+        std::max<size_t>(options_.parallel_scan_partition, 1);
     if (options.limit != 0) {
       // Evaluate in blocks so a satisfied limit stops early.
       const size_t block = 1024;
-      for (size_t b = 0; b < candidates.size() && out.size() < options.limit;
+      for (size_t b = 0; b < w.candidates.size() && out.size() < options.limit;
            b += block) {
         std::vector<ObjectId> kept = EvaluateResidual(
-            extent, options, applied, candidates, b,
-            std::min(b + block, candidates.size()));
+            w.geometry_attr, options, w.applied, w.candidates, b,
+            std::min(b + block, w.candidates.size()));
         for (ObjectId id : kept) {
           out.push_back(id);
           if (out.size() >= options.limit) break;
         }
       }
       if (out.size() >= options.limit) break;
-    } else if (query_pool_ != nullptr && candidates.size() >= 2 * partition) {
+    } else if (query_pool_ != nullptr &&
+               w.candidates.size() >= 2 * partition) {
       // Partition the residual scan across the pool; chunk results
       // merge in chunk order, so the outcome is identical to the
       // sequential path.
-      const size_t nchunks = (candidates.size() + partition - 1) / partition;
+      const size_t nchunks = (w.candidates.size() + partition - 1) / partition;
       std::vector<std::vector<ObjectId>> chunk_results(nchunks);
       std::mutex merge_mutex;
       std::condition_variable done_cv;
@@ -575,14 +763,15 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
       for (size_t c = 1; c < nchunks; ++c) {
         query_pool_->Submit([&, c] {
           chunk_results[c] = EvaluateResidual(
-              extent, options, applied, candidates, c * partition,
-              std::min((c + 1) * partition, candidates.size()));
+              w.geometry_attr, options, w.applied, w.candidates,
+              c * partition,
+              std::min((c + 1) * partition, w.candidates.size()));
           std::lock_guard<std::mutex> lock(merge_mutex);
           if (--pending == 0) done_cv.notify_one();
         });
       }
-      chunk_results[0] =
-          EvaluateResidual(extent, options, applied, candidates, 0, partition);
+      chunk_results[0] = EvaluateResidual(w.geometry_attr, options, w.applied,
+                                          w.candidates, 0, partition);
       {
         std::unique_lock<std::mutex> lock(merge_mutex);
         done_cv.wait(lock, [&] { return pending == 0; });
@@ -592,8 +781,9 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
       }
       used_parallel_scan = true;
     } else {
-      std::vector<ObjectId> kept = EvaluateResidual(
-          extent, options, applied, candidates, 0, candidates.size());
+      std::vector<ObjectId> kept =
+          EvaluateResidual(w.geometry_attr, options, w.applied, w.candidates,
+                           0, w.candidates.size());
       out.insert(out.end(), kept.begin(), kept.end());
     }
   }
@@ -639,20 +829,21 @@ agis::Result<ClassResult> GeoDatabase::GetClass(const std::string& class_name,
     }
   }
 
-  BufferSlice slice;
-  {
-    std::shared_lock lock(data_mutex_);
-    AGIS_ASSIGN_OR_RETURN(result.ids, EvaluateGetClass(class_name, options));
-    if (options.use_buffer_pool) {
-      slice.ids = result.ids;
-      slice.charge_bytes = 64 + slice.ids.size() * sizeof(ObjectId);
-      // Charge the objects a renderer would pin alongside the id list.
+  // EvaluateGetClass locks (and pins) internally.
+  AGIS_ASSIGN_OR_RETURN(result.ids, EvaluateGetClass(class_name, options));
+  if (options.use_buffer_pool) {
+    BufferSlice slice;
+    slice.ids = result.ids;
+    slice.charge_bytes = 64 + slice.ids.size() * sizeof(ObjectId);
+    {
+      std::shared_lock lock(data_mutex_);
+      // Charge the objects a renderer would pin alongside the id list;
+      // ids deleted since evaluation simply drop out of the charge.
       for (ObjectId id : slice.ids) {
-        slice.charge_bytes += objects_.at(id).ApproxSizeBytes();
+        const ObjectInstance* obj = CurrentLocked(id);
+        if (obj != nullptr) slice.charge_bytes += obj->ApproxSizeBytes();
       }
     }
-  }
-  if (options.use_buffer_pool) {
     buffer_pool_.Put(cache_key, std::move(slice));
   }
   return result;
@@ -664,12 +855,11 @@ agis::Result<const ObjectInstance*> GeoDatabase::GetValue(
   const ObjectInstance* found = nullptr;
   {
     std::shared_lock lock(data_mutex_);
-    auto it = objects_.find(id);
-    if (it == objects_.end()) {
+    found = CurrentLocked(id);
+    if (found == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
-    found = &it->second;
-    event.class_name = it->second.class_name();
+    event.class_name = found->class_name();
   }
   {
     std::lock_guard stats_lock(stats_mutex_);
@@ -679,6 +869,38 @@ agis::Result<const ObjectInstance*> GeoDatabase::GetValue(
   event.kind = DbEventKind::kGetValue;
   event.context = ctx;
   event.schema_name = schema_.name();
+  event.object_id = id;
+  RunAfterSinks(event);
+  return found;
+}
+
+agis::Result<const ObjectInstance*> GeoDatabase::GetValueAt(
+    const Snapshot& snapshot, ObjectId id, const UserContext& ctx) {
+  if (!snapshot.valid() || snapshot.database() != this) {
+    return agis::Status::InvalidArgument(
+        "snapshot is detached or from another database");
+  }
+  DbEvent event;
+  const ObjectInstance* found = nullptr;
+  {
+    std::shared_lock lock(data_mutex_);
+    const auto it = objects_.find(id);
+    if (it != objects_.end()) {
+      found = VisibleLocked(it->second, snapshot.epoch());
+    }
+  }
+  if (found == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  {
+    std::lock_guard stats_lock(stats_mutex_);
+    ++stats_.get_value_calls;
+  }
+
+  event.kind = DbEventKind::kGetValue;
+  event.context = ctx;
+  event.schema_name = schema_.name();
+  event.class_name = found->class_name();
   event.object_id = id;
   RunAfterSinks(event);
   return found;
@@ -704,7 +926,9 @@ agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
                                                     obj.values().end());
   AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(obj.class_name(), values));
   std::unique_lock lock(data_mutex_);
-  if (objects_.count(obj.id()) != 0) {
+  // A tombstoned chain may linger while snapshots pin it; restoring
+  // the same id then pushes a live version onto the existing chain.
+  if (CurrentLocked(obj.id()) != nullptr) {
     return agis::Status::AlreadyExists(
         agis::StrCat("object ", obj.id(), " already exists"));
   }
@@ -715,13 +939,17 @@ agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
   }
   Extent& extent = extent_it->second;
   const ObjectId id = obj.id();
+  const uint64_t write_epoch = ++current_epoch_;
   if (!bulk_restore_) {
     IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
     IndexAttributes(&extent, obj);
   }
   extent.ids.push_back(id);
-  objects_.emplace(id, std::move(obj));
+  PushVersionLocked(id, write_epoch,
+                    std::make_shared<const ObjectInstance>(std::move(obj)));
+  ++live_objects_;
   if (id >= next_id_) next_id_ = id + 1;
+  if (!bulk_restore_) ReclaimVersionsLocked();
   return agis::Status::OK();
 }
 
@@ -739,10 +967,11 @@ agis::Status GeoDatabase::FinishBulkRestore() {
     for (auto& [attr, index] : extent.attr_indexes) {
       index = AttributeIndex();
       for (ObjectId id : extent.ids) {
-        index.Insert(id, objects_.at(id).Get(attr));
+        index.Insert(id, CurrentLocked(id)->Get(attr));
       }
     }
   }
+  ReclaimVersionsLocked();
   return agis::Status::OK();
 }
 
@@ -759,7 +988,7 @@ void GeoDatabase::RebuildExtentSpatialIndexLocked(
   std::vector<spatial::IndexEntry> entries;
   entries.reserve(extent->ids.size());
   for (ObjectId id : extent->ids) {
-    const Value& gv = objects_.at(id).Get(extent->geometry_attr);
+    const Value& gv = CurrentLocked(id)->Get(extent->geometry_attr);
     if (gv.is_null()) continue;
     entries.push_back({id, gv.geometry_value().Bounds()});
   }
@@ -772,20 +1001,23 @@ void GeoDatabase::RebuildExtentSpatialIndexLocked(
 
 agis::Result<Value> GeoDatabase::CallMethod(ObjectId id,
                                             const std::string& method) const {
-  const ObjectInstance* obj = nullptr;
+  std::shared_ptr<const ObjectInstance> obj;
   const MethodDef* def = nullptr;
   {
     std::shared_lock lock(data_mutex_);
-    auto it = objects_.find(id);
-    if (it == objects_.end()) {
+    const auto it = objects_.find(id);
+    if (it == objects_.end() || it->second.versions.empty() ||
+        it->second.versions.back().data == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
-    obj = &it->second;
-    def = schema_.FindMethodOf(it->second.class_name(), method);
+    // Share ownership of the version: the impl runs unlocked below,
+    // and a concurrent write must not free the instance under it.
+    obj = it->second.versions.back().data;
+    def = schema_.FindMethodOf(obj->class_name(), method);
     if (def == nullptr || !def->impl) {
       return agis::Status::NotFound(
-          agis::StrCat("method '", method, "' on class '",
-                       it->second.class_name(), "'"));
+          agis::StrCat("method '", method, "' on class '", obj->class_name(),
+                       "'"));
     }
   }
   // Invoked unlocked: method impls read the database (and would
@@ -810,10 +1042,82 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::ScanExtent(
   return extent.ids;
 }
 
+agis::Result<std::vector<ObjectId>> GeoDatabase::ScanExtentAt(
+    const Snapshot& snapshot, const std::string& class_name,
+    const std::optional<geom::BoundingBox>& window) const {
+  if (!snapshot.valid() || snapshot.database() != this) {
+    return agis::Status::InvalidArgument(
+        "snapshot is detached or from another database");
+  }
+  const uint64_t epoch = snapshot.epoch();
+  std::shared_lock lock(data_mutex_);
+  auto it = extents_.find(class_name);
+  if (it == extents_.end()) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  const Extent& extent = it->second;
+
+  if (epoch == current_epoch_) {
+    // Nothing written since the snapshot opened: the live extent IS
+    // the snapshot's view, so the index fast path applies.
+    std::vector<ObjectId> ids;
+    if (window.has_value() && !extent.geometry_attr.empty()) {
+      ids = extent.index->Query(*window);
+    } else {
+      ids = extent.ids;
+    }
+    // Insert-only extents are already ascending; don't pay the sort
+    // unless deletes/restores perturbed the order.
+    if (!std::is_sorted(ids.begin(), ids.end())) {
+      std::sort(ids.begin(), ids.end());
+    }
+    return ids;
+  }
+
+  // Writes landed since the snapshot opened: membership is decided by
+  // version visibility. Candidates are the live members plus the ids
+  // deleted after the snapshot's epoch (resurrected for this view);
+  // spatial filtering uses the *snapshot version's* geometry, not the
+  // live index, so moved objects are found at their old location.
+  std::vector<ObjectId> out;
+  out.reserve(extent.ids.size());
+  auto visit = [&](ObjectId id) {
+    const auto chain_it = objects_.find(id);
+    if (chain_it == objects_.end()) return;
+    const ObjectInstance* obj = VisibleLocked(chain_it->second, epoch);
+    if (obj == nullptr) return;
+    if (window.has_value() && !extent.geometry_attr.empty()) {
+      const Value& gv = obj->Get(extent.geometry_attr);
+      if (gv.is_null() ||
+          !gv.geometry_value().Bounds().Intersects(*window)) {
+        return;
+      }
+    }
+    out.push_back(id);
+  };
+  for (ObjectId id : extent.ids) visit(id);
+  for (const auto& [dead_epoch, id] : extent.dead) {
+    if (dead_epoch > epoch) visit(id);
+  }
+  std::sort(out.begin(), out.end());
+  // Deduplicate: an id deleted and later restored appears both live
+  // and on the dead list.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 const ObjectInstance* GeoDatabase::FindObject(ObjectId id) const {
   std::shared_lock lock(data_mutex_);
-  auto it = objects_.find(id);
-  return it == objects_.end() ? nullptr : &it->second;
+  return CurrentLocked(id);
+}
+
+const ObjectInstance* GeoDatabase::FindObjectAt(const Snapshot& snapshot,
+                                                ObjectId id) const {
+  if (!snapshot.valid() || snapshot.database() != this) return nullptr;
+  std::shared_lock lock(data_mutex_);
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return nullptr;
+  return VisibleLocked(it->second, snapshot.epoch());
 }
 
 size_t GeoDatabase::ExtentSize(const std::string& class_name) const {
@@ -824,7 +1128,7 @@ size_t GeoDatabase::ExtentSize(const std::string& class_name) const {
 
 size_t GeoDatabase::NumObjects() const {
   std::shared_lock lock(data_mutex_);
-  return objects_.size();
+  return live_objects_;
 }
 
 std::string GeoDatabase::GeometryAttributeOf(

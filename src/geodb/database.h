@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 #include "geodb/object.h"
 #include "geodb/query.h"
 #include "geodb/schema.h"
+#include "geodb/snapshot.h"
 #include "geodb/value.h"
 #include "spatial/spatial_index.h"
 
@@ -52,8 +54,9 @@ struct DatabaseOptions {
 };
 
 /// Cumulative operation counters, for tests and benches. Counter
-/// updates are internally synchronized; read the struct while the
-/// database is quiescent (no concurrent calls) for exact values.
+/// updates are internally synchronized and stats() returns a copy
+/// taken under the counters' lock, so reading while other threads
+/// operate is safe; values are exact once the database is quiescent.
 struct DatabaseStats {
   uint64_t get_schema_calls = 0;
   uint64_t get_class_calls = 0;
@@ -76,6 +79,15 @@ struct DatabaseStats {
   uint64_t parallel_scans = 0;
   /// STR bulk (re)builds of spatial indexes.
   uint64_t bulk_index_builds = 0;
+
+  // ---- Versioned read path -----------------------------------------------
+  /// Snapshots opened via OpenSnapshot (internal Get_Class pins
+  /// excluded).
+  uint64_t snapshots_opened = 0;
+  /// Superseded object versions (and tombstones) freed by epoch-based
+  /// reclamation.
+  uint64_t versions_reclaimed = 0;
+
   /// Spatial-index quality per class, refreshed by FinishBulkRestore /
   /// RebuildSpatialIndexes (height, node count, average node fill).
   std::map<std::string, spatial::IndexQuality> index_quality;
@@ -93,13 +105,47 @@ struct DatabaseStats {
 ///
 /// The read path is concurrent: any number of threads may issue
 /// GetSchema / GetClass / GetValue / GetAttributeValue / ScanExtent /
-/// FindObject / ExtentSize / CallMethod simultaneously (they take a
-/// shared lock, mirroring the PR-1 RuleEngine locking model). Write
-/// operations (Insert / Update / Delete / RestoreObject) take the
-/// exclusive lock for the mutation itself and serialize against each
-/// other and against readers.
+/// FindObject / ExtentSize / CallMethod — and the snapshot variants
+/// OpenSnapshot / GetValueAt / FindObjectAt / ScanExtentAt —
+/// simultaneously (they take a shared lock, mirroring the PR-1
+/// RuleEngine locking model). Write operations (Insert / Update /
+/// Delete / RestoreObject) take the exclusive lock for the mutation
+/// itself and serialize against each other and against readers.
 ///
-/// Three deliberate carve-outs, matching the paper's single-session
+/// ---- Versioned reads (MVCC-lite) ---------------------------------------
+///
+/// Object storage is copy-on-write: a write never mutates an
+/// ObjectInstance in place — it installs a new immutable version
+/// stamped with the write's epoch, and a delete installs a tombstone.
+/// `OpenSnapshot()` pins the epoch current at that moment; the
+/// snapshot-taking reads answer from the version set visible at that
+/// epoch:
+///
+///  * `FindObjectAt` / `GetValueAt` return the instance version the
+///    snapshot sees. The returned pointer stays valid for the
+///    *lifetime of the snapshot* — across any number of concurrent or
+///    subsequent writes, including deletes of the object.
+///  * `ScanExtentAt` returns the ids (ascending) that were members of
+///    the class extent at the snapshot's epoch, resurrecting ids
+///    deleted since and hiding ids inserted since.
+///
+/// Superseded versions are retained while any snapshot that can see
+/// them is open, and reclaimed by an epoch-based sweep that runs at
+/// the tail of each write (or explicitly via ReclaimVersions) once no
+/// open snapshot pins them. Releasing a snapshot is cheap (unpin
+/// only); the memory it retained is freed by the next write.
+///
+/// DEPRECATED pointer rule: the pre-snapshot contract — "pointers
+/// returned by GetValue / FindObject remain valid only until the next
+/// write that touches them" — still governs those two legacy calls,
+/// and copy-on-write makes it *stricter* in practice: an Update used
+/// to keep the pointer alive (mutating under it); now it retires the
+/// pointed-at version, which is freed as soon as no snapshot pins it.
+/// Holding an instance across writes requires a snapshot; new code
+/// should use FindObjectAt / GetValueAt. GetSchema's pointer remains
+/// valid for the database's lifetime.
+///
+/// Two deliberate carve-outs, matching the paper's single-session
 /// write model:
 ///  * Event sinks run with NO database lock held (before-write sinks
 ///    routinely re-enter the database, e.g. topology constraints
@@ -108,12 +154,13 @@ struct DatabaseStats {
 ///    may observe state that changes before the mutation lands, and
 ///    the provisional object id carried by a before-insert event may
 ///    differ from the final id. Single-writer callers (the paper's
-///    model) never observe either.
+///    model) never observe either. Write events do carry a snapshot
+///    of the pre-write (before-sinks) or post-write (after-sinks)
+///    state, so sink code that reads back into the database can do so
+///    consistently.
 ///  * Schema registration (RegisterClass / RegisterMethod) and sink
 ///    registration (Add/RemoveEventSink) are a setup phase: run them
 ///    before going concurrent.
-///  * Pointers returned by GetValue / FindObject / GetSchema remain
-///    valid only until the next write that touches them.
 class GeoDatabase {
  public:
   explicit GeoDatabase(std::string schema_name,
@@ -163,11 +210,31 @@ class GeoDatabase {
       std::vector<std::pair<std::string, Value>> values,
       const UserContext& ctx = UserContext());
 
-  /// Single-attribute update with veto support.
+  /// Single-attribute update with veto support. Copy-on-write: the
+  /// previously current version is retired, not mutated.
   agis::Status Update(ObjectId id, const std::string& attribute, Value value,
                       const UserContext& ctx = UserContext());
 
   agis::Status Delete(ObjectId id, const UserContext& ctx = UserContext());
+
+  // ---- Snapshots ---------------------------------------------------------
+
+  /// Pins the version set visible right now and returns the RAII
+  /// handle that keeps it readable. Cheap: no data is copied.
+  Snapshot OpenSnapshot() const;
+
+  /// Frees retained versions no open snapshot can see. Reclamation
+  /// also runs automatically at the tail of every write; this exists
+  /// for read-mostly callers that released a long-lived snapshot and
+  /// want the memory back before the next write.
+  void ReclaimVersions();
+
+  /// Number of currently pinned snapshots.
+  size_t PinnedSnapshotCount() const;
+
+  /// Total resident object versions, tombstones included (== live
+  /// objects when no history is retained). For tests and monitoring.
+  size_t TotalVersionCount() const;
 
   // ---- Query primitives (each emits its database event) -------------------
 
@@ -181,17 +248,27 @@ class GeoDatabase {
   /// from every usable access path — the spatial index for window /
   /// relation filters, the attribute indexes for indexable predicates
   /// — intersects them (most selective first), and only then runs the
-  /// residual predicates over the surviving candidates. Large
-  /// residual scans are partitioned across the query thread pool when
-  /// one is attached (set_query_pool) with a deterministic in-order
-  /// merge, so results are identical with and without the pool.
+  /// residual predicates over the surviving candidates. The residual
+  /// runs over an internally pinned snapshot with the data lock
+  /// released, so writers are not blocked by long scans and a
+  /// partitioned parallel scan (query thread pool, set_query_pool)
+  /// can never observe a torn write; chunks merge deterministically
+  /// in order, so results are identical with and without the pool.
   agis::Result<ClassResult> GetClass(const std::string& class_name,
                                      const GetClassOptions& options = {},
                                      const UserContext& ctx = UserContext());
 
-  /// `Get_Value`: one full instance.
+  /// `Get_Value`: one full instance. DEPRECATED pointer contract (see
+  /// class comment): valid only until the next write touching `id`.
+  /// Prefer GetValueAt.
   agis::Result<const ObjectInstance*> GetValue(
       ObjectId id, const UserContext& ctx = UserContext());
+
+  /// `Get_Value` against `snapshot`'s version set. The returned
+  /// pointer stays valid until the snapshot is released.
+  agis::Result<const ObjectInstance*> GetValueAt(
+      const Snapshot& snapshot, ObjectId id,
+      const UserContext& ctx = UserContext());
 
   /// `Get_Value` narrowed to one attribute.
   agis::Result<Value> GetAttributeValue(ObjectId id,
@@ -225,8 +302,15 @@ class GeoDatabase {
   // ---- Non-event accessors (internal plumbing, no event emission) --------
 
   /// Object lookup without emitting Get_Value (used by renderers that
-  /// already hold a ClassResult).
+  /// already hold a ClassResult). DEPRECATED pointer contract: valid
+  /// only until the next write touching `id`. Prefer FindObjectAt.
   const ObjectInstance* FindObject(ObjectId id) const;
+
+  /// Object lookup against `snapshot`'s version set; nullptr when the
+  /// object did not exist (or `snapshot` is detached / foreign). The
+  /// returned pointer stays valid until the snapshot is released.
+  const ObjectInstance* FindObjectAt(const Snapshot& snapshot,
+                                     ObjectId id) const;
 
   /// Extent scan without event emission or caching; `window` narrows
   /// via the spatial index when the class has a geometry attribute.
@@ -234,6 +318,15 @@ class GeoDatabase {
   /// query events while validating a write.
   agis::Result<std::vector<ObjectId>> ScanExtent(
       const std::string& class_name,
+      const std::optional<geom::BoundingBox>& window = std::nullopt) const;
+
+  /// Extent scan against `snapshot`'s version set: the ids (ascending)
+  /// that belonged to the extent at the snapshot's epoch. `window`
+  /// filters on the *snapshot versions'* geometry bounds, so an object
+  /// moved out of the window since the snapshot opened is still found
+  /// at its old location.
+  agis::Result<std::vector<ObjectId>> ScanExtentAt(
+      const Snapshot& snapshot, const std::string& class_name,
       const std::optional<geom::BoundingBox>& window = std::nullopt) const;
 
   /// Number of live instances of `class_name` (excluding subclasses).
@@ -253,21 +346,51 @@ class GeoDatabase {
   void set_query_pool(agis::ThreadPool* pool) { query_pool_ = pool; }
 
   BufferPool& buffer_pool() { return buffer_pool_; }
-  const DatabaseStats& stats() const { return stats_; }
+  /// A consistent copy of the counters, taken under their lock (safe
+  /// to call while other threads operate on the database).
+  DatabaseStats stats() const {
+    std::lock_guard stats_lock(stats_mutex_);
+    return stats_;
+  }
   const DatabaseOptions& options() const { return options_; }
 
  private:
+  friend class Snapshot;
+
+  /// One immutable copy-on-write object state. `data == nullptr` is a
+  /// tombstone: the object was deleted at `epoch`.
+  struct Version {
+    uint64_t epoch;  // First write epoch at which this version is current.
+    std::shared_ptr<const ObjectInstance> data;
+  };
+
+  /// Version history of one object id, ascending by epoch; back() is
+  /// the current state. Size is 1 except while snapshots retain
+  /// history (or reclamation has not caught up yet).
+  struct VersionChain {
+    std::vector<Version> versions;
+    /// Whether the id is queued on retired_ for reclamation.
+    bool retired_listed = false;
+  };
+
   struct Extent {
     std::vector<ObjectId> ids;
     std::unique_ptr<spatial::SpatialIndex> index;
     std::string geometry_attr;
     /// Secondary indexes keyed by attribute name.
     std::map<std::string, AttributeIndex> attr_indexes;
+    /// Ids removed from the extent and the epoch of their removal,
+    /// ascending; ScanExtentAt resurrects these for older snapshots.
+    /// Pruned by reclamation once no snapshot predates the removal.
+    std::vector<std::pair<uint64_t, ObjectId>> dead;
   };
 
   std::unique_ptr<spatial::SpatialIndex> MakeIndex() const;
   agis::Status RunBeforeSinks(const DbEvent& event);
   void RunAfterSinks(const DbEvent& event);
+  /// Attaches a pre/post-state snapshot to a write event when sinks
+  /// are registered (rule actions read the database through it).
+  void AttachEventSnapshot(DbEvent* event) const;
   agis::Status ValidateAgainstSchema(
       const std::string& class_name,
       const std::vector<std::pair<std::string, Value>>& values) const;
@@ -281,31 +404,78 @@ class GeoDatabase {
   void RebuildExtentSpatialIndexLocked(const std::string& class_name,
                                        Extent* extent);
 
-  /// Extent evaluation shared by cached and uncached paths. The
-  /// caller must hold the shared (or exclusive) data lock.
+  // ---- Version-store internals -------------------------------------------
+
+  /// Requires the data lock (shared suffices). Current instance of
+  /// `id`, nullptr when absent or tombstoned.
+  const ObjectInstance* CurrentLocked(ObjectId id) const;
+  /// Requires the data lock (shared suffices). The version of `chain`
+  /// visible at `epoch`, nullptr when none is (not yet inserted, or
+  /// tombstoned at or before `epoch`).
+  static const ObjectInstance* VisibleLocked(const VersionChain& chain,
+                                             uint64_t epoch);
+  /// Requires the exclusive lock. Appends a version (or tombstone) to
+  /// `id`'s chain and queues the chain for reclamation if it now
+  /// carries history.
+  void PushVersionLocked(ObjectId id, uint64_t epoch,
+                         std::shared_ptr<const ObjectInstance> data);
+  /// Pins the current epoch. Requires the data lock (shared
+  /// suffices) so the epoch cannot advance mid-pin.
+  Snapshot PinSnapshotLocked() const;
+  void UnpinSnapshot(uint64_t epoch) const;
+  /// Requires the exclusive lock. Frees versions, tombstoned chains
+  /// and extent dead-lists no open snapshot can see.
+  void ReclaimVersionsLocked();
+
+  /// Extent evaluation shared by cached and uncached paths. Locks
+  /// internally: plans and pins candidates under the shared lock,
+  /// then evaluates residuals with the lock released (the pinned
+  /// snapshot keeps candidate versions alive).
   agis::Result<std::vector<ObjectId>> EvaluateGetClass(
       const std::string& class_name, const GetClassOptions& options) const;
 
   /// Residual predicate/geometry evaluation over
-  /// `candidates[begin, end)`; `applied` flags predicates already
-  /// answered exactly by an index. Caller holds the data lock.
-  std::vector<ObjectId> EvaluateResidual(const Extent& extent,
-                                         const GetClassOptions& options,
-                                         const std::vector<bool>& applied,
-                                         const std::vector<ObjectId>& candidates,
-                                         size_t begin, size_t end) const;
+  /// `candidates[begin, end)` — pinned instance versions; `applied`
+  /// flags predicates already answered exactly by an index. Runs
+  /// without the data lock (candidates are immutable versions kept
+  /// alive by the caller's snapshot pin).
+  std::vector<ObjectId> EvaluateResidual(
+      const std::string& geometry_attr, const GetClassOptions& options,
+      const std::vector<bool>& applied,
+      const std::vector<const ObjectInstance*>& candidates, size_t begin,
+      size_t end) const;
 
   Schema schema_;
   DatabaseOptions options_;
 
-  /// Guards objects_, extents_ (structure and contents), and
-  /// next_id_. Shared for queries, exclusive for writes. Sinks always
-  /// run with this lock released (they re-enter the database).
+  /// Guards objects_, extents_ (structure and contents), next_id_,
+  /// current_epoch_, live_objects_ and retired_. Shared for queries,
+  /// exclusive for writes. Sinks always run with this lock released
+  /// (they re-enter the database).
   mutable std::shared_mutex data_mutex_;
-  std::unordered_map<ObjectId, ObjectInstance> objects_;
+  std::unordered_map<ObjectId, VersionChain> objects_;
   std::map<std::string, Extent> extents_;
   ObjectId next_id_ = 1;
+  /// Monotonic write clock; every successful write advances it and
+  /// stamps the versions it installs.
+  uint64_t current_epoch_ = 0;
+  /// Live (non-tombstoned) objects; objects_.size() additionally
+  /// counts tombstoned chains awaiting reclamation.
+  size_t live_objects_ = 0;
+  /// Ids whose chains carry history (length > 1 or a tombstone);
+  /// the reclamation sweep walks only these.
+  std::vector<ObjectId> retired_;
+  /// Total entries across all extents' dead lists (skip flag for the
+  /// reclamation sweep).
+  size_t dead_entries_ = 0;
   bool bulk_restore_ = false;
+
+  /// Guards pinned_epochs_. Ordered after data_mutex_ (a thread
+  /// holding data_mutex_ may take it; never the reverse).
+  mutable std::mutex snapshot_mutex_;
+  /// Epochs pinned by open snapshots (multiset: snapshots at the same
+  /// epoch pin independently). min() is the reclamation floor.
+  mutable std::multiset<uint64_t> pinned_epochs_;
 
   std::vector<DbEventSink*> sinks_;
   BufferPool buffer_pool_;

@@ -1,10 +1,12 @@
 #ifndef AGIS_GEODB_EVENTS_H_
 #define AGIS_GEODB_EVENTS_H_
 
+#include <memory>
 #include <string>
 
 #include "base/context.h"
 #include "base/status.h"
+#include "geodb/snapshot.h"
 #include "geodb/value.h"
 
 namespace agis::geodb {
@@ -39,6 +41,14 @@ struct DbEvent {
   std::string attribute;
   Value old_value;
   Value new_value;
+  /// For write events with sinks registered: a snapshot of the
+  /// database as of this event (pre-write state for kBefore*,
+  /// post-write for kAfter*). Sink code that reads back into the
+  /// database should use it (FindObjectAt / ScanExtentAt) so the
+  /// state it validates or reacts to cannot shift underneath it.
+  /// Shared because events fan out to several sinks; released when
+  /// the last holder drops it.
+  std::shared_ptr<const Snapshot> snapshot;
 
   std::string ToString() const;
 };

@@ -412,11 +412,14 @@ std::string SaveDatabaseToString(const GeoDatabase& db) {
     }
     out += "end\n";
   }
+  // Serialize one pinned snapshot: the saved file is a consistent
+  // point-in-time image even if writers keep going during the save.
+  const Snapshot snap = db.OpenSnapshot();
   for (const std::string& class_name : db.schema().ClassNames()) {
-    auto ids = db.ScanExtent(class_name);
+    auto ids = db.ScanExtentAt(snap, class_name);
     if (!ids.ok()) continue;
     for (ObjectId id : ids.value()) {
-      const ObjectInstance* obj = db.FindObject(id);
+      const ObjectInstance* obj = db.FindObjectAt(snap, id);
       if (obj == nullptr) continue;
       out += agis::StrCat("object ", id, " ", Quoted(class_name), "\n");
       for (const auto& [attr, value] : obj->values()) {

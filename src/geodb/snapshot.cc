@@ -1,0 +1,32 @@
+#include "geodb/snapshot.h"
+
+#include <utility>
+
+#include "geodb/database.h"
+
+namespace agis::geodb {
+
+Snapshot::Snapshot(Snapshot&& other) noexcept
+    : db_(std::exchange(other.db_, nullptr)),
+      epoch_(std::exchange(other.epoch_, 0)) {}
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    db_ = std::exchange(other.db_, nullptr);
+    epoch_ = std::exchange(other.epoch_, 0);
+  }
+  return *this;
+}
+
+Snapshot::~Snapshot() { Release(); }
+
+void Snapshot::Release() {
+  if (db_ != nullptr) {
+    db_->UnpinSnapshot(epoch_);
+    db_ = nullptr;
+    epoch_ = 0;
+  }
+}
+
+}  // namespace agis::geodb

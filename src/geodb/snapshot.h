@@ -1,0 +1,68 @@
+#ifndef AGIS_GEODB_SNAPSHOT_H_
+#define AGIS_GEODB_SNAPSHOT_H_
+
+#include <cstdint>
+
+namespace agis::geodb {
+
+class GeoDatabase;
+
+/// A pinned, consistent read view over a GeoDatabase.
+///
+/// Opening a snapshot (GeoDatabase::OpenSnapshot) records the write
+/// epoch current at that moment and pins it: every object version
+/// visible at that epoch is kept alive — writes copy-on-write new
+/// versions instead of mutating in place, and epoch-based reclamation
+/// never frees a version some open snapshot can still see. The
+/// snapshot-taking read APIs (GetValueAt / FindObjectAt / ScanExtentAt)
+/// then answer exactly as the database stood at open time, no matter
+/// how many writes have landed since.
+///
+/// Pointers obtained through a snapshot stay valid until the snapshot
+/// is released (destroyed or Release()d) — this is the guarantee that
+/// retires the old "valid only until the next write" pointer contract
+/// for long-lived renderers and rule actions.
+///
+/// A Snapshot is a move-only RAII handle; releasing it unpins the
+/// epoch. Snapshots are cheap to open (no data is copied) and cheap to
+/// hold, but holding one retains every version superseded since it was
+/// opened, so long-lived snapshots cost memory proportional to the
+/// write churn underneath them. Thread-safe to open/release from any
+/// thread; a single Snapshot instance may be shared across reader
+/// threads (its state is immutable after construction).
+class Snapshot {
+ public:
+  /// Detached handle; valid() is false and reads through it fail.
+  Snapshot() = default;
+
+  Snapshot(Snapshot&& other) noexcept;
+  Snapshot& operator=(Snapshot&& other) noexcept;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  ~Snapshot();
+
+  /// Unpins the epoch; the handle becomes detached. Idempotent.
+  /// Versions retained for this snapshot are reclaimed by the next
+  /// write (or GeoDatabase::ReclaimVersions).
+  void Release();
+
+  bool valid() const { return db_ != nullptr; }
+
+  /// The write epoch this snapshot observes (0 for detached handles).
+  uint64_t epoch() const { return epoch_; }
+
+  /// The database this snapshot reads (nullptr for detached handles).
+  const GeoDatabase* database() const { return db_; }
+
+ private:
+  friend class GeoDatabase;
+  Snapshot(const GeoDatabase* db, uint64_t epoch) : db_(db), epoch_(epoch) {}
+
+  const GeoDatabase* db_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace agis::geodb
+
+#endif  // AGIS_GEODB_SNAPSHOT_H_

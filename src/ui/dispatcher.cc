@@ -124,12 +124,13 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::OpenSchemaWindow() {
 }
 
 agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindowResolved(
-    const std::string& class_name, const CustomizationDecision& decision) {
+    const std::string& class_name, const CustomizationDecision& decision,
+    const builder::BuildOptions& options) {
   const active::WindowCustomization* cust_ptr =
       decision.payload.has_value() ? &decision.payload.value() : nullptr;
-  AGIS_ASSIGN_OR_RETURN(std::unique_ptr<uilib::InterfaceObject> window,
-                        builder_->BuildClassSetWindow(
-                            class_name, cust_ptr, context_, build_options_));
+  AGIS_ASSIGN_OR_RETURN(
+      std::unique_ptr<uilib::InterfaceObject> window,
+      builder_->BuildClassSetWindow(class_name, cust_ptr, context_, options));
   AnnotateWindow(window.get(), active::kEventGetClass, decision);
   log_.push_back(agis::StrCat("open_class -> Get_Class(", class_name, ")",
                               cust_ptr ? " [customized]" : " [default]"));
@@ -141,32 +142,50 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::OpenClassWindow(
   AGIS_ASSIGN_OR_RETURN(
       CustomizationDecision decision,
       Customize(active::kEventGetClass, {{"class", class_name}}));
-  return OpenClassWindowResolved(class_name, decision);
+  // Pin the state the window will render; writes racing with the
+  // build can no longer tear the presentation area.
+  const geodb::Snapshot snap = db_->OpenSnapshot();
+  builder::BuildOptions options = build_options_;
+  options.snapshot = &snap;
+  return OpenClassWindowResolved(class_name, decision, options);
 }
 
 agis::Status Dispatcher::OpenClassWindows(
     const std::vector<std::string>& class_names) {
+  const geodb::Snapshot snap = db_->OpenSnapshot();
+  return OpenClassWindows(class_names, &snap);
+}
+
+agis::Status Dispatcher::OpenClassWindows(
+    const std::vector<std::string>& class_names,
+    const geodb::Snapshot* snapshot) {
   std::vector<active::Event> events;
   events.reserve(class_names.size());
   for (const std::string& cls : class_names) {
     events.push_back(MakeEvent(active::kEventGetClass, {{"class", cls}}));
   }
   const auto payloads = engine_->GetCustomizationBatch(events, pool_);
+  builder::BuildOptions options = build_options_;
+  options.snapshot = snapshot;
   for (size_t i = 0; i < class_names.size(); ++i) {
     AGIS_RETURN_IF_ERROR(payloads[i].status());
     const CustomizationDecision decision =
         DecisionFor(events[i], payloads[i].value());
     AGIS_RETURN_IF_ERROR(
-        OpenClassWindowResolved(class_names[i], decision).status());
+        OpenClassWindowResolved(class_names[i], decision, options).status());
   }
   return agis::Status::OK();
 }
 
 agis::Result<uilib::InterfaceObject*> Dispatcher::OpenInstanceWindow(
     geodb::ObjectId id) {
+  // Pin first, then read through the snapshot: the instance the
+  // window shows stays valid across concurrent writes (and deletes)
+  // for the whole build.
+  const geodb::Snapshot snap = db_->OpenSnapshot();
   // The Get_Value event runs inside the DBMS.
   AGIS_ASSIGN_OR_RETURN(const geodb::ObjectInstance* obj,
-                        db_->GetValue(id, context_));
+                        db_->GetValueAt(snap, id, context_));
   AGIS_ASSIGN_OR_RETURN(
       CustomizationDecision decision,
       Customize(active::kEventGetValue,
@@ -174,9 +193,11 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::OpenInstanceWindow(
                  {"object", agis::StrCat(id)}}));
   const active::WindowCustomization* cust_ptr =
       decision.payload.has_value() ? &decision.payload.value() : nullptr;
+  builder::BuildOptions options = build_options_;
+  options.snapshot = &snap;
   AGIS_ASSIGN_OR_RETURN(
       std::unique_ptr<uilib::InterfaceObject> window,
-      builder_->BuildInstanceWindow(id, cust_ptr, context_, build_options_));
+      builder_->BuildInstanceWindow(id, cust_ptr, context_, options));
   AnnotateWindow(window.get(), active::kEventGetValue, decision);
   log_.push_back(agis::StrCat("open_instance -> Get_Value(",
                               obj->class_name(), "#", id, ")",
@@ -193,8 +214,10 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::OpenQueryWindow(
       Customize(active::kEventGetClass, {{"class", parsed.class_name}}));
   const active::WindowCustomization* cust_ptr =
       decision.payload.has_value() ? &decision.payload.value() : nullptr;
+  const geodb::Snapshot snap = db_->OpenSnapshot();
   builder::BuildOptions options = build_options_;
   options.query = parsed.options;
+  options.snapshot = &snap;
   AGIS_ASSIGN_OR_RETURN(
       std::unique_ptr<uilib::InterfaceObject> window,
       builder_->BuildClassSetWindow(parsed.class_name, cust_ptr, context_,
@@ -256,9 +279,13 @@ agis::Result<uilib::InterfaceObject*> Dispatcher::SelectInstanceAt(
   geodb::ObjectId best = 0;
   double best_dist = tolerance;
   const geom::Geometry probe = geom::Geometry::FromPoint(p);
+  // One snapshot for the whole hit-test: the distances are computed
+  // against a single consistent state, and pointers stay valid even
+  // if a writer deletes features mid-loop.
+  const geodb::Snapshot snap = db_->OpenSnapshot();
   for (const std::string& id_str : agis::Split(ids_csv, ',')) {
     const geodb::ObjectId id = std::stoull(id_str);
-    const geodb::ObjectInstance* obj = db_->FindObject(id);
+    const geodb::ObjectInstance* obj = db_->FindObjectAt(snap, id);
     if (obj == nullptr) continue;
     const geodb::Value& gv = obj->Get(geom_attr);
     if (gv.is_null()) continue;

@@ -46,6 +46,8 @@ class Dispatcher {
   void set_thread_pool(agis::ThreadPool* pool) { pool_ = pool; }
   agis::ThreadPool* thread_pool() const { return pool_; }
 
+  geodb::GeoDatabase* database() const { return db_; }
+
   // ---- Window hierarchy (all windows owned by the dispatcher) -----------
 
   /// Level 1: activates the generic interface on the database schema.
@@ -63,8 +65,17 @@ class Dispatcher {
   /// entry. The Get_Class customizations are resolved in one
   /// GetCustomizationBatch call — concurrently when a thread pool is
   /// set — and the windows are then built in order. Stops at the
-  /// first failing build.
+  /// first failing build. The whole batch renders one pinned snapshot,
+  /// so windows rebuilt together show a mutually consistent state.
   agis::Status OpenClassWindows(const std::vector<std::string>& class_names);
+
+  /// Same, rendering `snapshot` instead of opening one internally —
+  /// callers that already hold a view (ViewRefresher) pass it so a
+  /// refresh pass renders the state it was triggered by. `snapshot`
+  /// must stay pinned for the duration of the call; nullptr behaves
+  /// like the overload above.
+  agis::Status OpenClassWindows(const std::vector<std::string>& class_names,
+                                const geodb::Snapshot* snapshot);
 
   /// Level 3: opens (or refreshes) an Instance window.
   agis::Result<uilib::InterfaceObject*> OpenInstanceWindow(
@@ -137,9 +148,11 @@ class Dispatcher {
       std::optional<active::WindowCustomization> payload) const;
 
   /// Builds and installs one Class-set window from a pre-resolved
-  /// customization decision.
+  /// customization decision, reading through `options` (which carries
+  /// the snapshot the window should render).
   agis::Result<uilib::InterfaceObject*> OpenClassWindowResolved(
-      const std::string& class_name, const CustomizationDecision& decision);
+      const std::string& class_name, const CustomizationDecision& decision,
+      const builder::BuildOptions& options);
 
   /// Stamps explanation properties onto a freshly built window.
   static void AnnotateWindow(uilib::InterfaceObject* window,

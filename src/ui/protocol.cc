@@ -21,8 +21,12 @@ agis::Result<DbResponse> DbProtocol::Execute(const DbRequest& request) {
       break;
     }
     case DbRequest::Kind::kGetValue: {
-      AGIS_ASSIGN_OR_RETURN(const geodb::ObjectInstance* obj,
-                            db_->GetValue(request.object_id, request.context));
+      // Pin while the response is serialized: the instance cannot be
+      // freed by a concurrent write mid-copy.
+      const geodb::Snapshot snap = db_->OpenSnapshot();
+      AGIS_ASSIGN_OR_RETURN(
+          const geodb::ObjectInstance* obj,
+          db_->GetValueAt(snap, request.object_id, request.context));
       response.instance_class = obj->class_name();
       response.instance_id = obj->id();
       AGIS_ASSIGN_OR_RETURN(

@@ -58,6 +58,10 @@ size_t ViewRefresher::Uninstall() {
 }
 
 agis::Result<size_t> ViewRefresher::RefreshStale() {
+  // One pinned snapshot for the whole pass: the stale set is decided
+  // and every window rebuilt against the same database state, so two
+  // windows refreshed together can never show each other's past.
+  const geodb::Snapshot snap = dispatcher_->database()->OpenSnapshot();
   std::vector<std::string> stale_classes;
   for (const uilib::InterfaceObject* window : dispatcher_->windows()) {
     if (window->GetProperty("stale") == "true" &&
@@ -67,7 +71,7 @@ agis::Result<size_t> ViewRefresher::RefreshStale() {
     }
   }
   if (stale_classes.empty()) return static_cast<size_t>(0);
-  AGIS_RETURN_IF_ERROR(dispatcher_->OpenClassWindows(stale_classes));
+  AGIS_RETURN_IF_ERROR(dispatcher_->OpenClassWindows(stale_classes, &snap));
   refreshed_ += stale_classes.size();
   return stale_classes.size();
 }

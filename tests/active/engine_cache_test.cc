@@ -195,6 +195,53 @@ TEST(EngineCacheTest, LruEvictionIsCountedAndBounded) {
   EXPECT_EQ(engine.stats().cache_misses, 4u);
 }
 
+TEST(EngineCacheTest, GenerationBumpSweepsStaleEntriesBeforeLiveOnes) {
+  RuleEngine engine;
+  engine.set_cache_capacity(4);
+  ContextPattern anyone;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine
+                    .AddRule(CustomizationRule(agis::StrCat("r", i),
+                                               agis::StrCat("c", i), anyone,
+                                               "pointFormat"))
+                    .ok());
+  }
+  // Fill the cache to capacity under the current generation.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine.GetCustomization(ClassEvent(agis::StrCat("c", i), "u"))
+                    .ok());
+  }
+  EXPECT_EQ(engine.cache_size(), 4u);
+
+  // Any rule mutation bumps the generation: all four resident entries
+  // are now stale. They still occupy capacity slots.
+  ContextPattern juliano;
+  juliano.user = "juliano";
+  ASSERT_TRUE(
+      engine.AddRule(CustomizationRule("bump", "c0", juliano, "lineFormat"))
+          .ok());
+
+  // Resolve a fresh working set of four. The first over-capacity
+  // insert must sweep the stale residue instead of spending LRU
+  // evictions on it — the live set fits entirely.
+  for (int i = 4; i < 8; ++i) {
+    ASSERT_TRUE(engine.GetCustomization(ClassEvent(agis::StrCat("c", i), "u"))
+                    .ok());
+  }
+  EXPECT_EQ(engine.cache_size(), 4u);
+  EXPECT_EQ(engine.stats().cache_stale_swept, 4u);
+  EXPECT_EQ(engine.stats().cache_evictions, 0u);
+
+  // Hit-rate across the bump: the whole live working set is resident,
+  // so a second pass is 100% hits.
+  const uint64_t hits_before = engine.stats().cache_hits;
+  for (int i = 4; i < 8; ++i) {
+    ASSERT_TRUE(engine.GetCustomization(ClassEvent(agis::StrCat("c", i), "u"))
+                    .ok());
+  }
+  EXPECT_EQ(engine.stats().cache_hits, hits_before + 4);
+}
+
 TEST(EngineCacheTest, ZeroCapacityDisablesMemoization) {
   RuleEngine engine;
   engine.set_cache_capacity(0);

@@ -1,0 +1,236 @@
+// Concurrency suite for the versioned read path (run under TSan in
+// CI): writers churning inserts/updates/deletes while readers pin
+// snapshots and demand repeatable scans and stable pointers.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "geodb/database.h"
+#include "geodb/snapshot.h"
+#include "geom/geometry.h"
+
+namespace agis::geodb {
+namespace {
+
+geom::Geometry PointGeom(double x, double y) {
+  return geom::Geometry::FromPoint({x, y});
+}
+
+class SnapshotConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<GeoDatabase>("concurrency_schema");
+    ClassDef pole("Pole", "");
+    ASSERT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+    ASSERT_TRUE(
+        pole.AddAttribute(AttributeDef::Geometry("pole_location")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(pole)).ok());
+  }
+
+  ObjectId InsertPole(double x, double y, int64_t type) {
+    auto id = db_->Insert(
+        "Pole", {{"pole_type", Value::Int(type)},
+                 {"pole_location", Value::MakeGeometry(PointGeom(x, y))}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.ok() ? id.value() : 0;
+  }
+
+  std::unique_ptr<GeoDatabase> db_;
+};
+
+TEST_F(SnapshotConcurrencyTest, ScansAreRepeatableWhileWritersChurn) {
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kObjects = 64;
+  constexpr int kReaderRounds = 40;
+
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < kObjects; ++i) {
+    ids.push_back(InsertPole(i % 10, i / 10, /*type=*/0));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      uint64_t step = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ObjectId id = ids[(w * 31 + step * 7) % ids.size()];
+        switch (step % 3) {
+          case 0:
+            (void)db_->Update(id, "pole_type",
+                              Value::Int(static_cast<int64_t>(step)));
+            break;
+          case 1:
+            (void)db_->Update(
+                id, "pole_location",
+                Value::MakeGeometry(PointGeom((step * 3) % 20, w)));
+            break;
+          default: {
+            // Delete one id and put it back via the bulk-load path so
+            // the extent's dead-list and resurrection logic get
+            // exercised under load.
+            const ObjectId victim = ids[(w + step) % ids.size()];
+            if (db_->Delete(victim).ok()) {
+              ObjectInstance obj(victim, "Pole");
+              obj.Set("pole_type", Value::Int(-1));
+              obj.Set("pole_location", Value::MakeGeometry(PointGeom(1, 1)));
+              (void)db_->RestoreObject(std::move(obj));
+            }
+            break;
+          }
+        }
+        ++step;
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int round = 0; round < kReaderRounds; ++round) {
+        const Snapshot snap = db_->OpenSnapshot();
+        auto first = db_->ScanExtentAt(snap, "Pole");
+        if (!first.ok()) {
+          ++failures;
+          continue;
+        }
+        // A pinned snapshot is a fixed point: rescanning must return
+        // exactly the same membership no matter what writers do.
+        auto second = db_->ScanExtentAt(snap, "Pole");
+        if (!second.ok() || *first != *second) ++failures;
+
+        // Every member is readable, twice, with a stable pointer and
+        // stable values.
+        for (size_t i = 0; i < first->size(); i += 7) {
+          const ObjectId id = (*first)[i];
+          const ObjectInstance* once = db_->FindObjectAt(snap, id);
+          const ObjectInstance* again = db_->FindObjectAt(snap, id);
+          if (once == nullptr || once != again ||
+              once->Get("pole_type").is_null()) {
+            ++failures;
+            continue;
+          }
+          // Dereference after more writes may have landed: the pin
+          // keeps the version alive (ASan/TSan verify liveness).
+          if (once->id() != id) ++failures;
+        }
+      }
+    });
+  }
+
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 0u);
+  db_->ReclaimVersions();
+  EXPECT_EQ(db_->TotalVersionCount(), db_->NumObjects());
+}
+
+TEST_F(SnapshotConcurrencyTest, ParallelGetClassNeverSeesTornWrites) {
+  // Small partitions force the residual scan across the pool, so the
+  // partitioned path runs while writers churn; the internal snapshot
+  // pin must keep every candidate version alive and coherent.
+  DatabaseOptions options;
+  options.parallel_scan_partition = 8;
+  auto db = std::make_unique<GeoDatabase>("parallel_schema", options);
+  ClassDef pole("Pole", "");
+  ASSERT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+  ASSERT_TRUE(pole.AddAttribute(AttributeDef::Geometry("pole_location")).ok());
+  ASSERT_TRUE(db->RegisterClass(std::move(pole)).ok());
+
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 128; ++i) {
+    auto id = db->Insert(
+        "Pole",
+        {{"pole_type", Value::Int(0)},
+         {"pole_location", Value::MakeGeometry(PointGeom(i % 16, i / 16))}});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+
+  agis::ThreadPool pool(2);
+  db->set_query_pool(&pool);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  // Writers flip pole_type between two even values; a torn read would
+  // surface as a predicate mismatch or a dangling candidate.
+  std::thread writer([&] {
+    uint64_t step = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)db->Update(ids[step % ids.size()], "pole_type",
+                       Value::Int((step % 2) * 2));
+      ++step;
+    }
+  });
+
+  GetClassOptions query;
+  query.predicates.push_back({"pole_type", CompareOp::kGe, Value::Int(0)});
+  query.use_buffer_pool = false;
+  for (int round = 0; round < 30; ++round) {
+    auto result = db->GetClass("Pole", query);
+    if (!result.ok()) {
+      ++failures;
+      continue;
+    }
+    // pole_type is always >= 0, so every live object qualifies.
+    if (result->ids.size() != ids.size()) ++failures;
+  }
+
+  stop.store(true);
+  writer.join();
+  db->set_query_pool(nullptr);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(SnapshotConcurrencyTest, PinChurnLeavesNoResidue) {
+  const ObjectId a = InsertPole(1, 1, /*type=*/0);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t step = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)db_->Update(a, "pole_type", Value::Int(static_cast<int64_t>(step)));
+      ++step;
+    }
+  });
+
+  std::vector<std::thread> pinners;
+  for (int t = 0; t < 3; ++t) {
+    pinners.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        Snapshot snap = db_->OpenSnapshot();
+        const ObjectInstance* obj = db_->FindObjectAt(snap, a);
+        if (obj != nullptr) {
+          // Hold the pointer across the release boundary of OTHER
+          // snapshots, never past our own.
+          (void)obj->Get("pole_type");
+        }
+        if (i % 2 == 0) snap.Release();  // Other half released by RAII.
+      }
+    });
+  }
+
+  for (auto& t : pinners) t.join();
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 0u);
+  db_->ReclaimVersions();
+  EXPECT_EQ(db_->TotalVersionCount(), 1u);
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -1,0 +1,307 @@
+// Tests for the versioned read path: snapshot visibility semantics,
+// pointer stability across writes (the dangling-pointer regression
+// the snapshot API retires), ScanExtentAt membership/window rules,
+// epoch-based reclamation accounting, and snapshot handle lifecycle.
+
+#include "geodb/snapshot.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geodb/database.h"
+#include "geom/geometry.h"
+
+namespace agis::geodb {
+namespace {
+
+geom::Geometry PointGeom(double x, double y) {
+  return geom::Geometry::FromPoint({x, y});
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<GeoDatabase>("snapshot_schema");
+    ClassDef pole("Pole", "");
+    ASSERT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+    ASSERT_TRUE(
+        pole.AddAttribute(AttributeDef::Geometry("pole_location")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(pole)).ok());
+  }
+
+  ObjectId InsertPole(double x, double y, int64_t type = 1) {
+    auto id = db_->Insert(
+        "Pole", {{"pole_type", Value::Int(type)},
+                 {"pole_location", Value::MakeGeometry(PointGeom(x, y))}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.ok() ? id.value() : 0;
+  }
+
+  std::unique_ptr<GeoDatabase> db_;
+};
+
+TEST_F(SnapshotTest, SnapshotSeesStateAtOpenNotLaterWrites) {
+  const ObjectId a = InsertPole(1, 1, /*type=*/7);
+  const Snapshot snap = db_->OpenSnapshot();
+
+  ASSERT_TRUE(db_->Update(a, "pole_type", Value::Int(99)).ok());
+  const ObjectId b = InsertPole(2, 2);
+
+  // Current reads see the new world.
+  EXPECT_EQ(db_->FindObject(a)->Get("pole_type").int_value(), 99);
+  EXPECT_NE(db_->FindObject(b), nullptr);
+
+  // The snapshot still sees the world at open time.
+  const ObjectInstance* old_a = db_->FindObjectAt(snap, a);
+  ASSERT_NE(old_a, nullptr);
+  EXPECT_EQ(old_a->Get("pole_type").int_value(), 7);
+  EXPECT_EQ(db_->FindObjectAt(snap, b), nullptr);
+
+  auto got = db_->GetValueAt(snap, a);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->Get("pole_type").int_value(), 7);
+  EXPECT_TRUE(db_->GetValueAt(snap, b).status().IsNotFound());
+}
+
+TEST_F(SnapshotTest, PointerStaysValidAcrossUpdateDeleteAndReclaim) {
+  // Regression for the retired contract: under the old in-place store,
+  // holding a GetValue pointer across a Delete and dereferencing it
+  // was a use-after-free (caught by ASan). With a pinned snapshot the
+  // same access pattern is defined behavior.
+  const ObjectId a = InsertPole(3, 3, /*type=*/42);
+  const Snapshot snap = db_->OpenSnapshot();
+
+  auto got = db_->GetValueAt(snap, a);
+  ASSERT_TRUE(got.ok());
+  const ObjectInstance* pinned = *got;
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db_->Update(a, "pole_type", Value::Int(100 + i)).ok());
+  }
+  ASSERT_TRUE(db_->Delete(a).ok());
+  db_->ReclaimVersions();  // Must not free what the snapshot pins.
+
+  // The pinned version is intact, attribute values included.
+  EXPECT_EQ(pinned->id(), a);
+  EXPECT_EQ(pinned->class_name(), "Pole");
+  EXPECT_EQ(pinned->Get("pole_type").int_value(), 42);
+  // And the object is gone from the current world.
+  EXPECT_EQ(db_->FindObject(a), nullptr);
+}
+
+TEST_F(SnapshotTest, DeleteIsInvisibleToEarlierSnapshots) {
+  const ObjectId a = InsertPole(1, 1);
+  const Snapshot before = db_->OpenSnapshot();
+  ASSERT_TRUE(db_->Delete(a).ok());
+  const Snapshot after = db_->OpenSnapshot();
+
+  EXPECT_NE(db_->FindObjectAt(before, a), nullptr);
+  EXPECT_EQ(db_->FindObjectAt(after, a), nullptr);
+  EXPECT_TRUE(db_->GetValueAt(after, a).status().IsNotFound());
+  EXPECT_EQ(db_->FindObject(a), nullptr);
+}
+
+TEST_F(SnapshotTest, ScanExtentAtResurrectsDeletedAndHidesInserted) {
+  const ObjectId a = InsertPole(1, 1);
+  const ObjectId b = InsertPole(2, 2);
+  const ObjectId c = InsertPole(3, 3);
+  const Snapshot snap = db_->OpenSnapshot();
+
+  ASSERT_TRUE(db_->Delete(b).ok());
+  const ObjectId d = InsertPole(4, 4);
+
+  auto now = db_->ScanExtent("Pole");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(std::vector<ObjectId>({a, c, d}), [&] {
+    auto ids = *now;
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }());
+
+  auto then = db_->ScanExtentAt(snap, "Pole");
+  ASSERT_TRUE(then.ok());
+  // Ascending, deleted member resurrected, later insert hidden.
+  EXPECT_EQ(*then, std::vector<ObjectId>({a, b, c}));
+}
+
+TEST_F(SnapshotTest, ScanExtentAtWindowUsesSnapshotGeometry) {
+  const ObjectId a = InsertPole(1, 1);
+  const Snapshot snap = db_->OpenSnapshot();
+  // Move the pole far away after the snapshot.
+  ASSERT_TRUE(
+      db_->Update(a, "pole_location", Value::MakeGeometry(PointGeom(50, 50)))
+          .ok());
+
+  const geom::BoundingBox old_window(0, 0, 5, 5);
+  const geom::BoundingBox new_window(45, 45, 55, 55);
+
+  // Current scans find it only at the new location.
+  EXPECT_EQ((*db_->ScanExtent("Pole", old_window)).size(), 0u);
+  EXPECT_EQ((*db_->ScanExtent("Pole", new_window)).size(), 1u);
+
+  // The snapshot scan filters on the snapshot version's geometry: the
+  // pole is still where it was when the snapshot opened.
+  EXPECT_EQ(*db_->ScanExtentAt(snap, "Pole", old_window),
+            std::vector<ObjectId>({a}));
+  EXPECT_EQ((*db_->ScanExtentAt(snap, "Pole", new_window)).size(), 0u);
+}
+
+TEST_F(SnapshotTest, ScanExtentAtFastPathMatchesScanExtent) {
+  // With no writes since open, the snapshot epoch is current and the
+  // scan takes the index-backed fast path; results must agree with
+  // the plain scan.
+  for (int i = 0; i < 16; ++i) InsertPole(i, i);
+  const Snapshot snap = db_->OpenSnapshot();
+
+  auto plain = db_->ScanExtent("Pole");
+  auto at = db_->ScanExtentAt(snap, "Pole");
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(at.ok());
+  std::sort(plain->begin(), plain->end());
+  EXPECT_EQ(*plain, *at);
+
+  const geom::BoundingBox window(0, 0, 4.5, 4.5);
+  auto plain_w = db_->ScanExtent("Pole", window);
+  auto at_w = db_->ScanExtentAt(snap, "Pole", window);
+  ASSERT_TRUE(plain_w.ok());
+  ASSERT_TRUE(at_w.ok());
+  std::sort(plain_w->begin(), plain_w->end());
+  EXPECT_EQ(*plain_w, *at_w);
+}
+
+TEST_F(SnapshotTest, ReclamationFreesHistoryOncePinsDrop) {
+  const ObjectId a = InsertPole(1, 1);
+  // Without any snapshot open, writes reclaim their own history.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->Update(a, "pole_type", Value::Int(i)).ok());
+  }
+  EXPECT_EQ(db_->TotalVersionCount(), 1u);
+  EXPECT_GE(db_->stats().versions_reclaimed, 10u);
+
+  // A pinned snapshot retains the versions written after it opened.
+  {
+    const Snapshot snap = db_->OpenSnapshot();
+    EXPECT_EQ(db_->PinnedSnapshotCount(), 1u);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db_->Update(a, "pole_type", Value::Int(100 + i)).ok());
+    }
+    EXPECT_GT(db_->TotalVersionCount(), 1u);
+  }
+  // Snapshot released: reclamation drops the retained history.
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 0u);
+  db_->ReclaimVersions();
+  EXPECT_EQ(db_->TotalVersionCount(), 1u);
+}
+
+TEST_F(SnapshotTest, TombstonesReclaimedAfterRelease) {
+  const ObjectId a = InsertPole(1, 1);
+  Snapshot snap = db_->OpenSnapshot();
+  ASSERT_TRUE(db_->Delete(a).ok());
+  // The tombstone and the deleted version stay while pinned.
+  EXPECT_GE(db_->TotalVersionCount(), 1u);
+  EXPECT_NE(db_->FindObjectAt(snap, a), nullptr);
+
+  snap.Release();
+  db_->ReclaimVersions();
+  EXPECT_EQ(db_->TotalVersionCount(), 0u);
+  EXPECT_EQ(db_->NumObjects(), 0u);
+}
+
+TEST_F(SnapshotTest, DeleteThenRestoreIsOneMemberPerScan) {
+  const ObjectId a = InsertPole(1, 1, /*type=*/1);
+  const Snapshot before = db_->OpenSnapshot();
+  ASSERT_TRUE(db_->Delete(a).ok());
+  const Snapshot during = db_->OpenSnapshot();
+
+  // Resurrect the same id via the bulk-load path.
+  ObjectInstance obj(a, "Pole");
+  obj.Set("pole_type", Value::Int(2));
+  obj.Set("pole_location", Value::MakeGeometry(PointGeom(1, 1)));
+  ASSERT_TRUE(db_->RestoreObject(std::move(obj)).ok());
+  const Snapshot after = db_->OpenSnapshot();
+
+  // Each epoch sees exactly one membership state — the id must not be
+  // duplicated by the dead-list resurrection logic.
+  EXPECT_EQ(*db_->ScanExtentAt(before, "Pole"), std::vector<ObjectId>({a}));
+  EXPECT_EQ(db_->FindObjectAt(before, a)->Get("pole_type").int_value(), 1);
+  EXPECT_EQ((*db_->ScanExtentAt(during, "Pole")).size(), 0u);
+  EXPECT_EQ(db_->FindObjectAt(during, a), nullptr);
+  EXPECT_EQ(*db_->ScanExtentAt(after, "Pole"), std::vector<ObjectId>({a}));
+  EXPECT_EQ(db_->FindObjectAt(after, a)->Get("pole_type").int_value(), 2);
+}
+
+TEST_F(SnapshotTest, ReleasedAndForeignSnapshotsAreRejected) {
+  const ObjectId a = InsertPole(1, 1);
+  Snapshot snap = db_->OpenSnapshot();
+  EXPECT_TRUE(snap.valid());
+  snap.Release();
+  EXPECT_FALSE(snap.valid());
+  snap.Release();  // Idempotent.
+
+  EXPECT_EQ(db_->FindObjectAt(snap, a), nullptr);
+  EXPECT_TRUE(db_->GetValueAt(snap, a).status().IsInvalidArgument());
+  EXPECT_TRUE(db_->ScanExtentAt(snap, "Pole").status().IsInvalidArgument());
+
+  // A snapshot of another database is not usable here.
+  GeoDatabase other("other_schema");
+  const Snapshot foreign = other.OpenSnapshot();
+  EXPECT_EQ(db_->FindObjectAt(foreign, a), nullptr);
+  EXPECT_TRUE(db_->GetValueAt(foreign, a).status().IsInvalidArgument());
+  EXPECT_TRUE(db_->ScanExtentAt(foreign, "Pole").status().IsInvalidArgument());
+}
+
+TEST_F(SnapshotTest, MoveTransfersThePin) {
+  InsertPole(1, 1);
+  Snapshot a = db_->OpenSnapshot();
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 1u);
+
+  Snapshot b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 1u);
+
+  Snapshot c = db_->OpenSnapshot();
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 2u);
+  c = std::move(b);  // Move-assign releases c's own pin.
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 1u);
+  c.Release();
+  EXPECT_EQ(db_->PinnedSnapshotCount(), 0u);
+}
+
+TEST_F(SnapshotTest, GetClassIsConsistentWhileHoldingSnapshots) {
+  // GetClass pins its own snapshot internally; open handles must not
+  // perturb its results, and evaluating under retained history still
+  // sees only current members.
+  for (int i = 0; i < 8; ++i) InsertPole(i, i, /*type=*/i);
+  const Snapshot snap = db_->OpenSnapshot();
+  ASSERT_TRUE(db_->Delete(*db_->ScanExtent("Pole")->begin()).ok());
+
+  GetClassOptions options;
+  options.predicates.push_back({"pole_type", CompareOp::kGe, Value::Int(0)});
+  auto result = db_->GetClass("Pole", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->ids.size(), 7u);
+}
+
+TEST_F(SnapshotTest, StatsReturnsAnIndependentCopy) {
+  InsertPole(1, 1);
+  const DatabaseStats before = db_->stats();
+  const uint64_t inserts_then = before.inserts;
+  const uint64_t opened_then = before.snapshots_opened;
+
+  InsertPole(2, 2);
+  { const Snapshot snap = db_->OpenSnapshot(); }
+
+  // The earlier copy is frozen; a fresh copy observes the new work.
+  EXPECT_EQ(before.inserts, inserts_then);
+  EXPECT_EQ(before.snapshots_opened, opened_then);
+  EXPECT_EQ(db_->stats().inserts, inserts_then + 1);
+  EXPECT_EQ(db_->stats().snapshots_opened, opened_then + 1);
+}
+
+}  // namespace
+}  // namespace agis::geodb
