@@ -307,7 +307,12 @@ void BM_PointRead_RawPointer(benchmark::State& state) {
   const auto ids = *db->ScanExtent("P");
   agis::Rng rng(41);
   for (auto _ : state) {
+    // The deprecated call is the measurement subject here: this bench
+    // exists to compare it against the snapshot path below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     const auto* obj = db->FindObject(ids[rng.Uniform(ids.size())]);
+#pragma GCC diagnostic pop
     benchmark::DoNotOptimize(obj);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));

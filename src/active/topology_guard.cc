@@ -40,7 +40,15 @@ agis::Status TopologyGuard::CheckConstraint(
     return agis::Status::FailedPrecondition(
         agis::StrCat("class '", c.object_class, "' has no geometry"));
   }
-  const bool use_snapshot = snapshot != nullptr && snapshot->valid();
+  // Always check against a pinned view: the caller's snapshot when
+  // provided, otherwise a local pin of the current state (so the scan
+  // and the per-object reads see one consistent version set).
+  geodb::Snapshot local;
+  const geodb::Snapshot* view = snapshot;
+  if (view == nullptr || !view->valid()) {
+    local = db_->OpenSnapshot();
+    view = &local;
+  }
 
   // Narrow the counterpart scan when only nearby objects can decide
   // the outcome (disjointness / clearance checks).
@@ -49,17 +57,13 @@ agis::Status TopologyGuard::CheckConstraint(
       c.quantifier == TopologyConstraint::Quantifier::kForAll) {
     window = subject_geometry.Bounds().Inflated(c.min_distance + 1.0);
   }
-  auto candidates = use_snapshot
-                        ? db_->ScanExtentAt(*snapshot, c.object_class, window)
-                        : db_->ScanExtent(c.object_class, window);
+  auto candidates = db_->ScanExtentAt(*view, c.object_class, window);
   AGIS_RETURN_IF_ERROR(candidates.status());
 
   bool exists_satisfied = false;
   for (geodb::ObjectId other_id : candidates.value()) {
     if (other_id == subject_id) continue;
-    const geodb::ObjectInstance* other =
-        use_snapshot ? db_->FindObjectAt(*snapshot, other_id)
-                     : db_->FindObject(other_id);
+    const geodb::ObjectInstance* other = db_->FindObjectAt(*view, other_id);
     if (other == nullptr) continue;
     const geodb::Value& gv = other->Get(object_geom_attr);
     if (gv.is_null()) continue;

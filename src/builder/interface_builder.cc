@@ -73,11 +73,17 @@ GenericInterfaceBuilder::GenericInterfaceBuilder(
     : db_(db), library_(library), styles_(styles) {}
 
 const geodb::ObjectInstance* GenericInterfaceBuilder::LookupObject(
-    const BuildOptions& options, geodb::ObjectId id) const {
+    const geodb::Snapshot& view, geodb::ObjectId id) const {
+  return db_->FindObjectAt(view, id);
+}
+
+const geodb::Snapshot* GenericInterfaceBuilder::PinBuildView(
+    const BuildOptions& options, geodb::Snapshot* local) const {
   if (options.snapshot != nullptr && options.snapshot->valid()) {
-    return db_->FindObjectAt(*options.snapshot, id);
+    return options.snapshot;
   }
-  return db_->FindObject(id);
+  *local = db_->OpenSnapshot();
+  return local;
 }
 
 std::unique_ptr<InterfaceObject> GenericInterfaceBuilder::NewWindow(
@@ -173,9 +179,11 @@ agis::Status GenericInterfaceBuilder::AddPresentationArea(
   const std::string geometry_attr = db_->GeometryAttributeOf(class_name);
   std::vector<carto::StyledFeature> features;
   if (!geometry_attr.empty()) {
+    geodb::Snapshot local;
+    const geodb::Snapshot* view = PinBuildView(options, &local);
     features.reserve(result.ids.size());
     for (geodb::ObjectId id : result.ids) {
-      const geodb::ObjectInstance* obj = LookupObject(options, id);
+      const geodb::ObjectInstance* obj = LookupObject(*view, id);
       if (obj == nullptr) continue;
       const geodb::Value& value = obj->Get(geometry_attr);
       if (value.is_null()) continue;
@@ -252,7 +260,9 @@ agis::Result<std::unique_ptr<InterfaceObject>>
 GenericInterfaceBuilder::BuildInstanceWindow(
     geodb::ObjectId id, const active::WindowCustomization* customization,
     const UserContext& ctx, const BuildOptions& options) {
-  const geodb::ObjectInstance* obj = LookupObject(options, id);
+  geodb::Snapshot local;
+  const geodb::Snapshot* view = PinBuildView(options, &local);
+  const geodb::ObjectInstance* obj = LookupObject(*view, id);
   if (obj == nullptr) {
     return agis::Status::NotFound(agis::StrCat("object ", id));
   }

@@ -84,9 +84,16 @@ class GenericInterfaceBuilder {
       const active::WindowCustomization* customization, const UserContext& ctx,
       const BuildOptions& options);
 
-  /// Instance lookup honouring `options.snapshot` (see BuildOptions).
-  const geodb::ObjectInstance* LookupObject(const BuildOptions& options,
+  /// Instance lookup against the pinned view a build call reads from
+  /// (the caller's BuildOptions::snapshot, or a build-local pin).
+  const geodb::ObjectInstance* LookupObject(const geodb::Snapshot& view,
                                             geodb::ObjectId id) const;
+
+  /// The pinned view for one build call: `options.snapshot` when the
+  /// caller provided one, otherwise a fresh pin parked in `local`
+  /// (which must outlive every pointer read through the view).
+  const geodb::Snapshot* PinBuildView(const BuildOptions& options,
+                                      geodb::Snapshot* local) const;
 
   /// Resolves the `from` sources of one customized attribute row into
   /// its display text.

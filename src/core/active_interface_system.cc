@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "base/logging.h"
+#include "base/strutil.h"
 #include "custlang/compiler.h"
 #include "custlang/parser.h"
 
@@ -11,7 +12,7 @@ namespace agis::core {
 
 ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
                                              SystemOptions options)
-    : options_(options) {
+    : options_(options), compile_cache_(options.compile_cache_capacity) {
   db_ = std::make_unique<geodb::GeoDatabase>(std::move(schema_name),
                                              options.db);
   engine_ = std::make_unique<active::RuleEngine>(options.conflict_policy);
@@ -43,14 +44,37 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
 }
 
 ActiveInterfaceSystem::~ActiveInterfaceSystem() {
+  (void)CloseStorage();
   db_->RemoveEventSink(bridge_.get());
 }
 
 agis::Result<std::vector<active::RuleId>>
 ActiveInterfaceSystem::InstallCustomization(std::string_view directive_source) {
-  AGIS_ASSIGN_OR_RETURN(custlang::Directive directive,
-                        custlang::ParseDirective(directive_source));
-  return InstallDirective(directive);
+  custlang::Directive directive;
+  bool parsed = false;
+  if (const custlang::CompileCache::Entry* hit =
+          compile_cache_.Find(directive_source)) {
+    directive = hit->directive;  // Copy: a Put below may evict the entry.
+  } else {
+    AGIS_ASSIGN_OR_RETURN(directive,
+                          custlang::ParseDirective(directive_source));
+    parsed = true;
+  }
+  AGIS_ASSIGN_OR_RETURN(
+      std::vector<active::RuleId> ids,
+      InstallDirectiveInternal(directive, options_.persist_directives));
+  if (parsed) {
+    // Alias the verbatim text to the canonical entry so re-registering
+    // the identical source skips the parse as well as the compile.
+    const std::string canonical_source = directive.ToSource();
+    if (canonical_source != directive_source) {
+      if (const custlang::CompileCache::Entry* entry =
+              compile_cache_.Peek(canonical_source)) {
+        compile_cache_.Put(directive_source, entry->directive, entry->rules);
+      }
+    }
+  }
+  return ids;
 }
 
 agis::Result<std::vector<active::RuleId>>
@@ -61,9 +85,19 @@ ActiveInterfaceSystem::InstallDirective(const custlang::Directive& directive) {
 agis::Result<std::vector<active::RuleId>>
 ActiveInterfaceSystem::InstallDirectiveInternal(
     const custlang::Directive& directive, bool persist) {
+  // Analysis always runs: it validates against the live schema,
+  // library, and access rights, which may have changed since a cached
+  // compile.
   AGIS_RETURN_IF_ERROR(custlang::AnalyzeDirective(
       directive, db_->schema(), *library_, *styles_, access_checker_));
-  std::vector<active::EcaRule> rules = custlang::CompileDirective(directive);
+  const std::string source = directive.ToSource();
+  std::vector<active::EcaRule> rules;
+  if (const custlang::CompileCache::Entry* hit = compile_cache_.Find(source)) {
+    rules = hit->rules;  // Compiled rules are pure data; reuse a copy.
+  } else {
+    rules = custlang::CompileDirective(directive);
+    compile_cache_.Put(source, directive, rules);
+  }
   std::vector<active::RuleId> ids;
   ids.reserve(rules.size());
   for (active::EcaRule& rule : rules) {
@@ -95,32 +129,39 @@ agis::Status ActiveInterfaceSystem::PersistDirective(
   AGIS_RETURN_IF_ERROR(EnsureDirectiveClass());
   const std::string canonical = directive.CanonicalName();
   // Replace any previous copy under the same canonical name.
+  geodb::Snapshot snap = db_->OpenSnapshot();
   AGIS_ASSIGN_OR_RETURN(std::vector<geodb::ObjectId> stored,
-                        db_->ScanExtent(kDirectiveClassName));
+                        db_->ScanExtentAt(snap, kDirectiveClassName));
   for (geodb::ObjectId id : stored) {
-    const geodb::ObjectInstance* obj = db_->FindObject(id);
+    const geodb::ObjectInstance* obj = db_->FindObjectAt(snap, id);
     if (obj != nullptr &&
         obj->Get("directive_name").ToDisplayString() == canonical) {
       AGIS_RETURN_IF_ERROR(db_->Delete(id));
       break;
     }
   }
-  return db_
-      ->Insert(kDirectiveClassName,
-               {{"directive_name", geodb::Value::String(canonical)},
-                {"directive_source",
-                 geodb::Value::String(directive.ToSource())}})
-      .status();
+  snap.Release();
+  const std::string source = directive.ToSource();
+  AGIS_RETURN_IF_ERROR(
+      db_->Insert(kDirectiveClassName,
+                  {{"directive_name", geodb::Value::String(canonical)},
+                   {"directive_source", geodb::Value::String(source)}})
+          .status());
+  if (store_ != nullptr) {
+    AGIS_RETURN_IF_ERROR(store_->LogDirective(canonical, source));
+  }
+  return agis::Status::OK();
 }
 
 size_t ActiveInterfaceSystem::UninstallCustomization(
     const std::string& canonical_name) {
   const size_t removed = engine_->RemoveRulesByProvenance(canonical_name);
   if (db_->schema().HasClass(kDirectiveClassName)) {
-    auto stored = db_->ScanExtent(kDirectiveClassName);
+    geodb::Snapshot snap = db_->OpenSnapshot();
+    auto stored = db_->ScanExtentAt(snap, kDirectiveClassName);
     if (stored.ok()) {
       for (geodb::ObjectId id : stored.value()) {
-        const geodb::ObjectInstance* obj = db_->FindObject(id);
+        const geodb::ObjectInstance* obj = db_->FindObjectAt(snap, id);
         if (obj != nullptr &&
             obj->Get("directive_name").ToDisplayString() == canonical_name) {
           (void)db_->Delete(id);
@@ -136,10 +177,11 @@ std::vector<std::pair<std::string, std::string>>
 ActiveInterfaceSystem::StoredDirectives() {
   std::vector<std::pair<std::string, std::string>> out;
   if (!db_->schema().HasClass(kDirectiveClassName)) return out;
-  auto stored = db_->ScanExtent(kDirectiveClassName);
+  geodb::Snapshot snap = db_->OpenSnapshot();
+  auto stored = db_->ScanExtentAt(snap, kDirectiveClassName);
   if (!stored.ok()) return out;
   for (geodb::ObjectId id : stored.value()) {
-    const geodb::ObjectInstance* obj = db_->FindObject(id);
+    const geodb::ObjectInstance* obj = db_->FindObjectAt(snap, id);
     if (obj == nullptr) continue;
     out.emplace_back(obj->Get("directive_name").ToDisplayString(),
                      obj->Get("directive_source").ToDisplayString());
@@ -147,12 +189,80 @@ ActiveInterfaceSystem::StoredDirectives() {
   return out;
 }
 
+agis::Status ActiveInterfaceSystem::OpenStorage(const std::string& dir,
+                                                storage::StoreOptions options) {
+  if (store_ != nullptr) {
+    return agis::Status::FailedPrecondition(
+        agis::StrCat("storage already open at '", store_->directory(), "'"));
+  }
+  AGIS_ASSIGN_OR_RETURN(store_, storage::DurableStore::Open(
+                                    dir, db_.get(), options, ui_pool_.get()));
+  const agis::Status replayed = ReplayRecoveredDirectives();
+  if (!replayed.ok()) {
+    (void)CloseStorage();
+    return replayed.WithContext("replaying recovered directives");
+  }
+  return agis::Status::OK();
+}
+
+agis::Status ActiveInterfaceSystem::ReplayRecoveredDirectives() {
+  for (const auto& [canonical, source] : store_->recovery().directives) {
+    if (engine_->CountRulesByProvenance(canonical) > 0) continue;
+    custlang::Directive directive;
+    if (const custlang::CompileCache::Entry* hit =
+            compile_cache_.Find(source)) {
+      directive = hit->directive;
+    } else {
+      AGIS_ASSIGN_OR_RETURN(directive, custlang::ParseDirective(source));
+    }
+    const agis::Status installed =
+        InstallDirectiveInternal(directive, /*persist=*/false).status();
+    if (installed.IsFailedPrecondition()) {
+      // Analysis ran against a runtime environment the application has
+      // not rebuilt yet — methods are host code and must be
+      // re-registered after recovery (same contract as the text
+      // import path). The directive stays stored as data;
+      // ReloadCustomizations() installs it once the environment is
+      // back.
+      continue;
+    }
+    AGIS_RETURN_IF_ERROR(installed);
+  }
+  return agis::Status::OK();
+}
+
+agis::Status ActiveInterfaceSystem::SyncStorage() {
+  if (store_ == nullptr) {
+    return agis::Status::FailedPrecondition("storage is not open");
+  }
+  return store_->Sync();
+}
+
+agis::Status ActiveInterfaceSystem::CheckpointStorage() {
+  if (store_ == nullptr) {
+    return agis::Status::FailedPrecondition("storage is not open");
+  }
+  return store_->Checkpoint(StoredDirectives()).status();
+}
+
+agis::Status ActiveInterfaceSystem::CloseStorage() {
+  if (store_ == nullptr) return agis::Status::OK();
+  const agis::Status status = store_->Close();
+  store_.reset();
+  return status;
+}
+
 agis::Result<size_t> ActiveInterfaceSystem::ReloadCustomizations() {
   size_t reloaded = 0;
   for (const auto& [canonical, source] : StoredDirectives()) {
     if (engine_->CountRulesByProvenance(canonical) > 0) continue;
-    AGIS_ASSIGN_OR_RETURN(custlang::Directive directive,
-                          custlang::ParseDirective(source));
+    custlang::Directive directive;
+    if (const custlang::CompileCache::Entry* hit =
+            compile_cache_.Find(source)) {
+      directive = hit->directive;  // Stored sources are canonical.
+    } else {
+      AGIS_ASSIGN_OR_RETURN(directive, custlang::ParseDirective(source));
+    }
     AGIS_RETURN_IF_ERROR(
         InstallDirectiveInternal(directive, /*persist=*/false).status());
     ++reloaded;

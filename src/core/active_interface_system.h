@@ -15,7 +15,9 @@
 #include "carto/style.h"
 #include "custlang/analyzer.h"
 #include "custlang/ast.h"
+#include "custlang/compile_cache.h"
 #include "geodb/database.h"
+#include "storage/store.h"
 #include "ui/dispatcher.h"
 #include "ui/protocol.h"
 #include "uilib/library.h"
@@ -43,6 +45,10 @@ struct SystemOptions {
   /// resolution (multi-window refresh). 0 picks a small default from
   /// the hardware; 1 still creates a pool (serialized batches).
   size_t ui_threads = 0;
+  /// Capacity of the directive compile cache: re-registering an
+  /// identical directive (same text) skips the parse and compile
+  /// phases. 0 disables the cache.
+  size_t compile_cache_capacity = 128;
 };
 
 /// Name of the system class holding persisted directives. Classes
@@ -109,12 +115,61 @@ class ActiveInterfaceSystem {
     access_checker_ = std::move(checker);
   }
 
+  // ---- Durable storage (binary snapshots + write-ahead log) --------------
+
+  /// Opens durable storage rooted at `dir`: recovers the latest valid
+  /// snapshot plus the WAL tail into the database, re-installs the
+  /// recovered customization directives, and attaches so every
+  /// subsequent write (and directive registration) is WAL-logged.
+  ///
+  /// Directives whose analysis needs runtime state the application has
+  /// not rebuilt yet (methods are host callbacks, never persisted) are
+  /// left stored but not installed; re-register the methods and call
+  /// ReloadCustomizations(), exactly as after a text import.
+  ///
+  /// Call before inserting data. Schema registered so far is captured
+  /// (the new WAL generation opens with a catalog dump); objects
+  /// inserted before the store attached are not. The text `agisdb`
+  /// format (ui::DbProtocol Save/Load) remains available as an
+  /// import/export path — it does not participate in durability.
+  agis::Status OpenStorage(const std::string& dir,
+                           storage::StoreOptions options = {});
+
+  /// Durability barrier: all acknowledged writes survive a crash once
+  /// this returns OK.
+  agis::Status SyncStorage();
+
+  /// Writes a binary snapshot checkpoint (including the persisted
+  /// directives) without blocking writers, then prunes superseded
+  /// generations.
+  agis::Status CheckpointStorage();
+
+  /// Final sync and detach. Idempotent; also run by the destructor.
+  agis::Status CloseStorage();
+
+  bool storage_open() const { return store_ != nullptr; }
+  storage::DurableStore* storage() { return store_.get(); }
+
+  /// Storage counters (zeroed when no store is open), surfaced
+  /// alongside db().stats().
+  storage::StorageStats storage_stats() const {
+    return store_ != nullptr ? store_->stats() : storage::StorageStats{};
+  }
+
+  /// Directive compile-cache counters (hits = parse+compile skipped).
+  custlang::CompileCache::Stats compile_cache_stats() const {
+    return compile_cache_.stats();
+  }
+
  private:
   /// Registers the system directive class on first use.
   agis::Status EnsureDirectiveClass();
   agis::Status PersistDirective(const custlang::Directive& directive);
   agis::Result<std::vector<active::RuleId>> InstallDirectiveInternal(
       const custlang::Directive& directive, bool persist);
+  /// Re-installs directives recovered from durable storage
+  /// (persist=false: their stored copies were recovered with the data).
+  agis::Status ReplayRecoveredDirectives();
 
   SystemOptions options_;
   std::unique_ptr<geodb::GeoDatabase> db_;
@@ -128,6 +183,10 @@ class ActiveInterfaceSystem {
   std::unique_ptr<ui::DbProtocol> protocol_;
   std::unique_ptr<active::TopologyGuard> topology_;
   custlang::AccessChecker access_checker_;
+  custlang::CompileCache compile_cache_;
+  /// Declared last: the store detaches from db_ before anything else
+  /// is torn down.
+  std::unique_ptr<storage::DurableStore> store_;
 };
 
 }  // namespace agis::core

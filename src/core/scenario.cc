@@ -60,7 +60,8 @@ agis::Status ScenarioSandbox::HypotheticalUpdate(ObjectId id,
     }
     class_name = it->second.class_name();
   } else {
-    const ObjectInstance* base = db_->FindObject(id);
+    const geodb::Snapshot snap = db_->OpenSnapshot();
+    const ObjectInstance* base = db_->FindObjectAt(snap, id);
     if (base == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
@@ -99,7 +100,8 @@ agis::Status ScenarioSandbox::HypotheticalDelete(ObjectId id) {
     }
     class_name = it->second.class_name();
   } else {
-    const ObjectInstance* base = db_->FindObject(id);
+    const geodb::Snapshot snap = db_->OpenSnapshot();
+    const ObjectInstance* base = db_->FindObjectAt(snap, id);
     if (base == nullptr) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
@@ -122,7 +124,8 @@ std::optional<ObjectInstance> ScenarioSandbox::EffectiveObject(
     if (it == provisional_.end()) return std::nullopt;
     return it->second;
   }
-  const ObjectInstance* base = db_->FindObject(id);
+  const geodb::Snapshot snap = db_->OpenSnapshot();
+  const ObjectInstance* base = db_->FindObjectAt(snap, id);
   if (base == nullptr) return std::nullopt;
   ObjectInstance effective = *base;
   auto overlay = overlays_.find(id);

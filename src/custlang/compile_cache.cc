@@ -1,0 +1,61 @@
+#include "custlang/compile_cache.h"
+
+#include <utility>
+
+namespace agis::custlang {
+
+uint64_t CompileCache::HashSource(std::string_view source) {
+  uint64_t h = 14695981039346656037ull;  // FNV offset basis.
+  for (unsigned char c : source) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime.
+  }
+  return h;
+}
+
+const CompileCache::Entry* CompileCache::Find(std::string_view source) {
+  if (capacity_ == 0) return nullptr;
+  const auto it = entries_.find(HashSource(source));
+  if (it == entries_.end() || it->second->source != source) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // Touch.
+  ++stats_.hits;
+  return &*it->second;
+}
+
+const CompileCache::Entry* CompileCache::Peek(std::string_view source) const {
+  if (capacity_ == 0) return nullptr;
+  const auto it = entries_.find(HashSource(source));
+  if (it == entries_.end() || it->second->source != source) return nullptr;
+  return &*it->second;
+}
+
+void CompileCache::Put(std::string_view source, Directive directive,
+                       std::vector<active::EcaRule> rules) {
+  if (capacity_ == 0) return;
+  const uint64_t hash = HashSource(source);
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    // Same text refreshed, or a colliding entry displaced — either
+    // way the newest result wins.
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(HashSource(lru_.back().source));
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{std::string(source), std::move(directive),
+                        std::move(rules)});
+  entries_.emplace(hash, lru_.begin());
+}
+
+void CompileCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace agis::custlang

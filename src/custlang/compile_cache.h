@@ -1,0 +1,85 @@
+#ifndef AGIS_CUSTLANG_COMPILE_CACHE_H_
+#define AGIS_CUSTLANG_COMPILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "active/rule.h"
+#include "custlang/ast.h"
+
+namespace agis::custlang {
+
+/// Content-hash memo for directive compilation.
+///
+/// Installing a customization costs a parse, a semantic analysis, and
+/// a compile. Sessions re-register the same directive set routinely —
+/// ReloadCustomizations after a rule-engine reset, recovery replaying
+/// stored directives, every UI session re-asserting its user's
+/// customizations. The parse and compile depend only on the directive
+/// *text*, so this cache keys on a content hash of the source and
+/// stores the parsed Directive plus the compiled rule set; a hit skips
+/// both phases. Analysis is deliberately NOT skipped by callers — it
+/// validates against the live schema/library, which may have changed
+/// since the entry was cached.
+///
+/// Hash collisions are handled, not assumed away: the entry stores the
+/// exact source and a lookup that hashes equal but compares unequal is
+/// a miss. Eviction is LRU. Not thread-safe (confine to the session
+/// thread, like the rule engine's setup phase).
+class CompileCache {
+ public:
+  struct Entry {
+    std::string source;                  // Exact text, collision check.
+    Directive directive;                 // Parsed form.
+    std::vector<active::EcaRule> rules;  // Compiled form (copyable).
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  explicit CompileCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// FNV-1a 64-bit content hash (stable across runs).
+  static uint64_t HashSource(std::string_view source);
+
+  /// Cached entry for `source`, or nullptr (also on capacity 0 or a
+  /// hash collision). The pointer is valid until the next Put.
+  const Entry* Find(std::string_view source);
+
+  /// Find without touching the LRU order or the hit/miss counters —
+  /// for internal plumbing (e.g. aliasing a second key to an entry)
+  /// that should not masquerade as cache traffic.
+  const Entry* Peek(std::string_view source) const;
+
+  /// Caches the parse+compile result for `source` (no-op at capacity
+  /// 0; replaces an existing entry for the same text).
+  void Put(std::string_view source, Directive directive,
+           std::vector<active::EcaRule> rules);
+
+  void Clear();
+
+  Stats stats() const {
+    Stats s = stats_;
+    s.entries = entries_.size();
+    return s;
+  }
+
+ private:
+  size_t capacity_;
+  /// LRU order, most recent first; the map indexes into it by hash.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace agis::custlang
+
+#endif  // AGIS_CUSTLANG_COMPILE_CACHE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "base/strutil.h"
+
 namespace agis::geodb {
 
 std::optional<AttrKey> AttrKey::FromValue(const Value& v) {
@@ -48,14 +50,107 @@ void AttributeIndex::Insert(ObjectId id, const Value& value) {
   }
   const std::optional<AttrKey> key = AttrKey::FromValue(value);
   if (!key.has_value()) return;
-  Posting& hash_posting = hash_[*key];
-  hash_posting.insert(
-      std::upper_bound(hash_posting.begin(), hash_posting.end(), id), id);
-  Posting& ordered_posting = ordered_[*key];
-  ordered_posting.insert(
-      std::upper_bound(ordered_posting.begin(), ordered_posting.end(), id),
-      id);
+  const auto [hash_it, created] = hash_.try_emplace(*key);
+  Posting& posting = hash_it->second;
+  posting.insert(std::upper_bound(posting.begin(), posting.end(), id), id);
+  if (created) ordered_.emplace(hash_it->first, &posting);
   ++entry_count_;
+}
+
+void AttributeIndex::BulkLoad(
+    std::vector<std::pair<ObjectId, const Value*>> entries) {
+  if (entry_count_ != 0) {
+    // Composing with existing contents: the incremental path already
+    // handles interleaved postings; bulk construction assumes a blank
+    // slate.
+    for (const auto& [id, value] : entries) Insert(id, *value);
+    return;
+  }
+  // Normalize every entry into one contiguous row array and sort it by
+  // (key, id); runs of equal keys then pack straight into the base
+  // arrays. The sort touches sequential memory and the build allocates
+  // four vectors total, instead of a hash node + posting + map node
+  // per distinct key.
+  std::vector<std::pair<AttrKey, ObjectId>> rows;
+  rows.reserve(entries.size());
+  for (const auto& [id, value] : entries) {
+    if (IsNanValue(*value)) {
+      nan_ids_.push_back(id);
+      ++entry_count_;
+      continue;
+    }
+    std::optional<AttrKey> key = AttrKey::FromValue(*value);
+    if (!key.has_value()) continue;
+    rows.emplace_back(std::move(*key), id);
+    ++entry_count_;
+  }
+  std::sort(nan_ids_.begin(), nan_ids_.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const std::pair<AttrKey, ObjectId>& a,
+               const std::pair<AttrKey, ObjectId>& b) {
+              if (a.first < b.first) return true;
+              if (b.first < a.first) return false;
+              return a.second < b.second;
+            });
+  base_pool_.reserve(rows.size());
+  size_t run_begin = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    base_pool_.push_back(rows[i].second);
+    const bool last_of_run =
+        i + 1 == rows.size() || rows[run_begin].first < rows[i + 1].first;
+    if (last_of_run) {
+      base_keys_.push_back(std::move(rows[run_begin].first));
+      base_offsets_.push_back(static_cast<uint32_t>(run_begin));
+      base_live_.push_back(static_cast<uint32_t>(i + 1 - run_begin));
+      run_begin = i + 1;
+    }
+  }
+  base_offsets_.push_back(static_cast<uint32_t>(base_pool_.size()));
+  base_distinct_ = base_keys_.size();
+}
+
+agis::Result<AttributeIndex> AttributeIndex::FromSortedRuns(
+    std::vector<AttrKey> keys, std::vector<uint32_t> offsets,
+    std::vector<ObjectId> pool, std::vector<ObjectId> nan_ids) {
+  if (offsets.size() != keys.size() + 1 || offsets.front() != 0 ||
+      offsets.back() != pool.size()) {
+    return agis::Status::ParseError(
+        "attribute index runs: offsets do not delimit the id pool");
+  }
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (k + 1 < keys.size() && !(keys[k] < keys[k + 1])) {
+      return agis::Status::ParseError(
+          "attribute index runs: keys not strictly ascending");
+    }
+    if (offsets[k] >= offsets[k + 1]) {
+      return agis::Status::ParseError(
+          "attribute index runs: empty key slice");
+    }
+    for (uint32_t i = offsets[k]; i < offsets[k + 1]; ++i) {
+      if (pool[i] == 0 || (i > offsets[k] && pool[i - 1] >= pool[i])) {
+        return agis::Status::ParseError(
+            "attribute index runs: slice ids not ascending non-zero");
+      }
+    }
+  }
+  for (size_t i = 0; i < nan_ids.size(); ++i) {
+    if (nan_ids[i] == 0 || (i > 0 && nan_ids[i - 1] >= nan_ids[i])) {
+      return agis::Status::ParseError(
+          "attribute index runs: NaN ids not ascending non-zero");
+    }
+  }
+  AttributeIndex index;
+  index.entry_count_ = pool.size() + nan_ids.size();
+  index.base_distinct_ = keys.size();
+  index.base_live_.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    index.base_live_.push_back(offsets[k + 1] - offsets[k]);
+  }
+  index.base_keys_ = std::move(keys);
+  index.base_offsets_ = std::move(offsets);
+  index.base_pool_ = std::move(pool);
+  index.nan_ids_ = std::move(nan_ids);
+  return index;
 }
 
 void AttributeIndex::Remove(ObjectId id, const Value& value) {
@@ -69,66 +164,135 @@ void AttributeIndex::Remove(ObjectId id, const Value& value) {
   }
   const std::optional<AttrKey> key = AttrKey::FromValue(value);
   if (!key.has_value()) return;
+  // Delta first: a post-bulk insert lands there even when the key also
+  // exists in the base.
   const auto hash_it = hash_.find(*key);
-  if (hash_it == hash_.end()) return;
-  Posting& hash_posting = hash_it->second;
-  const auto pos =
-      std::lower_bound(hash_posting.begin(), hash_posting.end(), id);
-  if (pos == hash_posting.end() || *pos != id) return;
-  hash_posting.erase(pos);
-  if (hash_posting.empty()) hash_.erase(hash_it);
-
-  const auto ordered_it = ordered_.find(*key);
-  Posting& ordered_posting = ordered_it->second;
-  ordered_posting.erase(std::lower_bound(ordered_posting.begin(),
-                                         ordered_posting.end(), id));
-  if (ordered_posting.empty()) ordered_.erase(ordered_it);
+  if (hash_it != hash_.end()) {
+    Posting& posting = hash_it->second;
+    const auto pos = std::lower_bound(posting.begin(), posting.end(), id);
+    if (pos != posting.end() && *pos == id) {
+      posting.erase(pos);
+      if (posting.empty()) {
+        // The ordered view references the hash node's key and posting;
+        // drop it before the node dies.
+        ordered_.erase(hash_it->first);
+        hash_.erase(hash_it);
+      }
+      --entry_count_;
+      return;
+    }
+  }
+  const size_t k = BaseFind(*key);
+  if (k == base_keys_.size()) return;
+  ObjectId* slice = base_pool_.data() + base_offsets_[k];
+  ObjectId* live_end = slice + base_live_[k];
+  ObjectId* pos = std::lower_bound(slice, live_end, id);
+  if (pos == live_end || *pos != id) return;
+  // Keep the live prefix sorted: shift the tail left one slot and
+  // zero-fill the vacated cell (0 is never a valid object id).
+  std::move(pos + 1, live_end, pos);
+  *(live_end - 1) = 0;
+  if (--base_live_[k] == 0) --base_distinct_;
   --entry_count_;
 }
 
+size_t AttributeIndex::BaseBandBegin(AttrKey::Class cls) const {
+  const auto it = std::partition_point(
+      base_keys_.begin(), base_keys_.end(),
+      [cls](const AttrKey& k) { return k.cls < cls; });
+  return static_cast<size_t>(it - base_keys_.begin());
+}
+
+size_t AttributeIndex::BaseBandEnd(AttrKey::Class cls) const {
+  const auto it = std::partition_point(
+      base_keys_.begin(), base_keys_.end(),
+      [cls](const AttrKey& k) { return k.cls <= cls; });
+  return static_cast<size_t>(it - base_keys_.begin());
+}
+
+size_t AttributeIndex::BaseLowerBound(const AttrKey& key) const {
+  const auto it = std::lower_bound(base_keys_.begin(), base_keys_.end(), key);
+  return static_cast<size_t>(it - base_keys_.begin());
+}
+
+size_t AttributeIndex::BaseUpperBound(const AttrKey& key) const {
+  const auto it = std::upper_bound(base_keys_.begin(), base_keys_.end(), key);
+  return static_cast<size_t>(it - base_keys_.begin());
+}
+
+size_t AttributeIndex::BaseFind(const AttrKey& key) const {
+  const size_t k = BaseLowerBound(key);
+  if (k < base_keys_.size() && base_keys_[k] == key) return k;
+  return base_keys_.size();
+}
+
 template <typename Fn>
-void AttributeIndex::ForEachMatchingBucket(CompareOp op, const AttrKey& key,
-                                           Fn&& fn) const {
+void AttributeIndex::ForEachMatchingPosting(CompareOp op, const AttrKey& key,
+                                            Fn&& fn) const {
+  const auto emit_delta = [&](const Posting& p) { fn(p.data(), p.size()); };
+  const auto emit_base = [&](size_t k) {
+    if (base_live_[k] != 0) {
+      fn(base_pool_.data() + base_offsets_[k],
+         static_cast<size_t>(base_live_[k]));
+    }
+  };
   // Keys of a different class are incomparable under CompareValues, so
-  // every operator is restricted to the operand's class band. The map
-  // is ordered by (class, value), making each band contiguous.
+  // every operator is restricted to the operand's class band. Both the
+  // ordered delta map and the base key array are ordered by
+  // (class, value), making each band contiguous.
   auto in_band = [&](const AttrKey& k) { return k.cls == key.cls; };
-  auto band_begin = [&] {
+  auto delta_band_begin = [&] {
     AttrKey band_lo;
     band_lo.cls = key.cls;
     band_lo.number = -std::numeric_limits<double>::infinity();
+    band_lo.text.clear();
     return ordered_.lower_bound(band_lo);
   };
 
   switch (op) {
-    // Equality and its complement are answered from the hash index;
-    // bucket iteration order does not matter because callers sort.
+    // Equality and its complement are answered by direct probes;
+    // posting order does not matter because callers sort.
     case CompareOp::kEq: {
       const auto it = hash_.find(key);
-      if (it != hash_.end()) fn(it->second);
+      if (it != hash_.end()) emit_delta(it->second);
+      const size_t k = BaseFind(key);
+      if (k != base_keys_.size()) emit_base(k);
       return;
     }
-    case CompareOp::kNe:
+    case CompareOp::kNe: {
       for (const auto& [k, posting] : hash_) {
-        if (k.cls == key.cls && !(k == key)) fn(posting);
+        if (k.cls == key.cls && !(k == key)) emit_delta(posting);
+      }
+      const size_t band_end = BaseBandEnd(key.cls);
+      for (size_t k = BaseBandBegin(key.cls); k < band_end; ++k) {
+        if (!(base_keys_[k] == key)) emit_base(k);
       }
       return;
+    }
     case CompareOp::kLt:
-    case CompareOp::kLe:
-      for (auto it = band_begin(); it != ordered_.end() && in_band(it->first);
-           ++it) {
+    case CompareOp::kLe: {
+      for (auto it = delta_band_begin();
+           it != ordered_.end() && in_band(it->first); ++it) {
         if (key < it->first) break;
         if (op == CompareOp::kLt && it->first == key) break;
-        fn(it->second);
+        emit_delta(*it->second);
       }
+      const size_t bound =
+          op == CompareOp::kLt ? BaseLowerBound(key) : BaseUpperBound(key);
+      for (size_t k = BaseBandBegin(key.cls); k < bound; ++k) emit_base(k);
       return;
+    }
     case CompareOp::kGt:
     case CompareOp::kGe: {
       auto it = op == CompareOp::kGe ? ordered_.lower_bound(key)
                                      : ordered_.upper_bound(key);
       for (; it != ordered_.end() && in_band(it->first); ++it) {
-        fn(it->second);
+        emit_delta(*it->second);
       }
+      const size_t band_end = BaseBandEnd(key.cls);
+      const size_t start =
+          op == CompareOp::kGe ? BaseLowerBound(key) : BaseUpperBound(key);
+      for (size_t k = start; k < band_end; ++k) emit_base(k);
       return;
     }
     case CompareOp::kContains:
@@ -156,8 +320,8 @@ std::optional<size_t> AttributeIndex::EstimateCount(
   // value, i.e. matches nothing; that is an exact (and free) answer.
   if (!key.has_value()) return 0;
   size_t count = NansMatch(op, *key) ? nan_ids_.size() : 0;
-  ForEachMatchingBucket(op, *key,
-                        [&](const Posting& p) { count += p.size(); });
+  ForEachMatchingPosting(op, *key,
+                         [&](const ObjectId*, size_t n) { count += n; });
   return count;
 }
 
@@ -167,19 +331,19 @@ std::optional<std::vector<ObjectId>> AttributeIndex::Eval(
   if (operand.is_null() || IsNanValue(operand)) return std::nullopt;
   const std::optional<AttrKey> key = AttrKey::FromValue(operand);
   if (!key.has_value()) return std::vector<ObjectId>();
-  std::vector<const Posting*> postings;
+  std::vector<std::pair<const ObjectId*, size_t>> postings;
   size_t total = 0;
   if (NansMatch(op, *key) && !nan_ids_.empty()) {
-    postings.push_back(&nan_ids_);
+    postings.emplace_back(nan_ids_.data(), nan_ids_.size());
     total += nan_ids_.size();
   }
-  ForEachMatchingBucket(op, *key, [&](const Posting& p) {
-    postings.push_back(&p);
-    total += p.size();
+  ForEachMatchingPosting(op, *key, [&](const ObjectId* ids, size_t n) {
+    postings.emplace_back(ids, n);
+    total += n;
   });
   std::vector<ObjectId> out;
   out.reserve(total);
-  for (const Posting* p : postings) out.insert(out.end(), p->begin(), p->end());
+  for (const auto& [ids, n] : postings) out.insert(out.end(), ids, ids + n);
   std::sort(out.begin(), out.end());
   return out;
 }

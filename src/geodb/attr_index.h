@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/status.h"
 #include "geodb/query.h"
 #include "geodb/value.h"
 
@@ -51,14 +52,22 @@ struct AttrKeyHash {
 
 /// Secondary index over one attribute of one class extent.
 ///
-/// Two structures are maintained side by side: a hash index serving
-/// equality (and its complement) in O(1) bucket lookups, and an
-/// ordered index serving range operators via in-order iteration.
-/// Postings are sorted id vectors, so planner-side intersection is a
-/// linear merge. Results are exact for `kEq`/`kNe`/`kLt`/`kLe`/`kGt`/
-/// `kGe` — matching residual evaluation bit for bit, including the
-/// "comparison error means no match" rule — so an index-answered
-/// predicate never needs re-checking. `kContains` is not indexable.
+/// Storage is split into a bulk-built *base* and an incremental
+/// *delta*. The base holds the postings of a BulkLoad (or a snapshot
+/// restore via FromSortedRuns) as three flat arrays — ascending keys,
+/// slice offsets, and one packed id pool — so building it is two
+/// contiguous sorts with no per-key node allocations, range scans walk
+/// sequential memory, and tearing it down is three frees. The delta is
+/// the node-based pair of a hash index (O(1) equality buckets) and an
+/// ordered map (range iteration) fed by post-load Inserts. Every query
+/// merges both sides; Remove edits whichever side holds the pair.
+/// Postings on both sides are sorted id runs, so planner-side
+/// intersection stays a linear merge.
+///
+/// Results are exact for `kEq`/`kNe`/`kLt`/`kLe`/`kGt`/`kGe` — matching
+/// residual evaluation bit for bit, including the "comparison error
+/// means no match" rule — so an index-answered predicate never needs
+/// re-checking. `kContains` is not indexable.
 ///
 /// Not internally synchronized; the owning GeoDatabase serializes
 /// writers and shares readers (see database.h).
@@ -70,13 +79,32 @@ class AttributeIndex {
   /// Removes `id` from the posting of `value`; ignores absent pairs.
   void Remove(ObjectId id, const Value& value);
 
+  /// One-shot equivalent of `Insert(id, *value)` over every pair,
+  /// built into the flat base: entries are key-normalized into one
+  /// contiguous row array, sorted once, and packed — no per-key
+  /// allocations. The pointed-to values only need to stay alive for
+  /// the duration of the call. On a non-empty index this composes
+  /// through the incremental path (callers reset the index first for
+  /// a full rebuild).
+  void BulkLoad(std::vector<std::pair<ObjectId, const Value*>> entries);
+
+  /// Builds an index directly from pre-sorted runs (the snapshot
+  /// restore path): `keys` strictly ascending, `offsets` of size
+  /// `keys.size() + 1` delimiting each key's id slice in `pool`, every
+  /// slice non-empty with strictly ascending non-zero ids, and
+  /// `nan_ids` strictly ascending. Invariants are validated — a
+  /// corrupt file produces an error, never a malformed index.
+  static agis::Result<AttributeIndex> FromSortedRuns(
+      std::vector<AttrKey> keys, std::vector<uint32_t> offsets,
+      std::vector<ObjectId> pool, std::vector<ObjectId> nan_ids);
+
   /// Whether `op` can be answered from this index at all.
   static bool SupportsOp(CompareOp op) { return op != CompareOp::kContains; }
 
   /// Cheap upper bound on the result size of `attribute <op> operand`;
   /// nullopt when the predicate cannot be answered here (the planner
-  /// then treats it as residual). kNe and ranges cost one ordered-map
-  /// walk over bucket *counts*, never over ids.
+  /// then treats it as residual). kNe and ranges cost one walk over
+  /// bucket *counts*, never over ids.
   std::optional<size_t> EstimateCount(CompareOp op, const Value& operand) const;
 
   /// Exact result ids (sorted ascending) of `attribute <op> operand`.
@@ -85,22 +113,51 @@ class AttributeIndex {
                                             const Value& operand) const;
 
   size_t entry_count() const { return entry_count_; }
-  size_t distinct_keys() const { return ordered_.size(); }
+  /// Distinct non-NaN keys. A key inserted after a bulk load that
+  /// duplicates a base key counts once per side (the delta never
+  /// checks the base), so this can overcount by the overlap; it is a
+  /// stats signal, not an exact cardinality.
+  size_t distinct_keys() const { return ordered_.size() + base_distinct_; }
 
  private:
   using Posting = std::vector<ObjectId>;
 
-  /// [first, last) ordered-map range matching `op` against `key`,
-  /// restricted to `key.cls` (cross-class keys are incomparable and
-  /// never match a range or inequality).
+  /// Invokes `fn(ids, count)` for every posting (delta bucket or live
+  /// base-slice prefix) matching `op` against `key`, restricted to
+  /// `key.cls` (cross-class keys are incomparable and never match a
+  /// range or inequality).
   template <typename Fn>
-  void ForEachMatchingBucket(CompareOp op, const AttrKey& key, Fn&& fn) const;
+  void ForEachMatchingPosting(CompareOp op, const AttrKey& key, Fn&& fn) const;
 
   /// Whether stored NaN values satisfy `op` against `key`'s class.
   static bool NansMatch(CompareOp op, const AttrKey& key);
 
+  // [begin, end) index range of `cls`'s band in base_keys_.
+  size_t BaseBandBegin(AttrKey::Class cls) const;
+  size_t BaseBandEnd(AttrKey::Class cls) const;
+  size_t BaseLowerBound(const AttrKey& key) const;
+  size_t BaseUpperBound(const AttrKey& key) const;
+  /// Index of `key` in base_keys_, or base_keys_.size() when absent.
+  size_t BaseFind(const AttrKey& key) const;
+
+  // ---- Delta: post-bulk incremental inserts ------------------------------
+  /// The hash index owns the postings (node-based, so posting
+  /// references stay valid across rehash); the ordered index points
+  /// at them. One posting per distinct key, shared by both views.
   std::unordered_map<AttrKey, Posting, AttrKeyHash> hash_;
-  std::map<AttrKey, Posting> ordered_;
+  std::map<AttrKey, Posting*> ordered_;
+
+  // ---- Base: flat bulk-loaded storage ------------------------------------
+  /// base_keys_ ascending; key k's ids sit in base_pool_[
+  /// base_offsets_[k], base_offsets_[k+1]) of which the first
+  /// base_live_[k] are live (Remove compacts the slice prefix and
+  /// zero-fills the tail). base_offsets_ has keys+1 entries.
+  std::vector<AttrKey> base_keys_;
+  std::vector<uint32_t> base_offsets_;
+  std::vector<uint32_t> base_live_;
+  std::vector<ObjectId> base_pool_;
+  size_t base_distinct_ = 0;  // Keys with a non-empty live prefix.
+
   /// NaN doubles sit outside the ordered key space (they would break
   /// the map's strict weak ordering) but CompareValues(NaN, x) == 0
   /// for every numeric x, so they match kEq/kLe/kGe against any

@@ -1,7 +1,10 @@
 #include "geodb/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 
 #include "base/strutil.h"
 #include "base/thread_pool.h"
@@ -79,8 +82,16 @@ agis::Status GeoDatabase::RegisterClass(ClassDef cls) {
       extent.attr_indexes.emplace(a.name, AttributeIndex());
     }
   }
-  std::unique_lock lock(data_mutex_);
-  extents_.emplace(name, std::move(extent));
+  {
+    std::unique_lock lock(data_mutex_);
+    // A class registered mid-bulk-restore starts empty, so its
+    // collected spatial entries are exact by construction.
+    extent.bulk_exact = bulk_restore_;
+    extents_.emplace(name, std::move(extent));
+  }
+  if (schema_change_hook_) {
+    schema_change_hook_(*schema_.FindClass(name));
+  }
   return agis::Status::OK();
 }
 
@@ -638,6 +649,7 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
   bool used_spatial_index = false;
   bool used_full_scan = false;
   bool used_parallel_scan = false;
+  size_t paths_skipped = 0;
 
   /// Per-class residual work, carrying pinned version pointers so the
   /// scan can run with the data lock released.
@@ -694,15 +706,52 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
         used_spatial_index = true;
       }
 
+      // Estimate every indexable predicate first and order the access
+      // paths most-selective-first, so id sets materialize (and the
+      // intersection narrows) cheapest-first. Paths whose estimate
+      // exceeds the selectivity cutoff are not materialized at all —
+      // intersecting a near-complete id list costs more than letting
+      // the residual filter the few candidates that survive the
+      // selective paths.
+      struct PlannedPath {
+        size_t predicate;
+        size_t estimate;
+        const AttributeIndex* index;
+      };
+      std::vector<PlannedPath> planned;
       for (size_t p = 0; p < options.predicates.size(); ++p) {
         const AttrPredicate& pred = options.predicates[p];
         const auto it = extent.attr_indexes.find(pred.attribute);
         if (it == extent.attr_indexes.end()) continue;
-        auto ids = it->second.Eval(pred.op, pred.operand);
-        if (!ids.has_value()) continue;  // Degenerate operand: residual.
-        applied[p] = true;
+        const auto estimate = it->second.EstimateCount(pred.op, pred.operand);
+        if (!estimate.has_value()) continue;  // Degenerate operand: residual.
+        planned.push_back({p, *estimate, &it->second});
+      }
+      std::sort(planned.begin(), planned.end(),
+                [](const PlannedPath& a, const PlannedPath& b) {
+                  return a.estimate < b.estimate;
+                });
+      const size_t cutoff_count = static_cast<size_t>(
+          static_cast<double>(extent.ids.size()) *
+          options_.index_path_selectivity_cutoff);
+      for (const PlannedPath& path : planned) {
+        // Above the cutoff a path is only worth materializing when it
+        // would be the sole access path (it still beats a full extent
+        // scan, barely).
+        if (path.estimate > cutoff_count && !paths.empty()) {
+          ++paths_skipped;
+          continue;
+        }
+        auto ids = path.index->Eval(options.predicates[path.predicate].op,
+                                    options.predicates[path.predicate].operand);
+        if (!ids.has_value()) continue;
+        applied[path.predicate] = true;
         used_attr_index = true;
+        const bool empty = ids->empty();
         paths.push_back(std::move(*ids));
+        // The most selective path came up empty: the intersection is
+        // empty no matter what, so skip materializing the rest.
+        if (empty) break;
       }
 
       // ---- Choose candidates: intersect paths, else the whole extent ----
@@ -794,6 +843,7 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
     if (used_spatial_index) ++stats_.spatial_index_queries;
     if (used_full_scan) ++stats_.full_extent_scans;
     if (used_parallel_scan) ++stats_.parallel_scans;
+    stats_.index_paths_skipped += paths_skipped;
   }
   return out;
 }
@@ -909,7 +959,12 @@ agis::Result<const ObjectInstance*> GeoDatabase::GetValueAt(
 agis::Result<Value> GeoDatabase::GetAttributeValue(ObjectId id,
                                                    const std::string& attribute,
                                                    const UserContext& ctx) {
+  // The legacy call is safe here: the pointer is consumed before
+  // returning, while no write can retire it under this caller.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   AGIS_ASSIGN_OR_RETURN(const ObjectInstance* obj, GetValue(id, ctx));
+#pragma GCC diagnostic pop
   if (schema_.FindAttributeOf(obj->class_name(), attribute) == nullptr) {
     return agis::Status::NotFound(
         agis::StrCat("class '", obj->class_name(), "' has no attribute '",
@@ -918,33 +973,62 @@ agis::Result<Value> GeoDatabase::GetAttributeValue(ObjectId id,
   return obj->Get(attribute);
 }
 
-agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
+agis::Status GeoDatabase::ValidateRestored(
+    const std::vector<AttributeDef>& attrs, const ObjectInstance& obj) const {
+  for (const auto& [attr_name, value] : obj.values()) {
+    const AttributeDef* def = nullptr;
+    for (const AttributeDef& a : attrs) {
+      if (a.name == attr_name) {
+        def = &a;
+        break;
+      }
+    }
+    if (def == nullptr) {
+      return agis::Status::NotFound(
+          agis::StrCat("class '", obj.class_name(), "' has no attribute '",
+                       attr_name, "'"));
+    }
+    AGIS_RETURN_IF_ERROR(
+        CheckValueType(schema_, *def, value).WithContext(obj.class_name()));
+  }
+  for (const AttributeDef& a : attrs) {
+    if (!a.required) continue;
+    if (obj.Get(a.name).is_null()) {
+      return agis::Status::InvalidArgument(
+          agis::StrCat("required attribute '", a.name, "' of class '",
+                       obj.class_name(), "' missing"));
+    }
+  }
+  return agis::Status::OK();
+}
+
+agis::Status GeoDatabase::RestoreOneLocked(
+    ObjectInstance obj, const std::vector<AttributeDef>& attrs,
+    Extent* extent) {
   if (obj.id() == 0) {
     return agis::Status::InvalidArgument("restored object needs an id");
   }
-  std::vector<std::pair<std::string, Value>> values(obj.values().begin(),
-                                                    obj.values().end());
-  AGIS_RETURN_IF_ERROR(ValidateAgainstSchema(obj.class_name(), values));
-  std::unique_lock lock(data_mutex_);
+  AGIS_RETURN_IF_ERROR(ValidateRestored(attrs, obj));
   // A tombstoned chain may linger while snapshots pin it; restoring
   // the same id then pushes a live version onto the existing chain.
   if (CurrentLocked(obj.id()) != nullptr) {
     return agis::Status::AlreadyExists(
         agis::StrCat("object ", obj.id(), " already exists"));
   }
-  auto extent_it = extents_.find(obj.class_name());
-  if (extent_it == extents_.end()) {
-    return agis::Status::NotFound(
-        agis::StrCat("class '", obj.class_name(), "'"));
-  }
-  Extent& extent = extent_it->second;
   const ObjectId id = obj.id();
   const uint64_t write_epoch = ++current_epoch_;
-  if (!bulk_restore_) {
-    IndexGeometry(&extent, id, obj.Get(extent.geometry_attr));
-    IndexAttributes(&extent, obj);
+  if (bulk_restore_) {
+    if (extent->bulk_exact && !extent->geometry_attr.empty()) {
+      const Value& gv = obj.Get(extent->geometry_attr);
+      if (!gv.is_null()) {
+        extent->bulk_entries.push_back({id, gv.geometry_value().Bounds()});
+      }
+    }
+  } else {
+    IndexGeometry(extent, id, obj.Get(extent->geometry_attr));
+    IndexAttributes(extent, obj);
   }
-  extent.ids.push_back(id);
+  extent->ids.push_back(id);
   PushVersionLocked(id, write_epoch,
                     std::make_shared<const ObjectInstance>(std::move(obj)));
   ++live_objects_;
@@ -953,23 +1037,236 @@ agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
   return agis::Status::OK();
 }
 
-void GeoDatabase::BeginBulkRestore() {
+agis::Status GeoDatabase::RestoreObject(ObjectInstance obj) {
+  if (obj.id() == 0) {
+    return agis::Status::InvalidArgument("restored object needs an id");
+  }
+  std::vector<AttributeDef> attrs;
+  AGIS_ASSIGN_OR_RETURN(attrs, schema_.AllAttributesOf(obj.class_name()));
+  std::unique_lock lock(data_mutex_);
+  const auto extent_it = extents_.find(obj.class_name());
+  if (extent_it == extents_.end()) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", obj.class_name(), "'"));
+  }
+  return RestoreOneLocked(std::move(obj), attrs, &extent_it->second);
+}
+
+agis::Status GeoDatabase::RestoreObjects(std::vector<ObjectInstance> objects) {
+  if (objects.empty()) return agis::Status::OK();
+  std::unique_lock lock(data_mutex_);
+  // Snapshot blocks arrive grouped by class; resolve the schema and
+  // extent once per run of same-class records. No per-run reserve
+  // calls here: a reserve sized to "current + this block" pins the
+  // capacity to exactly that, so the next block reallocates the whole
+  // vector (or rehashes the whole table) again — quadratic across a
+  // blocked restore. Geometric push_back growth is amortized O(1),
+  // and BeginBulkRestore reserves the full expected totals up front.
+  std::string run_class;
+  std::vector<AttributeDef> attrs;
+  Extent* extent = nullptr;
+  for (ObjectInstance& obj : objects) {
+    if (extent == nullptr || obj.class_name() != run_class) {
+      run_class = obj.class_name();
+      AGIS_ASSIGN_OR_RETURN(attrs, schema_.AllAttributesOf(run_class));
+      const auto extent_it = extents_.find(run_class);
+      if (extent_it == extents_.end()) {
+        return agis::Status::NotFound(agis::StrCat("class '", run_class, "'"));
+      }
+      extent = &extent_it->second;
+    }
+    AGIS_RETURN_IF_ERROR(RestoreOneLocked(std::move(obj), attrs, extent));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status GeoDatabase::RestoreUpdate(ObjectId id,
+                                        const std::string& attribute,
+                                        Value value) {
+  std::unique_lock lock(data_mutex_);
+  const ObjectInstance* current = CurrentLocked(id);
+  if (current == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  const AttributeDef* def =
+      schema_.FindAttributeOf(current->class_name(), attribute);
+  if (def == nullptr) {
+    return agis::Status::NotFound(
+        agis::StrCat("class '", current->class_name(),
+                     "' has no attribute '", attribute, "'"));
+  }
+  AGIS_RETURN_IF_ERROR(CheckValueType(schema_, *def, value));
+  const uint64_t write_epoch = ++current_epoch_;
+  Extent& extent = extents_.at(current->class_name());
+  if (bulk_restore_) {
+    // Mid-bulk mutation: the collected entries no longer mirror the
+    // extent; FinishBulkRestore falls back to a full re-walk.
+    extent.bulk_exact = false;
+    extent.bulk_entries = {};
+  }
+  auto next = std::make_shared<ObjectInstance>(*current);
+  const Value& stored = current->Get(attribute);
+  if (attribute == extent.geometry_attr) {
+    extent.index->Remove(id);
+  }
+  const auto attr_index_it = extent.attr_indexes.find(attribute);
+  if (attr_index_it != extent.attr_indexes.end()) {
+    attr_index_it->second.Remove(id, stored);
+  }
+  next->Set(attribute, std::move(value));
+  if (attribute == extent.geometry_attr) {
+    IndexGeometry(&extent, id, next->Get(attribute));
+  }
+  if (attr_index_it != extent.attr_indexes.end()) {
+    attr_index_it->second.Insert(id, next->Get(attribute));
+  }
+  PushVersionLocked(id, write_epoch, std::move(next));
+  ReclaimVersionsLocked();
+  return agis::Status::OK();
+}
+
+agis::Status GeoDatabase::RestoreDelete(ObjectId id) {
+  std::unique_lock lock(data_mutex_);
+  const ObjectInstance* current = CurrentLocked(id);
+  if (current == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("object ", id));
+  }
+  const uint64_t write_epoch = ++current_epoch_;
+  Extent& extent = extents_.at(current->class_name());
+  if (bulk_restore_) {
+    extent.bulk_exact = false;
+    extent.bulk_entries = {};
+  }
+  extent.index->Remove(id);
+  UnindexAttributes(&extent, *current);
+  extent.ids.erase(std::remove(extent.ids.begin(), extent.ids.end(), id),
+                   extent.ids.end());
+  extent.dead.emplace_back(write_epoch, id);
+  ++dead_entries_;
+  PushVersionLocked(id, write_epoch, nullptr);  // Tombstone.
+  --live_objects_;
+  ReclaimVersionsLocked();
+  return agis::Status::OK();
+}
+
+void GeoDatabase::BeginBulkRestore(size_t expected_objects) {
   std::unique_lock lock(data_mutex_);
   bulk_restore_ = true;
+  if (expected_objects > 0) {
+    objects_.reserve(objects_.size() + expected_objects);
+  }
+  for (auto& [name, extent] : extents_) {
+    // Only an extent that is empty now can promise its collected
+    // entries mirror it exactly at finish time.
+    extent.bulk_exact = extent.ids.empty();
+    extent.bulk_entries.clear();
+    extent.bulk_installed.clear();
+  }
+}
+
+agis::Status GeoDatabase::InstallAttributeIndex(const std::string& class_name,
+                                                const std::string& attribute,
+                                                AttributeIndex index) {
+  std::unique_lock lock(data_mutex_);
+  if (!bulk_restore_) {
+    return agis::Status::InvalidArgument(
+        "attribute indexes can only be installed during a bulk restore");
+  }
+  const auto extent_it = extents_.find(class_name);
+  if (extent_it == extents_.end()) {
+    return agis::Status::NotFound(agis::StrCat("class '", class_name, "'"));
+  }
+  Extent& extent = extent_it->second;
+  const auto index_it = extent.attr_indexes.find(attribute);
+  if (index_it == extent.attr_indexes.end()) {
+    // This database does not index the attribute; drop the payload.
+    return agis::Status::OK();
+  }
+  // Every indexed id must name a restored object; the index never
+  // holds more entries than the extent has instances.
+  if (index.entry_count() > extent.ids.size()) {
+    return agis::Status::ParseError(agis::StrCat(
+        "attribute index '", class_name, ".", attribute, "' holds ",
+        index.entry_count(), " entries for an extent of ",
+        extent.ids.size(), " objects"));
+  }
+  index_it->second = std::move(index);
+  extent.bulk_installed.insert(attribute);
+  return agis::Status::OK();
+}
+
+std::vector<std::string> GeoDatabase::IndexedAttributes(
+    const std::string& class_name) const {
+  std::shared_lock lock(data_mutex_);
+  std::vector<std::string> names;
+  const auto it = extents_.find(class_name);
+  if (it == extents_.end()) return names;
+  names.reserve(it->second.attr_indexes.size());
+  for (const auto& [attr, index] : it->second.attr_indexes) {
+    names.push_back(attr);
+  }
+  return names;
 }
 
 agis::Status GeoDatabase::FinishBulkRestore() {
   std::unique_lock lock(data_mutex_);
   if (!bulk_restore_) return agis::Status::OK();
   bulk_restore_ = false;
+  const bool timing = std::getenv("AGIS_RESTORE_TIMING") != nullptr;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto& [class_name, extent] : extents_) {
-    RebuildExtentSpatialIndexLocked(class_name, &extent);
+    if (extent.bulk_exact && !extent.geometry_attr.empty()) {
+      // Entries were collected as the objects arrived; hand them
+      // straight to the STR bulk loader instead of re-walking the
+      // extent through the version store.
+      extent.index = MakeIndex();
+      extent.index->BulkLoad(std::move(extent.bulk_entries));
+      std::lock_guard stats_lock(stats_mutex_);
+      ++stats_.bulk_index_builds;
+      stats_.index_quality[class_name] = extent.index->Quality();
+    } else if (!extent.bulk_exact) {
+      RebuildExtentSpatialIndexLocked(class_name, &extent);
+    }
+    extent.bulk_entries = {};
+    extent.bulk_exact = false;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& [class_name, extent] : extents_) {
+    // Indexes installed pre-built (snapshot index sections) were
+    // maintained incrementally through any mid-bulk mutations; only
+    // the rest need a rebuild from the version store.
+    std::vector<AttributeIndex*> rebuild;
+    std::vector<const std::string*> rebuild_attrs;
     for (auto& [attr, index] : extent.attr_indexes) {
-      index = AttributeIndex();
-      for (ObjectId id : extent.ids) {
-        index.Insert(id, CurrentLocked(id)->Get(attr));
+      if (extent.bulk_installed.count(attr) == 0) {
+        rebuild.push_back(&index);
+        rebuild_attrs.push_back(&attr);
       }
     }
+    extent.bulk_installed.clear();
+    if (rebuild.empty() || extent.ids.empty()) continue;
+    // One version-store probe per object feeds every attribute
+    // column, and each index is built with one sort instead of
+    // per-entry tree inserts.
+    std::vector<std::vector<std::pair<ObjectId, const Value*>>> columns(
+        rebuild.size());
+    for (auto& column : columns) column.reserve(extent.ids.size());
+    for (ObjectId id : extent.ids) {
+      const ObjectInstance* obj = CurrentLocked(id);
+      for (size_t column = 0; column < rebuild.size(); ++column) {
+        columns[column].emplace_back(id, &obj->Get(*rebuild_attrs[column]));
+      }
+    }
+    for (size_t column = 0; column < rebuild.size(); ++column) {
+      *rebuild[column] = AttributeIndex();
+      rebuild[column]->BulkLoad(std::move(columns[column]));
+    }
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  if (timing) {
+    std::fprintf(stderr, "[finish_bulk] spatial=%.1fms attr=%.1fms\n",
+                 std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                 std::chrono::duration<double, std::milli>(t2 - t1).count());
   }
   ReclaimVersionsLocked();
   return agis::Status::OK();

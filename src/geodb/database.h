@@ -1,6 +1,7 @@
 #ifndef AGIS_GEODB_DATABASE_H_
 #define AGIS_GEODB_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,14 @@ struct DatabaseOptions {
   /// spread across the query thread pool (see set_query_pool); scans
   /// smaller than two partitions stay on the calling thread.
   size_t parallel_scan_partition = 4096;
+  /// Get_Class planner: an attribute-index access path whose estimated
+  /// match count (AttributeIndex::EstimateCount) exceeds this fraction
+  /// of the extent is not materialized — intersecting a near-complete
+  /// id list costs more than letting the residual filter handle the
+  /// predicate. Paths are estimated and ordered most-selective-first
+  /// before any id set is built. 1.0 restores the old always-
+  /// materialize behavior.
+  double index_path_selectivity_cutoff = 0.5;
 };
 
 /// Cumulative operation counters, for tests and benches. Counter
@@ -77,6 +86,10 @@ struct DatabaseStats {
   uint64_t full_extent_scans = 0;
   /// Residual scans partitioned across the query thread pool.
   uint64_t parallel_scans = 0;
+  /// Attribute-index access paths the planner declined to materialize
+  /// because their estimated selectivity exceeded the cutoff (the
+  /// predicate ran in the residual instead).
+  uint64_t index_paths_skipped = 0;
   /// STR bulk (re)builds of spatial indexes.
   uint64_t bulk_index_builds = 0;
 
@@ -261,6 +274,9 @@ class GeoDatabase {
   /// `Get_Value`: one full instance. DEPRECATED pointer contract (see
   /// class comment): valid only until the next write touching `id`.
   /// Prefer GetValueAt.
+  [[deprecated(
+      "raw-pointer contract (valid only until the next write); "
+      "open a snapshot and use GetValueAt")]]
   agis::Result<const ObjectInstance*> GetValue(
       ObjectId id, const UserContext& ctx = UserContext());
 
@@ -287,11 +303,53 @@ class GeoDatabase {
   /// STR pass at the end.
   agis::Status RestoreObject(ObjectInstance obj);
 
-  /// Enters bulk-restore mode: RestoreObject defers all indexing.
-  void BeginBulkRestore();
+  /// Batch form of RestoreObject: one lock acquisition for the whole
+  /// block (the unit a parallel snapshot loader hands over), with the
+  /// schema resolved once per run of same-class records instead of
+  /// per object.
+  agis::Status RestoreObjects(std::vector<ObjectInstance> objects);
 
-  /// Leaves bulk-restore mode: rebuilds every extent's spatial index
-  /// with one STR bulk load and repopulates attribute indexes.
+  /// WAL-replay form of Update: same copy-on-write mutation and index
+  /// maintenance, but no event sinks, no veto, and no buffer
+  /// invalidation (recovery runs before sessions attach). NotFound
+  /// when the object does not exist — replayers treat that as an
+  /// idempotent-redo skip.
+  agis::Status RestoreUpdate(ObjectId id, const std::string& attribute,
+                             Value value);
+
+  /// WAL-replay form of Delete: tombstones without events. NotFound
+  /// when already absent (idempotent-redo skip).
+  agis::Status RestoreDelete(ObjectId id);
+
+  /// Enters bulk-restore mode: RestoreObject defers all indexing
+  /// (spatial entries are still collected as objects arrive, so the
+  /// closing STR build does not re-walk the extents). A loader that
+  /// knows its object count passes it to pre-size the version store.
+  void BeginBulkRestore(size_t expected_objects = 0);
+
+  /// Hands a pre-built attribute index over during bulk restore (the
+  /// snapshot loader decodes persisted index runs instead of
+  /// re-deriving them from records). Only valid between
+  /// BeginBulkRestore and FinishBulkRestore, and only after every
+  /// record the index covers has been restored — the loader's section
+  /// order guarantees this. The install is dropped (OK, not an error)
+  /// when `attribute` is not indexed on this database, so index
+  /// sections written under different index options load cleanly.
+  /// Installed indexes are maintained incrementally by RestoreUpdate /
+  /// RestoreDelete and skipped by FinishBulkRestore's rebuild.
+  agis::Status InstallAttributeIndex(const std::string& class_name,
+                                     const std::string& attribute,
+                                     AttributeIndex index);
+
+  /// Names of the attributes of `class_name` carrying a secondary
+  /// index (the checkpoint writer persists exactly these).
+  std::vector<std::string> IndexedAttributes(
+      const std::string& class_name) const;
+
+  /// Leaves bulk-restore mode: builds every extent's spatial index
+  /// with one STR bulk load (from the entries collected during the
+  /// restore when possible) and sort-builds the attribute indexes
+  /// that were not installed pre-built.
   agis::Status FinishBulkRestore();
 
   /// Rebuilds every extent's spatial index from current contents via
@@ -304,6 +362,9 @@ class GeoDatabase {
   /// Object lookup without emitting Get_Value (used by renderers that
   /// already hold a ClassResult). DEPRECATED pointer contract: valid
   /// only until the next write touching `id`. Prefer FindObjectAt.
+  [[deprecated(
+      "raw-pointer contract (valid only until the next write); "
+      "open a snapshot and use FindObjectAt")]]
   const ObjectInstance* FindObject(ObjectId id) const;
 
   /// Object lookup against `snapshot`'s version set; nullptr when the
@@ -345,6 +406,14 @@ class GeoDatabase {
   /// or a saturated pool can deadlock waiting on its own queue.
   void set_query_pool(agis::ThreadPool* pool) { query_pool_ = pool; }
 
+  /// Observer invoked after every successful RegisterClass (schema
+  /// changes carry no DbEvent; durable storage logs them through
+  /// this). Setup-phase API like AddEventSink: install before going
+  /// concurrent. Pass nullptr to detach.
+  void set_schema_change_hook(std::function<void(const ClassDef&)> hook) {
+    schema_change_hook_ = std::move(hook);
+  }
+
   BufferPool& buffer_pool() { return buffer_pool_; }
   /// A consistent copy of the counters, taken under their lock (safe
   /// to call while other threads operate on the database).
@@ -383,6 +452,17 @@ class GeoDatabase {
     /// ascending; ScanExtentAt resurrects these for older snapshots.
     /// Pruned by reclamation once no snapshot predates the removal.
     std::vector<std::pair<uint64_t, ObjectId>> dead;
+    /// Bulk-restore collection: spatial entries gathered as objects
+    /// arrive, consumed by FinishBulkRestore's STR build. `bulk_exact`
+    /// means they mirror the extent exactly (the extent was empty when
+    /// bulk mode began and saw only inserts since); otherwise the
+    /// finish pass falls back to re-walking the extent.
+    std::vector<spatial::IndexEntry> bulk_entries;
+    bool bulk_exact = false;
+    /// Attribute names whose index arrived pre-built via
+    /// InstallAttributeIndex during the current bulk restore;
+    /// FinishBulkRestore leaves these alone and clears the set.
+    std::set<std::string> bulk_installed;
   };
 
   std::unique_ptr<spatial::SpatialIndex> MakeIndex() const;
@@ -394,6 +474,17 @@ class GeoDatabase {
   agis::Status ValidateAgainstSchema(
       const std::string& class_name,
       const std::vector<std::pair<std::string, Value>>& values) const;
+  /// RestoreObject's validation against a pre-resolved attribute set:
+  /// same checks as ValidateAgainstSchema, but by reference over the
+  /// instance's own values (no copies, no per-object schema walk).
+  agis::Status ValidateRestored(const std::vector<AttributeDef>& attrs,
+                                const ObjectInstance& obj) const;
+  /// Requires the exclusive lock. The shared tail of RestoreObject /
+  /// RestoreObjects: validates `obj` against `attrs`, installs it in
+  /// `extent`, and maintains (or defers) index state.
+  agis::Status RestoreOneLocked(ObjectInstance obj,
+                                const std::vector<AttributeDef>& attrs,
+                                Extent* extent);
   void IndexGeometry(Extent* extent, ObjectId id, const Value& geometry_value);
   /// Adds/removes `id` in every attribute index of `extent`.
   void IndexAttributes(Extent* extent, const ObjectInstance& obj);
@@ -478,6 +569,7 @@ class GeoDatabase {
   mutable std::multiset<uint64_t> pinned_epochs_;
 
   std::vector<DbEventSink*> sinks_;
+  std::function<void(const ClassDef&)> schema_change_hook_;
   BufferPool buffer_pool_;
   agis::ThreadPool* query_pool_ = nullptr;
 

@@ -1,5 +1,7 @@
 #include "geodb/object.h"
 
+#include <algorithm>
+
 namespace agis::geodb {
 
 namespace {
@@ -40,9 +42,42 @@ size_t ValueSizeBytes(const Value& v) {
 }
 }  // namespace
 
+std::vector<std::pair<std::string, Value>>::const_iterator
+ObjectInstance::LowerBound(const std::string& attr) const {
+  return std::lower_bound(
+      values_.begin(), values_.end(), attr,
+      [](const std::pair<std::string, Value>& entry, const std::string& name) {
+        return entry.first < name;
+      });
+}
+
 const Value& ObjectInstance::Get(const std::string& attr) const {
-  auto it = values_.find(attr);
-  return it == values_.end() ? NullValue() : it->second;
+  const auto it = LowerBound(attr);
+  return it == values_.end() || it->first != attr ? NullValue() : it->second;
+}
+
+void ObjectInstance::Set(const std::string& attr, Value value) {
+  const auto it = LowerBound(attr);
+  if (it != values_.end() && it->first == attr) {
+    // const_iterator -> iterator via index; the vector is ours.
+    values_[static_cast<size_t>(it - values_.begin())].second =
+        std::move(value);
+    return;
+  }
+  values_.emplace(it, attr, std::move(value));
+}
+
+void ObjectInstance::SetOrdered(std::string attr, Value value) {
+  if (values_.empty() || values_.back().first < attr) {
+    values_.emplace_back(std::move(attr), std::move(value));
+    return;
+  }
+  Set(attr, std::move(value));
+}
+
+bool ObjectInstance::Has(const std::string& attr) const {
+  const auto it = LowerBound(attr);
+  return it != values_.end() && it->first == attr;
 }
 
 size_t ObjectInstance::ApproxSizeBytes() const {

@@ -1,8 +1,9 @@
 #ifndef AGIS_GEODB_OBJECT_H_
 #define AGIS_GEODB_OBJECT_H_
 
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "geodb/value.h"
 
@@ -10,6 +11,13 @@ namespace agis::geodb {
 
 /// A stored instance: identity, class membership, and attribute
 /// values. Unset attributes read as null.
+///
+/// Values live in a flat vector sorted by attribute name: instances
+/// carry a handful of attributes, where binary search beats a
+/// node-based map on every lookup, the pairs stay contiguous for
+/// scans, and a whole instance costs one allocation instead of one
+/// per attribute — the difference between a bulk restore that walks
+/// the heap and one that streams.
 class ObjectInstance {
  public:
   ObjectInstance() = default;
@@ -22,24 +30,36 @@ class ObjectInstance {
   /// Null when the attribute has never been set.
   const Value& Get(const std::string& attr) const;
 
-  void Set(const std::string& attr, Value value) {
-    values_[attr] = std::move(value);
-  }
+  /// Sets or replaces `attr`.
+  void Set(const std::string& attr, Value value);
 
-  bool Has(const std::string& attr) const {
-    return values_.count(attr) != 0;
-  }
+  /// Set for loaders that stream attributes in ascending name order
+  /// (the persist codecs write values() order): O(1) append on the
+  /// expected path, falling back to Set when called out of order.
+  void SetOrdered(std::string attr, Value value);
 
-  const std::map<std::string, Value>& values() const { return values_; }
+  bool Has(const std::string& attr) const;
+
+  /// Grows the value storage ahead of `n` Set/SetOrdered calls.
+  void ReserveValues(size_t n) { values_.reserve(n); }
+
+  /// Attribute/value pairs, ascending by attribute name.
+  const std::vector<std::pair<std::string, Value>>& values() const {
+    return values_;
+  }
 
   /// Rough memory footprint in bytes, used by the buffer manager to
   /// charge cached result sets.
   size_t ApproxSizeBytes() const;
 
  private:
+  /// Position of `attr` (or of the first greater name when absent).
+  std::vector<std::pair<std::string, Value>>::const_iterator LowerBound(
+      const std::string& attr) const;
+
   ObjectId id_ = 0;
   std::string class_name_;
-  std::map<std::string, Value> values_;
+  std::vector<std::pair<std::string, Value>> values_;
 };
 
 }  // namespace agis::geodb

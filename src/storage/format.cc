@@ -1,0 +1,521 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+#include "base/strutil.h"
+#include "geom/geometry.h"
+
+namespace agis::storage {
+
+namespace {
+
+/// Lazily-built reflected CRC-32 tables (polynomial 0xEDB88320),
+/// slice-by-8: table[0] is the classic byte-at-a-time table, tables
+/// 1..7 fold 8 input bytes per step so hashing runs at memory speed
+/// instead of one table lookup per byte — snapshot load verifies the
+/// whole file, so this is on the restore critical path.
+using Crc32TableSet = uint32_t[8][256];
+
+const Crc32TableSet& Crc32Tables() {
+  static const Crc32TableSet* tables = [] {
+    static Crc32TableSet t;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int slice = 1; slice < 8; ++slice) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[slice][i] = c;
+      }
+    }
+    return &t;
+  }();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const Crc32TableSet& t = Crc32Tables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xFF] ^ t[6][(c >> 8) & 0xFF] ^ t[5][(c >> 16) & 0xFF] ^
+        t[4][c >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+        t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    c = t[0][(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Encoder ---------------------------------------------------------------
+
+void Encoder::U32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_.append(buf, 4);
+}
+
+void Encoder::U64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_.append(buf, 8);
+}
+
+void Encoder::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Encoder::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+// ---- Decoder ---------------------------------------------------------------
+
+agis::Status Decoder::Error(const std::string& message) const {
+  return agis::Status::ParseError(
+      agis::StrCat("binary format at byte ", pos_, ": ", message));
+}
+
+agis::Result<uint8_t> Decoder::U8(const char* what) {
+  if (remaining() < 1) return Error(agis::StrCat("truncated ", what));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+agis::Result<uint32_t> Decoder::U32(const char* what) {
+  if (remaining() < 4) return Error(agis::StrCat("truncated ", what));
+  uint32_t v = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The wire format is little-endian, so on LE hosts the fixed-width
+  // reads are plain loads — these run once per integer of a
+  // million-object restore.
+  std::memcpy(&v, data_.data() + pos_, 4);
+#else
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+#endif
+  pos_ += 4;
+  return v;
+}
+
+agis::Result<uint64_t> Decoder::U64(const char* what) {
+  if (remaining() < 8) return Error(agis::StrCat("truncated ", what));
+  uint64_t v = 0;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  std::memcpy(&v, data_.data() + pos_, 8);
+#else
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+#endif
+  pos_ += 8;
+  return v;
+}
+
+agis::Result<double> Decoder::F64(const char* what) {
+  AGIS_ASSIGN_OR_RETURN(uint64_t bits, U64(what));
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+agis::Result<std::string> Decoder::Str(const char* what) {
+  AGIS_ASSIGN_OR_RETURN(uint32_t len, U32(what));
+  if (remaining() < len) {
+    return Error(agis::StrCat("string length ", len, " for ", what,
+                              " exceeds remaining ", remaining(), " bytes"));
+  }
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+agis::Result<std::string_view> Decoder::Raw(size_t n, const char* what) {
+  if (remaining() < n) return Error(agis::StrCat("truncated ", what));
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+agis::Result<uint32_t> Decoder::Count(const char* what,
+                                      size_t min_element_bytes) {
+  AGIS_ASSIGN_OR_RETURN(uint32_t count, U32(what));
+  const size_t floor = min_element_bytes == 0 ? 1 : min_element_bytes;
+  if (static_cast<size_t>(count) > remaining() / floor + 1) {
+    return Error(agis::StrCat("count ", count, " for ", what,
+                              " exceeds remaining ", remaining(), " bytes"));
+  }
+  return count;
+}
+
+// ---- Geometry --------------------------------------------------------------
+
+namespace {
+
+void EncodePoints(const std::vector<geom::Point>& pts, Encoder* enc) {
+  enc->U32(static_cast<uint32_t>(pts.size()));
+  for (const geom::Point& p : pts) {
+    enc->F64(p.x);
+    enc->F64(p.y);
+  }
+}
+
+agis::Result<std::vector<geom::Point>> DecodePoints(Decoder* dec) {
+  AGIS_ASSIGN_OR_RETURN(uint32_t n, dec->Count("point count", 16));
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    geom::Point p;
+    AGIS_ASSIGN_OR_RETURN(p.x, dec->F64("point x"));
+    AGIS_ASSIGN_OR_RETURN(p.y, dec->F64("point y"));
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void EncodeGeometry(const geom::Geometry& g, Encoder* enc) {
+  enc->U8(static_cast<uint8_t>(g.kind()));
+  switch (g.kind()) {
+    case geom::GeometryKind::kPoint:
+      enc->F64(g.point().x);
+      enc->F64(g.point().y);
+      break;
+    case geom::GeometryKind::kLineString:
+      EncodePoints(g.linestring().points, enc);
+      break;
+    case geom::GeometryKind::kPolygon: {
+      EncodePoints(g.polygon().outer, enc);
+      enc->U32(static_cast<uint32_t>(g.polygon().holes.size()));
+      for (const auto& hole : g.polygon().holes) EncodePoints(hole, enc);
+      break;
+    }
+    case geom::GeometryKind::kMultiPoint:
+      EncodePoints(g.multipoint(), enc);
+      break;
+  }
+}
+
+agis::Result<geom::Geometry> DecodeGeometry(Decoder* dec) {
+  AGIS_ASSIGN_OR_RETURN(uint8_t kind, dec->U8("geometry kind"));
+  switch (static_cast<geom::GeometryKind>(kind)) {
+    case geom::GeometryKind::kPoint: {
+      geom::Point p;
+      AGIS_ASSIGN_OR_RETURN(p.x, dec->F64("point x"));
+      AGIS_ASSIGN_OR_RETURN(p.y, dec->F64("point y"));
+      return geom::Geometry::FromPoint(p);
+    }
+    case geom::GeometryKind::kLineString: {
+      geom::LineString ls;
+      AGIS_ASSIGN_OR_RETURN(ls.points, DecodePoints(dec));
+      return geom::Geometry::FromLineString(std::move(ls));
+    }
+    case geom::GeometryKind::kPolygon: {
+      geom::Polygon poly;
+      AGIS_ASSIGN_OR_RETURN(poly.outer, DecodePoints(dec));
+      AGIS_ASSIGN_OR_RETURN(uint32_t nholes, dec->Count("hole count", 4));
+      poly.holes.reserve(nholes);
+      for (uint32_t i = 0; i < nholes; ++i) {
+        AGIS_ASSIGN_OR_RETURN(std::vector<geom::Point> hole,
+                              DecodePoints(dec));
+        poly.holes.push_back(std::move(hole));
+      }
+      return geom::Geometry::FromPolygon(std::move(poly));
+    }
+    case geom::GeometryKind::kMultiPoint: {
+      AGIS_ASSIGN_OR_RETURN(std::vector<geom::Point> pts, DecodePoints(dec));
+      return geom::Geometry::FromMultiPoint(std::move(pts));
+    }
+  }
+  return dec->Error(agis::StrCat("unknown geometry kind ", kind));
+}
+
+}  // namespace
+
+// ---- Value -----------------------------------------------------------------
+
+void EncodeValue(const geodb::Value& value, Encoder* enc) {
+  enc->U8(static_cast<uint8_t>(value.kind()));
+  switch (value.kind()) {
+    case geodb::ValueKind::kNull:
+      break;
+    case geodb::ValueKind::kBool:
+      enc->U8(value.bool_value() ? 1 : 0);
+      break;
+    case geodb::ValueKind::kInt:
+      enc->U64(static_cast<uint64_t>(value.int_value()));
+      break;
+    case geodb::ValueKind::kDouble:
+      enc->F64(value.double_value());
+      break;
+    case geodb::ValueKind::kString:
+      enc->Str(value.string_value());
+      break;
+    case geodb::ValueKind::kBlob: {
+      const geodb::Blob& blob = value.blob_value();
+      enc->Str(blob.format);
+      enc->Str(std::string_view(
+          reinterpret_cast<const char*>(blob.bytes.data()),
+          blob.bytes.size()));
+      break;
+    }
+    case geodb::ValueKind::kGeometry:
+      EncodeGeometry(value.geometry_value(), enc);
+      break;
+    case geodb::ValueKind::kTuple: {
+      const geodb::Value::Tuple& fields = value.tuple_value();
+      enc->U32(static_cast<uint32_t>(fields.size()));
+      for (const auto& [name, field] : fields) {
+        enc->Str(name);
+        EncodeValue(field, enc);
+      }
+      break;
+    }
+    case geodb::ValueKind::kList: {
+      const geodb::Value::List& items = value.list_value();
+      enc->U32(static_cast<uint32_t>(items.size()));
+      for (const geodb::Value& item : items) EncodeValue(item, enc);
+      break;
+    }
+    case geodb::ValueKind::kRef:
+      enc->U64(value.ref_value().id);
+      enc->Str(value.ref_value().class_name);
+      break;
+  }
+}
+
+agis::Result<geodb::Value> DecodeValue(Decoder* dec) {
+  AGIS_ASSIGN_OR_RETURN(uint8_t kind, dec->U8("value kind"));
+  switch (static_cast<geodb::ValueKind>(kind)) {
+    case geodb::ValueKind::kNull:
+      return geodb::Value();
+    case geodb::ValueKind::kBool: {
+      AGIS_ASSIGN_OR_RETURN(uint8_t b, dec->U8("bool value"));
+      return geodb::Value::Bool(b != 0);
+    }
+    case geodb::ValueKind::kInt: {
+      AGIS_ASSIGN_OR_RETURN(uint64_t v, dec->U64("int value"));
+      return geodb::Value::Int(static_cast<int64_t>(v));
+    }
+    case geodb::ValueKind::kDouble: {
+      AGIS_ASSIGN_OR_RETURN(double v, dec->F64("double value"));
+      return geodb::Value::Double(v);
+    }
+    case geodb::ValueKind::kString: {
+      AGIS_ASSIGN_OR_RETURN(std::string s, dec->Str("string value"));
+      return geodb::Value::String(std::move(s));
+    }
+    case geodb::ValueKind::kBlob: {
+      geodb::Blob blob;
+      AGIS_ASSIGN_OR_RETURN(blob.format, dec->Str("blob format"));
+      AGIS_ASSIGN_OR_RETURN(std::string bytes, dec->Str("blob bytes"));
+      blob.bytes.assign(bytes.begin(), bytes.end());
+      return geodb::Value::MakeBlob(std::move(blob));
+    }
+    case geodb::ValueKind::kGeometry: {
+      AGIS_ASSIGN_OR_RETURN(geom::Geometry g, DecodeGeometry(dec));
+      return geodb::Value::MakeGeometry(std::move(g));
+    }
+    case geodb::ValueKind::kTuple: {
+      AGIS_ASSIGN_OR_RETURN(uint32_t n, dec->Count("tuple field count", 5));
+      geodb::Value::Tuple fields;
+      fields.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        AGIS_ASSIGN_OR_RETURN(std::string name, dec->Str("tuple field name"));
+        AGIS_ASSIGN_OR_RETURN(geodb::Value field, DecodeValue(dec));
+        fields.emplace_back(std::move(name), std::move(field));
+      }
+      return geodb::Value::MakeTuple(std::move(fields));
+    }
+    case geodb::ValueKind::kList: {
+      AGIS_ASSIGN_OR_RETURN(uint32_t n, dec->Count("list item count", 1));
+      geodb::Value::List items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        AGIS_ASSIGN_OR_RETURN(geodb::Value item, DecodeValue(dec));
+        items.push_back(std::move(item));
+      }
+      return geodb::Value::MakeList(std::move(items));
+    }
+    case geodb::ValueKind::kRef: {
+      AGIS_ASSIGN_OR_RETURN(uint64_t id, dec->U64("ref id"));
+      AGIS_ASSIGN_OR_RETURN(std::string cls, dec->Str("ref class"));
+      return geodb::Value::Ref(static_cast<geodb::ObjectId>(id),
+                               std::move(cls));
+    }
+  }
+  return dec->Error(agis::StrCat("unknown value kind ", kind));
+}
+
+// ---- Object record ---------------------------------------------------------
+
+void EncodeObjectRecord(const geodb::ObjectInstance& obj, Encoder* enc) {
+  enc->U64(obj.id());
+  enc->U32(static_cast<uint32_t>(obj.values().size()));
+  for (const auto& [attr, value] : obj.values()) {
+    enc->Str(attr);
+    EncodeValue(value, enc);
+  }
+}
+
+agis::Result<geodb::ObjectInstance> DecodeObjectRecord(
+    Decoder* dec, const std::string& class_name) {
+  AGIS_ASSIGN_OR_RETURN(uint64_t id, dec->U64("object id"));
+  AGIS_ASSIGN_OR_RETURN(uint32_t nattrs, dec->Count("attribute count", 5));
+  geodb::ObjectInstance obj(static_cast<geodb::ObjectId>(id), class_name);
+  obj.ReserveValues(nattrs);
+  for (uint32_t i = 0; i < nattrs; ++i) {
+    AGIS_ASSIGN_OR_RETURN(std::string attr, dec->Str("attribute name"));
+    AGIS_ASSIGN_OR_RETURN(geodb::Value value, DecodeValue(dec));
+    // Records are written in values() order (ascending), so this is
+    // an O(1) append; out-of-order names still land correctly.
+    obj.SetOrdered(std::move(attr), std::move(value));
+  }
+  return obj;
+}
+
+void EncodeObjectRecordTabled(
+    const geodb::ObjectInstance& obj,
+    const std::unordered_map<std::string_view, uint32_t>& name_ids,
+    Encoder* enc) {
+  const bool narrow = name_ids.size() <= 256;
+  enc->U64(obj.id());
+  enc->U32(static_cast<uint32_t>(obj.values().size()));
+  for (const auto& [attr, value] : obj.values()) {
+    const uint32_t idx = name_ids.at(attr);
+    if (narrow) {
+      enc->U8(static_cast<uint8_t>(idx));
+    } else {
+      enc->U32(idx);
+    }
+    EncodeValue(value, enc);
+  }
+}
+
+agis::Result<geodb::ObjectInstance> DecodeObjectRecordTabled(
+    Decoder* dec, const std::string& class_name,
+    const std::vector<std::string>& names) {
+  const bool narrow = names.size() <= 256;
+  AGIS_ASSIGN_OR_RETURN(uint64_t id, dec->U64("object id"));
+  AGIS_ASSIGN_OR_RETURN(uint32_t nattrs, dec->Count("attribute count", 2));
+  geodb::ObjectInstance obj(static_cast<geodb::ObjectId>(id), class_name);
+  obj.ReserveValues(nattrs);
+  for (uint32_t i = 0; i < nattrs; ++i) {
+    uint32_t idx;
+    if (narrow) {
+      AGIS_ASSIGN_OR_RETURN(uint8_t b, dec->U8("attribute name index"));
+      idx = b;
+    } else {
+      AGIS_ASSIGN_OR_RETURN(idx, dec->U32("attribute name index"));
+    }
+    if (idx >= names.size()) {
+      return dec->Error(agis::StrCat("attribute name index ", idx,
+                                     " out of range (table has ",
+                                     names.size(), ")"));
+    }
+    AGIS_ASSIGN_OR_RETURN(geodb::Value value, DecodeValue(dec));
+    obj.SetOrdered(names[idx], std::move(value));
+  }
+  return obj;
+}
+
+// ---- Schema ----------------------------------------------------------------
+
+void EncodeAttributeDef(const geodb::AttributeDef& attr, Encoder* enc) {
+  enc->Str(attr.name);
+  enc->U8(static_cast<uint8_t>(attr.type));
+  enc->Str(attr.doc);
+  enc->U8(attr.required ? 1 : 0);
+  enc->Str(attr.ref_class);
+  enc->U8(attr.list_element.has_value() ? 1 : 0);
+  if (attr.list_element.has_value()) {
+    enc->U8(static_cast<uint8_t>(*attr.list_element));
+  }
+  enc->U32(static_cast<uint32_t>(attr.tuple_fields.size()));
+  for (const geodb::AttributeDef& field : attr.tuple_fields) {
+    EncodeAttributeDef(field, enc);
+  }
+}
+
+namespace {
+
+agis::Result<geodb::AttrType> CheckAttrType(uint8_t raw, Decoder* dec) {
+  if (raw > static_cast<uint8_t>(geodb::AttrType::kList)) {
+    return dec->Error(agis::StrCat("unknown attribute type ", raw));
+  }
+  return static_cast<geodb::AttrType>(raw);
+}
+
+}  // namespace
+
+agis::Result<geodb::AttributeDef> DecodeAttributeDef(Decoder* dec) {
+  geodb::AttributeDef attr;
+  AGIS_ASSIGN_OR_RETURN(attr.name, dec->Str("attribute name"));
+  AGIS_ASSIGN_OR_RETURN(uint8_t type, dec->U8("attribute type"));
+  AGIS_ASSIGN_OR_RETURN(attr.type, CheckAttrType(type, dec));
+  AGIS_ASSIGN_OR_RETURN(attr.doc, dec->Str("attribute doc"));
+  AGIS_ASSIGN_OR_RETURN(uint8_t required, dec->U8("required flag"));
+  attr.required = required != 0;
+  AGIS_ASSIGN_OR_RETURN(attr.ref_class, dec->Str("ref class"));
+  AGIS_ASSIGN_OR_RETURN(uint8_t has_elem, dec->U8("list element flag"));
+  if (has_elem != 0) {
+    AGIS_ASSIGN_OR_RETURN(uint8_t elem, dec->U8("list element type"));
+    AGIS_ASSIGN_OR_RETURN(geodb::AttrType elem_type, CheckAttrType(elem, dec));
+    attr.list_element = elem_type;
+  }
+  AGIS_ASSIGN_OR_RETURN(uint32_t nfields, dec->Count("tuple field count", 8));
+  attr.tuple_fields.reserve(nfields);
+  for (uint32_t i = 0; i < nfields; ++i) {
+    AGIS_ASSIGN_OR_RETURN(geodb::AttributeDef field, DecodeAttributeDef(dec));
+    attr.tuple_fields.push_back(std::move(field));
+  }
+  return attr;
+}
+
+void EncodeClassDef(const geodb::ClassDef& cls, Encoder* enc) {
+  enc->Str(cls.name());
+  enc->Str(cls.parent());
+  enc->Str(cls.doc());
+  enc->U32(static_cast<uint32_t>(cls.attributes().size()));
+  for (const geodb::AttributeDef& attr : cls.attributes()) {
+    EncodeAttributeDef(attr, enc);
+  }
+}
+
+agis::Result<geodb::ClassDef> DecodeClassDef(Decoder* dec) {
+  AGIS_ASSIGN_OR_RETURN(std::string name, dec->Str("class name"));
+  AGIS_ASSIGN_OR_RETURN(std::string parent, dec->Str("class parent"));
+  AGIS_ASSIGN_OR_RETURN(std::string doc, dec->Str("class doc"));
+  geodb::ClassDef cls(std::move(name), std::move(doc));
+  if (!parent.empty()) cls.set_parent(std::move(parent));
+  AGIS_ASSIGN_OR_RETURN(uint32_t nattrs, dec->Count("attribute count", 8));
+  for (uint32_t i = 0; i < nattrs; ++i) {
+    AGIS_ASSIGN_OR_RETURN(geodb::AttributeDef attr, DecodeAttributeDef(dec));
+    AGIS_RETURN_IF_ERROR(cls.AddAttribute(std::move(attr)));
+  }
+  return cls;
+}
+
+}  // namespace agis::storage

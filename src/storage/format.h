@@ -1,0 +1,114 @@
+#ifndef AGIS_STORAGE_FORMAT_H_
+#define AGIS_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "geodb/object.h"
+#include "geodb/schema.h"
+#include "geodb/value.h"
+
+namespace agis::storage {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial) over `n` bytes, chainable
+/// via `seed`. Every framed payload in the snapshot and WAL formats is
+/// covered by one so corruption is detected before decoding.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+/// Little-endian append-only byte sink for the binary formats. All
+/// integers are fixed-width little-endian; strings and byte blobs are
+/// length-prefixed with a u32.
+class Encoder {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  void Str(std::string_view s);  // u32 length + raw bytes
+  void Raw(std::string_view bytes) { out_.append(bytes); }
+
+  size_t size() const { return out_.size(); }
+  const std::string& buffer() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader over a byte span. Every read
+/// validates the remaining length first, and length prefixes are
+/// checked against the bytes actually present before any allocation —
+/// a corrupt length can produce an error, never an over-read or an
+/// absurd reserve.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  agis::Result<uint8_t> U8(const char* what);
+  agis::Result<uint32_t> U32(const char* what);
+  agis::Result<uint64_t> U64(const char* what);
+  agis::Result<double> F64(const char* what);
+  agis::Result<std::string> Str(const char* what);
+  /// Consumes `n` raw bytes as a view into the underlying buffer.
+  agis::Result<std::string_view> Raw(size_t n, const char* what);
+  /// Reads a u32 element count and validates it against the minimum
+  /// encoded size of one element (`min_element_bytes`), so corrupt
+  /// counts fail instead of driving huge loops/reserves.
+  agis::Result<uint32_t> Count(const char* what, size_t min_element_bytes = 1);
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+  agis::Status Error(const std::string& message) const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Domain codecs ---------------------------------------------------------
+//
+// Values, object records, and class definitions encode to the same
+// byte layout in snapshots and WAL records. Method *implementations*
+// are host code and do not persist (the text-format contract).
+
+void EncodeValue(const geodb::Value& value, Encoder* enc);
+agis::Result<geodb::Value> DecodeValue(Decoder* dec);
+
+/// Object record: u64 id + u32 attribute count + (name, value) pairs.
+/// The class name travels outside the record (block header / WAL
+/// record), so per-object overhead stays small.
+void EncodeObjectRecord(const geodb::ObjectInstance& obj, Encoder* enc);
+agis::Result<geodb::ObjectInstance> DecodeObjectRecord(
+    Decoder* dec, const std::string& class_name);
+
+/// Name-tabled record variant (snapshot extent blocks): attribute
+/// names are interned once per block and records carry table indexes —
+/// u8 when the table has ≤ 256 entries, else u32. At a million
+/// records the repeated names dominate the raw encoding's size, so
+/// this is a large file-size (and decode-time) win; the WAL keeps the
+/// self-contained encoding above, where records travel alone.
+void EncodeObjectRecordTabled(
+    const geodb::ObjectInstance& obj,
+    const std::unordered_map<std::string_view, uint32_t>& name_ids,
+    Encoder* enc);
+agis::Result<geodb::ObjectInstance> DecodeObjectRecordTabled(
+    Decoder* dec, const std::string& class_name,
+    const std::vector<std::string>& names);
+
+void EncodeAttributeDef(const geodb::AttributeDef& attr, Encoder* enc);
+agis::Result<geodb::AttributeDef> DecodeAttributeDef(Decoder* dec);
+
+void EncodeClassDef(const geodb::ClassDef& cls, Encoder* enc);
+agis::Result<geodb::ClassDef> DecodeClassDef(Decoder* dec);
+
+}  // namespace agis::storage
+
+#endif  // AGIS_STORAGE_FORMAT_H_

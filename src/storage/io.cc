@@ -1,0 +1,195 @@
+#include "storage/io.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "base/strutil.h"
+
+namespace agis::storage {
+
+AppendFile::~AppendFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      bytes_written_(other.bytes_written_),
+      fault_plan_(other.fault_plan_),
+      fault_tripped_(other.fault_tripped_) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    bytes_written_ = other.bytes_written_;
+    fault_plan_ = other.fault_plan_;
+    fault_tripped_ = other.fault_tripped_;
+  }
+  return *this;
+}
+
+agis::Result<AppendFile> AppendFile::Open(const std::string& path,
+                                          bool truncate,
+                                          FaultPlan fault_plan) {
+  std::FILE* f = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (f == nullptr) {
+    return agis::Status::Internal(agis::StrCat("cannot open '", path,
+                                               "': ", std::strerror(errno)));
+  }
+  AppendFile out;
+  out.file_ = f;
+  out.path_ = path;
+  out.fault_plan_ = fault_plan;
+  return out;
+}
+
+agis::Status AppendFile::Append(std::string_view bytes) {
+  if (file_ == nullptr) {
+    return agis::Status::FailedPrecondition("append on closed file");
+  }
+  if (fault_tripped_) {
+    return agis::Status::Internal(
+        agis::StrCat("injected fault on '", path_, "' (already tripped)"));
+  }
+  size_t writable = bytes.size();
+  bool trip = false;
+  if (fault_plan_.armed() &&
+      bytes_written_ + bytes.size() > fault_plan_.fail_after_bytes) {
+    trip = true;
+    writable = fault_plan_.short_write && fault_plan_.fail_after_bytes >
+                                              bytes_written_
+                   ? static_cast<size_t>(fault_plan_.fail_after_bytes -
+                                         bytes_written_)
+                   : 0;
+  }
+  if (writable > 0) {
+    if (std::fwrite(bytes.data(), 1, writable, file_) != writable) {
+      return agis::Status::Internal(
+          agis::StrCat("write to '", path_, "' failed"));
+    }
+    bytes_written_ += writable;
+  }
+  if (trip) {
+    fault_tripped_ = true;
+    // Make the torn prefix visible on disk, as a real crash would.
+    std::fflush(file_);
+    return agis::Status::Internal(
+        agis::StrCat("injected fault on '", path_, "' after ",
+                     bytes_written_, " bytes"));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status AppendFile::Flush() {
+  if (file_ == nullptr) {
+    return agis::Status::FailedPrecondition("flush on closed file");
+  }
+  if (fault_tripped_) {
+    return agis::Status::Internal(
+        agis::StrCat("injected fault on '", path_, "' (already tripped)"));
+  }
+  if (std::fflush(file_) != 0) {
+    return agis::Status::Internal(agis::StrCat("flush of '", path_,
+                                               "' failed"));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status AppendFile::Sync() {
+  AGIS_RETURN_IF_ERROR(Flush());
+  if (fsync(fileno(file_)) != 0) {
+    return agis::Status::Internal(
+        agis::StrCat("fsync of '", path_, "': ", std::strerror(errno)));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status AppendFile::Close() {
+  if (file_ == nullptr) return agis::Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return agis::Status::Internal(agis::StrCat("close of '", path_,
+                                               "' failed"));
+  }
+  return agis::Status::OK();
+}
+
+agis::Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return agis::Status::NotFound(agis::StrCat("cannot open '", path, "'"));
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return agis::Status::Internal(agis::StrCat("read of '", path,
+                                               "' failed"));
+  }
+  return out;
+}
+
+agis::Status AtomicWriteFile(const std::string& path,
+                             std::string_view contents,
+                             FaultPlan fault_plan) {
+  const std::string tmp = agis::StrCat(path, ".tmp");
+  {
+    AGIS_ASSIGN_OR_RETURN(AppendFile file,
+                          AppendFile::Open(tmp, /*truncate=*/true,
+                                           fault_plan));
+    AGIS_RETURN_IF_ERROR(file.Append(contents));
+    AGIS_RETURN_IF_ERROR(file.Sync());
+    AGIS_RETURN_IF_ERROR(file.Close());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return agis::Status::Internal(
+        agis::StrCat("rename '", tmp, "' -> '", path,
+                     "': ", std::strerror(errno)));
+  }
+  return agis::Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+agis::Status RemoveFileIfExists(const std::string& path) {
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return agis::Status::Internal(
+        agis::StrCat("remove '", path, "': ", std::strerror(errno)));
+  }
+  return agis::Status::OK();
+}
+
+agis::Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) {
+    return agis::Status::InvalidArgument("empty directory path");
+  }
+  std::string prefix;
+  size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    prefix = pos == std::string::npos ? path : path.substr(0, pos);
+    if (prefix.empty()) continue;
+    if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return agis::Status::Internal(
+          agis::StrCat("mkdir '", prefix, "': ", std::strerror(errno)));
+    }
+  }
+  return agis::Status::OK();
+}
+
+}  // namespace agis::storage

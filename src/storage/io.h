@@ -1,0 +1,80 @@
+#ifndef AGIS_STORAGE_IO_H_
+#define AGIS_STORAGE_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace agis::storage {
+
+/// Crash-point description for fault-injection tests: the owning file
+/// fails the write that would push its lifetime byte count past
+/// `fail_after_bytes`. With `short_write` the failing write first
+/// lands the prefix that fits (a torn record on disk) — exactly what a
+/// power cut mid-write produces. Once tripped, every later write and
+/// sync on the file fails too, so a "crashed" writer cannot quietly
+/// keep going.
+struct FaultPlan {
+  static constexpr uint64_t kNoFault = UINT64_MAX;
+  uint64_t fail_after_bytes = kNoFault;
+  bool short_write = true;
+
+  bool armed() const { return fail_after_bytes != kNoFault; }
+};
+
+/// Append-only file used by the WAL and snapshot writers. Buffered
+/// writes (fwrite) with explicit `Flush` (to the OS) and `Sync`
+/// (fsync: survives power loss) barriers. Move-only.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens `path` for appending (`truncate` starts it empty).
+  static agis::Result<AppendFile> Open(const std::string& path, bool truncate,
+                                       FaultPlan fault_plan = FaultPlan());
+
+  agis::Status Append(std::string_view bytes);
+  agis::Status Flush();
+  agis::Status Sync();
+  agis::Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+  FaultPlan fault_plan_;
+  bool fault_tripped_ = false;
+};
+
+/// Whole-file read; NotFound when the file does not exist.
+agis::Result<std::string> ReadFileToString(const std::string& path);
+
+/// Durable whole-file replace: writes `path`.tmp, fsyncs it, and
+/// renames over `path` — a crash leaves either the old or the new
+/// contents, never a torn mix. `fault_plan` injects write failures for
+/// crash tests (the tmp file is left behind; recovery ignores it).
+agis::Status AtomicWriteFile(const std::string& path,
+                             std::string_view contents,
+                             FaultPlan fault_plan = FaultPlan());
+
+bool FileExists(const std::string& path);
+agis::Status RemoveFileIfExists(const std::string& path);
+/// Creates `path` (and missing parents) as a directory.
+agis::Status EnsureDirectory(const std::string& path);
+
+}  // namespace agis::storage
+
+#endif  // AGIS_STORAGE_IO_H_

@@ -1,0 +1,652 @@
+#include "storage/snapshot_file.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "base/strutil.h"
+#include "base/thread_pool.h"
+#include "storage/format.h"
+
+namespace agis::storage {
+
+namespace {
+
+constexpr std::string_view kSnapMagic = "AGISNAP1";
+constexpr std::string_view kSnapMagicPrefix = "AGISNAP";
+
+enum class SectionKind : uint8_t {
+  kHeader = 1,
+  kSchema = 2,
+  kExtentBlock = 3,
+  kDirectives = 4,
+  kFooter = 5,
+  kAttrIndex = 6,
+};
+
+agis::Status AppendSection(AppendFile* file, SectionKind kind,
+                           const std::string& payload) {
+  Encoder frame;
+  frame.U8(static_cast<uint8_t>(kind));
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  frame.Raw(payload);
+  return file->Append(frame.buffer());
+}
+
+/// One parsed section frame: payload view into the file buffer, CRC
+/// still unverified (extent blocks verify in parallel).
+struct Section {
+  SectionKind kind;
+  uint32_t crc;
+  std::string_view payload;
+};
+
+agis::Result<std::vector<Section>> WalkSections(std::string_view bytes,
+                                                const std::string& path) {
+  std::vector<Section> sections;
+  std::string_view rest = bytes;
+  while (!rest.empty()) {
+    Decoder frame(rest);
+    AGIS_ASSIGN_OR_RETURN(uint8_t kind, frame.U8("section kind"));
+    if (kind < static_cast<uint8_t>(SectionKind::kHeader) ||
+        kind > static_cast<uint8_t>(SectionKind::kAttrIndex)) {
+      return agis::Status::ParseError(
+          agis::StrCat("snapshot '", path, "': unknown section kind ",
+                       kind));
+    }
+    AGIS_ASSIGN_OR_RETURN(uint32_t len, frame.U32("section length"));
+    AGIS_ASSIGN_OR_RETURN(uint32_t crc, frame.U32("section crc"));
+    if (frame.remaining() < len) {
+      return agis::Status::ParseError(agis::StrCat(
+          "snapshot '", path, "': truncated section (need ", len,
+          " payload bytes, have ", frame.remaining(), ")"));
+    }
+    const std::string_view payload = frame.Raw(len, "section payload").value();
+    sections.push_back({static_cast<SectionKind>(kind), crc, payload});
+    rest.remove_prefix(9 + static_cast<size_t>(len));
+  }
+  return sections;
+}
+
+agis::Status CheckCrc(const Section& section, const std::string& path,
+                      const char* what) {
+  if (Crc32(section.payload) != section.crc) {
+    return agis::Status::ParseError(
+        agis::StrCat("snapshot '", path, "': ", what, " CRC mismatch"));
+  }
+  return agis::Status::OK();
+}
+
+struct Header {
+  std::string schema_name;
+  uint64_t object_count = 0;
+  uint64_t block_count = 0;
+};
+
+agis::Result<Header> DecodeHeader(std::string_view payload) {
+  Decoder dec(payload);
+  Header h;
+  AGIS_ASSIGN_OR_RETURN(h.schema_name, dec.Str("schema name"));
+  AGIS_ASSIGN_OR_RETURN(h.object_count, dec.U64("object count"));
+  AGIS_ASSIGN_OR_RETURN(h.block_count, dec.U64("block count"));
+  return h;
+}
+
+// ---- Attribute-index sections ----------------------------------------------
+//
+// Payload layout (one section per class × indexed attribute):
+//
+//   Str class, Str attribute
+//   u32 nan_count, nan_count × u64 id        (ascending)
+//   u32 key_count, key_count × run
+//     run: u8 key class, (F64 number | Str text), u32 id_count,
+//          id_count × u64 id                 (ascending)
+//
+// Keys ascend strictly across runs; AttributeIndex::FromSortedRuns
+// re-validates every invariant on load, so a corrupt section becomes
+// a parse error rather than a malformed index.
+
+agis::Status AppendAttrIndexSection(AppendFile* file,
+                                    const geodb::GeoDatabase& db,
+                                    const geodb::Snapshot& snap,
+                                    const std::string& class_name,
+                                    const std::string& attribute,
+                                    const std::vector<geodb::ObjectId>& ids) {
+  std::vector<std::pair<geodb::AttrKey, geodb::ObjectId>> rows;
+  rows.reserve(ids.size());
+  std::vector<geodb::ObjectId> nan_ids;
+  for (const geodb::ObjectId id : ids) {
+    const geodb::ObjectInstance* obj = db.FindObjectAt(snap, id);
+    if (obj == nullptr) {
+      return agis::Status::Internal(agis::StrCat(
+          "snapshot object ", id, " vanished during index save"));
+    }
+    const geodb::Value& v = obj->Get(attribute);
+    if (v.kind() == geodb::ValueKind::kDouble &&
+        std::isnan(v.double_value())) {
+      // NaN sits outside the ordered key space (see attr_index.h) and
+      // travels as its own run.
+      nan_ids.push_back(id);
+      continue;
+    }
+    std::optional<geodb::AttrKey> key = geodb::AttrKey::FromValue(v);
+    if (key.has_value()) rows.emplace_back(std::move(*key), id);
+  }
+  std::sort(nan_ids.begin(), nan_ids.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const std::pair<geodb::AttrKey, geodb::ObjectId>& a,
+               const std::pair<geodb::AttrKey, geodb::ObjectId>& b) {
+              if (a.first < b.first) return true;
+              if (b.first < a.first) return false;
+              return a.second < b.second;
+            });
+
+  uint32_t key_count = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i == 0 || rows[i - 1].first < rows[i].first) ++key_count;
+  }
+
+  Encoder sec;
+  sec.Str(class_name);
+  sec.Str(attribute);
+  sec.U32(static_cast<uint32_t>(nan_ids.size()));
+  for (const geodb::ObjectId id : nan_ids) sec.U64(id);
+  sec.U32(key_count);
+  for (size_t i = 0; i < rows.size();) {
+    size_t end = i + 1;
+    while (end < rows.size() && !(rows[i].first < rows[end].first)) ++end;
+    const geodb::AttrKey& key = rows[i].first;
+    sec.U8(static_cast<uint8_t>(key.cls));
+    if (key.cls == geodb::AttrKey::Class::kString) {
+      sec.Str(key.text);
+    } else {
+      sec.F64(key.number);
+    }
+    sec.U32(static_cast<uint32_t>(end - i));
+    for (; i < end; ++i) sec.U64(rows[i].second);
+  }
+  return AppendSection(file, SectionKind::kAttrIndex, sec.buffer());
+}
+
+/// A fully validated kAttrIndex section, decoded before the restore
+/// begins so a corrupt section can never leave a half-built database.
+struct DecodedAttrIndex {
+  std::string class_name;
+  std::string attribute;
+  geodb::AttributeIndex index;
+};
+
+/// Appends `n` u64 ids to `out`. The run is a contiguous
+/// little-endian array on the wire, so on LE hosts this is one
+/// memcpy instead of n bounds-checked reads — id runs are the bulk
+/// of an index section's bytes.
+agis::Status ReadIdRun(Decoder* dec, uint32_t n, const char* what,
+                       std::vector<geodb::ObjectId>* out) {
+  AGIS_ASSIGN_OR_RETURN(std::string_view raw,
+                        dec->Raw(static_cast<size_t>(n) * 8, what));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  const size_t base = out->size();
+  out->resize(base + n);
+  std::memcpy(out->data() + base, raw.data(), static_cast<size_t>(n) * 8);
+#else
+  Decoder run(raw);
+  for (uint32_t i = 0; i < n; ++i) {
+    AGIS_ASSIGN_OR_RETURN(uint64_t id, run.U64(what));
+    out->push_back(id);
+  }
+#endif
+  return agis::Status::OK();
+}
+
+agis::Result<DecodedAttrIndex> DecodeAttrIndexSection(
+    std::string_view payload, const std::string& path,
+    const geodb::GeoDatabase& db) {
+  Decoder dec(payload);
+  AGIS_ASSIGN_OR_RETURN(std::string class_name, dec.Str("index class name"));
+  AGIS_ASSIGN_OR_RETURN(std::string attribute, dec.Str("index attribute"));
+  // The schema section has been applied by the time index sections
+  // decode, so an unknown class is file corruption, caught here —
+  // before any record is restored. (An unknown *attribute* is not:
+  // the writer may simply have indexed more than this reader does.)
+  if (db.schema().FindClass(class_name) == nullptr) {
+    return agis::Status::ParseError(
+        agis::StrCat("snapshot '", path, "': attribute index for unknown "
+                     "class '", class_name, "'"));
+  }
+  AGIS_ASSIGN_OR_RETURN(uint32_t nan_count, dec.Count("index NaN count", 8));
+  std::vector<geodb::ObjectId> nan_ids;
+  AGIS_RETURN_IF_ERROR(ReadIdRun(&dec, nan_count, "index NaN ids", &nan_ids));
+  // Minimum run: class byte + empty string key + count + one id.
+  AGIS_ASSIGN_OR_RETURN(uint32_t key_count, dec.Count("index key count", 17));
+  std::vector<geodb::AttrKey> keys;
+  keys.reserve(key_count);
+  std::vector<uint32_t> offsets;
+  offsets.reserve(key_count + 1);
+  offsets.push_back(0);
+  std::vector<geodb::ObjectId> pool;
+  for (uint32_t k = 0; k < key_count; ++k) {
+    AGIS_ASSIGN_OR_RETURN(uint8_t cls, dec.U8("index key class"));
+    if (cls > static_cast<uint8_t>(geodb::AttrKey::Class::kString)) {
+      return dec.Error(
+          agis::StrCat("unknown attribute key class ", cls));
+    }
+    geodb::AttrKey key;
+    key.cls = static_cast<geodb::AttrKey::Class>(cls);
+    if (key.cls == geodb::AttrKey::Class::kString) {
+      AGIS_ASSIGN_OR_RETURN(key.text, dec.Str("index key text"));
+    } else {
+      AGIS_ASSIGN_OR_RETURN(key.number, dec.F64("index key number"));
+    }
+    keys.push_back(std::move(key));
+    AGIS_ASSIGN_OR_RETURN(uint32_t id_count,
+                          dec.Count("index posting count", 8));
+    // No per-run reserve: exact-fit reserve per key would pin capacity
+    // and realloc O(key_count) times; geometric growth is fine.
+    AGIS_RETURN_IF_ERROR(
+        ReadIdRun(&dec, id_count, "index posting ids", &pool));
+    offsets.push_back(static_cast<uint32_t>(pool.size()));
+  }
+  if (!dec.AtEnd()) {
+    return agis::Status::ParseError(agis::StrCat(
+        "snapshot '", path, "': trailing bytes after attribute index"));
+  }
+  AGIS_ASSIGN_OR_RETURN(
+      geodb::AttributeIndex index,
+      geodb::AttributeIndex::FromSortedRuns(
+          std::move(keys), std::move(offsets), std::move(pool),
+          std::move(nan_ids)));
+  return DecodedAttrIndex{std::move(class_name), std::move(attribute),
+                          std::move(index)};
+}
+
+}  // namespace
+
+agis::Result<SnapshotWriteInfo> WriteSnapshotFile(
+    const geodb::GeoDatabase& db, const geodb::Snapshot& snap,
+    const std::string& path, const SnapshotWriteOptions& options) {
+  if (!snap.valid() || snap.database() != &db) {
+    return agis::Status::InvalidArgument(
+        "snapshot is detached or from another database");
+  }
+  const size_t per_block = std::max<size_t>(options.records_per_block, 1);
+
+  // Pass 1: count objects and blocks per class at the pinned epoch so
+  // the header can carry exact totals.
+  struct ClassPlan {
+    std::string name;
+    std::vector<geodb::ObjectId> ids;
+  };
+  std::vector<ClassPlan> plan;
+  uint64_t total_objects = 0;
+  uint64_t total_blocks = 0;
+  for (const std::string& class_name : db.schema().ClassNames()) {
+    auto ids = db.ScanExtentAt(snap, class_name);
+    if (!ids.ok()) continue;
+    total_objects += ids.value().size();
+    total_blocks += (ids.value().size() + per_block - 1) / per_block;
+    plan.push_back({class_name, std::move(ids).value()});
+  }
+
+  AGIS_ASSIGN_OR_RETURN(
+      AppendFile file,
+      AppendFile::Open(path, /*truncate=*/true, options.fault_plan));
+  AGIS_RETURN_IF_ERROR(file.Append(kSnapMagic));
+
+  {
+    Encoder header;
+    header.Str(db.schema().name());
+    header.U64(total_objects);
+    header.U64(total_blocks);
+    AGIS_RETURN_IF_ERROR(
+        AppendSection(&file, SectionKind::kHeader, header.buffer()));
+  }
+  {
+    Encoder schema;
+    const std::vector<std::string> names = db.schema().ClassNames();
+    schema.U32(static_cast<uint32_t>(names.size()));
+    for (const std::string& name : names) {
+      EncodeClassDef(*db.schema().FindClass(name), &schema);
+    }
+    AGIS_RETURN_IF_ERROR(
+        AppendSection(&file, SectionKind::kSchema, schema.buffer()));
+  }
+
+  SnapshotWriteInfo info;
+  for (const ClassPlan& cls : plan) {
+    for (size_t begin = 0; begin < cls.ids.size(); begin += per_block) {
+      const size_t end = std::min(begin + per_block, cls.ids.size());
+      std::vector<const geodb::ObjectInstance*> objs;
+      objs.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const geodb::ObjectInstance* obj =
+            db.FindObjectAt(snap, cls.ids[i]);
+        if (obj == nullptr) {
+          // ScanExtentAt and FindObjectAt answer at the same pinned
+          // epoch; a miss here means the snapshot pin was violated.
+          return agis::Status::Internal(
+              agis::StrCat("snapshot object ", cls.ids[i],
+                           " vanished during save"));
+        }
+        objs.push_back(obj);
+      }
+      // Intern the block's attribute names (first-seen order); the
+      // views point into pinned records, alive past the encode below.
+      std::vector<std::string_view> names;
+      std::unordered_map<std::string_view, uint32_t> name_ids;
+      for (const geodb::ObjectInstance* obj : objs) {
+        for (const auto& [attr, value] : obj->values()) {
+          if (name_ids.try_emplace(attr, names.size()).second) {
+            names.push_back(attr);
+          }
+        }
+      }
+      Encoder block;
+      block.Str(cls.name);
+      block.U32(static_cast<uint32_t>(names.size()));
+      for (const std::string_view name : names) block.Str(name);
+      block.U32(static_cast<uint32_t>(objs.size()));
+      for (const geodb::ObjectInstance* obj : objs) {
+        EncodeObjectRecordTabled(*obj, name_ids, &block);
+      }
+      AGIS_RETURN_IF_ERROR(
+          AppendSection(&file, SectionKind::kExtentBlock, block.buffer()));
+      ++info.blocks;
+    }
+    info.objects_written += cls.ids.size();
+    if (options.include_attr_indexes && !cls.ids.empty()) {
+      for (const std::string& attr : db.IndexedAttributes(cls.name)) {
+        AGIS_RETURN_IF_ERROR(AppendAttrIndexSection(
+            &file, db, snap, cls.name, attr, cls.ids));
+        ++info.attr_indexes;
+      }
+    }
+  }
+
+  if (!options.directives.empty()) {
+    Encoder dir;
+    dir.U32(static_cast<uint32_t>(options.directives.size()));
+    for (const auto& [name, source] : options.directives) {
+      dir.Str(name);
+      dir.Str(source);
+    }
+    AGIS_RETURN_IF_ERROR(
+        AppendSection(&file, SectionKind::kDirectives, dir.buffer()));
+  }
+  {
+    Encoder footer;
+    footer.U64(info.objects_written);
+    AGIS_RETURN_IF_ERROR(
+        AppendSection(&file, SectionKind::kFooter, footer.buffer()));
+  }
+  AGIS_RETURN_IF_ERROR(file.Sync());
+  info.bytes_written = file.bytes_written();
+  AGIS_RETURN_IF_ERROR(file.Close());
+  return info;
+}
+
+agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
+                                                     geodb::GeoDatabase* db,
+                                                     agis::ThreadPool* pool) {
+  const bool timing = std::getenv("AGIS_RESTORE_TIMING") != nullptr;
+  const auto tstart = std::chrono::steady_clock::now();
+  AGIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  std::string_view view(bytes);
+  if (view.size() < kSnapMagic.size() ||
+      view.substr(0, kSnapMagicPrefix.size()) != kSnapMagicPrefix) {
+    return agis::Status::ParseError(
+        agis::StrCat("'", path, "' is not an ActiveGIS snapshot"));
+  }
+  if (view.substr(0, kSnapMagic.size()) != kSnapMagic) {
+    return agis::Status::ParseError(agis::StrCat(
+        "'", path, "' has unsupported snapshot version '",
+        view[kSnapMagicPrefix.size()], "' (expected '1')"));
+  }
+
+  // ---- Phase 1 (serial): frame skeleton + cheap sections -------------------
+  AGIS_ASSIGN_OR_RETURN(
+      std::vector<Section> sections,
+      WalkSections(view.substr(kSnapMagic.size()), path));
+  if (sections.empty() || sections.front().kind != SectionKind::kHeader) {
+    return agis::Status::ParseError(
+        agis::StrCat("snapshot '", path, "': missing header section"));
+  }
+  if (sections.back().kind != SectionKind::kFooter) {
+    // The footer is written last; its absence means the writer died
+    // mid-save (or the file was truncated).
+    return agis::Status::ParseError(
+        agis::StrCat("snapshot '", path,
+                     "': missing footer — file is truncated"));
+  }
+  AGIS_RETURN_IF_ERROR(CheckCrc(sections.front(), path, "header"));
+  AGIS_ASSIGN_OR_RETURN(Header header,
+                        DecodeHeader(sections.front().payload));
+  AGIS_RETURN_IF_ERROR(CheckCrc(sections.back(), path, "footer"));
+  {
+    Decoder dec(sections.back().payload);
+    AGIS_ASSIGN_OR_RETURN(uint64_t footer_count, dec.U64("footer count"));
+    if (footer_count != header.object_count) {
+      return agis::Status::ParseError(agis::StrCat(
+          "snapshot '", path, "': header/footer object count mismatch (",
+          header.object_count, " vs ", footer_count, ")"));
+    }
+  }
+
+  SnapshotLoadStats stats;
+  std::vector<std::string_view> blocks;
+  std::vector<const Section*> attr_index_sections;
+  for (size_t i = 1; i + 1 < sections.size(); ++i) {
+    const Section& section = sections[i];
+    switch (section.kind) {
+      case SectionKind::kSchema: {
+        AGIS_RETURN_IF_ERROR(CheckCrc(section, path, "schema"));
+        Decoder dec(section.payload);
+        AGIS_ASSIGN_OR_RETURN(uint32_t nclasses,
+                              dec.Count("class count", 12));
+        for (uint32_t c = 0; c < nclasses; ++c) {
+          AGIS_ASSIGN_OR_RETURN(geodb::ClassDef cls, DecodeClassDef(&dec));
+          AGIS_RETURN_IF_ERROR(db->RegisterClass(std::move(cls)));
+        }
+        break;
+      }
+      case SectionKind::kExtentBlock:
+        blocks.push_back(section.payload);
+        break;
+      case SectionKind::kDirectives: {
+        AGIS_RETURN_IF_ERROR(CheckCrc(section, path, "directives"));
+        Decoder dec(section.payload);
+        AGIS_ASSIGN_OR_RETURN(uint32_t ndirs,
+                              dec.Count("directive count", 8));
+        for (uint32_t d = 0; d < ndirs; ++d) {
+          AGIS_ASSIGN_OR_RETURN(std::string name, dec.Str("directive name"));
+          AGIS_ASSIGN_OR_RETURN(std::string source,
+                                dec.Str("directive source"));
+          stats.directives.emplace_back(std::move(name), std::move(source));
+        }
+        break;
+      }
+      case SectionKind::kAttrIndex:
+        // Installed in phase 3, after the records they cover exist.
+        attr_index_sections.push_back(&section);
+        break;
+      case SectionKind::kHeader:
+      case SectionKind::kFooter:
+        return agis::Status::ParseError(agis::StrCat(
+            "snapshot '", path, "': duplicate header/footer section"));
+    }
+  }
+  if (blocks.size() != header.block_count) {
+    return agis::Status::ParseError(agis::StrCat(
+        "snapshot '", path, "': expected ", header.block_count,
+        " extent blocks, found ", blocks.size()));
+  }
+  // Attribute-index sections validate fully up front (CRC, layout,
+  // run invariants) like every other structure; only the install
+  // waits for phase 3, when the records they cover exist.
+  std::vector<DecodedAttrIndex> attr_indexes;
+  attr_indexes.reserve(attr_index_sections.size());
+  for (const Section* section : attr_index_sections) {
+    AGIS_RETURN_IF_ERROR(CheckCrc(*section, path, "attribute index"));
+    AGIS_ASSIGN_OR_RETURN(DecodedAttrIndex decoded_index,
+                          DecodeAttrIndexSection(section->payload, path, *db));
+    attr_indexes.push_back(std::move(decoded_index));
+  }
+
+  // ---- Phase 2 (parallel): CRC + decode every extent block -----------------
+  // Section CRCs were captured in phase 1; each task re-hashes its
+  // block payload and decodes the records. Nothing touches `db` until
+  // every block has decoded cleanly.
+  struct DecodedBlock {
+    std::vector<geodb::ObjectInstance> objects;
+    agis::Status status;
+  };
+  std::vector<DecodedBlock> decoded(blocks.size());
+  const auto decode_block = [&](size_t b) {
+    const std::string_view payload = blocks[b];
+    // Find this block's frame CRC again from the section list.
+    Decoder dec(payload);
+    DecodedBlock& out = decoded[b];
+    auto class_name = dec.Str("block class name");
+    if (!class_name.ok()) {
+      out.status = class_name.status();
+      return;
+    }
+    auto name_count = dec.Count("block name count", 4);
+    if (!name_count.ok()) {
+      out.status = name_count.status();
+      return;
+    }
+    std::vector<std::string> names;
+    names.reserve(name_count.value());
+    for (uint32_t n = 0; n < name_count.value(); ++n) {
+      auto name = dec.Str("block attribute name");
+      if (!name.ok()) {
+        out.status = name.status();
+        return;
+      }
+      names.push_back(std::move(name).value());
+    }
+    auto count = dec.Count("block record count", 12);
+    if (!count.ok()) {
+      out.status = count.status();
+      return;
+    }
+    out.objects.reserve(count.value());
+    for (uint32_t r = 0; r < count.value(); ++r) {
+      auto obj = DecodeObjectRecordTabled(&dec, class_name.value(), names);
+      if (!obj.ok()) {
+        out.status = obj.status();
+        return;
+      }
+      out.objects.push_back(std::move(obj).value());
+    }
+    if (!dec.AtEnd()) {
+      out.status =
+          agis::Status::ParseError("trailing bytes after extent block");
+    }
+  };
+  // CRC-check serially indexed against sections (cheap relative to
+  // decode, but still hashed off-thread when a pool is available).
+  std::vector<const Section*> block_sections;
+  block_sections.reserve(blocks.size());
+  for (const Section& section : sections) {
+    if (section.kind == SectionKind::kExtentBlock) {
+      block_sections.push_back(&section);
+    }
+  }
+  const auto check_and_decode = [&](size_t b) {
+    const agis::Status crc_ok =
+        CheckCrc(*block_sections[b], path, "extent block");
+    if (!crc_ok.ok()) {
+      decoded[b].status = crc_ok;
+      return;
+    }
+    decode_block(b);
+  };
+
+  const auto tdecode0 = std::chrono::steady_clock::now();
+  if (pool != nullptr && blocks.size() > 1) {
+    stats.decode_workers = pool->num_threads();
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      pool->Submit([&check_and_decode, b] { check_and_decode(b); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t b = 0; b < blocks.size(); ++b) check_and_decode(b);
+  }
+  for (const DecodedBlock& block : decoded) {
+    AGIS_RETURN_IF_ERROR(block.status);
+  }
+  const auto tdecode1 = std::chrono::steady_clock::now();
+
+  // ---- Phase 3 (serial): bulk-restore into the database --------------------
+  db->BeginBulkRestore(header.object_count);
+  for (DecodedBlock& block : decoded) {
+    stats.objects_loaded += block.objects.size();
+    AGIS_RETURN_IF_ERROR(db->RestoreObjects(std::move(block.objects)));
+  }
+  const auto trestore = std::chrono::steady_clock::now();
+  // Install persisted attribute indexes now that every record they
+  // reference exists; FinishBulkRestore then skips rebuilding these.
+  // Sections for attributes this database does not index are legal
+  // (the file may have been written under different index options);
+  // install drops them silently, so count only the ones that land.
+  for (DecodedAttrIndex& decoded_index : attr_indexes) {
+    const std::vector<std::string> indexed =
+        db->IndexedAttributes(decoded_index.class_name);
+    const bool will_install =
+        std::find(indexed.begin(), indexed.end(),
+                  decoded_index.attribute) != indexed.end();
+    AGIS_RETURN_IF_ERROR(db->InstallAttributeIndex(
+        decoded_index.class_name, decoded_index.attribute,
+        std::move(decoded_index.index)));
+    if (will_install) ++stats.attr_indexes_loaded;
+  }
+  const auto tindex = std::chrono::steady_clock::now();
+  AGIS_RETURN_IF_ERROR(db->FinishBulkRestore());
+  if (timing) {
+    const auto tend = std::chrono::steady_clock::now();
+    const auto ms = [](auto a, auto b) {
+      return std::chrono::duration<double, std::milli>(b - a).count();
+    };
+    std::fprintf(stderr,
+                 "[snap_load] read+walk=%.1fms decode=%.1fms insert=%.1fms "
+                 "index=%.1fms finish=%.1fms\n",
+                 ms(tstart, tdecode0), ms(tdecode0, tdecode1),
+                 ms(tdecode1, trestore), ms(trestore, tindex),
+                 ms(tindex, tend));
+  }
+  if (stats.objects_loaded != header.object_count) {
+    return agis::Status::ParseError(agis::StrCat(
+        "snapshot '", path, "': restored ", stats.objects_loaded,
+        " objects, header promised ", header.object_count));
+  }
+  stats.blocks = blocks.size();
+  return stats;
+}
+
+agis::Result<std::unique_ptr<geodb::GeoDatabase>> LoadSnapshotFile(
+    const std::string& path, geodb::DatabaseOptions options,
+    agis::ThreadPool* pool) {
+  AGIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  std::string_view view(bytes);
+  // Peek the header for the schema name so the database can be
+  // constructed with it (full validation happens in LoadSnapshotFileInto).
+  std::string schema_name = "restored";
+  if (view.size() > kSnapMagic.size() + 9) {
+    Decoder dec(view.substr(kSnapMagic.size() + 9));
+    auto name = dec.Str("schema name");
+    if (name.ok()) schema_name = name.value();
+  }
+  auto db = std::make_unique<geodb::GeoDatabase>(schema_name, options);
+  AGIS_RETURN_IF_ERROR(
+      LoadSnapshotFileInto(path, db.get(), pool).status());
+  return db;
+}
+
+}  // namespace agis::storage

@@ -1,0 +1,108 @@
+#ifndef AGIS_STORAGE_SNAPSHOT_FILE_H_
+#define AGIS_STORAGE_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "geodb/database.h"
+#include "storage/io.h"
+
+namespace agis {
+class ThreadPool;
+}
+
+namespace agis::storage {
+
+/// Binary snapshot format ("AGISNAP1"), the durable image a checkpoint
+/// writes. Layout: an 8-byte magic followed by length-prefixed,
+/// CRC-32-framed sections —
+///
+///   [u8 kind][u32 payload_len][u32 payload_crc][payload]
+///
+///   kHeader       schema name, object count, block geometry
+///   kSchema       the class catalog (registration order)
+///   kExtentBlock  one class extent slice: class name, the block's
+///                 attribute-name table, then N records referencing
+///                 names by table index (u8 for tables ≤ 256)
+///   kDirectives   stored customization directives (name, source)
+///   kFooter       object count again; its presence proves the file
+///                 was written to completion
+///   kAttrIndex    one attribute index as sorted posting runs, so a
+///                 restore installs it directly instead of re-sorting
+///                 the extent (the text loader always rebuilds)
+///
+/// Large extents split into multiple blocks (records_per_block), so a
+/// single-class million-object database still load-balances across
+/// the query pool: the reader walks the frame skeleton serially
+/// (cheap), then CRC-checks and decodes every block in parallel, and
+/// finally bulk-restores into the database where the STR bulk loader
+/// absorbs the extent in one pass.
+///
+/// Method implementations are host code and do not persist — the same
+/// contract as the text format (geodb/persist.h).
+
+struct SnapshotWriteOptions {
+  /// Records per extent block; the parallel-load unit.
+  size_t records_per_block = 4096;
+  /// Stored customization directives, written to their own section so
+  /// tooling (and recovery) can read them without decoding records.
+  std::vector<std::pair<std::string, std::string>> directives;
+  /// Persist every attribute index as pre-sorted runs (kAttrIndex
+  /// sections). Costs one extra pinned-object walk per indexed
+  /// attribute at save time; buys the loader an install instead of a
+  /// rebuild. Readers ignore sections for attributes they don't index.
+  bool include_attr_indexes = true;
+  FaultPlan fault_plan;  // Crash-test hook.
+};
+
+struct SnapshotWriteInfo {
+  uint64_t objects_written = 0;
+  uint64_t bytes_written = 0;
+  uint64_t blocks = 0;
+  uint64_t attr_indexes = 0;
+};
+
+/// Writes the state `snap` pins to `path` (truncating) and fsyncs it.
+/// The snapshot pin means writers keep running during the save; the
+/// file is a consistent point-in-time image regardless.
+agis::Result<SnapshotWriteInfo> WriteSnapshotFile(
+    const geodb::GeoDatabase& db, const geodb::Snapshot& snap,
+    const std::string& path, const SnapshotWriteOptions& options = {});
+
+struct SnapshotLoadStats {
+  uint64_t objects_loaded = 0;
+  uint64_t blocks = 0;
+  /// kAttrIndex sections installed pre-built (sections naming an
+  /// attribute this database does not index are skipped, not counted).
+  uint64_t attr_indexes_loaded = 0;
+  /// Worker count the block decode fanned out over (1 = serial).
+  size_t decode_workers = 1;
+  std::vector<std::pair<std::string, std::string>> directives;
+};
+
+/// Restores the snapshot at `path` into `db`, which must be freshly
+/// constructed (no classes, no objects). All structural validation —
+/// frame skeleton, footer, every CRC, full record decode — completes
+/// before the first object is restored, so a corrupt file errors out
+/// without touching the database. Should a restore step itself fail
+/// (e.g. a schema-invalid record), the database must be discarded; a
+/// partially-restored instance is never returned as success.
+agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
+                                                     geodb::GeoDatabase* db,
+                                                     agis::ThreadPool* pool =
+                                                         nullptr);
+
+/// Convenience wrapper: builds a new database from the snapshot
+/// (mirrors geodb::LoadDatabaseFromFile for the binary format).
+agis::Result<std::unique_ptr<geodb::GeoDatabase>> LoadSnapshotFile(
+    const std::string& path,
+    geodb::DatabaseOptions options = geodb::DatabaseOptions(),
+    agis::ThreadPool* pool = nullptr);
+
+}  // namespace agis::storage
+
+#endif  // AGIS_STORAGE_SNAPSHOT_FILE_H_

@@ -1,0 +1,406 @@
+#include "storage/store.h"
+
+#include <utility>
+
+#include "base/strutil.h"
+#include "base/thread_pool.h"
+
+namespace agis::storage {
+
+namespace {
+
+constexpr std::string_view kManifestHeader = "agis-manifest 1";
+
+/// Directive registration semantics: later registrations of the same
+/// name supersede earlier ones, keeping first-registration order.
+void UpsertDirective(
+    std::vector<std::pair<std::string, std::string>>* directives,
+    const std::string& name, const std::string& source) {
+  for (auto& [existing_name, existing_source] : *directives) {
+    if (existing_name == name) {
+      existing_source = source;
+      return;
+    }
+  }
+  directives->emplace_back(name, source);
+}
+
+agis::Result<uint64_t> ParseManifest(const std::string& contents,
+                                     const std::string& path) {
+  // "agis-manifest 1\nsnapshot <N>\n"
+  const size_t first_newline = contents.find('\n');
+  if (first_newline == std::string::npos ||
+      contents.substr(0, first_newline) != kManifestHeader) {
+    return agis::Status::ParseError(
+        agis::StrCat("'", path, "' is not an ActiveGIS storage manifest"));
+  }
+  std::string_view rest =
+      std::string_view(contents).substr(first_newline + 1);
+  constexpr std::string_view kKey = "snapshot ";
+  if (rest.substr(0, kKey.size()) != kKey) {
+    return agis::Status::ParseError(
+        agis::StrCat("manifest '", path, "': missing snapshot line"));
+  }
+  rest.remove_prefix(kKey.size());
+  uint64_t generation = 0;
+  bool any_digit = false;
+  for (char c : rest) {
+    if (c == '\n') break;
+    if (c < '0' || c > '9') {
+      return agis::Status::ParseError(
+          agis::StrCat("manifest '", path, "': bad generation number"));
+    }
+    generation = generation * 10 + static_cast<uint64_t>(c - '0');
+    any_digit = true;
+  }
+  if (!any_digit) {
+    return agis::Status::ParseError(
+        agis::StrCat("manifest '", path, "': empty generation number"));
+  }
+  return generation;
+}
+
+}  // namespace
+
+std::string DurableStore::ManifestPath(const std::string& dir) {
+  return agis::StrCat(dir, "/agis-manifest");
+}
+
+std::string DurableStore::WalPath(const std::string& dir,
+                                  uint64_t generation) {
+  return agis::StrCat(dir, "/wal-", generation, ".log");
+}
+
+std::string DurableStore::SnapshotPath(const std::string& dir,
+                                       uint64_t generation) {
+  return agis::StrCat(dir, "/snapshot-", generation, ".agsnap");
+}
+
+DurableStore::DurableStore(std::string dir, geodb::GeoDatabase* db,
+                           StoreOptions options, agis::ThreadPool* pool)
+    : dir_(std::move(dir)), db_(db), options_(options), pool_(pool) {}
+
+agis::Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir, geodb::GeoDatabase* db, StoreOptions options,
+    agis::ThreadPool* pool) {
+  if (db == nullptr) {
+    return agis::Status::InvalidArgument("DurableStore::Open: null database");
+  }
+  AGIS_RETURN_IF_ERROR(EnsureDirectory(dir));
+  std::unique_ptr<DurableStore> store(
+      new DurableStore(dir, db, options, pool));
+  AGIS_RETURN_IF_ERROR(store->Recover());
+  AGIS_RETURN_IF_ERROR(store->OpenWalGeneration(store->generation_));
+  store->AttachHooks();
+  return store;
+}
+
+DurableStore::~DurableStore() { Close().ok(); }
+
+agis::Status DurableStore::Recover() {
+  // 1. Manifest names the base generation (0 when never checkpointed).
+  uint64_t base = 0;
+  {
+    auto contents = ReadFileToString(ManifestPath(dir_));
+    if (contents.ok()) {
+      AGIS_ASSIGN_OR_RETURN(
+          base, ParseManifest(contents.value(), ManifestPath(dir_)));
+    } else if (!contents.status().IsNotFound()) {
+      return contents.status();
+    }
+  }
+  recovery_.base_generation = base;
+
+  // 2. Snapshot: state at the start of the base generation. Absent for
+  // a fresh directory or a never-checkpointed store.
+  const std::string snapshot_path = SnapshotPath(dir_, base);
+  if (FileExists(snapshot_path)) {
+    AGIS_ASSIGN_OR_RETURN(SnapshotLoadStats loaded,
+                          LoadSnapshotFileInto(snapshot_path, db_, pool_));
+    recovery_.snapshot_loaded = true;
+    recovery_.snapshot_objects = loaded.objects_loaded;
+    for (const auto& [name, source] : loaded.directives) {
+      UpsertDirective(&recovery_.directives, name, source);
+    }
+  }
+
+  // 3. Replay WAL generations base..G in order. Generations are
+  // contiguous by construction; the chain ends at the first missing
+  // file. A torn tail is tolerated on any generation (sync writes
+  // whole frames, so torn records were never acknowledged).
+  bool found_any_wal = false;
+  uint64_t g = base;
+  for (; FileExists(WalPath(dir_, g)); ++g) {
+    found_any_wal = true;
+    AGIS_ASSIGN_OR_RETURN(WalReadResult wal, ReadWalFile(WalPath(dir_, g)));
+    recovery_.torn_tail = recovery_.torn_tail || wal.torn_tail;
+    ++recovery_.wal_generations_replayed;
+    for (const WalRecord& record : wal.records) {
+      AGIS_RETURN_IF_ERROR(
+          ReplayRecord(record).WithContext(agis::StrCat(
+              "replaying '", WalPath(dir_, g), "'")));
+      ++recovery_.wal_records_replayed;
+    }
+  }
+
+  // The live WAL starts a fresh generation: never append to a replayed
+  // file (its tail may be torn) and never truncate one (its records
+  // are still needed until the next checkpoint).
+  generation_ = found_any_wal ? g : base;
+  return agis::Status::OK();
+}
+
+agis::Status DurableStore::ReplayRecord(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecordKind::kRegisterClass:
+      // Every generation head carries a catalog dump, so classes
+      // recur across generations (and after a snapshot load).
+      if (db_->schema().HasClass(record.class_def.name())) {
+        ++recovery_.wal_records_skipped;
+        return agis::Status::OK();
+      }
+      return db_->RegisterClass(record.class_def);
+    case WalRecordKind::kInsert: {
+      // Fuzzy-checkpoint overlap: the snapshot may already hold this
+      // object. Idempotent redo skips it.
+      agis::Status status = db_->RestoreObject(record.object);
+      if (status.IsAlreadyExists()) {
+        ++recovery_.wal_records_skipped;
+        return agis::Status::OK();
+      }
+      return status;
+    }
+    case WalRecordKind::kUpdate: {
+      agis::Status status =
+          db_->RestoreUpdate(record.id, record.attribute, record.value);
+      if (status.IsNotFound()) {
+        // The object was deleted later in the log (or the update is
+        // already reflected by the snapshot and the object since
+        // removed).
+        ++recovery_.wal_records_skipped;
+        return agis::Status::OK();
+      }
+      return status;
+    }
+    case WalRecordKind::kDelete: {
+      agis::Status status = db_->RestoreDelete(record.id);
+      if (status.IsNotFound()) {
+        ++recovery_.wal_records_skipped;
+        return agis::Status::OK();
+      }
+      return status;
+    }
+    case WalRecordKind::kDirective:
+      UpsertDirective(&recovery_.directives, record.directive_name,
+                      record.directive_source);
+      return agis::Status::OK();
+  }
+  return agis::Status::Internal("unhandled WAL record kind");
+}
+
+agis::Status DurableStore::OpenWalGeneration(uint64_t generation) {
+  AGIS_ASSIGN_OR_RETURN(WalWriter wal,
+                        WalWriter::Open(WalPath(dir_, generation),
+                                        options_.wal));
+  // Head of every generation: the current class catalog, so recovery
+  // can rebuild the schema even before the first checkpoint exists.
+  for (const std::string& name : db_->schema().ClassNames()) {
+    WalRecord record;
+    record.kind = WalRecordKind::kRegisterClass;
+    record.class_def = *db_->schema().FindClass(name);
+    AGIS_RETURN_IF_ERROR(wal.Append(record));
+  }
+  AGIS_RETURN_IF_ERROR(wal.Sync());
+  wal_ = std::move(wal);
+  wal_open_ = true;
+  generation_ = generation;
+  return agis::Status::OK();
+}
+
+void DurableStore::AttachHooks() {
+  db_->AddEventSink(this);
+  db_->set_schema_change_hook([this](const geodb::ClassDef& cls) {
+    WalRecord record;
+    record.kind = WalRecordKind::kRegisterClass;
+    record.class_def = cls;
+    std::lock_guard lock(mutex_);
+    if (!wal_open_) return;
+    LatchError(wal_.Append(record));
+    // Schema changes are rare and structural: make them durable
+    // immediately rather than waiting for the next group commit.
+    LatchError(wal_.Sync());
+  });
+}
+
+void DurableStore::LatchError(const agis::Status& status) {
+  if (!status.ok() && latched_error_.ok()) {
+    latched_error_ = status;
+  }
+}
+
+void DurableStore::OnAfterEvent(const geodb::DbEvent& event) {
+  WalRecord record;
+  switch (event.kind) {
+    case geodb::DbEventKind::kAfterInsert: {
+      record.kind = WalRecordKind::kInsert;
+      if (event.snapshot == nullptr) {
+        LatchError(agis::Status::Internal(
+            "after-insert event carried no snapshot; write not logged"));
+        return;
+      }
+      const geodb::ObjectInstance* obj =
+          db_->FindObjectAt(*event.snapshot, event.object_id);
+      if (obj == nullptr) {
+        LatchError(agis::Status::Internal(agis::StrCat(
+            "inserted object ", event.object_id,
+            " not visible in its own post-write snapshot")));
+        return;
+      }
+      record.object = *obj;
+      break;
+    }
+    case geodb::DbEventKind::kAfterUpdate:
+      record.kind = WalRecordKind::kUpdate;
+      record.id = event.object_id;
+      record.attribute = event.attribute;
+      record.value = event.new_value;
+      break;
+    case geodb::DbEventKind::kAfterDelete:
+      record.kind = WalRecordKind::kDelete;
+      record.id = event.object_id;
+      break;
+    default:
+      return;  // Read events are not logged.
+  }
+  std::lock_guard lock(mutex_);
+  if (!wal_open_) return;
+  LatchError(wal_.Append(record));
+}
+
+agis::Status DurableStore::Sync() {
+  std::lock_guard lock(mutex_);
+  AGIS_RETURN_IF_ERROR(latched_error_);
+  if (!wal_open_) {
+    return agis::Status::FailedPrecondition("store is closed");
+  }
+  return wal_.Sync();
+}
+
+agis::Status DurableStore::LogDirective(const std::string& name,
+                                        const std::string& source) {
+  WalRecord record;
+  record.kind = WalRecordKind::kDirective;
+  record.directive_name = name;
+  record.directive_source = source;
+  std::lock_guard lock(mutex_);
+  AGIS_RETURN_IF_ERROR(latched_error_);
+  if (!wal_open_) {
+    return agis::Status::FailedPrecondition("store is closed");
+  }
+  ++directives_logged_;
+  return wal_.Append(record);
+}
+
+agis::Result<SnapshotWriteInfo> DurableStore::Checkpoint(
+    std::vector<std::pair<std::string, std::string>> directives) {
+  // Phase 1 (under the append mutex): seal the old generation and
+  // rotate. Rotation happens BEFORE the snapshot pin, so a write that
+  // lands in between is both absent from the old WAL's successor and
+  // possibly present in the snapshot — idempotent replay absorbs the
+  // overlap. Concurrent writers only block for this short swap, not
+  // for the snapshot write itself.
+  uint64_t new_generation = 0;
+  {
+    std::lock_guard lock(mutex_);
+    AGIS_RETURN_IF_ERROR(latched_error_);
+    if (!wal_open_) {
+      return agis::Status::FailedPrecondition("store is closed");
+    }
+    rotated_records_ += wal_.records_appended();
+    rotated_bytes_ += wal_.bytes_appended();
+    rotated_syncs_ += wal_.syncs() + 1;  // +1: the Close below syncs.
+    AGIS_RETURN_IF_ERROR(wal_.Close());
+    wal_open_ = false;
+    new_generation = generation_ + 1;
+    AGIS_RETURN_IF_ERROR(OpenWalGeneration(new_generation));
+  }
+
+  // Phase 2 (no lock): pin and write the snapshot. Failure here is
+  // safe — the manifest still names the old base, so recovery replays
+  // the old snapshot plus every WAL including the one just opened.
+  SnapshotWriteOptions snap_options;
+  snap_options.records_per_block = options_.snapshot_records_per_block;
+  snap_options.directives = std::move(directives);
+  snap_options.fault_plan = options_.snapshot_fault_plan;
+  geodb::Snapshot pin = db_->OpenSnapshot();
+  AGIS_ASSIGN_OR_RETURN(
+      SnapshotWriteInfo info,
+      WriteSnapshotFile(*db_, pin, SnapshotPath(dir_, new_generation),
+                        snap_options));
+  pin.Release();
+
+  // Phase 3: commit the checkpoint by swinging the manifest, then
+  // prune superseded generations (walking down from the new base
+  // until the chain ends).
+  AGIS_RETURN_IF_ERROR(AtomicWriteFile(
+      ManifestPath(dir_),
+      agis::StrCat(kManifestHeader, "\nsnapshot ", new_generation, "\n"),
+      options_.manifest_fault_plan));
+  if (options_.prune_on_checkpoint) {
+    for (uint64_t g = new_generation; g-- > 0;) {
+      const bool had_wal = FileExists(WalPath(dir_, g));
+      const bool had_snapshot = FileExists(SnapshotPath(dir_, g));
+      if (!had_wal && !had_snapshot) break;
+      AGIS_RETURN_IF_ERROR(RemoveFileIfExists(WalPath(dir_, g)));
+      AGIS_RETURN_IF_ERROR(RemoveFileIfExists(SnapshotPath(dir_, g)));
+    }
+  }
+
+  std::lock_guard lock(mutex_);
+  ++checkpoints_;
+  last_snapshot_objects_ = info.objects_written;
+  last_snapshot_bytes_ = info.bytes_written;
+  return info;
+}
+
+agis::Status DurableStore::Close() {
+  agis::Status result;
+  {
+    std::lock_guard lock(mutex_);
+    if (db_ != nullptr) {
+      db_->RemoveEventSink(this);
+      db_->set_schema_change_hook(nullptr);
+      db_ = nullptr;
+    }
+    if (wal_open_) {
+      result = wal_.Close();
+      wal_open_ = false;
+    }
+    if (result.ok() && !latched_error_.ok()) {
+      result = latched_error_;
+    }
+  }
+  return result;
+}
+
+StorageStats DurableStore::stats() const {
+  std::lock_guard lock(mutex_);
+  StorageStats stats;
+  stats.generation = generation_;
+  stats.wal_records_appended = rotated_records_;
+  stats.wal_bytes_appended = rotated_bytes_;
+  stats.wal_syncs = rotated_syncs_;
+  if (wal_open_) {
+    stats.wal_records_appended += wal_.records_appended();
+    stats.wal_bytes_appended += wal_.bytes_appended();
+    stats.wal_syncs += wal_.syncs();
+  }
+  stats.checkpoints = checkpoints_;
+  stats.last_snapshot_objects = last_snapshot_objects_;
+  stats.last_snapshot_bytes = last_snapshot_bytes_;
+  stats.directives_logged = directives_logged_;
+  stats.recovery = recovery_;
+  return stats;
+}
+
+}  // namespace agis::storage

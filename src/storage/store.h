@@ -1,0 +1,196 @@
+#ifndef AGIS_STORAGE_STORE_H_
+#define AGIS_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "geodb/database.h"
+#include "geodb/events.h"
+#include "storage/snapshot_file.h"
+#include "storage/wal.h"
+
+namespace agis {
+class ThreadPool;
+}
+
+namespace agis::storage {
+
+/// Tuning and fault-injection knobs for a DurableStore.
+struct StoreOptions {
+  /// Group-commit / auto-sync policy for the live WAL.
+  WalWriterOptions wal;
+  /// Parallel-load block size for checkpoint snapshots.
+  size_t snapshot_records_per_block = 4096;
+  /// Remove superseded generations (old WALs and snapshots) after a
+  /// successful checkpoint.
+  bool prune_on_checkpoint = true;
+  /// Crash-test hooks. `wal.fault_plan` arms the WAL opened at attach;
+  /// these two arm the checkpoint's snapshot write and manifest swap.
+  FaultPlan snapshot_fault_plan;
+  FaultPlan manifest_fault_plan;
+};
+
+/// What recovery found and replayed when the store opened.
+struct RecoveryInfo {
+  /// Generation of the snapshot loaded (also the first WAL replayed).
+  uint64_t base_generation = 0;
+  bool snapshot_loaded = false;
+  uint64_t snapshot_objects = 0;
+  uint64_t wal_generations_replayed = 0;
+  uint64_t wal_records_replayed = 0;
+  /// Replayed records that were already reflected by the snapshot
+  /// (fuzzy-checkpoint overlap) or undone by later records; skipping
+  /// them is what makes redo idempotent.
+  uint64_t wal_records_skipped = 0;
+  /// True when some WAL ended in a torn record — the signature of a
+  /// crash mid-append. The torn record was never acknowledged.
+  bool torn_tail = false;
+  /// Stored customization directives, registration order, later
+  /// registrations of the same name superseding earlier ones. The
+  /// core layer re-installs these (the database does not interpret
+  /// them).
+  std::vector<std::pair<std::string, std::string>> directives;
+};
+
+/// Counters surfaced alongside geodb::DatabaseStats.
+struct StorageStats {
+  uint64_t generation = 0;
+  uint64_t wal_records_appended = 0;
+  uint64_t wal_bytes_appended = 0;
+  uint64_t wal_syncs = 0;
+  uint64_t checkpoints = 0;
+  uint64_t last_snapshot_objects = 0;
+  uint64_t last_snapshot_bytes = 0;
+  uint64_t directives_logged = 0;
+  RecoveryInfo recovery;
+};
+
+/// Durable storage for one GeoDatabase: a directory of generation
+/// files plus a manifest.
+///
+///   agis-manifest       text, names the checkpointed generation S
+///   snapshot-<g>.agsnap state at the *start* of generation g
+///   wal-<g>.log         writes made *during* generation g
+///
+/// Opening the store recovers (load snapshot-S, replay wal-S..G in
+/// order, tolerate a torn final record), then attaches to the live
+/// database: it registers as an event sink so every Insert/Update/
+/// Delete appends a WAL record, hooks RegisterClass so schema changes
+/// are logged too, and opens a fresh WAL generation headed by a dump
+/// of the current class catalog.
+///
+/// Durability contract: a write is guaranteed to survive a crash once
+/// a Sync() (or an automatic sync per WalWriterOptions) has returned
+/// OK after it. Checkpoint() rotates the WAL *before* pinning the
+/// snapshot, so the snapshot can include writes also present in the
+/// new WAL's head — replay is idempotent (insert of an existing id,
+/// update/delete of a missing id are skips, not errors) and converges
+/// to the same state regardless of where in the checkpoint sequence a
+/// crash lands.
+///
+/// Threading: Append capture (the event sink) is safe under the
+/// database's concurrent writers; Sync/Checkpoint/Close serialize on
+/// an internal mutex. Because the sink interface cannot return an
+/// error, a failed WAL append latches and surfaces at the next
+/// Sync()/Checkpoint() — acknowledged durability is never silently
+/// weaker than reported.
+class DurableStore : public geodb::DbEventSink {
+ public:
+  /// Recovers `dir` into `db` (which must be freshly constructed:
+  /// no classes, no objects) and attaches. `pool` parallelizes
+  /// snapshot block decode during recovery and checkpoint loads.
+  static agis::Result<std::unique_ptr<DurableStore>> Open(
+      const std::string& dir, geodb::GeoDatabase* db,
+      StoreOptions options = StoreOptions(), agis::ThreadPool* pool = nullptr);
+
+  ~DurableStore() override;
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// What recovery found when this store opened.
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  /// Durability barrier: group-commit buffer flushed and fsynced.
+  /// Returns any latched append error first.
+  agis::Status Sync();
+
+  /// Writes a checkpoint: rotates to a new WAL generation, saves a
+  /// snapshot of the database (with `directives`, the core layer's
+  /// stored customizations), atomically updates the manifest, and
+  /// prunes superseded generations. Writers keep running throughout —
+  /// the snapshot is taken from a pin, not a stop-the-world copy.
+  agis::Result<SnapshotWriteInfo> Checkpoint(
+      std::vector<std::pair<std::string, std::string>> directives = {});
+
+  /// Logs a customization-directive registration (durable after the
+  /// next sync, like any write).
+  agis::Status LogDirective(const std::string& name,
+                            const std::string& source);
+
+  /// Detaches from the database and closes the WAL (final sync).
+  /// Idempotent; also run by the destructor.
+  agis::Status Close();
+
+  bool attached() const { return db_ != nullptr; }
+  const std::string& directory() const { return dir_; }
+  StorageStats stats() const;
+
+  /// DbEventSink: captures after-write events into the WAL.
+  void OnAfterEvent(const geodb::DbEvent& event) override;
+
+  // ---- Path helpers (exposed for tests and tooling) ----------------------
+  static std::string ManifestPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir, uint64_t generation);
+  static std::string SnapshotPath(const std::string& dir,
+                                  uint64_t generation);
+
+ private:
+  DurableStore(std::string dir, geodb::GeoDatabase* db, StoreOptions options,
+               agis::ThreadPool* pool);
+
+  /// Loads the manifest + snapshot + WAL chain into db_. Fills
+  /// recovery_.
+  agis::Status Recover();
+  /// Applies one replayed record to db_ (idempotent redo).
+  agis::Status ReplayRecord(const WalRecord& record);
+  /// Opens wal-<generation> and writes the schema-catalog dump at its
+  /// head.
+  agis::Status OpenWalGeneration(uint64_t generation);
+  /// Registers the event sink and the schema-change hook.
+  void AttachHooks();
+
+  void LatchError(const agis::Status& status);
+
+  std::string dir_;
+  geodb::GeoDatabase* db_;
+  StoreOptions options_;
+  agis::ThreadPool* pool_;
+
+  /// Serializes WAL appends against rotation (Checkpoint) and close.
+  mutable std::mutex mutex_;
+  WalWriter wal_;
+  bool wal_open_ = false;
+  uint64_t generation_ = 0;
+  agis::Status latched_error_;  // First failed append, surfaced at Sync.
+
+  RecoveryInfo recovery_;
+  uint64_t checkpoints_ = 0;
+  uint64_t directives_logged_ = 0;
+  uint64_t last_snapshot_objects_ = 0;
+  uint64_t last_snapshot_bytes_ = 0;
+  /// Records/bytes/syncs accumulated from WAL generations already
+  /// rotated out (the live writer's counters are added on top).
+  uint64_t rotated_records_ = 0;
+  uint64_t rotated_bytes_ = 0;
+  uint64_t rotated_syncs_ = 0;
+};
+
+}  // namespace agis::storage
+
+#endif  // AGIS_STORAGE_STORE_H_

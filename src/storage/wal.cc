@@ -1,0 +1,219 @@
+#include "storage/wal.h"
+
+#include "base/strutil.h"
+#include "storage/format.h"
+
+namespace agis::storage {
+
+namespace {
+
+/// 8-byte magic; the trailing digit is the format version.
+constexpr std::string_view kWalMagic = "AGISWAL1";
+constexpr std::string_view kWalMagicPrefix = "AGISWAL";
+
+void EncodeRecordPayload(const WalRecord& record, Encoder* enc) {
+  enc->U8(static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case WalRecordKind::kInsert:
+      enc->Str(record.object.class_name());
+      EncodeObjectRecord(record.object, enc);
+      break;
+    case WalRecordKind::kUpdate:
+      enc->U64(record.id);
+      enc->Str(record.attribute);
+      EncodeValue(record.value, enc);
+      break;
+    case WalRecordKind::kDelete:
+      enc->U64(record.id);
+      break;
+    case WalRecordKind::kDirective:
+      enc->Str(record.directive_name);
+      enc->Str(record.directive_source);
+      break;
+    case WalRecordKind::kRegisterClass:
+      EncodeClassDef(record.class_def, enc);
+      break;
+  }
+}
+
+agis::Result<WalRecord> DecodeRecordPayload(std::string_view payload) {
+  Decoder dec(payload);
+  WalRecord record;
+  AGIS_ASSIGN_OR_RETURN(uint8_t kind, dec.U8("record kind"));
+  switch (static_cast<WalRecordKind>(kind)) {
+    case WalRecordKind::kInsert: {
+      record.kind = WalRecordKind::kInsert;
+      AGIS_ASSIGN_OR_RETURN(std::string cls, dec.Str("class name"));
+      AGIS_ASSIGN_OR_RETURN(record.object, DecodeObjectRecord(&dec, cls));
+      break;
+    }
+    case WalRecordKind::kUpdate: {
+      record.kind = WalRecordKind::kUpdate;
+      AGIS_ASSIGN_OR_RETURN(uint64_t id, dec.U64("object id"));
+      record.id = static_cast<geodb::ObjectId>(id);
+      AGIS_ASSIGN_OR_RETURN(record.attribute, dec.Str("attribute"));
+      AGIS_ASSIGN_OR_RETURN(record.value, DecodeValue(&dec));
+      break;
+    }
+    case WalRecordKind::kDelete: {
+      record.kind = WalRecordKind::kDelete;
+      AGIS_ASSIGN_OR_RETURN(uint64_t id, dec.U64("object id"));
+      record.id = static_cast<geodb::ObjectId>(id);
+      break;
+    }
+    case WalRecordKind::kDirective: {
+      record.kind = WalRecordKind::kDirective;
+      AGIS_ASSIGN_OR_RETURN(record.directive_name, dec.Str("directive name"));
+      AGIS_ASSIGN_OR_RETURN(record.directive_source,
+                            dec.Str("directive source"));
+      break;
+    }
+    case WalRecordKind::kRegisterClass: {
+      record.kind = WalRecordKind::kRegisterClass;
+      AGIS_ASSIGN_OR_RETURN(record.class_def, DecodeClassDef(&dec));
+      break;
+    }
+    default:
+      return dec.Error(agis::StrCat("unknown WAL record kind ", kind));
+  }
+  if (!dec.AtEnd()) {
+    return dec.Error("trailing bytes after WAL record");
+  }
+  return record;
+}
+
+}  // namespace
+
+agis::Result<WalWriter> WalWriter::Open(const std::string& path,
+                                        WalWriterOptions options) {
+  WalWriter writer;
+  writer.options_ = options;
+  AGIS_ASSIGN_OR_RETURN(
+      writer.file_,
+      AppendFile::Open(path, /*truncate=*/true, options.fault_plan));
+  AGIS_RETURN_IF_ERROR(writer.file_.Append(kWalMagic));
+  // The header must be on disk before any record can be considered
+  // durable; a header-less file would make the whole log unreadable.
+  AGIS_RETURN_IF_ERROR(writer.file_.Sync());
+  return writer;
+}
+
+agis::Status WalWriter::Append(const WalRecord& record) {
+  Encoder payload_enc;
+  EncodeRecordPayload(record, &payload_enc);
+  const std::string payload = payload_enc.Take();
+
+  Encoder frame;
+  frame.U32(static_cast<uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  frame.Raw(payload);
+
+  std::lock_guard lock(*mutex_);
+  pending_.append(frame.buffer());
+  ++records_appended_;
+  bytes_appended_ += frame.size();
+  ++records_since_sync_;
+  if (options_.sync_every_records != 0 &&
+      records_since_sync_ >= options_.sync_every_records) {
+    records_since_sync_ = 0;
+    AGIS_RETURN_IF_ERROR(file_.Append(pending_));
+    pending_.clear();
+    AGIS_RETURN_IF_ERROR(file_.Sync());
+    ++syncs_;
+    return agis::Status::OK();
+  }
+  if (pending_.size() >= options_.group_commit_bytes) {
+    AGIS_RETURN_IF_ERROR(file_.Append(pending_));
+    pending_.clear();
+    return file_.Flush();
+  }
+  return agis::Status::OK();
+}
+
+agis::Status WalWriter::Flush() {
+  std::lock_guard lock(*mutex_);
+  if (!pending_.empty()) {
+    AGIS_RETURN_IF_ERROR(file_.Append(pending_));
+    pending_.clear();
+  }
+  return file_.Flush();
+}
+
+agis::Status WalWriter::Sync() {
+  std::lock_guard lock(*mutex_);
+  if (!pending_.empty()) {
+    AGIS_RETURN_IF_ERROR(file_.Append(pending_));
+    pending_.clear();
+  }
+  AGIS_RETURN_IF_ERROR(file_.Sync());
+  ++syncs_;
+  records_since_sync_ = 0;
+  return agis::Status::OK();
+}
+
+agis::Status WalWriter::Close() {
+  std::lock_guard lock(*mutex_);
+  if (!file_.is_open()) return agis::Status::OK();
+  if (!pending_.empty()) {
+    AGIS_RETURN_IF_ERROR(file_.Append(pending_));
+    pending_.clear();
+  }
+  AGIS_RETURN_IF_ERROR(file_.Sync());
+  ++syncs_;
+  return file_.Close();
+}
+
+agis::Result<WalReadResult> ReadWalFile(const std::string& path) {
+  AGIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.size() < kWalMagic.size() ||
+      std::string_view(bytes).substr(0, kWalMagicPrefix.size()) !=
+          kWalMagicPrefix) {
+    return agis::Status::ParseError(
+        agis::StrCat("'", path, "' is not an ActiveGIS WAL file"));
+  }
+  if (std::string_view(bytes).substr(0, kWalMagic.size()) != kWalMagic) {
+    return agis::Status::ParseError(agis::StrCat(
+        "'", path, "' has unsupported WAL version '",
+        bytes[kWalMagicPrefix.size()], "' (expected '1')"));
+  }
+
+  WalReadResult result;
+  std::string_view rest = std::string_view(bytes).substr(kWalMagic.size());
+  uint64_t consumed = kWalMagic.size();
+  while (!rest.empty()) {
+    // A frame is [u32 len][u32 crc][payload]. Anything that does not
+    // parse cleanly from here to the end of the file is a torn tail:
+    // frames are only ever appended, so the first bad frame ends the
+    // intact prefix.
+    if (rest.size() < 8) {
+      result.torn_tail = true;
+      break;
+    }
+    Decoder frame(rest);
+    const uint32_t len = frame.U32("frame length").value();
+    const uint32_t crc = frame.U32("frame crc").value();
+    if (frame.remaining() < len) {
+      result.torn_tail = true;
+      break;
+    }
+    const std::string_view payload = frame.Raw(len, "frame payload").value();
+    if (Crc32(payload) != crc) {
+      result.torn_tail = true;
+      break;
+    }
+    auto record = DecodeRecordPayload(payload);
+    if (!record.ok()) {
+      // CRC passed but the payload is not decodable: structural
+      // corruption, not a torn append. Surface it.
+      return record.status().WithContext(
+          agis::StrCat("WAL '", path, "' record ", result.records.size()));
+    }
+    result.records.push_back(std::move(record).value());
+    rest.remove_prefix(8 + len);
+    consumed += 8 + len;
+  }
+  result.bytes_consumed = consumed;
+  return result;
+}
+
+}  // namespace agis::storage

@@ -1,0 +1,117 @@
+#ifndef AGIS_STORAGE_WAL_H_
+#define AGIS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "geodb/object.h"
+#include "geodb/schema.h"
+#include "geodb/value.h"
+#include "storage/io.h"
+
+namespace agis::storage {
+
+/// Operation kinds logged to the write-ahead log. Values are part of
+/// the on-disk format; append only.
+enum class WalRecordKind : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+  /// Customization-directive registration (canonical name + source);
+  /// replayed by the core layer, not by the database.
+  kDirective = 4,
+  /// Schema-catalog entry. The attached store dumps the current
+  /// catalog at the head of every WAL generation and logs later
+  /// RegisterClass calls, so recovery can rebuild the schema even
+  /// before the first checkpoint exists.
+  kRegisterClass = 5,
+};
+
+/// One decoded WAL record. Only the fields of its kind are meaningful.
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kInsert;
+  geodb::ObjectInstance object;  // kInsert: full object (id + class + values)
+  geodb::ObjectId id = 0;        // kUpdate / kDelete
+  std::string attribute;         // kUpdate
+  geodb::Value value;            // kUpdate
+  std::string directive_name;    // kDirective
+  std::string directive_source;  // kDirective
+  geodb::ClassDef class_def;     // kRegisterClass
+};
+
+struct WalWriterOptions {
+  /// Group commit: appended records accumulate in memory and are
+  /// written out (no fsync) once the batch reaches this size. Sync()
+  /// flushes the batch and fsyncs — that is the durability barrier.
+  size_t group_commit_bytes = 64 << 10;
+  /// If nonzero, every Nth record triggers a full Sync automatically
+  /// (strict durability at the cost of fsync frequency).
+  size_t sync_every_records = 0;
+  FaultPlan fault_plan;  // Crash-test hook, forwarded to the file.
+};
+
+/// Appender for one WAL file. Thread-safe: concurrent Append/Sync
+/// calls serialize on an internal mutex (group commit batches them).
+class WalWriter {
+ public:
+  /// Creates `path` (truncating) and writes the format header.
+  static agis::Result<WalWriter> Open(const std::string& path,
+                                      WalWriterOptions options = {});
+
+  /// Constructs a closed writer (Append/Sync fail); assign from Open.
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Serializes and buffers one record; flushes the group-commit
+  /// buffer when full. The record is durable only after the next
+  /// Sync() (or automatic sync per options).
+  agis::Status Append(const WalRecord& record);
+
+  /// Writes any buffered records to the OS (still not power-safe).
+  agis::Status Flush();
+
+  /// Durability barrier: flush + fsync. Every record appended before
+  /// a successful Sync survives a crash.
+  agis::Status Sync();
+
+  agis::Status Close();
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  AppendFile file_;
+  WalWriterOptions options_;
+  std::string pending_;  // Group-commit buffer of framed records.
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t records_since_sync_ = 0;
+};
+
+/// Result of scanning one WAL file.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// True when the file ends in an incomplete or CRC-failing frame —
+  /// the signature of a crash mid-append. The intact prefix is
+  /// returned; the torn record was never acknowledged (a successful
+  /// Sync writes whole frames), so dropping it loses nothing durable.
+  bool torn_tail = false;
+  /// Bytes of intact frames consumed (excludes any torn tail).
+  uint64_t bytes_consumed = 0;
+};
+
+/// Reads every intact record of the WAL file at `path`. Errors on a
+/// missing/foreign/unsupported-version header; a torn tail is not an
+/// error (see WalReadResult::torn_tail).
+agis::Result<WalReadResult> ReadWalFile(const std::string& path);
+
+}  // namespace agis::storage
+
+#endif  // AGIS_STORAGE_WAL_H_

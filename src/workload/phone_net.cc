@@ -88,8 +88,9 @@ agis::Status RegisterSchema(geodb::GeoDatabase* db) {
             if (ref.kind() != geodb::ValueKind::kRef) {
               return Value::String("<no supplier>");
             }
+            const geodb::Snapshot snap = db.OpenSnapshot();
             const geodb::ObjectInstance* supplier =
-                db.FindObject(ref.ref_value().id);
+                db.FindObjectAt(snap, ref.ref_value().id);
             if (supplier == nullptr) {
               return agis::Status::NotFound(
                   agis::StrCat("supplier ", ref.ref_value().id));

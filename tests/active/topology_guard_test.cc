@@ -100,7 +100,8 @@ TEST_F(TopologyGuardTest, ExistsConstraintOnUpdate) {
   // Move outside: vetoed, value unchanged.
   EXPECT_TRUE(db_->Update(pole.value(), "location", PointValue(900, 900))
                   .IsConstraintViolation());
-  EXPECT_EQ(db_->FindObject(pole.value())->Get("location"),
+  EXPECT_EQ(db_->FindObjectAt(db_->OpenSnapshot(), pole.value())
+                ->Get("location"),
             PointValue(50, 50));
   // Move within: accepted.
   EXPECT_TRUE(db_->Update(pole.value(), "location", PointValue(10, 10)).ok());

@@ -1,0 +1,215 @@
+// System-level durability: OpenStorage/Checkpoint/Close on the full
+// ActiveInterfaceSystem, crash-recovery of data AND customization
+// directives, and the compile cache riding the recovery path.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/active_interface_system.h"
+#include "workload/phone_net.h"
+
+namespace agis::core {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "agis_sys_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Methods are host callbacks — never persisted. After recovery the
+/// application re-registers them (the documented contract, same as
+/// the text import path) before reloading customizations that call
+/// them.
+void RegisterSupplierMethod(geodb::GeoDatabase* db) {
+  ASSERT_TRUE(
+      db->RegisterMethod(
+            "Pole",
+            geodb::MethodDef{
+                "get_supplier_name", "name of the pole's supplier",
+                [](const geodb::GeoDatabase& inner,
+                   const geodb::ObjectInstance& pole)
+                    -> agis::Result<geodb::Value> {
+                  const geodb::Value& ref = pole.Get("pole_supplier");
+                  const geodb::Snapshot snap = inner.OpenSnapshot();
+                  const geodb::ObjectInstance* supplier =
+                      inner.FindObjectAt(snap, ref.ref_value().id);
+                  if (supplier == nullptr) {
+                    return agis::Status::NotFound("dangling supplier ref");
+                  }
+                  return supplier->Get("supplier_name");
+                }})
+          .ok());
+}
+
+TEST(DurableSystem, CheckpointCloseReopenRestoresDataAndRules) {
+  const std::string dir = FreshDir("lifecycle");
+  size_t poles = 0;
+  size_t rules = 0;
+  {
+    ActiveInterfaceSystem sys("phone_net");
+    ASSERT_TRUE(sys.OpenStorage(dir).ok());
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+    ASSERT_TRUE(sys.InstallCustomization(workload::Fig6DirectiveSource())
+                    .ok());
+    ASSERT_TRUE(
+        sys.InstallCustomization(workload::PlannerDirectiveSource()).ok());
+    poles = sys.db().ExtentSize("Pole");
+    rules = sys.engine().NumRules();
+    ASSERT_GT(poles, 0u);
+    ASSERT_GT(rules, 0u);
+    ASSERT_TRUE(sys.CheckpointStorage().ok());
+    EXPECT_EQ(sys.storage_stats().checkpoints, 1u);
+    ASSERT_TRUE(sys.CloseStorage().ok());
+    EXPECT_FALSE(sys.storage_open());
+  }
+  ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(sys.OpenStorage(dir).ok());
+  EXPECT_TRUE(sys.storage_open());
+  // Data back — from the binary snapshot, not the text format.
+  EXPECT_EQ(sys.db().ExtentSize("Pole"), poles);
+  EXPECT_EQ(sys.StoredDirectives().size(), 2u);
+  // The planner directive replayed at open; Figure 6 calls a host
+  // method, so it waits for the application to re-register it.
+  EXPECT_GT(sys.engine().NumRules(), 0u);
+  EXPECT_LT(sys.engine().NumRules(), rules);
+  RegisterSupplierMethod(&sys.db());
+  auto reloaded = sys.ReloadCustomizations();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(sys.engine().NumRules(), rules);
+  // The recovered system behaves: Figure 6's customization applies.
+  UserContext ctx;
+  ctx.user = "juliano";
+  ctx.application = "pole_manager";
+  sys.dispatcher().set_context(ctx);
+  auto window = sys.dispatcher().OpenSchemaWindow();
+  ASSERT_TRUE(window.ok()) << window.status();
+}
+
+TEST(DurableSystem, WalOnlyRecoveryViaDestructorClose) {
+  const std::string dir = FreshDir("walonly");
+  size_t objects = 0;
+  {
+    ActiveInterfaceSystem sys("phone_net");
+    ASSERT_TRUE(sys.OpenStorage(dir).ok());
+    ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+    ASSERT_TRUE(
+        sys.InstallCustomization(workload::Fig6DirectiveSource()).ok());
+    objects = sys.db().NumObjects();
+    // No checkpoint, no explicit close: the destructor must sync+detach.
+  }
+  ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(sys.OpenStorage(dir).ok());
+  EXPECT_FALSE(sys.storage()->recovery().snapshot_loaded);
+  EXPECT_EQ(sys.db().NumObjects(), objects);
+  EXPECT_EQ(sys.StoredDirectives().size(), 1u);
+  // Figure 6 needs its host method back before its rules can load.
+  EXPECT_EQ(sys.engine().NumRules(), 0u);
+  RegisterSupplierMethod(&sys.db());
+  auto reloaded = sys.ReloadCustomizations();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded.value(), 1u);
+  EXPECT_GT(sys.engine().NumRules(), 0u);
+}
+
+TEST(DurableSystem, SyncedWritesSurviveAnInjectedCrash) {
+  const std::string dir = FreshDir("crash");
+  geodb::ObjectId synced_id = 0;
+  {
+    storage::StoreOptions options;
+    options.wal.fault_plan.fail_after_bytes = 8 * 1024;
+    options.wal.fault_plan.short_write = true;
+    ActiveInterfaceSystem sys("phone_net");
+    ASSERT_TRUE(sys.OpenStorage(dir, options).ok());
+    geodb::ClassDef pole("Pole", "");
+    ASSERT_TRUE(
+        pole.AddAttribute(geodb::AttributeDef::Int("pole_type")).ok());
+    ASSERT_TRUE(sys.db().RegisterClass(std::move(pole)).ok());
+    auto id = sys.db().Insert(
+        "Pole", {{"pole_type", geodb::Value::Int(42)}});
+    ASSERT_TRUE(id.ok());
+    synced_id = id.value();
+    ASSERT_TRUE(sys.SyncStorage().ok());  // Acknowledged.
+    // Keep writing until the "disk" dies, then let the system go down
+    // with the latched error (destructor close fails; that is the
+    // simulated crash).
+    for (int i = 0; i < 5000; ++i) {
+      auto extra = sys.db().Insert(
+          "Pole", {{"pole_type", geodb::Value::Int(i)}});
+      if (!extra.ok() || !sys.SyncStorage().ok()) break;
+    }
+    EXPECT_FALSE(sys.SyncStorage().ok()) << "fault plan never fired";
+  }
+  ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(sys.OpenStorage(dir).ok());
+  const geodb::Snapshot snap = sys.db().OpenSnapshot();
+  const auto* obj = sys.db().FindObjectAt(snap, synced_id);
+  ASSERT_NE(obj, nullptr) << "acknowledged insert lost in the crash";
+  EXPECT_EQ(obj->Get("pole_type"), geodb::Value::Int(42));
+}
+
+TEST(DurableSystem, CompileCacheSkipsParseOnReinstallAndReload) {
+  ActiveInterfaceSystem sys("phone_net");
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  const std::string source = workload::Fig6DirectiveSource();
+
+  auto first = sys.InstallCustomization(source);
+  ASSERT_TRUE(first.ok());
+  const auto cold = sys.compile_cache_stats();
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_GT(cold.misses, 0u);
+  EXPECT_GT(cold.entries, 0u);
+
+  // Same text again: parse and compile are skipped (analysis still
+  // runs against the live schema).
+  auto canonical = sys.StoredDirectives();
+  ASSERT_EQ(canonical.size(), 1u);
+  EXPECT_GT(sys.UninstallCustomization(canonical[0].first), 0u);
+  auto second = sys.InstallCustomization(source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), first->size());
+  EXPECT_GT(sys.compile_cache_stats().hits, cold.hits);
+
+  // ReloadCustomizations after a rule-engine reset rides the cache too
+  // (drop the live rules but keep the stored directive copy).
+  EXPECT_GT(sys.engine().RemoveRulesByProvenance(canonical[0].first), 0u);
+  ASSERT_EQ(sys.engine().NumRules(), 0u);
+  const uint64_t before_reload = sys.compile_cache_stats().hits;
+  auto reloaded = sys.ReloadCustomizations();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value(), 1u);
+  EXPECT_GT(sys.engine().NumRules(), 0u);
+  EXPECT_GT(sys.compile_cache_stats().hits, before_reload);
+}
+
+TEST(DurableSystem, ZeroCapacityDisablesTheCompileCache) {
+  SystemOptions options;
+  options.compile_cache_capacity = 0;
+  ActiveInterfaceSystem sys("phone_net", options);
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys.db()).ok());
+  ASSERT_TRUE(
+      sys.InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  auto canonical = sys.StoredDirectives();
+  ASSERT_EQ(canonical.size(), 1u);
+  EXPECT_GT(sys.UninstallCustomization(canonical[0].first), 0u);
+  ASSERT_TRUE(
+      sys.InstallCustomization(workload::Fig6DirectiveSource()).ok());
+  EXPECT_EQ(sys.compile_cache_stats().hits, 0u);
+  EXPECT_EQ(sys.compile_cache_stats().entries, 0u);
+}
+
+TEST(DurableSystem, StorageCallsWithoutOpenAreCleanErrors) {
+  ActiveInterfaceSystem sys("phone_net");
+  EXPECT_FALSE(sys.storage_open());
+  EXPECT_EQ(sys.storage(), nullptr);
+  EXPECT_FALSE(sys.SyncStorage().ok());
+  EXPECT_FALSE(sys.CheckpointStorage().ok());
+  EXPECT_TRUE(sys.CloseStorage().ok());  // Closing nothing is fine.
+  EXPECT_EQ(sys.storage_stats().wal_records_appended, 0u);
+}
+
+}  // namespace
+}  // namespace agis::core

@@ -39,12 +39,15 @@ TEST(SavedProject, SaveLoadReloadBrowse) {
     }
     ASSERT_TRUE(second.db().RegisterClass(std::move(copy)).ok());
   }
+  const geodb::Snapshot loaded_snap = loaded.value()->OpenSnapshot();
   for (const std::string& cls_name : loaded.value()->schema().ClassNames()) {
     const auto ids = loaded.value()->ScanExtent(cls_name);
     ASSERT_TRUE(ids.ok());
     for (geodb::ObjectId id : ids.value()) {
-      ASSERT_TRUE(
-          second.db().RestoreObject(*loaded.value()->FindObject(id)).ok());
+      ASSERT_TRUE(second.db()
+                      .RestoreObject(*loaded.value()->FindObjectAt(
+                          loaded_snap, id))
+                      .ok());
     }
   }
   // Methods are host code: re-register (the documented contract).
@@ -58,8 +61,9 @@ TEST(SavedProject, SaveLoadReloadBrowse) {
                               -> agis::Result<geodb::Value> {
                             const geodb::Value& ref =
                                 pole.Get("pole_supplier");
+                            const geodb::Snapshot snap = db.OpenSnapshot();
                             const geodb::ObjectInstance* supplier =
-                                db.FindObject(ref.ref_value().id);
+                                db.FindObjectAt(snap, ref.ref_value().id);
                             return supplier->Get("supplier_name");
                           }})
                   .ok());

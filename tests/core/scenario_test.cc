@@ -44,10 +44,11 @@ TEST_F(ScenarioTest, HypotheticalEditsDoNotTouchTheBase) {
                   .HypotheticalUpdate(poles.value()[0], "pole_type",
                                       geodb::Value::Int(7))
                   .ok());
-  EXPECT_NE(sys_->db().FindObject(poles.value()[0])->Get("pole_type"),
+  const geodb::Snapshot snap = sys_->db().OpenSnapshot();
+  EXPECT_NE(sys_->db().FindObjectAt(snap, poles.value()[0])->Get("pole_type"),
             geodb::Value::Int(7));
   ASSERT_TRUE(scenario.HypotheticalDelete(poles.value()[1]).ok());
-  EXPECT_NE(sys_->db().FindObject(poles.value()[1]), nullptr);
+  EXPECT_NE(sys_->db().FindObjectAt(snap, poles.value()[1]), nullptr);
   EXPECT_EQ(scenario.PendingOps(), 3u);
 }
 
@@ -63,7 +64,9 @@ TEST_F(ScenarioTest, EffectiveStateMergesOverlay) {
   EXPECT_EQ(effective->Get("pole_type"), geodb::Value::Int(42));
   // Untouched attributes come from the base.
   EXPECT_EQ(effective->Get("pole_location"),
-            sys_->db().FindObject(base_id)->Get("pole_location"));
+            sys_->db()
+                .FindObjectAt(sys_->db().OpenSnapshot(), base_id)
+                ->Get("pole_location"));
 
   ASSERT_TRUE(scenario.HypotheticalDelete(poles.value()[1]).ok());
   EXPECT_FALSE(scenario.EffectiveObject(poles.value()[1]).has_value());
@@ -164,7 +167,9 @@ TEST_F(ScenarioTest, CommitAppliesThroughTheGuardedWritePath) {
   EXPECT_EQ(sys_->db().ExtentSize("Pole"), base_poles + 1);
   // The committed pole carries the scenario's update, under its real id.
   const geodb::ObjectId real_id = outcome->id_mapping.at(good.value());
-  EXPECT_EQ(sys_->db().FindObject(real_id)->Get("pole_type"),
+  EXPECT_EQ(sys_->db()
+                .FindObjectAt(sys_->db().OpenSnapshot(), real_id)
+                ->Get("pole_type"),
             geodb::Value::Int(3));
   EXPECT_EQ(scenario.PendingOps(), 0u);
 }

@@ -1,0 +1,108 @@
+// CompileCache unit tests: hit/miss accounting, LRU eviction order,
+// same-text replacement, and the zero-capacity escape hatch. The
+// system-level behaviour (parse+compile actually skipped) is covered
+// in tests/core/durable_system_test.cc.
+
+#include "custlang/compile_cache.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "custlang/parser.h"
+
+namespace agis::custlang {
+namespace {
+
+Directive Parse(const std::string& source) {
+  auto parsed = ParseDirective(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return parsed.ok() ? parsed.value() : Directive{};
+}
+
+const std::string kSourceA = "For user juliano class Pole display";
+const std::string kSourceB = "For user maria class Pole display";
+const std::string kSourceC = "For category planner class Duct display";
+
+TEST(CompileCache, MissThenHitReturnsTheStoredEntry) {
+  CompileCache cache(4);
+  EXPECT_EQ(cache.Find(kSourceA), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.Put(kSourceA, Parse(kSourceA), {});
+  const CompileCache::Entry* hit = cache.Find(kSourceA);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->source, kSourceA);
+  EXPECT_EQ(hit->directive.user, "juliano");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(CompileCache, HashIsStableAndContentSensitive) {
+  EXPECT_EQ(CompileCache::HashSource(kSourceA),
+            CompileCache::HashSource(kSourceA));
+  EXPECT_NE(CompileCache::HashSource(kSourceA),
+            CompileCache::HashSource(kSourceB));
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(CompileCache::HashSource(""), 14695981039346656037ull);
+}
+
+TEST(CompileCache, PeekNeitherCountsNorTouchesLruOrder) {
+  CompileCache cache(2);
+  cache.Put(kSourceA, Parse(kSourceA), {});
+  cache.Put(kSourceB, Parse(kSourceB), {});
+  ASSERT_NE(cache.Peek(kSourceA), nullptr);
+  EXPECT_EQ(cache.Peek(kSourceC), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // A did NOT become most-recent: the next Put still evicts it.
+  cache.Put(kSourceC, Parse(kSourceC), {});
+  EXPECT_EQ(cache.Peek(kSourceA), nullptr);
+  EXPECT_NE(cache.Peek(kSourceB), nullptr);
+}
+
+TEST(CompileCache, EvictsLeastRecentlyUsed) {
+  CompileCache cache(2);
+  cache.Put(kSourceA, Parse(kSourceA), {});
+  cache.Put(kSourceB, Parse(kSourceB), {});
+  ASSERT_NE(cache.Find(kSourceA), nullptr);  // A is now most recent.
+  cache.Put(kSourceC, Parse(kSourceC), {});  // Evicts B, not A.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_NE(cache.Find(kSourceA), nullptr);
+  EXPECT_NE(cache.Find(kSourceC), nullptr);
+  EXPECT_EQ(cache.Find(kSourceB), nullptr);
+}
+
+TEST(CompileCache, PutSameTextReplacesInsteadOfDuplicating) {
+  CompileCache cache(4);
+  cache.Put(kSourceA, Parse(kSourceA), {});
+  Directive changed = Parse(kSourceA);
+  changed.user = "replaced";  // Distinguishable payload.
+  cache.Put(kSourceA, changed, {});
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const CompileCache::Entry* hit = cache.Find(kSourceA);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->directive.user, "replaced");
+}
+
+TEST(CompileCache, ZeroCapacityNeverStoresOrHits) {
+  CompileCache cache(0);
+  cache.Put(kSourceA, Parse(kSourceA), {});
+  EXPECT_EQ(cache.Find(kSourceA), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CompileCache, ClearDropsEntriesButKeepsCounters) {
+  CompileCache cache(4);
+  cache.Put(kSourceA, Parse(kSourceA), {});
+  ASSERT_NE(cache.Find(kSourceA), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Find(kSourceA), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);  // History survives the clear.
+}
+
+}  // namespace
+}  // namespace agis::custlang

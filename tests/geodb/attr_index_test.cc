@@ -196,5 +196,63 @@ TEST_F(AttributeIndexTest, EstimateIsZeroOnlyWhenAnswerIsEmpty) {
   EXPECT_EQ(index_.EstimateCount(CompareOp::kNe, Value::Int(3)), 1u);
 }
 
+AttrKey NumKey(double n) {
+  AttrKey k;
+  k.cls = AttrKey::Class::kNumber;
+  k.number = n;
+  return k;
+}
+
+TEST(AttributeIndexFromSortedRuns, BuildsAQueryableIndex) {
+  auto built = AttributeIndex::FromSortedRuns(
+      {NumKey(1), NumKey(3)}, {0, 2, 3}, {4, 9, 2}, {7});
+  ASSERT_TRUE(built.ok()) << built.status();
+  AttributeIndex index = std::move(built).value();
+  EXPECT_EQ(index.entry_count(), 4u);
+  EXPECT_EQ(index.distinct_keys(), 2u);
+  // The NaN side posting (id 7) joined the runs: stored NaN compares
+  // equal to every numeric operand, so it rides along in kEq/kLe/kGe.
+  EXPECT_EQ(index.Eval(CompareOp::kEq, Value::Int(1)), (Ids{4, 7, 9}));
+  EXPECT_EQ(index.Eval(CompareOp::kLe, Value::Int(3)), (Ids{2, 4, 7, 9}));
+  EXPECT_EQ(index.Eval(CompareOp::kGt, Value::Int(1)), (Ids{2}));
+  // And the result composes with later incremental writes.
+  index.Insert(5, Value::Int(3));
+  EXPECT_EQ(index.Eval(CompareOp::kEq, Value::Int(3)), (Ids{2, 5, 7}));
+  index.Remove(9, Value::Int(1));
+  EXPECT_EQ(index.Eval(CompareOp::kEq, Value::Int(1)), (Ids{4, 7}));
+}
+
+TEST(AttributeIndexFromSortedRuns, RejectsEveryBrokenInvariant) {
+  // Offsets that do not delimit the pool.
+  EXPECT_FALSE(
+      AttributeIndex::FromSortedRuns({NumKey(1)}, {0, 3}, {4, 9}, {}).ok());
+  EXPECT_FALSE(
+      AttributeIndex::FromSortedRuns({NumKey(1)}, {0}, {4}, {}).ok());
+  // Keys out of order / duplicated.
+  EXPECT_FALSE(AttributeIndex::FromSortedRuns(
+                   {NumKey(3), NumKey(1)}, {0, 1, 2}, {4, 9}, {})
+                   .ok());
+  EXPECT_FALSE(AttributeIndex::FromSortedRuns(
+                   {NumKey(1), NumKey(1)}, {0, 1, 2}, {4, 9}, {})
+                   .ok());
+  // Empty key slice.
+  EXPECT_FALSE(AttributeIndex::FromSortedRuns(
+                   {NumKey(1), NumKey(2)}, {0, 0, 1}, {4}, {})
+                   .ok());
+  // Slice ids out of order, duplicated, or zero.
+  EXPECT_FALSE(
+      AttributeIndex::FromSortedRuns({NumKey(1)}, {0, 2}, {9, 4}, {}).ok());
+  EXPECT_FALSE(
+      AttributeIndex::FromSortedRuns({NumKey(1)}, {0, 2}, {4, 4}, {}).ok());
+  EXPECT_FALSE(
+      AttributeIndex::FromSortedRuns({NumKey(1)}, {0, 1}, {0}, {}).ok());
+  // NaN ids out of order or zero.
+  EXPECT_FALSE(
+      AttributeIndex::FromSortedRuns({}, {0}, {}, {5, 2}).ok());
+  EXPECT_FALSE(AttributeIndex::FromSortedRuns({}, {0}, {}, {0}).ok());
+  // The empty index is a valid degenerate case.
+  EXPECT_TRUE(AttributeIndex::FromSortedRuns({}, {0}, {}, {}).ok());
+}
+
 }  // namespace
 }  // namespace agis::geodb

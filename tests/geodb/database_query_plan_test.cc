@@ -121,6 +121,50 @@ TEST(QueryPlan, PlannerCountersDistinguishAccessPaths) {
   EXPECT_EQ(db.stats().full_extent_scans, 1u);  // Unchanged.
 }
 
+TEST(QueryPlan, SelectivityCutoffSkipsUnselectivePaths) {
+  GeoDatabase db("s");  // Default cutoff 0.5, auto indexes on.
+  ASSERT_TRUE(db.RegisterClass(PoleClass()).ok());
+  Populate(&db, 500);
+
+  // pole_type==3 matches 10% (selective); owner=="utility" matches
+  // ~2/3 of the extent — above the cutoff, so with the selective path
+  // already materialized the planner must leave it to the residual.
+  GetClassOptions q = TypeEq(3);
+  q.predicates.push_back(
+      AttrPredicate{"owner", CompareOp::kEq, Value::String("utility")});
+  const auto planned = db.GetClass("Pole", q);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(db.stats().index_paths_skipped, 1u);
+  EXPECT_GT(db.stats().attr_index_queries, 0u);
+  EXPECT_EQ(db.stats().full_extent_scans, 0u);
+
+  // Same query without the cutoff (1.0 = always materialize): the
+  // results are identical — the cutoff changes cost, never answers.
+  DatabaseOptions always;
+  always.index_path_selectivity_cutoff = 1.0;
+  GeoDatabase greedy("s", always);
+  ASSERT_TRUE(greedy.RegisterClass(PoleClass()).ok());
+  Populate(&greedy, 500);
+  const auto materialized = greedy.GetClass("Pole", q);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(greedy.stats().index_paths_skipped, 0u);
+  EXPECT_EQ(std::set<ObjectId>(planned.value().ids.begin(),
+                               planned.value().ids.end()),
+            std::set<ObjectId>(materialized.value().ids.begin(),
+                               materialized.value().ids.end()));
+
+  // An unselective predicate standing alone still beats a full scan:
+  // it is materialized as the sole path, not skipped.
+  GetClassOptions lone;
+  lone.use_buffer_pool = false;
+  lone.predicates.push_back(
+      AttrPredicate{"owner", CompareOp::kEq, Value::String("utility")});
+  const uint64_t skipped_before = db.stats().index_paths_skipped;
+  ASSERT_TRUE(db.GetClass("Pole", lone).ok());
+  EXPECT_EQ(db.stats().index_paths_skipped, skipped_before);
+  EXPECT_EQ(db.stats().full_extent_scans, 0u);
+}
+
 TEST(QueryPlan, CreateAttributeIndexBackfillsAndValidates) {
   DatabaseOptions opts;
   opts.auto_attribute_indexes = false;
@@ -255,8 +299,11 @@ TEST(QueryPlan, ConcurrentReadersWithWriterStayCoherent) {
   ASSERT_TRUE(with_index.ok());
   size_t expected = 0;
   const std::vector<ObjectId> all_ids = db.ScanExtent("Pole").value();
+  const Snapshot snap = db.OpenSnapshot();
   for (ObjectId id : all_ids) {
-    if (db.FindObject(id)->Get("pole_type") == Value::Int(99)) ++expected;
+    if (db.FindObjectAt(snap, id)->Get("pole_type") == Value::Int(99)) {
+      ++expected;
+    }
   }
   EXPECT_EQ(with_index.value().ids.size(), expected);
 }
@@ -272,8 +319,10 @@ TEST(QueryPlan, BulkRestoreRebuildsIndexesViaStr) {
   GeoDatabase& db2 = *loaded.value();
   EXPECT_EQ(db2.NumObjects(), 300u);
   EXPECT_GT(db2.stats().bulk_index_builds, 0u);
-  const auto quality = db2.stats().index_quality.find("Pole");
-  ASSERT_NE(quality, db2.stats().index_quality.end());
+  // stats() returns by value: keep the copy alive past the iterator.
+  const DatabaseStats stats = db2.stats();
+  const auto quality = stats.index_quality.find("Pole");
+  ASSERT_NE(quality, stats.index_quality.end());
   EXPECT_GT(quality->second.avg_fill, 0.5);
 
   // Spatial and attribute queries work identically on the restored db.

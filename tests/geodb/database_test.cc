@@ -80,11 +80,14 @@ TEST_F(DatabaseTest, RequiredAttributeEnforced) {
 TEST_F(DatabaseTest, UpdateAndDelete) {
   const ObjectId id = InsertPole(1, 1, 3);
   EXPECT_TRUE(db_->Update(id, "pole_type", Value::Int(5)).ok());
-  EXPECT_EQ(db_->FindObject(id)->Get("pole_type").int_value(), 5);
+  EXPECT_EQ(db_->FindObjectAt(db_->OpenSnapshot(), id)
+                ->Get("pole_type")
+                .int_value(),
+            5);
   EXPECT_TRUE(db_->Update(id, "bogus", Value::Int(1)).IsNotFound());
   EXPECT_TRUE(db_->Update(999, "pole_type", Value::Int(1)).IsNotFound());
   EXPECT_TRUE(db_->Delete(id).ok());
-  EXPECT_EQ(db_->FindObject(id), nullptr);
+  EXPECT_EQ(db_->FindObjectAt(db_->OpenSnapshot(), id), nullptr);
   EXPECT_EQ(db_->ExtentSize("Pole"), 0u);
   EXPECT_TRUE(db_->Delete(id).IsNotFound());
 }
@@ -188,6 +191,10 @@ TEST_F(DatabaseTest, BufferPoolServesRepeatsAndInvalidatesOnWrite) {
 }
 
 TEST_F(DatabaseTest, GetValueAndAttribute) {
+  // Exercises the deprecated compatibility shim on purpose — it must
+  // keep working until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const ObjectId id = InsertPole(1, 2, 7);
   auto obj = db_->GetValue(id);
   ASSERT_TRUE(obj.ok());
@@ -195,6 +202,7 @@ TEST_F(DatabaseTest, GetValueAndAttribute) {
   EXPECT_EQ(db_->GetAttributeValue(id, "pole_type").value().int_value(), 7);
   EXPECT_TRUE(db_->GetAttributeValue(id, "bogus").status().IsNotFound());
   EXPECT_TRUE(db_->GetValue(12345).status().IsNotFound());
+#pragma GCC diagnostic pop
 }
 
 TEST_F(DatabaseTest, MethodsInvokeRegisteredImpl) {
@@ -212,8 +220,9 @@ TEST_F(DatabaseTest, MethodsInvokeRegisteredImpl) {
                        [](const GeoDatabase& db, const ObjectInstance& obj)
                            -> agis::Result<Value> {
                          const Value& ref = obj.Get("pole_supplier");
+                         const Snapshot snap = db.OpenSnapshot();
                          const ObjectInstance* s =
-                             db.FindObject(ref.ref_value().id);
+                             db.FindObjectAt(snap, ref.ref_value().id);
                          return s->Get("supplier_name");
                        }})
           .ok());
@@ -239,7 +248,11 @@ TEST_F(DatabaseTest, EventsEmittedInOrder) {
   ASSERT_TRUE(db_->Update(id, "pole_type", Value::Int(2)).ok());
   ASSERT_TRUE(db_->GetSchema().ok());
   ASSERT_TRUE(db_->GetClass("Pole").ok());
+  // The deprecated shim must still emit its Get_Value event.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   ASSERT_TRUE(db_->GetValue(id).ok());
+#pragma GCC diagnostic pop
   ASSERT_TRUE(db_->Delete(id).ok());
   db_->RemoveEventSink(&recorder);
   InsertPole(9, 9);  // Not recorded.
@@ -265,7 +278,10 @@ TEST_F(DatabaseTest, VetoAbortsWrites) {
   db_->AddEventSink(&veto);
   EXPECT_TRUE(
       db_->Update(id, "pole_type", Value::Int(9)).IsConstraintViolation());
-  EXPECT_EQ(db_->FindObject(id)->Get("pole_type").int_value(), 3);
+  EXPECT_EQ(db_->FindObjectAt(db_->OpenSnapshot(), id)
+                ->Get("pole_type")
+                .int_value(),
+            3);
   EXPECT_EQ(db_->stats().vetoed_writes, 1u);
   db_->RemoveEventSink(&veto);
 }
@@ -355,8 +371,9 @@ TEST_P(IndexKindTest, WindowQueriesAgree) {
   size_t expected = 0;
   const auto all_ids = db.ScanExtent("P");
   ASSERT_TRUE(all_ids.ok());
+  const Snapshot snap = db.OpenSnapshot();
   for (ObjectId id : all_ids.value()) {
-    const auto& g = db.FindObject(id)->Get("loc").geometry_value();
+    const auto& g = db.FindObjectAt(snap, id)->Get("loc").geometry_value();
     if (g.Bounds().Intersects(*q.window)) ++expected;
   }
   EXPECT_EQ(result.value().ids.size(), expected);

@@ -43,9 +43,11 @@ TEST(Persist, RoundTripsThePhoneNetwork) {
     EXPECT_EQ(copy.ExtentSize(cls), db.ExtentSize(cls)) << cls;
   }
   const auto poles = db.ScanExtent("Pole");
+  const Snapshot db_snap = db.OpenSnapshot();
+  const Snapshot copy_snap = copy.OpenSnapshot();
   for (ObjectId id : poles.value()) {
-    const ObjectInstance* original = db.FindObject(id);
-    const ObjectInstance* restored = copy.FindObject(id);
+    const ObjectInstance* original = db.FindObjectAt(db_snap, id);
+    const ObjectInstance* restored = copy.FindObjectAt(copy_snap, id);
     ASSERT_NE(restored, nullptr) << "pole " << id;
     EXPECT_EQ(restored->values().size(), original->values().size());
     for (const auto& [attr, value] : original->values()) {
@@ -71,7 +73,7 @@ TEST(Persist, RoundTripsThePhoneNetwork) {
   auto fresh = copy.Insert(
       "Supplier", {{"supplier_name", Value::String("NewCo")}});
   ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(db.FindObject(fresh.value()), nullptr)
+  EXPECT_EQ(db.FindObjectAt(db.OpenSnapshot(), fresh.value()), nullptr)
       << "fresh id collides with an existing one";
 }
 
@@ -85,7 +87,9 @@ TEST(Persist, EscapingSurvivesHostileStrings) {
   auto loaded = LoadDatabaseFromString(SaveDatabaseToString(db));
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   const auto ids = loaded.value()->ScanExtent("Note");
-  EXPECT_EQ(loaded.value()->FindObject(ids.value()[0])
+  const Snapshot snap = loaded.value()->OpenSnapshot();
+  EXPECT_EQ(loaded.value()
+                ->FindObjectAt(snap, ids.value()[0])
                 ->Get("body")
                 .string_value(),
             hostile);
@@ -127,9 +131,12 @@ TEST(Persist, AllValueKindsRoundTrip) {
 
   auto loaded = LoadDatabaseFromString(SaveDatabaseToString(db));
   ASSERT_TRUE(loaded.ok()) << loaded.status();
-  const ObjectInstance* restored = loaded.value()->FindObject(id.value());
+  const Snapshot loaded_snap = loaded.value()->OpenSnapshot();
+  const ObjectInstance* restored =
+      loaded.value()->FindObjectAt(loaded_snap, id.value());
   ASSERT_NE(restored, nullptr);
-  const ObjectInstance* original = db.FindObject(id.value());
+  const Snapshot db_snap = db.OpenSnapshot();
+  const ObjectInstance* original = db.FindObjectAt(db_snap, id.value());
   for (const auto& [attr, value] : original->values()) {
     EXPECT_EQ(restored->Get(attr), value) << attr;
   }

@@ -97,8 +97,9 @@ TEST_F(QueryParserTest, EndToEndExecution) {
   auto result = db_->GetClass(q->class_name, q->options);
   ASSERT_TRUE(result.ok());
   // Every returned pole satisfies both filters.
+  const Snapshot snap = db_->OpenSnapshot();
   for (ObjectId id : result.value().ids) {
-    const ObjectInstance* obj = db_->FindObject(id);
+    const ObjectInstance* obj = db_->FindObjectAt(snap, id);
     EXPECT_GE(obj->Get("pole_type").int_value(), 2);
   }
   // And the filter is strictly narrower than the full extent.

@@ -15,6 +15,11 @@
 #include "geodb/database.h"
 #include "geom/geometry.h"
 
+// These tests contrast the deprecated current-read calls against
+// snapshot reads on purpose — the contrast *is* the semantics under
+// test.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace agis::geodb {
 namespace {
 

@@ -1,0 +1,180 @@
+// Binary codec tests: CRC vectors, encoder/decoder round trips, and —
+// most importantly — that corrupt lengths and truncations error out
+// instead of over-reading or over-allocating.
+
+#include "storage/format.h"
+
+#include <gtest/gtest.h>
+
+#include "geodb/object.h"
+#include "geodb/schema.h"
+#include "geodb/value.h"
+#include "geom/geometry.h"
+
+namespace agis::storage {
+namespace {
+
+using geodb::AttributeDef;
+using geodb::ClassDef;
+using geodb::ObjectInstance;
+using geodb::Value;
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Chaining equals one-shot.
+  const uint32_t part = Crc32(std::string_view("12345"));
+  EXPECT_EQ(Crc32(std::string_view("6789"), part), Crc32("123456789"));
+}
+
+TEST(EncoderDecoder, ScalarsRoundTripLittleEndian) {
+  Encoder enc;
+  enc.U8(0xAB);
+  enc.U32(0xDEADBEEF);
+  enc.U64(0x0123456789ABCDEFull);
+  enc.F64(0.1 + 0.2);
+  enc.Str("hello");
+  const std::string bytes = enc.Take();
+  // Fixed-width little-endian: u32 low byte first.
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0xEF);
+
+  Decoder dec(bytes);
+  EXPECT_EQ(dec.U8("a").value(), 0xAB);
+  EXPECT_EQ(dec.U32("b").value(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.U64("c").value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.F64("d").value(), 0.1 + 0.2);
+  EXPECT_EQ(dec.Str("e").value(), "hello");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(EncoderDecoder, TruncationErrorsWithBytePosition) {
+  Encoder enc;
+  enc.U32(7);
+  const std::string bytes = enc.Take().substr(0, 2);
+  Decoder dec(bytes);
+  const auto got = dec.U32("field");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsParseError()) << got.status();
+  EXPECT_NE(got.status().message().find("at byte"), std::string::npos)
+      << got.status();
+}
+
+TEST(EncoderDecoder, CorruptStringLengthIsErrorNotOverRead) {
+  Encoder enc;
+  enc.U32(0xFFFFFFFF);  // Claims a 4 GiB string follows.
+  enc.Raw("xy");
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(dec.Str("s").ok());
+}
+
+TEST(EncoderDecoder, CountGuardsAgainstAbsurdElementCounts) {
+  Encoder enc;
+  enc.U32(1000000);  // Claims a million 12-byte elements in 4 bytes.
+  enc.U32(0);
+  Decoder dec(enc.buffer());
+  EXPECT_FALSE(dec.Count("elements", 12).ok());
+
+  Encoder ok;
+  ok.U32(2);
+  ok.Raw("1234567812345678");  // 2 × 8 bytes really present.
+  Decoder dec2(ok.buffer());
+  EXPECT_EQ(dec2.Count("elements", 8).value(), 2u);
+}
+
+Value SampleTuple() {
+  return Value::MakeTuple(
+      {{"s", Value::String("x")}, {"v", Value::Double(2.5)}});
+}
+
+TEST(ValueCodec, AllKindsRoundTrip) {
+  geodb::Blob blob;
+  blob.format = "bin";
+  blob.bytes = {0x00, 0xff, 0x42, 0x0a};
+  geom::Polygon poly;
+  poly.outer = {{0, 0}, {3.25, 0}, {3.25, 7.125}};
+  const Value values[] = {
+      Value(),  // null
+      Value::Bool(true),
+      Value::Int(-123456789),
+      Value::Double(0.1 + 0.2),
+      Value::String("line1\nline2\t\"quoted\" \\slash"),
+      Value::MakeBlob(blob),
+      Value::MakeGeometry(geom::Geometry::FromPolygon(poly)),
+      Value::MakeList({Value::Int(1), Value::Int(2)}),
+      SampleTuple(),
+      Value::Ref(42, "Pole"),
+  };
+  for (const Value& v : values) {
+    Encoder enc;
+    EncodeValue(v, &enc);
+    Decoder dec(enc.buffer());
+    auto back = DecodeValue(&dec);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back.value(), v);
+    EXPECT_TRUE(dec.AtEnd());
+  }
+}
+
+TEST(ValueCodec, TruncatedValueErrorsForEveryPrefixLength) {
+  Encoder enc;
+  EncodeValue(SampleTuple(), &enc);
+  const std::string bytes = enc.Take();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Decoder dec(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(DecodeValue(&dec).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ObjectRecordCodec, RoundTripsIdAndValues) {
+  ObjectInstance obj(77, "Pole");
+  obj.Set("pole_type", Value::Int(3));
+  obj.Set("owner", Value::String("city"));
+  Encoder enc;
+  EncodeObjectRecord(obj, &enc);
+  Decoder dec(enc.buffer());
+  auto back = DecodeObjectRecord(&dec, "Pole");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().id(), 77u);
+  EXPECT_EQ(back.value().class_name(), "Pole");
+  EXPECT_EQ(back.value().Get("pole_type"), Value::Int(3));
+  EXPECT_EQ(back.value().Get("owner"), Value::String("city"));
+}
+
+TEST(ClassDefCodec, RoundTripsSchemaShape) {
+  ClassDef cls("Pole", "aerial support");
+  cls.set_parent("NetworkElement");
+  ASSERT_TRUE(cls.AddAttribute([] {
+                   AttributeDef a = AttributeDef::String("name");
+                   a.required = true;
+                   return a;
+                 }())
+                  .ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Geometry("loc")).ok());
+  ASSERT_TRUE(cls.AddAttribute(AttributeDef::Ref("supplier", "Supplier"))
+                  .ok());
+  ASSERT_TRUE(
+      cls.AddAttribute(AttributeDef::Tuple(
+                           "composition", {AttributeDef::String("material"),
+                                           AttributeDef::Double("height")}))
+          .ok());
+
+  Encoder enc;
+  EncodeClassDef(cls, &enc);
+  Decoder dec(enc.buffer());
+  auto back = DecodeClassDef(&dec);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back.value().name(), "Pole");
+  EXPECT_EQ(back.value().doc(), "aerial support");
+  EXPECT_EQ(back.value().parent(), "NetworkElement");
+  ASSERT_EQ(back.value().attributes().size(), cls.attributes().size());
+  for (size_t i = 0; i < cls.attributes().size(); ++i) {
+    EXPECT_EQ(back.value().attributes()[i].name, cls.attributes()[i].name);
+    EXPECT_EQ(back.value().attributes()[i].type, cls.attributes()[i].type);
+    EXPECT_EQ(back.value().attributes()[i].required,
+              cls.attributes()[i].required);
+  }
+}
+
+}  // namespace
+}  // namespace agis::storage

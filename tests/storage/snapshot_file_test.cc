@@ -1,0 +1,414 @@
+// Binary snapshot tests: round trips (serial and parallel decode),
+// point-in-time semantics under concurrent writes, and the corruption
+// matrix — truncations, flipped bytes, version mismatches — which must
+// error without crashing and without half-loading the database.
+
+#include "storage/snapshot_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.h"
+#include "geodb/database.h"
+#include "geom/geometry.h"
+#include "storage/format.h"
+#include "storage/io.h"
+
+namespace agis::storage {
+namespace {
+
+using geodb::AttributeDef;
+using geodb::ClassDef;
+using geodb::GeoDatabase;
+using geodb::ObjectId;
+using geodb::Value;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "agis_snap_" + name + ".agsnap";
+}
+
+void Dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::unique_ptr<GeoDatabase> MakeDb(size_t poles) {
+  auto db = std::make_unique<GeoDatabase>("snap_schema");
+  ClassDef pole("Pole", "");
+  EXPECT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+  EXPECT_TRUE(pole.AddAttribute(AttributeDef::String("owner")).ok());
+  EXPECT_TRUE(pole.AddAttribute(AttributeDef::Geometry("loc")).ok());
+  EXPECT_TRUE(db->RegisterClass(std::move(pole)).ok());
+  ClassDef note("Note", "");
+  EXPECT_TRUE(note.AddAttribute(AttributeDef::Text("body")).ok());
+  EXPECT_TRUE(db->RegisterClass(std::move(note)).ok());
+  for (size_t i = 0; i < poles; ++i) {
+    EXPECT_TRUE(
+        db->Insert("Pole",
+                   {{"pole_type", Value::Int(static_cast<int64_t>(i % 10))},
+                    {"owner", Value::String(i % 3 == 0 ? "city" : "utility")},
+                    {"loc", Value::MakeGeometry(geom::Geometry::FromPoint(
+                                {static_cast<double>(i % 100),
+                                 static_cast<double>(i / 100)}))}})
+            .ok());
+  }
+  EXPECT_TRUE(db->Insert("Note", {{"body", Value::String("n\n\"x\"")}}).ok());
+  return db;
+}
+
+void ExpectSameObjects(GeoDatabase& a, GeoDatabase& b) {
+  ASSERT_EQ(a.NumObjects(), b.NumObjects());
+  const geodb::Snapshot snap_a = a.OpenSnapshot();
+  const geodb::Snapshot snap_b = b.OpenSnapshot();
+  for (const std::string& cls : a.schema().ClassNames()) {
+    auto ids = a.ScanExtentAt(snap_a, cls);
+    ASSERT_TRUE(ids.ok());
+    for (ObjectId id : ids.value()) {
+      const auto* oa = a.FindObjectAt(snap_a, id);
+      const auto* ob = b.FindObjectAt(snap_b, id);
+      ASSERT_NE(ob, nullptr) << cls << " #" << id;
+      EXPECT_EQ(oa->values().size(), ob->values().size());
+      for (const auto& [attr, value] : oa->values()) {
+        EXPECT_EQ(ob->Get(attr), value) << attr << " of " << cls << id;
+      }
+    }
+  }
+}
+
+TEST(SnapshotFile, RoundTripsAcrossMultipleBlocks) {
+  auto db = MakeDb(200);
+  const std::string path = TestPath("roundtrip");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  SnapshotWriteOptions options;
+  options.records_per_block = 16;  // Forces many blocks.
+  options.directives = {{"d1", "src1"}, {"d2", "src2"}};
+  auto written = WriteSnapshotFile(*db, snap, path, options);
+  ASSERT_TRUE(written.ok()) << written.status();
+  EXPECT_EQ(written->objects_written, db->NumObjects());
+  EXPECT_GT(written->blocks, 10u);
+  snap.Release();
+
+  auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value()->schema().name(), "snap_schema");
+  ExpectSameObjects(*db, *loaded.value());
+
+  // Restored ids never collide with fresh inserts (id counter kept).
+  auto fresh = loaded.value()->Insert("Note", {{"body", Value::String("x")}});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(db->FindObjectAt(db->OpenSnapshot(), fresh.value()), nullptr);
+}
+
+TEST(SnapshotFile, ParallelDecodeMatchesSerial) {
+  auto db = MakeDb(500);
+  const std::string path = TestPath("parallel");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  SnapshotWriteOptions options;
+  options.records_per_block = 32;
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path, options).ok());
+  snap.Release();
+
+  agis::ThreadPool pool(4);
+  GeoDatabase parallel("snap_schema");
+  auto stats = LoadSnapshotFileInto(path, &parallel, &pool);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->objects_loaded, db->NumObjects());
+  EXPECT_GT(stats->decode_workers, 1u);
+  ExpectSameObjects(*db, parallel);
+  // Bulk restore fed the STR builder, not per-object inserts.
+  EXPECT_GT(parallel.stats().bulk_index_builds, 0u);
+}
+
+TEST(SnapshotFile, CapturesThePinnedStateNotLaterWrites) {
+  auto db = MakeDb(20);
+  const uint64_t pinned_count = db->NumObjects();
+  geodb::Snapshot snap = db->OpenSnapshot();
+  // Writers keep running while the checkpoint writes.
+  ASSERT_TRUE(db->Insert("Note", {{"body", Value::String("late")}}).ok());
+  const std::string path = TestPath("pinned");
+  auto written = WriteSnapshotFile(*db, snap, path);
+  ASSERT_TRUE(written.ok()) << written.status();
+  snap.Release();
+  EXPECT_EQ(written->objects_written, pinned_count);
+
+  auto loaded = LoadSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->NumObjects(), pinned_count);
+}
+
+TEST(SnapshotFile, DirectivesSectionRoundTrips) {
+  auto db = MakeDb(3);
+  const std::string path = TestPath("directives");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  SnapshotWriteOptions options;
+  options.directives = {{"u:juliano", "For user juliano ..."},
+                        {"c:planner", "For category planner ..."}};
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path, options).ok());
+  snap.Release();
+
+  GeoDatabase fresh("snap_schema");
+  auto stats = LoadSnapshotFileInto(path, &fresh);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->directives.size(), 2u);
+  EXPECT_EQ(stats->directives[0].first, "u:juliano");
+  EXPECT_EQ(stats->directives[1].second, "For category planner ...");
+}
+
+TEST(SnapshotFile, EveryTruncationErrorsWithoutTouchingTheDb) {
+  auto db = MakeDb(30);
+  const std::string path = TestPath("truncate");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  SnapshotWriteOptions options;
+  options.records_per_block = 8;
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path, options).ok());
+  snap.Release();
+  auto intact = ReadFileToString(path);
+  ASSERT_TRUE(intact.ok());
+
+  for (size_t cut = 0; cut < intact.value().size();
+       cut += 13) {  // Stride keeps the matrix fast; 0 hits "empty file".
+    Dump(path, intact.value().substr(0, cut));
+    GeoDatabase fresh("snap_schema");
+    auto loaded = LoadSnapshotFileInto(path, &fresh);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes loaded";
+    // Validation completes before any restore: the db stays empty.
+    EXPECT_EQ(fresh.NumObjects(), 0u) << "cut at " << cut;
+    EXPECT_TRUE(fresh.schema().ClassNames().empty()) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotFile, FlippedByteFailsTheCrcNotTheProcess) {
+  auto db = MakeDb(50);
+  const std::string path = TestPath("crc");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path).ok());
+  snap.Release();
+  auto intact = ReadFileToString(path);
+  ASSERT_TRUE(intact.ok());
+
+  // Flip one byte at a spread of positions past the magic. Every
+  // variant must error (CRC/frame validation), never crash or load.
+  for (size_t pos = 8; pos < intact.value().size();
+       pos += intact.value().size() / 23 + 1) {
+    std::string bytes = intact.value();
+    bytes[pos] ^= 0x20;
+    Dump(path, bytes);
+    GeoDatabase fresh("snap_schema");
+    EXPECT_FALSE(LoadSnapshotFileInto(path, &fresh).ok())
+        << "flip at " << pos << " accepted";
+    EXPECT_EQ(fresh.NumObjects(), 0u);
+  }
+}
+
+TEST(SnapshotFile, VersionAndMagicMismatchesAreErrors) {
+  auto db = MakeDb(5);
+  const std::string path = TestPath("version");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path).ok());
+  snap.Release();
+  auto intact = ReadFileToString(path);
+  ASSERT_TRUE(intact.ok());
+
+  std::string future = intact.value();
+  future[7] = '2';  // "AGISNAP1" -> "AGISNAP2": a future format version.
+  Dump(path, future);
+  GeoDatabase fresh("snap_schema");
+  auto loaded = LoadSnapshotFileInto(path, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos)
+      << loaded.status();
+
+  Dump(path, "this is a text file, not a snapshot\n");
+  GeoDatabase fresh2("snap_schema");
+  EXPECT_FALSE(LoadSnapshotFileInto(path, &fresh2).ok());
+
+  EXPECT_TRUE(
+      LoadSnapshotFile(TestPath("missing")).status().IsNotFound());
+}
+
+std::vector<ObjectId> QueryIds(GeoDatabase& db, const std::string& cls,
+                               std::vector<geodb::AttrPredicate> predicates) {
+  geodb::GetClassOptions q;
+  q.use_buffer_pool = false;
+  q.predicates = std::move(predicates);
+  auto result = db.GetClass(cls, q);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return {};
+  return result->ids;
+}
+
+TEST(SnapshotFile, AttrIndexSectionsRestorePrebuiltAndServeQueries) {
+  auto db = MakeDb(300);
+  const std::string path = TestPath("attridx");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  auto written = WriteSnapshotFile(*db, snap, path);
+  ASSERT_TRUE(written.ok()) << written.status();
+  snap.Release();
+  // Pole indexes at least pole_type and owner.
+  EXPECT_GE(written->attr_indexes, 2u);
+
+  GeoDatabase fresh("snap_schema");
+  auto stats = LoadSnapshotFileInto(path, &fresh);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->attr_indexes_loaded, written->attr_indexes);
+  ExpectSameObjects(*db, fresh);
+
+  using geodb::AttrPredicate;
+  using geodb::CompareOp;
+  const std::vector<std::vector<AttrPredicate>> probes = {
+      {{"pole_type", CompareOp::kEq, Value::Int(3)}},
+      {{"pole_type", CompareOp::kGe, Value::Int(7)}},
+      {{"pole_type", CompareOp::kNe, Value::Int(0)}},
+      {{"owner", CompareOp::kEq, Value::String("city")}},
+      {{"owner", CompareOp::kLt, Value::String("d")},
+       {"pole_type", CompareOp::kLe, Value::Int(5)}},
+  };
+  for (size_t p = 0; p < probes.size(); ++p) {
+    SCOPED_TRACE(p);
+    EXPECT_EQ(QueryIds(*db, "Pole", probes[p]),
+              QueryIds(fresh, "Pole", probes[p]));
+  }
+}
+
+TEST(SnapshotFile, InstalledIndexesStayCorrectAcrossLaterWrites) {
+  auto db = MakeDb(120);
+  const std::string path = TestPath("attridx_writes");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path).ok());
+  snap.Release();
+  GeoDatabase fresh("snap_schema");
+  auto stats = LoadSnapshotFileInto(path, &fresh);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_GT(stats->attr_indexes_loaded, 0u);
+
+  // Mutate both databases identically: the restored one maintains its
+  // installed (pre-built) indexes through the normal write path.
+  auto pole_ids = db->ScanExtentAt(db->OpenSnapshot(), "Pole");
+  ASSERT_TRUE(pole_ids.ok());
+  for (size_t i = 0; i < pole_ids.value().size(); i += 7) {
+    const ObjectId id = pole_ids.value()[i];
+    for (GeoDatabase* target : {db.get(), &fresh}) {
+      if (i % 3 == 0) {
+        ASSERT_TRUE(target->Delete(id).ok());
+      } else {
+        ASSERT_TRUE(
+            target->Update(id, "pole_type", Value::Int(42)).ok());
+        ASSERT_TRUE(
+            target->Update(id, "owner", Value::String("coop")).ok());
+      }
+    }
+  }
+  for (GeoDatabase* target : {db.get(), &fresh}) {
+    ASSERT_TRUE(target
+                    ->Insert("Pole",
+                             {{"pole_type", Value::Int(42)},
+                              {"owner", Value::String("coop")}})
+                    .ok());
+  }
+
+  using geodb::AttrPredicate;
+  using geodb::CompareOp;
+  const std::vector<std::vector<AttrPredicate>> probes = {
+      {{"pole_type", CompareOp::kEq, Value::Int(42)}},
+      {{"pole_type", CompareOp::kGt, Value::Int(8)}},
+      {{"owner", CompareOp::kEq, Value::String("coop")}},
+      {{"owner", CompareOp::kNe, Value::String("city")}},
+  };
+  for (size_t p = 0; p < probes.size(); ++p) {
+    SCOPED_TRACE(p);
+    EXPECT_EQ(QueryIds(*db, "Pole", probes[p]),
+              QueryIds(fresh, "Pole", probes[p]));
+  }
+}
+
+TEST(SnapshotFile, AttrIndexSectionsAreOptionalOnWrite) {
+  auto db = MakeDb(40);
+  const std::string path = TestPath("attridx_off");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  SnapshotWriteOptions options;
+  options.include_attr_indexes = false;
+  auto written = WriteSnapshotFile(*db, snap, path, options);
+  ASSERT_TRUE(written.ok()) << written.status();
+  snap.Release();
+  EXPECT_EQ(written->attr_indexes, 0u);
+
+  GeoDatabase fresh("snap_schema");
+  auto stats = LoadSnapshotFileInto(path, &fresh);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->attr_indexes_loaded, 0u);
+  // The finish pass rebuilt the indexes instead; queries still match.
+  using geodb::AttrPredicate;
+  using geodb::CompareOp;
+  EXPECT_EQ(
+      QueryIds(*db, "Pole", {{"pole_type", CompareOp::kEq, Value::Int(1)}}),
+      QueryIds(fresh, "Pole", {{"pole_type", CompareOp::kEq, Value::Int(1)}}));
+}
+
+/// Flips one payload byte of the first section of `kind` and patches
+/// the frame CRC back to valid, so only semantic validation can
+/// object. Returns false when no such section exists.
+bool ForgeSectionPayload(std::string* bytes, uint8_t kind,
+                         size_t byte_in_payload) {
+  size_t pos = 8;  // Past the magic.
+  while (pos + 9 <= bytes->size()) {
+    const uint8_t k = static_cast<uint8_t>((*bytes)[pos]);
+    uint32_t len;
+    std::memcpy(&len, bytes->data() + pos + 1, 4);
+    if (k == kind && len > 0) {
+      (*bytes)[pos + 9 + (byte_in_payload % len)] ^= 0x01;
+      const uint32_t crc =
+          Crc32(std::string_view(bytes->data() + pos + 9, len));
+      std::memcpy(bytes->data() + pos + 5, &crc, 4);
+      return true;
+    }
+    pos += 9 + static_cast<size_t>(len);
+  }
+  return false;
+}
+
+TEST(SnapshotFile, CorruptAttrIndexSectionFailsBeforeAnyRestore) {
+  auto db = MakeDb(60);
+  const std::string path = TestPath("attridx_corrupt");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  ASSERT_TRUE(WriteSnapshotFile(*db, snap, path).ok());
+  snap.Release();
+  auto intact = ReadFileToString(path);
+  ASSERT_TRUE(intact.ok());
+
+  // Corrupt the class name inside an index section (payload byte 4 is
+  // its first character) and forge the CRC: the loader must reject it
+  // on semantic grounds — unknown class — with the database untouched.
+  std::string forged = intact.value();
+  ASSERT_TRUE(ForgeSectionPayload(&forged, /*kind=*/6, /*byte=*/4));
+  Dump(path, forged);
+  GeoDatabase fresh("snap_schema");
+  auto loaded = LoadSnapshotFileInto(path, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+  EXPECT_EQ(fresh.NumObjects(), 0u);
+}
+
+TEST(SnapshotFile, WriteFaultInjectionSurfacesTheError) {
+  auto db = MakeDb(100);
+  const std::string path = TestPath("wfault");
+  geodb::Snapshot snap = db->OpenSnapshot();
+  SnapshotWriteOptions options;
+  options.fault_plan.fail_after_bytes = 512;
+  auto written = WriteSnapshotFile(*db, snap, path, options);
+  snap.Release();
+  ASSERT_FALSE(written.ok()) << "fault plan never fired";
+  // The torn file must not load.
+  GeoDatabase fresh("snap_schema");
+  EXPECT_FALSE(LoadSnapshotFileInto(path, &fresh).ok());
+  EXPECT_EQ(fresh.NumObjects(), 0u);
+}
+
+}  // namespace
+}  // namespace agis::storage

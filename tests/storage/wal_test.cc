@@ -1,0 +1,243 @@
+// Write-ahead-log tests: framing round trips, group-commit buffering,
+// torn-tail tolerance, header validation, and injected write faults.
+
+#include "storage/wal.h"
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "storage/io.h"
+
+namespace agis::storage {
+namespace {
+
+using geodb::ObjectInstance;
+using geodb::Value;
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "agis_wal_" + name + ".log";
+}
+
+WalRecord InsertRecord(uint64_t id, int64_t type) {
+  WalRecord r;
+  r.kind = WalRecordKind::kInsert;
+  r.object = ObjectInstance(id, "Pole");
+  r.object.Set("pole_type", Value::Int(type));
+  return r;
+}
+
+std::string Slurp(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status();
+  return contents.ok() ? contents.value() : std::string();
+}
+
+void Dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+TEST(Wal, AppendSyncReadRoundTripsEveryRecordKind) {
+  const std::string path = TestPath("roundtrip");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  ASSERT_TRUE(wal->Append(InsertRecord(1, 7)).ok());
+  WalRecord update;
+  update.kind = WalRecordKind::kUpdate;
+  update.id = 1;
+  update.attribute = "pole_type";
+  update.value = Value::Int(9);
+  ASSERT_TRUE(wal->Append(update).ok());
+  WalRecord del;
+  del.kind = WalRecordKind::kDelete;
+  del.id = 1;
+  ASSERT_TRUE(wal->Append(del).ok());
+  WalRecord directive;
+  directive.kind = WalRecordKind::kDirective;
+  directive.directive_name = "u:juliano/a:pole_manager";
+  directive.directive_source = "For user juliano ...";
+  ASSERT_TRUE(wal->Append(directive).ok());
+  WalRecord reg;
+  reg.kind = WalRecordKind::kRegisterClass;
+  reg.class_def = geodb::ClassDef("Pole", "doc");
+  ASSERT_TRUE(
+      reg.class_def.AddAttribute(geodb::AttributeDef::Int("pole_type")).ok());
+  ASSERT_TRUE(wal->Append(reg).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_TRUE(wal->Close().ok());
+
+  auto read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 5u);
+  EXPECT_EQ(read->records[0].kind, WalRecordKind::kInsert);
+  EXPECT_EQ(read->records[0].object.id(), 1u);
+  EXPECT_EQ(read->records[0].object.Get("pole_type"), Value::Int(7));
+  EXPECT_EQ(read->records[1].kind, WalRecordKind::kUpdate);
+  EXPECT_EQ(read->records[1].attribute, "pole_type");
+  EXPECT_EQ(read->records[1].value, Value::Int(9));
+  EXPECT_EQ(read->records[2].kind, WalRecordKind::kDelete);
+  EXPECT_EQ(read->records[2].id, 1u);
+  EXPECT_EQ(read->records[3].kind, WalRecordKind::kDirective);
+  EXPECT_EQ(read->records[3].directive_name, "u:juliano/a:pole_manager");
+  EXPECT_EQ(read->records[4].kind, WalRecordKind::kRegisterClass);
+  EXPECT_EQ(read->records[4].class_def.name(), "Pole");
+}
+
+TEST(Wal, GroupCommitBuffersUntilSync) {
+  const std::string path = TestPath("groupcommit");
+  WalWriterOptions options;
+  options.group_commit_bytes = 1 << 20;  // Nothing flushes on its own.
+  auto wal = WalWriter::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal->Append(InsertRecord(static_cast<uint64_t>(i + 1), i))
+                    .ok());
+  }
+  // Before the sync, only the header is on disk.
+  auto before = ReadWalFile(path);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_TRUE(before->records.empty());
+  EXPECT_FALSE(before->torn_tail);
+
+  ASSERT_TRUE(wal->Sync().ok());
+  auto after = ReadWalFile(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->records.size(), 10u);
+  EXPECT_EQ(wal->records_appended(), 10u);
+  EXPECT_GE(wal->syncs(), 1u);
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST(Wal, SyncEveryRecordMakesEachAppendDurable) {
+  const std::string path = TestPath("synceach");
+  WalWriterOptions options;
+  options.sync_every_records = 1;
+  auto wal = WalWriter::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE(wal->Append(InsertRecord(1, 1)).ok());
+  ASSERT_TRUE(wal->Append(InsertRecord(2, 2)).ok());
+  auto read = ReadWalFile(path);  // No explicit Sync needed.
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 2u);
+  ASSERT_TRUE(wal->Close().ok());
+}
+
+TEST(Wal, TornTailReturnsIntactPrefix) {
+  const std::string path = TestPath("torn");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(wal->Append(InsertRecord(static_cast<uint64_t>(i + 1), i))
+                    .ok());
+  }
+  ASSERT_TRUE(wal->Close().ok());
+  const std::string intact = Slurp(path);
+
+  // Chop the file at every byte position past the header: the reader
+  // must return an intact prefix of the appended records — never an
+  // error, never a fabricated or reordered record.
+  const size_t header_size = 8;  // "AGISWAL1"
+  for (size_t cut = header_size; cut < intact.size(); ++cut) {
+    Dump(path, intact.substr(0, cut));
+    auto read = ReadWalFile(path);
+    ASSERT_TRUE(read.ok()) << "cut at " << cut << ": " << read.status();
+    EXPECT_LE(read->bytes_consumed, cut);
+    EXPECT_LE(read->records.size(), 5u);
+    for (size_t r = 0; r < read->records.size(); ++r) {
+      EXPECT_EQ(read->records[r].object.id(), r + 1) << "cut at " << cut;
+    }
+  }
+  // A cut strictly inside the final frame is flagged as a torn tail.
+  Dump(path, intact.substr(0, intact.size() - 1));
+  auto torn = ReadWalFile(path);
+  ASSERT_TRUE(torn.ok());
+  EXPECT_TRUE(torn->torn_tail);
+  EXPECT_EQ(torn->records.size(), 4u);
+}
+
+TEST(Wal, FlippedPayloadByteEndsTheIntactPrefix) {
+  const std::string path = TestPath("crcflip");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(InsertRecord(1, 1)).ok());
+  ASSERT_TRUE(wal->Append(InsertRecord(2, 2)).ok());
+  ASSERT_TRUE(wal->Close().ok());
+
+  std::string bytes = Slurp(path);
+  bytes[bytes.size() - 3] ^= 0x40;  // Corrupt the last record's payload.
+  Dump(path, bytes);
+
+  auto read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].object.id(), 1u);
+}
+
+TEST(Wal, ForeignOrFutureVersionHeaderIsAnError) {
+  const std::string path = TestPath("version");
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(InsertRecord(1, 1)).ok());
+  ASSERT_TRUE(wal->Close().ok());
+  std::string bytes = Slurp(path);
+
+  std::string future = bytes;
+  future[7] = '9';  // "AGISWAL1" -> "AGISWAL9".
+  Dump(path, future);
+  EXPECT_FALSE(ReadWalFile(path).ok());
+
+  std::string foreign = bytes;
+  foreign[0] = 'X';
+  Dump(path, foreign);
+  EXPECT_FALSE(ReadWalFile(path).ok());
+
+  Dump(path, "");  // Too short for any header.
+  EXPECT_FALSE(ReadWalFile(path).ok());
+
+  EXPECT_TRUE(ReadWalFile(TestPath("never_written")).status().IsNotFound());
+}
+
+TEST(Wal, InjectedWriteFaultTripsPermanentlyAndLeavesIntactPrefix) {
+  const std::string path = TestPath("fault");
+  WalWriterOptions options;
+  options.sync_every_records = 1;
+  options.fault_plan.fail_after_bytes = 150;
+  options.fault_plan.short_write = true;
+  auto wal = WalWriter::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  size_t acknowledged = 0;
+  bool failed = false;
+  for (int i = 0; i < 50; ++i) {
+    const agis::Status status =
+        wal->Append(InsertRecord(static_cast<uint64_t>(i + 1), i));
+    if (status.ok()) {
+      ++acknowledged;
+    } else {
+      failed = true;
+      // Tripped: every later operation fails too.
+      EXPECT_FALSE(wal->Append(InsertRecord(99, 0)).ok());
+      EXPECT_FALSE(wal->Sync().ok());
+      break;
+    }
+  }
+  ASSERT_TRUE(failed) << "fault plan never fired";
+
+  // The on-disk file has a torn tail; every acknowledged (synced)
+  // record is intact.
+  auto read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_GE(read->records.size(), acknowledged);
+  for (size_t r = 0; r < acknowledged; ++r) {
+    EXPECT_EQ(read->records[r].object.id(), r + 1);
+  }
+}
+
+}  // namespace
+}  // namespace agis::storage

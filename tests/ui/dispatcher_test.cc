@@ -43,8 +43,9 @@ TEST_F(DispatcherTest, OpenSchemaThenSelectClassThenInstance) {
   // Click the map near a known pole.
   auto pole_ids = sys_->db().ScanExtent("Pole");
   ASSERT_TRUE(pole_ids.ok());
+  const geodb::Snapshot snap = sys_->db().OpenSnapshot();
   const geodb::ObjectInstance* pole =
-      sys_->db().FindObject(pole_ids.value().front());
+      sys_->db().FindObjectAt(snap, pole_ids.value().front());
   const geom::Point site = pole->Get("pole_location").geometry_value().point();
   auto instance = sys_->dispatcher().SelectInstanceAt("Pole", site, 1.0);
   ASSERT_TRUE(instance.ok()) << instance.status();

@@ -66,9 +66,11 @@ TEST(PhoneNet, DeterministicUnderSeed) {
   const auto ids_a = a.ScanExtent("Pole").value();
   const auto ids_b = b.ScanExtent("Pole").value();
   ASSERT_EQ(ids_a.size(), ids_b.size());
+  const geodb::Snapshot snap_a = a.OpenSnapshot();
+  const geodb::Snapshot snap_b = b.OpenSnapshot();
   for (size_t i = 0; i < ids_a.size(); ++i) {
-    EXPECT_EQ(a.FindObject(ids_a[i])->Get("pole_location"),
-              b.FindObject(ids_b[i])->Get("pole_location"));
+    EXPECT_EQ(a.FindObjectAt(snap_a, ids_a[i])->Get("pole_location"),
+              b.FindObjectAt(snap_b, ids_b[i])->Get("pole_location"));
   }
 }
 
@@ -86,13 +88,15 @@ TEST(PhoneNet, EveryPoleLiesInSomeRegion) {
   ASSERT_TRUE(BuildPhoneNetwork(&db).ok());
   const auto regions = db.ScanExtent("ServiceRegion").value();
   const auto poles = db.ScanExtent("Pole").value();
+  const geodb::Snapshot snap = db.OpenSnapshot();
   for (geodb::ObjectId pole_id : poles) {
     const auto& site =
-        db.FindObject(pole_id)->Get("pole_location").geometry_value();
+        db.FindObjectAt(snap, pole_id)->Get("pole_location").geometry_value();
     bool covered = false;
     for (geodb::ObjectId region_id : regions) {
-      const auto& area =
-          db.FindObject(region_id)->Get("region_area").geometry_value();
+      const auto& area = db.FindObjectAt(snap, region_id)
+                             ->Get("region_area")
+                             .geometry_value();
       if (geom::Intersects(site, area)) {
         covered = true;
         break;
@@ -116,7 +120,7 @@ TEST(Environmental, BuildsAndPopulates) {
   EXPECT_EQ(db.ExtentSize("ProtectedArea"), 2u);
   // Rivers are polylines, patches are polygons.
   const auto rivers = db.ScanExtent("River").value();
-  EXPECT_TRUE(db.FindObject(rivers.front())
+  EXPECT_TRUE(db.FindObjectAt(db.OpenSnapshot(), rivers.front())
                   ->Get("course")
                   .geometry_value()
                   .is_linestring());
