@@ -1,0 +1,308 @@
+// Experiment C10 — unified work-stealing scheduler. The rule engine,
+// the query path, and storage decode used to fan out over private
+// thread pools; run together they oversubscribed the host. This bench
+// drives all three concurrently and compares the three-private-pools
+// baseline against one shared TaskScheduler of the same worker count,
+// reporting combined throughput and per-path p95 latency.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "active/engine.h"
+#include "base/rng.h"
+#include "base/strutil.h"
+#include "base/task_scheduler.h"
+#include "base/thread_pool.h"
+#include "geodb/database.h"
+#include "storage/snapshot_file.h"
+
+namespace {
+
+using agis::active::EcaRule;
+using agis::active::Event;
+using agis::active::RuleEngine;
+using agis::active::RuleFamily;
+using agis::active::WindowCustomization;
+using agis::geodb::GeoDatabase;
+using agis::geodb::GetClassOptions;
+
+constexpr size_t kWorkers = 2;       // Matches the default on small hosts.
+constexpr size_t kDbInstances = 40000;
+constexpr size_t kSnapshotInstances = 20000;
+// Burst rounds: each driver issues a fixed op count and the round's
+// makespan is the measure — the interactive regime (a user action
+// triggers rule dispatch, a map refresh, and a background restore at
+// once, then the system goes quiet).
+constexpr int kBurstRuleOps = 8;     // Batches of 64 events.
+constexpr int kBurstQueryOps = 8;    // Residual-heavy scans.
+constexpr int kBurstRestoreOps = 2;  // Snapshot loads.
+
+// Sustained rounds: every driver loops its operation until the shared
+// deadline, so all three paths stay simultaneously active for the
+// whole round — the saturation regime.
+constexpr int kRoundMs = 300;
+
+const char* SnapshotPath() { return "/tmp/agis_bench_c10.agsnap"; }
+
+/// Get_Class customization rules spread over users/categories/apps.
+void PopulateRules(RuleEngine* engine, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    EcaRule rule;
+    rule.name = agis::StrCat("rule_", i);
+    rule.family = RuleFamily::kCustomization;
+    rule.event_name = "Get_Class";
+    rule.param_filters["class"] = agis::StrCat("class_", i % 8);
+    switch (i % 3) {
+      case 0:
+        rule.condition.user = agis::StrCat("user_", i % 16);
+        break;
+      case 1:
+        rule.condition.category = agis::StrCat("category_", i % 16);
+        break;
+      default:
+        rule.condition.application = agis::StrCat("app_", i % 16);
+        break;
+    }
+    WindowCustomization payload;
+    payload.presentation_format = "pointFormat";
+    rule.customization_action =
+        [payload](const Event&) -> agis::Result<WindowCustomization> {
+      return payload;
+    };
+    (void)engine->AddRule(std::move(rule));
+  }
+}
+
+std::vector<Event> MakeEventBatch(size_t n) {
+  std::vector<Event> events;
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Event event;
+    event.name = "Get_Class";
+    event.context.user = agis::StrCat("user_", i % 16);
+    event.context.category = agis::StrCat("category_", i % 16);
+    event.context.application = agis::StrCat("app_", i % 16);
+    event.params["class"] = agis::StrCat("class_", i % 8);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+/// Unindexed instances with a scalar for residual-heavy predicates.
+std::unique_ptr<GeoDatabase> MakeScanDb(size_t instances) {
+  agis::geodb::DatabaseOptions options;
+  options.auto_attribute_indexes = false;
+  auto db = std::make_unique<GeoDatabase>("c10", options);
+  agis::geodb::ClassDef cls("P", "");
+  (void)cls.AddAttribute(agis::geodb::AttributeDef::Double("height"));
+  (void)cls.AddAttribute(agis::geodb::AttributeDef::Geometry("loc"));
+  (void)db->RegisterClass(std::move(cls));
+  agis::Rng rng(97);
+  for (size_t i = 0; i < instances; ++i) {
+    (void)db->Insert(
+        "P", {{"height", agis::geodb::Value::Double(rng.UniformDouble(0, 40))},
+              {"loc", agis::geodb::Value::MakeGeometry(
+                          agis::geom::Geometry::FromPoint(
+                              {rng.UniformDouble(0, 1000),
+                               rng.UniformDouble(0, 1000)}))}});
+  }
+  return db;
+}
+
+GetClassOptions ResidualQuery() {
+  GetClassOptions q;
+  q.use_buffer_pool = false;
+  q.predicates.push_back(agis::geodb::AttrPredicate{
+      "height", agis::geodb::CompareOp::kLt,
+      agis::geodb::Value::Double(20.0)});
+  return q;
+}
+
+/// The fixture both configurations share; built once.
+struct Fixture {
+  std::unique_ptr<RuleEngine> engine;
+  std::vector<Event> events;
+  std::unique_ptr<GeoDatabase> db;
+
+  Fixture() {
+    engine = std::make_unique<RuleEngine>();
+    PopulateRules(engine.get(), 512);
+    engine->set_cache_capacity(0);  // Resolve for real every time.
+    events = MakeEventBatch(64);
+    db = MakeScanDb(kDbInstances);
+    // Snapshot file the restore path loads over and over.
+    auto source = MakeScanDb(kSnapshotInstances);
+    const agis::geodb::Snapshot snap = source->OpenSnapshot();
+    agis::storage::SnapshotWriteOptions write;
+    write.records_per_block = 1024;  // ~20 blocks: a real decode fan-out.
+    write.include_attr_indexes = false;
+    auto info =
+        agis::storage::WriteSnapshotFile(*source, snap, SnapshotPath(), write);
+    if (!info.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   info.status().ToString().c_str());
+      std::abort();
+    }
+  }
+};
+
+Fixture* GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return fixture;
+}
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1));
+  return (*samples)[index];
+}
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// One combined-load round: three driver threads hammer the rule
+/// batch path, the residual-scan path, and the restore path at once.
+/// Burst mode (`round_ms` == 0): each driver issues its fixed op
+/// count and stops. Sustained mode (`round_ms` > 0): each driver
+/// loops until the shared deadline. `rule_arg`/`restore_arg` are
+/// passed to the respective calls; the database must already have its
+/// scheduler (or pool) attached.
+template <typename RuleArg, typename RestoreArg>
+void RunRound(Fixture* fix, int round_ms, RuleArg rule_arg,
+              RestoreArg restore_arg, std::vector<double>* rule_ms,
+              std::vector<double>* query_ms,
+              std::vector<double>* restore_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(round_ms);
+  const auto more = [round_ms, deadline](int issued, int burst_cap) {
+    return round_ms > 0 ? Clock::now() < deadline : issued < burst_cap;
+  };
+  std::thread rules([&] {
+    for (int i = 0; more(i, kBurstRuleOps); ++i) {
+      const auto start = Clock::now();
+      auto results = fix->engine->GetCustomizationBatch(fix->events, rule_arg);
+      benchmark::DoNotOptimize(results);
+      rule_ms->push_back(MsSince(start));
+    }
+  });
+  std::thread queries([&] {
+    const GetClassOptions q = ResidualQuery();
+    for (int i = 0; more(i, kBurstQueryOps); ++i) {
+      const auto start = Clock::now();
+      auto result = fix->db->GetClass("P", q);
+      benchmark::DoNotOptimize(result);
+      query_ms->push_back(MsSince(start));
+    }
+  });
+  std::thread restores([&] {
+    for (int i = 0; more(i, kBurstRestoreOps); ++i) {
+      const auto start = Clock::now();
+      GeoDatabase target("c10");
+      auto stats = agis::storage::LoadSnapshotFileInto(SnapshotPath(), &target,
+                                                       restore_arg);
+      benchmark::DoNotOptimize(stats);
+      restore_ms->push_back(MsSince(start));
+    }
+  });
+  rules.join();
+  queries.join();
+  restores.join();
+}
+
+void ReportRound(benchmark::State& state, std::vector<double>* rule_ms,
+                 std::vector<double>* query_ms,
+                 std::vector<double>* restore_ms) {
+  state.SetItemsProcessed(static_cast<int64_t>(
+      rule_ms->size() + query_ms->size() + restore_ms->size()));
+  state.counters["rule_ops"] = static_cast<double>(rule_ms->size());
+  state.counters["query_ops"] = static_cast<double>(query_ms->size());
+  state.counters["restore_ops"] = static_cast<double>(restore_ms->size());
+  state.counters["rule_p95_ms"] = Percentile(rule_ms, 0.95);
+  state.counters["query_p95_ms"] = Percentile(query_ms, 0.95);
+  state.counters["restore_p95_ms"] = Percentile(restore_ms, 0.95);
+}
+
+/// Baseline: the pre-unification deployment — one private pool per
+/// consumer, each with its own workers (3x oversubscription).
+void RunSeparatePools(benchmark::State& state, int round_ms) {
+  Fixture* fix = GetFixture();
+  agis::ThreadPool rule_pool(kWorkers);
+  agis::ThreadPool query_pool(kWorkers);
+  agis::ThreadPool decode_pool(kWorkers);
+  fix->db->set_query_pool(&query_pool);
+  std::vector<double> rule_ms, query_ms, restore_ms;
+  for (auto _ : state) {
+    RunRound(fix, round_ms, &rule_pool, &decode_pool, &rule_ms, &query_ms,
+             &restore_ms);
+  }
+  fix->db->set_query_pool(nullptr);
+  ReportRound(state, &rule_ms, &query_ms, &restore_ms);
+  state.counters["threads"] = static_cast<double>(3 * kWorkers);
+}
+
+/// One scheduler shared by all three paths: same total demand, one
+/// worker set, waiting threads help instead of blocking.
+void RunSharedScheduler(benchmark::State& state, int round_ms) {
+  Fixture* fix = GetFixture();
+  agis::TaskScheduler scheduler(kWorkers);
+  fix->db->set_task_scheduler(&scheduler);
+  std::vector<double> rule_ms, query_ms, restore_ms;
+  for (auto _ : state) {
+    RunRound(fix, round_ms, &scheduler, &scheduler, &rule_ms, &query_ms,
+             &restore_ms);
+  }
+  fix->db->set_task_scheduler(nullptr);
+  ReportRound(state, &rule_ms, &query_ms, &restore_ms);
+  state.counters["threads"] = static_cast<double>(kWorkers);
+  const agis::SchedulerStats stats = scheduler.stats();
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["helped"] = static_cast<double>(stats.help_executed);
+}
+
+void BM_CombinedBurst_SeparatePools(benchmark::State& state) {
+  RunSeparatePools(state, 0);
+}
+BENCHMARK(BM_CombinedBurst_SeparatePools)->Iterations(12)->UseRealTime();
+
+void BM_CombinedBurst_SharedScheduler(benchmark::State& state) {
+  RunSharedScheduler(state, 0);
+}
+BENCHMARK(BM_CombinedBurst_SharedScheduler)->Iterations(12)->UseRealTime();
+
+void BM_CombinedSustained_SeparatePools(benchmark::State& state) {
+  RunSeparatePools(state, kRoundMs);
+}
+BENCHMARK(BM_CombinedSustained_SeparatePools)->Iterations(6)->UseRealTime();
+
+void BM_CombinedSustained_SharedScheduler(benchmark::State& state) {
+  RunSharedScheduler(state, kRoundMs);
+}
+BENCHMARK(BM_CombinedSustained_SharedScheduler)->Iterations(6)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("==== C10: unified scheduler vs per-subsystem pools ====\n"
+              "Combined load: rule-batch dispatch + parallel Get_Class\n"
+              "residual scans + snapshot restore, all at once. The shared\n"
+              "scheduler should beat three private pools on combined\n"
+              "items_per_second (less oversubscription; waiters help run\n"
+              "tasks) and cut per-path p95 latency.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

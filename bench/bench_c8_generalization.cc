@@ -79,14 +79,33 @@ void RunBuild(Rig* rig, bool generalize, benchmark::State& state) {
   state.counters["points_removed"] = static_cast<double>(removed);
 }
 
+/// Default configuration: the builder's simplified-polyline cache is
+/// on, so every rebuild after the first serves Douglas-Peucker from
+/// the cache (geometries unchanged between iterations — the common
+/// refresh/zoom-jitter case).
 void BM_RenderDenseLines_Generalized(benchmark::State& state) {
   auto rig = MakeRig(20, static_cast<size_t>(state.range(0)));
   RunBuild(rig.get(), true, state);
   state.counters["vertices_per_line"] = static_cast<double>(state.range(0));
+  const auto cache = rig->builder->simplify_cache_stats();
+  state.counters["cache_hits"] = static_cast<double>(cache.hits);
+  state.counters["cache_misses"] = static_cast<double>(cache.misses);
 }
 BENCHMARK(BM_RenderDenseLines_Generalized)
     ->RangeMultiplier(4)
-    ->Range(64, 4096);
+    ->Range(64, 16384);
+
+/// Ablation: cache disabled — every rebuild pays the full simplify.
+/// The gap against the cached variant is the per-rebuild amortization.
+void BM_RenderDenseLines_GeneralizedUncached(benchmark::State& state) {
+  auto rig = MakeRig(20, static_cast<size_t>(state.range(0)));
+  rig->builder->set_simplify_cache_capacity(0);
+  RunBuild(rig.get(), true, state);
+  state.counters["vertices_per_line"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RenderDenseLines_GeneralizedUncached)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384);
 
 void BM_RenderDenseLines_Raw(benchmark::State& state) {
   auto rig = MakeRig(20, static_cast<size_t>(state.range(0)));

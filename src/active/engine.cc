@@ -403,30 +403,40 @@ agis::Result<std::optional<WindowCustomization>> RuleEngine::GetCustomization(
 
 std::vector<agis::Result<std::optional<WindowCustomization>>>
 RuleEngine::GetCustomizationBatch(const std::vector<Event>& events,
-                                  agis::ThreadPool* pool) {
+                                  agis::TaskScheduler* scheduler) {
   std::vector<agis::Result<std::optional<WindowCustomization>>> out(
       events.size(),
       agis::Result<std::optional<WindowCustomization>>(
           agis::Status::Internal("unresolved batch slot")));
-  if (pool == nullptr || events.size() <= 1) {
+  if (scheduler == nullptr) scheduler = scheduler_;
+  if (scheduler == nullptr || events.size() <= 1) {
     for (size_t i = 0; i < events.size(); ++i) {
       out[i] = GetCustomization(events[i]);
     }
     return out;
   }
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  size_t remaining = events.size();
-  for (size_t i = 0; i < events.size(); ++i) {
-    pool->Submit([this, &events, &out, &done_mutex, &done_cv, &remaining, i] {
-      auto result = GetCustomization(events[i]);
-      std::lock_guard<std::mutex> lock(done_mutex);
-      out[i] = std::move(result);
-      if (--remaining == 0) done_cv.notify_all();
+  // Scoped completion: the group waits only on this batch, and the
+  // calling thread resolves events itself while waiting — a batch
+  // issued from inside a scheduler task (nested parallelism) makes
+  // progress even with every worker busy. Events are chunked rather
+  // than submitted one-by-one: resolving an indexed event costs
+  // microseconds, so per-event tasks would be mostly queue overhead.
+  const size_t chunks =
+      std::min(events.size(), 2 * scheduler->num_threads());
+  agis::TaskGroup group(scheduler);
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t begin = c * events.size() / chunks;
+    const size_t end = (c + 1) * events.size() / chunks;
+    group.Run([this, &events, &out, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = GetCustomization(events[i]);
+      }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  for (size_t i = 0; i < events.size() / chunks; ++i) {
+    out[i] = GetCustomization(events[i]);
+  }
+  group.Wait();
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "active/rule.h"
 #include "base/status.h"
+#include "base/task_scheduler.h"
 #include "base/thread_pool.h"
 
 namespace agis::active {
@@ -48,6 +49,11 @@ struct EngineStats {
   /// of being counted against live entries (they could never be
   /// served again; see EvictToCapacityLocked).
   uint64_t cache_stale_swept = 0;
+  /// Counters of the attached shared TaskScheduler (zeroed when none
+  /// is attached). The scheduler is shared with the query path and
+  /// storage decode, so these reflect whole-process fan-out, not just
+  /// engine batches.
+  SchedulerStats scheduler;
 };
 
 /// The active mechanism: rule registration, event-driven selection,
@@ -115,11 +121,31 @@ class RuleEngine {
       const Event& event);
 
   /// Resolves a batch of events — one result per event, same order.
-  /// With a pool, events resolve concurrently on the pool's workers
-  /// (the read path is shared-lock safe); without one, sequentially.
+  /// With a scheduler, events resolve concurrently as scheduler tasks
+  /// scoped by a TaskGroup (the read path is shared-lock safe, and
+  /// the calling thread helps execute the batch instead of blocking);
+  /// without one (and with no scheduler attached), sequentially.
+  /// Passing nullptr uses the attached scheduler (set_task_scheduler).
   std::vector<agis::Result<std::optional<WindowCustomization>>>
   GetCustomizationBatch(const std::vector<Event>& events,
-                        agis::ThreadPool* pool = nullptr);
+                        agis::TaskScheduler* scheduler = nullptr);
+
+  /// DEPRECATED ThreadPool overload: forwards to the pool's
+  /// underlying scheduler. Prefer the TaskScheduler form.
+  std::vector<agis::Result<std::optional<WindowCustomization>>>
+  GetCustomizationBatch(const std::vector<Event>& events,
+                        agis::ThreadPool* pool) {
+    return GetCustomizationBatch(events,
+                                 pool != nullptr ? pool->scheduler() : nullptr);
+  }
+
+  /// Attaches the process-wide scheduler used when
+  /// GetCustomizationBatch is called without one (non-owning; nullptr
+  /// detaches). Setup-phase API: install before going concurrent.
+  void set_task_scheduler(agis::TaskScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+  agis::TaskScheduler* task_scheduler() const { return scheduler_; }
 
   /// Executes every matching general rule; the first non-OK action
   /// status is returned (used as a write veto). Reentrant firing is
@@ -133,10 +159,16 @@ class RuleEngine {
   std::vector<std::pair<RuleId, RuleId>> FindShadowedRules() const;
 
   /// A consistent copy of the counters, taken under their lock (safe
-  /// to call while other threads drive the engine).
+  /// to call while other threads drive the engine). Scheduler
+  /// counters are snapshotted from the attached scheduler.
   EngineStats stats() const {
-    std::lock_guard<std::mutex> memo(memo_mutex_);
-    return stats_;
+    EngineStats out;
+    {
+      std::lock_guard<std::mutex> memo(memo_mutex_);
+      out = stats_;
+    }
+    if (scheduler_ != nullptr) out.scheduler = scheduler_->stats();
+    return out;
   }
   void ResetStats();
   ConflictPolicy policy() const { return policy_; }
@@ -215,6 +247,9 @@ class RuleEngine {
   std::map<std::string, Bucket> by_event_;
   std::map<std::string, std::vector<RuleId>> by_provenance_;
   RuleId next_id_ = 1;
+
+  /// Shared scheduler for batch resolution (borrowed; may be null).
+  agis::TaskScheduler* scheduler_ = nullptr;
 
   /// Guards stats_ and the customization memo (cache_, lru_,
   /// generation_, cache_capacity_).

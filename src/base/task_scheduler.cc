@@ -1,0 +1,287 @@
+#include "base/task_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace agis {
+
+namespace {
+
+/// Identifies the worker loop (or helper) a thread belongs to, so
+/// Submit can route to the thread's own deque. One scheduler per
+/// thread at a time is enough: a worker never runs inside another
+/// scheduler's worker.
+struct WorkerIdentity {
+  TaskScheduler* scheduler = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+TaskScheduler::TaskScheduler(size_t num_threads) {
+  size_t n = num_threads;
+  if (n == 0) {
+    n = std::clamp<size_t>(std::thread::hardware_concurrency(), 2, 16);
+  }
+  n = std::max<size_t>(1, n);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    shutdown_ = true;
+    ++epoch_;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void TaskScheduler::Submit(std::function<void()> task, const void* tag) {
+  if (t_worker.scheduler == this) {
+    Worker& self = *workers_[t_worker.index];
+    std::lock_guard<std::mutex> lock(self.mutex);
+    self.deque.push_back(Entry{std::move(task), tag});
+    self.max_depth = std::max<uint64_t>(self.max_depth, self.deque.size());
+  } else {
+    injector_submits_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    injector_.push_back(Entry{std::move(task), tag});
+    injector_max_depth_ =
+        std::max<uint64_t>(injector_max_depth_, injector_.size());
+  }
+  // Wake a sleeper only if there is one: the seq_cst load is ordered
+  // after the enqueue above, and sleepers increment sleepers_ before
+  // their final re-scan, so reading 0 here proves whoever sleeps next
+  // will still find this task. Under saturation (no sleepers) Submit
+  // never touches the global sleep_mutex_.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      ++epoch_;
+    }
+    sleep_cv_.notify_one();
+  }
+}
+
+std::function<void()> TaskScheduler::FindTask(size_t index,
+                                              const void* affinity) {
+  // 1. Own deque, newest first: depth-first execution of nested
+  // submissions keeps the working set hot and bounds queue growth.
+  if (index != kNotAWorker) {
+    Worker& self = *workers_[index];
+    std::lock_guard<std::mutex> lock(self.mutex);
+    if (!self.deque.empty()) {
+      std::function<void()> task = std::move(self.deque.back().fn);
+      self.deque.pop_back();
+      return task;
+    }
+  }
+  // 2. Injector queue. A helping waiter (affinity set) takes its own
+  // group's oldest task first — the work it is waiting for must not
+  // queue behind unrelated submissions; everyone else (and the
+  // fallback) is plain FIFO.
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    if (affinity != nullptr) {
+      for (auto it = injector_.begin(); it != injector_.end(); ++it) {
+        if (it->tag == affinity) {
+          std::function<void()> task = std::move(it->fn);
+          injector_.erase(it);
+          injector_pops_.fetch_add(1, std::memory_order_relaxed);
+          return task;
+        }
+      }
+    }
+    if (!injector_.empty()) {
+      std::function<void()> task = std::move(injector_.front().fn);
+      injector_.pop_front();
+      injector_pops_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  // 3. Steal, oldest first, victims rotating. The rotor spreads
+  // concurrent thieves across victims instead of convoying on 0.
+  const size_t n = workers_.size();
+  const size_t start = steal_rotor_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t victim = (start + k) % n;
+    if (victim == index) continue;
+    Worker& other = *workers_[victim];
+    std::lock_guard<std::mutex> lock(other.mutex);
+    if (!other.deque.empty()) {
+      std::function<void()> task = std::move(other.deque.front().fn);
+      other.deque.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void TaskScheduler::WorkerLoop(size_t index) {
+  t_worker = {this, index};
+  for (;;) {
+    if (std::function<void()> task = FindTask(index)) {
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      continue;
+    }
+    // Eventcount sleep: declare the sleep (sleepers_++), record the
+    // epoch, re-scan once (a Submit may have landed between the
+    // failed scan above and here), and only then sleep until the
+    // epoch moves. Submits that observe the sleeper bump the epoch
+    // under sleep_mutex_, so a wakeup can never be lost; submits that
+    // ran entirely before the sleepers_ increment left their task
+    // visible to the re-scan.
+    uint64_t seen;
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      if (shutdown_) {
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        break;
+      }
+      seen = epoch_;
+    }
+    if (std::function<void()> task = FindTask(index)) {
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock,
+                   [this, seen] { return shutdown_ || epoch_ != seen; });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    if (shutdown_) {
+      // Drain: exit only once a full scan finds nothing. Tasks spawned
+      // later by still-running workers are executed by those workers.
+      lock.unlock();
+      while (std::function<void()> task = FindTask(index)) {
+        tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        task();
+      }
+      break;
+    }
+  }
+  t_worker = {};
+}
+
+void TaskScheduler::HelpUntil(const std::function<bool()>& done,
+                              const void* affinity) {
+  // A worker helping from inside a task keeps its own index (its
+  // deque holds the subtasks it just submitted — LIFO pops them
+  // first); any other thread helps as an outsider.
+  const size_t index =
+      t_worker.scheduler == this ? t_worker.index : kNotAWorker;
+  while (!done()) {
+    if (std::function<void()> task = FindTask(index, affinity)) {
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      help_executed_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      continue;
+    }
+    // Nothing runnable and not done: the awaited tasks are executing
+    // on other threads. Declare the sleep (sleepers_++) before the
+    // final done()/queue re-check, then sleep until something changes
+    // — a new task (epoch bump) or the completion signal
+    // (NotifyWaiters).
+    uint64_t seen;
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      seen = epoch_;
+    }
+    if (done()) {
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      return;
+    }
+    if (std::function<void()> task = FindTask(index, affinity)) {
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+      help_executed_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.wait(lock, [this, seen] { return epoch_ != seen; });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void TaskScheduler::NotifyWaiters() {
+  // The caller published its completion (e.g. the group's pending
+  // count hit zero, seq_cst) before this load; a waiter increments
+  // sleepers_ before re-checking its predicate. Reading 0 therefore
+  // proves every current waiter will see the completion without a
+  // signal.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++epoch_;
+  }
+  sleep_cv_.notify_all();
+}
+
+SchedulerStats TaskScheduler::stats() const {
+  SchedulerStats stats;
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.injector_submits = injector_submits_.load(std::memory_order_relaxed);
+  stats.injector_pops = injector_pops_.load(std::memory_order_relaxed);
+  stats.help_executed = help_executed_.load(std::memory_order_relaxed);
+  stats.num_threads = workers_.size();
+  uint64_t depth = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    depth = std::max(depth, worker->max_depth);
+  }
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    depth = std::max(depth, injector_max_depth_);
+  }
+  stats.max_queue_depth = depth;
+  return stats;
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  // The scheduler pointer is captured by value: once the final
+  // fetch_sub publishes zero, Wait() may return and the group be
+  // destroyed, so the lambda must not read group members after it.
+  TaskScheduler* scheduler = scheduler_;
+  // seq_cst on the final decrement (and on Wait's predicate loads):
+  // NotifyWaiters elides its signal when no thread has declared a
+  // sleep, which is only sound if the decrement and the waiter's
+  // re-check are totally ordered against the sleeper bookkeeping.
+  scheduler_->Submit(
+      [this, scheduler, task = std::move(task)] {
+        task();
+        if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+          scheduler->NotifyWaiters();
+        }
+      },
+      /*tag=*/this);
+}
+
+void TaskGroup::Wait() {
+  if (pending_.load(std::memory_order_seq_cst) == 0) return;
+  // Affinity == this group: the waiting thread drains its own tasks
+  // ahead of unrelated injector entries.
+  scheduler_->HelpUntil(
+      [this] { return pending_.load(std::memory_order_seq_cst) == 0; },
+      /*affinity=*/this);
+}
+
+}  // namespace agis

@@ -1,0 +1,210 @@
+#ifndef AGIS_BASE_TASK_SCHEDULER_H_
+#define AGIS_BASE_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agis {
+
+/// Counters exported through DatabaseStats / EngineStats so benches
+/// can attribute wins to the shared scheduler. Aggregated across all
+/// workers; exact once the scheduler is quiescent.
+struct SchedulerStats {
+  /// Tasks executed to completion (on workers and inside helping
+  /// waiters alike).
+  uint64_t tasks_executed = 0;
+  /// Tasks a worker took from another worker's deque.
+  uint64_t steals = 0;
+  /// Tasks submitted through the global injector queue (submitter was
+  /// not a worker of this scheduler).
+  uint64_t injector_submits = 0;
+  /// Tasks popped from the injector queue ("injector hits").
+  uint64_t injector_pops = 0;
+  /// Tasks executed by threads blocked in TaskGroup::Wait (the
+  /// help-while-waiting rule) rather than by a worker loop.
+  uint64_t help_executed = 0;
+  /// High-water mark of any single worker deque (injector included).
+  uint64_t max_queue_depth = 0;
+  size_t num_threads = 0;
+};
+
+/// A process-wide work-stealing task scheduler shared by every
+/// fan-out consumer (rule-engine batch dispatch, parallel Get_Class
+/// residual scans, storage block decode). One scheduler sized to the
+/// hardware replaces the per-subsystem `ThreadPool`s whose combined
+/// worker counts oversubscribed the machine under mixed load.
+///
+/// Layout (Chase–Lev-style discipline):
+///  * one deque per worker — the owner pushes and pops at the bottom
+///    (LIFO, cache-hot), thieves steal from the top (FIFO, oldest
+///    first, so stolen tasks are the largest remaining subtrees);
+///  * a global injector queue for external submitters (threads that
+///    are not workers of this scheduler);
+///  * an eventcount (generation-stamped condvar) so idle workers
+///    sleep instead of spinning.
+/// Each deque is guarded by its own small mutex rather than lock-free
+/// atomics: contention is confined to steals (rare by design) and the
+/// implementation stays portable and trivially ThreadSanitizer-clean.
+///
+/// Waiting never wastes a thread: `TaskGroup::Wait()` (and the
+/// deprecated `ThreadPool::Wait()`) run pending tasks while the
+/// awaited set drains — see HelpUntil. Nested parallelism (a task
+/// that submits subtasks and waits on them) therefore cannot
+/// deadlock: the waiter executes work, including its own subtasks,
+/// instead of sleeping while occupying a worker.
+///
+/// All methods are thread-safe. Tasks must not throw. Destruction
+/// drains every queued task, then joins the workers.
+class TaskScheduler {
+ public:
+  /// Spawns `num_threads` workers; 0 sizes to the hardware
+  /// (hardware_concurrency clamped to [2, 16] — at least 2 so
+  /// single-core machines still overlap blocking waits, bounded so a
+  /// many-core box is not flooded by default).
+  explicit TaskScheduler(size_t num_threads = 0);
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Drains all queues (tasks spawned by draining tasks included),
+  /// then joins. Safe while external submitters have stopped; tasks
+  /// in flight finish normally.
+  ~TaskScheduler();
+
+  /// Enqueues `task`. Called from a worker of this scheduler, the
+  /// task goes to that worker's own deque (LIFO — it will typically
+  /// run next, while thieves take the oldest entries); from any other
+  /// thread it goes through the injector queue. `tag` is an opaque
+  /// affinity label (typically the owning TaskGroup) that HelpUntil
+  /// uses to prefer a waiter's own tasks; nullptr means untagged.
+  void Submit(std::function<void()> task, const void* tag = nullptr);
+
+  /// Runs queued tasks until `done()` returns true, sleeping on the
+  /// eventcount when no task is runnable. This is the
+  /// help-while-waiting primitive behind TaskGroup::Wait: the caller
+  /// lends its thread to the scheduler instead of blocking it.
+  /// When `affinity` is non-null, injector tasks submitted with that
+  /// tag are taken first — a waiter drains the work it is actually
+  /// waiting for instead of queueing it behind unrelated submissions
+  /// (and only helps foreign work when none of its own is queued).
+  /// Whoever makes `done()` true must call NotifyWaiters().
+  void HelpUntil(const std::function<bool()>& done,
+                 const void* affinity = nullptr);
+
+  /// Wakes every sleeping worker and helper so their predicates are
+  /// re-checked. Called by completion signals external to the queues
+  /// (TaskGroup hitting zero, ThreadPool::Wait draining).
+  void NotifyWaiters();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// A consistent aggregate of the counters.
+  SchedulerStats stats() const;
+
+ private:
+  /// A queued task plus its affinity tag (see Submit).
+  struct Entry {
+    std::function<void()> fn;
+    const void* tag = nullptr;
+  };
+
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Entry> deque;  // Owner: back. Thieves: front.
+    uint64_t max_depth = 0;   // Guarded by `mutex`.
+  };
+
+  void WorkerLoop(size_t index);
+
+  /// One task from: own deque (back), affinity-tagged injector
+  /// entries (oldest first, when `affinity` != nullptr), injector
+  /// (front), then steals (front of each other deque, rotating
+  /// start). `index` == npos for non-worker helpers (skips the "own
+  /// deque" step). Returns an empty function when every queue is
+  /// empty.
+  std::function<void()> FindTask(size_t index,
+                                 const void* affinity = nullptr);
+
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex injector_mutex_;
+  std::deque<Entry> injector_;
+  uint64_t injector_max_depth_ = 0;  // Guarded by injector_mutex_.
+
+  /// Eventcount: epoch_ bumps on every Submit and NotifyWaiters that
+  /// observes a sleeper; sleepers re-scan when it moves.
+  mutable std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+
+  /// Threads committed to (or inside) an eventcount sleep. Submit and
+  /// NotifyWaiters skip the epoch bump and the condvar signal when
+  /// this is zero — the saturated-load fast path touches only the
+  /// destination queue's mutex. Safety relies on ordering: a sleeper
+  /// increments this seq_cst *before* its final queue re-scan /
+  /// predicate check, and publishers enqueue (or publish completion)
+  /// *before* the seq_cst load, so "no sleeper seen" proves the
+  /// sleeper's re-scan will observe the publication.
+  std::atomic<int> sleepers_{0};
+
+  /// Steal-scan starting offset, advanced per steal attempt so
+  /// victims rotate instead of worker 0 being hammered.
+  std::atomic<uint32_t> steal_rotor_{0};
+
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> injector_submits_{0};
+  std::atomic<uint64_t> injector_pops_{0};
+  std::atomic<uint64_t> help_executed_{0};
+};
+
+/// Completion tracking for one batch of related tasks — the
+/// replacement for the pool-wide `ThreadPool::Wait()` footgun. A
+/// group waits only on tasks submitted through *it*, and a thread
+/// blocked in Wait() executes pending scheduler tasks (its own
+/// subtasks first, by LIFO) instead of sleeping. Groups nest freely:
+/// a task may create its own TaskGroup over the same scheduler.
+///
+/// Run() and Wait() may race from multiple threads, but the caller
+/// must guarantee no Run() starts after the final Wait() returns.
+/// The destructor waits for any still-pending tasks.
+class TaskGroup {
+ public:
+  /// `scheduler` must outlive the group.
+  explicit TaskGroup(TaskScheduler* scheduler) : scheduler_(scheduler) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { Wait(); }
+
+  /// Submits `task` to the scheduler, tracked by this group.
+  void Run(std::function<void()> task);
+
+  /// Returns once every task Run() through this group has finished.
+  /// Helps execute pending tasks while waiting; reentrant-safe (a
+  /// helped task may itself Run()/Wait() on a nested group).
+  void Wait();
+
+  /// Tasks submitted and not yet finished.
+  size_t pending() const { return pending_.load(std::memory_order_acquire); }
+
+ private:
+  TaskScheduler* scheduler_;
+  std::atomic<size_t> pending_{0};
+};
+
+}  // namespace agis
+
+#endif  // AGIS_BASE_TASK_SCHEDULER_H_

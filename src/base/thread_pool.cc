@@ -5,57 +5,43 @@
 
 namespace agis {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  const size_t n = std::max<size_t>(1, num_threads);
-  workers_.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
+ThreadPool::ThreadPool(size_t num_threads)
+    : owned_(std::make_unique<TaskScheduler>(std::max<size_t>(1, num_threads))),
+      scheduler_(owned_.get()) {}
+
+ThreadPool::ThreadPool(TaskScheduler* scheduler) : scheduler_(scheduler) {}
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  work_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Tasks in flight capture `this` (the counters); they must finish
+  // before the members go away — and before an owned scheduler joins.
+  Wait();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
-  }
-  work_ready_.notify_one();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  TaskScheduler* scheduler = scheduler_;
+  scheduler_->Submit(
+      [this, scheduler, task = std::move(task)] {
+        task();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        // No member reads after this decrement: once pending_ hits
+        // zero, Wait() may return and the pool be destroyed. seq_cst:
+        // the scheduler's NotifyWaiters elides its signal when no
+        // sleeper is declared, which requires the decrement and the
+        // waiter's predicate loads to be totally ordered against that
+        // bookkeeping.
+        if (pending_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+          scheduler->NotifyWaiters();
+        }
+      },
+      /*tag=*/this);
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock,
-                 [this] { return queue_.empty() && active_workers_ == 0; });
-}
-
-uint64_t ThreadPool::tasks_completed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return completed_;
-}
-
-void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // Shutdown with a drained queue.
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
-    ++active_workers_;
-    lock.unlock();
-    task();
-    lock.lock();
-    --active_workers_;
-    ++completed_;
-    if (queue_.empty() && active_workers_ == 0) all_idle_.notify_all();
-  }
+  if (pending_.load(std::memory_order_seq_cst) == 0) return;
+  scheduler_->HelpUntil(
+      [this] { return pending_.load(std::memory_order_seq_cst) == 0; },
+      /*affinity=*/this);
 }
 
 }  // namespace agis

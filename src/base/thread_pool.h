@@ -1,58 +1,78 @@
 #ifndef AGIS_BASE_THREAD_POOL_H_
 #define AGIS_BASE_THREAD_POOL_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <memory>
+
+#include "base/task_scheduler.h"
 
 namespace agis {
 
-/// A small fixed-size worker pool for fan-out work (batched
-/// customization resolution, multi-window refresh). Deliberately
-/// minimal: FIFO queue, no futures — callers that need completion
-/// signalling layer their own latch on top (see
-/// RuleEngine::GetCustomizationBatch).
+/// DEPRECATED compatibility adapter over a TaskScheduler slice.
+///
+/// Historically this was a standalone fixed-size worker pool, and
+/// every fan-out subsystem (rule-engine batch dispatch, query-path
+/// residual scans, storage block decode) owned one — oversubscribing
+/// the machine whenever they fanned out together. The pool API now
+/// forwards to a `TaskScheduler`: constructed with a thread count it
+/// owns a private scheduler of that size (legacy behaviour for
+/// out-of-tree callers); constructed with a borrowed scheduler it is
+/// a zero-thread facade over that shared scheduler.
+///
+/// New code should use TaskScheduler + TaskGroup directly.
 ///
 /// All methods are thread-safe. Tasks must not throw.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (clamped to at least 1).
+  /// Legacy constructor: owns a private TaskScheduler with
+  /// `num_threads` workers (clamped to at least 1).
   explicit ThreadPool(size_t num_threads);
+
+  /// Adapter constructor: forwards to `scheduler` (borrowed, must
+  /// outlive the pool) and spawns no threads of its own.
+  explicit ThreadPool(TaskScheduler* scheduler);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains the queue, then joins the workers.
+  /// Waits for every task submitted through this pool, then (for the
+  /// legacy constructor) tears the private scheduler down.
   ~ThreadPool();
 
-  /// Enqueues `task` for execution on some worker.
+  /// Enqueues `task` on the underlying scheduler.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and every worker is idle. Note
-  /// this waits for *all* submitted tasks, including tasks enqueued by
-  /// other threads.
+  /// DEPRECATED: blocks until every task submitted through this pool
+  /// object has finished — *including tasks enqueued by other
+  /// threads*, which is the footgun: two independent callers sharing
+  /// a pool wait on each other's work, and a worker calling Wait()
+  /// on its own pool used to deadlock. Kept for compatibility; the
+  /// wait now at least helps execute pending scheduler tasks instead
+  /// of sleeping. New code should scope completion with a TaskGroup,
+  /// which waits only on its own tasks.
   void Wait();
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Worker count of the underlying scheduler.
+  size_t num_threads() const { return scheduler_->num_threads(); }
 
-  /// Tasks that have finished executing since construction.
-  uint64_t tasks_completed() const;
+  /// Tasks submitted through this pool that have finished executing.
+  uint64_t tasks_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// The scheduler this pool forwards to (owned or borrowed). Lets
+  /// pool-taking legacy call sites hand the underlying scheduler to
+  /// migrated APIs.
+  TaskScheduler* scheduler() const { return scheduler_; }
 
  private:
-  void WorkerLoop();
-
-  std::vector<std::thread> workers_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_workers_ = 0;
-  uint64_t completed_ = 0;
-  bool shutdown_ = false;
+  std::unique_ptr<TaskScheduler> owned_;  // Null in adapter mode.
+  TaskScheduler* scheduler_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<uint64_t> completed_{0};
 };
 
 }  // namespace agis

@@ -1,6 +1,7 @@
 #include "builder/interface_builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -178,10 +179,12 @@ agis::Status GenericInterfaceBuilder::AddPresentationArea(
 
   const std::string geometry_attr = db_->GeometryAttributeOf(class_name);
   std::vector<carto::StyledFeature> features;
+  std::vector<uint64_t> feature_epochs;
   if (!geometry_attr.empty()) {
     geodb::Snapshot local;
     const geodb::Snapshot* view = PinBuildView(options, &local);
     features.reserve(result.ids.size());
+    if (options.generalize) feature_epochs.reserve(result.ids.size());
     for (geodb::ObjectId id : result.ids) {
       const geodb::ObjectInstance* obj = LookupObject(*view, id);
       if (obj == nullptr) continue;
@@ -189,6 +192,11 @@ agis::Status GenericInterfaceBuilder::AddPresentationArea(
       if (value.is_null()) continue;
       features.push_back(
           carto::StyledFeature{id, value.geometry_value(), feature_style, ""});
+      if (options.generalize) {
+        // Version epoch of the geometry just read: the simplify
+        // cache's validity stamp.
+        feature_epochs.push_back(db_->VersionEpochAt(*view, id));
+      }
     }
   }
 
@@ -200,9 +208,11 @@ agis::Status GenericInterfaceBuilder::AddPresentationArea(
     // cell survives projection, so simplify to that tolerance.
     const double tolerance =
         std::max(canvas.UnitsPerCellX(), canvas.UnitsPerCellY());
-    for (carto::StyledFeature& feature : features) {
+    for (size_t f = 0; f < features.size(); ++f) {
+      carto::StyledFeature& feature = features[f];
       const size_t before = feature.geometry.NumPoints();
-      feature.geometry = geom::Simplify(feature.geometry, tolerance);
+      feature.geometry = SimplifyCached(feature.id, feature_epochs[f],
+                                        feature.geometry, tolerance);
       points_removed += before - feature.geometry.NumPoints();
     }
   }
@@ -319,6 +329,90 @@ GenericInterfaceBuilder::BuildInstanceWindow(
     rows->AddChild(std::move(row));
   }
   return window;
+}
+
+void GenericInterfaceBuilder::set_simplify_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(simplify_mutex_);
+  simplify_capacity_ = capacity;
+  while (simplify_cache_.size() > simplify_capacity_) {
+    simplify_cache_.erase(simplify_lru_.back());
+    simplify_lru_.pop_back();
+    ++simplify_stats_.evictions;
+  }
+}
+
+size_t GenericInterfaceBuilder::simplify_cache_capacity() const {
+  std::lock_guard<std::mutex> lock(simplify_mutex_);
+  return simplify_capacity_;
+}
+
+size_t GenericInterfaceBuilder::simplify_cache_size() const {
+  std::lock_guard<std::mutex> lock(simplify_mutex_);
+  return simplify_cache_.size();
+}
+
+SimplifyCacheStats GenericInterfaceBuilder::simplify_cache_stats() const {
+  std::lock_guard<std::mutex> lock(simplify_mutex_);
+  return simplify_stats_;
+}
+
+geom::Geometry GenericInterfaceBuilder::SimplifyCached(
+    geodb::ObjectId id, uint64_t epoch, const geom::Geometry& geometry,
+    double tolerance) {
+  if (!(tolerance > 0)) return geometry;
+  // Quantize down to the bucket's power-of-two representative: every
+  // tolerance in [2^b, 2^(b+1)) simplifies at exactly 2^b, so nearby
+  // zoom levels share entries and the cached result never drops more
+  // vertices than the caller's tolerance allows.
+  const int bucket = std::ilogb(tolerance);
+  const double bucket_tolerance = std::ldexp(1.0, bucket);
+  const std::pair<geodb::ObjectId, int> key{id, bucket};
+  bool cacheable = epoch != 0;
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(simplify_mutex_);
+    if (simplify_capacity_ == 0) {
+      cacheable = false;
+    } else {
+      auto it = simplify_cache_.find(key);
+      if (it != simplify_cache_.end()) {
+        if (it->second.epoch == epoch) {
+          ++simplify_stats_.hits;
+          simplify_lru_.splice(simplify_lru_.begin(), simplify_lru_,
+                               it->second.lru_it);
+          return it->second.geometry;
+        }
+        // The geometry was rewritten since this entry was computed.
+        ++simplify_stats_.invalidated;
+        simplify_lru_.erase(it->second.lru_it);
+        simplify_cache_.erase(it);
+      }
+      ++simplify_stats_.misses;
+    }
+  }
+  // Simplify outside the lock — the hot path for concurrent builders.
+  // Always simplify at the bucket tolerance, cacheable or not, so
+  // output is identical either way.
+  geom::Geometry simplified = geom::Simplify(geometry, bucket_tolerance);
+  if (cacheable) {
+    std::lock_guard<std::mutex> lock(simplify_mutex_);
+    auto [it, inserted] = simplify_cache_.try_emplace(key);
+    if (inserted) {
+      simplify_lru_.push_front(key);
+    } else {
+      // A concurrent build raced us to the slot; take the newer epoch.
+      simplify_lru_.splice(simplify_lru_.begin(), simplify_lru_,
+                           it->second.lru_it);
+    }
+    it->second.epoch = epoch;
+    it->second.geometry = simplified;
+    it->second.lru_it = simplify_lru_.begin();
+    while (simplify_cache_.size() > simplify_capacity_) {
+      simplify_cache_.erase(simplify_lru_.back());
+      simplify_lru_.pop_back();
+      ++simplify_stats_.evictions;
+    }
+  }
+  return simplified;
 }
 
 }  // namespace agis::builder

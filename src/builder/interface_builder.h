@@ -1,17 +1,33 @@
 #ifndef AGIS_BUILDER_INTERFACE_BUILDER_H_
 #define AGIS_BUILDER_INTERFACE_BUILDER_H_
 
+#include <cstdint>
+#include <list>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "active/customization.h"
 #include "base/context.h"
 #include "base/status.h"
 #include "carto/style.h"
 #include "geodb/database.h"
+#include "geom/geometry.h"
 #include "uilib/library.h"
 
 namespace agis::builder {
+
+/// Counters of the builder's simplified-polyline cache.
+struct SimplifyCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Entries dropped because the object's version epoch moved (the
+  /// geometry was rewritten since the entry was computed).
+  uint64_t invalidated = 0;
+};
 
 /// Knobs for one window construction.
 struct BuildOptions {
@@ -71,6 +87,13 @@ class GenericInterfaceBuilder {
       geodb::ObjectId id, const active::WindowCustomization* customization,
       const UserContext& ctx, const BuildOptions& options = BuildOptions());
 
+  /// Maximum number of cached simplified geometries (0 disables the
+  /// cache). Shrinking below the current size evicts immediately.
+  void set_simplify_cache_capacity(size_t capacity);
+  size_t simplify_cache_capacity() const;
+  size_t simplify_cache_size() const;
+  SimplifyCacheStats simplify_cache_stats() const;
+
  private:
   /// New top-level window stamped with type/context properties.
   std::unique_ptr<uilib::InterfaceObject> NewWindow(
@@ -102,9 +125,37 @@ class GenericInterfaceBuilder {
       const active::AttributeCustomization& cust,
       const std::string& separator) const;
 
+  /// Display-scale generalization with memoization: returns
+  /// `geometry` simplified to `tolerance`, served from the cache when
+  /// the same object was simplified at the same tolerance bucket and
+  /// its version epoch has not moved since. Tolerances are quantized
+  /// *down* to a power-of-two bucket representative, so a cached entry
+  /// never removes more vertices than the caller asked for (zoom
+  /// levels within one octave share entries). `epoch` is the object's
+  /// visible version epoch (geodb::GeoDatabase::VersionEpochAt); 0
+  /// bypasses the cache.
+  geom::Geometry SimplifyCached(geodb::ObjectId id, uint64_t epoch,
+                                const geom::Geometry& geometry,
+                                double tolerance);
+
   geodb::GeoDatabase* db_;
   uilib::InterfaceObjectLibrary* library_;
   carto::StyleRegistry* styles_;
+
+  /// (object, tolerance bucket) -> simplified geometry, LRU-bounded,
+  /// epoch-validated. Guarded by its own mutex: window construction is
+  /// single-threaded, but concurrent builds over one builder are legal.
+  struct SimplifyEntry {
+    uint64_t epoch = 0;
+    geom::Geometry geometry;
+    std::list<std::pair<geodb::ObjectId, int>>::iterator lru_it;
+  };
+  mutable std::mutex simplify_mutex_;
+  std::map<std::pair<geodb::ObjectId, int>, SimplifyEntry> simplify_cache_;
+  /// Front = most recently used key.
+  std::list<std::pair<geodb::ObjectId, int>> simplify_lru_;
+  size_t simplify_capacity_ = 4096;
+  SimplifyCacheStats simplify_stats_;
 };
 
 }  // namespace agis::builder

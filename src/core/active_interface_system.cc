@@ -15,8 +15,14 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
     : options_(options), compile_cache_(options.compile_cache_capacity) {
   db_ = std::make_unique<geodb::GeoDatabase>(std::move(schema_name),
                                              options.db);
+  // One process-wide work-stealing scheduler shared by the rule
+  // engine, the query path, and storage decode (0 = hardware default).
+  scheduler_ = std::make_unique<agis::TaskScheduler>(options.ui_threads);
+  ui_pool_ = std::make_unique<agis::ThreadPool>(scheduler_.get());
+  db_->set_task_scheduler(scheduler_.get());
   engine_ = std::make_unique<active::RuleEngine>(options.conflict_policy);
   engine_->set_cache_capacity(options.customization_cache_capacity);
+  engine_->set_task_scheduler(scheduler_.get());
   bridge_ = std::make_unique<active::DbEventBridge>(engine_.get());
   db_->AddEventSink(bridge_.get());
 
@@ -30,14 +36,9 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
 
   builder_ = std::make_unique<builder::GenericInterfaceBuilder>(
       db_.get(), library_.get(), styles_.get());
-  size_t ui_threads = options.ui_threads;
-  if (ui_threads == 0) {
-    ui_threads = std::clamp<size_t>(std::thread::hardware_concurrency(), 2, 4);
-  }
-  ui_pool_ = std::make_unique<agis::ThreadPool>(ui_threads);
   dispatcher_ = std::make_unique<ui::Dispatcher>(db_.get(), engine_.get(),
                                                  builder_.get());
-  dispatcher_->set_thread_pool(ui_pool_.get());
+  dispatcher_->set_scheduler(scheduler_.get());
   protocol_ = std::make_unique<ui::DbProtocol>(db_.get());
   topology_ =
       std::make_unique<active::TopologyGuard>(db_.get(), engine_.get());
@@ -195,8 +196,9 @@ agis::Status ActiveInterfaceSystem::OpenStorage(const std::string& dir,
     return agis::Status::FailedPrecondition(
         agis::StrCat("storage already open at '", store_->directory(), "'"));
   }
-  AGIS_ASSIGN_OR_RETURN(store_, storage::DurableStore::Open(
-                                    dir, db_.get(), options, ui_pool_.get()));
+  AGIS_ASSIGN_OR_RETURN(store_,
+                        storage::DurableStore::Open(dir, db_.get(), options,
+                                                    scheduler_.get()));
   const agis::Status replayed = ReplayRecoveredDirectives();
   if (!replayed.ok()) {
     (void)CloseStorage();

@@ -10,6 +10,7 @@
 #include "active/engine.h"
 #include "active/topology_guard.h"
 #include "base/status.h"
+#include "base/task_scheduler.h"
 #include "base/thread_pool.h"
 #include "builder/interface_builder.h"
 #include "carto/style.h"
@@ -41,9 +42,11 @@ struct SystemOptions {
   /// Capacity of the engine's memoized-customization cache (0
   /// disables memoization).
   size_t customization_cache_capacity = 1024;
-  /// Workers in the UI dispatch pool used for batched customization
-  /// resolution (multi-window refresh). 0 picks a small default from
-  /// the hardware; 1 still creates a pool (serialized batches).
+  /// Workers in the process-wide task scheduler shared by batched
+  /// customization resolution, parallel Get_Class scans, and snapshot
+  /// block decode. 0 picks a default from the hardware; 1 still
+  /// creates a scheduler (serialized fan-out). Kept under its
+  /// historical name — it used to size a UI-only dispatch pool.
   size_t ui_threads = 0;
   /// Capacity of the directive compile cache: re-registering an
   /// identical directive (same text) skips the parse and compile
@@ -86,6 +89,12 @@ class ActiveInterfaceSystem {
   ui::Dispatcher& dispatcher() { return *dispatcher_; }
   ui::DbProtocol& protocol() { return *protocol_; }
   active::TopologyGuard& topology() { return *topology_; }
+  /// The process-wide work-stealing scheduler every parallel path
+  /// shares: rule-batch dispatch, parallel Get_Class residual scans,
+  /// and snapshot block decode.
+  agis::TaskScheduler& scheduler() { return *scheduler_; }
+  /// DEPRECATED adapter over scheduler() kept for callers that still
+  /// pass a ThreadPool; it owns no threads of its own.
   agis::ThreadPool& ui_pool() { return *ui_pool_; }
 
   /// Parses, analyzes, compiles, and installs a customization
@@ -173,6 +182,9 @@ class ActiveInterfaceSystem {
 
   SystemOptions options_;
   std::unique_ptr<geodb::GeoDatabase> db_;
+  /// Declared right after db_: destroyed after every component that
+  /// submits to it (the drain may still touch db_), before db_ itself.
+  std::unique_ptr<agis::TaskScheduler> scheduler_;
   std::unique_ptr<agis::ThreadPool> ui_pool_;
   std::unique_ptr<active::RuleEngine> engine_;
   std::unique_ptr<active::DbEventBridge> bridge_;

@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 
 #include "base/strutil.h"
-#include "base/thread_pool.h"
 #include "geom/predicates.h"
 #include "spatial/grid_index.h"
 #include "spatial/rtree.h"
@@ -799,32 +797,27 @@ agis::Result<std::vector<ObjectId>> GeoDatabase::EvaluateGetClass(
         }
       }
       if (out.size() >= options.limit) break;
-    } else if (query_pool_ != nullptr &&
+    } else if (scheduler_ != nullptr &&
                w.candidates.size() >= 2 * partition) {
-      // Partition the residual scan across the pool; chunk results
-      // merge in chunk order, so the outcome is identical to the
-      // sequential path.
+      // Partition the residual scan across the shared scheduler;
+      // chunk results merge in chunk order, so the outcome is
+      // identical to the sequential path. TaskGroup::Wait helps
+      // execute pending tasks (its own chunks first), so this scan
+      // is safe even when issued from inside a scheduler task.
       const size_t nchunks = (w.candidates.size() + partition - 1) / partition;
       std::vector<std::vector<ObjectId>> chunk_results(nchunks);
-      std::mutex merge_mutex;
-      std::condition_variable done_cv;
-      size_t pending = nchunks - 1;
+      agis::TaskGroup group(scheduler_);
       for (size_t c = 1; c < nchunks; ++c) {
-        query_pool_->Submit([&, c] {
+        group.Run([&, c] {
           chunk_results[c] = EvaluateResidual(
               w.geometry_attr, options, w.applied, w.candidates,
               c * partition,
               std::min((c + 1) * partition, w.candidates.size()));
-          std::lock_guard<std::mutex> lock(merge_mutex);
-          if (--pending == 0) done_cv.notify_one();
         });
       }
       chunk_results[0] = EvaluateResidual(w.geometry_attr, options, w.applied,
                                           w.candidates, 0, partition);
-      {
-        std::unique_lock<std::mutex> lock(merge_mutex);
-        done_cv.wait(lock, [&] { return pending == 0; });
-      }
+      group.Wait();
       for (std::vector<ObjectId>& chunk : chunk_results) {
         out.insert(out.end(), chunk.begin(), chunk.end());
       }
@@ -1415,6 +1408,21 @@ const ObjectInstance* GeoDatabase::FindObjectAt(const Snapshot& snapshot,
   const auto it = objects_.find(id);
   if (it == objects_.end()) return nullptr;
   return VisibleLocked(it->second, snapshot.epoch());
+}
+
+uint64_t GeoDatabase::VersionEpochAt(const Snapshot& snapshot,
+                                     ObjectId id) const {
+  if (!snapshot.valid() || snapshot.database() != this) return 0;
+  std::shared_lock lock(data_mutex_);
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return 0;
+  const auto& v = it->second.versions;
+  for (size_t i = v.size(); i-- > 0;) {
+    if (v[i].epoch <= snapshot.epoch()) {
+      return v[i].data != nullptr ? v[i].epoch : 0;  // 0 for tombstones.
+    }
+  }
+  return 0;
 }
 
 size_t GeoDatabase::ExtentSize(const std::string& class_name) const {

@@ -14,6 +14,8 @@
 
 #include "base/context.h"
 #include "base/status.h"
+#include "base/task_scheduler.h"
+#include "base/thread_pool.h"
 #include "geodb/attr_index.h"
 #include "geodb/buffer_pool.h"
 #include "geodb/events.h"
@@ -23,10 +25,6 @@
 #include "geodb/snapshot.h"
 #include "geodb/value.h"
 #include "spatial/spatial_index.h"
-
-namespace agis {
-class ThreadPool;
-}
 
 namespace agis::geodb {
 
@@ -49,7 +47,7 @@ struct DatabaseOptions {
   /// for predicate access paths. Costs O(#scalar attrs) per write.
   bool auto_attribute_indexes = true;
   /// Minimum candidates per partition when a residual extent scan is
-  /// spread across the query thread pool (see set_query_pool); scans
+  /// spread across the task scheduler (see set_task_scheduler); scans
   /// smaller than two partitions stay on the calling thread.
   size_t parallel_scan_partition = 4096;
   /// Get_Class planner: an attribute-index access path whose estimated
@@ -84,7 +82,7 @@ struct DatabaseStats {
   /// Get_Class evaluations with no index path at all (full extent
   /// candidates).
   uint64_t full_extent_scans = 0;
-  /// Residual scans partitioned across the query thread pool.
+  /// Residual scans partitioned across the task scheduler.
   uint64_t parallel_scans = 0;
   /// Attribute-index access paths the planner declined to materialize
   /// because their estimated selectivity exceeded the cutoff (the
@@ -104,6 +102,12 @@ struct DatabaseStats {
   /// Spatial-index quality per class, refreshed by FinishBulkRestore /
   /// RebuildSpatialIndexes (height, node count, average node fill).
   std::map<std::string, spatial::IndexQuality> index_quality;
+
+  /// Counters of the attached shared TaskScheduler (zeroed when none
+  /// is attached). The scheduler is shared with the rule engine and
+  /// storage decode, so these reflect whole-process fan-out, not just
+  /// parallel residual scans.
+  SchedulerStats scheduler;
 };
 
 /// In-memory object-oriented geographic DBMS.
@@ -373,6 +377,13 @@ class GeoDatabase {
   const ObjectInstance* FindObjectAt(const Snapshot& snapshot,
                                      ObjectId id) const;
 
+  /// Epoch of the write that installed the version of `id` visible in
+  /// `snapshot`; 0 when no version is visible there. Versions are
+  /// immutable, so (id, version epoch) uniquely names one object
+  /// state — derived caches (e.g. the builder's simplified-polyline
+  /// cache) validate entries against it instead of copying geometry.
+  uint64_t VersionEpochAt(const Snapshot& snapshot, ObjectId id) const;
+
   /// Extent scan without event emission or caching; `window` narrows
   /// via the spatial index when the class has a geometry attribute.
   /// Used by constraint rules, which must not recursively generate
@@ -400,11 +411,23 @@ class GeoDatabase {
   /// empty when the class has none.
   std::string GeometryAttributeOf(const std::string& class_name) const;
 
-  /// Attaches a worker pool used to partition large residual extent
-  /// scans (non-owning; pass nullptr to detach). The pool must not be
-  /// one whose workers themselves call into this database's GetClass,
-  /// or a saturated pool can deadlock waiting on its own queue.
-  void set_query_pool(agis::ThreadPool* pool) { query_pool_ = pool; }
+  /// Attaches the shared task scheduler used to partition large
+  /// residual extent scans (non-owning; pass nullptr to detach).
+  /// Chunk completion is scoped by a TaskGroup whose waiter helps
+  /// execute pending tasks, so — unlike the old dedicated query pool
+  /// — a GetClass issued from inside a scheduler task (e.g. a rule
+  /// action or a storage decode task) cannot deadlock a saturated
+  /// scheduler. Setup-phase API: install before going concurrent.
+  void set_task_scheduler(agis::TaskScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+  agis::TaskScheduler* task_scheduler() const { return scheduler_; }
+
+  /// DEPRECATED ThreadPool form of set_task_scheduler: attaches the
+  /// pool's underlying scheduler slice.
+  void set_query_pool(agis::ThreadPool* pool) {
+    scheduler_ = pool != nullptr ? pool->scheduler() : nullptr;
+  }
 
   /// Observer invoked after every successful RegisterClass (schema
   /// changes carry no DbEvent; durable storage logs them through
@@ -416,10 +439,16 @@ class GeoDatabase {
 
   BufferPool& buffer_pool() { return buffer_pool_; }
   /// A consistent copy of the counters, taken under their lock (safe
-  /// to call while other threads operate on the database).
+  /// to call while other threads operate on the database). Scheduler
+  /// counters are snapshotted from the attached scheduler.
   DatabaseStats stats() const {
-    std::lock_guard stats_lock(stats_mutex_);
-    return stats_;
+    DatabaseStats out;
+    {
+      std::lock_guard stats_lock(stats_mutex_);
+      out = stats_;
+    }
+    if (scheduler_ != nullptr) out.scheduler = scheduler_->stats();
+    return out;
   }
   const DatabaseOptions& options() const { return options_; }
 
@@ -571,7 +600,9 @@ class GeoDatabase {
   std::vector<DbEventSink*> sinks_;
   std::function<void(const ClassDef&)> schema_change_hook_;
   BufferPool buffer_pool_;
-  agis::ThreadPool* query_pool_ = nullptr;
+  /// Shared scheduler for parallel residual scans (borrowed; null =
+  /// sequential scans).
+  agis::TaskScheduler* scheduler_ = nullptr;
 
   /// Guards stats_. Mutable so const read paths can count their work.
   mutable std::mutex stats_mutex_;

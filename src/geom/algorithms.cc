@@ -9,22 +9,36 @@ namespace agis::geom {
 
 namespace {
 
+/// Iterative Douglas–Peucker over an explicit interval stack. The
+/// recursive form overflows the call stack on degenerate dense inputs
+/// (every vertex over tolerance recurses O(n) deep on a sorted split);
+/// the explicit stack is bounded by the same O(n) but on the heap, and
+/// skips the subinterval push when the worst deviation is already
+/// under tolerance.
 void DouglasPeucker(const std::vector<Point>& pts, size_t first, size_t last,
                     double tolerance, std::vector<bool>* keep) {
   if (last <= first + 1) return;
-  double worst = -1.0;
-  size_t worst_index = first;
-  for (size_t i = first + 1; i < last; ++i) {
-    const double d = DistancePointSegment(pts[i], pts[first], pts[last]);
-    if (d > worst) {
-      worst = d;
-      worst_index = i;
+  std::vector<std::pair<size_t, size_t>> stack;
+  stack.reserve(32);
+  stack.emplace_back(first, last);
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi <= lo + 1) continue;
+    double worst = -1.0;
+    size_t worst_index = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double d = DistancePointSegment(pts[i], pts[lo], pts[hi]);
+      if (d > worst) {
+        worst = d;
+        worst_index = i;
+      }
     }
-  }
-  if (worst > tolerance) {
-    (*keep)[worst_index] = true;
-    DouglasPeucker(pts, first, worst_index, tolerance, keep);
-    DouglasPeucker(pts, worst_index, last, tolerance, keep);
+    if (worst > tolerance) {
+      (*keep)[worst_index] = true;
+      stack.emplace_back(lo, worst_index);
+      stack.emplace_back(worst_index, hi);
+    }
   }
 }
 

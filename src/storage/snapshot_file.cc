@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "base/strutil.h"
+#include "base/task_scheduler.h"
 #include "base/thread_pool.h"
 #include "storage/format.h"
 
@@ -390,9 +391,9 @@ agis::Result<SnapshotWriteInfo> WriteSnapshotFile(
   return info;
 }
 
-agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
-                                                     geodb::GeoDatabase* db,
-                                                     agis::ThreadPool* pool) {
+agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(
+    const std::string& path, geodb::GeoDatabase* db,
+    agis::TaskScheduler* scheduler) {
   const bool timing = std::getenv("AGIS_RESTORE_TIMING") != nullptr;
   const auto tstart = std::chrono::steady_clock::now();
   AGIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
@@ -570,12 +571,17 @@ agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
   };
 
   const auto tdecode0 = std::chrono::steady_clock::now();
-  if (pool != nullptr && blocks.size() > 1) {
-    stats.decode_workers = pool->num_threads();
-    for (size_t b = 0; b < blocks.size(); ++b) {
-      pool->Submit([&check_and_decode, b] { check_and_decode(b); });
+  if (scheduler != nullptr && blocks.size() > 1) {
+    stats.decode_workers = scheduler->num_threads();
+    // Scoped group: waits only on these blocks, and the calling thread
+    // helps decode instead of blocking (a restore issued from inside a
+    // scheduler task cannot deadlock the worker set).
+    agis::TaskGroup group(scheduler);
+    for (size_t b = 1; b < blocks.size(); ++b) {
+      group.Run([&check_and_decode, b] { check_and_decode(b); });
     }
-    pool->Wait();
+    check_and_decode(0);
+    group.Wait();
   } else {
     for (size_t b = 0; b < blocks.size(); ++b) check_and_decode(b);
   }
@@ -630,9 +636,16 @@ agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
   return stats;
 }
 
+agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
+                                                     geodb::GeoDatabase* db,
+                                                     agis::ThreadPool* pool) {
+  return LoadSnapshotFileInto(path, db,
+                              pool != nullptr ? pool->scheduler() : nullptr);
+}
+
 agis::Result<std::unique_ptr<geodb::GeoDatabase>> LoadSnapshotFile(
     const std::string& path, geodb::DatabaseOptions options,
-    agis::ThreadPool* pool) {
+    agis::TaskScheduler* scheduler) {
   AGIS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
   std::string_view view(bytes);
   // Peek the header for the schema name so the database can be
@@ -645,7 +658,7 @@ agis::Result<std::unique_ptr<geodb::GeoDatabase>> LoadSnapshotFile(
   }
   auto db = std::make_unique<geodb::GeoDatabase>(schema_name, options);
   AGIS_RETURN_IF_ERROR(
-      LoadSnapshotFileInto(path, db.get(), pool).status());
+      LoadSnapshotFileInto(path, db.get(), scheduler).status());
   return db;
 }
 

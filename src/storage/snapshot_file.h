@@ -12,6 +12,7 @@
 #include "storage/io.h"
 
 namespace agis {
+class TaskScheduler;
 class ThreadPool;
 }
 
@@ -37,7 +38,7 @@ namespace agis::storage {
 ///
 /// Large extents split into multiple blocks (records_per_block), so a
 /// single-class million-object database still load-balances across
-/// the query pool: the reader walks the frame skeleton serially
+/// the shared task scheduler: the reader walks the frame skeleton serially
 /// (cheap), then CRC-checks and decodes every block in parallel, and
 /// finally bulk-restores into the database where the STR bulk loader
 /// absorbs the extent in one pass.
@@ -91,17 +92,22 @@ struct SnapshotLoadStats {
 /// without touching the database. Should a restore step itself fail
 /// (e.g. a schema-invalid record), the database must be discarded; a
 /// partially-restored instance is never returned as success.
+agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(
+    const std::string& path, geodb::GeoDatabase* db,
+    agis::TaskScheduler* scheduler = nullptr);
+
+/// DEPRECATED ThreadPool overload: forwards to the pool's underlying
+/// scheduler slice.
 agis::Result<SnapshotLoadStats> LoadSnapshotFileInto(const std::string& path,
                                                      geodb::GeoDatabase* db,
-                                                     agis::ThreadPool* pool =
-                                                         nullptr);
+                                                     agis::ThreadPool* pool);
 
 /// Convenience wrapper: builds a new database from the snapshot
 /// (mirrors geodb::LoadDatabaseFromFile for the binary format).
 agis::Result<std::unique_ptr<geodb::GeoDatabase>> LoadSnapshotFile(
     const std::string& path,
     geodb::DatabaseOptions options = geodb::DatabaseOptions(),
-    agis::ThreadPool* pool = nullptr);
+    agis::TaskScheduler* scheduler = nullptr);
 
 }  // namespace agis::storage
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/strutil.h"
+#include "base/task_scheduler.h"
 #include "base/thread_pool.h"
 
 namespace agis::storage {
@@ -77,22 +78,31 @@ std::string DurableStore::SnapshotPath(const std::string& dir,
 }
 
 DurableStore::DurableStore(std::string dir, geodb::GeoDatabase* db,
-                           StoreOptions options, agis::ThreadPool* pool)
-    : dir_(std::move(dir)), db_(db), options_(options), pool_(pool) {}
+                           StoreOptions options,
+                           agis::TaskScheduler* scheduler)
+    : dir_(std::move(dir)), db_(db), options_(options),
+      scheduler_(scheduler) {}
 
 agis::Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     const std::string& dir, geodb::GeoDatabase* db, StoreOptions options,
-    agis::ThreadPool* pool) {
+    agis::TaskScheduler* scheduler) {
   if (db == nullptr) {
     return agis::Status::InvalidArgument("DurableStore::Open: null database");
   }
   AGIS_RETURN_IF_ERROR(EnsureDirectory(dir));
   std::unique_ptr<DurableStore> store(
-      new DurableStore(dir, db, options, pool));
+      new DurableStore(dir, db, options, scheduler));
   AGIS_RETURN_IF_ERROR(store->Recover());
   AGIS_RETURN_IF_ERROR(store->OpenWalGeneration(store->generation_));
   store->AttachHooks();
   return store;
+}
+
+agis::Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir, geodb::GeoDatabase* db, StoreOptions options,
+    agis::ThreadPool* pool) {
+  return Open(dir, db, std::move(options),
+              pool != nullptr ? pool->scheduler() : nullptr);
 }
 
 DurableStore::~DurableStore() { Close().ok(); }
@@ -116,7 +126,7 @@ agis::Status DurableStore::Recover() {
   const std::string snapshot_path = SnapshotPath(dir_, base);
   if (FileExists(snapshot_path)) {
     AGIS_ASSIGN_OR_RETURN(SnapshotLoadStats loaded,
-                          LoadSnapshotFileInto(snapshot_path, db_, pool_));
+                          LoadSnapshotFileInto(snapshot_path, db_, scheduler_));
     recovery_.snapshot_loaded = true;
     recovery_.snapshot_objects = loaded.objects_loaded;
     for (const auto& [name, source] : loaded.directives) {

@@ -15,6 +15,7 @@
 #include "storage/wal.h"
 
 namespace agis {
+class TaskScheduler;
 class ThreadPool;
 }
 
@@ -102,11 +103,18 @@ struct StorageStats {
 class DurableStore : public geodb::DbEventSink {
  public:
   /// Recovers `dir` into `db` (which must be freshly constructed:
-  /// no classes, no objects) and attaches. `pool` parallelizes
+  /// no classes, no objects) and attaches. `scheduler` parallelizes
   /// snapshot block decode during recovery and checkpoint loads.
   static agis::Result<std::unique_ptr<DurableStore>> Open(
       const std::string& dir, geodb::GeoDatabase* db,
-      StoreOptions options = StoreOptions(), agis::ThreadPool* pool = nullptr);
+      StoreOptions options = StoreOptions(),
+      agis::TaskScheduler* scheduler = nullptr);
+
+  /// DEPRECATED ThreadPool overload: forwards the pool's underlying
+  /// scheduler slice.
+  static agis::Result<std::unique_ptr<DurableStore>> Open(
+      const std::string& dir, geodb::GeoDatabase* db, StoreOptions options,
+      agis::ThreadPool* pool);
 
   ~DurableStore() override;
 
@@ -152,7 +160,7 @@ class DurableStore : public geodb::DbEventSink {
 
  private:
   DurableStore(std::string dir, geodb::GeoDatabase* db, StoreOptions options,
-               agis::ThreadPool* pool);
+               agis::TaskScheduler* scheduler);
 
   /// Loads the manifest + snapshot + WAL chain into db_. Fills
   /// recovery_.
@@ -170,7 +178,7 @@ class DurableStore : public geodb::DbEventSink {
   std::string dir_;
   geodb::GeoDatabase* db_;
   StoreOptions options_;
-  agis::ThreadPool* pool_;
+  agis::TaskScheduler* scheduler_;
 
   /// Serializes WAL appends against rotation (Checkpoint) and close.
   mutable std::mutex mutex_;

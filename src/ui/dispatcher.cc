@@ -164,7 +164,7 @@ agis::Status Dispatcher::OpenClassWindows(
   for (const std::string& cls : class_names) {
     events.push_back(MakeEvent(active::kEventGetClass, {{"class", cls}}));
   }
-  const auto payloads = engine_->GetCustomizationBatch(events, pool_);
+  const auto payloads = engine_->GetCustomizationBatch(events, scheduler_);
   builder::BuildOptions options = build_options_;
   options.snapshot = snapshot;
   for (size_t i = 0; i < class_names.size(); ++i) {

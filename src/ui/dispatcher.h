@@ -9,6 +9,7 @@
 #include "active/engine.h"
 #include "base/context.h"
 #include "base/status.h"
+#include "base/task_scheduler.h"
 #include "base/thread_pool.h"
 #include "builder/interface_builder.h"
 #include "geodb/database.h"
@@ -39,12 +40,22 @@ class Dispatcher {
     build_options_ = std::move(options);
   }
 
-  /// Worker pool (borrowed, may be null) used to resolve the
-  /// customizations of multi-window operations concurrently via
+  /// Shared task scheduler (borrowed, may be null) used to resolve
+  /// the customizations of multi-window operations concurrently via
   /// RuleEngine::GetCustomizationBatch. Window *construction* stays on
   /// the calling thread — the builder and database are not reentrant.
-  void set_thread_pool(agis::ThreadPool* pool) { pool_ = pool; }
-  agis::ThreadPool* thread_pool() const { return pool_; }
+  void set_scheduler(agis::TaskScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+  agis::TaskScheduler* scheduler() const { return scheduler_; }
+
+  /// DEPRECATED ThreadPool form of set_scheduler: attaches the pool's
+  /// underlying scheduler slice.
+  void set_thread_pool(agis::ThreadPool* pool) {
+    scheduler_ = pool != nullptr ? pool->scheduler() : nullptr;
+  }
+  /// DEPRECATED alias for scheduler().
+  agis::TaskScheduler* thread_pool() const { return scheduler_; }
 
   geodb::GeoDatabase* database() const { return db_; }
 
@@ -164,7 +175,7 @@ class Dispatcher {
   geodb::GeoDatabase* db_;
   active::RuleEngine* engine_;
   builder::GenericInterfaceBuilder* builder_;
-  agis::ThreadPool* pool_ = nullptr;
+  agis::TaskScheduler* scheduler_ = nullptr;
   UserContext context_;
   builder::BuildOptions build_options_;
   std::vector<std::unique_ptr<uilib::InterfaceObject>> windows_;

@@ -62,7 +62,9 @@ TEST(ThreadPoolTest, DestructorDrainsTheQueue) {
 }
 
 TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
-  ThreadPool pool(0);
+  // size_t{0} disambiguates against the borrowed-scheduler ctor (a
+  // literal 0 is also a null pointer constant).
+  ThreadPool pool(size_t{0});
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<bool> ran{false};
   pool.Submit([&ran] { ran.store(true); });
