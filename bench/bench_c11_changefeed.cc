@@ -1,0 +1,191 @@
+// Experiment C11 — changefeed-driven incremental maintenance. Two
+// claims: (a) per-object cache invalidation keeps a hot viewport's
+// buffer-pool hit rate high under sustained writes elsewhere, where
+// the old class-prefix invalidation dropped it to zero; (b) patching a
+// class window through the changefeed (ViewRefresher +
+// IncrementalView) makes a single-object change far cheaper than the
+// full rebuild it used to cost.
+
+#include <cstdio>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "core/active_interface_system.h"
+#include "geodb/database.h"
+#include "storage/changefeed.h"
+#include "ui/view_refresher.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using agis::geodb::GetClassOptions;
+
+std::unique_ptr<agis::geodb::GeoDatabase> MakeDb(size_t instances,
+                                                 bool legacy_invalidation) {
+  agis::geodb::DatabaseOptions options;
+  options.buffer_pool_bytes = 64 << 20;
+  options.legacy_class_prefix_invalidation = legacy_invalidation;
+  auto db = std::make_unique<agis::geodb::GeoDatabase>("cfbench", options);
+  agis::geodb::ClassDef cls("P", "");
+  (void)cls.AddAttribute(agis::geodb::AttributeDef::Geometry("loc"));
+  (void)cls.AddAttribute(agis::geodb::AttributeDef::String("tag"));
+  (void)db->RegisterClass(std::move(cls));
+  (void)agis::workload::AddSyntheticInstances(
+      db.get(), "P", instances, 3, agis::geom::BoundingBox(0, 0, 1000, 1000));
+  return db;
+}
+
+GetClassOptions HotViewport() {
+  GetClassOptions q;
+  q.window = agis::geom::BoundingBox(0, 0, 100, 100);  // 1% of the world.
+  return q;
+}
+
+/// (a) A browse session pinned to one viewport while a writer churns
+/// objects far outside it (same class — the case prefix invalidation
+/// handled worst). Reported: the viewport reads' own hit rate.
+void RunHotViewport(benchmark::State& state, bool legacy) {
+  auto db = MakeDb(4096, legacy);
+  agis::Rng rng(7);
+  (void)db->GetClass("P", HotViewport());  // Warm the slice.
+  uint64_t reads = 0;
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    // One sustained write per read, always far from the viewport.
+    const agis::geodb::ObjectId victim =
+        1 + rng.Uniform(4096);
+    if (rng.Bernoulli(0.5)) {
+      (void)db->Update(victim, "loc",
+                       agis::geodb::Value::MakeGeometry(
+                           agis::geom::Geometry::FromPoint(
+                               {rng.UniformDouble(500, 1000),
+                                rng.UniformDouble(500, 1000)})));
+    } else {
+      (void)db->Update(victim, "tag", agis::geodb::Value::String("churn"));
+    }
+    auto result = db->GetClass("P", HotViewport());
+    benchmark::DoNotOptimize(result);
+    ++reads;
+    if (result.ok() && result.value().from_cache) ++hits;
+  }
+  state.counters["hot_hit_rate"] =
+      reads == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(reads);
+  state.counters["invalidated"] =
+      static_cast<double>(db->buffer_pool().stats().invalidated);
+  state.counters["survivals"] =
+      static_cast<double>(db->buffer_pool().stats().invalidation_survivals);
+}
+
+void BM_HotViewportUnderWrites_PerObject(benchmark::State& state) {
+  RunHotViewport(state, /*legacy=*/false);
+}
+BENCHMARK(BM_HotViewportUnderWrites_PerObject);
+
+void BM_HotViewportUnderWrites_LegacyPrefix(benchmark::State& state) {
+  RunHotViewport(state, /*legacy=*/true);
+}
+BENCHMARK(BM_HotViewportUnderWrites_LegacyPrefix);
+
+/// (b) One open class window, one object changing per refresh. The
+/// patched path consumes the changefeed delta and repaints only that
+/// object's cells; the baseline rebuilds the window.
+struct RefreshHarness {
+  std::unique_ptr<agis::core::ActiveInterfaceSystem> sys;
+  std::unique_ptr<agis::ui::ViewRefresher> refresher;
+  std::vector<agis::geodb::ObjectId> ids;
+  agis::Rng rng{7};
+
+  explicit RefreshHarness(size_t instances, bool attach_feed) {
+    sys = std::make_unique<agis::core::ActiveInterfaceSystem>("cfbench");
+    agis::geodb::ClassDef cls("P", "");
+    (void)cls.AddAttribute(agis::geodb::AttributeDef::Geometry("loc"));
+    (void)cls.AddAttribute(agis::geodb::AttributeDef::String("tag"));
+    (void)sys->db().RegisterClass(std::move(cls));
+    (void)agis::workload::AddSyntheticInstances(
+        &sys->db(), "P", instances, 3,
+        agis::geom::BoundingBox(0, 0, 1000, 1000));
+    ids = sys->db().ScanExtent("P").value();
+    refresher = std::make_unique<agis::ui::ViewRefresher>(
+        &sys->dispatcher(), &sys->engine(),
+        agis::ui::ViewRefresher::Mode::kMarkStale);
+    (void)refresher->Install();
+    if (attach_feed) {
+      refresher->AttachChangefeed(sys->changefeed(), &sys->styles());
+    }
+    (void)sys->dispatcher().OpenClassWindow("P");
+  }
+
+  void Step() {
+    // Interior move: membership and bounds stay put, one symbol moves.
+    const agis::geodb::ObjectId id = ids[rng.Uniform(ids.size())];
+    (void)sys->db().Update(id, "loc",
+                           agis::geodb::Value::MakeGeometry(
+                               agis::geom::Geometry::FromPoint(
+                                   {rng.UniformDouble(100, 900),
+                                    rng.UniformDouble(100, 900)})));
+    (void)refresher->RefreshStale();
+  }
+};
+
+void BM_SingleObjectRefresh_Patched(benchmark::State& state) {
+  RefreshHarness harness(static_cast<size_t>(state.range(0)),
+                         /*attach_feed=*/true);
+  for (auto _ : state) harness.Step();
+  state.counters["instances"] = static_cast<double>(state.range(0));
+  state.counters["windows_patched"] =
+      static_cast<double>(harness.refresher->windows_patched());
+  state.counters["full_rebuilds"] =
+      static_cast<double>(harness.refresher->full_rebuilds());
+}
+BENCHMARK(BM_SingleObjectRefresh_Patched)
+    ->RangeMultiplier(4)->Range(256, 4096);
+
+void BM_SingleObjectRefresh_FullRebuild(benchmark::State& state) {
+  RefreshHarness harness(static_cast<size_t>(state.range(0)),
+                         /*attach_feed=*/false);
+  for (auto _ : state) harness.Step();
+  state.counters["instances"] = static_cast<double>(state.range(0));
+  state.counters["full_rebuilds"] =
+      static_cast<double>(harness.refresher->full_rebuilds());
+}
+BENCHMARK(BM_SingleObjectRefresh_FullRebuild)
+    ->RangeMultiplier(4)->Range(256, 4096);
+
+/// Raw feed overhead: what one publish costs the write path.
+void BM_ChangefeedPublish(benchmark::State& state) {
+  agis::storage::Changefeed feed(4096);
+  const auto sub = feed.Subscribe();
+  agis::storage::ChangeRecord record;
+  record.kind = agis::storage::ChangeKind::kUpdate;
+  record.class_name = "P";
+  record.changed_attributes = {"loc"};
+  uint64_t published = 0;
+  for (auto _ : state) {
+    record.object_id = ++published;
+    benchmark::DoNotOptimize(feed.Publish(record));
+    if ((published & 1023) == 0) {
+      const auto poll = feed.Poll(sub);
+      (void)feed.Ack(sub, poll.next_seq);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChangefeedPublish);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "==== C11: changefeed + incremental view maintenance ====\n"
+      "PerObject should hold a ~1.0 hot-viewport hit rate while\n"
+      "LegacyPrefix collapses to ~0 under the same write stream;\n"
+      "Patched single-object refresh should be several times cheaper\n"
+      "than FullRebuild, with the gap widening as the window's extent\n"
+      "grows.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

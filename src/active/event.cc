@@ -29,6 +29,16 @@ Event FromDbEvent(const geodb::DbEvent& db_event) {
     e.params["object"] = agis::StrCat(db_event.object_id);
   }
   if (!db_event.attribute.empty()) e.params["attribute"] = db_event.attribute;
+  if (!db_event.changed_attributes.empty()) {
+    // Comma-joined changed-attribute names: rule conditions can test
+    // which attributes a write touched without a second lookup.
+    std::string changed;
+    for (const std::string& attr : db_event.changed_attributes) {
+      if (!changed.empty()) changed += ',';
+      changed += attr;
+    }
+    e.params["changed"] = std::move(changed);
+  }
   e.snapshot = db_event.snapshot;
   // Geometry payloads travel as WKT so constraint-rule actions can
   // validate writes without reaching back into the (still unmodified)

@@ -227,6 +227,11 @@ agis::Status GenericInterfaceBuilder::AddPresentationArea(
   area->SetProperty(uilib::kPropFeatureCount, agis::StrCat(feature_count));
   area->SetProperty("generalized_points_removed",
                     agis::StrCat(points_removed));
+  // Build parameters an incremental refresher needs to reconstruct
+  // this area's projection without re-deriving the build options.
+  area->SetProperty("map_width", agis::StrCat(options.map_width));
+  area->SetProperty("map_height", agis::StrCat(options.map_height));
+  area->SetProperty("generalized", options.generalize ? "true" : "false");
   std::string ids_csv;
   for (geodb::ObjectId id : result.ids) {
     if (!ids_csv.empty()) ids_csv += ',';

@@ -14,17 +14,9 @@ const SymbolStyle& FallbackStyle() {
 }
 }  // namespace
 
-void AsciiRenderer::Plot(const PixelPoint& px, char glyph,
-                         std::vector<std::string>* grid) const {
-  if (px.y < 0 || px.y >= static_cast<int>(grid->size())) return;
-  std::string& row = (*grid)[static_cast<size_t>(px.y)];
-  if (px.x < 0 || px.x >= static_cast<int>(row.size())) return;
-  row[static_cast<size_t>(px.x)] = glyph;
-}
-
 void AsciiRenderer::DrawSegment(const MapCanvas& canvas, const geom::Point& a,
                                 const geom::Point& b, char glyph,
-                                std::vector<std::string>* grid) const {
+                                const PlotFn& plot) {
   const PixelPoint pa = canvas.ToPixel(a);
   const PixelPoint pb = canvas.ToPixel(b);
   // Bresenham.
@@ -36,7 +28,7 @@ void AsciiRenderer::DrawSegment(const MapCanvas& canvas, const geom::Point& a,
   const int sy = y0 < y1 ? 1 : -1;
   int err = dx + dy;
   while (true) {
-    Plot(PixelPoint{x0, y0}, glyph, grid);
+    plot(PixelPoint{x0, y0}, glyph);
     if (x0 == x1 && y0 == y1) break;
     const int e2 = 2 * err;
     if (e2 >= dy) {
@@ -50,26 +42,26 @@ void AsciiRenderer::DrawSegment(const MapCanvas& canvas, const geom::Point& a,
   }
 }
 
-void AsciiRenderer::DrawFeature(const MapCanvas& canvas,
-                                const StyledFeature& feature,
-                                std::vector<std::string>* grid) const {
+void AsciiRenderer::PaintFeature(const MapCanvas& canvas,
+                                 const StyledFeature& feature,
+                                 const PlotFn& plot) const {
   const SymbolStyle* style = styles_->Find(feature.style);
   if (style == nullptr) style = &FallbackStyle();
   const char glyph = style->ascii_char;
   const geom::Geometry& g = feature.geometry;
   switch (g.kind()) {
     case geom::GeometryKind::kPoint:
-      Plot(canvas.ToPixel(g.point()), glyph, grid);
+      plot(canvas.ToPixel(g.point()), glyph);
       break;
     case geom::GeometryKind::kMultiPoint:
       for (const geom::Point& p : g.multipoint()) {
-        Plot(canvas.ToPixel(p), glyph, grid);
+        plot(canvas.ToPixel(p), glyph);
       }
       break;
     case geom::GeometryKind::kLineString: {
       const auto& pts = g.linestring().points;
       for (size_t i = 0; i + 1 < pts.size(); ++i) {
-        DrawSegment(canvas, pts[i], pts[i + 1], glyph, grid);
+        DrawSegment(canvas, pts[i], pts[i + 1], glyph, plot);
       }
       break;
     }
@@ -86,7 +78,7 @@ void AsciiRenderer::DrawFeature(const MapCanvas& canvas,
             const geom::Point center = canvas.ToMap(PixelPoint{x, y});
             if (geom::ClassifyPointInPolygon(center, poly) ==
                 geom::RingSide::kInside) {
-              Plot(PixelPoint{x, y}, glyph, grid);
+              plot(PixelPoint{x, y}, glyph);
             }
           }
         }
@@ -97,7 +89,7 @@ void AsciiRenderer::DrawFeature(const MapCanvas& canvas,
       auto draw_ring = [&](const std::vector<geom::Point>& ring) {
         for (size_t i = 0; i < ring.size(); ++i) {
           DrawSegment(canvas, ring[i], ring[(i + 1) % ring.size()], edge,
-                      grid);
+                      plot);
         }
       };
       draw_ring(poly.outer);
@@ -105,6 +97,17 @@ void AsciiRenderer::DrawFeature(const MapCanvas& canvas,
       break;
     }
   }
+}
+
+void AsciiRenderer::DrawFeature(const MapCanvas& canvas,
+                                const StyledFeature& feature,
+                                std::vector<std::string>* grid) const {
+  PaintFeature(canvas, feature, [grid](const PixelPoint& px, char glyph) {
+    if (px.y < 0 || px.y >= static_cast<int>(grid->size())) return;
+    std::string& row = (*grid)[static_cast<size_t>(px.y)];
+    if (px.x < 0 || px.x >= static_cast<int>(row.size())) return;
+    row[static_cast<size_t>(px.x)] = glyph;
+  });
 }
 
 std::vector<std::string> AsciiRenderer::RenderRows(
@@ -118,16 +121,20 @@ std::vector<std::string> AsciiRenderer::RenderRows(
   return grid;
 }
 
-std::string AsciiRenderer::RenderFramed(const MapCanvas& canvas) const {
-  const std::vector<std::string> rows = RenderRows(canvas);
+std::string AsciiRenderer::FrameRows(const std::vector<std::string>& rows,
+                                     int width) {
   std::string out;
-  const std::string bar(static_cast<size_t>(canvas.width()) + 2, '-');
+  const std::string bar(static_cast<size_t>(width) + 2, '-');
   out += "+" + std::string(bar.begin() + 1, bar.end() - 1) + "+\n";
   for (const std::string& row : rows) {
     out += "|" + row + "|\n";
   }
   out += "+" + std::string(bar.begin() + 1, bar.end() - 1) + "+\n";
   return out;
+}
+
+std::string AsciiRenderer::RenderFramed(const MapCanvas& canvas) const {
+  return FrameRows(RenderRows(canvas), canvas.width());
 }
 
 }  // namespace agis::carto

@@ -1,6 +1,7 @@
 #ifndef AGIS_CARTO_ASCII_RENDERER_H_
 #define AGIS_CARTO_ASCII_RENDERER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,11 @@ namespace agis::carto {
 /// overdraw earlier ones (paint order = add order).
 class AsciiRenderer {
  public:
+  /// Receives every (pixel, glyph) a feature paints, in paint order
+  /// (fill before outline); plots may repeat a pixel and may fall
+  /// outside the raster — the consumer clips.
+  using PlotFn = std::function<void(const PixelPoint&, char)>;
+
   explicit AsciiRenderer(const StyleRegistry* styles) : styles_(styles) {}
 
   /// One string per raster row, each exactly canvas.width() chars.
@@ -23,14 +29,25 @@ class AsciiRenderer {
   /// RenderRows joined with newlines, with a border frame.
   std::string RenderFramed(const MapCanvas& canvas) const;
 
+  /// Frames pre-rendered rows exactly as RenderFramed does (the
+  /// incremental view assembles rows itself and reuses the frame).
+  static std::string FrameRows(const std::vector<std::string>& rows,
+                               int width);
+
+  /// Enumerates the cells one feature paints, without a grid. This is
+  /// the single rasterization path: RenderRows plots into its grid
+  /// through it, and the incremental view records the cells so it can
+  /// unpaint the feature later. `canvas` supplies only the projection;
+  /// its feature list is not consulted.
+  void PaintFeature(const MapCanvas& canvas, const StyledFeature& feature,
+                    const PlotFn& plot) const;
+
  private:
   void DrawFeature(const MapCanvas& canvas, const StyledFeature& feature,
                    std::vector<std::string>* grid) const;
-  void DrawSegment(const MapCanvas& canvas, const geom::Point& a,
-                   const geom::Point& b, char glyph,
-                   std::vector<std::string>* grid) const;
-  void Plot(const PixelPoint& px, char glyph,
-            std::vector<std::string>* grid) const;
+  static void DrawSegment(const MapCanvas& canvas, const geom::Point& a,
+                          const geom::Point& b, char glyph,
+                          const PlotFn& plot);
 
   const StyleRegistry* styles_;
 };

@@ -1,0 +1,80 @@
+#include "carto/incremental.h"
+
+#include <algorithm>
+
+namespace agis::carto {
+
+IncrementalView::IncrementalView(const StyleRegistry* styles,
+                                 const geom::BoundingBox& viewport, int width,
+                                 int height)
+    : canvas_(viewport, width, height),
+      ascii_(styles),
+      svg_(styles),
+      cells_(static_cast<size_t>(canvas_.width()) *
+             static_cast<size_t>(canvas_.height())) {}
+
+void IncrementalView::Upsert(const StyledFeature& feature) {
+  Remove(feature.id);
+  FeatureState state;
+  // Collect the cells the feature paints. Within one feature a later
+  // plot of the same cell overwrites (outline over fill), matching the
+  // full renderer's overdraw.
+  std::map<size_t, char> painted;
+  ascii_.PaintFeature(canvas_, feature,
+                      [&](const PixelPoint& px, char glyph) {
+                        if (!canvas_.InRaster(px)) return;
+                        painted[static_cast<size_t>(px.y) *
+                                    static_cast<size_t>(canvas_.width()) +
+                                static_cast<size_t>(px.x)] = glyph;
+                      });
+  state.cells.assign(painted.begin(), painted.end());
+  for (const auto& [cell, glyph] : state.cells) {
+    cells_[cell][feature.id] = glyph;
+  }
+  svg_.AppendFeature(canvas_, feature, &state.svg_fragment);
+  features_[feature.id] = std::move(state);
+}
+
+bool IncrementalView::Remove(geodb::ObjectId id) {
+  const auto it = features_.find(id);
+  if (it == features_.end()) return false;
+  for (const auto& [cell, glyph] : it->second.cells) {
+    cells_[cell].erase(id);
+  }
+  features_.erase(it);
+  return true;
+}
+
+std::vector<geodb::ObjectId> IncrementalView::ids() const {
+  std::vector<geodb::ObjectId> out;
+  out.reserve(features_.size());
+  for (const auto& [id, state] : features_) out.push_back(id);
+  return out;
+}
+
+std::string IncrementalView::RenderFramedAscii() const {
+  std::vector<std::string> rows(
+      static_cast<size_t>(canvas_.height()),
+      std::string(static_cast<size_t>(canvas_.width()), ' '));
+  for (size_t cell = 0; cell < cells_.size(); ++cell) {
+    const auto& painters = cells_[cell];
+    if (painters.empty()) continue;
+    // Highest id wins == last-painted wins under ascending paint order.
+    rows[cell / static_cast<size_t>(canvas_.width())]
+        [cell % static_cast<size_t>(canvas_.width())] =
+            painters.rbegin()->second;
+  }
+  return AsciiRenderer::FrameRows(rows, canvas_.width());
+}
+
+std::string IncrementalView::RenderSvg() const {
+  std::string out =
+      SvgRenderer::DocumentHeader(canvas_.width(), canvas_.height());
+  for (const auto& [id, state] : features_) {
+    out += state.svg_fragment;
+  }
+  out += SvgRenderer::DocumentFooter();
+  return out;
+}
+
+}  // namespace agis::carto

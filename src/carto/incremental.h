@@ -1,0 +1,85 @@
+#ifndef AGIS_CARTO_INCREMENTAL_H_
+#define AGIS_CARTO_INCREMENTAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "carto/ascii_renderer.h"
+#include "carto/canvas.h"
+#include "carto/style.h"
+#include "carto/svg_renderer.h"
+
+namespace agis::carto {
+
+/// Retained-mode map view: the incremental counterpart of rendering a
+/// MapCanvas from scratch.
+///
+/// A full render is O(features) per refresh. This view keeps, per
+/// feature, the raster cells it painted and its SVG fragment, plus a
+/// per-cell stack of the features covering that cell — so replacing or
+/// removing one feature touches only that feature's cells, and
+/// re-assembling the output costs O(raster) for ASCII and a fragment
+/// concatenation for SVG, independent of how many features changed.
+/// This is what lets the view refresher patch a window per changefeed
+/// delta instead of re-querying and re-painting the whole extent.
+///
+/// Output equivalence: class-set windows paint features in ascending
+/// object-id order (GetClass result order), so "last feature painted
+/// wins" equals "highest id wins" — which is how this view resolves a
+/// contested cell. Under that ordering RenderFramedAscii and RenderSvg
+/// are byte-identical to AsciiRenderer::RenderFramed /
+/// SvgRenderer::Render over the same feature set. The viewport is
+/// fixed at construction: a full rebuild may re-fit the viewport to
+/// changed bounds, a patched view deliberately keeps its frame (the
+/// map does not re-zoom under the user; the refresher falls back to a
+/// rebuild when it wants re-fitting).
+class IncrementalView {
+ public:
+  IncrementalView(const StyleRegistry* styles,
+                  const geom::BoundingBox& viewport, int width, int height);
+
+  /// Adds or replaces the feature keyed by `feature.id`: unpaints the
+  /// previous cells (if any), repaints, and re-caches the fragment.
+  void Upsert(const StyledFeature& feature);
+
+  /// Unpaints and forgets the feature; false when unknown.
+  bool Remove(geodb::ObjectId id);
+
+  bool Has(geodb::ObjectId id) const {
+    return features_.count(id) != 0;
+  }
+  size_t feature_count() const { return features_.size(); }
+
+  /// Current feature ids, ascending.
+  std::vector<geodb::ObjectId> ids() const;
+
+  const geom::BoundingBox& viewport() const { return canvas_.viewport(); }
+  int width() const { return canvas_.width(); }
+  int height() const { return canvas_.height(); }
+
+  /// Assembled outputs (see the equivalence note above).
+  std::string RenderFramedAscii() const;
+  std::string RenderSvg() const;
+
+ private:
+  struct FeatureState {
+    /// (cell index, glyph) pairs this feature painted, deduplicated —
+    /// within one feature, later plots (outline over fill) win.
+    std::vector<std::pair<size_t, char>> cells;
+    std::string svg_fragment;
+  };
+
+  MapCanvas canvas_;  // Projection only; its feature list stays empty.
+  AsciiRenderer ascii_;
+  SvgRenderer svg_;
+  /// Ascending by id == paint order (see class comment).
+  std::map<geodb::ObjectId, FeatureState> features_;
+  /// Per raster cell: the features covering it, with their glyphs.
+  /// Ascending key order means rbegin() is the painter that wins.
+  std::vector<std::map<geodb::ObjectId, char>> cells_;
+};
+
+}  // namespace agis::carto
+
+#endif  // AGIS_CARTO_INCREMENTAL_H_

@@ -113,17 +113,22 @@ void SvgRenderer::AppendFeature(const MapCanvas& canvas,
   }
 }
 
-std::string SvgRenderer::Render(const MapCanvas& canvas) const {
+std::string SvgRenderer::DocumentHeader(int width, int height) {
   std::string out = agis::StrCat(
-      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"", canvas.width(),
-      "\" height=\"", canvas.height(), "\" viewBox=\"0 0 ", canvas.width(),
-      " ", canvas.height(), "\">\n");
-  out += agis::StrCat("  <rect width=\"", canvas.width(), "\" height=\"",
-                      canvas.height(), "\" fill=\"#fbfaf7\"/>\n");
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"", width,
+      "\" height=\"", height, "\" viewBox=\"0 0 ", width, " ", height,
+      "\">\n");
+  out += agis::StrCat("  <rect width=\"", width, "\" height=\"", height,
+                      "\" fill=\"#fbfaf7\"/>\n");
+  return out;
+}
+
+std::string SvgRenderer::Render(const MapCanvas& canvas) const {
+  std::string out = DocumentHeader(canvas.width(), canvas.height());
   for (const StyledFeature& f : canvas.features()) {
     AppendFeature(canvas, f, &out);
   }
-  out += "</svg>\n";
+  out += DocumentFooter();
   return out;
 }
 

@@ -18,10 +18,19 @@ class SvgRenderer {
 
   std::string Render(const MapCanvas& canvas) const;
 
- private:
+  /// The document's opening tag plus background rect, exactly as
+  /// Render emits them (the incremental view concatenates cached
+  /// per-feature fragments between header and footer, producing
+  /// byte-identical documents).
+  static std::string DocumentHeader(int width, int height);
+  static const char* DocumentFooter() { return "</svg>\n"; }
+
+  /// Appends the SVG fragment of one feature (the unit the
+  /// incremental view caches). `canvas` supplies only the projection.
   void AppendFeature(const MapCanvas& canvas, const StyledFeature& feature,
                      std::string* out) const;
 
+ private:
   const StyleRegistry* styles_;
 };
 

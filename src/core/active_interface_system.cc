@@ -25,6 +25,11 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
   engine_->set_task_scheduler(scheduler_.get());
   bridge_ = std::make_unique<active::DbEventBridge>(engine_.get());
   db_->AddEventSink(bridge_.get());
+  if (options.changefeed_capacity > 0) {
+    changefeed_ =
+        std::make_unique<storage::Changefeed>(options.changefeed_capacity);
+    db_->AddEventSink(changefeed_.get());
+  }
 
   library_ = std::make_unique<uilib::InterfaceObjectLibrary>();
   styles_ = std::make_unique<carto::StyleRegistry>();
@@ -46,6 +51,7 @@ ActiveInterfaceSystem::ActiveInterfaceSystem(std::string schema_name,
 
 ActiveInterfaceSystem::~ActiveInterfaceSystem() {
   (void)CloseStorage();
+  if (changefeed_ != nullptr) db_->RemoveEventSink(changefeed_.get());
   db_->RemoveEventSink(bridge_.get());
 }
 

@@ -18,6 +18,7 @@
 #include "custlang/ast.h"
 #include "custlang/compile_cache.h"
 #include "geodb/database.h"
+#include "storage/changefeed.h"
 #include "storage/store.h"
 #include "ui/dispatcher.h"
 #include "ui/protocol.h"
@@ -52,6 +53,10 @@ struct SystemOptions {
   /// identical directive (same text) skips the parse and compile
   /// phases. 0 disables the cache.
   size_t compile_cache_capacity = 128;
+  /// Ring capacity of the write changefeed (delta stream consumed by
+  /// incremental view maintenance; see storage::Changefeed). 0 skips
+  /// creating the feed entirely.
+  size_t changefeed_capacity = 4096;
 };
 
 /// Name of the system class holding persisted directives. Classes
@@ -159,6 +164,18 @@ class ActiveInterfaceSystem {
   bool storage_open() const { return store_ != nullptr; }
   storage::DurableStore* storage() { return store_.get(); }
 
+  /// The write changefeed, fed by the same event stream that feeds the
+  /// WAL; null when SystemOptions::changefeed_capacity is 0.
+  /// Subscribers (ui::ViewRefresher::AttachChangefeed) consume its
+  /// deltas to patch windows incrementally.
+  storage::Changefeed* changefeed() { return changefeed_.get(); }
+
+  /// Changefeed counters (zeroed when the feed is disabled).
+  storage::ChangefeedStats changefeed_stats() const {
+    return changefeed_ != nullptr ? changefeed_->stats()
+                                  : storage::ChangefeedStats{};
+  }
+
   /// Storage counters (zeroed when no store is open), surfaced
   /// alongside db().stats().
   storage::StorageStats storage_stats() const {
@@ -188,6 +205,7 @@ class ActiveInterfaceSystem {
   std::unique_ptr<agis::ThreadPool> ui_pool_;
   std::unique_ptr<active::RuleEngine> engine_;
   std::unique_ptr<active::DbEventBridge> bridge_;
+  std::unique_ptr<storage::Changefeed> changefeed_;
   std::unique_ptr<uilib::InterfaceObjectLibrary> library_;
   std::unique_ptr<carto::StyleRegistry> styles_;
   std::unique_ptr<builder::GenericInterfaceBuilder> builder_;

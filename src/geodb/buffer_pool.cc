@@ -4,6 +4,10 @@
 
 namespace agis::geodb {
 
+bool BufferSlice::Contains(ObjectId id) const {
+  return std::binary_search(ids.begin(), ids.end(), id);
+}
+
 BufferPool::BufferPool(size_t capacity_bytes, size_t num_shards)
     : capacity_bytes_(capacity_bytes) {
   const size_t count = std::max<size_t>(num_shards, 1);
@@ -67,17 +71,31 @@ void BufferPool::Put(const std::string& key, BufferSlice slice) {
 }
 
 size_t BufferPool::InvalidatePrefix(const std::string& prefix) {
+  return InvalidateMatching(prefix,
+                            [](const BufferSlice&) { return true; });
+}
+
+size_t BufferPool::InvalidateMatching(
+    const std::string& prefix,
+    const std::function<bool(const BufferSlice&)>& drop) {
   size_t removed = 0;
   for (const auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      if (it->key.compare(0, prefix.size(), prefix) == 0) {
-        shard.used -= it->slice->charge_bytes;
-        shard.map.erase(it->key);
-        it = shard.lru.erase(it);
+    // The ordered map makes the prefix a contiguous range: start at
+    // lower_bound(prefix) and stop at the first key that no longer
+    // begins with it.
+    auto it = shard.map.lower_bound(prefix);
+    while (it != shard.map.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0) {
+      if (drop(*it->second->slice)) {
+        shard.used -= it->second->slice->charge_bytes;
+        shard.lru.erase(it->second);
+        it = shard.map.erase(it);
         ++removed;
+        ++shard.stats.invalidated;
       } else {
+        ++shard.stats.invalidation_survivals;
         ++it;
       }
     }
@@ -121,6 +139,8 @@ BufferPoolStats BufferPool::stats() const {
     total.misses += shard->stats.misses;
     total.evictions += shard->stats.evictions;
     total.inserted_bytes += shard->stats.inserted_bytes;
+    total.invalidated += shard->stats.invalidated;
+    total.invalidation_survivals += shard->stats.invalidation_survivals;
   }
   return total;
 }

@@ -2,22 +2,46 @@
 #define AGIS_GEODB_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "geodb/value.h"
+#include "geom/bbox.h"
 
 namespace agis::geodb {
 
 /// A cached query result: the object ids a display request produced,
-/// with the byte charge the pool accounts for.
+/// with the byte charge the pool accounts for, plus the query shape
+/// the result was computed under. The shape fields let the database's
+/// per-object invalidation decide whether a *write it knows about*
+/// can change this slice's membership without re-running the query:
+/// a slice whose viewport excludes the written object's geometry, or
+/// whose predicates don't mention the written attribute, survives.
 struct BufferSlice {
-  std::vector<ObjectId> ids;
+  std::vector<ObjectId> ids;  // Ascending (GetClass result order).
   size_t charge_bytes = 0;
+
+  // ---- Query-shape metadata (filled by GetClass) -------------------------
+  /// Viewport window of the query, when it had one.
+  std::optional<geom::BoundingBox> window;
+  /// Attributes named by the query's predicates (empty = no predicates).
+  std::vector<std::string> predicate_attrs;
+  /// Whether the query had an exact spatial-relation filter (its target
+  /// is not retained, so geometry writes conservatively drop the slice).
+  bool has_spatial = false;
+  /// Whether subclass instances were included (ancestor-class slices
+  /// without this flag are immune to subclass writes).
+  bool include_subclasses = false;
+
+  /// Whether the slice's id list contains `id` (binary search; ids are
+  /// ascending).
+  bool Contains(ObjectId id) const;
 };
 
 /// Cumulative statistics; aggregated over shards on read.
@@ -26,6 +50,11 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t inserted_bytes = 0;
+  /// Entries removed by InvalidatePrefix / InvalidateMatching.
+  uint64_t invalidated = 0;
+  /// Entries a metadata predicate examined and kept (the savings the
+  /// per-object invalidation scheme is after).
+  uint64_t invalidation_survivals = 0;
 
   double HitRatio() const {
     const uint64_t total = hits + misses;
@@ -50,6 +79,10 @@ struct BufferPoolStats {
 /// shard* (global recency order is only exact with one shard, which
 /// is the default for direct construction and what the model-based
 /// property test pins down).
+///
+/// Key lookup is a per-shard ordered map, so prefix invalidation walks
+/// only the contiguous key range `[prefix, prefix+1)` of each shard —
+/// O(log n + matches) per shard — instead of scanning the whole pool.
 class BufferPool {
  public:
   /// `num_shards` is clamped to at least 1. Each shard owns
@@ -72,12 +105,20 @@ class BufferPool {
   void Put(const std::string& key, BufferSlice slice);
 
   /// Removes every cached slice whose key begins with `prefix`;
-  /// returns the number removed. The database invalidates
-  /// "class/<name>/..." prefixes on writes to that class. Walks every
-  /// shard; concurrent Put of a matching key that starts after the
-  /// walk passed its shard may survive (callers that need a fence must
-  /// serialize writes, which the database's writer lock does).
+  /// returns the number removed. Touches only keys in the prefix's
+  /// range of each shard. Concurrent Put of a matching key that starts
+  /// after the walk passed its shard may survive (callers that need a
+  /// fence must serialize writes, which the database's writer lock
+  /// does).
   size_t InvalidatePrefix(const std::string& prefix);
+
+  /// Selective form: removes the slices under `prefix` for which
+  /// `drop` returns true (the database passes a predicate built from
+  /// the write it is applying, so unaffected slices survive). The
+  /// predicate runs under the shard lock — keep it cheap and
+  /// non-reentrant.
+  size_t InvalidateMatching(const std::string& prefix,
+                            const std::function<bool(const BufferSlice&)>& drop);
 
   void Clear();
 
@@ -103,7 +144,8 @@ class BufferPool {
     size_t capacity = 0;
     size_t used = 0;
     std::list<Node> lru;  // Front = most recent.
-    std::unordered_map<std::string, std::list<Node>::iterator> map;
+    /// Ordered by key so a prefix names a contiguous range.
+    std::map<std::string, std::list<Node>::iterator> map;
     BufferPoolStats stats;
   };
 

@@ -90,6 +90,16 @@ agis::Status GeoDatabase::RegisterClass(ClassDef cls) {
   if (schema_change_hook_) {
     schema_change_hook_(*schema_.FindClass(name));
   }
+  // Schema-shaped delta for event sinks (the durable store logs the
+  // change through the hook above; the changefeed and other sinks get
+  // it here). No snapshot: the event describes structure, not data.
+  if (!sinks_.empty()) {
+    DbEvent event;
+    event.kind = DbEventKind::kSchemaChange;
+    event.schema_name = schema_.name();
+    event.class_name = name;
+    RunAfterSinks(event);
+  }
   return agis::Status::OK();
 }
 
@@ -222,6 +232,63 @@ void GeoDatabase::UnindexAttributes(Extent* extent,
 
 void GeoDatabase::InvalidateClassBuffers(const std::string& class_name) {
   buffer_pool_.InvalidatePrefix(agis::StrCat("class/", class_name, "/"));
+}
+
+void GeoDatabase::InvalidateBuffersForWrite(
+    const std::string& class_name, ObjectId id,
+    const std::vector<std::string>& changed_attributes,
+    const std::optional<geom::BoundingBox>& new_bounds,
+    bool membership_grows) {
+  if (options_.legacy_class_prefix_invalidation) {
+    InvalidateClassBuffers(class_name);
+    return;
+  }
+  const std::string geometry_attr = GeometryAttributeOf(class_name);
+  const bool geometry_changed =
+      !geometry_attr.empty() &&
+      std::find(changed_attributes.begin(), changed_attributes.end(),
+                geometry_attr) != changed_attributes.end();
+  // Self first, then ancestors: a write to C can only affect slices
+  // cached under C or under an ancestor queried with subclasses.
+  for (const ClassDef* cls = schema_.FindClass(class_name); cls != nullptr;
+       cls = cls->parent().empty() ? nullptr
+                                   : schema_.FindClass(cls->parent())) {
+    const bool is_self = cls->name() == class_name;
+    buffer_pool_.InvalidateMatching(
+        agis::StrCat("class/", cls->name(), "/"),
+        [&](const BufferSlice& slice) {
+          if (!is_self && !slice.include_subclasses) return false;
+          if (slice.Contains(id)) return true;
+          if (membership_grows) {
+            // A brand-new object joins every slice its geometry can
+            // reach; only a viewport that excludes it — or that it
+            // cannot enter, having no geometry — proves the slice
+            // unaffected.
+            return !(slice.window.has_value() &&
+                     (!new_bounds.has_value() ||
+                      !slice.window->Intersects(*new_bounds)));
+          }
+          // The object is not in the slice: only a write that can add
+          // it matters — a changed attribute one of the slice's
+          // predicates names, or a geometry move into its viewport /
+          // spatial filter.
+          for (const std::string& attr : changed_attributes) {
+            if (std::find(slice.predicate_attrs.begin(),
+                          slice.predicate_attrs.end(),
+                          attr) != slice.predicate_attrs.end()) {
+              return true;
+            }
+          }
+          if (geometry_changed) {
+            if (slice.has_spatial) return true;
+            if (slice.window.has_value() && new_bounds.has_value() &&
+                slice.window->Intersects(*new_bounds)) {
+              return true;
+            }
+          }
+          return false;
+        });
+  }
 }
 
 // ---- Version-store internals ----------------------------------------------
@@ -390,11 +457,15 @@ agis::Result<ObjectId> GeoDatabase::Insert(
     return veto;
   }
 
+  for (const auto& [attr_name, value] : values) {
+    event.changed_attributes.push_back(attr_name);
+  }
   ObjectId id = 0;
   {
     std::unique_lock lock(data_mutex_);
     id = next_id_++;
     const uint64_t write_epoch = ++current_epoch_;
+    event.write_epoch = write_epoch;
     auto obj = std::make_shared<ObjectInstance>(id, class_name);
     for (auto& [attr_name, value] : values) {
       obj->Set(attr_name, std::move(value));
@@ -407,7 +478,12 @@ agis::Result<ObjectId> GeoDatabase::Insert(
     ++live_objects_;
     ReclaimVersionsLocked();
   }
-  InvalidateClassBuffers(class_name);
+  std::optional<geom::BoundingBox> new_bounds;
+  if (event.new_value.kind() == ValueKind::kGeometry) {
+    new_bounds = event.new_value.geometry_value().Bounds();
+  }
+  InvalidateBuffersForWrite(class_name, id, event.changed_attributes,
+                            new_bounds, /*membership_grows=*/true);
   {
     std::lock_guard stats_lock(stats_mutex_);
     ++stats_.inserts;
@@ -454,6 +530,7 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
     return veto;
   }
 
+  event.changed_attributes.push_back(attribute);
   {
     std::unique_lock lock(data_mutex_);
     const ObjectInstance* current = CurrentLocked(id);
@@ -461,6 +538,7 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
     const uint64_t write_epoch = ++current_epoch_;
+    event.write_epoch = write_epoch;
     Extent& extent = extents_.at(current->class_name());
     // Copy-on-write: build the successor version; the current one
     // stays untouched for snapshot readers.
@@ -485,7 +563,12 @@ agis::Status GeoDatabase::Update(ObjectId id, const std::string& attribute,
     PushVersionLocked(id, write_epoch, std::move(next));
     ReclaimVersionsLocked();
   }
-  InvalidateClassBuffers(event.class_name);
+  std::optional<geom::BoundingBox> new_bounds;
+  if (event.new_value.kind() == ValueKind::kGeometry) {
+    new_bounds = event.new_value.geometry_value().Bounds();
+  }
+  InvalidateBuffersForWrite(event.class_name, id, event.changed_attributes,
+                            new_bounds, /*membership_grows=*/false);
   {
     std::lock_guard stats_lock(stats_mutex_);
     ++stats_.updates;
@@ -526,6 +609,7 @@ agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
       return agis::Status::NotFound(agis::StrCat("object ", id));
     }
     const uint64_t write_epoch = ++current_epoch_;
+    event.write_epoch = write_epoch;
     Extent& extent = extents_.at(current->class_name());
     extent.index->Remove(id);
     UnindexAttributes(&extent, *current);
@@ -537,7 +621,10 @@ agis::Status GeoDatabase::Delete(ObjectId id, const UserContext& ctx) {
     --live_objects_;
     ReclaimVersionsLocked();
   }
-  InvalidateClassBuffers(event.class_name);
+  // A delete can only shrink result sets: exactly the slices listing
+  // the object are stale.
+  InvalidateBuffersForWrite(event.class_name, id, {}, std::nullopt,
+                            /*membership_grows=*/false);
   {
     std::lock_guard stats_lock(stats_mutex_);
     ++stats_.deletes;
@@ -878,6 +965,15 @@ agis::Result<ClassResult> GeoDatabase::GetClass(const std::string& class_name,
     BufferSlice slice;
     slice.ids = result.ids;
     slice.charge_bytes = 64 + slice.ids.size() * sizeof(ObjectId);
+    // Query-shape metadata: what per-object invalidation consults to
+    // decide whether a later write can change this slice's membership.
+    slice.window = options.window;
+    slice.has_spatial = options.spatial.has_value();
+    slice.include_subclasses = options.include_subclasses;
+    slice.predicate_attrs.reserve(options.predicates.size());
+    for (const AttrPredicate& p : options.predicates) {
+      slice.predicate_attrs.push_back(p.attribute);
+    }
     {
       std::shared_lock lock(data_mutex_);
       // Charge the objects a renderer would pin alongside the id list;

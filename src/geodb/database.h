@@ -58,6 +58,13 @@ struct DatabaseOptions {
   /// before any id set is built. 1.0 restores the old always-
   /// materialize behavior.
   double index_path_selectivity_cutoff = 0.5;
+  /// Restore the pre-changefeed invalidation behavior: every write to
+  /// a class drops that class's whole "class/<name>/" buffer-pool
+  /// prefix. Off by default — writes now invalidate per object, using
+  /// each cached slice's query-shape metadata to keep slices the write
+  /// cannot affect (a hot viewport survives writes elsewhere). Kept as
+  /// an option so the C11 bench can A/B the two schemes.
+  bool legacy_class_prefix_invalidation = false;
 };
 
 /// Cumulative operation counters, for tests and benches. Counter
@@ -161,6 +168,15 @@ struct DatabaseStats {
 /// Holding an instance across writes requires a snapshot; new code
 /// should use FindObjectAt / GetValueAt. GetSchema's pointer remains
 /// valid for the database's lifetime.
+///
+/// Display-buffer invalidation runs after the mutation, outside the
+/// data lock: a write drops only the cached slices it can affect —
+/// per object id and per cached query shape (viewport / predicate
+/// metadata on each BufferSlice) — instead of the class's whole key
+/// prefix. Under concurrent writers this is the same fence as before
+/// (a racing GetClass may re-cache a slice computed just before the
+/// write; the next write to that object drops it), and single-writer
+/// sessions observe exact invalidation.
 ///
 /// Two deliberate carve-outs, matching the paper's single-session
 /// write model:
@@ -518,7 +534,24 @@ class GeoDatabase {
   /// Adds/removes `id` in every attribute index of `extent`.
   void IndexAttributes(Extent* extent, const ObjectInstance& obj);
   void UnindexAttributes(Extent* extent, const ObjectInstance& obj);
+  /// Legacy blanket invalidation: drops the class's whole buffer-pool
+  /// prefix (used only under legacy_class_prefix_invalidation).
   void InvalidateClassBuffers(const std::string& class_name);
+  /// Per-object invalidation. Walks the buffer-pool prefixes of
+  /// `class_name` and its ancestors and drops only the slices the
+  /// described write can affect: slices listing `id`, slices whose
+  /// predicates mention a changed attribute, and — for geometry
+  /// writes / inserts — slices whose viewport the written geometry
+  /// intersects (no-viewport slices drop conservatively). Ancestor
+  /// slices cached without include_subclasses always survive.
+  /// `new_bounds` is the written geometry's bounds when the write
+  /// supplied one; `membership_grows` marks writes that can add the
+  /// object to result sets it is not in yet (inserts).
+  void InvalidateBuffersForWrite(
+      const std::string& class_name, ObjectId id,
+      const std::vector<std::string>& changed_attributes,
+      const std::optional<geom::BoundingBox>& new_bounds,
+      bool membership_grows);
   /// Requires the exclusive lock. Rebuilds one extent's spatial index
   /// via STR and refreshes its quality stats.
   void RebuildExtentSpatialIndexLocked(const std::string& class_name,

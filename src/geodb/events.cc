@@ -24,6 +24,8 @@ const char* DbEventKindName(DbEventKind kind) {
       return "Before_Delete";
     case DbEventKind::kAfterDelete:
       return "After_Delete";
+    case DbEventKind::kSchemaChange:
+      return "Schema_Change";
   }
   return "Unknown";
 }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/context.h"
 #include "base/status.h"
@@ -25,6 +26,11 @@ enum class DbEventKind {
   kAfterUpdate,
   kBeforeDelete,
   kAfterDelete,
+  /// Emitted after a successful RegisterClass (after the schema change
+  /// hook). Carries only `class_name`; consumers that maintain
+  /// class-shaped derived state (the changefeed, and through it the
+  /// incremental view refresher) treat it as a resync boundary.
+  kSchemaChange,
 };
 
 const char* DbEventKindName(DbEventKind kind);
@@ -41,6 +47,16 @@ struct DbEvent {
   std::string attribute;
   Value old_value;
   Value new_value;
+  /// For kAfter* write events: the epoch the write stamped on the
+  /// version it installed (0 for non-write events). Totally orders
+  /// deltas the same way the WAL does.
+  uint64_t write_epoch = 0;
+  /// For kAfter* write events: the attribute names the write supplied
+  /// (all given attributes for an insert, the single updated attribute
+  /// for an update, empty for a delete). Changefeed subscribers use
+  /// this to decide whether a cached slice or a rendered symbol is
+  /// affected without diffing values.
+  std::vector<std::string> changed_attributes;
   /// For write events with sinks registered: a snapshot of the
   /// database as of this event (pre-write state for kBefore*,
   /// post-write for kAfter*). Sink code that reads back into the

@@ -84,6 +84,11 @@ std::string Dispatcher::ExplainWindow(
 
 uilib::InterfaceObject* Dispatcher::Install(
     std::unique_ptr<uilib::InterfaceObject> window) {
+  // Maintain the class->window presence index the write path probes.
+  if (window->GetProperty(uilib::kPropWindowType) == uilib::kWindowClassSet &&
+      window->GetProperty("query").empty()) {
+    open_class_windows_.insert(window->GetProperty(uilib::kPropClass));
+  }
   // Re-opening a window replaces the previous instance (refresh).
   for (auto& existing : windows_) {
     if (existing->name() == window->name()) {
@@ -311,6 +316,11 @@ agis::Status Dispatcher::CloseWindow(const std::string& window_name) {
   for (auto it = windows_.begin(); it != windows_.end(); ++it) {
     if ((*it)->name() == window_name) {
       log_.push_back(agis::StrCat("close ", window_name));
+      if ((*it)->GetProperty(uilib::kPropWindowType) ==
+              uilib::kWindowClassSet &&
+          (*it)->GetProperty("query").empty()) {
+        open_class_windows_.erase((*it)->GetProperty(uilib::kPropClass));
+      }
       windows_.erase(it);
       return agis::Status::OK();
     }
@@ -327,6 +337,14 @@ std::vector<const uilib::InterfaceObject*> Dispatcher::windows() const {
 
 const uilib::InterfaceObject* Dispatcher::FindWindow(
     const std::string& name) const {
+  for (const auto& w : windows_) {
+    if (w->name() == name) return w.get();
+  }
+  return nullptr;
+}
+
+uilib::InterfaceObject* Dispatcher::FindWindowMutable(
+    const std::string& name) {
   for (const auto& w : windows_) {
     if (w->name() == name) return w.get();
   }

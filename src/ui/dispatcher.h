@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,7 @@ class Dispatcher {
   void set_build_options(builder::BuildOptions options) {
     build_options_ = std::move(options);
   }
+  const builder::BuildOptions& build_options() const { return build_options_; }
 
   /// Shared task scheduler (borrowed, may be null) used to resolve
   /// the customizations of multi-window operations concurrently via
@@ -122,6 +124,20 @@ class Dispatcher {
 
   const uilib::InterfaceObject* FindWindow(const std::string& name) const;
 
+  /// Mutable window lookup for in-place maintenance (the view
+  /// refresher patches presentation areas without rebuilding the
+  /// window). Same linear scan as FindWindow.
+  uilib::InterfaceObject* FindWindowMutable(const std::string& name);
+
+  /// Whether a plain Class-set window (not a query window) is
+  /// currently open for `class_name`. O(log #open class windows) via
+  /// an index maintained by Install/CloseWindow — cheap enough to call
+  /// on every database write, which is exactly what the view
+  /// refresher's rules do.
+  bool HasOpenClassWindow(const std::string& class_name) const {
+    return open_class_windows_.count(class_name) != 0;
+  }
+
   /// Visible windows only (skips `hidden` Schema windows).
   std::vector<const uilib::InterfaceObject*> visible_windows() const;
 
@@ -179,6 +195,9 @@ class Dispatcher {
   UserContext context_;
   builder::BuildOptions build_options_;
   std::vector<std::unique_ptr<uilib::InterfaceObject>> windows_;
+  /// Classes with an open plain Class-set window (the write-path
+  /// presence check; see HasOpenClassWindow).
+  std::set<std::string> open_class_windows_;
   std::vector<std::string> log_;
 };
 

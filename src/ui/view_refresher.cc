@@ -1,5 +1,9 @@
 #include "ui/view_refresher.h"
 
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
 #include "base/strutil.h"
 #include "uilib/widget_props.h"
 
@@ -7,6 +11,11 @@ namespace agis::ui {
 
 namespace {
 constexpr const char* kProvenance = "view_refresh";
+constexpr const char* kSeedProp = "ivm_seed";
+
+std::string WindowNameFor(const std::string& class_name) {
+  return agis::StrCat("Class set: ", class_name);
+}
 }  // namespace
 
 ViewRefresher::ViewRefresher(Dispatcher* dispatcher,
@@ -14,13 +23,17 @@ ViewRefresher::ViewRefresher(Dispatcher* dispatcher,
     : dispatcher_(dispatcher), engine_(engine), mode_(mode) {}
 
 ViewRefresher::~ViewRefresher() {
+  DetachChangefeed();
   if (installed_) Uninstall();
 }
 
 agis::Status ViewRefresher::OnWrite(const active::Event& event) {
   const std::string& class_name = event.Param("class");
   if (class_name.empty()) return agis::Status::OK();
-  const std::string window_name = agis::StrCat("Class set: ", class_name);
+  // Presence check before any allocation: most writes touch classes
+  // with no open window, and this hook runs on every one of them.
+  if (!dispatcher_->HasOpenClassWindow(class_name)) return agis::Status::OK();
+  const std::string window_name = WindowNameFor(class_name);
   const uilib::InterfaceObject* window = dispatcher_->FindWindow(window_name);
   if (window == nullptr) return agis::Status::OK();
   if (mode_ == Mode::kMarkStale) {
@@ -31,6 +44,7 @@ agis::Status ViewRefresher::OnWrite(const active::Event& event) {
     return agis::Status::OK();
   }
   ++refreshed_;
+  ++rebuilds_;
   return dispatcher_->OpenClassWindow(class_name).status();
 }
 
@@ -57,23 +71,226 @@ size_t ViewRefresher::Uninstall() {
   return engine_->RemoveRulesByProvenance(kProvenance);
 }
 
+void ViewRefresher::AttachChangefeed(storage::Changefeed* feed,
+                                     const carto::StyleRegistry* styles) {
+  DetachChangefeed();
+  feed_ = feed;
+  styles_ = styles;
+  if (feed_ != nullptr) subscriber_ = feed_->Subscribe();
+}
+
+void ViewRefresher::DetachChangefeed() {
+  if (feed_ != nullptr) feed_->Unsubscribe(subscriber_);
+  feed_ = nullptr;
+  subscriber_ = 0;
+  styles_ = nullptr;
+  views_.clear();
+}
+
+bool ViewRefresher::PatchableBuildOptions() const {
+  const builder::BuildOptions& options = dispatcher_->build_options();
+  if (options.generalize) return false;
+  // Patchable windows render the plain class extent; any query shape
+  // (viewport, predicates, subclasses, truncation) would make the
+  // window's membership depend on more than the per-object deltas.
+  const geodb::GetClassOptions& query = options.query;
+  return !query.include_subclasses && !query.window.has_value() &&
+         !query.spatial.has_value() && query.predicates.empty() &&
+         query.limit == 0;
+}
+
+bool ViewRefresher::EnsureSeeded(uilib::InterfaceObject* window,
+                                 WindowView* state,
+                                 const geodb::Snapshot& snap) {
+  if (state->view != nullptr && !state->seed_token.empty() &&
+      window->GetProperty(kSeedProp) == state->seed_token) {
+    return true;  // Retained state still matches this window build.
+  }
+  uilib::InterfaceObject* area = window->FindChild("presentation");
+  if (area == nullptr) return false;
+  if (area->GetProperty("generalized") == "true") return false;
+  const int width = std::atoi(area->GetProperty("map_width").c_str());
+  const int height = std::atoi(area->GetProperty("map_height").c_str());
+  if (width <= 0 || height <= 0) return false;
+
+  const std::string style_label = area->GetProperty(uilib::kPropStyle);
+  state->feature_style =
+      (style_label.empty() || style_label == "default") ? "defaultFormat"
+                                                        : style_label;
+  geodb::GeoDatabase* db = dispatcher_->database();
+  state->geometry_attr = db->GeometryAttributeOf(state->class_name);
+
+  // Seed membership from the window's own ids (current as of its last
+  // build) and geometry from the live snapshot: unacked deltas between
+  // the two re-apply idempotently in PatchWindow, since application
+  // always re-reads the snapshot.
+  state->member_ids.clear();
+  std::vector<carto::StyledFeature> features;
+  for (const std::string& token : agis::Split(area->GetProperty("ids"), ',')) {
+    if (token.empty()) continue;
+    const geodb::ObjectId id =
+        static_cast<geodb::ObjectId>(std::strtoull(token.c_str(), nullptr, 10));
+    if (id == 0) continue;
+    const geodb::ObjectInstance* obj = db->FindObjectAt(snap, id);
+    if (obj == nullptr || obj->class_name() != state->class_name) continue;
+    state->member_ids.insert(id);
+    if (state->geometry_attr.empty()) continue;
+    const geodb::Value& value = obj->Get(state->geometry_attr);
+    if (value.is_null()) continue;
+    features.push_back(carto::StyledFeature{id, value.geometry_value(),
+                                            state->feature_style, ""});
+  }
+
+  state->view = std::make_unique<carto::IncrementalView>(
+      styles_, carto::MapCanvas::FitBounds(features), width, height);
+  for (const carto::StyledFeature& feature : features) {
+    state->view->Upsert(feature);
+  }
+  state->seed_token = agis::StrCat("seed-", next_seed_token_++);
+  window->SetProperty(kSeedProp, state->seed_token);
+  return true;
+}
+
+agis::Status ViewRefresher::PatchWindow(uilib::InterfaceObject* window,
+                                        WindowView* state,
+                                        const std::set<geodb::ObjectId>& dirty,
+                                        const geodb::Snapshot& snap) {
+  geodb::GeoDatabase* db = dispatcher_->database();
+  for (geodb::ObjectId id : dirty) {
+    const geodb::ObjectInstance* obj = db->FindObjectAt(snap, id);
+    if (obj == nullptr || obj->class_name() != state->class_name) {
+      state->member_ids.erase(id);
+      state->view->Remove(id);
+      continue;
+    }
+    state->member_ids.insert(id);
+    if (state->geometry_attr.empty()) continue;
+    const geodb::Value& value = obj->Get(state->geometry_attr);
+    if (value.is_null()) {
+      state->view->Remove(id);
+    } else {
+      state->view->Upsert(carto::StyledFeature{id, value.geometry_value(),
+                                               state->feature_style, ""});
+    }
+  }
+
+  uilib::InterfaceObject* area = window->FindChild("presentation");
+  if (area == nullptr) {
+    return agis::Status::Internal("patched window lost presentation area");
+  }
+  std::string ids_csv;
+  for (geodb::ObjectId id : state->member_ids) {
+    if (!ids_csv.empty()) ids_csv += ',';
+    ids_csv += agis::StrCat(id);
+  }
+  area->SetProperty("ids", ids_csv);
+  area->SetProperty(uilib::kPropFeatureCount,
+                    agis::StrCat(state->view->feature_count()));
+  area->SetProperty(uilib::kPropContent, state->view->RenderFramedAscii());
+  area->SetProperty(uilib::kPropSvg, state->view->RenderSvg());
+  window->SetProperty("stale", "false");
+  return agis::Status::OK();
+}
+
 agis::Result<size_t> ViewRefresher::RefreshStale() {
   // One pinned snapshot for the whole pass: the stale set is decided
-  // and every window rebuilt against the same database state, so two
-  // windows refreshed together can never show each other's past.
+  // and every window patched or rebuilt against the same database
+  // state, so two windows refreshed together can never show each
+  // other's past.
   const geodb::Snapshot snap = dispatcher_->database()->OpenSnapshot();
-  std::vector<std::string> stale_classes;
+
+  // Drain the feed first (even when nothing is stale — acking bounds
+  // this subscriber's lag so an idle session is never dropped).
+  bool patchable = feed_ != nullptr;
+  std::map<std::string, std::set<geodb::ObjectId>> dirty_by_class;
+  uint64_t ack_seq = 0;
+  if (feed_ != nullptr) {
+    const storage::ChangefeedPoll poll = feed_->Poll(subscriber_);
+    ack_seq = poll.next_seq;
+    if (poll.resync) {
+      // We fell past the ring's tail: the deltas between our cursor
+      // and the tail are gone, so retained state cannot be trusted.
+      ++resyncs_;
+      patchable = false;
+      views_.clear();
+    }
+    for (const storage::ChangeRecord& record : poll.records) {
+      if (record.kind == storage::ChangeKind::kSchema) {
+        // Schema-shaped deltas (new classes, hierarchy changes) can
+        // alter window membership wholesale; fall back to rebuilds.
+        patchable = false;
+        views_.clear();
+        break;
+      }
+      dirty_by_class[record.class_name].insert(record.object_id);
+    }
+  }
+  patchable = patchable && PatchableBuildOptions();
+
+  std::vector<uilib::InterfaceObject*> stale_windows;
   for (const uilib::InterfaceObject* window : dispatcher_->windows()) {
     if (window->GetProperty("stale") == "true" &&
         window->GetProperty(uilib::kPropWindowType) == uilib::kWindowClassSet &&
         window->GetProperty("query").empty()) {
-      stale_classes.push_back(window->GetProperty(uilib::kPropClass));
+      stale_windows.push_back(dispatcher_->FindWindowMutable(window->name()));
     }
   }
-  if (stale_classes.empty()) return static_cast<size_t>(0);
-  AGIS_RETURN_IF_ERROR(dispatcher_->OpenClassWindows(stale_classes, &snap));
-  refreshed_ += stale_classes.size();
-  return stale_classes.size();
+  if (stale_windows.empty()) {
+    if (feed_ != nullptr && ack_seq != 0) {
+      AGIS_RETURN_IF_ERROR(feed_->Ack(subscriber_, ack_seq));
+    }
+    return static_cast<size_t>(0);
+  }
+
+  std::vector<std::string> rebuild_classes;
+  size_t patched_here = 0;
+  for (uilib::InterfaceObject* window : stale_windows) {
+    const std::string class_name = window->GetProperty(uilib::kPropClass);
+    bool patched = false;
+    if (patchable) {
+      WindowView* state = &views_[window->name()];
+      state->class_name = class_name;
+      if (EnsureSeeded(window, state, snap)) {
+        static const std::set<geodb::ObjectId> kNoDirty;
+        auto it = dirty_by_class.find(class_name);
+        const std::set<geodb::ObjectId>& dirty =
+            it != dirty_by_class.end() ? it->second : kNoDirty;
+        AGIS_RETURN_IF_ERROR(PatchWindow(window, state, dirty, snap));
+        patched = true;
+      } else {
+        views_.erase(window->name());
+      }
+    }
+    if (patched) {
+      ++patched_here;
+      ++patched_;
+    } else {
+      rebuild_classes.push_back(class_name);
+    }
+  }
+
+  if (!rebuild_classes.empty()) {
+    AGIS_RETURN_IF_ERROR(dispatcher_->OpenClassWindows(rebuild_classes, &snap));
+    rebuilds_ += rebuild_classes.size();
+    // The rebuild replaced those InterfaceObjects; retained views
+    // seeded against the old builds are dead weight (the seed-token
+    // check would catch them lazily, but drop the painted-cell state
+    // now).
+    for (const std::string& class_name : rebuild_classes) {
+      views_.erase(WindowNameFor(class_name));
+    }
+  }
+
+  // Ack only after every stale window incorporated the drained deltas;
+  // a failure above leaves the cursor put, and the next pass re-polls
+  // the same records (delta application is idempotent).
+  if (feed_ != nullptr && ack_seq != 0) {
+    AGIS_RETURN_IF_ERROR(feed_->Ack(subscriber_, ack_seq));
+  }
+
+  const size_t total = patched_here + rebuild_classes.size();
+  refreshed_ += total;
+  return total;
 }
 
 }  // namespace agis::ui

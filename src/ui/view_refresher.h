@@ -2,9 +2,16 @@
 #define AGIS_UI_VIEW_REFRESHER_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
 
 #include "active/engine.h"
 #include "base/status.h"
+#include "carto/incremental.h"
+#include "carto/style.h"
+#include "storage/changefeed.h"
 #include "ui/dispatcher.h"
 
 namespace agis::ui {
@@ -23,6 +30,21 @@ namespace agis::ui {
 /// as a refresh affordance) or rebuilt in place (kAutoRefresh).
 /// Only plain Class-set windows are tracked; ad-hoc query windows
 /// ("Query: ...") represent a moment-in-time answer and stay as built.
+///
+/// ---- Incremental maintenance (changefeed consumer) ---------------------
+///
+/// With AttachChangefeed, RefreshStale stops rebuilding stale windows
+/// from scratch: it polls the feed's deltas, accumulates the dirty
+/// object ids per class, and patches only the affected rows/symbols of
+/// each stale window through a retained carto::IncrementalView —
+/// re-reading just the dirty objects from one pinned snapshot. The
+/// full rebuild path remains as the fallback, taken per window when
+/// its retained state cannot be trusted or built: on a feed resync
+/// (the subscriber lagged past the ring's tail), on schema-shaped
+/// deltas, for generalized presentations, and when the dispatcher's
+/// build options carry a non-default query. A patched window keeps its
+/// viewport (the map does not re-zoom under the user); a full rebuild
+/// re-fits it.
 class ViewRefresher {
  public:
   enum class Mode { kMarkStale, kAutoRefresh };
@@ -42,19 +64,70 @@ class ViewRefresher {
   /// Removes the rules; returns how many were removed.
   size_t Uninstall();
 
-  /// Rebuilds every Class-set window currently flagged stale (the
-  /// kMarkStale mode's deferred half): customizations for the whole
-  /// batch resolve in one GetCustomizationBatch call — concurrently
-  /// when the dispatcher has a thread pool. Returns how many windows
-  /// were rebuilt.
+  /// Subscribes to `feed` and switches RefreshStale to incremental
+  /// patching. `styles` renders patched symbols (pass the registry the
+  /// windows were built with). Both must outlive this object (or a
+  /// DetachChangefeed call). Idempotent per feed: re-attaching
+  /// replaces the subscription.
+  void AttachChangefeed(storage::Changefeed* feed,
+                        const carto::StyleRegistry* styles);
+
+  /// Unsubscribes and drops all retained window state; RefreshStale
+  /// reverts to full rebuilds.
+  void DetachChangefeed();
+
+  bool changefeed_attached() const { return feed_ != nullptr; }
+
+  /// Brings every Class-set window currently flagged stale current
+  /// (the kMarkStale mode's deferred half): by per-delta patching when
+  /// a changefeed is attached, otherwise by rebuilding each window
+  /// (customizations for the batch resolve in one GetCustomizationBatch
+  /// call — concurrently when the dispatcher has a thread pool).
+  /// Returns how many windows were refreshed (patched + rebuilt).
   agis::Result<size_t> RefreshStale();
 
   Mode mode() const { return mode_; }
   uint64_t windows_marked_stale() const { return marked_; }
   uint64_t windows_refreshed() const { return refreshed_; }
+  /// Stale windows brought current by delta patching.
+  uint64_t windows_patched() const { return patched_; }
+  /// Stale windows that took the full-rebuild fallback.
+  uint64_t full_rebuilds() const { return rebuilds_; }
+  /// Times the feed dropped this consumer to resync.
+  uint64_t resyncs() const { return resyncs_; }
 
  private:
+  /// Retained incremental state of one Class-set window.
+  struct WindowView {
+    std::string class_name;
+    std::string geometry_attr;
+    std::string feature_style;
+    /// All extent members shown in the "ids" property (features with
+    /// null geometry are members without symbols).
+    std::set<geodb::ObjectId> member_ids;
+    std::unique_ptr<carto::IncrementalView> view;
+    /// Matches the window's "ivm_seed" property; a rebuilt window
+    /// loses the property, which invalidates this state.
+    std::string seed_token;
+  };
+
   agis::Status OnWrite(const active::Event& event);
+
+  /// Whether the dispatcher's build options allow patching at all
+  /// (default query shape, no generalization).
+  bool PatchableBuildOptions() const;
+
+  /// Builds (or revalidates) the retained view of `window` from its
+  /// presentation area and `snap`. False when the window's shape rules
+  /// patching out (missing area, generalized, no seed possible).
+  bool EnsureSeeded(uilib::InterfaceObject* window, WindowView* state,
+                    const geodb::Snapshot& snap);
+
+  /// Applies the dirty ids of the window's class and rewrites the
+  /// presentation-area properties.
+  agis::Status PatchWindow(uilib::InterfaceObject* window, WindowView* state,
+                           const std::set<geodb::ObjectId>& dirty,
+                           const geodb::Snapshot& snap);
 
   Dispatcher* dispatcher_;
   active::RuleEngine* engine_;
@@ -62,6 +135,16 @@ class ViewRefresher {
   bool installed_ = false;
   uint64_t marked_ = 0;
   uint64_t refreshed_ = 0;
+  uint64_t patched_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t resyncs_ = 0;
+
+  storage::Changefeed* feed_ = nullptr;
+  storage::Changefeed::SubscriberId subscriber_ = 0;
+  const carto::StyleRegistry* styles_ = nullptr;
+  /// Retained views keyed by window name.
+  std::map<std::string, WindowView> views_;
+  uint64_t next_seed_token_ = 1;
 };
 
 }  // namespace agis::ui

@@ -1,0 +1,188 @@
+#include "carto/incremental.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "carto/ascii_renderer.h"
+#include "carto/canvas.h"
+#include "carto/style.h"
+#include "carto/svg_renderer.h"
+#include "geom/geometry.h"
+
+namespace agis::carto {
+namespace {
+
+StyledFeature PointFeature(geodb::ObjectId id, double x, double y,
+                           const std::string& style = "pointFormat") {
+  StyledFeature f;
+  f.id = id;
+  f.geometry = geom::Geometry::FromPoint({x, y});
+  f.style = style;
+  return f;
+}
+
+StyledFeature LineFeature(geodb::ObjectId id,
+                          std::vector<geom::Point> points,
+                          const std::string& style = "lineFormat") {
+  StyledFeature f;
+  f.id = id;
+  f.geometry = geom::Geometry::FromLineString(
+      geom::LineString{std::move(points)});
+  f.style = style;
+  return f;
+}
+
+StyledFeature PolygonFeature(geodb::ObjectId id,
+                             std::vector<geom::Point> ring,
+                             const std::string& style = "regionFormat") {
+  StyledFeature f;
+  f.id = id;
+  geom::Polygon poly;
+  poly.outer = std::move(ring);
+  f.geometry = geom::Geometry::FromPolygon(std::move(poly));
+  f.style = style;
+  return f;
+}
+
+class IncrementalViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(styles_.RegisterStandardFormats().ok()); }
+
+  /// Full (non-incremental) render of `features` on the same viewport.
+  std::string FullAscii(const geom::BoundingBox& viewport,
+                        const std::vector<StyledFeature>& features,
+                        int width, int height) {
+    MapCanvas canvas(viewport, width, height);
+    for (const StyledFeature& f : features) canvas.AddFeature(f);
+    return AsciiRenderer(&styles_).RenderFramed(canvas);
+  }
+
+  std::string FullSvg(const geom::BoundingBox& viewport,
+                      const std::vector<StyledFeature>& features, int width,
+                      int height) {
+    MapCanvas canvas(viewport, width, height);
+    for (const StyledFeature& f : features) canvas.AddFeature(f);
+    return SvgRenderer(&styles_).Render(canvas);
+  }
+
+  StyleRegistry styles_;
+};
+
+TEST_F(IncrementalViewTest, MatchesFullRenderOnMixedFeatures) {
+  const std::vector<StyledFeature> features = {
+      PointFeature(1, 10, 10),
+      LineFeature(2, {{0, 0}, {40, 20}}),
+      PolygonFeature(3, {{20, 2}, {38, 2}, {38, 12}, {20, 12}}),
+  };
+  const geom::BoundingBox viewport = MapCanvas::FitBounds(features);
+  IncrementalView view(&styles_, viewport, 40, 16);
+  for (const StyledFeature& f : features) view.Upsert(f);
+
+  EXPECT_EQ(view.RenderFramedAscii(), FullAscii(viewport, features, 40, 16));
+  EXPECT_EQ(view.RenderSvg(), FullSvg(viewport, features, 40, 16));
+  EXPECT_EQ(view.feature_count(), 3u);
+  EXPECT_EQ(view.ids(), (std::vector<geodb::ObjectId>{1, 2, 3}));
+}
+
+TEST_F(IncrementalViewTest, OverlappingFeaturesResolveLikePaintOrder) {
+  // Two polygons covering the same cells: the full pipeline paints in
+  // list order (ascending id here), so the later/higher id wins the
+  // contested cells. The incremental view must agree — and must
+  // restore the lower id's cells when the higher one goes away.
+  const std::vector<StyledFeature> overlap = {
+      PolygonFeature(1, {{0, 0}, {30, 0}, {30, 10}, {0, 10}}, "fillFormat"),
+      PolygonFeature(2, {{10, 2}, {24, 2}, {24, 8}, {10, 8}}, "regionFormat"),
+  };
+  const geom::BoundingBox viewport = MapCanvas::FitBounds(overlap);
+  IncrementalView view(&styles_, viewport, 36, 12);
+  view.Upsert(overlap[0]);
+  view.Upsert(overlap[1]);
+  EXPECT_EQ(view.RenderFramedAscii(), FullAscii(viewport, overlap, 36, 12));
+
+  // Insertion order must not matter — only ids do.
+  IncrementalView reversed(&styles_, viewport, 36, 12);
+  reversed.Upsert(overlap[1]);
+  reversed.Upsert(overlap[0]);
+  EXPECT_EQ(reversed.RenderFramedAscii(), view.RenderFramedAscii());
+  EXPECT_EQ(reversed.RenderSvg(), view.RenderSvg());
+
+  // Removing the occluding polygon re-exposes the one underneath.
+  ASSERT_TRUE(view.Remove(2));
+  EXPECT_EQ(view.RenderFramedAscii(),
+            FullAscii(viewport, {overlap[0]}, 36, 12));
+}
+
+TEST_F(IncrementalViewTest, UpsertReplacesAndUnpaintsOldCells) {
+  const StyledFeature before = PointFeature(5, 2, 2);
+  const StyledFeature after = PointFeature(5, 8, 8);
+  const geom::BoundingBox viewport(0, 0, 10, 10);
+  IncrementalView view(&styles_, viewport, 20, 10);
+  view.Upsert(before);
+  view.Upsert(after);  // Same id: move, not duplicate.
+  EXPECT_EQ(view.feature_count(), 1u);
+  EXPECT_EQ(view.RenderFramedAscii(), FullAscii(viewport, {after}, 20, 10));
+  EXPECT_EQ(view.RenderSvg(), FullSvg(viewport, {after}, 20, 10));
+}
+
+TEST_F(IncrementalViewTest, RemoveUnknownIsFalseAndIdempotent) {
+  IncrementalView view(&styles_, geom::BoundingBox(0, 0, 10, 10), 10, 10);
+  EXPECT_FALSE(view.Remove(42));
+  view.Upsert(PointFeature(42, 5, 5));
+  EXPECT_TRUE(view.Has(42));
+  EXPECT_TRUE(view.Remove(42));
+  EXPECT_FALSE(view.Remove(42));
+  EXPECT_EQ(view.feature_count(), 0u);
+  EXPECT_EQ(view.RenderFramedAscii(),
+            FullAscii(geom::BoundingBox(0, 0, 10, 10), {}, 10, 10));
+}
+
+TEST_F(IncrementalViewTest, FeaturesOutsideViewportClipCleanly) {
+  const geom::BoundingBox viewport(0, 0, 10, 10);
+  IncrementalView view(&styles_, viewport, 12, 12);
+  view.Upsert(PointFeature(1, 500, 500));  // Far off-raster.
+  view.Upsert(LineFeature(2, {{-100, 5}, {100, 5}}));  // Crosses.
+  const std::vector<StyledFeature> same = {PointFeature(1, 500, 500),
+                                           LineFeature(2, {{-100, 5},
+                                                           {100, 5}})};
+  EXPECT_EQ(view.RenderFramedAscii(), FullAscii(viewport, same, 12, 12));
+}
+
+TEST_F(IncrementalViewTest, ManyRandomMutationsStayEquivalent) {
+  const geom::BoundingBox viewport(0, 0, 64, 32);
+  IncrementalView view(&styles_, viewport, 48, 20);
+  std::map<geodb::ObjectId, StyledFeature> truth;
+  // Deterministic pseudo-random walk of upserts and removes.
+  uint64_t rng = 12345;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (int step = 0; step < 200; ++step) {
+    const geodb::ObjectId id = 1 + next() % 12;
+    if (next() % 4 == 0) {
+      truth.erase(id);
+      view.Remove(id);
+    } else {
+      const double x = static_cast<double>(next() % 64);
+      const double y = static_cast<double>(next() % 32);
+      StyledFeature f =
+          (id % 2 == 0)
+              ? PointFeature(id, x, y)
+              : LineFeature(id, {{x, y}, {x + 10, y + 4}});
+      truth[id] = f;
+      view.Upsert(f);
+    }
+  }
+  std::vector<StyledFeature> features;
+  for (const auto& [id, f] : truth) features.push_back(f);  // Ascending id.
+  EXPECT_EQ(view.RenderFramedAscii(), FullAscii(viewport, features, 48, 20));
+  EXPECT_EQ(view.RenderSvg(), FullSvg(viewport, features, 48, 20));
+  EXPECT_EQ(view.feature_count(), truth.size());
+}
+
+}  // namespace
+}  // namespace agis::carto

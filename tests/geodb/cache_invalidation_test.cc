@@ -1,0 +1,273 @@
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "base/strutil.h"
+#include "geodb/buffer_pool.h"
+#include "geodb/database.h"
+#include "geom/geometry.h"
+
+namespace agis::geodb {
+namespace {
+
+geom::Geometry PointGeom(double x, double y) {
+  return geom::Geometry::FromPoint({x, y});
+}
+
+BufferSlice Slice(std::vector<ObjectId> ids, size_t charge) {
+  BufferSlice s;
+  s.ids = std::move(ids);
+  s.charge_bytes = charge;
+  return s;
+}
+
+// ---- BufferPool: sorted key map + selective invalidation ----------------
+
+TEST(BufferPoolInvalidation, PrefixStopsAtTheKeyBoundary) {
+  BufferPool pool(1 << 20, /*shards=*/1);
+  pool.Put("class/Pole/a", Slice({1}, 100));
+  pool.Put("class/Pole/b", Slice({2}, 100));
+  pool.Put("class/PoleX/a", Slice({3}, 100));  // Shares a string prefix.
+  pool.Put("class/Duct/a", Slice({4}, 100));
+  EXPECT_EQ(pool.InvalidatePrefix("class/Pole/"), 2u);
+  EXPECT_EQ(pool.Get("class/Pole/a"), nullptr);
+  EXPECT_EQ(pool.Get("class/Pole/b"), nullptr);
+  EXPECT_NE(pool.Get("class/PoleX/a"), nullptr);
+  EXPECT_NE(pool.Get("class/Duct/a"), nullptr);
+}
+
+TEST(BufferPoolInvalidation, MatchingDropsSelectivelyAndCountsSurvivals) {
+  BufferPool pool(1 << 20, /*shards=*/1);
+  pool.Put("class/Pole/a", Slice({1, 2, 3}, 100));
+  pool.Put("class/Pole/b", Slice({4, 5}, 100));
+  pool.Put("class/Pole/c", Slice({2, 6}, 100));
+  const size_t removed = pool.InvalidateMatching(
+      "class/Pole/",
+      [](const BufferSlice& slice) { return slice.Contains(2); });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(pool.Get("class/Pole/a"), nullptr);
+  EXPECT_NE(pool.Get("class/Pole/b"), nullptr);
+  EXPECT_EQ(pool.Get("class/Pole/c"), nullptr);
+  EXPECT_EQ(pool.stats().invalidated, 2u);
+  EXPECT_EQ(pool.stats().invalidation_survivals, 1u);
+}
+
+TEST(BufferPoolInvalidation, InvalidationKeepsByteAccountingExact) {
+  BufferPool pool(1 << 20, /*shards=*/1);
+  pool.Put("class/Pole/a", Slice({1}, 300));
+  pool.Put("class/Pole/b", Slice({2}, 500));
+  pool.Put("class/Duct/a", Slice({3}, 700));
+  ASSERT_EQ(pool.used_bytes(), 1500u);
+  pool.InvalidateMatching("class/Pole/", [](const BufferSlice& slice) {
+    return slice.Contains(2);
+  });
+  EXPECT_EQ(pool.used_bytes(), 1000u);
+  EXPECT_EQ(pool.entry_count(), 2u);
+  pool.InvalidatePrefix("class/");
+  EXPECT_EQ(pool.used_bytes(), 0u);
+  EXPECT_EQ(pool.entry_count(), 0u);
+}
+
+TEST(BufferPoolInvalidation, SliceContainsUsesTheSortedIds) {
+  BufferSlice s = Slice({2, 5, 9, 40}, 10);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(40));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_FALSE(s.Contains(10));
+}
+
+// Sorted-map regression: a prefix sweep touches only the matching key
+// range, so sweeping one class's keys leaves the (much larger) rest of
+// the pool alone — and keeps their LRU order intact.
+TEST(BufferPoolInvalidation, PrefixSweepDoesNotDisturbOtherEntries) {
+  BufferPool pool(10000, /*shards=*/1);
+  for (int i = 0; i < 50; ++i) {
+    pool.Put(agis::StrCat("class/Other/", i), Slice({ObjectId(i + 1)}, 100));
+  }
+  pool.Put("class/Pole/hot", Slice({99}, 100));
+  ASSERT_EQ(pool.entry_count(), 51u);
+  EXPECT_EQ(pool.InvalidatePrefix("class/Pole/"), 1u);
+  EXPECT_EQ(pool.entry_count(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(pool.Get(agis::StrCat("class/Other/", i)), nullptr) << i;
+  }
+}
+
+// ---- GeoDatabase: per-object write invalidation -------------------------
+
+class PerObjectInvalidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<GeoDatabase>("test_schema");
+    ClassDef pole("Pole", "");
+    ASSERT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+    ASSERT_TRUE(
+        pole.AddAttribute(AttributeDef::Geometry("pole_location")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(pole)).ok());
+    ClassDef special("SpecialPole", "");
+    special.set_parent("Pole");
+    ASSERT_TRUE(db_->RegisterClass(std::move(special)).ok());
+    ClassDef duct("Duct", "");
+    ASSERT_TRUE(duct.AddAttribute(AttributeDef::Geometry("duct_path")).ok());
+    ASSERT_TRUE(db_->RegisterClass(std::move(duct)).ok());
+  }
+
+  ObjectId InsertPole(const std::string& cls, double x, double y,
+                      int64_t type = 1) {
+    auto id = db_->Insert(cls, {{"pole_type", Value::Int(type)},
+                                {"pole_location",
+                                 Value::MakeGeometry(PointGeom(x, y))}});
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.ok() ? id.value() : 0;
+  }
+
+  /// Runs the query once to warm the cache, then reports whether a
+  /// second run still hits it.
+  bool CachedAfter(const GetClassOptions& options,
+                   const std::function<void()>& write,
+                   const std::string& cls = "Pole") {
+    auto warm = db_->GetClass(cls, options);
+    EXPECT_TRUE(warm.ok()) << warm.status();
+    write();
+    auto again = db_->GetClass(cls, options);
+    EXPECT_TRUE(again.ok()) << again.status();
+    return again.ok() && again.value().from_cache;
+  }
+
+  std::unique_ptr<GeoDatabase> db_;
+};
+
+TEST_F(PerObjectInvalidationTest, UnrelatedClassWriteKeepsTheSlice) {
+  InsertPole("Pole", 1, 1);
+  EXPECT_TRUE(CachedAfter({}, [this] {
+    ASSERT_TRUE(db_->Insert("Duct", {{"duct_path", Value::MakeGeometry(
+                                                       PointGeom(5, 5))}})
+                    .ok());
+  }));
+}
+
+TEST_F(PerObjectInvalidationTest, WindowedSliceSurvivesWritesElsewhere) {
+  const ObjectId inside = InsertPole("Pole", 1, 1);
+  const ObjectId outside = InsertPole("Pole", 100, 100);
+  GetClassOptions windowed;
+  windowed.window = geom::BoundingBox(0, 0, 10, 10);
+
+  // Geometry update far from the window: the slice cannot change.
+  EXPECT_TRUE(CachedAfter(windowed, [&] {
+    ASSERT_TRUE(db_->Update(outside, "pole_location",
+                            Value::MakeGeometry(PointGeom(120, 120)))
+                    .ok());
+  }));
+  // Non-geometry update of an object outside the slice: still safe.
+  EXPECT_TRUE(CachedAfter(windowed, [&] {
+    ASSERT_TRUE(db_->Update(outside, "pole_type", Value::Int(7)).ok());
+  }));
+  // Geometry update of a member: must drop.
+  EXPECT_FALSE(CachedAfter(windowed, [&] {
+    ASSERT_TRUE(db_->Update(inside, "pole_location",
+                            Value::MakeGeometry(PointGeom(2, 2)))
+                    .ok());
+  }));
+  // Geometry moving INTO the window from outside: must drop.
+  EXPECT_FALSE(CachedAfter(windowed, [&] {
+    ASSERT_TRUE(db_->Update(outside, "pole_location",
+                            Value::MakeGeometry(PointGeom(3, 3)))
+                    .ok());
+  }));
+}
+
+TEST_F(PerObjectInvalidationTest, InsertRespectsTheWindow) {
+  InsertPole("Pole", 1, 1);
+  GetClassOptions windowed;
+  windowed.window = geom::BoundingBox(0, 0, 10, 10);
+  // Insert landing outside the window keeps the slice...
+  EXPECT_TRUE(
+      CachedAfter(windowed, [this] { InsertPole("Pole", 200, 200); }));
+  // ...inside drops it; and the unwindowed full-extent slice always
+  // drops on insert (its membership just grew).
+  EXPECT_FALSE(CachedAfter(windowed, [this] { InsertPole("Pole", 5, 5); }));
+  EXPECT_FALSE(CachedAfter({}, [this] { InsertPole("Pole", 200, 200); }));
+}
+
+TEST_F(PerObjectInvalidationTest, PredicateSliceDropsOnMatchingAttribute) {
+  const ObjectId a = InsertPole("Pole", 1, 1, /*type=*/1);
+  InsertPole("Pole", 2, 2, /*type=*/2);
+  GetClassOptions typed;
+  AttrPredicate p;
+  p.attribute = "pole_type";
+  p.op = CompareOp::kGe;
+  p.operand = Value::Int(2);
+  typed.predicates.push_back(p);
+
+  // `a` is not in the slice (type 1 < 2), but the update touches the
+  // predicate attribute, so membership may have changed: drop.
+  EXPECT_FALSE(CachedAfter(typed, [&] {
+    ASSERT_TRUE(db_->Update(a, "pole_type", Value::Int(9)).ok());
+  }));
+  // A geometry move of a NON-member (the first sub-case promoted `a`
+  // into the slice, so use a fresh type-1 pole): the slice has no
+  // window and no spatial filter, so the move cannot change it.
+  const ObjectId c = InsertPole("Pole", 3, 3, /*type=*/1);
+  EXPECT_TRUE(CachedAfter(typed, [&] {
+    ASSERT_TRUE(db_->Update(c, "pole_location",
+                            Value::MakeGeometry(PointGeom(4, 4)))
+                    .ok());
+  }));
+}
+
+TEST_F(PerObjectInvalidationTest, DeleteDropsOnlySlicesHoldingTheObject) {
+  const ObjectId a = InsertPole("Pole", 1, 1);
+  const ObjectId b = InsertPole("Pole", 100, 100);
+  GetClassOptions windowed;
+  windowed.window = geom::BoundingBox(0, 0, 10, 10);  // Holds only a.
+  EXPECT_TRUE(CachedAfter(windowed, [&] {
+    ASSERT_TRUE(db_->Delete(b).ok());
+  }));
+  EXPECT_FALSE(CachedAfter(windowed, [&] {
+    ASSERT_TRUE(db_->Delete(a).ok());
+  }));
+}
+
+TEST_F(PerObjectInvalidationTest, SubclassWritesReachAncestorSlices) {
+  InsertPole("Pole", 1, 1);
+  const ObjectId special = InsertPole("SpecialPole", 2, 2);
+  GetClassOptions with_subs;
+  with_subs.include_subclasses = true;
+  // The parent slice includes the subclass object: its update drops it.
+  EXPECT_FALSE(CachedAfter(with_subs, [&] {
+    ASSERT_TRUE(db_->Update(special, "pole_type", Value::Int(3)).ok());
+  }));
+  // Without include_subclasses the parent slice cannot contain
+  // subclass members; subclass writes leave it alone.
+  EXPECT_TRUE(CachedAfter({}, [&] {
+    ASSERT_TRUE(db_->Update(special, "pole_type", Value::Int(4)).ok());
+  }));
+}
+
+TEST_F(PerObjectInvalidationTest, LegacyFlagRestoresBlanketDrops) {
+  DatabaseOptions legacy;
+  legacy.legacy_class_prefix_invalidation = true;
+  auto db = std::make_unique<GeoDatabase>("legacy_schema", legacy);
+  ClassDef pole("Pole", "");
+  ASSERT_TRUE(pole.AddAttribute(AttributeDef::Int("pole_type")).ok());
+  ASSERT_TRUE(
+      pole.AddAttribute(AttributeDef::Geometry("pole_location")).ok());
+  ASSERT_TRUE(db->RegisterClass(std::move(pole)).ok());
+  auto a = db->Insert("Pole", {{"pole_type", Value::Int(1)},
+                               {"pole_location",
+                                Value::MakeGeometry(PointGeom(100, 100))}});
+  ASSERT_TRUE(a.ok());
+
+  GetClassOptions windowed;
+  windowed.window = geom::BoundingBox(0, 0, 10, 10);  // Excludes a.
+  ASSERT_TRUE(db->GetClass("Pole", windowed).ok());
+  // A write the window can't see still nukes the whole class prefix.
+  ASSERT_TRUE(db->Update(a.value(), "pole_type", Value::Int(2)).ok());
+  auto again = db->GetClass("Pole", windowed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().from_cache);
+}
+
+}  // namespace
+}  // namespace agis::geodb

@@ -95,6 +95,23 @@ TEST_F(DispatcherTest, CloseWindow) {
   EXPECT_TRUE(sys_->dispatcher().windows().empty());
 }
 
+TEST_F(DispatcherTest, OpenClassWindowIndexTracksPlainClassWindows) {
+  EXPECT_FALSE(sys_->dispatcher().HasOpenClassWindow("Pole"));
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  EXPECT_TRUE(sys_->dispatcher().HasOpenClassWindow("Pole"));
+  EXPECT_FALSE(sys_->dispatcher().HasOpenClassWindow("Duct"));
+
+  // Query windows are moment-in-time answers: they do not register.
+  ASSERT_TRUE(sys_->dispatcher().OpenQueryWindow("select Duct").ok());
+  EXPECT_FALSE(sys_->dispatcher().HasOpenClassWindow("Duct"));
+
+  // Reopening keeps the index stable; closing clears it.
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  EXPECT_TRUE(sys_->dispatcher().HasOpenClassWindow("Pole"));
+  ASSERT_TRUE(sys_->dispatcher().CloseWindow("Class set: Pole").ok());
+  EXPECT_FALSE(sys_->dispatcher().HasOpenClassWindow("Pole"));
+}
+
 TEST_F(DispatcherTest, VisibleWindowsSkipHiddenSchema) {
   ASSERT_TRUE(
       sys_->InstallCustomization(workload::Fig6DirectiveSource()).ok());

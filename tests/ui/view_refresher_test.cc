@@ -101,5 +101,166 @@ TEST_F(ViewRefresherTest, UninstallStopsTracking) {
   EXPECT_EQ(refresher.Uninstall(), 3u);
 }
 
+// ---- Incremental maintenance through the changefeed ----------------------
+
+struct AreaSnapshot {
+  std::string ids;
+  std::string feature_count;
+  std::string content;
+  std::string svg;
+};
+
+AreaSnapshot CaptureArea(const uilib::InterfaceObject* window) {
+  const uilib::InterfaceObject* area = window->FindDescendant("presentation");
+  AreaSnapshot snap;
+  if (area == nullptr) return snap;
+  snap.ids = area->GetProperty("ids");
+  snap.feature_count = area->GetProperty(uilib::kPropFeatureCount);
+  snap.content = area->GetProperty(uilib::kPropContent);
+  snap.svg = area->GetProperty(uilib::kPropSvg);
+  return snap;
+}
+
+TEST_F(ViewRefresherTest, PatchedRefreshMatchesFullRebuild) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  ASSERT_NE(sys_->changefeed(), nullptr);
+  refresher.AttachChangefeed(sys_->changefeed(), &sys_->styles());
+  ASSERT_TRUE(refresher.changefeed_attached());
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+
+  // Interior mutations only, so the viewport fit stays stable and a
+  // patched window is comparable byte-for-byte with a full rebuild.
+  auto p1 = sys_->db().Insert(
+      "Pole", {{"pole_location", PointValue(400, 400)}});
+  auto p2 = sys_->db().Insert(
+      "Pole", {{"pole_location", PointValue(410, 410)}});
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  auto patched = refresher.RefreshStale();
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(patched.value(), 1u);
+
+  ASSERT_TRUE(sys_->db()
+                  .Update(p1.value(), "pole_location", PointValue(450, 450))
+                  .ok());
+  ASSERT_TRUE(refresher.RefreshStale().ok());
+  ASSERT_TRUE(
+      sys_->db().Update(p1.value(), "pole_type", geodb::Value::Int(5)).ok());
+  ASSERT_TRUE(refresher.RefreshStale().ok());
+  ASSERT_TRUE(sys_->db().Delete(p2.value()).ok());
+  ASSERT_TRUE(refresher.RefreshStale().ok());
+
+  EXPECT_EQ(refresher.windows_patched(), 4u);
+  EXPECT_EQ(refresher.full_rebuilds(), 0u);
+  EXPECT_EQ(refresher.resyncs(), 0u);
+
+  const uilib::InterfaceObject* window =
+      sys_->dispatcher().FindWindow("Class set: Pole");
+  ASSERT_NE(window, nullptr);
+  EXPECT_NE(window->GetProperty("stale"), "true");
+  const AreaSnapshot after_patch = CaptureArea(window);
+
+  // Ground truth: rebuild the window from scratch.
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  const AreaSnapshot rebuilt =
+      CaptureArea(sys_->dispatcher().FindWindow("Class set: Pole"));
+  EXPECT_EQ(after_patch.ids, rebuilt.ids);
+  EXPECT_EQ(after_patch.feature_count, rebuilt.feature_count);
+  EXPECT_EQ(after_patch.content, rebuilt.content);
+  EXPECT_EQ(after_patch.svg, rebuilt.svg);
+}
+
+TEST_F(ViewRefresherTest, RefreshWithNoStaleWindowsStillAcksTheFeed) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  refresher.AttachChangefeed(sys_->changefeed(), &sys_->styles());
+  // Writes to a class with no open window: records pile up...
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(1, 1)}}).ok());
+  auto refreshed = refresher.RefreshStale();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed.value(), 0u);
+  // ...but the idle pass consumed them, so lag stays bounded.
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(2, 2)}}).ok());
+  ASSERT_TRUE(refresher.RefreshStale().ok());
+  EXPECT_EQ(refresher.windows_patched(), 0u);
+}
+
+TEST_F(ViewRefresherTest, ResyncFallsBackToFullRebuild) {
+  core::SystemOptions options;
+  options.changefeed_capacity = 4;  // Tiny ring: easy to overrun.
+  auto sys = std::make_unique<core::ActiveInterfaceSystem>("phone_net",
+                                                           options);
+  ASSERT_TRUE(workload::BuildPhoneNetwork(&sys->db()).ok());
+  ViewRefresher refresher(&sys->dispatcher(), &sys->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  refresher.AttachChangefeed(sys->changefeed(), &sys->styles());
+  ASSERT_TRUE(sys->dispatcher().OpenClassWindow("Pole").ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        sys->db()
+            .Insert("Pole", {{"pole_location", PointValue(4000 + i, 4000)}})
+            .ok());
+  }
+  auto refreshed = refresher.RefreshStale();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed.value(), 1u);
+  EXPECT_EQ(refresher.resyncs(), 1u);
+  EXPECT_EQ(refresher.windows_patched(), 0u);
+  EXPECT_EQ(refresher.full_rebuilds(), 1u);
+  // The rebuilt window is current again.
+  const uilib::InterfaceObject* window =
+      sys->dispatcher().FindWindow("Class set: Pole");
+  ASSERT_NE(window, nullptr);
+  EXPECT_NE(window->GetProperty("stale"), "true");
+  // Back in step: the next small batch patches incrementally.
+  ASSERT_TRUE(
+      sys->db()
+          .Insert("Pole", {{"pole_location", PointValue(4500, 4500)}})
+          .ok());
+  ASSERT_TRUE(refresher.RefreshStale().ok());
+  EXPECT_EQ(refresher.windows_patched(), 1u);
+}
+
+TEST_F(ViewRefresherTest, SchemaDeltaForcesRebuild) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  refresher.AttachChangefeed(sys_->changefeed(), &sys_->styles());
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(1, 1)}}).ok());
+  geodb::ClassDef fresh("FreshClass", "");
+  ASSERT_TRUE(sys_->db().RegisterClass(std::move(fresh)).ok());
+
+  ASSERT_TRUE(refresher.RefreshStale().ok());
+  EXPECT_EQ(refresher.windows_patched(), 0u);
+  EXPECT_EQ(refresher.full_rebuilds(), 1u);
+}
+
+TEST_F(ViewRefresherTest, DetachRevertsToFullRebuilds) {
+  ViewRefresher refresher(&sys_->dispatcher(), &sys_->engine(),
+                          ViewRefresher::Mode::kMarkStale);
+  ASSERT_TRUE(refresher.Install().ok());
+  refresher.AttachChangefeed(sys_->changefeed(), &sys_->styles());
+  refresher.DetachChangefeed();
+  EXPECT_FALSE(refresher.changefeed_attached());
+  ASSERT_TRUE(sys_->dispatcher().OpenClassWindow("Pole").ok());
+  ASSERT_TRUE(
+      sys_->db().Insert("Pole", {{"pole_location", PointValue(1, 1)}}).ok());
+  auto refreshed = refresher.RefreshStale();
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(refreshed.value(), 1u);
+  EXPECT_EQ(refresher.windows_patched(), 0u);
+  EXPECT_EQ(refresher.full_rebuilds(), 1u);
+}
+
 }  // namespace
 }  // namespace agis::ui
